@@ -1,0 +1,81 @@
+//! The Erdős–Rényi baseline.
+
+use fairgen_graph::{Graph, GraphBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::traits::GraphGenerator;
+
+/// Erdős–Rényi: fits `p = m / C(n,2)` and samples exactly `m` distinct
+/// uniform edges (the `G(n, m)` variant, so the edge count matches the
+/// input exactly, as the paper's assembly also guarantees).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ErGenerator;
+
+impl GraphGenerator for ErGenerator {
+    fn name(&self) -> &'static str {
+        "ER"
+    }
+
+    fn fit_generate(&self, g: &Graph, seed: u64) -> Graph {
+        let n = g.n();
+        let target = g.m().min(n * n.saturating_sub(1) / 2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut builder = GraphBuilder::with_capacity(n, target);
+        builder.ensure_nodes(n);
+        let mut chosen = std::collections::HashSet::with_capacity(target);
+        while chosen.len() < target {
+            let u = rng.gen_range(0..n as NodeId);
+            let v = rng.gen_range(0..n as NodeId);
+            if u == v {
+                continue;
+            }
+            let k = if u < v { (u, v) } else { (v, u) };
+            if chosen.insert(k) {
+                builder.add_edge(k.0, k.1);
+            }
+        }
+        builder.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_node_and_edge_counts() {
+        let g = Graph::from_edges(50, &(0..49).map(|i| (i, i + 1)).collect::<Vec<_>>());
+        let out = ErGenerator.fit_generate(&g, 7);
+        assert_eq!(out.n(), 50);
+        assert_eq!(out.m(), 49);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let g = Graph::from_edges(20, &(0..19).map(|i| (i, i + 1)).collect::<Vec<_>>());
+        assert_eq!(ErGenerator.fit_generate(&g, 3), ErGenerator.fit_generate(&g, 3));
+        assert_ne!(ErGenerator.fit_generate(&g, 3), ErGenerator.fit_generate(&g, 4));
+    }
+
+    #[test]
+    fn destroys_clustering() {
+        // A union of triangles has CC = 1; ER output on the same budget has
+        // essentially zero triangles.
+        let mut edges = Vec::new();
+        for t in 0..10u32 {
+            let b = 3 * t;
+            edges.extend([(b, b + 1), (b + 1, b + 2), (b, b + 2)]);
+        }
+        let g = Graph::from_edges(30, &edges);
+        let out = ErGenerator.fit_generate(&g, 11);
+        assert!(out.triangle_count() < g.triangle_count());
+    }
+
+    #[test]
+    fn handles_dense_target() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let out = ErGenerator.fit_generate(&g, 1);
+        assert_eq!(out.m(), 6); // complete graph
+    }
+}

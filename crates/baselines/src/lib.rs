@@ -1,0 +1,39 @@
+//! The comparison baselines of the FairGen evaluation (Section III-A):
+//! two random-graph models and three deep generative models.
+//!
+//! * [`ErGenerator`] — Erdős–Rényi \[47\]: fits the edge probability.
+//! * [`BaGenerator`] — Barabási–Albert \[6\]: fits the attachment count.
+//! * [`GaeGenerator`] — GAE \[48\]: a one-propagation graph auto-encoder
+//!   (symmetric-normalized propagation of learned embeddings, inner-product
+//!   decoder, BCE on edges vs. sampled non-edges).
+//! * [`NetGanGenerator`] — NetGAN-lite \[5\]: an LSTM walk generator trained
+//!   contrastively on node2vec walks vs. negative walks, assembled via the
+//!   score matrix.
+//! * [`TagGenGenerator`] — TagGen-lite \[49\]: the same recipe with a
+//!   Transformer generator (TagGen's key architectural difference).
+//!
+//! The deep baselines are deliberate *simplifications* of their namesakes —
+//! Wasserstein critics and temporal mechanisms are out of scope — but they
+//! preserve the property the paper's comparison relies on: they model the
+//! frequent (unprotected) patterns well and have no mechanism that protects
+//! the minority group. See DESIGN.md §1.
+//!
+//! All generators implement [`GraphGenerator`]: fit on an input graph and
+//! emit a synthetic graph over the same vertex set with (approximately) the
+//! same edge count.
+
+pub mod ba;
+pub mod er;
+pub mod gae;
+pub mod netgan;
+pub mod taggen;
+pub mod traits;
+pub mod walk_lm;
+
+pub use ba::BaGenerator;
+pub use er::ErGenerator;
+pub use gae::GaeGenerator;
+pub use netgan::NetGanGenerator;
+pub use taggen::TagGenGenerator;
+pub use traits::GraphGenerator;
+pub use walk_lm::WalkLmBudget;

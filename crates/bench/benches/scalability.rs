@@ -1,0 +1,91 @@
+//! Criterion re-expression of the Figure-8 scalability series (training-step
+//! cost versus node count / edge density) and Table-IV-style end-to-end
+//! fit+generate timings at a micro budget. The full wall-clock artifacts are
+//! produced by the `fig8_scalability` and `tab4_runtime` binaries; these
+//! groups track the same shapes with statistical rigor at a size Criterion
+//! can afford.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairgen_baselines::{BaGenerator, ErGenerator, GraphGenerator};
+use fairgen_core::{FairGen, FairGenConfig, FairGenInput};
+use fairgen_data::er_by_density;
+use fairgen_nn::param::HasParams;
+use fairgen_nn::{Adam, TransformerConfig, TransformerLm};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Generator step cost grows ~linearly with the vocabulary (node count):
+/// the Figure-8(a) shape at the model level.
+fn bench_step_vs_nodes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8a_train_step_vs_nodes");
+    for n in [250usize, 500, 1000, 2000] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = TransformerConfig { vocab: n, d_model: 16, heads: 2, layers: 1, max_len: 12 };
+        let mut lm = TransformerLm::new(cfg, &mut rng);
+        let mut opt = Adam::new(0.01);
+        let seq: Vec<usize> = (0..10).map(|i| (i * 31) % n).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                lm.zero_grad();
+                lm.train_step(&seq, 1.0);
+                opt.step(&mut lm);
+            })
+        });
+    }
+    group.finish();
+}
+
+/// End-to-end micro-budget fit+generate: the Table-IV ordering
+/// (ER ≈ BA ≪ FairGen) at Criterion scale.
+fn bench_fit_generate(c: &mut Criterion) {
+    let g = er_by_density(300, 0.02, 3);
+    let mut group = c.benchmark_group("tab4_fit_generate_micro");
+    group.sample_size(10);
+    group.bench_function("ER", |b| b.iter(|| ErGenerator.fit_generate(&g, 1)));
+    group.bench_function("BA", |b| b.iter(|| BaGenerator.fit_generate(&g, 1)));
+    let cfg = FairGenConfig {
+        num_walks: 50,
+        cycles: 1,
+        gen_epochs: 1,
+        pool_cap: 100,
+        gen_multiplier: 1,
+        d_model: 16,
+        heads: 2,
+        walk_len: 6,
+        ..Default::default()
+    };
+    group.bench_function("FairGen_micro", |b| {
+        b.iter(|| {
+            let input = FairGenInput::unlabeled(g.clone());
+            let mut t = FairGen::new(cfg).train(&input, 1);
+            t.generate(2)
+        })
+    });
+    group.finish();
+}
+
+/// Walk-corpus sampling versus edge density: the Figure-8(b) shape at the
+/// substrate level.
+fn bench_corpus_vs_density(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8b_corpus_vs_density");
+    for (i, density) in [0.005f64, 0.02, 0.05].iter().enumerate() {
+        let g = er_by_density(800, *density, 11 + i as u64);
+        let walker = fairgen_walks::Node2VecWalker::default();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{density}")),
+            density,
+            |b, _| {
+                let mut rng = StdRng::seed_from_u64(5);
+                b.iter(|| walker.walk_corpus(&g, 200, 10, &mut rng))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_step_vs_nodes, bench_fit_generate, bench_corpus_vs_density
+}
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Criterion microbenchmarks for the hot substrates: walk sampling, metric
+//! computation, assembly, and one training step of each neural model.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use fairgen_data::Dataset;
+use fairgen_graph::{NodeSet, TransitionOp};
+use fairgen_metrics::all_metrics;
+use fairgen_nn::param::HasParams;
+use fairgen_nn::{Activation, Adam, LstmLm, Mat, Mlp, TransformerConfig, TransformerLm};
+use fairgen_walks::{diffusion_core, Node2VecWalker, ScoreMatrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_walks(c: &mut Criterion) {
+    let lg = Dataset::Ca.generate(1);
+    let g = lg.graph;
+    let walker = Node2VecWalker::new(1.0, 2.0);
+    c.bench_function("node2vec_walk_T10", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| walker.walk(&g, 0, 10, &mut rng))
+    });
+    c.bench_function("walk_corpus_100xT10", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| walker.walk_corpus(&g, 100, 10, &mut rng))
+    });
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let lg = Dataset::Ca.generate(1);
+    let g = lg.graph;
+    c.bench_function("all_nine_metrics_CA", |b| b.iter(|| all_metrics(&g)));
+    c.bench_function("triangle_count_CA", |b| b.iter(|| g.triangle_count()));
+}
+
+fn bench_assembly(c: &mut Criterion) {
+    let lg = Dataset::Ca.generate(1);
+    let g = lg.graph;
+    let walker = Node2VecWalker::default();
+    let mut rng = StdRng::seed_from_u64(3);
+    let walks = walker.walk_corpus(&g, 2000, 10, &mut rng);
+    c.bench_function("assemble_CA", |b| {
+        b.iter_batched(
+            || {
+                let mut s = ScoreMatrix::new(g.n());
+                s.add_walks(&walks);
+                (s, StdRng::seed_from_u64(4))
+            },
+            |(s, mut rng)| s.assemble(g.m(), &mut rng),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_diffusion(c: &mut Criterion) {
+    let lg = Dataset::Blog.generate(1);
+    let g = lg.graph;
+    let s = lg.protected.unwrap();
+    c.bench_function("diffusion_core_BLOG", |b| {
+        b.iter(|| diffusion_core(&g, &s, 0.9, 3))
+    });
+    let op = TransitionOp::new(&g);
+    let full = NodeSet::full(g.n());
+    c.bench_function("transition_matvec_BLOG", |b| {
+        let v = vec![1.0 / g.n() as f64; g.n()];
+        b.iter(|| op.apply_restricted(&v, &full))
+    });
+}
+
+fn bench_models(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let cfg = TransformerConfig { vocab: 400, d_model: 32, heads: 4, layers: 1, max_len: 12 };
+    let mut lm = TransformerLm::new(cfg, &mut rng);
+    let mut opt = Adam::new(0.01);
+    let seq: Vec<usize> = (0..10).map(|i| (i * 37) % 400).collect();
+    c.bench_function("transformer_train_step_n400", |b| {
+        b.iter(|| {
+            lm.zero_grad();
+            lm.train_step(&seq, 1.0);
+            opt.step(&mut lm);
+        })
+    });
+    c.bench_function("transformer_sample_T10", |b| {
+        let mut rng = StdRng::seed_from_u64(6);
+        b.iter(|| lm.sample(10, 1.0, &mut rng))
+    });
+    let mut lstm = LstmLm::new(400, 32, 48, &mut rng);
+    let mut opt2 = Adam::new(0.01);
+    c.bench_function("lstm_train_step_n400", |b| {
+        b.iter(|| {
+            lstm.zero_grad();
+            lstm.train_step(&seq, 1.0);
+            opt2.step(&mut lstm);
+        })
+    });
+    let mut mlp = Mlp::new(&[32, 64, 64, 9], Activation::Tanh, &mut rng);
+    let x = Mat::from_fn(128, 32, |r, c| ((r + c) as f64 * 0.1).sin());
+    let targets: Vec<usize> = (0..128).map(|i| i % 9).collect();
+    c.bench_function("mlp_batch128_step", |b| {
+        b.iter(|| {
+            mlp.zero_grad();
+            let logits = mlp.forward(&x);
+            let (_, d) = fairgen_nn::cross_entropy(&logits, &targets, None);
+            mlp.backward(&d);
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_walks, bench_metrics, bench_assembly, bench_diffusion, bench_models
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figure 4 — overall discrepancy `R(G, G̃, f)` for nine metrics across the
+//! seven datasets and all nine methods (FairGen + 3 ablations + 5 baselines).
+//!
+//! The paper presents nine bar-chart panels (one per metric); this binary
+//! prints one table per dataset with methods as rows and metrics as columns.
+//! Smaller is better everywhere.
+
+use fairgen_bench::{budget_scale, fmt4, header, method_roster, print_row};
+use fairgen_data::Dataset;
+use fairgen_metrics::{overall_discrepancies, Metric};
+
+fn main() {
+    header("Figure 4", "overall discrepancy R(G, G~, f_m), nine metrics");
+    let scale = budget_scale();
+    for ds in Dataset::ALL {
+        let lg = ds.generate(42);
+        println!(
+            "--- {} (n={}, m={}) ---",
+            lg.name,
+            lg.graph.n(),
+            lg.graph.m()
+        );
+        let metric_names: Vec<String> =
+            Metric::ALL.iter().map(|m| m.abbrev().to_string()).collect();
+        print_row("method", &metric_names);
+        for method in method_roster(&lg, scale, 42) {
+            let generated = method.fit_generate(&lg.graph, 1234);
+            let r = overall_discrepancies(&lg.graph, &generated);
+            let cells: Vec<String> = r.iter().map(|&v| fmt4(v)).collect();
+            print_row(method.name(), &cells);
+        }
+        println!();
+    }
+}

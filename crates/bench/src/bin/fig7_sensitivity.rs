@@ -1,0 +1,72 @@
+//! Figure 7 — parameter sensitivity: the overall loss `J`, generator loss
+//! `J_G`, and discriminator loss `J_P + J_L + J_F + J_S` as functions of
+//! walk length `T` and sampling ratio `r` (panels a–c), and the overall loss
+//! as a function of the learning threshold `−λ` (panel d).
+//!
+//! Runs on the three-class toy graph (so J_P/J_L/J_F are non-trivial and
+//! the 2-D grid completes quickly);
+//! the paper's qualitative shapes (smooth J, generator-dominated loss,
+//! discriminator loss peaking at r ≈ 0.5, lower J for confident −λ) are
+//! what EXPERIMENTS.md compares.
+
+use fairgen_bench::header;
+use fairgen_core::{FairGen, FairGenConfig, FairGenInput};
+use fairgen_data::toy_multiclass;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn input() -> FairGenInput {
+    let lg = toy_multiclass(42);
+    let mut rng = StdRng::seed_from_u64(7);
+    let labeled = lg.sample_few_shot_labels(4, &mut rng);
+    FairGenInput {
+        graph: lg.graph.clone(),
+        labeled,
+        num_classes: lg.num_classes,
+        protected: lg.protected.clone(),
+    }
+}
+
+fn run(cfg: FairGenConfig, input: &FairGenInput) -> (f64, f64, f64) {
+    let trained = FairGen::new(cfg).train(input, 11);
+    let obj = trained.final_objective().expect("has cycles");
+    (obj.total(), obj.j_g, obj.discriminator_part())
+}
+
+fn main() {
+    header("Figure 7", "sensitivity of J, J_G, J_disc to T, r, and lambda");
+    let input = input();
+    let base = FairGenConfig {
+        num_walks: 200,
+        cycles: 2,
+        gen_epochs: 2,
+        pool_cap: 600,
+        d_model: 16,
+        heads: 2,
+        lr: 0.02,
+        ..Default::default()
+    };
+
+    println!("(a–c) grid over walk length T and sampling ratio r:");
+    println!("{:>4} {:>5} {:>10} {:>10} {:>10}", "T", "r", "J", "J_G", "J_disc");
+    for walk_len in [4usize, 6, 8, 10, 12] {
+        for r in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let mut cfg = base;
+            cfg.walk_len = walk_len;
+            cfg.ratio_r = r;
+            let (j, j_g, j_d) = run(cfg, &input);
+            println!("{walk_len:>4} {r:>5.2} {j:>10.4} {j_g:>10.4} {j_d:>10.4}");
+        }
+    }
+
+    println!();
+    println!("(d) overall loss J vs learning threshold -lambda:");
+    println!("{:>8} {:>10}", "-lambda", "J");
+    for neg_lambda in [0.1, 0.25, 0.4, 0.55, 0.7, 0.85, 1.0] {
+        let mut cfg = base;
+        cfg.lambda_init = neg_lambda;
+        cfg.lambda_growth = 1.0;
+        let (j, _, _) = run(cfg, &input);
+        println!("{neg_lambda:>8.2} {j:>10.4}");
+    }
+}

@@ -1,0 +1,59 @@
+//! Figure 8 — scalability of FairGen on ER graphs: (a) running time versus
+//! the number of nodes at fixed edge density 0.005; (b) running time versus
+//! edge density at a fixed node count. The paper's claim is near-linear
+//! scaling in both.
+//!
+//! Node counts are scaled from the paper's 500–5000 range to keep a single
+//! CPU run short; the *shape* (≈linear) is the reproduced quantity.
+
+use fairgen_bench::header;
+use fairgen_core::{FairGen, FairGenConfig, FairGenInput};
+use fairgen_data::er_by_density;
+use std::time::Instant;
+
+fn time_fairgen(n: usize, density: f64) -> f64 {
+    let g = er_by_density(n, density, 7);
+    let input = FairGenInput::unlabeled(g);
+    let cfg = FairGenConfig {
+        num_walks: 200,
+        cycles: 1,
+        gen_epochs: 1,
+        pool_cap: 400,
+        gen_multiplier: 2,
+        d_model: 16,
+        heads: 2,
+        ..Default::default()
+    };
+    let start = Instant::now();
+    let mut trained = FairGen::new(cfg).train(&input, 3);
+    let _ = trained.generate(4);
+    start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    header("Figure 8", "FairGen running time vs graph size and density");
+    println!("(a) edge density fixed at 0.005, increasing node count:");
+    println!("{:>7} {:>12}", "nodes", "seconds");
+    let mut prev: Option<(usize, f64)> = None;
+    for n in [500usize, 1000, 1500, 2000, 2500, 3000] {
+        let secs = time_fairgen(n, 0.005);
+        let growth = prev
+            .map(|(pn, ps)| format!("  (x{:.2} for x{:.2} nodes)", secs / ps, n as f64 / pn as f64))
+            .unwrap_or_default();
+        println!("{n:>7} {secs:>12.3}{growth}");
+        prev = Some((n, secs));
+    }
+
+    println!();
+    println!("(b) node count fixed at 1500, increasing edge density:");
+    println!("{:>8} {:>12}", "density", "seconds");
+    let mut prev: Option<(f64, f64)> = None;
+    for density in [0.005, 0.01, 0.02, 0.03, 0.04, 0.05] {
+        let secs = time_fairgen(1500, density);
+        let growth = prev
+            .map(|(pd, ps)| format!("  (x{:.2} for x{:.2} density)", secs / ps, density / pd))
+            .unwrap_or_default();
+        println!("{density:>8.3} {secs:>12.3}{growth}");
+        prev = Some((density, secs));
+    }
+}

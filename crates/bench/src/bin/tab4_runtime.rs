@@ -1,0 +1,53 @@
+//! Table IV — running time (seconds) of every method on the seven
+//! benchmark datasets (fit + generate). The paper's shape: ER/BA are
+//! near-instant, deep models are orders of magnitude slower, FairGen is
+//! much faster than NetGAN while TagGen-class models sit in between.
+
+use fairgen_baselines::{
+    BaGenerator, ErGenerator, GraphGenerator, NetGanGenerator, TagGenGenerator,
+};
+use fairgen_bench::{bench_fairgen_config, bench_gae, bench_walklm_budget, budget_scale, header, print_row};
+use fairgen_core::FairGenGenerator;
+use fairgen_data::Dataset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    header("Table IV", "running time in seconds (fit + generate)");
+    let scale = budget_scale();
+    let names = ["ER", "BA", "GAE", "NetGAN", "TagGen", "FairGen"];
+    let ds_names: Vec<String> = Dataset::ALL.iter().map(|d| d.name().to_string()).collect();
+    print_row("method", &ds_names);
+    let mut rows: Vec<Vec<String>> = vec![Vec::new(); names.len()];
+    for ds in Dataset::ALL {
+        let lg = ds.generate(42);
+        let labeled = if lg.labels.is_some() {
+            let mut rng = StdRng::seed_from_u64(42);
+            lg.sample_few_shot_labels(4, &mut rng)
+        } else {
+            Vec::new()
+        };
+        let methods: Vec<Box<dyn GraphGenerator>> = vec![
+            Box::new(ErGenerator),
+            Box::new(BaGenerator),
+            Box::new(bench_gae(scale)),
+            Box::new(NetGanGenerator { budget: bench_walklm_budget(scale), ..Default::default() }),
+            Box::new(TagGenGenerator { budget: bench_walklm_budget(scale), ..Default::default() }),
+            Box::new(FairGenGenerator::new(
+                bench_fairgen_config(scale),
+                labeled,
+                lg.num_classes,
+                lg.protected.clone(),
+            )),
+        ];
+        for (i, m) in methods.iter().enumerate() {
+            let start = Instant::now();
+            let _ = m.fit_generate(&lg.graph, 1234);
+            rows[i].push(format!("{:.3}", start.elapsed().as_secs_f64()));
+        }
+    }
+    for (i, name) in names.iter().enumerate() {
+        print_row(name, &rows[i]);
+    }
+}

@@ -1,0 +1,164 @@
+//! Experiment harness for the FairGen reproduction.
+//!
+//! One binary per table/figure of the paper lives in `src/bin/`:
+//!
+//! | binary             | paper artifact                                   |
+//! |--------------------|--------------------------------------------------|
+//! | `fig1_disparity`   | Fig. 1 / Fig. 9 — representation disparity        |
+//! | `fig4_overall`     | Fig. 4 — overall discrepancy, 9 metrics × 7 sets  |
+//! | `fig5_protected`   | Fig. 5 — protected discrepancy, 3 labeled sets    |
+//! | `tab3_ablation`    | Table III — f_S vs negative sampling              |
+//! | `fig6_augmentation`| Fig. 6 — data augmentation for classification     |
+//! | `fig7_sensitivity` | Fig. 7 — loss vs T, r, λ                          |
+//! | `fig8_scalability` | Fig. 8 — runtime vs #nodes and edge density       |
+//! | `tab4_runtime`     | Table IV — running time of every method           |
+//! | `lemma21_bound`    | Lemma 2.1 — empirical containment vs the bound    |
+//!
+//! Run them with `cargo run -p fairgen-bench --release --bin <name>`.
+//! Set `FAIRGEN_SCALE` (default `1.0`) to scale training budgets up or down;
+//! the printed tables note the scale used. EXPERIMENTS.md records a
+//! paper-vs-measured comparison for every artifact.
+
+use fairgen_baselines::{
+    BaGenerator, ErGenerator, GaeGenerator, GraphGenerator, NetGanGenerator,
+    TagGenGenerator, WalkLmBudget,
+};
+use fairgen_core::{FairGenConfig, FairGenGenerator, FairGenVariant};
+use fairgen_data::LabeledGraph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Budget scale from the `FAIRGEN_SCALE` environment variable (default 1.0).
+pub fn budget_scale() -> f64 {
+    std::env::var("FAIRGEN_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|&s| s > 0.0)
+        .unwrap_or(1.0)
+}
+
+fn scaled(base: usize, scale: f64) -> usize {
+    ((base as f64 * scale).round() as usize).max(1)
+}
+
+/// The FairGen training budget used by the experiment binaries.
+pub fn bench_fairgen_config(scale: f64) -> FairGenConfig {
+    let mut cfg = FairGenConfig::default();
+    cfg.num_walks = scaled(600, scale);
+    cfg.cycles = 2;
+    cfg.gen_epochs = 3;
+    cfg.pool_cap = 3 * cfg.num_walks;
+    cfg.gen_multiplier = 4;
+    cfg.lr = 0.02;
+    cfg.q = 0.5;
+    cfg
+}
+
+/// The walk-LM baseline budget used by the experiment binaries.
+pub fn bench_walklm_budget(scale: f64) -> WalkLmBudget {
+    WalkLmBudget {
+        walk_len: 10,
+        train_walks: scaled(700, scale),
+        epochs: 3,
+        negative_weight: 0.3,
+        gen_multiplier: 4,
+        lr: 0.02,
+    }
+}
+
+/// The GAE budget used by the experiment binaries.
+pub fn bench_gae(scale: f64) -> GaeGenerator {
+    GaeGenerator { dim: 24, epochs: scaled(40, scale), lr: 0.05 }
+}
+
+/// The full method roster of Figures 4–6: two random models, three deep
+/// baselines, FairGen and its three ablations (the paper's leftmost bars).
+pub fn method_roster(lg: &LabeledGraph, scale: f64, seed: u64) -> Vec<Box<dyn GraphGenerator>> {
+    let labeled = if lg.labels.is_some() {
+        let mut rng = StdRng::seed_from_u64(seed);
+        lg.sample_few_shot_labels(4, &mut rng)
+    } else {
+        Vec::new()
+    };
+    let cfg = bench_fairgen_config(scale);
+    let fairgen = |variant: FairGenVariant| -> Box<dyn GraphGenerator> {
+        Box::new(
+            FairGenGenerator::new(
+                cfg,
+                labeled.clone(),
+                lg.num_classes,
+                lg.protected.clone(),
+            )
+            .with_variant(variant),
+        )
+    };
+    vec![
+        fairgen(FairGenVariant::Full),
+        fairgen(FairGenVariant::RandomSampling),
+        fairgen(FairGenVariant::NoSelfPaced),
+        fairgen(FairGenVariant::NoParity),
+        Box::new(GaeGenerator { ..bench_gae(scale) }),
+        Box::new(NetGanGenerator { budget: bench_walklm_budget(scale), ..Default::default() }),
+        Box::new(TagGenGenerator { budget: bench_walklm_budget(scale), ..Default::default() }),
+        Box::new(ErGenerator),
+        Box::new(BaGenerator),
+    ]
+}
+
+/// Prints a Markdown-ish table row.
+pub fn print_row<S: std::fmt::Display>(label: &str, cells: &[S]) {
+    print!("{label:<22}");
+    for c in cells {
+        print!(" {c:>9}");
+    }
+    println!();
+}
+
+/// Formats an `f64` to 4 decimals for table cells.
+pub fn fmt4(v: f64) -> String {
+    if v.is_nan() {
+        "nan".to_string()
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Prints the standard experiment header.
+pub fn header(artifact: &str, description: &str) {
+    let scale = budget_scale();
+    println!("=== {artifact} — {description} ===");
+    println!("(budget scale {scale}; smaller is faster, paper-fidelity at 1.0)");
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairgen_data::Dataset;
+
+    #[test]
+    fn roster_has_nine_methods_on_labeled_data() {
+        let lg = Dataset::Blog.generate(1);
+        let roster = method_roster(&lg, 0.1, 1);
+        assert_eq!(roster.len(), 9);
+        let names: Vec<&str> = roster.iter().map(|m| m.name()).collect();
+        assert!(names.contains(&"FairGen"));
+        assert!(names.contains(&"FairGen-R"));
+        assert!(names.contains(&"ER"));
+        assert!(names.contains(&"TagGen"));
+    }
+
+    #[test]
+    fn budget_scaling_shrinks_walks() {
+        let full = bench_fairgen_config(1.0);
+        let small = bench_fairgen_config(0.25);
+        assert!(small.num_walks < full.num_walks);
+        assert_eq!(small.num_walks, 150);
+    }
+
+    #[test]
+    fn fmt4_handles_nan() {
+        assert_eq!(fmt4(f64::NAN), "nan");
+        assert_eq!(fmt4(0.12345), "0.1235");
+    }
+}

@@ -1,0 +1,193 @@
+//! FairGen hyperparameters (paper Section III-B) and ablation variants.
+
+/// Ablation variants studied in the paper's evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FairGenVariant {
+    /// The full model.
+    Full,
+    /// FairGen-R: `f_S` replaced by *uniform* first-order random walks
+    /// (no label guidance, no node2vec bias).
+    RandomSampling,
+    /// FairGen-w/o-SPL: a single cycle, no pseudo-label propagation.
+    NoSelfPaced,
+    /// FairGen-w/o-Parity: `γ = 0` and no fair assembly quota.
+    NoParity,
+    /// Table III's "Negative Sampling": `f_S` replaced by the node2vec
+    /// negative-sampling corpus (structural second-order walks only).
+    NegativeSampling,
+}
+
+impl FairGenVariant {
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            FairGenVariant::Full => "FairGen",
+            FairGenVariant::RandomSampling => "FairGen-R",
+            FairGenVariant::NoSelfPaced => "FairGen-w/o-SPL",
+            FairGenVariant::NoParity => "FairGen-w/o-Parity",
+            FairGenVariant::NegativeSampling => "NegativeSampling",
+        }
+    }
+}
+
+/// Hyperparameters of FairGen. Field names follow the paper's notation;
+/// defaults follow Section III-B where given ("batch size N₁ = 128,
+/// batch iterations T₁ = 3, walk length T = 10, learning rate 0.01,
+/// 4 transformer heads, α = β = γ = 1"), with CPU-scaled model width and
+/// walk counts.
+#[derive(Clone, Copy, Debug)]
+pub struct FairGenConfig {
+    /// Walk length `T` (number of nodes per walk).
+    pub walk_len: usize,
+    /// Number of walks `K` sampled per self-paced cycle.
+    pub num_walks: usize,
+    /// Self-paced cycles `p`.
+    pub cycles: usize,
+    /// Discriminator batch iterations `T₁` per cycle.
+    pub batch_iters: usize,
+    /// Discriminator batch size `N₁`.
+    pub batch_size: usize,
+    /// Structural-walk probability `r` of `f_S`.
+    pub ratio_r: f64,
+    /// Weight `α` of the prediction loss `J_P`.
+    pub alpha: f64,
+    /// Weight `β` of the label-propagation loss `J_L`.
+    pub beta: f64,
+    /// Weight `γ` of the parity regularizer `J_F`.
+    pub gamma: f64,
+    /// Initial self-paced threshold `λ`.
+    pub lambda_init: f64,
+    /// Multiplicative growth of `λ` per cycle (Algorithm 1 step 7).
+    pub lambda_growth: f64,
+    /// Generator width (`d_model`; paper uses embedding dim 100).
+    pub d_model: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Transformer blocks.
+    pub layers: usize,
+    /// Generator training epochs over the walk pools per cycle.
+    pub gen_epochs: usize,
+    /// Unlikelihood weight for negative walks.
+    pub negative_weight: f64,
+    /// Learning rate (shared by generator and discriminator Adam).
+    pub lr: f64,
+    /// Walk-pool cap: `N⁺`/`N⁻` keep only the most recent this-many walks.
+    pub pool_cap: usize,
+    /// Synthetic walks generated for assembly = `num_walks × gen_multiplier`.
+    pub gen_multiplier: usize,
+    /// node2vec `p` for structural walks.
+    pub p: f64,
+    /// node2vec `q` for structural walks.
+    pub q: f64,
+    /// Filter label seeds through the `(δ, t)`-diffusion core (Definition 1).
+    pub use_diffusion_core: bool,
+    /// `δ` of the diffusion core.
+    pub core_delta: f64,
+    /// `t` of the diffusion core.
+    pub core_t: usize,
+}
+
+impl Default for FairGenConfig {
+    fn default() -> Self {
+        FairGenConfig {
+            walk_len: 10,
+            num_walks: 800,
+            cycles: 3,
+            batch_iters: 3,
+            batch_size: 128,
+            ratio_r: 0.5,
+            alpha: 1.0,
+            beta: 1.0,
+            gamma: 1.0,
+            lambda_init: 0.7,
+            lambda_growth: 1.4,
+            d_model: 32,
+            heads: 4,
+            layers: 1,
+            gen_epochs: 3,
+            negative_weight: 0.3,
+            lr: 0.01,
+            pool_cap: 2400,
+            gen_multiplier: 6,
+            p: 1.0,
+            q: 1.0,
+            use_diffusion_core: true,
+            core_delta: 2.0,
+            core_t: 3,
+        }
+    }
+}
+
+impl FairGenConfig {
+    /// A deliberately tiny budget for unit tests.
+    pub fn test_budget() -> Self {
+        FairGenConfig {
+            walk_len: 6,
+            num_walks: 150,
+            cycles: 2,
+            batch_iters: 2,
+            batch_size: 32,
+            d_model: 16,
+            heads: 2,
+            gen_epochs: 2,
+            lr: 0.02,
+            pool_cap: 450,
+            gen_multiplier: 4,
+            ..Default::default()
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate settings.
+    pub fn validate(&self) {
+        assert!(self.walk_len >= 2, "walks need at least two nodes");
+        assert!(self.num_walks > 0 && self.cycles > 0);
+        assert!((0.0..=1.0).contains(&self.ratio_r), "r must be in [0,1]");
+        assert!(self.lambda_init > 0.0 && self.lambda_growth >= 1.0);
+        assert!(self.d_model % self.heads == 0, "d_model must divide by heads");
+        assert!(self.alpha >= 0.0 && self.beta >= 0.0 && self.gamma >= 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_constants() {
+        let c = FairGenConfig::default();
+        assert_eq!(c.walk_len, 10);
+        assert_eq!(c.batch_iters, 3);
+        assert_eq!(c.batch_size, 128);
+        assert_eq!(c.heads, 4);
+        assert_eq!(c.lr, 0.01);
+        assert_eq!(c.alpha, 1.0);
+        assert_eq!(c.beta, 1.0);
+        assert_eq!(c.gamma, 1.0);
+        c.validate();
+    }
+
+    #[test]
+    fn test_budget_is_valid() {
+        FairGenConfig::test_budget().validate();
+    }
+
+    #[test]
+    fn variant_names() {
+        assert_eq!(FairGenVariant::Full.name(), "FairGen");
+        assert_eq!(FairGenVariant::RandomSampling.name(), "FairGen-R");
+        assert_eq!(FairGenVariant::NoSelfPaced.name(), "FairGen-w/o-SPL");
+        assert_eq!(FairGenVariant::NoParity.name(), "FairGen-w/o-Parity");
+    }
+
+    #[test]
+    #[should_panic(expected = "r must be in [0,1]")]
+    fn invalid_r_rejected() {
+        let mut c = FairGenConfig::default();
+        c.ratio_r = 2.0;
+        c.validate();
+    }
+}

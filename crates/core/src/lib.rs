@@ -1,0 +1,45 @@
+//! FAIRGEN — a fairness-aware graph generative model (Zheng et al.,
+//! ICDE 2024) in pure Rust.
+//!
+//! FairGen jointly trains a label-informed walk generator `g_θ` and a fair
+//! discriminator `d_ω` under the objective of Eq. 3:
+//!
+//! ```text
+//! J = J_G + J_P + J_F + J_L + J_S
+//! ```
+//!
+//! * `J_G` — autoregressive reconstruction of walks sampled by the
+//!   label-informed context sampler `f_S` (module M1), trained
+//!   contrastively against negative walks;
+//! * `J_P` — cost-sensitive prediction loss with the group weights `ξ` of
+//!   Eq. 9 (module M2);
+//! * `J_F` — the statistical-parity regularizer `γ Σ_c ‖m⁺_c − m⁻_c‖`
+//!   (Eqs. 10–11);
+//! * `J_L`, `J_S` — the self-paced label-propagation terms of Eq. 12 with
+//!   the closed-form vector update of Eq. 14 (module M3).
+//!
+//! Training follows Algorithm 1 step-for-step; generation follows the fair
+//! assembly of Section II-D (protected-volume preservation, minimum degree
+//! one, exact edge-count matching).
+//!
+//! Entry points:
+//!
+//! * [`FairGen`] + [`FairGenConfig`] — configure and train.
+//! * [`FairGenInput`] — graph, few-shot labels, protected group.
+//! * [`TrainedFairGen`] — generate graphs, predict labels, inspect the
+//!   per-cycle [`CycleReport`]s.
+//! * [`FairGenVariant`] — the paper's ablations (FairGen-R, w/o SPL,
+//!   w/o Parity, negative sampling).
+
+pub mod adapter;
+pub mod config;
+pub mod disparity;
+pub mod model;
+pub mod objective;
+pub mod selfpaced;
+
+pub use adapter::FairGenGenerator;
+pub use disparity::{group_walks, measure_disparity, DisparityReport};
+pub use config::{FairGenConfig, FairGenVariant};
+pub use model::{CycleReport, FairGen, FairGenInput, TrainedFairGen};
+pub use objective::ObjectiveReport;

@@ -1,0 +1,880 @@
+//! The FairGen model: joint training (Algorithm 1) and fair generation.
+
+use fairgen_graph::{Graph, NodeId, NodeSet};
+use fairgen_nn::param::HasParams;
+use fairgen_nn::{
+    clip_gradients, cross_entropy, log_softmax, softmax_rows, Activation, Adam, Mat, Mlp,
+    TransformerConfig, TransformerLm,
+};
+use fairgen_walks::context::ContextEntry;
+use fairgen_walks::{diffusion_core, negative, ContextSampler, ContextSamplerConfig, Walk};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::{FairGenConfig, FairGenVariant};
+use crate::objective::ObjectiveReport;
+use crate::selfpaced::SelfPacedState;
+
+/// The training input of Problem 1: an observed graph, few-shot labels, and
+/// the protected-group membership.
+#[derive(Clone, Debug)]
+pub struct FairGenInput {
+    /// The observed graph `G`.
+    pub graph: Graph,
+    /// Few-shot labeled examples `L` (at least one per class when labeled).
+    pub labeled: Vec<(NodeId, usize)>,
+    /// Number of classes `C` (0 for unlabeled graphs).
+    pub num_classes: usize,
+    /// The protected group `S⁺`.
+    pub protected: Option<NodeSet>,
+}
+
+impl FairGenInput {
+    /// An unlabeled input (FairGen degrades to a structural generator).
+    pub fn unlabeled(graph: Graph) -> Self {
+        FairGenInput { graph, labeled: Vec::new(), num_classes: 0, protected: None }
+    }
+
+    /// Whether label information is available.
+    pub fn has_labels(&self) -> bool {
+        self.num_classes > 0 && !self.labeled.is_empty()
+    }
+}
+
+/// Per-cycle training diagnostics.
+#[derive(Clone, Debug)]
+pub struct CycleReport {
+    /// Self-paced cycle index `l` (1-based).
+    pub cycle: usize,
+    /// Threshold `λ` at the end of the cycle.
+    pub lambda: f64,
+    /// Number of pseudo-labeled vertices (excluding ground truth).
+    pub pseudo_labels: usize,
+    /// The objective terms at the end of the cycle.
+    pub objective: ObjectiveReport,
+}
+
+/// The FairGen trainer.
+#[derive(Clone, Copy, Debug)]
+pub struct FairGen {
+    cfg: FairGenConfig,
+    variant: FairGenVariant,
+}
+
+impl FairGen {
+    /// A trainer with the given configuration (full model).
+    pub fn new(cfg: FairGenConfig) -> Self {
+        cfg.validate();
+        FairGen { cfg, variant: FairGenVariant::Full }
+    }
+
+    /// Selects an ablation variant.
+    pub fn with_variant(mut self, variant: FairGenVariant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FairGenConfig {
+        &self.cfg
+    }
+
+    /// The variant.
+    pub fn variant(&self) -> FairGenVariant {
+        self.variant
+    }
+
+    /// Trains on `input` (Algorithm 1), deterministically in `seed`.
+    pub fn train(&self, input: &FairGenInput, seed: u64) -> TrainedFairGen {
+        let cfg = self.cfg;
+        let variant = self.variant;
+        let g = &input.graph;
+        let n = g.n();
+        assert!(n >= 2, "graph too small");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let has_labels = input.has_labels();
+        let parity_on = cfg.gamma > 0.0
+            && variant != FairGenVariant::NoParity
+            && input.protected.is_some();
+
+        // Generator g_θ.
+        let gen_cfg = TransformerConfig {
+            vocab: n,
+            d_model: cfg.d_model,
+            heads: cfg.heads,
+            layers: cfg.layers,
+            max_len: cfg.walk_len + 2,
+        };
+        let mut generator = TransformerLm::new(gen_cfg, &mut rng);
+        let mut opt_gen = Adam::new(cfg.lr);
+
+        // Discriminator d_ω: a three-layer MLP on the shared embeddings.
+        let num_classes = input.num_classes.max(1);
+        let mut discriminator = Mlp::new(
+            &[cfg.d_model, 64, 64, num_classes],
+            Activation::Tanh,
+            &mut rng,
+        );
+        let mut opt_disc = Adam::new(cfg.lr);
+
+        // Step 1: initialize d_ω and the self-paced vectors from L.
+        let mut sp = SelfPacedState::init(
+            n,
+            num_classes,
+            if has_labels { &input.labeled } else { &[] },
+            cfg.lambda_init,
+        );
+
+        // f_S sampler. Ablations change what it samples:
+        //   RandomSampling  — uniform walks, no label entries (p=q=1, r=1);
+        //   NegativeSampling — node2vec structural walks only (r=1).
+        let (ratio_r, p, q, use_label_entries) = match variant {
+            FairGenVariant::RandomSampling => (1.0, 1.0, 1.0, false),
+            FairGenVariant::NegativeSampling => (1.0, cfg.p, cfg.q, false),
+            _ => (cfg.ratio_r, cfg.p, cfg.q, true),
+        };
+        let sampler_cfg =
+            ContextSamplerConfig { walk_len: cfg.walk_len, ratio_r, p, q };
+        let mut sampler = ContextSampler::new(sampler_cfg, Vec::new());
+        if use_label_entries {
+            sampler.set_entries(build_entries(
+                g,
+                &sp.labeled_set(),
+                num_classes,
+                input.protected.as_ref(),
+                &cfg,
+            ));
+        }
+
+        // Step 2: initial pools N⁺ / N⁻.
+        let mut n_pos = sampler.sample_corpus(g, cfg.num_walks, &mut rng);
+        let mut n_neg =
+            negative::random_sequences(n, cfg.num_walks, cfg.walk_len, &mut rng);
+
+        let cycles = if variant == FairGenVariant::NoSelfPaced { 1 } else { cfg.cycles };
+        let mut history: Vec<CycleReport> = Vec::with_capacity(cycles);
+
+        for cycle in 1..=cycles {
+            // Step 4: update g_θ from N⁺ and N⁻.
+            train_generator(
+                &mut generator,
+                &mut opt_gen,
+                &n_pos,
+                &n_neg,
+                cfg.gen_epochs,
+                cfg.negative_weight,
+                &mut rng,
+            );
+
+            // Step 5: new positive walks under the updated self-paced state.
+            if use_label_entries {
+                sampler.set_entries(build_entries(
+                    g,
+                    &sp.labeled_set(),
+                    num_classes,
+                    input.protected.as_ref(),
+                    &cfg,
+                ));
+            }
+            n_pos.extend(sampler.sample_corpus(g, cfg.num_walks, &mut rng));
+            cap_pool(&mut n_pos, cfg.pool_cap);
+
+            // Step 6: new negative walks from the current generator.
+            for _ in 0..cfg.num_walks {
+                let seq = generator.sample(cfg.walk_len, 1.0, &mut rng);
+                n_neg.push(seq.iter().map(|&t| t as NodeId).collect());
+            }
+            cap_pool(&mut n_neg, cfg.pool_cap);
+
+            // Steps 7–8: augment λ, update v, augment L.
+            let mut pseudo = 0usize;
+            if has_labels && variant != FairGenVariant::NoSelfPaced {
+                sp.augment_lambda(cfg.lambda_growth);
+                let lp = predict_log_probs(&discriminator, &generator, n);
+                pseudo = sp.update(&lp);
+            }
+
+            // Steps 9–11: T₁ discriminator updates on J_P + J_L + J_F.
+            if has_labels {
+                for _ in 0..cfg.batch_iters {
+                    discriminator_step(
+                        &mut discriminator,
+                        &mut opt_disc,
+                        &generator,
+                        &sp,
+                        &input.labeled,
+                        input.protected.as_ref(),
+                        &cfg,
+                        parity_on,
+                        &mut rng,
+                    );
+                }
+            }
+
+            let objective = compute_objective(
+                &mut generator,
+                &discriminator,
+                &sp,
+                &input.labeled,
+                input.protected.as_ref(),
+                &n_pos,
+                &cfg,
+                parity_on,
+                has_labels,
+            );
+            history.push(CycleReport { cycle, lambda: sp.lambda, pseudo_labels: pseudo, objective });
+        }
+
+        // Protected-volume target for fair assembly: the number of edges
+        // incident to S⁺ in the input graph.
+        let protected_incident = input.protected.as_ref().map(|s| {
+            g.edges().filter(|&(u, v)| s.contains(u) || s.contains(v)).count()
+        });
+
+        TrainedFairGen {
+            cfg,
+            variant,
+            generator,
+            discriminator,
+            graph: g.clone(),
+            protected: input.protected.clone(),
+            protected_incident,
+            selfpaced: sp,
+            history,
+            parity_on,
+        }
+    }
+}
+
+/// A trained FairGen model.
+#[derive(Clone, Debug)]
+pub struct TrainedFairGen {
+    cfg: FairGenConfig,
+    variant: FairGenVariant,
+    generator: TransformerLm,
+    discriminator: Mlp,
+    graph: Graph,
+    protected: Option<NodeSet>,
+    protected_incident: Option<usize>,
+    selfpaced: SelfPacedState,
+    /// Per-cycle diagnostics.
+    pub history: Vec<CycleReport>,
+    parity_on: bool,
+}
+
+impl TrainedFairGen {
+    /// The variant this model was trained as.
+    pub fn variant(&self) -> FairGenVariant {
+        self.variant
+    }
+
+    /// The final self-paced state (selection vectors, λ, pseudo-labels).
+    pub fn self_paced(&self) -> &SelfPacedState {
+        &self.selfpaced
+    }
+
+    /// The final objective report.
+    pub fn final_objective(&self) -> Option<&ObjectiveReport> {
+        self.history.last().map(|c| &c.objective)
+    }
+
+    /// Generates a synthetic graph with the fair assembly of Section II-D.
+    pub fn generate(&mut self, seed: u64) -> Graph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut scores = fairgen_walks::ScoreMatrix::new(self.graph.n());
+        let total = self.cfg.num_walks * self.cfg.gen_multiplier;
+        for _ in 0..total {
+            let seq = self.generator.sample(self.cfg.walk_len, 1.0, &mut rng);
+            let walk: Walk = seq.iter().map(|&t| t as NodeId).collect();
+            scores.add_walk(&walk);
+        }
+        match (&self.protected, self.protected_incident, self.parity_on) {
+            (Some(s), Some(quota), true) => {
+                scores.assemble_fair(self.graph.m(), s, quota, &mut rng)
+            }
+            _ => scores.assemble(self.graph.m(), &mut rng),
+        }
+    }
+
+    /// Per-node class log-probabilities under the discriminator (`n × C`).
+    pub fn predict_log_probs(&self) -> Mat {
+        predict_log_probs(&self.discriminator, &self.generator, self.graph.n())
+    }
+
+    /// Hard label predictions (argmax class per node).
+    pub fn predict_labels(&self) -> Vec<usize> {
+        let lp = self.predict_log_probs();
+        (0..lp.rows())
+            .map(|r| {
+                (0..lp.cols())
+                    .max_by(|&a, &b| {
+                        lp.get(r, a).partial_cmp(&lp.get(r, b)).expect("finite")
+                    })
+                    .expect("at least one class")
+            })
+            .collect()
+    }
+
+    /// Mean NLL the generator assigns to a walk corpus — the group-wise
+    /// reconstruction loss `R_S(θ)` of Eq. 2 when the corpus is sampled from
+    /// the subgraph `G_S`.
+    pub fn walk_nll(&mut self, walks: &[Walk]) -> f64 {
+        if walks.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = walks
+            .iter()
+            .map(|w| {
+                let seq: Vec<usize> = w.iter().map(|&v| v as usize).collect();
+                self.generator.nll(&seq)
+            })
+            .sum();
+        total / walks.len() as f64
+    }
+}
+
+/// Caps a walk pool to its most recent `cap` entries.
+fn cap_pool(pool: &mut Vec<Walk>, cap: usize) {
+    if pool.len() > cap {
+        let drop = pool.len() - cap;
+        pool.drain(0..drop);
+    }
+}
+
+/// Builds the f_S entries from the current (pseudo-)labeled set: one entry
+/// per class × group, seeds filtered through the diffusion core when
+/// enabled. Balancing protected and unprotected entries with equal weight is
+/// how FairGen approximately minimizes both R(θ) and R_{S⁺}(θ).
+fn build_entries(
+    g: &Graph,
+    labeled: &[(NodeId, usize)],
+    num_classes: usize,
+    protected: Option<&NodeSet>,
+    cfg: &FairGenConfig,
+) -> Vec<ContextEntry> {
+    let n = g.n();
+    let mut by_class: Vec<Vec<NodeId>> = vec![Vec::new(); num_classes];
+    for &(v, c) in labeled {
+        by_class[c].push(v);
+    }
+    let mut entries = Vec::new();
+    // Entries are weighted by their support size: the label-guided branch
+    // then spends walk mass proportionally to how much context each group
+    // actually has, instead of over-concentrating on the (small) protected
+    // support and assembling a spurious near-clique on S⁺. The protected
+    // group's guarantee comes from the parity term and the assembly quota,
+    // not from walk over-sampling.
+    let mut push_entry = |seeds: Vec<NodeId>, support: NodeSet| {
+        if seeds.is_empty() || support.is_empty() {
+            return;
+        }
+        let seeds = if cfg.use_diffusion_core {
+            let core = diffusion_core(g, &support, cfg.core_delta, cfg.core_t);
+            let in_core: Vec<NodeId> =
+                seeds.iter().copied().filter(|&s| core.contains(s)).collect();
+            if in_core.is_empty() {
+                seeds
+            } else {
+                in_core
+            }
+        } else {
+            seeds
+        };
+        let weight = support.len().max(1) as f64;
+        entries.push(ContextEntry { seeds, support, weight });
+    };
+    for members in by_class.iter() {
+        if members.is_empty() {
+            continue;
+        }
+        let support = NodeSet::from_members(n, members);
+        match protected {
+            Some(s) => {
+                let prot: Vec<NodeId> =
+                    members.iter().copied().filter(|&v| s.contains(v)).collect();
+                let unprot: Vec<NodeId> =
+                    members.iter().copied().filter(|&v| !s.contains(v)).collect();
+                // Protected sub-entry confined to the class∩group context
+                // (falls back to the class support when the intersection is
+                // too thin to walk in).
+                if !prot.is_empty() {
+                    let prot_support = support.intersect(s);
+                    let sup = if prot_support.len() >= 2 { prot_support } else { support.clone() };
+                    push_entry(prot.clone(), sup);
+                }
+                if !unprot.is_empty() {
+                    push_entry(unprot, support.clone());
+                }
+            }
+            None => push_entry(members.clone(), support),
+        }
+    }
+    // If the protected group never appears among the labeled vertices, add a
+    // group-level entry so its context is still sampled (label scarcity is
+    // exactly the C3 challenge).
+    if let Some(s) = protected {
+        let has_protected_seed = entries
+            .iter()
+            .any(|e| e.seeds.iter().any(|&v| s.contains(v)));
+        if !has_protected_seed && s.len() >= 2 {
+            let seeds: Vec<NodeId> = s.members().iter().copied().take(10).collect();
+            let weight = s.len() as f64;
+            entries.push(ContextEntry { seeds, support: s.clone(), weight });
+        }
+    }
+    entries
+}
+
+/// Step 4 of Algorithm 1: likelihood on N⁺, unlikelihood on N⁻.
+fn train_generator(
+    generator: &mut TransformerLm,
+    opt: &mut Adam,
+    n_pos: &[Walk],
+    n_neg: &[Walk],
+    epochs: usize,
+    negative_weight: f64,
+    rng: &mut StdRng,
+) {
+    if n_pos.is_empty() {
+        return;
+    }
+    let batch = 8usize;
+    for _ in 0..epochs {
+        let mut order: Vec<usize> = (0..n_pos.len()).collect();
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.gen_range(0..=i));
+        }
+        for chunk in order.chunks(batch) {
+            generator.zero_grad();
+            for &i in chunk {
+                let seq: Vec<usize> = n_pos[i].iter().map(|&v| v as usize).collect();
+                generator.train_step(&seq, 1.0);
+                if negative_weight > 0.0 && !n_neg.is_empty() {
+                    let neg = &n_neg[rng.gen_range(0..n_neg.len())];
+                    let seq: Vec<usize> = neg.iter().map(|&v| v as usize).collect();
+                    generator.train_step(&seq, -negative_weight);
+                }
+            }
+            clip_gradients(generator, 5.0);
+            opt.step(generator);
+        }
+    }
+}
+
+/// Node features for the discriminator: rows of the generator's token
+/// embedding (the "mutually beneficial" coupling of M1 and M2).
+fn node_features(generator: &TransformerLm, nodes: &[NodeId]) -> Mat {
+    let emb = generator.token_embedding();
+    let dim = emb.dim();
+    let mut x = Mat::zeros(nodes.len(), dim);
+    for (r, &v) in nodes.iter().enumerate() {
+        x.row_mut(r).copy_from_slice(emb.vector(v as usize));
+    }
+    x
+}
+
+/// Inference: class log-probabilities for every node.
+fn predict_log_probs(discriminator: &Mlp, generator: &TransformerLm, n: usize) -> Mat {
+    let nodes: Vec<NodeId> = (0..n as NodeId).collect();
+    let x = node_features(generator, &nodes);
+    let logits = discriminator.forward_inference(&x);
+    log_softmax(&logits)
+}
+
+/// Cost-sensitive weights ξ of Eq. 9, normalized over the batch by
+/// `cross_entropy` itself.
+fn xi_weight(v: NodeId, protected: Option<&NodeSet>) -> f64 {
+    match protected {
+        Some(s) => {
+            let plus = s.len().max(1) as f64;
+            let minus = (s.universe() - s.len()).max(1) as f64;
+            if s.contains(v) {
+                1.0 / plus
+            } else {
+                1.0 / minus
+            }
+        }
+        None => 1.0,
+    }
+}
+
+/// One discriminator update (Algorithm 1 step 10): a gradient step on
+/// `J_P + J_L + J_F` over a sampled batch.
+#[allow(clippy::too_many_arguments)]
+fn discriminator_step(
+    discriminator: &mut Mlp,
+    opt: &mut Adam,
+    generator: &TransformerLm,
+    sp: &SelfPacedState,
+    ground_truth: &[(NodeId, usize)],
+    protected: Option<&NodeSet>,
+    cfg: &FairGenConfig,
+    parity_on: bool,
+    rng: &mut StdRng,
+) {
+    let augmented = sp.labeled_set();
+    if augmented.is_empty() {
+        return;
+    }
+    let truth_mask: std::collections::HashSet<NodeId> =
+        ground_truth.iter().map(|&(v, _)| v).collect();
+    // Sample N₁ labeled vertices.
+    let mut batch: Vec<(NodeId, usize)> = Vec::with_capacity(cfg.batch_size);
+    for _ in 0..cfg.batch_size.min(4 * augmented.len()) {
+        batch.push(augmented[rng.gen_range(0..augmented.len())]);
+    }
+    let nodes: Vec<NodeId> = batch.iter().map(|&(v, _)| v).collect();
+    let targets: Vec<usize> = batch.iter().map(|&(_, c)| c).collect();
+    // J_P for ground truth (weight α·ξ), J_L for pseudo labels (weight β·ξ).
+    let weights: Vec<f64> = batch
+        .iter()
+        .map(|&(v, _)| {
+            let base = if truth_mask.contains(&v) { cfg.alpha } else { cfg.beta };
+            base * xi_weight(v, protected)
+        })
+        .collect();
+    discriminator.zero_grad();
+    let x = node_features(generator, &nodes);
+    let logits = discriminator.forward(&x);
+    let (_, dlogits) = cross_entropy(&logits, &targets, Some(&weights));
+    discriminator.backward(&dlogits);
+
+    // J_F: statistical parity over S⁺ vs S⁻ (Eqs. 10–11) on a group batch.
+    if parity_on {
+        if let Some(s) = protected {
+            let plus: Vec<NodeId> = s.members().to_vec();
+            let minus_all = s.complement();
+            let sample_size = plus.len().clamp(1, cfg.batch_size);
+            let minus: Vec<NodeId> = (0..sample_size)
+                .map(|_| {
+                    minus_all.members()[rng.gen_range(0..minus_all.len())]
+                })
+                .collect();
+            if !plus.is_empty() && !minus.is_empty() {
+                let dlogits = parity_gradient(
+                    discriminator,
+                    generator,
+                    &plus,
+                    &minus,
+                    cfg.gamma,
+                );
+                discriminator.backward(&dlogits);
+            }
+        }
+    }
+    clip_gradients(discriminator, 5.0);
+    opt.step(discriminator);
+}
+
+/// Computes the gradient of `γ Σ_c |m⁺_c − m⁻_c|` with respect to the
+/// discriminator logits of the concatenated `[plus; minus]` batch, leaving
+/// the forward cache populated for the subsequent backward call.
+fn parity_gradient(
+    discriminator: &mut Mlp,
+    generator: &TransformerLm,
+    plus: &[NodeId],
+    minus: &[NodeId],
+    gamma: f64,
+) -> Mat {
+    let mut nodes: Vec<NodeId> = Vec::with_capacity(plus.len() + minus.len());
+    nodes.extend_from_slice(plus);
+    nodes.extend_from_slice(minus);
+    let x = node_features(generator, &nodes);
+    let logits = discriminator.forward(&x);
+    let lp = log_softmax(&logits);
+    let probs = softmax_rows(&logits);
+    let c = logits.cols();
+    let (np, nm) = (plus.len() as f64, minus.len() as f64);
+    // m⁺_c, m⁻_c (Eqs. 10–11).
+    let mut m_plus = vec![0.0; c];
+    let mut m_minus = vec![0.0; c];
+    for r in 0..plus.len() {
+        for (cls, m) in m_plus.iter_mut().enumerate() {
+            *m += lp.get(r, cls) / np;
+        }
+    }
+    for r in plus.len()..nodes.len() {
+        for (cls, m) in m_minus.iter_mut().enumerate() {
+            *m += lp.get(r, cls) / nm;
+        }
+    }
+    // d|m⁺_c − m⁻_c|/dlogits: sign(m⁺_c − m⁻_c)·(∂m⁺_c − ∂m⁻_c), with
+    // ∂ log p_c / ∂ logit_j = δ_cj − p_j.
+    let mut dlogits = Mat::zeros(nodes.len(), c);
+    for cls in 0..c {
+        let sign = (m_plus[cls] - m_minus[cls]).signum();
+        if sign == 0.0 {
+            continue;
+        }
+        for (r, group_coef) in (0..nodes.len()).map(|r| {
+            if r < plus.len() {
+                (r, gamma * sign / np)
+            } else {
+                (r, -gamma * sign / nm)
+            }
+        }) {
+            for j in 0..c {
+                let delta = if j == cls { 1.0 } else { 0.0 };
+                let cur = dlogits.get(r, j);
+                dlogits.set(r, j, cur + group_coef * (delta - probs.get(r, j)));
+            }
+        }
+    }
+    dlogits
+}
+
+/// The parity value `γ Σ_c |m⁺_c − m⁻_c|` (for reporting).
+fn parity_value(
+    discriminator: &Mlp,
+    generator: &TransformerLm,
+    s: &NodeSet,
+    gamma: f64,
+) -> f64 {
+    let plus: Vec<NodeId> = s.members().to_vec();
+    let minus: Vec<NodeId> = s.complement().members().to_vec();
+    if plus.is_empty() || minus.is_empty() {
+        return 0.0;
+    }
+    let lp_plus = log_softmax(&discriminator.forward_inference(&node_features(generator, &plus)));
+    let lp_minus =
+        log_softmax(&discriminator.forward_inference(&node_features(generator, &minus)));
+    let c = lp_plus.cols();
+    let mut total = 0.0;
+    for cls in 0..c {
+        let mp: f64 = (0..plus.len()).map(|r| lp_plus.get(r, cls)).sum::<f64>() / plus.len() as f64;
+        let mm: f64 =
+            (0..minus.len()).map(|r| lp_minus.get(r, cls)).sum::<f64>() / minus.len() as f64;
+        total += (mp - mm).abs();
+    }
+    gamma * total
+}
+
+/// End-of-cycle objective snapshot (all terms of Eq. 3, suitably normalized
+/// for comparability across graph sizes).
+#[allow(clippy::too_many_arguments)]
+fn compute_objective(
+    generator: &mut TransformerLm,
+    discriminator: &Mlp,
+    sp: &SelfPacedState,
+    ground_truth: &[(NodeId, usize)],
+    protected: Option<&NodeSet>,
+    n_pos: &[Walk],
+    cfg: &FairGenConfig,
+    parity_on: bool,
+    has_labels: bool,
+) -> ObjectiveReport {
+    // J_G: mean NLL over a fixed-size sample of recent positive walks.
+    let sample = 40.min(n_pos.len());
+    let j_g = if sample == 0 {
+        0.0
+    } else {
+        n_pos[n_pos.len() - sample..]
+            .iter()
+            .map(|w| {
+                let seq: Vec<usize> = w.iter().map(|&v| v as usize).collect();
+                generator.nll(&seq)
+            })
+            .sum::<f64>()
+            / sample as f64
+    };
+    if !has_labels {
+        return ObjectiveReport { j_g, j_p: 0.0, j_f: 0.0, j_l: 0.0, j_s: 0.0 };
+    }
+    // J_P: cost-sensitive CE over the ground-truth set.
+    let nodes: Vec<NodeId> = ground_truth.iter().map(|&(v, _)| v).collect();
+    let targets: Vec<usize> = ground_truth.iter().map(|&(_, c)| c).collect();
+    let weights: Vec<f64> = nodes.iter().map(|&v| xi_weight(v, protected)).collect();
+    let logits = discriminator.forward_inference(&node_features(generator, &nodes));
+    let (ce, _) = cross_entropy(&logits, &targets, Some(&weights));
+    let j_p = cfg.alpha * ce;
+    // J_F.
+    let j_f = match (parity_on, protected) {
+        (true, Some(s)) => parity_value(discriminator, generator, s, cfg.gamma),
+        _ => 0.0,
+    };
+    // J_L and J_S over the self-paced selections, normalized by n.
+    let n = sp.assigned.len();
+    let lp = predict_log_probs(discriminator, generator, n);
+    let mut j_l = 0.0;
+    let mut selected = 0usize;
+    for (c, vc) in sp.v.iter().enumerate() {
+        for (i, &sel) in vc.iter().enumerate() {
+            if sel {
+                j_l -= lp.get(i, c);
+                selected += 1;
+            }
+        }
+    }
+    let j_l = cfg.beta * j_l / n as f64;
+    let j_s = -sp.lambda * selected as f64 / n as f64;
+    ObjectiveReport { j_g, j_p, j_f, j_l, j_s }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairgen_data::{toy_two_community, Dataset};
+
+    fn toy_input() -> FairGenInput {
+        let lg = toy_two_community(3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let labeled = lg.sample_few_shot_labels(4, &mut rng);
+        FairGenInput {
+            graph: lg.graph.clone(),
+            labeled,
+            num_classes: lg.num_classes,
+            protected: lg.protected.clone(),
+        }
+    }
+
+    #[test]
+    fn trains_and_generates_on_toy() {
+        let input = toy_input();
+        let fairgen = FairGen::new(FairGenConfig::test_budget());
+        let mut trained = fairgen.train(&input, 7);
+        assert_eq!(trained.history.len(), 2);
+        let out = trained.generate(1);
+        assert_eq!(out.n(), input.graph.n());
+        assert_eq!(out.m(), input.graph.m());
+        assert!(out.min_degree() >= 1);
+    }
+
+    #[test]
+    fn fair_assembly_preserves_protected_volume() {
+        let input = toy_input();
+        let s = input.protected.clone().unwrap();
+        let quota = input
+            .graph
+            .edges()
+            .filter(|&(u, v)| s.contains(u) || s.contains(v))
+            .count();
+        let fairgen = FairGen::new(FairGenConfig::test_budget());
+        let mut trained = fairgen.train(&input, 7);
+        let out = trained.generate(2);
+        let incident = out
+            .edges()
+            .filter(|&(u, v)| s.contains(u) || s.contains(v))
+            .count();
+        assert!(
+            incident as f64 >= 0.8 * quota as f64,
+            "protected volume collapsed: {incident} vs {quota}"
+        );
+    }
+
+    #[test]
+    fn generator_learns_real_walk_distribution() {
+        // After training, held-out real walks must score below the
+        // uniform-baseline NLL of ln(n) (an untrained model's level), and
+        // sampled walks must traverse real edges well above chance.
+        let input = toy_input();
+        let mut cfg = FairGenConfig::test_budget();
+        cfg.cycles = 3;
+        cfg.num_walks = 400;
+        cfg.pool_cap = 1200;
+        let mut trained = FairGen::new(cfg).train(&input, 5);
+        let mut rng = StdRng::seed_from_u64(9);
+        let walker = fairgen_walks::Node2VecWalker::default();
+        let held_out = walker.walk_corpus(&input.graph, 40, 6, &mut rng);
+        let nll = trained.walk_nll(&held_out);
+        let uniform = (input.graph.n() as f64).ln();
+        assert!(nll < uniform - 0.1, "trained NLL {nll} vs uniform {uniform}");
+        // Edge consistency of the generated graph: most selected edges real.
+        let g = &input.graph;
+        let density = g.m() as f64 / (g.n() * (g.n() - 1) / 2) as f64;
+        let out = trained.generate(3);
+        let real = out.edges().filter(|&(u, v)| g.has_edge(u, v)).count();
+        let frac = real as f64 / out.m() as f64;
+        assert!(
+            frac > 2.0 * density,
+            "generated edges barely better than chance: {frac} vs density {density}"
+        );
+    }
+
+    #[test]
+    fn lambda_grows_and_pseudo_labels_appear() {
+        let input = toy_input();
+        let mut cfg = FairGenConfig::test_budget();
+        cfg.cycles = 3;
+        cfg.lambda_init = 1.0;
+        cfg.lambda_growth = 2.0;
+        let trained = FairGen::new(cfg).train(&input, 5);
+        let lambdas: Vec<f64> = trained.history.iter().map(|c| c.lambda).collect();
+        assert!(lambdas.windows(2).all(|w| w[1] > w[0]), "λ must grow: {lambdas:?}");
+        // With one class and a growing λ, eventually many nodes are admitted.
+        assert!(trained.history.last().unwrap().pseudo_labels > 0);
+    }
+
+    #[test]
+    fn unlabeled_input_still_generates() {
+        let lg = Dataset::Ca.generate(2);
+        let input = FairGenInput::unlabeled(lg.graph.clone());
+        let mut cfg = FairGenConfig::test_budget();
+        cfg.cycles = 1;
+        cfg.num_walks = 40;
+        let mut trained = FairGen::new(cfg).train(&input, 3);
+        let out = trained.generate(1);
+        assert_eq!(out.m(), lg.graph.m());
+        let obj = trained.final_objective().unwrap();
+        assert_eq!(obj.j_p, 0.0);
+        assert_eq!(obj.j_f, 0.0);
+    }
+
+    #[test]
+    fn variants_train() {
+        let input = toy_input();
+        for variant in [
+            FairGenVariant::RandomSampling,
+            FairGenVariant::NoSelfPaced,
+            FairGenVariant::NoParity,
+            FairGenVariant::NegativeSampling,
+        ] {
+            let mut cfg = FairGenConfig::test_budget();
+            cfg.cycles = 2;
+            cfg.num_walks = 40;
+            let mut trained = FairGen::new(cfg).with_variant(variant).train(&input, 4);
+            let out = trained.generate(1);
+            assert_eq!(out.m(), input.graph.m(), "{:?}", variant);
+            if variant == FairGenVariant::NoSelfPaced {
+                assert_eq!(trained.history.len(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let input = toy_input();
+        let fairgen = FairGen::new(FairGenConfig::test_budget());
+        let mut a = fairgen.train(&input, 11);
+        let mut b = fairgen.train(&input, 11);
+        assert_eq!(a.generate(5), b.generate(5));
+    }
+
+    #[test]
+    fn predict_labels_shape() {
+        let input = toy_input();
+        let trained = FairGen::new(FairGenConfig::test_budget()).train(&input, 2);
+        let labels = trained.predict_labels();
+        assert_eq!(labels.len(), input.graph.n());
+        assert!(labels.iter().all(|&c| c < input.num_classes));
+    }
+
+    #[test]
+    fn walk_nll_protected_vs_all() {
+        // The group-wise reconstruction loss R_{S+}(θ) is computable.
+        let input = toy_input();
+        let mut trained = FairGen::new(FairGenConfig::test_budget()).train(&input, 2);
+        let s = input.protected.clone().unwrap();
+        let (sub, map) = fairgen_graph::induced_subgraph(&input.graph, s.members());
+        let mut rng = StdRng::seed_from_u64(0);
+        let walker = fairgen_walks::Node2VecWalker::default();
+        let sub_walks = walker.walk_corpus(&sub, 20, 6, &mut rng);
+        // Translate to parent ids.
+        let walks: Vec<Walk> = sub_walks
+            .iter()
+            .map(|w| w.iter().map(|&v| map.to_parent[v as usize]).collect())
+            .collect();
+        let nll = trained.walk_nll(&walks);
+        assert!(nll.is_finite() && nll > 0.0);
+        assert_eq!(trained.walk_nll(&[]), 0.0);
+    }
+}

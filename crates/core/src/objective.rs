@@ -1,0 +1,64 @@
+//! The five-term objective of Eq. 3, for reporting and the sensitivity
+//! analysis of Figure 7.
+
+/// Snapshot of every term of `J = J_G + J_P + J_F + J_L + J_S` (Eq. 3).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ObjectiveReport {
+    /// Label-informed generative loss `J_G` (mean walk NLL).
+    pub j_g: f64,
+    /// Cost-sensitive prediction loss `J_P` (already scaled by `α`).
+    pub j_p: f64,
+    /// Parity regularizer `J_F` (already scaled by `γ`).
+    pub j_f: f64,
+    /// Label-propagation loss `J_L` (already scaled by `β`).
+    pub j_l: f64,
+    /// Self-paced regularizer `J_S = −λ Σ v` (negative by construction).
+    pub j_s: f64,
+}
+
+impl ObjectiveReport {
+    /// The overall objective `J`.
+    pub fn total(&self) -> f64 {
+        self.j_g + self.j_p + self.j_f + self.j_l + self.j_s
+    }
+
+    /// The discriminator-side portion `J_P + J_F + J_L + J_S`
+    /// (the "discriminator loss" series of Figure 7c).
+    pub fn discriminator_part(&self) -> f64 {
+        self.j_p + self.j_f + self.j_l + self.j_s
+    }
+}
+
+impl std::fmt::Display for ObjectiveReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "J={:.4} (J_G={:.4} J_P={:.4} J_F={:.4} J_L={:.4} J_S={:.4})",
+            self.total(),
+            self.j_g,
+            self.j_p,
+            self.j_f,
+            self.j_l,
+            self.j_s
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_sums_terms() {
+        let r = ObjectiveReport { j_g: 2.0, j_p: 0.5, j_f: 0.1, j_l: 0.3, j_s: -0.4 };
+        assert!((r.total() - 2.5).abs() < 1e-12);
+        assert!((r.discriminator_part() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_includes_all_terms() {
+        let r = ObjectiveReport { j_g: 1.0, j_p: 0.0, j_f: 0.0, j_l: 0.0, j_s: 0.0 };
+        let s = r.to_string();
+        assert!(s.contains("J_G") && s.contains("J_S"));
+    }
+}

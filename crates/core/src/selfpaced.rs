@@ -1,0 +1,171 @@
+//! Self-paced vectors `v^(c)` and the closed-form update of Eq. 14 (M3).
+
+use fairgen_graph::NodeId;
+use fairgen_nn::Mat;
+
+/// State of the self-paced learning module: per-class selection vectors,
+/// the threshold `λ`, and the induced pseudo-labels.
+#[derive(Clone, Debug)]
+pub struct SelfPacedState {
+    /// `v[c][i] = 1` ⇔ node `i` is selected for class `c` (Eq. 14).
+    pub v: Vec<Vec<bool>>,
+    /// Current threshold `λ`.
+    pub lambda: f64,
+    /// Ground-truth labels (never overridden).
+    truth: Vec<Option<usize>>,
+    /// Current pseudo-label assignment (includes ground truth).
+    pub assigned: Vec<Option<usize>>,
+}
+
+impl SelfPacedState {
+    /// Initializes from the few-shot labeled vertices (Algorithm 1 step 1):
+    /// `v^(c)_i = 1` for every `x_i` labeled `c`, 0 elsewhere.
+    pub fn init(n: usize, num_classes: usize, labeled: &[(NodeId, usize)], lambda: f64) -> Self {
+        assert!(num_classes > 0, "need at least one class");
+        assert!(lambda > 0.0, "lambda must be positive");
+        let mut v = vec![vec![false; n]; num_classes];
+        let mut truth = vec![None; n];
+        for &(x, c) in labeled {
+            assert!(c < num_classes, "class {c} out of range");
+            v[c][x as usize] = true;
+            truth[x as usize] = Some(c);
+        }
+        let assigned = truth.clone();
+        SelfPacedState { v, lambda, truth, assigned }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.v.len()
+    }
+
+    /// Grows `λ` (Algorithm 1 step 7).
+    pub fn augment_lambda(&mut self, growth: f64) {
+        assert!(growth >= 1.0, "lambda must not shrink");
+        self.lambda *= growth;
+    }
+
+    /// Applies Eq. 14 given per-node class log-probabilities
+    /// (`log_probs: n × C`, rows are `log P(ŷ = c | x)`), then re-derives
+    /// pseudo-labels: a node gets class `c` when `v^(c)` selects it, taking
+    /// the most probable class when several select it. Ground-truth nodes
+    /// are never relabeled. Returns the number of pseudo-labeled nodes
+    /// (excluding ground truth).
+    pub fn update(&mut self, log_probs: &Mat) -> usize {
+        let n = self.truth.len();
+        assert_eq!(log_probs.rows(), n, "row count mismatch");
+        assert_eq!(log_probs.cols(), self.num_classes(), "class count mismatch");
+        let mut pseudo = 0usize;
+        for i in 0..n {
+            if let Some(c) = self.truth[i] {
+                // Ground truth stays pinned.
+                for (cls, vc) in self.v.iter_mut().enumerate() {
+                    vc[i] = cls == c;
+                }
+                continue;
+            }
+            let mut best: Option<(usize, f64)> = None;
+            for c in 0..self.num_classes() {
+                let lp = log_probs.get(i, c);
+                let selected = -lp < self.lambda; // Eq. 14
+                self.v[c][i] = selected;
+                if selected && best.map_or(true, |(_, b)| lp > b) {
+                    best = Some((c, lp));
+                }
+            }
+            self.assigned[i] = best.map(|(c, _)| c);
+            if best.is_some() {
+                pseudo += 1;
+            }
+        }
+        self.assigned = self
+            .truth
+            .iter()
+            .zip(&self.assigned)
+            .map(|(t, a)| t.or(*a))
+            .collect();
+        pseudo
+    }
+
+    /// All currently labeled vertices (ground truth + pseudo), as
+    /// `(node, class)` pairs — the augmented `L` of Algorithm 1 step 8.
+    pub fn labeled_set(&self) -> Vec<(NodeId, usize)> {
+        self.assigned
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.map(|c| (i as NodeId, c)))
+            .collect()
+    }
+
+    /// `Σ_i Σ_c v^(c)_i` — the count entering `J_S`.
+    pub fn selection_count(&self) -> usize {
+        self.v.iter().map(|vc| vc.iter().filter(|&&b| b).count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log_probs(rows: &[[f64; 2]]) -> Mat {
+        Mat::from_fn(rows.len(), 2, |r, c| rows[r][c])
+    }
+
+    #[test]
+    fn init_pins_ground_truth() {
+        let sp = SelfPacedState::init(4, 2, &[(0, 1), (3, 0)], 0.5);
+        assert!(sp.v[1][0] && sp.v[0][3]);
+        assert!(!sp.v[0][0] && !sp.v[1][3]);
+        assert_eq!(sp.labeled_set(), vec![(0, 1), (3, 0)]);
+    }
+
+    #[test]
+    fn update_selects_confident_nodes() {
+        let mut sp = SelfPacedState::init(3, 2, &[(0, 0)], 0.5);
+        // Node 1 confident class 1 (-log p = 0.1 < 0.5); node 2 uncertain.
+        let lp = log_probs(&[[-0.1, -3.0], [-3.0, -0.1], [-0.9, -0.9]]);
+        let pseudo = sp.update(&lp);
+        assert_eq!(pseudo, 1);
+        assert_eq!(sp.assigned[1], Some(1));
+        assert_eq!(sp.assigned[2], None);
+        assert_eq!(sp.labeled_set().len(), 2);
+    }
+
+    #[test]
+    fn raising_lambda_admits_harder_nodes() {
+        let mut sp = SelfPacedState::init(3, 2, &[], 0.5);
+        let lp = log_probs(&[[-0.1, -3.0], [-0.8, -2.0], [-1.2, -2.0]]);
+        assert_eq!(sp.update(&lp), 1); // only node 0
+        sp.augment_lambda(2.0); // λ = 1.0
+        assert_eq!(sp.update(&lp), 2); // nodes 0 and 1
+        sp.augment_lambda(1.5); // λ = 1.5
+        assert_eq!(sp.update(&lp), 3); // all three — easy to hard
+    }
+
+    #[test]
+    fn ground_truth_never_relabeled() {
+        let mut sp = SelfPacedState::init(2, 2, &[(0, 0)], 10.0);
+        // The model is confident node 0 is class 1 — must not override.
+        let lp = log_probs(&[[-5.0, -0.01], [-0.01, -5.0]]);
+        sp.update(&lp);
+        assert_eq!(sp.assigned[0], Some(0));
+        assert!(sp.v[0][0] && !sp.v[1][0]);
+    }
+
+    #[test]
+    fn multiple_classes_select_highest_prob() {
+        let mut sp = SelfPacedState::init(1, 2, &[], 5.0);
+        // Both classes pass the threshold; class 1 is more probable.
+        let lp = log_probs(&[[-0.9, -0.5]]);
+        sp.update(&lp);
+        assert!(sp.v[0][0] && sp.v[1][0]);
+        assert_eq!(sp.assigned[0], Some(1));
+        assert_eq!(sp.selection_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "class 5 out of range")]
+    fn oob_class_panics() {
+        let _ = SelfPacedState::init(3, 2, &[(0, 5)], 1.0);
+    }
+}

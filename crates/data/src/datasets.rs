@@ -1,0 +1,380 @@
+//! The seven named benchmark configurations (paper Table I, scaled) and the
+//! Figure-1 toy graph.
+
+use fairgen_graph::{Graph, NodeId, NodeSet};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::random::{barabasi_albert, erdos_renyi};
+use crate::sbm::{dc_sbm, DcSbmConfig};
+
+/// A graph together with its task metadata: class labels, the number of
+/// classes, and the protected-group membership `S⁺`.
+#[derive(Clone, Debug)]
+pub struct LabeledGraph {
+    /// Dataset name (paper spelling).
+    pub name: &'static str,
+    /// The graph.
+    pub graph: Graph,
+    /// Per-node class labels (present only for BLOG / FLICKR / ACM).
+    pub labels: Option<Vec<usize>>,
+    /// Number of classes (0 when unlabeled).
+    pub num_classes: usize,
+    /// The protected group `S⁺`.
+    pub protected: Option<NodeSet>,
+}
+
+impl LabeledGraph {
+    /// The unprotected group `S⁻ = V \ S⁺`.
+    pub fn unprotected(&self) -> Option<NodeSet> {
+        self.protected.as_ref().map(|s| s.complement())
+    }
+
+    /// Samples `per_class` few-shot labeled examples per class,
+    /// guaranteeing at least one per class (paper problem setting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is unlabeled.
+    pub fn sample_few_shot_labels<R: Rng + ?Sized>(
+        &self,
+        per_class: usize,
+        rng: &mut R,
+    ) -> Vec<(NodeId, usize)> {
+        let labels = self.labels.as_ref().expect("dataset has no labels");
+        let mut by_class: Vec<Vec<NodeId>> = vec![Vec::new(); self.num_classes];
+        for (v, &c) in labels.iter().enumerate() {
+            by_class[c].push(v as NodeId);
+        }
+        let mut out = Vec::new();
+        for (c, nodes) in by_class.iter_mut().enumerate() {
+            nodes.shuffle(rng);
+            for &v in nodes.iter().take(per_class.max(1)) {
+                out.push((v, c));
+            }
+        }
+        out
+    }
+
+    /// Fraction of nodes in the protected group (0 if none).
+    pub fn protected_ratio(&self) -> f64 {
+        match &self.protected {
+            Some(s) => s.len() as f64 / self.graph.n() as f64,
+            None => 0.0,
+        }
+    }
+}
+
+/// The seven benchmark datasets of Table I. Sizes are scaled down for CPU
+/// training; class counts and protected-group *ratios* match the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// Student e-mail communication network (SNAP `email-Eu`): dense core.
+    Email,
+    /// Facebook ego-network union (SNAP): dense social graph.
+    Fb,
+    /// BlogCatalog social network: 6 classes, protected attribute "race".
+    Blog,
+    /// Flickr social network: 9 classes, protected attribute "race".
+    Flickr,
+    /// Gnutella file-sharing network (SNAP): sparse, power-law.
+    Gnu,
+    /// GR-QC collaboration network (SNAP): sparse, clustered.
+    Ca,
+    /// ACM co-authorship: 9 classes, protected = low-population topic.
+    Acm,
+}
+
+impl Dataset {
+    /// All seven datasets in the paper's Table-I order.
+    pub const ALL: [Dataset; 7] = [
+        Dataset::Email,
+        Dataset::Fb,
+        Dataset::Blog,
+        Dataset::Flickr,
+        Dataset::Gnu,
+        Dataset::Ca,
+        Dataset::Acm,
+    ];
+
+    /// The three datasets with labels and protected groups.
+    pub const LABELED: [Dataset; 3] = [Dataset::Blog, Dataset::Flickr, Dataset::Acm];
+
+    /// Paper-style name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::Email => "EMAIL",
+            Dataset::Fb => "FB",
+            Dataset::Blog => "BLOG",
+            Dataset::Flickr => "FLICKR",
+            Dataset::Gnu => "GNU",
+            Dataset::Ca => "CA",
+            Dataset::Acm => "ACM",
+        }
+    }
+
+    /// Whether the dataset carries class labels and a protected group.
+    pub fn has_labels(self) -> bool {
+        matches!(self, Dataset::Blog | Dataset::Flickr | Dataset::Acm)
+    }
+
+    /// Generates the synthetic counterpart, deterministically in `seed`.
+    pub fn generate(self, seed: u64) -> LabeledGraph {
+        let mut rng = StdRng::seed_from_u64(seed ^ (self as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        match self {
+            // Communication network: 3 latent departments, dense.
+            Dataset::Email => {
+                let cfg = DcSbmConfig {
+                    block_sizes: vec![90, 80, 80],
+                    p_intra: 0.12,
+                    p_inter: 0.02,
+                    theta_shape: 2.8,
+                    protected_size: 0,
+                    p_protected_intra: 0.0,
+                    p_protected_inter: 0.0,
+                };
+                let (graph, _, _) = dc_sbm(&cfg, &mut rng);
+                LabeledGraph { name: self.name(), graph, labels: None, num_classes: 0, protected: None }
+            }
+            // Social circles: 5 latent communities, dense.
+            Dataset::Fb => {
+                let cfg = DcSbmConfig {
+                    block_sizes: vec![80, 80, 80, 80, 80],
+                    p_intra: 0.15,
+                    p_inter: 0.006,
+                    theta_shape: 2.6,
+                    protected_size: 0,
+                    p_protected_intra: 0.0,
+                    p_protected_inter: 0.0,
+                };
+                let (graph, _, _) = dc_sbm(&cfg, &mut rng);
+                LabeledGraph { name: self.name(), graph, labels: None, num_classes: 0, protected: None }
+            }
+            // BLOG: 6 classes, protected ≈ 6% of nodes.
+            Dataset::Blog => labeled_sbm(self.name(), &[63; 6], 24, 0.10, 0.012, &mut rng),
+            // FLICKR: 9 classes, protected ≈ 6%.
+            Dataset::Flickr => labeled_sbm(self.name(), &[52; 9], 30, 0.12, 0.012, &mut rng),
+            // File-sharing: sparse power-law → Barabási–Albert.
+            Dataset::Gnu => {
+                let graph = barabasi_albert(450, 3, &mut rng);
+                LabeledGraph { name: self.name(), graph, labels: None, num_classes: 0, protected: None }
+            }
+            // Collaboration: sparse, clustered — BA with small attachment.
+            Dataset::Ca => {
+                let graph = barabasi_albert(400, 2, &mut rng);
+                LabeledGraph { name: self.name(), graph, labels: None, num_classes: 0, protected: None }
+            }
+            // ACM: 9 classes, protected = small-population topic (~3.6%).
+            Dataset::Acm => labeled_sbm(self.name(), &[64; 9], 22, 0.09, 0.008, &mut rng),
+        }
+    }
+}
+
+fn labeled_sbm(
+    name: &'static str,
+    block_sizes: &[usize],
+    protected_size: usize,
+    p_intra: f64,
+    p_inter: f64,
+    rng: &mut StdRng,
+) -> LabeledGraph {
+    let cfg = DcSbmConfig {
+        block_sizes: block_sizes.to_vec(),
+        p_intra,
+        p_inter,
+        theta_shape: 3.0,
+        protected_size,
+        p_protected_intra: p_intra * 1.8,
+        p_protected_inter: p_inter,
+    };
+    let (graph, labels, protected) = dc_sbm(&cfg, rng);
+    LabeledGraph {
+        name,
+        graph,
+        num_classes: block_sizes.len(),
+        labels: Some(labels),
+        protected,
+    }
+}
+
+/// The Figure-1 toy graph: one large unprotected community and one small
+/// protected community joined by a few bridges — the minimal setting in
+/// which representation disparity is visible.
+pub fn toy_two_community(seed: u64) -> LabeledGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cfg = DcSbmConfig {
+        block_sizes: vec![80],
+        p_intra: 0.18,
+        p_inter: 0.0,
+        theta_shape: 3.2,
+        protected_size: 20,
+        p_protected_intra: 0.30,
+        p_protected_inter: 0.01,
+    };
+    let (graph, labels, protected) = dc_sbm(&cfg, &mut rng);
+    LabeledGraph {
+        name: "TOY",
+        graph,
+        labels: Some(labels),
+        num_classes: 1,
+        protected,
+    }
+}
+
+/// A small *multi-class* toy: three labeled communities plus a protected
+/// community whose members are spread across the classes. Used by the
+/// sensitivity analysis (Figure 7), where the discriminator terms
+/// `J_P`, `J_L`, `J_F` are only non-trivial with ≥ 2 classes.
+pub fn toy_multiclass(seed: u64) -> LabeledGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cfg = DcSbmConfig {
+        block_sizes: vec![36, 36, 36],
+        p_intra: 0.2,
+        p_inter: 0.015,
+        theta_shape: 3.2,
+        protected_size: 18,
+        p_protected_intra: 0.3,
+        p_protected_inter: 0.012,
+    };
+    let (graph, labels, protected) = dc_sbm(&cfg, &mut rng);
+    LabeledGraph {
+        name: "TOY3",
+        graph,
+        labels: Some(labels),
+        num_classes: 3,
+        protected,
+    }
+}
+
+/// Convenience: an ER graph by `(n, density)` — the scalability workload of
+/// Figure 8 ("we generate the synthetic graphs via ER").
+pub fn er_by_density(n: usize, density: f64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    erdos_renyi(n, density, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_seven_generate() {
+        for d in Dataset::ALL {
+            let lg = d.generate(7);
+            assert!(lg.graph.n() >= 200, "{} too small", d.name());
+            assert!(lg.graph.m() > lg.graph.n(), "{} too sparse", d.name());
+            assert_eq!(lg.labels.is_some(), d.has_labels());
+            assert_eq!(lg.protected.is_some(), d.has_labels());
+        }
+    }
+
+    #[test]
+    fn labeled_datasets_have_correct_class_counts() {
+        assert_eq!(Dataset::Blog.generate(1).num_classes, 6);
+        assert_eq!(Dataset::Flickr.generate(1).num_classes, 9);
+        assert_eq!(Dataset::Acm.generate(1).num_classes, 9);
+    }
+
+    #[test]
+    fn protected_ratios_match_paper_scale() {
+        // Paper: BLOG 300/5196 ≈ 5.8%, FLICKR 450/7575 ≈ 5.9%, ACM 597/16484 ≈ 3.6%.
+        let blog = Dataset::Blog.generate(2);
+        let flickr = Dataset::Flickr.generate(2);
+        let acm = Dataset::Acm.generate(2);
+        assert!((blog.protected_ratio() - 0.058).abs() < 0.02);
+        assert!((flickr.protected_ratio() - 0.059).abs() < 0.02);
+        assert!((acm.protected_ratio() - 0.036).abs() < 0.015);
+    }
+
+    #[test]
+    fn few_shot_sampling_covers_every_class() {
+        let lg = Dataset::Blog.generate(3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let labeled = lg.sample_few_shot_labels(2, &mut rng);
+        let mut seen = vec![false; lg.num_classes];
+        for (v, c) in &labeled {
+            assert_eq!(lg.labels.as_ref().unwrap()[*v as usize], *c);
+            seen[*c] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "every class must appear");
+        assert_eq!(labeled.len(), 2 * lg.num_classes);
+    }
+
+    #[test]
+    fn unprotected_complements_protected() {
+        let lg = Dataset::Flickr.generate(4);
+        let s = lg.protected.clone().unwrap();
+        let u = lg.unprotected().unwrap();
+        assert_eq!(s.len() + u.len(), lg.graph.n());
+        assert!(s.intersect(&u).is_empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Dataset::Acm.generate(42);
+        let b = Dataset::Acm.generate(42);
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn different_datasets_differ_under_same_seed() {
+        let a = Dataset::Email.generate(42);
+        let b = Dataset::Fb.generate(42);
+        assert_ne!(a.graph, b.graph);
+    }
+
+    #[test]
+    fn toy_graph_has_minority_community() {
+        let toy = toy_two_community(5);
+        let s = toy.protected.clone().unwrap();
+        assert_eq!(toy.graph.n(), 100);
+        assert_eq!(s.len(), 20);
+        let phi = fairgen_graph::conductance(&toy.graph, &s);
+        assert!(phi < 0.3, "toy protected community must be well-separated, φ={phi}");
+    }
+
+    #[test]
+    fn er_by_density_matches() {
+        let g = er_by_density(100, 0.05, 1);
+        assert_eq!(g.n(), 100);
+        let density = g.m() as f64 / (100.0 * 99.0 / 2.0);
+        assert!((density - 0.05).abs() < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "no labels")]
+    fn few_shot_on_unlabeled_panics() {
+        let lg = Dataset::Email.generate(1);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = lg.sample_few_shot_labels(1, &mut rng);
+    }
+}
+
+#[cfg(test)]
+mod toy_multiclass_tests {
+    use super::*;
+
+    #[test]
+    fn toy_multiclass_shape() {
+        let lg = toy_multiclass(1);
+        assert_eq!(lg.graph.n(), 126);
+        assert_eq!(lg.num_classes, 3);
+        let labels = lg.labels.as_ref().unwrap();
+        for c in 0..3 {
+            assert!(labels.iter().filter(|&&l| l == c).count() >= 36);
+        }
+        assert_eq!(lg.protected.as_ref().unwrap().len(), 18);
+    }
+
+    #[test]
+    fn toy_multiclass_protected_spans_classes() {
+        let lg = toy_multiclass(2);
+        let s = lg.protected.as_ref().unwrap();
+        let labels = lg.labels.as_ref().unwrap();
+        let classes: std::collections::HashSet<usize> =
+            s.members().iter().map(|&v| labels[v as usize]).collect();
+        assert_eq!(classes.len(), 3, "protected attribute must cross class lines");
+    }
+}

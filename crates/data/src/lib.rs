@@ -1,0 +1,26 @@
+//! Synthetic dataset generators for the FairGen reproduction.
+//!
+//! The paper evaluates on seven real networks (Table I: Email, FB, BLOG,
+//! FLICKR, GNU, CA, ACM). Those downloads are unavailable in this
+//! environment, so this crate generates *synthetic counterparts*: a
+//! degree-corrected stochastic block model ([`dc_sbm`]) with planted classes
+//! and a planted protected group reproduces the structural asymmetry that
+//! drives the paper's claims — a small minority community with its own
+//! context that a reconstruction-driven generator tends to under-serve.
+//! Sizes are scaled down (~4–10×) so CPU training fits a test run; all
+//! experiments compare *relative* behaviour, which scaling preserves
+//! (see DESIGN.md §1 for the substitution argument).
+//!
+//! * [`random`] — Erdős–Rényi and Barabási–Albert generators (also the ER/BA
+//!   baselines' generation procedures).
+//! * [`sbm`] — the degree-corrected SBM.
+//! * [`datasets`] — [`Dataset`], the seven named configurations, few-shot
+//!   label sampling, and the Figure-1 toy graph.
+
+pub mod datasets;
+pub mod random;
+pub mod sbm;
+
+pub use datasets::{er_by_density, toy_multiclass, toy_two_community, Dataset, LabeledGraph};
+pub use random::{barabasi_albert, erdos_renyi};
+pub use sbm::{dc_sbm, DcSbmConfig};

@@ -1,0 +1,128 @@
+//! Classic random-graph generators: Erdős–Rényi and Barabási–Albert.
+
+use fairgen_graph::{Graph, GraphBuilder, NodeId};
+use rand::Rng;
+
+/// Erdős–Rényi `G(n, p)`: every pair is an edge independently with
+/// probability `p`.
+///
+/// # Panics
+///
+/// Panics if `p ∉ [0, 1]`.
+pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1]");
+    let expected = (p * (n * n.saturating_sub(1)) as f64 / 2.0) as usize;
+    let mut b = GraphBuilder::with_capacity(n, expected);
+    b.ensure_nodes(n);
+    for u in 0..n as NodeId {
+        for v in (u + 1)..n as NodeId {
+            if rng.gen::<f64>() < p {
+                b.add_edge(u, v);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Barabási–Albert preferential attachment: starts from a small clique of
+/// `m_attach + 1` nodes, then each new node attaches to `m_attach` distinct
+/// existing nodes chosen proportionally to degree.
+///
+/// # Panics
+///
+/// Panics if `m_attach == 0` or `n <= m_attach`.
+pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m_attach: usize, rng: &mut R) -> Graph {
+    assert!(m_attach > 0, "m_attach must be positive");
+    assert!(n > m_attach, "need more nodes than attachment edges");
+    let mut b = GraphBuilder::with_capacity(n, n * m_attach);
+    b.ensure_nodes(n);
+    // Repeated-endpoints list: sampling uniformly from it is sampling
+    // proportionally to degree.
+    let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * n * m_attach);
+    let seed_size = m_attach + 1;
+    for u in 0..seed_size as NodeId {
+        for v in (u + 1)..seed_size as NodeId {
+            b.add_edge(u, v);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    for new in seed_size as NodeId..n as NodeId {
+        let mut chosen: Vec<NodeId> = Vec::with_capacity(m_attach);
+        let mut guard = 0usize;
+        while chosen.len() < m_attach && guard < 1000 * m_attach {
+            guard += 1;
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if t != new && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            b.add_edge(new, t);
+            endpoints.push(new);
+            endpoints.push(t);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn er_edge_count_near_expectation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 200;
+        let p = 0.05;
+        let g = erdos_renyi(n, p, &mut rng);
+        let expected = p * (n * (n - 1)) as f64 / 2.0;
+        let m = g.m() as f64;
+        assert!((m - expected).abs() < 4.0 * expected.sqrt(), "m={m} expected≈{expected}");
+    }
+
+    #[test]
+    fn er_extreme_probabilities() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(erdos_renyi(10, 0.0, &mut rng).m(), 0);
+        assert_eq!(erdos_renyi(10, 1.0, &mut rng).m(), 45);
+    }
+
+    #[test]
+    fn ba_node_and_edge_counts() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = barabasi_albert(100, 3, &mut rng);
+        assert_eq!(g.n(), 100);
+        // Seed clique C(4,2)=6 edges + 96 nodes × 3 attachments.
+        assert_eq!(g.m(), 6 + 96 * 3);
+        assert!(g.min_degree() >= 3);
+    }
+
+    #[test]
+    fn ba_degree_distribution_is_skewed() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = barabasi_albert(500, 2, &mut rng);
+        let max_deg = g.max_degree();
+        let avg = 2.0 * g.m() as f64 / g.n() as f64;
+        assert!(
+            max_deg as f64 > 5.0 * avg,
+            "BA should have hubs: max={max_deg}, avg={avg}"
+        );
+    }
+
+    #[test]
+    fn ba_deterministic_under_seed() {
+        let g1 = barabasi_albert(60, 2, &mut StdRng::seed_from_u64(9));
+        let g2 = barabasi_albert(60, 2, &mut StdRng::seed_from_u64(9));
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in")]
+    fn er_invalid_p_panics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = erdos_renyi(5, 1.5, &mut rng);
+    }
+}

@@ -1,0 +1,212 @@
+//! Degree-corrected stochastic block model with planted classes and a
+//! planted protected group.
+
+use fairgen_graph::{Graph, GraphBuilder, NodeId, NodeSet};
+use rand::Rng;
+
+/// Configuration of the degree-corrected SBM.
+#[derive(Clone, Debug)]
+pub struct DcSbmConfig {
+    /// Size of each block (= class). Total node count is their sum plus
+    /// `protected_size`.
+    pub block_sizes: Vec<usize>,
+    /// Base within-block edge probability.
+    pub p_intra: f64,
+    /// Base between-block edge probability.
+    pub p_inter: f64,
+    /// Pareto shape of the degree propensities θ (smaller ⇒ heavier tail).
+    /// Values around 2.5–3.5 give realistic power-law-ish degrees.
+    pub theta_shape: f64,
+    /// Number of protected-group nodes appended as an extra small community.
+    pub protected_size: usize,
+    /// Within-protected-group edge probability (their own dense context).
+    pub p_protected_intra: f64,
+    /// Probability of an edge between a protected node and any unprotected
+    /// node (kept small: the group is structurally a minority).
+    pub p_protected_inter: f64,
+}
+
+impl DcSbmConfig {
+    fn validate(&self) {
+        assert!(!self.block_sizes.is_empty(), "need at least one block");
+        for &p in &[
+            self.p_intra,
+            self.p_inter,
+            self.p_protected_intra,
+            self.p_protected_inter,
+        ] {
+            assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        }
+        assert!(self.theta_shape > 1.0, "theta_shape must exceed 1");
+    }
+}
+
+/// Samples a degree-corrected SBM.
+///
+/// Returns `(graph, labels, protected)`:
+/// * `labels[v]` is the class of node `v` — protected nodes are assigned
+///   round-robin to classes (the protected attribute crosses class lines,
+///   like "race" in BLOG/FLICKR);
+/// * `protected` is the planted protected group `S⁺` (empty ⇒ `None`).
+pub fn dc_sbm<R: Rng + ?Sized>(
+    cfg: &DcSbmConfig,
+    rng: &mut R,
+) -> (Graph, Vec<usize>, Option<NodeSet>) {
+    cfg.validate();
+    let n_unprotected: usize = cfg.block_sizes.iter().sum();
+    let n = n_unprotected + cfg.protected_size;
+    let num_classes = cfg.block_sizes.len();
+
+    // Block assignment for unprotected nodes; protected nodes appended after.
+    let mut labels = Vec::with_capacity(n);
+    for (b, &size) in cfg.block_sizes.iter().enumerate() {
+        labels.extend(std::iter::repeat(b).take(size));
+    }
+    for i in 0..cfg.protected_size {
+        labels.push(i % num_classes);
+    }
+
+    // Degree propensities: Pareto(shape) normalized to mean 1, clipped so a
+    // single θ cannot push pair probabilities past 1 too often.
+    let shape = cfg.theta_shape;
+    let mut theta: Vec<f64> = (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen::<f64>().max(1e-12);
+            u.powf(-1.0 / shape) // Pareto with x_min = 1
+        })
+        .collect();
+    let mean: f64 = theta.iter().sum::<f64>() / n as f64;
+    for t in &mut theta {
+        *t = (*t / mean).min(4.0);
+    }
+
+    let is_protected = |v: usize| v >= n_unprotected;
+    let mut builder = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let base = match (is_protected(u), is_protected(v)) {
+                (true, true) => cfg.p_protected_intra,
+                (false, false) => {
+                    if labels[u] == labels[v] {
+                        cfg.p_intra
+                    } else {
+                        cfg.p_inter
+                    }
+                }
+                _ => cfg.p_protected_inter,
+            };
+            let p = (base * theta[u] * theta[v]).min(1.0);
+            if p > 0.0 && rng.gen::<f64>() < p {
+                builder.add_edge(u as NodeId, v as NodeId);
+            }
+        }
+    }
+    let graph = builder.build();
+    let protected = if cfg.protected_size > 0 {
+        let members: Vec<NodeId> = (n_unprotected as NodeId..n as NodeId).collect();
+        Some(NodeSet::from_members(n, &members))
+    } else {
+        None
+    };
+    (graph, labels, protected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn config() -> DcSbmConfig {
+        DcSbmConfig {
+            block_sizes: vec![60, 60, 60],
+            p_intra: 0.15,
+            p_inter: 0.01,
+            theta_shape: 3.0,
+            protected_size: 20,
+            p_protected_intra: 0.25,
+            p_protected_inter: 0.01,
+        }
+    }
+
+    #[test]
+    fn node_count_and_labels() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (g, labels, protected) = dc_sbm(&config(), &mut rng);
+        assert_eq!(g.n(), 200);
+        assert_eq!(labels.len(), 200);
+        assert!(labels.iter().all(|&c| c < 3));
+        let s = protected.unwrap();
+        assert_eq!(s.len(), 20);
+        assert!(s.contains(180) && !s.contains(0));
+    }
+
+    #[test]
+    fn communities_are_denser_inside() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (g, labels, _) = dc_sbm(&config(), &mut rng);
+        let mut intra = 0usize;
+        let mut inter = 0usize;
+        for (u, v) in g.edges() {
+            // Only unprotected-unprotected pairs, to isolate block structure.
+            if u < 180 && v < 180 {
+                if labels[u as usize] == labels[v as usize] {
+                    intra += 1;
+                } else {
+                    inter += 1;
+                }
+            }
+        }
+        assert!(intra > 3 * inter, "intra={intra} inter={inter}");
+    }
+
+    #[test]
+    fn protected_group_is_a_community() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (g, _, protected) = dc_sbm(&config(), &mut rng);
+        let s = protected.unwrap();
+        let phi = fairgen_graph::conductance(&g, &s);
+        assert!(phi < 0.8, "protected group should be a coherent community, φ={phi}");
+        // And it has internal edges.
+        let (sub, _) = fairgen_graph::induced_subgraph(&g, s.members());
+        assert!(sub.m() > s.len() / 2);
+    }
+
+    #[test]
+    fn degree_distribution_heterogeneous() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (g, _, _) = dc_sbm(&config(), &mut rng);
+        let degs = g.degrees();
+        let max = *degs.iter().max().unwrap() as f64;
+        let mean = degs.iter().sum::<usize>() as f64 / degs.len() as f64;
+        assert!(max > 2.0 * mean, "degree correction should create hubs");
+    }
+
+    #[test]
+    fn no_protected_group_when_size_zero() {
+        let mut cfg = config();
+        cfg.protected_size = 0;
+        let mut rng = StdRng::seed_from_u64(5);
+        let (g, labels, protected) = dc_sbm(&cfg, &mut rng);
+        assert!(protected.is_none());
+        assert_eq!(g.n(), 180);
+        assert_eq!(labels.len(), 180);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (g1, l1, _) = dc_sbm(&config(), &mut StdRng::seed_from_u64(6));
+        let (g2, l2, _) = dc_sbm(&config(), &mut StdRng::seed_from_u64(6));
+        assert_eq!(g1, g2);
+        assert_eq!(l1, l2);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_probability_panics() {
+        let mut cfg = config();
+        cfg.p_intra = 1.2;
+        let mut rng = StdRng::seed_from_u64(7);
+        let _ = dc_sbm(&cfg, &mut rng);
+    }
+}

@@ -1,0 +1,93 @@
+//! Data augmentation: insert generator-proposed edges (Figure 6 protocol).
+
+use fairgen_graph::{Graph, GraphBuilder};
+use rand::Rng;
+
+/// Inserts `extra_frac · m(g)` edges proposed by `generated` (edges of the
+/// synthetic graph that are absent from `g`) into a copy of `g`. When the
+/// generator proposes fewer novel edges than requested, all of them are
+/// inserted. The paper uses `extra_frac = 0.05`.
+///
+/// # Panics
+///
+/// Panics if the node counts differ or `extra_frac` is negative.
+pub fn augment_graph<R: Rng + ?Sized>(
+    g: &Graph,
+    generated: &Graph,
+    extra_frac: f64,
+    rng: &mut R,
+) -> Graph {
+    assert_eq!(g.n(), generated.n(), "node count mismatch");
+    assert!(extra_frac >= 0.0, "extra_frac must be non-negative");
+    let want = (extra_frac * g.m() as f64).round() as usize;
+    let mut novel: Vec<(u32, u32)> = generated
+        .edges()
+        .filter(|&(u, v)| !g.has_edge(u, v))
+        .collect();
+    // Uniformly subsample the novel proposals.
+    for i in (1..novel.len()).rev() {
+        novel.swap(i, rng.gen_range(0..=i));
+    }
+    novel.truncate(want);
+    let mut b = GraphBuilder::with_capacity(g.n(), g.m() + novel.len());
+    b.ensure_nodes(g.n());
+    for (u, v) in g.edges() {
+        b.add_edge(u, v);
+    }
+    for (u, v) in novel {
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn base() -> Graph {
+        Graph::from_edges(10, &(0..9).map(|i| (i, i + 1)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn adds_requested_fraction() {
+        let g = base(); // 9 edges; 5% of 9 ≈ 0; use 50% = 4-5 edges
+        let full = Graph::from_edges(
+            10,
+            &(0..10u32).flat_map(|a| ((a + 1)..10).map(move |b| (a, b))).collect::<Vec<_>>(),
+        );
+        let mut rng = StdRng::seed_from_u64(1);
+        let aug = augment_graph(&g, &full, 0.5, &mut rng);
+        assert_eq!(aug.m(), 9 + 5); // round(0.5 * 9) = 5 (round half up: 4.5 → 5)
+        // Original edges all preserved.
+        for (u, v) in g.edges() {
+            assert!(aug.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn caps_at_available_novel_edges() {
+        let g = base();
+        // Generated graph equals the original: no novel edges to add.
+        let mut rng = StdRng::seed_from_u64(2);
+        let aug = augment_graph(&g, &g, 0.5, &mut rng);
+        assert_eq!(aug.m(), g.m());
+    }
+
+    #[test]
+    fn zero_fraction_is_identity() {
+        let g = base();
+        let full = Graph::from_edges(10, &[(0, 5), (1, 7)]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let aug = augment_graph(&g, &full, 0.0, &mut rng);
+        assert_eq!(aug, g);
+    }
+
+    #[test]
+    #[should_panic(expected = "node count mismatch")]
+    fn mismatched_sizes_panic() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = augment_graph(&base(), &Graph::empty(5), 0.1, &mut rng);
+    }
+}

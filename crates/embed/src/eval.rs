@@ -1,0 +1,119 @@
+//! Evaluation utilities: stratified k-fold splits and accuracy.
+
+use rand::Rng;
+
+/// Classification accuracy.
+///
+/// # Panics
+///
+/// Panics on length mismatch or empty input.
+pub fn accuracy(predictions: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(predictions.len(), truth.len(), "length mismatch");
+    assert!(!truth.is_empty(), "empty evaluation set");
+    let correct = predictions.iter().zip(truth).filter(|(a, b)| a == b).count();
+    correct as f64 / truth.len() as f64
+}
+
+/// Stratified `k`-fold split (the paper uses ten folds, 90% train / 10%
+/// test). Returns `k` `(train_indices, test_indices)` pairs; each class's
+/// examples are distributed round-robin across folds after shuffling, so
+/// every fold's test set has near-proportional class representation.
+pub fn stratified_kfold<R: Rng + ?Sized>(
+    labels: &[usize],
+    k: usize,
+    rng: &mut R,
+) -> Vec<(Vec<usize>, Vec<usize>)> {
+    assert!(k >= 2, "need at least two folds");
+    assert!(!labels.is_empty(), "empty label set");
+    let classes = labels.iter().max().map_or(0, |&m| m + 1);
+    let mut fold_of = vec![0usize; labels.len()];
+    for c in 0..classes {
+        let mut idx: Vec<usize> =
+            (0..labels.len()).filter(|&i| labels[i] == c).collect();
+        for i in (1..idx.len()).rev() {
+            idx.swap(i, rng.gen_range(0..=i));
+        }
+        for (j, &i) in idx.iter().enumerate() {
+            fold_of[i] = j % k;
+        }
+    }
+    (0..k)
+        .map(|f| {
+            let test: Vec<usize> =
+                (0..labels.len()).filter(|&i| fold_of[i] == f).collect();
+            let train: Vec<usize> =
+                (0..labels.len()).filter(|&i| fold_of[i] != f).collect();
+            (train, test)
+        })
+        .collect()
+}
+
+/// Mean and (population) standard deviation of a sample — the paper reports
+/// "the accuracy score as well as the standard deviation".
+pub fn mean_std(values: &[f64]) -> (f64, f64) {
+    assert!(!values.is_empty(), "empty sample");
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[0, 1, 1], &[0, 1, 0]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[1], &[1]), 1.0);
+    }
+
+    #[test]
+    fn folds_partition_everything() {
+        let labels: Vec<usize> = (0..50).map(|i| i % 3).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let folds = stratified_kfold(&labels, 5, &mut rng);
+        assert_eq!(folds.len(), 5);
+        let mut seen = vec![0usize; 50];
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), 50);
+            for &i in test {
+                seen[i] += 1;
+            }
+            // No overlap.
+            for &i in test {
+                assert!(!train.contains(&i));
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "each index tested exactly once");
+    }
+
+    #[test]
+    fn folds_are_stratified() {
+        // 40 of class 0, 10 of class 1: every fold's test set should contain
+        // exactly 2 of class 1 under 5 folds.
+        let labels: Vec<usize> =
+            std::iter::repeat(0).take(40).chain(std::iter::repeat(1).take(10)).collect();
+        let mut rng = StdRng::seed_from_u64(2);
+        let folds = stratified_kfold(&labels, 5, &mut rng);
+        for (_, test) in &folds {
+            let minority = test.iter().filter(|&&i| labels[i] == 1).count();
+            assert_eq!(minority, 2, "fold not stratified");
+        }
+    }
+
+    #[test]
+    fn mean_std_known_values() {
+        let (m, s) = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-12);
+        assert!((s - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two folds")]
+    fn one_fold_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = stratified_kfold(&[0, 1], 1, &mut rng);
+    }
+}

@@ -1,0 +1,29 @@
+//! Downstream-task stack for the FairGen evaluation: node2vec embeddings,
+//! logistic-regression node classification, data augmentation, and
+//! low-dimensional projection.
+//!
+//! The paper's Figure 6 case study trains "a logistic regression classifier
+//! … on the learned graph embedding of the original graph via node2vec",
+//! then inserts 5% generator-proposed edges and retrains; Figures 1 and 9
+//! visualize node embeddings in 2-D. This crate implements that pipeline:
+//!
+//! * [`node2vec`] — skip-gram with negative sampling over biased walks.
+//! * [`logreg`] — multiclass logistic regression.
+//! * [`eval`] — stratified k-fold splits and accuracy.
+//! * [`augment`] — the +5%-edges augmentation procedure.
+//! * [`projection`] — PCA to 2-D and the group-separation score that stands
+//!   in for the paper's t-SNE plots (see DESIGN.md §1).
+
+pub mod augment;
+pub mod eval;
+pub mod linkpred;
+pub mod logreg;
+pub mod node2vec;
+pub mod projection;
+
+pub use augment::augment_graph;
+pub use eval::{accuracy, stratified_kfold};
+pub use linkpred::{link_prediction_auc, roc_auc};
+pub use logreg::LogisticRegression;
+pub use node2vec::{Node2Vec, Node2VecConfig};
+pub use projection::{group_separation, pca_2d};

@@ -1,0 +1,153 @@
+//! Link-prediction evaluation: ROC-AUC of an embedding's inner-product
+//! scores on held-out edges versus sampled non-edges.
+//!
+//! A second downstream task (besides Figure 6's node classification) for
+//! judging generated/augmented graphs: good synthetic graphs should yield
+//! embeddings that rank true edges above non-edges, *including* edges inside
+//! the protected group.
+
+use fairgen_graph::{Graph, NodeId, NodeSet};
+use fairgen_nn::Mat;
+use rand::Rng;
+
+/// ROC-AUC from positive and negative score samples (probability that a
+/// random positive outranks a random negative; ties count ½).
+pub fn roc_auc(positives: &[f64], negatives: &[f64]) -> f64 {
+    assert!(!positives.is_empty() && !negatives.is_empty(), "empty score sample");
+    let mut wins = 0.0;
+    for &p in positives {
+        for &n in negatives {
+            if p > n {
+                wins += 1.0;
+            } else if p == n {
+                wins += 0.5;
+            }
+        }
+    }
+    wins / (positives.len() * negatives.len()) as f64
+}
+
+/// Inner-product score of a node pair under an embedding matrix (`n × d`).
+fn pair_score(emb: &Mat, u: NodeId, v: NodeId) -> f64 {
+    emb.row(u as usize)
+        .iter()
+        .zip(emb.row(v as usize))
+        .map(|(a, b)| a * b)
+        .sum()
+}
+
+/// Link-prediction AUC of `emb` on `g`: scores every edge (up to
+/// `max_pairs`, subsampled deterministically) against an equal number of
+/// uniformly sampled non-edges. Optionally restricts both samples to pairs
+/// with at least one endpoint in `within` (protected-group link prediction).
+pub fn link_prediction_auc<R: Rng + ?Sized>(
+    g: &Graph,
+    emb: &Mat,
+    within: Option<&NodeSet>,
+    max_pairs: usize,
+    rng: &mut R,
+) -> f64 {
+    assert_eq!(emb.rows(), g.n(), "embedding row count mismatch");
+    assert!(max_pairs > 0, "max_pairs must be positive");
+    let touches = |u: NodeId, v: NodeId| -> bool {
+        within.map_or(true, |s| s.contains(u) || s.contains(v))
+    };
+    let mut edges: Vec<(NodeId, NodeId)> =
+        g.edges().filter(|&(u, v)| touches(u, v)).collect();
+    if edges.is_empty() {
+        return f64::NAN;
+    }
+    // Deterministic subsample.
+    for i in (1..edges.len()).rev() {
+        edges.swap(i, rng.gen_range(0..=i));
+    }
+    edges.truncate(max_pairs);
+    let positives: Vec<f64> = edges.iter().map(|&(u, v)| pair_score(emb, u, v)).collect();
+    let mut negatives = Vec::with_capacity(positives.len());
+    let n = g.n() as NodeId;
+    let mut guard = 0usize;
+    while negatives.len() < positives.len() && guard < 200 * positives.len() {
+        guard += 1;
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v && !g.has_edge(u, v) && touches(u, v) {
+            negatives.push(pair_score(emb, u, v));
+        }
+    }
+    if negatives.is_empty() {
+        return f64::NAN;
+    }
+    roc_auc(&positives, &negatives)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node2vec::{Node2Vec, Node2VecConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn auc_perfect_separation() {
+        assert_eq!(roc_auc(&[2.0, 3.0], &[0.0, 1.0]), 1.0);
+    }
+
+    #[test]
+    fn auc_reversed_is_zero() {
+        assert_eq!(roc_auc(&[0.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn auc_ties_are_half() {
+        assert_eq!(roc_auc(&[1.0], &[1.0]), 0.5);
+    }
+
+    #[test]
+    fn node2vec_beats_chance_on_communities() {
+        // Two dense communities: embeddings should rank intra-community
+        // edges above random non-edges.
+        let mut edges = Vec::new();
+        for a in 0..10u32 {
+            for b in (a + 1)..10 {
+                if (a < 5) == (b < 5) {
+                    edges.push((a, b));
+                }
+            }
+        }
+        edges.push((0, 5));
+        let g = Graph::from_edges(10, &edges);
+        let emb = Node2Vec::train(
+            &g,
+            &Node2VecConfig { dim: 12, walks_per_node: 8, epochs: 3, ..Default::default() },
+            1,
+        );
+        let mut rng = StdRng::seed_from_u64(2);
+        let auc = link_prediction_auc(&g, &emb.vectors, None, 50, &mut rng);
+        assert!(auc > 0.7, "AUC {auc}");
+    }
+
+    #[test]
+    fn protected_restriction_filters_pairs() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
+        let emb = Mat::from_fn(6, 4, |r, c| ((r * 4 + c) as f64 * 0.7).sin());
+        let s = NodeSet::from_members(6, &[3, 4, 5]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let auc = link_prediction_auc(&g, &emb, Some(&s), 10, &mut rng);
+        assert!(auc.is_finite());
+    }
+
+    #[test]
+    fn empty_restriction_yields_nan() {
+        let g = Graph::from_edges(4, &[(0, 1)]);
+        let emb = Mat::zeros(4, 2);
+        let s = NodeSet::from_members(4, &[2, 3]); // no incident edges
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(link_prediction_auc(&g, &emb, Some(&s), 5, &mut rng).is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty score sample")]
+    fn empty_scores_panic() {
+        let _ = roc_auc(&[], &[1.0]);
+    }
+}

@@ -1,0 +1,186 @@
+//! Multiclass logistic regression (the Figure-6 base classifier).
+
+use fairgen_nn::param::HasParams;
+use fairgen_nn::{cross_entropy, log_softmax, Adam, Mat, Param};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A softmax classifier `ŷ = softmax(x W + b)` trained with Adam.
+#[derive(Clone, Debug)]
+pub struct LogisticRegression {
+    w: Param,
+    b: Param,
+    classes: usize,
+}
+
+struct ParamsView<'a> {
+    w: &'a mut Param,
+    b: &'a mut Param,
+}
+
+impl HasParams for ParamsView<'_> {
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(self.w);
+        f(self.b);
+    }
+}
+
+impl LogisticRegression {
+    /// Fits on features `x` (`B × d`) and integer labels, deterministically
+    /// in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty input or label/row count mismatch.
+    pub fn fit(
+        x: &Mat,
+        y: &[usize],
+        classes: usize,
+        epochs: usize,
+        lr: f64,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(x.rows(), y.len(), "label count mismatch");
+        assert!(!y.is_empty(), "empty training set");
+        assert!(classes > 0 && y.iter().all(|&c| c < classes), "bad labels");
+        let d = x.cols();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut w = Param::new(Mat::uniform(d, classes, 0.01, &mut rng));
+        let mut b = Param::new(Mat::zeros(1, classes));
+        let mut opt = Adam::new(lr);
+        let batch = 32usize.min(y.len());
+        let mut order: Vec<usize> = (0..y.len()).collect();
+        for _ in 0..epochs {
+            for i in (1..order.len()).rev() {
+                order.swap(i, rng.gen_range(0..=i));
+            }
+            for chunk in order.chunks(batch) {
+                let bx = Mat::from_fn(chunk.len(), d, |r, c| x.get(chunk[r], c));
+                let by: Vec<usize> = chunk.iter().map(|&i| y[i]).collect();
+                let logits = forward(&bx, &w.value, &b.value);
+                let (_, dlogits) = cross_entropy(&logits, &by, None);
+                // dW = xᵀ dlogits; db = colsum dlogits.
+                w.grad.fill_zero();
+                b.grad.fill_zero();
+                w.grad.add_assign(&bx.matmul_tn(&dlogits));
+                for r in 0..dlogits.rows() {
+                    for c in 0..classes {
+                        let cur = b.grad.get(0, c);
+                        b.grad.set(0, c, cur + dlogits.get(r, c));
+                    }
+                }
+                let mut view = ParamsView { w: &mut w, b: &mut b };
+                opt.step(&mut view);
+            }
+        }
+        LogisticRegression { w, b, classes }
+    }
+
+    /// Class log-probabilities for a feature batch.
+    pub fn log_probs(&self, x: &Mat) -> Mat {
+        log_softmax(&forward(x, &self.w.value, &self.b.value))
+    }
+
+    /// Hard predictions.
+    pub fn predict(&self, x: &Mat) -> Vec<usize> {
+        let lp = self.log_probs(x);
+        (0..lp.rows())
+            .map(|r| {
+                (0..self.classes)
+                    .max_by(|&a, &b| lp.get(r, a).partial_cmp(&lp.get(r, b)).expect("finite"))
+                    .expect("at least one class")
+            })
+            .collect()
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+}
+
+fn forward(x: &Mat, w: &Mat, b: &Mat) -> Mat {
+    let mut logits = x.matmul(w);
+    for r in 0..logits.rows() {
+        for c in 0..logits.cols() {
+            let v = logits.get(r, c) + b.get(0, c);
+            logits.set(r, c, v);
+        }
+    }
+    logits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Linearly separable 2-D blobs.
+    fn blobs() -> (Mat, Vec<usize>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..30 {
+            let t = i as f64 * 0.1;
+            xs.extend([2.0 + t.sin() * 0.3, 2.0 + t.cos() * 0.3]);
+            ys.push(0);
+            xs.extend([-2.0 + t.cos() * 0.3, -2.0 + t.sin() * 0.3]);
+            ys.push(1);
+        }
+        (Mat::from_vec(60, 2, xs), ys)
+    }
+
+    #[test]
+    fn fits_separable_data() {
+        let (x, y) = blobs();
+        let lr = LogisticRegression::fit(&x, &y, 2, 40, 0.05, 1);
+        let preds = lr.predict(&x);
+        let correct = preds.iter().zip(&y).filter(|(a, b)| a == b).count();
+        assert_eq!(correct, 60, "must perfectly separate blobs");
+    }
+
+    #[test]
+    fn log_probs_are_normalized() {
+        let (x, y) = blobs();
+        let lr = LogisticRegression::fit(&x, &y, 2, 10, 0.05, 2);
+        let lp = lr.log_probs(&x);
+        for r in 0..5 {
+            let sum: f64 = (0..2).map(|c| lp.get(r, c).exp()).sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn three_class_problem() {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..20 {
+            let j = (i % 7) as f64 * 0.05;
+            xs.extend([3.0 + j, 0.0]);
+            ys.push(0);
+            xs.extend([-3.0 - j, 0.0]);
+            ys.push(1);
+            xs.extend([0.0, 3.0 + j]);
+            ys.push(2);
+        }
+        let x = Mat::from_vec(60, 2, xs);
+        let lr = LogisticRegression::fit(&x, &ys, 3, 60, 0.05, 3);
+        let preds = lr.predict(&x);
+        let correct = preds.iter().zip(&ys).filter(|(a, b)| a == b).count();
+        assert!(correct >= 58, "only {correct}/60");
+        assert_eq!(lr.classes(), 3);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let (x, y) = blobs();
+        let a = LogisticRegression::fit(&x, &y, 2, 5, 0.05, 9);
+        let b = LogisticRegression::fit(&x, &y, 2, 5, 0.05, 9);
+        assert_eq!(a.predict(&x), b.predict(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "label count mismatch")]
+    fn mismatched_labels_panic() {
+        let x = Mat::zeros(3, 2);
+        let _ = LogisticRegression::fit(&x, &[0, 1], 2, 1, 0.1, 0);
+    }
+}

@@ -1,0 +1,239 @@
+//! node2vec: skip-gram with negative sampling (SGNS) over biased walks
+//! (Grover & Leskovec, KDD'16 — reference \[39\] of the paper).
+
+use fairgen_graph::{Graph, NodeId};
+use fairgen_nn::Mat;
+use fairgen_walks::Node2VecWalker;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// node2vec hyperparameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Node2VecConfig {
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Walks started per node.
+    pub walks_per_node: usize,
+    /// Walk length (nodes).
+    pub walk_len: usize,
+    /// Skip-gram window radius.
+    pub window: usize,
+    /// Negative samples per positive pair.
+    pub negatives: usize,
+    /// SGD epochs over the walk corpus.
+    pub epochs: usize,
+    /// SGD learning rate.
+    pub lr: f64,
+    /// Return parameter `p`.
+    pub p: f64,
+    /// In-out parameter `q`.
+    pub q: f64,
+}
+
+impl Default for Node2VecConfig {
+    fn default() -> Self {
+        Node2VecConfig {
+            dim: 32,
+            walks_per_node: 8,
+            walk_len: 12,
+            window: 4,
+            negatives: 4,
+            epochs: 2,
+            lr: 0.025,
+            p: 1.0,
+            q: 1.0,
+        }
+    }
+}
+
+/// A trained node2vec embedding.
+#[derive(Clone, Debug)]
+pub struct Node2Vec {
+    /// Input ("center") vectors, `n × dim` — the embedding consumers use.
+    pub vectors: Mat,
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl Node2Vec {
+    /// Trains node2vec on `g`, deterministically in `seed`.
+    pub fn train(g: &Graph, cfg: &Node2VecConfig, seed: u64) -> Self {
+        assert!(cfg.dim > 0 && cfg.walk_len >= 2 && cfg.window >= 1);
+        let n = g.n();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scale = 0.5 / cfg.dim as f64;
+        let mut center = Mat::uniform(n, cfg.dim, scale, &mut rng);
+        let mut context = Mat::uniform(n, cfg.dim, scale, &mut rng);
+
+        // Walk corpus: `walks_per_node` walks from every non-isolated node.
+        let walker = Node2VecWalker::new(cfg.p, cfg.q);
+        let mut corpus: Vec<Vec<NodeId>> = Vec::with_capacity(n * cfg.walks_per_node);
+        for _ in 0..cfg.walks_per_node {
+            for v in 0..n as NodeId {
+                if g.degree(v) > 0 {
+                    corpus.push(walker.walk(g, v, cfg.walk_len, &mut rng));
+                }
+            }
+        }
+
+        // Degree^{3/4} negative-sampling table (word2vec convention).
+        let mut table: Vec<NodeId> = Vec::new();
+        for v in 0..n as NodeId {
+            let w = (g.degree(v) as f64).powf(0.75).ceil() as usize;
+            table.extend(std::iter::repeat(v).take(w.max(1)));
+        }
+
+        for _ in 0..cfg.epochs {
+            for wi in 0..corpus.len() {
+                let walk = corpus[wi].clone();
+                for (i, &c) in walk.iter().enumerate() {
+                    let lo = i.saturating_sub(cfg.window);
+                    let hi = (i + cfg.window).min(walk.len() - 1);
+                    for j in lo..=hi {
+                        if j == i {
+                            continue;
+                        }
+                        let target = walk[j];
+                        sgns_update(
+                            &mut center,
+                            &mut context,
+                            c as usize,
+                            target as usize,
+                            1.0,
+                            cfg.lr,
+                        );
+                        for _ in 0..cfg.negatives {
+                            let neg = table[rng.gen_range(0..table.len())];
+                            if neg != target {
+                                sgns_update(
+                                    &mut center,
+                                    &mut context,
+                                    c as usize,
+                                    neg as usize,
+                                    0.0,
+                                    cfg.lr,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Node2Vec { vectors: center }
+    }
+
+    /// The vector of one node.
+    pub fn vector(&self, v: NodeId) -> &[f64] {
+        self.vectors.row(v as usize)
+    }
+
+    /// Cosine similarity between two nodes' vectors.
+    pub fn cosine(&self, a: NodeId, b: NodeId) -> f64 {
+        let (va, vb) = (self.vector(a), self.vector(b));
+        let dot: f64 = va.iter().zip(vb).map(|(x, y)| x * y).sum();
+        let na: f64 = va.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let nb: f64 = vb.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            dot / (na * nb)
+        }
+    }
+}
+
+/// One SGNS gradient step on the pair `(center c, context t)` with label 1
+/// (positive) or 0 (negative).
+fn sgns_update(center: &mut Mat, context: &mut Mat, c: usize, t: usize, label: f64, lr: f64) {
+    let dim = center.cols();
+    let dot: f64 = (0..dim).map(|k| center.get(c, k) * context.get(t, k)).sum();
+    let g = (sigmoid(dot) - label) * lr;
+    for k in 0..dim {
+        let cc = center.get(c, k);
+        let ct = context.get(t, k);
+        center.set(c, k, cc - g * ct);
+        context.set(t, k, ct - g * cc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_communities() -> Graph {
+        let mut edges = Vec::new();
+        for a in 0..10u32 {
+            for b in (a + 1)..10 {
+                if (a < 5) == (b < 5) {
+                    edges.push((a, b));
+                }
+            }
+        }
+        edges.push((0, 5));
+        Graph::from_edges(10, &edges)
+    }
+
+    fn fast_cfg() -> Node2VecConfig {
+        Node2VecConfig { dim: 12, walks_per_node: 6, walk_len: 8, epochs: 3, ..Default::default() }
+    }
+
+    #[test]
+    fn vectors_shape() {
+        let g = two_communities();
+        let emb = Node2Vec::train(&g, &fast_cfg(), 1);
+        assert_eq!(emb.vectors.rows(), 10);
+        assert_eq!(emb.vectors.cols(), 12);
+    }
+
+    #[test]
+    fn communities_cluster_in_embedding_space() {
+        let g = two_communities();
+        let emb = Node2Vec::train(&g, &fast_cfg(), 2);
+        let mut intra = 0.0;
+        let mut inter = 0.0;
+        let mut n_intra = 0;
+        let mut n_inter = 0;
+        for a in 0..10u32 {
+            for b in (a + 1)..10 {
+                let cos = emb.cosine(a, b);
+                if (a < 5) == (b < 5) {
+                    intra += cos;
+                    n_intra += 1;
+                } else {
+                    inter += cos;
+                    n_inter += 1;
+                }
+            }
+        }
+        let (intra, inter) = (intra / n_intra as f64, inter / n_inter as f64);
+        assert!(
+            intra > inter + 0.2,
+            "communities not separated: intra {intra} inter {inter}"
+        );
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let g = two_communities();
+        let a = Node2Vec::train(&g, &fast_cfg(), 7);
+        let b = Node2Vec::train(&g, &fast_cfg(), 7);
+        assert_eq!(a.vectors, b.vectors);
+    }
+
+    #[test]
+    fn cosine_self_is_one() {
+        let g = two_communities();
+        let emb = Node2Vec::train(&g, &fast_cfg(), 3);
+        assert!((emb.cosine(4, 4) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn isolated_nodes_keep_init_vectors() {
+        let g = Graph::from_edges(4, &[(0, 1)]);
+        let emb = Node2Vec::train(&g, &fast_cfg(), 4);
+        // Node 3 is isolated: no walks start there, vector stays near init.
+        let norm: f64 = emb.vector(3).iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!(norm < 0.5, "isolated vector drifted: {norm}");
+    }
+}

@@ -1,0 +1,182 @@
+//! 2-D projection and the group-separation score — the quantitative stand-in
+//! for the paper's t-SNE visualizations (Figures 1 and 9).
+
+use fairgen_graph::NodeSet;
+use fairgen_nn::Mat;
+
+/// Projects row vectors onto their top two principal components
+/// (power iteration with deflation). Returns an `n × 2` matrix.
+pub fn pca_2d(x: &Mat) -> Mat {
+    let (n, d) = (x.rows(), x.cols());
+    assert!(n > 0 && d >= 2, "need at least two feature dims");
+    // Center.
+    let mut mean = vec![0.0; d];
+    for r in 0..n {
+        for (c, m) in mean.iter_mut().enumerate() {
+            *m += x.get(r, c) / n as f64;
+        }
+    }
+    let centered = Mat::from_fn(n, d, |r, c| x.get(r, c) - mean[c]);
+    let comp1 = top_component(&centered, 0x1234);
+    // Deflate: remove the comp1 direction.
+    let deflated = Mat::from_fn(n, d, |r, c| {
+        let proj: f64 = (0..d).map(|k| centered.get(r, k) * comp1[k]).sum();
+        centered.get(r, c) - proj * comp1[c]
+    });
+    let comp2 = top_component(&deflated, 0x5678);
+    Mat::from_fn(n, 2, |r, c| {
+        let comp = if c == 0 { &comp1 } else { &comp2 };
+        (0..d).map(|k| centered.get(r, k) * comp[k]).sum()
+    })
+}
+
+/// Top eigenvector of `XᵀX` via ~60 power iterations.
+fn top_component(x: &Mat, seed: u64) -> Vec<f64> {
+    let d = x.cols();
+    // Deterministic pseudo-random init.
+    let mut v: Vec<f64> = (0..d)
+        .map(|i| {
+            let h = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(seed);
+            ((h >> 16) & 0xffff) as f64 / 65535.0 - 0.5
+        })
+        .collect();
+    normalize(&mut v);
+    for _ in 0..60 {
+        // w = Xᵀ (X v)
+        let mut xv = vec![0.0; x.rows()];
+        for (r, out) in xv.iter_mut().enumerate() {
+            *out = (0..d).map(|c| x.get(r, c) * v[c]).sum();
+        }
+        let mut w = vec![0.0; d];
+        for r in 0..x.rows() {
+            for (c, wc) in w.iter_mut().enumerate() {
+                *wc += x.get(r, c) * xv[r];
+            }
+        }
+        if normalize(&mut w) < 1e-12 {
+            break;
+        }
+        v = w;
+    }
+    v
+}
+
+fn normalize(v: &mut [f64]) -> f64 {
+    let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+    norm
+}
+
+/// Group-separation score of an embedding: the distance between the two
+/// group centroids divided by the mean within-group distance to the own
+/// centroid. Higher ⇒ the protected group is more clearly preserved as its
+/// own region of the embedding space; under representation disparity this
+/// score collapses ("the nodes from the protected group and unprotected
+/// group get mixed together", Figure 1).
+///
+/// Returns 0.0 when either group is empty.
+pub fn group_separation(embedding: &Mat, protected: &NodeSet) -> f64 {
+    let n = embedding.rows();
+    assert_eq!(n, protected.universe(), "universe mismatch");
+    let d = embedding.cols();
+    let plus: Vec<usize> = protected.members().iter().map(|&v| v as usize).collect();
+    let minus: Vec<usize> =
+        protected.complement().members().iter().map(|&v| v as usize).collect();
+    if plus.is_empty() || minus.is_empty() {
+        return 0.0;
+    }
+    let centroid = |idx: &[usize]| -> Vec<f64> {
+        let mut c = vec![0.0; d];
+        for &i in idx {
+            for (k, ck) in c.iter_mut().enumerate() {
+                *ck += embedding.get(i, k) / idx.len() as f64;
+            }
+        }
+        c
+    };
+    let cp = centroid(&plus);
+    let cm = centroid(&minus);
+    let between: f64 = cp.iter().zip(&cm).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+    let spread = |idx: &[usize], c: &[f64]| -> f64 {
+        idx.iter()
+            .map(|&i| {
+                (0..d)
+                    .map(|k| (embedding.get(i, k) - c[k]).powi(2))
+                    .sum::<f64>()
+                    .sqrt()
+            })
+            .sum::<f64>()
+            / idx.len() as f64
+    };
+    let within = 0.5 * (spread(&plus, &cp) + spread(&minus, &cm));
+    if within < 1e-12 {
+        return if between < 1e-12 { 0.0 } else { f64::INFINITY };
+    }
+    between / within
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pca_projects_onto_spread_direction() {
+        // Points along the x-axis with tiny y noise: PC1 ≈ x-axis.
+        let x = Mat::from_fn(20, 3, |r, c| match c {
+            0 => r as f64,
+            1 => (r % 2) as f64 * 0.01,
+            _ => 0.0,
+        });
+        let p = pca_2d(&x);
+        assert_eq!((p.rows(), p.cols()), (20, 2));
+        // The first component must order points like their x coordinate
+        // (up to global sign).
+        let d0 = p.get(19, 0) - p.get(0, 0);
+        let spread1: f64 = (0..20).map(|r| p.get(r, 0).abs()).sum();
+        let spread2: f64 = (0..20).map(|r| p.get(r, 1).abs()).sum();
+        assert!(d0.abs() > 10.0);
+        assert!(spread1 > 10.0 * spread2, "PC1 must dominate: {spread1} vs {spread2}");
+    }
+
+    #[test]
+    fn separation_high_for_distinct_clusters() {
+        let emb = Mat::from_fn(20, 2, |r, _| if r < 10 { 0.0 } else { 10.0 });
+        let s = NodeSet::from_members(20, &(0..10).collect::<Vec<_>>());
+        let sep = group_separation(&emb, &s);
+        assert!(sep.is_infinite() || sep > 100.0, "sep = {sep}");
+    }
+
+    #[test]
+    fn separation_low_for_mixed_groups() {
+        // Interleaved identical distributions.
+        let emb = Mat::from_fn(20, 2, |r, c| ((r * 7 + c * 3) % 5) as f64);
+        let s = NodeSet::from_members(20, &(0..20).step_by(2).map(|v| v as u32).collect::<Vec<_>>());
+        let sep = group_separation(&emb, &s);
+        assert!(sep < 1.0, "sep = {sep}");
+    }
+
+    #[test]
+    fn separation_orders_cluster_quality() {
+        let make = |gap: f64| {
+            Mat::from_fn(20, 2, |r, c| {
+                let base = if r < 10 { 0.0 } else { gap };
+                base + ((r * 3 + c) % 4) as f64 * 0.5
+            })
+        };
+        let s = NodeSet::from_members(20, &(0..10).collect::<Vec<_>>());
+        let tight = group_separation(&make(10.0), &s);
+        let loose = group_separation(&make(2.0), &s);
+        assert!(tight > loose);
+    }
+
+    #[test]
+    fn empty_group_returns_zero() {
+        let emb = Mat::zeros(4, 2);
+        assert_eq!(group_separation(&emb, &NodeSet::empty(4)), 0.0);
+        assert_eq!(group_separation(&emb, &NodeSet::full(4)), 0.0);
+    }
+}

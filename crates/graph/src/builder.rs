@@ -1,0 +1,94 @@
+//! Incremental graph construction.
+
+use crate::graph::{Graph, NodeId};
+
+/// Incremental builder for [`Graph`].
+///
+/// Collects edges (self-loops and duplicates allowed; both are removed when
+/// the graph is finalized) and grows the vertex count on demand.
+///
+/// ```
+/// use fairgen_graph::GraphBuilder;
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1);
+/// b.add_edge(1, 2);
+/// b.add_edge(1, 2); // duplicate, dropped at build time
+/// let g = b.build();
+/// assert_eq!(g.m(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with at least `n` vertices.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder { n, edges: Vec::new() }
+    }
+
+    /// Creates a builder with capacity for `m` edges.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        GraphBuilder { n, edges: Vec::with_capacity(m) }
+    }
+
+    /// Adds an undirected edge, growing the vertex count if needed.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        self.n = self.n.max(u as usize + 1).max(v as usize + 1);
+        self.edges.push((u, v));
+    }
+
+    /// Ensures the built graph has at least `n` vertices.
+    pub fn ensure_nodes(&mut self, n: usize) {
+        self.n = self.n.max(n);
+    }
+
+    /// Number of edges added so far (before dedup).
+    pub fn raw_edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Current vertex count.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Finalizes into a simple CSR graph.
+    pub fn build(self) -> Graph {
+        Graph::from_edges(self.n, &self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_nodes_on_demand() {
+        let mut b = GraphBuilder::new(0);
+        b.add_edge(5, 2);
+        let g = b.build();
+        assert_eq!(g.n(), 6);
+        assert!(g.has_edge(5, 2));
+    }
+
+    #[test]
+    fn ensure_nodes_pads_isolated() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1);
+        b.ensure_nodes(10);
+        let g = b.build();
+        assert_eq!(g.n(), 10);
+        assert_eq!(g.isolated_count(), 8);
+    }
+
+    #[test]
+    fn raw_count_includes_duplicates() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(0, 1);
+        assert_eq!(b.raw_edge_count(), 2);
+        assert_eq!(b.build().m(), 1);
+    }
+}

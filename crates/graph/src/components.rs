@@ -1,0 +1,166 @@
+//! Connected components via union-find.
+
+use crate::graph::{Graph, NodeId};
+
+/// Disjoint-set forest with path halving and union by size.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n as u32).collect(), size: vec![1; n], components: n }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, x: u32) -> u32 {
+        let mut x = x;
+        while self.parent[x as usize] != x {
+            // Path halving.
+            self.parent[x as usize] = self.parent[self.parent[x as usize] as usize];
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns whether a merge happened.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+        self.components -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// Size of the set containing `x`.
+    pub fn component_size(&mut self, x: u32) -> usize {
+        let r = self.find(x);
+        self.size[r as usize] as usize
+    }
+}
+
+/// Labels every node with a dense component id in `0..k`; returns
+/// `(labels, component_sizes)`.
+pub fn connected_components(g: &Graph) -> (Vec<u32>, Vec<usize>) {
+    let n = g.n();
+    let mut uf = UnionFind::new(n);
+    for (u, v) in g.edges() {
+        uf.union(u, v);
+    }
+    let mut label = vec![u32::MAX; n];
+    let mut sizes = Vec::new();
+    for v in 0..n {
+        let r = uf.find(v as u32) as usize;
+        if label[r] == u32::MAX {
+            label[r] = sizes.len() as u32;
+            sizes.push(0);
+        }
+        let c = label[r];
+        label[v] = c;
+        sizes[c as usize] += 1;
+    }
+    (label, sizes)
+}
+
+/// Number of connected components (the paper's NCC metric; isolated nodes
+/// each count as a component).
+pub fn num_components(g: &Graph) -> usize {
+    let mut uf = UnionFind::new(g.n());
+    for (u, v) in g.edges() {
+        uf.union(u, v);
+    }
+    uf.component_count()
+}
+
+/// Nodes of the largest connected component (ties broken by smallest label).
+pub fn largest_component_nodes(g: &Graph) -> Vec<NodeId> {
+    if g.n() == 0 {
+        return Vec::new();
+    }
+    let (labels, sizes) = connected_components(g);
+    let best = sizes
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+        .map(|(i, _)| i as u32)
+        .expect("non-empty graph has a component");
+    (0..g.n() as NodeId).filter(|&v| labels[v as usize] == best).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(4);
+        assert_eq!(uf.component_count(), 4);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert!(uf.connected(0, 1));
+        assert!(!uf.connected(0, 2));
+        assert_eq!(uf.component_count(), 3);
+        assert_eq!(uf.component_size(1), 2);
+    }
+
+    #[test]
+    fn components_two_cliques() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5)]);
+        assert_eq!(num_components(&g), 2);
+        let (labels, sizes) = connected_components(&g);
+        assert_eq!(labels[0], labels[2]);
+        assert_eq!(labels[3], labels[5]);
+        assert_ne!(labels[0], labels[3]);
+        let mut s = sizes.clone();
+        s.sort_unstable();
+        assert_eq!(s, vec![3, 3]);
+    }
+
+    #[test]
+    fn isolated_nodes_are_components() {
+        let g = Graph::from_edges(5, &[(0, 1)]);
+        assert_eq!(num_components(&g), 4);
+    }
+
+    #[test]
+    fn largest_component() {
+        let g = Graph::from_edges(7, &[(0, 1), (1, 2), (2, 3), (4, 5)]);
+        assert_eq!(largest_component_nodes(&g), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn largest_component_empty_graph() {
+        assert!(largest_component_nodes(&Graph::empty(0)).is_empty());
+        // All isolated: any singleton is "largest"; size 1.
+        assert_eq!(largest_component_nodes(&Graph::empty(3)).len(), 1);
+    }
+
+    #[test]
+    fn fully_connected_single_component() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(num_components(&g), 1);
+        assert_eq!(largest_component_nodes(&g).len(), 4);
+    }
+}

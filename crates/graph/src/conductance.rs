@@ -1,0 +1,100 @@
+//! Volumes, cuts, and conductance φ(S).
+
+use crate::graph::Graph;
+use crate::partition::NodeSet;
+
+/// Volume of a node set: `vol(S) = Σ_{v ∈ S} deg(v)`.
+pub fn volume(g: &Graph, s: &NodeSet) -> usize {
+    s.members().iter().map(|&v| g.degree(v)).sum()
+}
+
+/// Number of edges with exactly one endpoint in `S`.
+pub fn cut_size(g: &Graph, s: &NodeSet) -> usize {
+    let mut cut = 0usize;
+    for &v in s.members() {
+        for &u in g.neighbors(v) {
+            if !s.contains(u) {
+                cut += 1;
+            }
+        }
+    }
+    cut
+}
+
+/// Conductance `φ(S) = cut(S) / min(vol(S), vol(V \ S))`.
+///
+/// Returns 0.0 when either side has zero volume (degenerate sets); this
+/// matches the paper's convention that a compact, well-separated `S` has
+/// small conductance.
+pub fn conductance(g: &Graph, s: &NodeSet) -> f64 {
+    let vol_s = volume(g, s);
+    let vol_rest = g.total_volume() - vol_s;
+    let denom = vol_s.min(vol_rest);
+    if denom == 0 {
+        return 0.0;
+    }
+    cut_size(g, s) as f64 / denom as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    fn barbell() -> (Graph, NodeSet) {
+        // Two triangles joined by one bridge edge (2-3).
+        let g = Graph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+        );
+        let s = NodeSet::from_members(6, &[0, 1, 2]);
+        (g, s)
+    }
+
+    #[test]
+    fn volume_counts_degrees() {
+        let (g, s) = barbell();
+        assert_eq!(volume(&g, &s), 2 + 2 + 3);
+    }
+
+    #[test]
+    fn cut_counts_boundary_edges() {
+        let (g, s) = barbell();
+        assert_eq!(cut_size(&g, &s), 1);
+        assert_eq!(cut_size(&g, &s.complement()), 1);
+    }
+
+    #[test]
+    fn conductance_barbell() {
+        let (g, s) = barbell();
+        let phi = conductance(&g, &s);
+        assert!((phi - 1.0 / 7.0).abs() < 1e-12);
+        // Conductance of complement matches (both sides have volume 7).
+        assert!((conductance(&g, &s.complement()) - phi).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conductance_in_unit_interval() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+        for members in [&[0u32][..], &[0, 1], &[0, 1, 2], &[1, 3]] {
+            let s = NodeSet::from_members(4, members);
+            let phi = conductance(&g, &s);
+            assert!((0.0..=1.0).contains(&phi), "phi={phi} for {members:?}");
+        }
+    }
+
+    #[test]
+    fn degenerate_sets_zero() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        assert_eq!(conductance(&g, &NodeSet::empty(3)), 0.0);
+        assert_eq!(conductance(&g, &NodeSet::full(3)), 0.0);
+    }
+
+    #[test]
+    fn disconnected_set_zero_cut() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let s = NodeSet::from_members(4, &[0, 1]);
+        assert_eq!(cut_size(&g, &s), 0);
+        assert_eq!(conductance(&g, &s), 0.0);
+    }
+}

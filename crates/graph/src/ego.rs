@@ -1,0 +1,126 @@
+//! Induced subgraphs and ego networks.
+//!
+//! The paper's protected-group discrepancy R+ (Eq. 16) is measured on "the
+//! 1-hop ego network with the anchor nodes from the protected group", i.e.
+//! the subgraph induced by S+ together with all direct neighbors of S+.
+
+use crate::graph::{Graph, NodeId};
+use crate::partition::NodeSet;
+
+/// Mapping between a subgraph's dense node ids and the parent graph's ids.
+#[derive(Clone, Debug)]
+pub struct SubgraphMap {
+    /// `to_parent[sub_id] = parent_id`, sorted ascending.
+    pub to_parent: Vec<NodeId>,
+    /// `from_parent[parent_id] = Some(sub_id)` for included nodes.
+    pub from_parent: Vec<Option<NodeId>>,
+}
+
+impl SubgraphMap {
+    /// Translates a parent-graph node set into subgraph coordinates,
+    /// dropping nodes outside the subgraph.
+    pub fn project_set(&self, set: &NodeSet) -> NodeSet {
+        let members: Vec<NodeId> = set
+            .members()
+            .iter()
+            .filter_map(|&v| self.from_parent[v as usize])
+            .collect();
+        NodeSet::from_members(self.to_parent.len(), &members)
+    }
+}
+
+/// The subgraph induced by `nodes` (duplicates ignored), with an id mapping.
+pub fn induced_subgraph(g: &Graph, nodes: &[NodeId]) -> (Graph, SubgraphMap) {
+    let set = NodeSet::from_members(g.n(), nodes);
+    let to_parent: Vec<NodeId> = set.members().to_vec();
+    let mut from_parent = vec![None; g.n()];
+    for (i, &v) in to_parent.iter().enumerate() {
+        from_parent[v as usize] = Some(i as NodeId);
+    }
+    let mut edges = Vec::new();
+    for &v in &to_parent {
+        let sv = from_parent[v as usize].expect("member has sub id");
+        for &u in g.neighbors(v) {
+            if u > v {
+                if let Some(su) = from_parent[u as usize] {
+                    edges.push((sv, su));
+                }
+            }
+        }
+    }
+    (Graph::from_edges(to_parent.len(), &edges), SubgraphMap { to_parent, from_parent })
+}
+
+/// The 1-hop ego network anchored at `anchors`: the subgraph induced by the
+/// anchors plus every direct neighbor of an anchor.
+pub fn ego_network(g: &Graph, anchors: &[NodeId]) -> (Graph, SubgraphMap) {
+    let mut include = vec![false; g.n()];
+    for &a in anchors {
+        include[a as usize] = true;
+        for &u in g.neighbors(a) {
+            include[u as usize] = true;
+        }
+    }
+    let nodes: Vec<NodeId> = (0..g.n() as NodeId).filter(|&v| include[v as usize]).collect();
+    induced_subgraph(g, &nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Graph {
+        // 0-1-2 triangle, 2-3, 3-4, 5 isolated.
+        Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)])
+    }
+
+    #[test]
+    fn induced_keeps_internal_edges_only() {
+        let g = sample();
+        let (sub, map) = induced_subgraph(&g, &[0, 1, 3]);
+        assert_eq!(sub.n(), 3);
+        assert_eq!(sub.m(), 1); // only (0,1) survives
+        assert_eq!(map.to_parent, vec![0, 1, 3]);
+        let s0 = map.from_parent[0].unwrap();
+        let s1 = map.from_parent[1].unwrap();
+        assert!(sub.has_edge(s0, s1));
+    }
+
+    #[test]
+    fn induced_full_graph_is_identity() {
+        let g = sample();
+        let all: Vec<NodeId> = (0..6).collect();
+        let (sub, _) = induced_subgraph(&g, &all);
+        assert_eq!(sub.m(), g.m());
+        assert_eq!(sub.n(), g.n());
+    }
+
+    #[test]
+    fn ego_network_one_anchor() {
+        let g = sample();
+        let (sub, map) = ego_network(&g, &[2]);
+        // 2's closed neighborhood = {0, 1, 2, 3}; induced edges: triangle + (2,3).
+        assert_eq!(sub.n(), 4);
+        assert_eq!(sub.m(), 4);
+        assert_eq!(map.to_parent, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn ego_network_isolated_anchor() {
+        let g = sample();
+        let (sub, map) = ego_network(&g, &[5]);
+        assert_eq!(sub.n(), 1);
+        assert_eq!(sub.m(), 0);
+        assert_eq!(map.to_parent, vec![5]);
+    }
+
+    #[test]
+    fn project_set_drops_outsiders() {
+        let g = sample();
+        let (_, map) = induced_subgraph(&g, &[1, 2, 3]);
+        let set = NodeSet::from_members(6, &[0, 2, 3]);
+        let proj = map.project_set(&set);
+        assert_eq!(proj.len(), 2);
+        assert_eq!(proj.universe(), 3);
+    }
+}

@@ -1,0 +1,330 @@
+//! The core CSR undirected graph type.
+
+/// Dense node identifier. Nodes of a graph with `n` vertices are `0..n`.
+pub type NodeId = u32;
+
+/// An undirected simple graph in compressed-sparse-row form.
+///
+/// Adjacency lists are sorted and deduplicated, each undirected edge
+/// `{u, v}` is stored twice (once in `u`'s list, once in `v`'s), and
+/// self-loops are not representable.
+///
+/// ```
+/// use fairgen_graph::Graph;
+/// let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+/// assert_eq!(g.n(), 4);
+/// assert_eq!(g.m(), 4);
+/// assert_eq!(g.degree(1), 2);
+/// assert!(g.has_edge(0, 3));
+/// assert!(!g.has_edge(0, 2));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Graph {
+    offsets: Vec<usize>,
+    neighbors: Vec<NodeId>,
+    m: usize,
+}
+
+impl Graph {
+    /// Builds a graph with `n` vertices from an edge list.
+    ///
+    /// Self-loops and duplicate edges (in either orientation) are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is `>= n`.
+    pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Self {
+        let mut deg = vec![0usize; n];
+        for &(u, v) in edges {
+            assert!((u as usize) < n && (v as usize) < n, "edge ({u},{v}) out of range for n={n}");
+            if u == v {
+                continue;
+            }
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        for d in &deg {
+            let last = *offsets.last().expect("offsets non-empty");
+            offsets.push(last + d);
+        }
+        let mut neighbors = vec![0 as NodeId; offsets[n]];
+        let mut cursor = offsets[..n].to_vec();
+        for &(u, v) in edges {
+            if u == v {
+                continue;
+            }
+            neighbors[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            neighbors[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        // Sort and dedup each adjacency list, then recompact.
+        let mut clean_neighbors = Vec::with_capacity(neighbors.len());
+        let mut clean_offsets = Vec::with_capacity(n + 1);
+        clean_offsets.push(0usize);
+        for v in 0..n {
+            let list = &mut neighbors[offsets[v]..offsets[v + 1]];
+            list.sort_unstable();
+            let start = clean_neighbors.len();
+            let mut prev: Option<NodeId> = None;
+            for &u in list.iter() {
+                if prev != Some(u) {
+                    clean_neighbors.push(u);
+                    prev = Some(u);
+                }
+            }
+            let _ = start;
+            clean_offsets.push(clean_neighbors.len());
+        }
+        let m = clean_neighbors.len() / 2;
+        Graph { offsets: clean_offsets, neighbors: clean_neighbors, m }
+    }
+
+    /// A graph with `n` vertices and no edges.
+    pub fn empty(n: usize) -> Self {
+        Graph { offsets: vec![0; n + 1], neighbors: Vec::new(), m: 0 }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// The sorted adjacency list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.neighbors[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Whether the undirected edge `{u, v}` is present. `O(log deg(u))`.
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// All degrees, indexed by node.
+    pub fn degrees(&self) -> Vec<usize> {
+        (0..self.n()).map(|v| self.degree(v as NodeId)).collect()
+    }
+
+    /// Maximum degree, or 0 for the empty graph.
+    pub fn max_degree(&self) -> usize {
+        (0..self.n()).map(|v| self.degree(v as NodeId)).max().unwrap_or(0)
+    }
+
+    /// Minimum degree, or 0 for the empty graph.
+    pub fn min_degree(&self) -> usize {
+        (0..self.n()).map(|v| self.degree(v as NodeId)).min().unwrap_or(0)
+    }
+
+    /// Iterates over each undirected edge once, as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.n() as NodeId)
+            .flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
+            .filter(|&(u, v)| u < v)
+    }
+
+    /// Collects the edge list (each edge once, `u < v`).
+    pub fn edge_list(&self) -> Vec<(NodeId, NodeId)> {
+        self.edges().collect()
+    }
+
+    /// Number of isolated (degree-0) vertices.
+    pub fn isolated_count(&self) -> usize {
+        (0..self.n()).filter(|&v| self.degree(v as NodeId) == 0).count()
+    }
+
+    /// Counts the triangles of the graph (each triangle once).
+    ///
+    /// Uses the standard oriented-neighborhood intersection: for every edge
+    /// `(u, v)` with `u < v`, counts common neighbors `w > v`.
+    pub fn triangle_count(&self) -> usize {
+        let mut count = 0usize;
+        for u in 0..self.n() as NodeId {
+            let nu = self.neighbors(u);
+            for &v in nu.iter().filter(|&&v| v > u) {
+                let nv = self.neighbors(v);
+                count += intersect_above(nu, nv, v);
+            }
+        }
+        count
+    }
+
+    /// Per-node triangle participation: `t[v]` = number of triangles
+    /// containing `v`.
+    pub fn triangles_per_node(&self) -> Vec<usize> {
+        let mut t = vec![0usize; self.n()];
+        for u in 0..self.n() as NodeId {
+            let nu = self.neighbors(u);
+            for &v in nu.iter().filter(|&&v| v > u) {
+                let nv = self.neighbors(v);
+                // Common neighbors w > v close a triangle {u, v, w}.
+                let (mut i, mut j) = (0usize, 0usize);
+                while i < nu.len() && j < nv.len() {
+                    match nu[i].cmp(&nv[j]) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            let w = nu[i];
+                            if w > v {
+                                t[u as usize] += 1;
+                                t[v as usize] += 1;
+                                t[w as usize] += 1;
+                            }
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+            }
+        }
+        t
+    }
+
+    /// Total volume `Σ_v deg(v) = 2m`.
+    #[inline]
+    pub fn total_volume(&self) -> usize {
+        2 * self.m
+    }
+}
+
+/// Number of common elements of two sorted slices that are strictly greater
+/// than `floor`.
+fn intersect_above(a: &[NodeId], b: &[NodeId], floor: NodeId) -> usize {
+    let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                if a[i] > floor {
+                    count += 1;
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k4() -> Graph {
+        Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn from_edges_basic() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn self_loops_dropped() {
+        let g = Graph::from_edges(3, &[(0, 0), (0, 1), (2, 2)]);
+        assert_eq!(g.m(), 1);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 0);
+    }
+
+    #[test]
+    fn duplicate_edges_dropped() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 0), (0, 1), (1, 2)]);
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 2);
+    }
+
+    #[test]
+    fn adjacency_sorted() {
+        let g = Graph::from_edges(5, &[(4, 0), (2, 0), (0, 3), (1, 0)]);
+        assert_eq!(g.neighbors(0), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn has_edge_symmetry() {
+        let g = Graph::from_edges(4, &[(0, 3), (1, 2)]);
+        assert!(g.has_edge(0, 3) && g.has_edge(3, 0));
+        assert!(g.has_edge(1, 2) && g.has_edge(2, 1));
+        assert!(!g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(5);
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 0);
+        assert_eq!(g.isolated_count(), 5);
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn edges_iterates_each_once() {
+        let g = k4();
+        let edges = g.edge_list();
+        assert_eq!(edges.len(), 6);
+        for &(u, v) in &edges {
+            assert!(u < v);
+        }
+    }
+
+    #[test]
+    fn triangle_count_k4() {
+        assert_eq!(k4().triangle_count(), 4);
+    }
+
+    #[test]
+    fn triangle_count_path_is_zero() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(g.triangle_count(), 0);
+    }
+
+    #[test]
+    fn triangle_count_single() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        assert_eq!(g.triangle_count(), 1);
+        assert_eq!(g.triangles_per_node(), vec![1, 1, 1, 0]);
+    }
+
+    #[test]
+    fn triangles_per_node_k4() {
+        // Each node of K4 is in C(3,2) = 3 triangles.
+        assert_eq!(k4().triangles_per_node(), vec![3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn degrees_and_volume() {
+        let g = k4();
+        assert_eq!(g.degrees(), vec![3, 3, 3, 3]);
+        assert_eq!(g.total_volume(), 12);
+        assert_eq!(g.min_degree(), 3);
+        assert_eq!(g.max_degree(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let _ = Graph::from_edges(2, &[(0, 2)]);
+    }
+}

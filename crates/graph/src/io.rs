@@ -1,0 +1,163 @@
+//! Plain-text edge-list serialization — the interchange format of the
+//! privacy-sharing use case (ship the synthetic graph, not the data).
+//!
+//! Format: one `u v` pair per line (whitespace-separated decimal node ids),
+//! `#`-prefixed comment lines ignored, plus an optional leading
+//! `# nodes: <n>` header so isolated vertices survive the round trip.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::graph::{Graph, NodeId};
+use crate::GraphBuilder;
+
+/// Errors produced while parsing an edge list.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line that is neither a comment nor a `u v` pair.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "i/o error: {e}"),
+            ParseError::Malformed { line, text } => {
+                write!(f, "malformed edge list at line {line}: {text:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseError::Io(e) => Some(e),
+            ParseError::Malformed { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ParseError {
+    fn from(e: std::io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Writes `g` as an edge list with a `# nodes:` header.
+pub fn write_edge_list<W: Write>(g: &Graph, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "# nodes: {}", g.n())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    Ok(())
+}
+
+/// Reads an edge list produced by [`write_edge_list`] (or any `u v`-per-line
+/// file; SNAP-style `#` comments are skipped).
+pub fn read_edge_list<R: Read>(r: R) -> Result<Graph, ParseError> {
+    let reader = BufReader::new(r);
+    let mut builder = GraphBuilder::new(0);
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix('#') {
+            // Honor the nodes header if present.
+            if let Some(count) = rest.trim().strip_prefix("nodes:") {
+                if let Ok(n) = count.trim().parse::<usize>() {
+                    builder.ensure_nodes(n);
+                }
+            }
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let (u, v) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(a), Some(b), None) => {
+                let parse = |s: &str| -> Option<NodeId> { s.parse().ok() };
+                match (parse(a), parse(b)) {
+                    (Some(u), Some(v)) => (u, v),
+                    _ => {
+                        return Err(ParseError::Malformed {
+                            line: lineno + 1,
+                            text: trimmed.to_string(),
+                        })
+                    }
+                }
+            }
+            _ => {
+                return Err(ParseError::Malformed {
+                    line: lineno + 1,
+                    text: trimmed.to_string(),
+                })
+            }
+        };
+        builder.add_edge(u, v);
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Graph {
+        Graph::from_edges(6, &[(0, 1), (1, 2), (4, 5)])
+    }
+
+    #[test]
+    fn roundtrip_preserves_graph() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let back = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn header_preserves_isolated_nodes() {
+        let g = sample(); // node 3 isolated
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let back = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(back.n(), 6);
+        assert_eq!(back.degree(3), 0);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# a comment\n\n0 1\n# another\n1 2\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn malformed_line_reports_position() {
+        let text = "0 1\nnot an edge\n";
+        match read_edge_list(text.as_bytes()) {
+            Err(ParseError::Malformed { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected malformed error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn too_many_fields_rejected() {
+        let text = "0 1 2\n";
+        assert!(read_edge_list(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = ParseError::Malformed { line: 7, text: "x".into() };
+        assert!(e.to_string().contains("line 7"));
+    }
+}

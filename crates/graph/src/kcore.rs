@@ -1,0 +1,134 @@
+//! k-core decomposition — used to characterize how deeply the protected
+//! group is embedded in the graph's dense backbone (minority groups often
+//! sit at low core numbers, which is one mechanism behind representation
+//! disparity).
+
+use crate::graph::{Graph, NodeId};
+
+/// Core number of every node (the largest `k` such that the node survives
+/// in the `k`-core), via the standard peeling algorithm in `O(n + m)`.
+pub fn core_numbers(g: &Graph) -> Vec<usize> {
+    let n = g.n();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut degree = g.degrees();
+    let max_deg = *degree.iter().max().expect("non-empty");
+    // Bucket sort nodes by degree.
+    let mut bins = vec![0usize; max_deg + 2];
+    for &d in &degree {
+        bins[d] += 1;
+    }
+    let mut start = 0usize;
+    for b in bins.iter_mut() {
+        let count = *b;
+        *b = start;
+        start += count;
+    }
+    let mut pos = vec![0usize; n];
+    let mut order = vec![0 as NodeId; n];
+    {
+        let mut cursor = bins.clone();
+        for v in 0..n {
+            let d = degree[v];
+            pos[v] = cursor[d];
+            order[pos[v]] = v as NodeId;
+            cursor[d] += 1;
+        }
+    }
+    let mut core = vec![0usize; n];
+    for i in 0..n {
+        let v = order[i] as usize;
+        core[v] = degree[v];
+        for &u in g.neighbors(v as NodeId) {
+            let u = u as usize;
+            if degree[u] > degree[v] {
+                // Move u one bucket down: swap with the first node of its bin.
+                let du = degree[u];
+                let pu = pos[u];
+                let pw = bins[du];
+                let w = order[pw] as usize;
+                if u != w {
+                    order.swap(pu, pw);
+                    pos[u] = pw;
+                    pos[w] = pu;
+                }
+                bins[du] += 1;
+                degree[u] -= 1;
+            }
+        }
+    }
+    core
+}
+
+/// Nodes of the `k`-core (maximal subgraph with all degrees ≥ `k`).
+pub fn k_core_nodes(g: &Graph, k: usize) -> Vec<NodeId> {
+    core_numbers(g)
+        .into_iter()
+        .enumerate()
+        .filter_map(|(v, c)| (c >= k).then_some(v as NodeId))
+        .collect()
+}
+
+/// Degeneracy of the graph (the largest `k` with a non-empty `k`-core).
+pub fn degeneracy(g: &Graph) -> usize {
+    core_numbers(g).into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clique_core_numbers() {
+        // K4 plus a pendant: clique nodes have core 3, pendant core 1.
+        let g = Graph::from_edges(
+            5,
+            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4)],
+        );
+        let core = core_numbers(&g);
+        assert_eq!(core, vec![3, 3, 3, 3, 1]);
+        assert_eq!(degeneracy(&g), 3);
+    }
+
+    #[test]
+    fn path_is_one_core() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(core_numbers(&g), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn isolated_nodes_core_zero() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        assert_eq!(core_numbers(&g)[2], 0);
+    }
+
+    #[test]
+    fn k_core_extraction() {
+        let g = Graph::from_edges(
+            6,
+            &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5)],
+        );
+        assert_eq!(k_core_nodes(&g, 2), vec![0, 1, 2]);
+        assert_eq!(k_core_nodes(&g, 1).len(), 6);
+        assert!(k_core_nodes(&g, 3).is_empty());
+    }
+
+    #[test]
+    fn core_never_exceeds_degree() {
+        let g = Graph::from_edges(
+            8,
+            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 4)],
+        );
+        let core = core_numbers(&g);
+        for v in 0..8u32 {
+            assert!(core[v as usize] <= g.degree(v));
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert!(core_numbers(&Graph::empty(0)).is_empty());
+        assert_eq!(degeneracy(&Graph::empty(3)), 0);
+    }
+}

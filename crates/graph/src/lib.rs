@@ -1,0 +1,39 @@
+//! Graph substrate for the FairGen reproduction.
+//!
+//! This crate provides the undirected-graph data structure and the structural
+//! primitives that every other crate in the workspace builds on:
+//!
+//! * [`Graph`] — a compressed-sparse-row (CSR) undirected graph with sorted,
+//!   deduplicated adjacency lists.
+//! * [`GraphBuilder`] — incremental construction from edges.
+//! * Connected components, BFS, single-source shortest paths
+//!   ([`components`], [`traversal`]).
+//! * Ego networks and induced subgraphs ([`ego`]).
+//! * Cuts, volumes and conductance φ(S) ([`conductance`]).
+//! * The lazy random-walk transition operator M = (AD⁻¹ + I)/2 used by the
+//!   paper's Definition 1 and Lemma 2.1 ([`transition`]).
+//!
+//! All node identifiers are dense `u32` indices in `0..n`. Graphs are simple:
+//! self-loops and parallel edges are dropped at construction time.
+
+pub mod builder;
+pub mod components;
+pub mod conductance;
+pub mod ego;
+pub mod graph;
+pub mod io;
+pub mod kcore;
+pub mod partition;
+pub mod transition;
+pub mod traversal;
+
+pub use builder::GraphBuilder;
+pub use components::{connected_components, largest_component_nodes, num_components, UnionFind};
+pub use conductance::{conductance, cut_size, volume};
+pub use ego::{ego_network, induced_subgraph, SubgraphMap};
+pub use graph::{Graph, NodeId};
+pub use io::{read_edge_list, write_edge_list, ParseError};
+pub use kcore::{core_numbers, degeneracy, k_core_nodes};
+pub use partition::NodeSet;
+pub use transition::TransitionOp;
+pub use traversal::{bfs_distances, bfs_order};

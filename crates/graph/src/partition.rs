@@ -1,0 +1,184 @@
+//! Node sets (protected groups, classes, subgraph supports).
+
+use crate::graph::NodeId;
+
+/// A set of nodes over a graph with a fixed vertex count, stored both as a
+/// membership bitmap (O(1) lookup) and a sorted member list (fast iteration).
+///
+/// Used throughout the workspace to represent the protected group `S+`, the
+/// unprotected group `S−`, class supports, and diffusion cores.
+///
+/// ```
+/// use fairgen_graph::NodeSet;
+/// let s = NodeSet::from_members(5, &[1, 3]);
+/// assert!(s.contains(3));
+/// assert!(!s.contains(0));
+/// assert_eq!(s.len(), 2);
+/// assert_eq!(s.complement().members(), &[0, 2, 4]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeSet {
+    mask: Vec<bool>,
+    members: Vec<NodeId>,
+}
+
+impl NodeSet {
+    /// The empty set over `n` nodes.
+    pub fn empty(n: usize) -> Self {
+        NodeSet { mask: vec![false; n], members: Vec::new() }
+    }
+
+    /// The full set `{0, .., n-1}`.
+    pub fn full(n: usize) -> Self {
+        NodeSet { mask: vec![true; n], members: (0..n as NodeId).collect() }
+    }
+
+    /// Builds a set from a member list. Duplicates are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a member is `>= n`.
+    pub fn from_members(n: usize, members: &[NodeId]) -> Self {
+        let mut mask = vec![false; n];
+        for &v in members {
+            assert!((v as usize) < n, "node {v} out of range for n={n}");
+            mask[v as usize] = true;
+        }
+        let members = (0..n as NodeId).filter(|&v| mask[v as usize]).collect();
+        NodeSet { mask, members }
+    }
+
+    /// Builds a set from a boolean mask.
+    pub fn from_mask(mask: Vec<bool>) -> Self {
+        let members = (0..mask.len() as NodeId).filter(|&v| mask[v as usize]).collect();
+        NodeSet { mask, members }
+    }
+
+    /// Universe size `n`.
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.mask.len()
+    }
+
+    /// Number of members.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// O(1) membership test.
+    #[inline]
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.mask[v as usize]
+    }
+
+    /// Sorted member list.
+    #[inline]
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// The membership bitmap.
+    #[inline]
+    pub fn mask(&self) -> &[bool] {
+        &self.mask
+    }
+
+    /// Adds a member (no-op if present).
+    pub fn insert(&mut self, v: NodeId) {
+        if !self.mask[v as usize] {
+            self.mask[v as usize] = true;
+            let pos = self.members.partition_point(|&u| u < v);
+            self.members.insert(pos, v);
+        }
+    }
+
+    /// The complement set `V \ S`.
+    pub fn complement(&self) -> NodeSet {
+        NodeSet::from_mask(self.mask.iter().map(|&b| !b).collect())
+    }
+
+    /// Intersection with another set over the same universe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn intersect(&self, other: &NodeSet) -> NodeSet {
+        assert_eq!(self.universe(), other.universe(), "universe mismatch");
+        NodeSet::from_mask(
+            self.mask.iter().zip(&other.mask).map(|(&a, &b)| a && b).collect(),
+        )
+    }
+
+    /// Union with another set over the same universe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn union(&self, other: &NodeSet) -> NodeSet {
+        assert_eq!(self.universe(), other.universe(), "universe mismatch");
+        NodeSet::from_mask(
+            self.mask.iter().zip(&other.mask).map(|(&a, &b)| a || b).collect(),
+        )
+    }
+
+    /// The indicator vector χ_S as `f64` (1.0 on members, 0.0 elsewhere).
+    pub fn indicator(&self) -> Vec<f64> {
+        self.mask.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_members_dedups_and_sorts() {
+        let s = NodeSet::from_members(6, &[4, 1, 4, 2]);
+        assert_eq!(s.members(), &[1, 2, 4]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn complement_partitions_universe() {
+        let s = NodeSet::from_members(4, &[0, 2]);
+        let c = s.complement();
+        assert_eq!(c.members(), &[1, 3]);
+        assert_eq!(s.len() + c.len(), 4);
+        assert!(s.intersect(&c).is_empty());
+        assert_eq!(s.union(&c), NodeSet::full(4));
+    }
+
+    #[test]
+    fn insert_keeps_sorted() {
+        let mut s = NodeSet::from_members(5, &[0, 4]);
+        s.insert(2);
+        s.insert(2);
+        assert_eq!(s.members(), &[0, 2, 4]);
+    }
+
+    #[test]
+    fn indicator_matches_mask() {
+        let s = NodeSet::from_members(3, &[1]);
+        assert_eq!(s.indicator(), vec![0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn empty_and_full() {
+        assert!(NodeSet::empty(3).is_empty());
+        assert_eq!(NodeSet::full(3).len(), 3);
+        assert_eq!(NodeSet::empty(0).universe(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_member_panics() {
+        let _ = NodeSet::from_members(2, &[2]);
+    }
+}

@@ -1,0 +1,198 @@
+//! The lazy random-walk transition operator `M = (AD⁻¹ + I)/2`.
+//!
+//! `M` is column-stochastic: column `x` is the distribution of a one-step
+//! lazy walk started at `x` (stay with probability ½, otherwise move to a
+//! uniform neighbor). The paper's Definition 1 (diffusion core) and
+//! Lemma 2.1 are stated in terms of powers of `M` restricted by
+//! `diag(χ_S)`; [`TransitionOp`] provides exactly those operations without
+//! materializing the dense matrix.
+
+use crate::graph::{Graph, NodeId};
+use crate::partition::NodeSet;
+
+/// Matrix-free application of `M = (AD⁻¹ + I)/2` and of the restricted
+/// operator `diag(χ_S) M`.
+#[derive(Clone, Debug)]
+pub struct TransitionOp<'g> {
+    g: &'g Graph,
+    inv_deg: Vec<f64>,
+}
+
+impl<'g> TransitionOp<'g> {
+    /// Builds the operator for `g`. Isolated nodes are absorbing (their
+    /// column of `AD⁻¹` is zero, so the lazy walk stays with probability ½
+    /// and "vanishes" otherwise; in practice the walk never reaches them).
+    pub fn new(g: &'g Graph) -> Self {
+        let inv_deg = (0..g.n())
+            .map(|v| {
+                let d = g.degree(v as NodeId);
+                if d == 0 {
+                    0.0
+                } else {
+                    1.0 / d as f64
+                }
+            })
+            .collect();
+        TransitionOp { g, inv_deg }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        self.g
+    }
+
+    /// `y = M v`, i.e. `y_i = ½ v_i + ½ Σ_{j ∈ N(i)} v_j / deg(j)`.
+    pub fn apply(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.g.n(), "vector length mismatch");
+        let mut y = vec![0.0; v.len()];
+        for i in 0..self.g.n() {
+            let mut acc = 0.0;
+            for &j in self.g.neighbors(i as NodeId) {
+                acc += v[j as usize] * self.inv_deg[j as usize];
+            }
+            y[i] = 0.5 * v[i] + 0.5 * acc;
+        }
+        y
+    }
+
+    /// `y = diag(χ_S) M v`: one lazy step, then truncation outside `S`.
+    pub fn apply_restricted(&self, v: &[f64], s: &NodeSet) -> Vec<f64> {
+        let mut y = self.apply(v);
+        for (i, yi) in y.iter_mut().enumerate() {
+            if !s.contains(i as NodeId) {
+                *yi = 0.0;
+            }
+        }
+        y
+    }
+
+    /// `(diag(χ_S) M)^t χ_x` — the probability mass of a `t`-step lazy walk
+    /// from `x` that has stayed entirely inside `S`.
+    pub fn restricted_power_from(&self, x: NodeId, s: &NodeSet, t: usize) -> Vec<f64> {
+        let mut v = vec![0.0; self.g.n()];
+        v[x as usize] = 1.0;
+        for _ in 0..t {
+            v = self.apply_restricted(&v, s);
+        }
+        v
+    }
+
+    /// Containment probability `1ᵀ (diag(χ_S) M)^t χ_x`: the probability
+    /// that a `t`-step lazy walk from `x` never leaves `S`.
+    pub fn containment_probability(&self, x: NodeId, s: &NodeSet, t: usize) -> f64 {
+        self.restricted_power_from(x, s, t).iter().sum()
+    }
+
+    /// Escape probability `1 − χ_Sᵀ M^t χ_x` used in Definition 1: the
+    /// probability that a `t`-step lazy walk from `x` ends outside `S`
+    /// (it may have left and re-entered in between).
+    pub fn escape_probability(&self, x: NodeId, s: &NodeSet, t: usize) -> f64 {
+        let mut v = vec![0.0; self.g.n()];
+        v[x as usize] = 1.0;
+        for _ in 0..t {
+            v = self.apply(&v);
+        }
+        let inside: f64 = s.members().iter().map(|&u| v[u as usize]).sum();
+        (1.0 - inside).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_tail() -> Graph {
+        Graph::from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)])
+    }
+
+    #[test]
+    fn columns_are_stochastic() {
+        let g = triangle_plus_tail();
+        let op = TransitionOp::new(&g);
+        for x in 0..g.n() {
+            let mut v = vec![0.0; g.n()];
+            v[x] = 1.0;
+            let y = op.apply(&v);
+            let sum: f64 = y.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12, "column {x} sums to {sum}");
+            assert!(y.iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn lazy_self_probability_half() {
+        let g = triangle_plus_tail();
+        let op = TransitionOp::new(&g);
+        let mut v = vec![0.0; 4];
+        v[0] = 1.0;
+        let y = op.apply(&v);
+        assert!((y[0] - 0.5).abs() < 1e-12);
+        // Node 0 has neighbors 1 and 2, each with degree-normalized share.
+        assert!((y[1] - 0.5 / 2.0 * 1.0).abs() < 1e-1);
+    }
+
+    #[test]
+    fn isolated_node_absorbs() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        let op = TransitionOp::new(&g);
+        let mut v = vec![0.0; 3];
+        v[2] = 1.0;
+        let y = op.apply(&v);
+        assert!((y[2] - 0.5).abs() < 1e-12);
+        // Mass leaks (isolated node has no outgoing edges) — column sums to ½.
+        let sum: f64 = y.iter().sum();
+        assert!((sum - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn containment_decreases_with_t() {
+        let g = triangle_plus_tail();
+        let op = TransitionOp::new(&g);
+        let s = NodeSet::from_members(4, &[0, 1, 2]);
+        let mut prev = 1.0;
+        for t in 1..8 {
+            let p = op.containment_probability(0, &s, t);
+            assert!(p <= prev + 1e-12, "containment must be non-increasing");
+            assert!((0.0..=1.0).contains(&p));
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn containment_full_set_is_one() {
+        let g = triangle_plus_tail();
+        let op = TransitionOp::new(&g);
+        let s = NodeSet::full(4);
+        assert!((op.containment_probability(0, &s, 5) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn escape_probability_zero_for_full_set() {
+        let g = triangle_plus_tail();
+        let op = TransitionOp::new(&g);
+        assert!(op.escape_probability(1, &NodeSet::full(4), 3) < 1e-12);
+    }
+
+    #[test]
+    fn escape_leq_one_minus_containment() {
+        // Ending outside S implies having left S at some point, so
+        // escape(t) <= 1 - containment(t).
+        let g = triangle_plus_tail();
+        let op = TransitionOp::new(&g);
+        let s = NodeSet::from_members(4, &[0, 1, 2]);
+        for t in 1..6 {
+            let esc = op.escape_probability(0, &s, t);
+            let cont = op.containment_probability(0, &s, t);
+            assert!(esc <= 1.0 - cont + 1e-12, "t={t}: esc={esc}, cont={cont}");
+        }
+    }
+
+    #[test]
+    fn restricted_power_zero_outside_s() {
+        let g = triangle_plus_tail();
+        let op = TransitionOp::new(&g);
+        let s = NodeSet::from_members(4, &[0, 1, 2]);
+        let v = op.restricted_power_from(0, &s, 3);
+        assert_eq!(v[3], 0.0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Breadth-first traversal and unweighted shortest paths.
+
+use std::collections::VecDeque;
+
+use crate::graph::{Graph, NodeId};
+
+/// BFS distances from `source`; unreachable nodes get `usize::MAX`.
+pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; g.n()];
+    let mut queue = VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == usize::MAX {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Nodes in BFS visitation order from `source` (its connected component).
+pub fn bfs_order(g: &Graph, source: NodeId) -> Vec<NodeId> {
+    let mut seen = vec![false; g.n()];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    seen[source as usize] = true;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for &v in g.neighbors(u) {
+            if !seen[v as usize] {
+                seen[v as usize] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    order
+}
+
+/// Sum and count of finite pairwise distances from `source` to *other*
+/// reachable nodes. Used by the ASPL metric.
+pub fn distance_sum_from(g: &Graph, source: NodeId) -> (usize, usize) {
+    let dist = bfs_distances(g, source);
+    let mut sum = 0usize;
+    let mut cnt = 0usize;
+    for (v, &d) in dist.iter().enumerate() {
+        if v as NodeId != source && d != usize::MAX {
+            sum += d;
+            cnt += 1;
+        }
+    }
+    (sum, cnt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances_on_path() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3]);
+        assert_eq!(bfs_distances(&g, 2), vec![2, 1, 0, 1]);
+    }
+
+    #[test]
+    fn unreachable_is_max() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[2], usize::MAX);
+    }
+
+    #[test]
+    fn order_covers_component() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+        let order = bfs_order(&g, 0);
+        assert_eq!(order.len(), 3);
+        assert_eq!(order[0], 0);
+    }
+
+    #[test]
+    fn distance_sum() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let (sum, cnt) = distance_sum_from(&g, 0);
+        assert_eq!((sum, cnt), (6, 3));
+    }
+
+    #[test]
+    fn distance_sum_isolated() {
+        let g = Graph::empty(3);
+        assert_eq!(distance_sum_from(&g, 1), (0, 0));
+    }
+}

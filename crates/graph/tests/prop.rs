@@ -1,0 +1,117 @@
+//! Property-based tests for the graph substrate.
+
+use fairgen_graph::{
+    conductance, connected_components, ego_network, induced_subgraph, num_components,
+    Graph, NodeSet, TransitionOp,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random edge list over `n` nodes.
+fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = Graph> {
+    (2..=max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=max_m)
+            .prop_map(move |edges| Graph::from_edges(n, &edges))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn adjacency_is_symmetric(g in arb_graph(24, 80)) {
+        for u in 0..g.n() as u32 {
+            for &v in g.neighbors(u) {
+                prop_assert!(g.has_edge(v, u), "asymmetric edge ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn no_self_loops_no_duplicates(g in arb_graph(24, 80)) {
+        for u in 0..g.n() as u32 {
+            let nb = g.neighbors(u);
+            for w in nb.windows(2) {
+                prop_assert!(w[0] < w[1], "unsorted or duplicate neighbor");
+            }
+            prop_assert!(!nb.contains(&u), "self loop at {u}");
+        }
+    }
+
+    #[test]
+    fn handshake_lemma(g in arb_graph(24, 80)) {
+        let degree_sum: usize = g.degrees().iter().sum();
+        prop_assert_eq!(degree_sum, 2 * g.m());
+    }
+
+    #[test]
+    fn edge_list_roundtrip(g in arb_graph(24, 80)) {
+        let rebuilt = Graph::from_edges(g.n(), &g.edge_list());
+        prop_assert_eq!(&rebuilt, &g);
+    }
+
+    #[test]
+    fn component_sizes_sum_to_n(g in arb_graph(24, 80)) {
+        let (labels, sizes) = connected_components(&g);
+        prop_assert_eq!(labels.len(), g.n());
+        prop_assert_eq!(sizes.iter().sum::<usize>(), g.n());
+        prop_assert_eq!(sizes.len(), num_components(&g));
+    }
+
+    #[test]
+    fn conductance_in_unit_interval(g in arb_graph(24, 80), bits in proptest::collection::vec(any::<bool>(), 24)) {
+        let members: Vec<u32> = (0..g.n() as u32)
+            .filter(|&v| bits[v as usize % bits.len()])
+            .collect();
+        let s = NodeSet::from_members(g.n(), &members);
+        let phi = conductance(&g, &s);
+        prop_assert!((0.0..=1.0).contains(&phi), "phi = {}", phi);
+    }
+
+    #[test]
+    fn transition_preserves_mass_when_no_isolated(g in arb_graph(16, 80)) {
+        prop_assume!(g.min_degree() > 0);
+        let op = TransitionOp::new(&g);
+        let v: Vec<f64> = (0..g.n()).map(|i| (i as f64 + 1.0) / g.n() as f64).collect();
+        let total_in: f64 = v.iter().sum();
+        let y = op.apply(&v);
+        let total_out: f64 = y.iter().sum();
+        prop_assert!((total_in - total_out).abs() < 1e-9);
+    }
+
+    #[test]
+    fn containment_monotone_in_t(g in arb_graph(16, 60)) {
+        prop_assume!(g.m() > 0);
+        let s = NodeSet::from_members(g.n(), &[0, 1.min(g.n() as u32 - 1)]);
+        let op = TransitionOp::new(&g);
+        let mut prev = 1.0f64;
+        for t in 1..6 {
+            let p = op.containment_probability(0, &s, t);
+            prop_assert!(p <= prev + 1e-12);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&p));
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_edges_subset(g in arb_graph(20, 60), keep in proptest::collection::vec(any::<bool>(), 20)) {
+        let nodes: Vec<u32> = (0..g.n() as u32)
+            .filter(|&v| keep[v as usize % keep.len()])
+            .collect();
+        let (sub, map) = induced_subgraph(&g, &nodes);
+        for (su, sv) in sub.edge_list() {
+            let pu = map.to_parent[su as usize];
+            let pv = map.to_parent[sv as usize];
+            prop_assert!(g.has_edge(pu, pv), "subgraph invented an edge");
+        }
+    }
+
+    #[test]
+    fn ego_network_contains_anchor_degree(g in arb_graph(20, 60)) {
+        prop_assume!(g.n() > 0);
+        let anchor = 0u32;
+        let (sub, map) = ego_network(&g, &[anchor]);
+        let sa = map.from_parent[anchor as usize].expect("anchor included");
+        // Anchor keeps its full degree inside its own ego network.
+        prop_assert_eq!(sub.degree(sa), g.degree(anchor));
+    }
+}

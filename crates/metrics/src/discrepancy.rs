@@ -1,0 +1,202 @@
+//! Discrepancy between an original and a generated graph (Eqs. 15–16).
+
+use fairgen_graph::{ego_network, Graph, NodeSet};
+
+use crate::stats::compute_metric;
+use crate::Metric;
+
+/// Relative discrepancy `|f(a) − f(b)| / |f(a)|` with guards:
+/// * both values NaN (e.g. PLE of a regular graph) → 0.0 (no disagreement);
+/// * one value NaN → 1.0 (maximal disagreement);
+/// * `f(a) = 0` → absolute difference `|f(b)|`.
+fn relative_discrepancy(a: f64, b: f64) -> f64 {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => return 0.0,
+        (true, false) | (false, true) => return 1.0,
+        _ => {}
+    }
+    if a == 0.0 {
+        b.abs()
+    } else {
+        (a - b).abs() / a.abs()
+    }
+}
+
+/// Overall discrepancy `R(G, G̃, f_m)` of Eq. 15 for one metric.
+pub fn overall_discrepancy(original: &Graph, generated: &Graph, metric: Metric) -> f64 {
+    relative_discrepancy(
+        compute_metric(original, metric),
+        compute_metric(generated, metric),
+    )
+}
+
+/// Overall discrepancy for all nine metrics, in [`Metric::ALL`] order.
+pub fn overall_discrepancies(original: &Graph, generated: &Graph) -> [f64; 9] {
+    let mut out = [0.0; 9];
+    for (i, m) in Metric::ALL.iter().enumerate() {
+        out[i] = overall_discrepancy(original, generated, *m);
+    }
+    out
+}
+
+/// Protected-group discrepancy `R⁺(G, G̃, S⁺, f_m)` of Eq. 16 for one metric.
+///
+/// Following the paper's evaluation section, `G_{S+}` and `G̃_{S+}` are the
+/// 1-hop ego networks anchored at the protected-group vertices in the
+/// respective graphs (node ids are shared between the graphs, as is the case
+/// for all generators in this workspace: they preserve the vertex set).
+pub fn protected_discrepancy(
+    original: &Graph,
+    generated: &Graph,
+    protected: &NodeSet,
+    metric: Metric,
+) -> f64 {
+    let (orig_ego, _) = ego_network(original, protected.members());
+    let (gen_ego, _) = ego_network(generated, protected.members());
+    relative_discrepancy(
+        compute_metric(&orig_ego, metric),
+        compute_metric(&gen_ego, metric),
+    )
+}
+
+/// Protected-group discrepancy for all nine metrics.
+pub fn protected_discrepancies(
+    original: &Graph,
+    generated: &Graph,
+    protected: &NodeSet,
+) -> [f64; 9] {
+    let (orig_ego, _) = ego_network(original, protected.members());
+    let (gen_ego, _) = ego_network(generated, protected.members());
+    let mut out = [0.0; 9];
+    for (i, m) in Metric::ALL.iter().enumerate() {
+        out[i] = relative_discrepancy(
+            compute_metric(&orig_ego, *m),
+            compute_metric(&gen_ego, *m),
+        );
+    }
+    out
+}
+
+/// Overall and protected discrepancies of one generated graph, with simple
+/// aggregation helpers for the experiment harnesses.
+#[derive(Clone, Debug)]
+pub struct DiscrepancyReport {
+    /// `R(G, G̃, f)` per metric in [`Metric::ALL`] order.
+    pub overall: [f64; 9],
+    /// `R⁺(G, G̃, S⁺, f)` per metric; `None` when no protected group exists.
+    pub protected: Option<[f64; 9]>,
+}
+
+impl DiscrepancyReport {
+    /// Computes both discrepancy families.
+    pub fn compute(original: &Graph, generated: &Graph, protected: Option<&NodeSet>) -> Self {
+        DiscrepancyReport {
+            overall: overall_discrepancies(original, generated),
+            protected: protected.map(|s| protected_discrepancies(original, generated, s)),
+        }
+    }
+
+    /// Mean overall discrepancy across the nine metrics.
+    pub fn mean_overall(&self) -> f64 {
+        self.overall.iter().sum::<f64>() / 9.0
+    }
+
+    /// Mean protected discrepancy across the nine metrics, if available.
+    pub fn mean_protected(&self) -> Option<f64> {
+        self.protected.map(|p| p.iter().sum::<f64>() / 9.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_communities() -> (Graph, NodeSet) {
+        // Dense community 0-3, sparse protected community 4-6, one bridge.
+        let g = Graph::from_edges(
+            7,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (4, 5),
+                (5, 6),
+                (3, 4),
+            ],
+        );
+        let s = NodeSet::from_members(7, &[4, 5, 6]);
+        (g, s)
+    }
+
+    #[test]
+    fn identical_graphs_zero_discrepancy() {
+        let (g, s) = two_communities();
+        let r = DiscrepancyReport::compute(&g, &g, Some(&s));
+        for v in r.overall {
+            assert!(v.abs() < 1e-12, "overall {v}");
+        }
+        for v in r.protected.unwrap() {
+            assert!(v.abs() < 1e-12, "protected {v}");
+        }
+        assert_eq!(r.mean_overall(), 0.0);
+        assert_eq!(r.mean_protected(), Some(0.0));
+    }
+
+    #[test]
+    fn dropping_protected_edges_shows_in_r_plus() {
+        let (g, s) = two_communities();
+        // Generated graph keeps the dense community perfectly but loses the
+        // protected community's internal edges.
+        let gen = Graph::from_edges(
+            7,
+            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4)],
+        );
+        let r = DiscrepancyReport::compute(&g, &gen, Some(&s));
+        let r_plus = r.protected.unwrap();
+        // The protected ego-network discrepancy must exceed the overall mean
+        // per-metric signal on average: the damage is concentrated in S+.
+        assert!(
+            r.mean_protected().unwrap() > r.mean_overall(),
+            "protected {:?} overall {:?}",
+            r_plus,
+            r.overall
+        );
+    }
+
+    #[test]
+    fn relative_discrepancy_guards() {
+        assert_eq!(relative_discrepancy(f64::NAN, f64::NAN), 0.0);
+        assert_eq!(relative_discrepancy(f64::NAN, 1.0), 1.0);
+        assert_eq!(relative_discrepancy(2.0, f64::NAN), 1.0);
+        assert_eq!(relative_discrepancy(0.0, 3.0), 3.0);
+        assert!((relative_discrepancy(4.0, 3.0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn discrepancy_is_scale_free() {
+        // Doubling a metric value gives discrepancy 1 regardless of scale.
+        assert!((relative_discrepancy(10.0, 20.0) - 1.0).abs() < 1e-12);
+        assert!((relative_discrepancy(0.1, 0.2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_protected_group_reports_none() {
+        let (g, _) = two_communities();
+        let r = DiscrepancyReport::compute(&g, &g, None);
+        assert!(r.protected.is_none());
+        assert!(r.mean_protected().is_none());
+    }
+
+    #[test]
+    fn overall_matches_single_metric_calls() {
+        let (g, _) = two_communities();
+        let gen = Graph::from_edges(7, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6)]);
+        let all = overall_discrepancies(&g, &gen);
+        for (i, m) in Metric::ALL.iter().enumerate() {
+            assert_eq!(all[i], overall_discrepancy(&g, &gen, *m));
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Group-wise metric breakdowns.
+//!
+//! Beyond the paper's R⁺ on ego networks, fairness audits often want the
+//! raw statistics of each group's *own* subgraph (protected vs. unprotected
+//! induced subgraphs) side by side, plus volume shares. This module packages
+//! that view.
+
+use fairgen_graph::{induced_subgraph, volume, Graph, NodeSet};
+
+use crate::stats::{all_metrics, MetricReport};
+
+/// The nine statistics computed on the full graph and on the two groups'
+/// induced subgraphs, plus volume shares.
+#[derive(Clone, Debug)]
+pub struct GroupwiseReport {
+    /// Statistics of the whole graph.
+    pub overall: MetricReport,
+    /// Statistics of the subgraph induced by `S⁺`.
+    pub protected: MetricReport,
+    /// Statistics of the subgraph induced by `S⁻`.
+    pub unprotected: MetricReport,
+    /// `vol(S⁺) / vol(V)` — the protected group's share of edge endpoints.
+    pub protected_volume_share: f64,
+    /// Number of edges with exactly one endpoint in `S⁺`.
+    pub bridge_edges: usize,
+}
+
+impl GroupwiseReport {
+    /// Computes the breakdown.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `protected`'s universe does not match the graph.
+    pub fn compute(g: &Graph, protected: &NodeSet) -> Self {
+        assert_eq!(protected.universe(), g.n(), "universe mismatch");
+        let (sub_p, _) = induced_subgraph(g, protected.members());
+        let complement = protected.complement();
+        let (sub_u, _) = induced_subgraph(g, complement.members());
+        let total_volume = g.total_volume().max(1);
+        let bridge_edges = g
+            .edges()
+            .filter(|&(u, v)| protected.contains(u) != protected.contains(v))
+            .count();
+        GroupwiseReport {
+            overall: all_metrics(g),
+            protected: all_metrics(&sub_p),
+            unprotected: all_metrics(&sub_u),
+            protected_volume_share: volume(g, protected) as f64 / total_volume as f64,
+            bridge_edges,
+        }
+    }
+
+    /// Ratio of the protected group's average degree (within its own
+    /// subgraph) to the unprotected group's — a quick structural-inequality
+    /// indicator (1.0 = both groups equally dense internally).
+    pub fn internal_degree_ratio(&self) -> f64 {
+        let up = self.unprotected.get(crate::Metric::AvgDegree);
+        if up == 0.0 {
+            f64::NAN
+        } else {
+            self.protected.get(crate::Metric::AvgDegree) / up
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Metric;
+
+    /// Dense unprotected triangle block + sparse protected pair + 1 bridge.
+    fn setup() -> (Graph, NodeSet) {
+        let g = Graph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (0, 2), (0, 3), (4, 5), (3, 4)],
+        );
+        let s = NodeSet::from_members(6, &[4, 5]);
+        (g, s)
+    }
+
+    #[test]
+    fn subgraph_metrics_computed_separately() {
+        let (g, s) = setup();
+        let r = GroupwiseReport::compute(&g, &s);
+        assert_eq!(r.protected.get(Metric::AvgDegree), 1.0); // one edge, two nodes
+        assert!(r.unprotected.get(Metric::TriangleCount) >= 1.0);
+        assert_eq!(r.overall.get(Metric::Ncc), 1.0);
+    }
+
+    #[test]
+    fn volume_share_and_bridges() {
+        let (g, s) = setup();
+        let r = GroupwiseReport::compute(&g, &s);
+        // vol(S+) = deg(4)+deg(5) = 2+1 = 3; total volume = 12.
+        assert!((r.protected_volume_share - 3.0 / 12.0).abs() < 1e-12);
+        assert_eq!(r.bridge_edges, 1);
+    }
+
+    #[test]
+    fn degree_ratio_flags_sparse_minority() {
+        let (g, s) = setup();
+        let r = GroupwiseReport::compute(&g, &s);
+        assert!(
+            r.internal_degree_ratio() < 1.0,
+            "minority is internally sparser: {}",
+            r.internal_degree_ratio()
+        );
+    }
+
+    #[test]
+    fn balanced_groups_ratio_near_one() {
+        // Two identical triangles.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]);
+        let s = NodeSet::from_members(6, &[3, 4, 5]);
+        let r = GroupwiseReport::compute(&g, &s);
+        assert!((r.internal_degree_ratio() - 1.0).abs() < 1e-12);
+        assert_eq!(r.bridge_edges, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "universe mismatch")]
+    fn universe_mismatch_panics() {
+        let (g, _) = setup();
+        let wrong = NodeSet::from_members(4, &[0]);
+        let _ = GroupwiseReport::compute(&g, &wrong);
+    }
+}

@@ -1,0 +1,105 @@
+//! The nine network statistics of FairGen's Table II and the discrepancy
+//! measures of Eqs. 15–16.
+//!
+//! * [`Metric`] — the nine statistics: Average Degree, LCC, Triangle Count,
+//!   Power-Law Exponent, Gini, Edge-Distribution Entropy, ASPL, NCC, and
+//!   Clustering Coefficient.
+//! * [`stats`] — their implementations.
+//! * [`discrepancy`] — overall discrepancy `R(G, G̃, f)` and protected-group
+//!   discrepancy `R⁺(G, G̃, S⁺, f)` computed on 1-hop ego networks of the
+//!   protected group, exactly as the paper's evaluation section specifies.
+
+pub mod discrepancy;
+pub mod groupwise;
+pub mod stats;
+
+pub use groupwise::GroupwiseReport;
+pub use discrepancy::{
+    overall_discrepancies, overall_discrepancy, protected_discrepancies,
+    protected_discrepancy, DiscrepancyReport,
+};
+pub use stats::{
+    all_metrics, aspl_exact, aspl_sampled, avg_clustering_coefficient, avg_degree,
+    compute_metric, edge_distribution_entropy, gini_coefficient, largest_cc_size,
+    num_connected_components, power_law_exponent, triangle_count, MetricReport,
+};
+
+/// One of the nine graph statistics reported in the paper (Table II).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Metric {
+    /// Average node degree `E[d(v)]`.
+    AvgDegree,
+    /// Size of the largest connected component.
+    Lcc,
+    /// Number of triangles.
+    TriangleCount,
+    /// Exponent of the power-law degree distribution.
+    Ple,
+    /// Gini coefficient of the degree distribution.
+    Gini,
+    /// Relative edge-distribution entropy.
+    Ede,
+    /// Average shortest path length.
+    Aspl,
+    /// Number of connected components.
+    Ncc,
+    /// Average local clustering coefficient.
+    Cc,
+}
+
+impl Metric {
+    /// All nine metrics in the paper's presentation order
+    /// (Fig. 4a–4i / Fig. 5a–5i).
+    pub const ALL: [Metric; 9] = [
+        Metric::AvgDegree,
+        Metric::Lcc,
+        Metric::TriangleCount,
+        Metric::Ple,
+        Metric::Gini,
+        Metric::Ede,
+        Metric::Aspl,
+        Metric::Ncc,
+        Metric::Cc,
+    ];
+
+    /// The abbreviation used in the paper's tables ("AD", "LCC", ...).
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            Metric::AvgDegree => "AD",
+            Metric::Lcc => "LCC",
+            Metric::TriangleCount => "TC",
+            Metric::Ple => "PLE",
+            Metric::Gini => "Gini",
+            Metric::Ede => "EDE",
+            Metric::Aspl => "ASPL",
+            Metric::Ncc => "NCC",
+            Metric::Cc => "CC",
+        }
+    }
+}
+
+impl std::fmt::Display for Metric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_has_nine_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for m in Metric::ALL {
+            assert!(seen.insert(m.abbrev()));
+        }
+        assert_eq!(seen.len(), 9);
+    }
+
+    #[test]
+    fn display_matches_abbrev() {
+        assert_eq!(Metric::AvgDegree.to_string(), "AD");
+        assert_eq!(Metric::Cc.to_string(), "CC");
+    }
+}

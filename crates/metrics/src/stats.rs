@@ -1,0 +1,379 @@
+//! Implementations of the nine statistics (paper Table II).
+
+use fairgen_graph::{connected_components, num_components, traversal, Graph, NodeId};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::Metric;
+
+/// Exact ASPL is O(n·m); above this node count [`compute_metric`] switches to
+/// the sampled estimator with [`DEFAULT_ASPL_SAMPLES`] sources.
+pub const ASPL_EXACT_LIMIT: usize = 3000;
+
+/// Number of BFS sources used by the sampled ASPL estimator.
+pub const DEFAULT_ASPL_SAMPLES: usize = 256;
+
+/// Average node degree `2m / n`.
+pub fn avg_degree(g: &Graph) -> f64 {
+    if g.n() == 0 {
+        return 0.0;
+    }
+    2.0 * g.m() as f64 / g.n() as f64
+}
+
+/// Size of the largest connected component.
+pub fn largest_cc_size(g: &Graph) -> usize {
+    if g.n() == 0 {
+        return 0;
+    }
+    let (_, sizes) = connected_components(g);
+    sizes.into_iter().max().unwrap_or(0)
+}
+
+/// Number of triangles.
+pub fn triangle_count(g: &Graph) -> usize {
+    g.triangle_count()
+}
+
+/// Power-law exponent via the Hill/MLE estimator of Table II:
+/// `1 + n' (Σ_u log(d(u)/d_min))⁻¹` over nodes with positive degree, where
+/// `d_min` is the smallest positive degree.
+///
+/// Returns `f64::NAN` if fewer than two distinct positive degrees exist
+/// (the estimator is undefined on regular graphs).
+pub fn power_law_exponent(g: &Graph) -> f64 {
+    let degs: Vec<usize> = g.degrees().into_iter().filter(|&d| d > 0).collect();
+    if degs.is_empty() {
+        return f64::NAN;
+    }
+    let dmin = *degs.iter().min().expect("non-empty") as f64;
+    let log_sum: f64 = degs.iter().map(|&d| (d as f64 / dmin).ln()).sum();
+    if log_sum <= 0.0 {
+        return f64::NAN;
+    }
+    1.0 + degs.len() as f64 / log_sum
+}
+
+/// Gini coefficient of the degree distribution (Table II):
+/// `2 Σ_i i·d̂_i / (n Σ_i d̂_i) − (n+1)/n` with degrees sorted ascending and
+/// `i` 1-based.
+pub fn gini_coefficient(g: &Graph) -> f64 {
+    let mut degs: Vec<usize> = g.degrees();
+    let n = degs.len();
+    if n == 0 {
+        return 0.0;
+    }
+    degs.sort_unstable();
+    let total: usize = degs.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let weighted: f64 = degs
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| (i as f64 + 1.0) * d as f64)
+        .sum();
+    2.0 * weighted / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64
+}
+
+/// Relative edge-distribution entropy (Table II):
+/// `(1/ln n) Σ_v −(d(v)/2m) ln(d(v)/2m)`, using the probability-normalized
+/// degree shares (`Σ_v d(v) = 2m`), so the value lies in `[0, 1]` and equals
+/// 1 for regular graphs.
+pub fn edge_distribution_entropy(g: &Graph) -> f64 {
+    let n = g.n();
+    if n <= 1 || g.m() == 0 {
+        return 0.0;
+    }
+    let two_m = g.total_volume() as f64;
+    let h: f64 = g
+        .degrees()
+        .into_iter()
+        .filter(|&d| d > 0)
+        .map(|d| {
+            let p = d as f64 / two_m;
+            -p * p.ln()
+        })
+        .sum();
+    h / (n as f64).ln()
+}
+
+/// Exact average shortest path length over all connected ordered pairs.
+///
+/// Returns 0.0 when no pair is connected.
+pub fn aspl_exact(g: &Graph) -> f64 {
+    let mut sum = 0usize;
+    let mut cnt = 0usize;
+    for v in 0..g.n() as NodeId {
+        let (s, c) = traversal::distance_sum_from(g, v);
+        sum += s;
+        cnt += c;
+    }
+    if cnt == 0 {
+        0.0
+    } else {
+        sum as f64 / cnt as f64
+    }
+}
+
+/// Sampled ASPL: BFS from `samples` random sources (deterministic in `seed`).
+pub fn aspl_sampled(g: &Graph, samples: usize, seed: u64) -> f64 {
+    if g.n() == 0 {
+        return 0.0;
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut nodes: Vec<NodeId> = (0..g.n() as NodeId).collect();
+    nodes.shuffle(&mut rng);
+    nodes.truncate(samples.max(1).min(g.n()));
+    let mut sum = 0usize;
+    let mut cnt = 0usize;
+    for &v in &nodes {
+        let (s, c) = traversal::distance_sum_from(g, v);
+        sum += s;
+        cnt += c;
+    }
+    if cnt == 0 {
+        0.0
+    } else {
+        sum as f64 / cnt as f64
+    }
+}
+
+/// Number of connected components (isolated nodes count).
+pub fn num_connected_components(g: &Graph) -> usize {
+    num_components(g)
+}
+
+/// Average local clustering coefficient (Watts–Strogatz):
+/// mean over nodes of `2·t(v) / (d(v)(d(v)−1))`, where `t(v)` is the number
+/// of triangles through `v`; nodes with degree < 2 contribute 0.
+pub fn avg_clustering_coefficient(g: &Graph) -> f64 {
+    let n = g.n();
+    if n == 0 {
+        return 0.0;
+    }
+    let tri = g.triangles_per_node();
+    let mut acc = 0.0;
+    for v in 0..n {
+        let d = g.degree(v as NodeId);
+        if d >= 2 {
+            acc += 2.0 * tri[v] as f64 / (d as f64 * (d as f64 - 1.0));
+        }
+    }
+    acc / n as f64
+}
+
+/// Computes a single metric. ASPL switches to sampling above
+/// [`ASPL_EXACT_LIMIT`] nodes (seeded deterministically).
+pub fn compute_metric(g: &Graph, metric: Metric) -> f64 {
+    match metric {
+        Metric::AvgDegree => avg_degree(g),
+        Metric::Lcc => largest_cc_size(g) as f64,
+        Metric::TriangleCount => triangle_count(g) as f64,
+        Metric::Ple => power_law_exponent(g),
+        Metric::Gini => gini_coefficient(g),
+        Metric::Ede => edge_distribution_entropy(g),
+        Metric::Aspl => {
+            if g.n() <= ASPL_EXACT_LIMIT {
+                aspl_exact(g)
+            } else {
+                aspl_sampled(g, DEFAULT_ASPL_SAMPLES, 0x5eed)
+            }
+        }
+        Metric::Ncc => num_connected_components(g) as f64,
+        Metric::Cc => avg_clustering_coefficient(g),
+    }
+}
+
+/// All nine statistics of a graph, in [`Metric::ALL`] order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricReport {
+    /// Values indexed in `Metric::ALL` order.
+    pub values: [f64; 9],
+}
+
+impl MetricReport {
+    /// The value of one metric.
+    pub fn get(&self, m: Metric) -> f64 {
+        let idx = Metric::ALL
+            .iter()
+            .position(|&x| x == m)
+            .expect("metric in ALL");
+        self.values[idx]
+    }
+
+    /// `(metric, value)` pairs in presentation order.
+    pub fn iter(&self) -> impl Iterator<Item = (Metric, f64)> + '_ {
+        Metric::ALL.iter().copied().zip(self.values.iter().copied())
+    }
+}
+
+impl std::fmt::Display for MetricReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, (m, v)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, "  ")?;
+            }
+            write!(f, "{m}={v:.4}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Computes all nine statistics.
+pub fn all_metrics(g: &Graph) -> MetricReport {
+    let mut values = [0.0; 9];
+    for (i, m) in Metric::ALL.iter().enumerate() {
+        values[i] = compute_metric(g, *m);
+    }
+    MetricReport { values }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k4() -> Graph {
+        Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+    }
+
+    fn path4() -> Graph {
+        Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn avg_degree_k4() {
+        assert!((avg_degree(&k4()) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn avg_degree_empty() {
+        assert_eq!(avg_degree(&Graph::empty(0)), 0.0);
+        assert_eq!(avg_degree(&Graph::empty(5)), 0.0);
+    }
+
+    #[test]
+    fn lcc_sizes() {
+        assert_eq!(largest_cc_size(&k4()), 4);
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4)]);
+        assert_eq!(largest_cc_size(&g), 3);
+        assert_eq!(largest_cc_size(&Graph::empty(0)), 0);
+    }
+
+    #[test]
+    fn ple_regular_graph_is_nan() {
+        // All degrees equal: log-sum is zero, estimator undefined.
+        assert!(power_law_exponent(&k4()).is_nan());
+    }
+
+    #[test]
+    fn ple_star_graph() {
+        // Star K_{1,5}: hub degree 5, leaves 1; PLE = 1 + 6/ln 5.
+        let g = Graph::from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]);
+        let expected = 1.0 + 6.0 / (5.0f64).ln();
+        assert!((power_law_exponent(&g) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gini_regular_is_zero() {
+        assert!(gini_coefficient(&k4()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_star_positive() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let gini = gini_coefficient(&g);
+        assert!(gini > 0.0 && gini < 1.0);
+    }
+
+    #[test]
+    fn gini_monotone_in_inequality() {
+        // A star is more unequal than a cycle on the same nodes.
+        let star = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let cycle = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert!(gini_coefficient(&star) > gini_coefficient(&cycle));
+    }
+
+    #[test]
+    fn ede_regular_is_one() {
+        assert!((edge_distribution_entropy(&k4()) - 1.0).abs() < 1e-12);
+        let cycle = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert!((edge_distribution_entropy(&cycle) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ede_in_unit_interval() {
+        let star = Graph::from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]);
+        let e = edge_distribution_entropy(&star);
+        assert!(e > 0.0 && e < 1.0, "ede={e}");
+    }
+
+    #[test]
+    fn aspl_path() {
+        // Path 0-1-2-3: pair distances 1,2,3,1,2,1 → mean 10/6.
+        assert!((aspl_exact(&path4()) - 10.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aspl_complete_is_one() {
+        assert!((aspl_exact(&k4()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aspl_sampled_full_equals_exact() {
+        let g = path4();
+        assert!((aspl_sampled(&g, 4, 7) - aspl_exact(&g)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aspl_no_edges_zero() {
+        assert_eq!(aspl_exact(&Graph::empty(4)), 0.0);
+    }
+
+    #[test]
+    fn ncc_counts() {
+        assert_eq!(num_connected_components(&k4()), 1);
+        assert_eq!(num_connected_components(&Graph::empty(3)), 3);
+    }
+
+    #[test]
+    fn clustering_complete_is_one() {
+        assert!((avg_clustering_coefficient(&k4()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clustering_tree_is_zero() {
+        assert_eq!(avg_clustering_coefficient(&path4()), 0.0);
+    }
+
+    #[test]
+    fn clustering_mixed() {
+        // Triangle 0-1-2 plus pendant 3 attached to 2.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        // c(0)=c(1)=1, c(2)=2*1/(3*2)=1/3, c(3)=0 → mean = (1+1+1/3)/4.
+        let expected = (1.0 + 1.0 + 1.0 / 3.0) / 4.0;
+        assert!((avg_clustering_coefficient(&g) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_roundtrip() {
+        let r = all_metrics(&k4());
+        assert_eq!(r.get(Metric::AvgDegree), 3.0);
+        assert_eq!(r.get(Metric::TriangleCount), 4.0);
+        assert_eq!(r.get(Metric::Ncc), 1.0);
+        assert_eq!(r.iter().count(), 9);
+    }
+
+    #[test]
+    fn compute_metric_dispatch() {
+        let g = k4();
+        for m in Metric::ALL {
+            let v = compute_metric(&g, m);
+            if m == Metric::Ple {
+                assert!(v.is_nan());
+            } else {
+                assert!(v.is_finite());
+            }
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for the nine statistics and the discrepancies.
+
+use fairgen_graph::{Graph, NodeSet};
+use fairgen_metrics::{
+    all_metrics, aspl_exact, avg_clustering_coefficient, avg_degree,
+    edge_distribution_entropy, gini_coefficient, largest_cc_size,
+    num_connected_components, overall_discrepancies, protected_discrepancies, Metric,
+};
+use proptest::prelude::*;
+
+fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = Graph> {
+    (3..=max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 1..=max_m)
+            .prop_map(move |edges| Graph::from_edges(n, &edges))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gini_in_unit_interval(g in arb_graph(24, 80)) {
+        let gini = gini_coefficient(&g);
+        prop_assert!((0.0..=1.0).contains(&gini), "gini = {}", gini);
+    }
+
+    #[test]
+    fn ede_in_unit_interval(g in arb_graph(24, 80)) {
+        let e = edge_distribution_entropy(&g);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&e), "ede = {}", e);
+    }
+
+    #[test]
+    fn clustering_in_unit_interval(g in arb_graph(20, 60)) {
+        let cc = avg_clustering_coefficient(&g);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&cc), "cc = {}", cc);
+    }
+
+    #[test]
+    fn lcc_and_ncc_consistency(g in arb_graph(24, 80)) {
+        let lcc = largest_cc_size(&g);
+        let ncc = num_connected_components(&g);
+        prop_assert!(lcc >= 1 && lcc <= g.n());
+        prop_assert!(ncc >= 1 && ncc <= g.n());
+        // The largest component plus the remaining components cover n.
+        prop_assert!(lcc + (ncc - 1) <= g.n());
+    }
+
+    #[test]
+    fn aspl_at_least_one_when_edges_exist(g in arb_graph(16, 50)) {
+        prop_assume!(g.m() > 0);
+        let aspl = aspl_exact(&g);
+        prop_assert!(aspl >= 1.0, "aspl = {}", aspl);
+        // Diameter bound: at most n-1.
+        prop_assert!(aspl <= (g.n() - 1) as f64);
+    }
+
+    #[test]
+    fn avg_degree_matches_handshake(g in arb_graph(24, 80)) {
+        prop_assert!((avg_degree(&g) - 2.0 * g.m() as f64 / g.n() as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_discrepancy_is_zero(g in arb_graph(16, 50)) {
+        let r = overall_discrepancies(&g, &g);
+        for (m, v) in Metric::ALL.iter().zip(r.iter()) {
+            prop_assert!(v.abs() < 1e-12, "{} self-discrepancy {}", m, v);
+        }
+    }
+
+    #[test]
+    fn protected_self_discrepancy_is_zero(g in arb_graph(16, 50)) {
+        let members: Vec<u32> = (0..g.n() as u32 / 3).collect();
+        prop_assume!(!members.is_empty());
+        let s = NodeSet::from_members(g.n(), &members);
+        let r = protected_discrepancies(&g, &g, &s);
+        for v in r {
+            prop_assert!(v.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn discrepancies_nonnegative(a in arb_graph(14, 40), b in arb_graph(14, 40)) {
+        prop_assume!(a.n() == b.n());
+        let r = overall_discrepancies(&a, &b);
+        for v in r {
+            prop_assert!(v >= 0.0);
+        }
+    }
+
+    #[test]
+    fn report_values_match_singletons(g in arb_graph(14, 40)) {
+        let report = all_metrics(&g);
+        for (m, v) in report.iter() {
+            let direct = fairgen_metrics::compute_metric(&g, m);
+            if v.is_nan() {
+                prop_assert!(direct.is_nan());
+            } else {
+                prop_assert_eq!(v, direct);
+            }
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Element-wise activation layers.
+
+use crate::mat::Mat;
+
+/// Supported element-wise activations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Activation {
+    /// Rectified linear unit.
+    Relu,
+    /// Gaussian error linear unit (tanh approximation).
+    Gelu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Identity (no-op; useful for the output layer of an MLP).
+    Identity,
+}
+
+const GELU_C: f64 = 0.797_884_560_802_865_4; // sqrt(2/π)
+
+impl Activation {
+    /// Applies the activation to a scalar.
+    pub fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Gelu => {
+                0.5 * x * (1.0 + (GELU_C * (x + 0.044715 * x * x * x)).tanh())
+            }
+            Activation::Tanh => x.tanh(),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Identity => x,
+        }
+    }
+
+    /// Derivative with respect to the pre-activation input.
+    pub fn derivative(self, x: f64) -> f64 {
+        match self {
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Gelu => {
+                let inner = GELU_C * (x + 0.044715 * x * x * x);
+                let t = inner.tanh();
+                let dinner = GELU_C * (1.0 + 3.0 * 0.044715 * x * x);
+                0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * dinner
+            }
+            Activation::Tanh => {
+                let t = x.tanh();
+                1.0 - t * t
+            }
+            Activation::Sigmoid => {
+                let s = 1.0 / (1.0 + (-x).exp());
+                s * (1.0 - s)
+            }
+            Activation::Identity => 1.0,
+        }
+    }
+
+    /// Applies the activation element-wise.
+    pub fn forward(self, x: &Mat) -> Mat {
+        x.map(|v| self.apply(v))
+    }
+
+    /// Backward: `dx = dy ⊙ f'(x)`, given the *pre-activation* input `x`.
+    pub fn backward(self, x: &Mat, dy: &Mat) -> Mat {
+        assert_eq!((x.rows(), x.cols()), (dy.rows(), dy.cols()), "shape mismatch");
+        Mat::from_fn(x.rows(), x.cols(), |r, c| dy.get(r, c) * self.derivative(x.get(r, c)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ACTS: [Activation; 5] = [
+        Activation::Relu,
+        Activation::Gelu,
+        Activation::Tanh,
+        Activation::Sigmoid,
+        Activation::Identity,
+    ];
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let eps = 1e-6;
+        for act in ACTS {
+            for &x in &[-2.0, -0.5, -1e-3, 0.1, 0.9, 3.0] {
+                let num = (act.apply(x + eps) - act.apply(x - eps)) / (2.0 * eps);
+                let ana = act.derivative(x);
+                assert!(
+                    (num - ana).abs() < 1e-5,
+                    "{act:?} at {x}: numeric {num} vs analytic {ana}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        assert_eq!(Activation::Relu.apply(-3.0), 0.0);
+        assert_eq!(Activation::Relu.apply(2.0), 2.0);
+    }
+
+    #[test]
+    fn sigmoid_range_and_symmetry() {
+        let s = Activation::Sigmoid;
+        assert!((s.apply(0.0) - 0.5).abs() < 1e-12);
+        assert!(s.apply(10.0) > 0.999);
+        assert!(s.apply(-10.0) < 0.001);
+        assert!((s.apply(1.3) + s.apply(-1.3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gelu_close_to_identity_for_large_x() {
+        assert!((Activation::Gelu.apply(6.0) - 6.0).abs() < 1e-6);
+        assert!(Activation::Gelu.apply(-6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn matrix_forward_backward_shapes() {
+        let x = Mat::from_fn(2, 3, |r, c| r as f64 - c as f64);
+        for act in ACTS {
+            let y = act.forward(&x);
+            assert_eq!((y.rows(), y.cols()), (2, 3));
+            let dy = Mat::from_fn(2, 3, |_, _| 1.0);
+            let dx = act.backward(&x, &dy);
+            assert_eq!((dx.rows(), dx.cols()), (2, 3));
+        }
+    }
+}

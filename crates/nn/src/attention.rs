@@ -1,0 +1,290 @@
+//! Causal multi-head self-attention over a single sequence.
+
+use rand::Rng;
+
+use crate::mat::Mat;
+use crate::param::{HasParams, Param};
+use crate::softmax::softmax_rows;
+
+/// Extracts the column block `[start, start+width)` of `m`.
+fn col_block(m: &Mat, start: usize, width: usize) -> Mat {
+    Mat::from_fn(m.rows(), width, |r, c| m.get(r, start + c))
+}
+
+/// Adds `block` into columns `[start, ..)` of `m`.
+fn add_col_block(m: &mut Mat, start: usize, block: &Mat) {
+    for r in 0..block.rows() {
+        for c in 0..block.cols() {
+            let cur = m.get(r, start + c);
+            m.set(r, start + c, cur + block.get(r, c));
+        }
+    }
+}
+
+/// Causal multi-head self-attention: `Y = concat_h(softmax(mask(Q_h K_hᵀ /
+/// √d_h)) V_h) · W_o` with `Q = X W_q`, `K = X W_k`, `V = X W_v`.
+///
+/// Operates on one sequence (`X: T × d_model`) at a time; the training loops
+/// in this workspace batch by iterating walks, which at walk length 10 and
+/// `d_model ≤ 64` is fast enough on a CPU.
+#[derive(Clone, Debug)]
+pub struct MultiHeadAttention {
+    /// Query projection (`d × d`).
+    pub wq: Param,
+    /// Key projection (`d × d`).
+    pub wk: Param,
+    /// Value projection (`d × d`).
+    pub wv: Param,
+    /// Output projection (`d × d`).
+    pub wo: Param,
+    heads: usize,
+    cache: Option<AttnCache>,
+}
+
+#[derive(Clone, Debug)]
+struct AttnCache {
+    x: Mat,
+    q: Mat,
+    k: Mat,
+    v: Mat,
+    attn: Vec<Mat>, // per-head attention weights (T × T)
+    concat: Mat,    // pre-Wo head outputs (T × d)
+}
+
+impl MultiHeadAttention {
+    /// Creates an attention layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_model` is not divisible by `heads`.
+    pub fn new<R: Rng + ?Sized>(d_model: usize, heads: usize, rng: &mut R) -> Self {
+        assert!(heads > 0 && d_model % heads == 0, "d_model must divide by heads");
+        MultiHeadAttention {
+            wq: Param::new(Mat::xavier(d_model, d_model, rng)),
+            wk: Param::new(Mat::xavier(d_model, d_model, rng)),
+            wv: Param::new(Mat::xavier(d_model, d_model, rng)),
+            wo: Param::new(Mat::xavier(d_model, d_model, rng)),
+            heads,
+            cache: None,
+        }
+    }
+
+    /// Model width.
+    pub fn d_model(&self) -> usize {
+        self.wq.value.rows()
+    }
+
+    /// Number of heads.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Forward pass with causal masking, caching activations.
+    pub fn forward(&mut self, x: &Mat) -> Mat {
+        let d = self.d_model();
+        assert_eq!(x.cols(), d, "input width mismatch");
+        let t = x.rows();
+        let dh = d / self.heads;
+        let scale = 1.0 / (dh as f64).sqrt();
+        let q = x.matmul(&self.wq.value);
+        let k = x.matmul(&self.wk.value);
+        let v = x.matmul(&self.wv.value);
+        let mut concat = Mat::zeros(t, d);
+        let mut attn_weights = Vec::with_capacity(self.heads);
+        for h in 0..self.heads {
+            let qh = col_block(&q, h * dh, dh);
+            let kh = col_block(&k, h * dh, dh);
+            let vh = col_block(&v, h * dh, dh);
+            let mut scores = qh.matmul_nt(&kh);
+            scores.scale(scale);
+            // Causal mask: position i attends only to j ≤ i.
+            for i in 0..t {
+                for j in (i + 1)..t {
+                    scores.set(i, j, f64::NEG_INFINITY);
+                }
+            }
+            let a = softmax_rows(&scores);
+            let oh = a.matmul(&vh);
+            add_col_block(&mut concat, h * dh, &oh);
+            attn_weights.push(a);
+        }
+        let y = concat.matmul(&self.wo.value);
+        self.cache = Some(AttnCache { x: x.clone(), q, k, v, attn: attn_weights, concat });
+        y
+    }
+
+    /// Backward pass: accumulates weight gradients and returns `dx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`MultiHeadAttention::forward`].
+    pub fn backward(&mut self, dy: &Mat) -> Mat {
+        let cache = self.cache.take().expect("backward before forward");
+        let d = self.d_model();
+        let t = dy.rows();
+        let dh = d / self.heads;
+        let scale = 1.0 / (dh as f64).sqrt();
+
+        // Y = concat · Wo
+        self.wo.grad.add_assign(&cache.concat.matmul_tn(dy));
+        let dconcat = dy.matmul_nt(&self.wo.value);
+
+        let mut dq = Mat::zeros(t, d);
+        let mut dk = Mat::zeros(t, d);
+        let mut dv = Mat::zeros(t, d);
+        for h in 0..self.heads {
+            let a = &cache.attn[h];
+            let qh = col_block(&cache.q, h * dh, dh);
+            let kh = col_block(&cache.k, h * dh, dh);
+            let vh = col_block(&cache.v, h * dh, dh);
+            let doh = col_block(&dconcat, h * dh, dh);
+            // O_h = A V_h
+            let da = doh.matmul_nt(&vh);
+            let dvh = a.matmul_tn(&doh);
+            // Softmax backward per row: dS = A ⊙ (dA − Σ_j dA_j A_j).
+            let mut ds = Mat::zeros(t, t);
+            for i in 0..t {
+                let mut dot = 0.0;
+                for j in 0..t {
+                    dot += da.get(i, j) * a.get(i, j);
+                }
+                for j in 0..t {
+                    ds.set(i, j, a.get(i, j) * (da.get(i, j) - dot));
+                }
+            }
+            ds.scale(scale);
+            // S = Q_h K_hᵀ (scaled): dQ_h = dS K_h ; dK_h = dSᵀ Q_h.
+            let dqh = ds.matmul(&kh);
+            let dkh = ds.matmul_tn(&qh);
+            add_col_block(&mut dq, h * dh, &dqh);
+            add_col_block(&mut dk, h * dh, &dkh);
+            add_col_block(&mut dv, h * dh, &dvh);
+        }
+
+        // Q = X Wq etc.
+        self.wq.grad.add_assign(&cache.x.matmul_tn(&dq));
+        self.wk.grad.add_assign(&cache.x.matmul_tn(&dk));
+        self.wv.grad.add_assign(&cache.x.matmul_tn(&dv));
+        let mut dx = dq.matmul_nt(&self.wq.value);
+        dx.add_assign(&dk.matmul_nt(&self.wk.value));
+        dx.add_assign(&dv.matmul_nt(&self.wv.value));
+        dx
+    }
+}
+
+impl HasParams for MultiHeadAttention {
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.wq);
+        f(&mut self.wk);
+        f(&mut self.wv);
+        f(&mut self.wo);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_param_gradients;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn input(t: usize, d: usize) -> Mat {
+        Mat::from_fn(t, d, |r, c| ((r * d + c) as f64 * 0.61).sin() * 0.5)
+    }
+
+    #[test]
+    fn output_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut attn = MultiHeadAttention::new(8, 2, &mut rng);
+        let y = attn.forward(&input(5, 8));
+        assert_eq!((y.rows(), y.cols()), (5, 8));
+    }
+
+    #[test]
+    fn causality_future_tokens_do_not_affect_past() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut attn = MultiHeadAttention::new(8, 2, &mut rng);
+        let x1 = input(6, 8);
+        let mut x2 = x1.clone();
+        // Perturb the final position only.
+        for c in 0..8 {
+            x2.set(5, c, x2.get(5, c) + 10.0);
+        }
+        let y1 = attn.forward(&x1);
+        let y2 = attn.forward(&x2);
+        for r in 0..5 {
+            for c in 0..8 {
+                assert!(
+                    (y1.get(r, c) - y2.get(r, c)).abs() < 1e-12,
+                    "position {r} changed when only position 5 differed"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn attention_rows_sum_to_one_over_prefix() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut attn = MultiHeadAttention::new(4, 1, &mut rng);
+        let _ = attn.forward(&input(4, 4));
+        let a = &attn.cache.as_ref().unwrap().attn[0];
+        for i in 0..4 {
+            let sum: f64 = a.row(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+            for j in (i + 1)..4 {
+                assert_eq!(a.get(i, j), 0.0, "future weight nonzero");
+            }
+        }
+    }
+
+    #[test]
+    fn param_gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = input(4, 6);
+        let mut attn = MultiHeadAttention::new(6, 2, &mut rng);
+        check_param_gradients(
+            &mut attn,
+            |a| {
+                let y = a.forward(&x);
+                let loss = 0.5 * y.sq_norm();
+                a.backward(&y);
+                loss
+            },
+            1e-5,
+            1e-4,
+        );
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut attn = MultiHeadAttention::new(4, 2, &mut rng);
+        let x0 = input(3, 4);
+        let y = attn.forward(&x0);
+        let dx = attn.backward(&y.clone());
+        let eps = 1e-6;
+        for r in 0..x0.rows() {
+            for c in 0..x0.cols() {
+                let mut xp = x0.clone();
+                xp.set(r, c, x0.get(r, c) + eps);
+                let mut xm = x0.clone();
+                xm.set(r, c, x0.get(r, c) - eps);
+                let lp = 0.5 * attn.forward(&xp).sq_norm();
+                let lm = 0.5 * attn.forward(&xm).sq_norm();
+                let num = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (num - dx.get(r, c)).abs() < 1e-5,
+                    "dx({r},{c}): numeric {num} vs analytic {}",
+                    dx.get(r, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "divide by heads")]
+    fn indivisible_heads_panics() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = MultiHeadAttention::new(6, 4, &mut rng);
+    }
+}

@@ -1,0 +1,138 @@
+//! Token (node) embedding tables.
+
+use rand::Rng;
+
+use crate::mat::Mat;
+use crate::param::{HasParams, Param};
+
+/// A lookup table mapping token ids to dense rows.
+#[derive(Clone, Debug)]
+pub struct Embedding {
+    /// The table (`vocab × dim`).
+    pub table: Param,
+    cache_ids: Option<Vec<usize>>,
+}
+
+impl Embedding {
+    /// Uniformly initialized table with scale `1/√dim`.
+    pub fn new<R: Rng + ?Sized>(vocab: usize, dim: usize, rng: &mut R) -> Self {
+        let scale = 1.0 / (dim as f64).sqrt();
+        Embedding { table: Param::new(Mat::uniform(vocab, dim, scale, rng)), cache_ids: None }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.table.value.rows()
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.table.value.cols()
+    }
+
+    /// Looks up `ids`, producing a `len × dim` matrix; caches ids for
+    /// backward.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an id is out of range.
+    pub fn forward(&mut self, ids: &[usize]) -> Mat {
+        let out = self.lookup(ids);
+        self.cache_ids = Some(ids.to_vec());
+        out
+    }
+
+    /// Lookup without caching (inference).
+    pub fn lookup(&self, ids: &[usize]) -> Mat {
+        let dim = self.dim();
+        let mut out = Mat::zeros(ids.len(), dim);
+        for (r, &id) in ids.iter().enumerate() {
+            assert!(id < self.vocab(), "token id {id} out of range");
+            out.row_mut(r).copy_from_slice(self.table.value.row(id));
+        }
+        out
+    }
+
+    /// A single row of the table (a node's embedding vector).
+    pub fn vector(&self, id: usize) -> &[f64] {
+        self.table.value.row(id)
+    }
+
+    /// Backward: scatters `dy` rows into the table gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Embedding::forward`].
+    pub fn backward(&mut self, dy: &Mat) {
+        let ids = self.cache_ids.as_ref().expect("backward before forward");
+        assert_eq!(dy.rows(), ids.len(), "gradient row count mismatch");
+        for (r, &id) in ids.iter().enumerate() {
+            let src = dy.row(r).to_vec();
+            let dst = self.table.grad.row_mut(id);
+            for (d, s) in dst.iter_mut().zip(&src) {
+                *d += s;
+            }
+        }
+    }
+}
+
+impl HasParams for Embedding {
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.table);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_param_gradients;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lookup_copies_rows() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut e = Embedding::new(5, 3, &mut rng);
+        let out = e.forward(&[2, 2, 4]);
+        assert_eq!(out.row(0), e.vector(2));
+        assert_eq!(out.row(1), e.vector(2));
+        assert_eq!(out.row(2), e.vector(4));
+    }
+
+    #[test]
+    fn backward_accumulates_repeated_ids() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut e = Embedding::new(4, 2, &mut rng);
+        let _ = e.forward(&[1, 1]);
+        let dy = Mat::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        e.backward(&dy);
+        assert_eq!(e.table.grad.row(1), &[4.0, 6.0]);
+        assert_eq!(e.table.grad.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut e = Embedding::new(6, 4, &mut rng);
+        let ids = [0usize, 3, 3, 5];
+        check_param_gradients(
+            &mut e,
+            |e| {
+                let y = e.forward(&ids);
+                let loss = 0.5 * y.sq_norm();
+                e.backward(&y);
+                loss
+            },
+            1e-5,
+            1e-6,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oob_id_panics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut e = Embedding::new(3, 2, &mut rng);
+        let _ = e.forward(&[3]);
+    }
+}

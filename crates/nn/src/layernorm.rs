@@ -1,0 +1,186 @@
+//! Layer normalization (per-row).
+
+use crate::mat::Mat;
+use crate::param::{HasParams, Param};
+
+/// Per-row layer normalization with learned gain `γ` and bias `β`.
+#[derive(Clone, Debug)]
+pub struct LayerNorm {
+    /// Gain (`1 × dim`), initialized to 1.
+    pub gamma: Param,
+    /// Bias (`1 × dim`), initialized to 0.
+    pub beta: Param,
+    eps: f64,
+    cache: Option<LnCache>,
+}
+
+#[derive(Clone, Debug)]
+struct LnCache {
+    xhat: Mat,
+    inv_std: Vec<f64>,
+}
+
+impl LayerNorm {
+    /// Creates a layer norm over rows of width `dim`.
+    pub fn new(dim: usize) -> Self {
+        LayerNorm {
+            gamma: Param::new(Mat::from_fn(1, dim, |_, _| 1.0)),
+            beta: Param::new(Mat::zeros(1, dim)),
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+
+    /// Normalized width.
+    pub fn dim(&self) -> usize {
+        self.gamma.value.cols()
+    }
+
+    /// Forward pass, caching normalization statistics.
+    pub fn forward(&mut self, x: &Mat) -> Mat {
+        let (rows, cols) = (x.rows(), x.cols());
+        assert_eq!(cols, self.dim(), "layernorm width mismatch");
+        let mut xhat = Mat::zeros(rows, cols);
+        let mut inv_std = Vec::with_capacity(rows);
+        let mut y = Mat::zeros(rows, cols);
+        for r in 0..rows {
+            let row = x.row(r);
+            let mean = row.iter().sum::<f64>() / cols as f64;
+            let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / cols as f64;
+            let istd = 1.0 / (var + self.eps).sqrt();
+            inv_std.push(istd);
+            for c in 0..cols {
+                let xh = (row[c] - mean) * istd;
+                xhat.set(r, c, xh);
+                y.set(r, c, self.gamma.value.get(0, c) * xh + self.beta.value.get(0, c));
+            }
+        }
+        self.cache = Some(LnCache { xhat, inv_std });
+        y
+    }
+
+    /// Backward pass: accumulates `dγ`, `dβ` and returns `dx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`LayerNorm::forward`].
+    pub fn backward(&mut self, dy: &Mat) -> Mat {
+        let cache = self.cache.as_ref().expect("backward before forward");
+        let (rows, cols) = (dy.rows(), dy.cols());
+        let n = cols as f64;
+        let mut dx = Mat::zeros(rows, cols);
+        for r in 0..rows {
+            let istd = cache.inv_std[r];
+            // dγ_c += dy_c · x̂_c ; dβ_c += dy_c
+            let mut sum_dxhat = 0.0;
+            let mut sum_dxhat_xhat = 0.0;
+            let mut dxhat = vec![0.0; cols];
+            for c in 0..cols {
+                let g = dy.get(r, c);
+                let xh = cache.xhat.get(r, c);
+                let cur_g = self.gamma.grad.get(0, c);
+                self.gamma.grad.set(0, c, cur_g + g * xh);
+                let cur_b = self.beta.grad.get(0, c);
+                self.beta.grad.set(0, c, cur_b + g);
+                let dxh = g * self.gamma.value.get(0, c);
+                dxhat[c] = dxh;
+                sum_dxhat += dxh;
+                sum_dxhat_xhat += dxh * xh;
+            }
+            for c in 0..cols {
+                let xh = cache.xhat.get(r, c);
+                let v = (dxhat[c] - sum_dxhat / n - xh * sum_dxhat_xhat / n) * istd;
+                dx.set(r, c, v);
+            }
+        }
+        dx
+    }
+}
+
+impl HasParams for LayerNorm {
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_param_gradients;
+
+    #[test]
+    fn rows_are_normalized() {
+        let mut ln = LayerNorm::new(4);
+        let x = Mat::from_vec(2, 4, vec![1.0, 2.0, 3.0, 4.0, -5.0, 0.0, 5.0, 10.0]);
+        let y = ln.forward(&x);
+        for r in 0..2 {
+            let mean: f64 = y.row(r).iter().sum::<f64>() / 4.0;
+            let var: f64 = y.row(r).iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / 4.0;
+            assert!(mean.abs() < 1e-9, "row {r} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "row {r} var {var}");
+        }
+    }
+
+    #[test]
+    fn gamma_beta_affect_output() {
+        let mut ln = LayerNorm::new(3);
+        ln.gamma.value = Mat::from_vec(1, 3, vec![2.0, 2.0, 2.0]);
+        ln.beta.value = Mat::from_vec(1, 3, vec![1.0, 1.0, 1.0]);
+        let x = Mat::from_vec(1, 3, vec![0.0, 1.0, 2.0]);
+        let y = ln.forward(&x);
+        let mean: f64 = y.row(0).iter().sum::<f64>() / 3.0;
+        assert!((mean - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn param_gradients_match_finite_differences() {
+        let x = Mat::from_fn(3, 5, |r, c| ((r * 5 + c) as f64 * 0.37).sin());
+        let mut ln = LayerNorm::new(5);
+        check_param_gradients(
+            &mut ln,
+            |l| {
+                let y = l.forward(&x);
+                let loss = 0.5 * y.sq_norm();
+                l.backward(&y);
+                loss
+            },
+            1e-5,
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_differences() {
+        let mut ln = LayerNorm::new(4);
+        let x0 = Mat::from_fn(2, 4, |r, c| (r as f64 + 1.0) * (c as f64 - 1.5) * 0.3);
+        let y = ln.forward(&x0);
+        let dx = ln.backward(&y.clone());
+        let eps = 1e-6;
+        let loss_of = |ln: &mut LayerNorm, x: &Mat| {
+            let y = ln.forward(x);
+            0.5 * y.sq_norm()
+        };
+        for r in 0..x0.rows() {
+            for c in 0..x0.cols() {
+                let mut xp = x0.clone();
+                xp.set(r, c, x0.get(r, c) + eps);
+                let mut xm = x0.clone();
+                xm.set(r, c, x0.get(r, c) - eps);
+                let num = (loss_of(&mut ln, &xp) - loss_of(&mut ln, &xm)) / (2.0 * eps);
+                assert!(
+                    (num - dx.get(r, c)).abs() < 1e-5,
+                    "dx({r},{c}): numeric {num} vs analytic {}",
+                    dx.get(r, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_panics() {
+        let mut ln = LayerNorm::new(3);
+        let _ = ln.forward(&Mat::zeros(1, 4));
+    }
+}

@@ -1,0 +1,51 @@
+//! A minimal, dependency-free deep-learning substrate with hand-written
+//! backpropagation, built for the FairGen reproduction.
+//!
+//! The paper trains three kinds of networks: a Transformer walk generator
+//! `g_θ` (Section II-B, M1), a three-layer MLP discriminator `d_ω`
+//! (Section II-B, M2), and — for the baselines — an LSTM walk generator
+//! (NetGAN) and a GCN encoder (GAE). Rust has no mature GPU training stack,
+//! so this crate implements exactly the layers those models need, on the
+//! CPU, in `f64`, with analytically derived backward passes that are
+//! verified against centered finite differences in the test suite.
+//!
+//! Modules:
+//!
+//! * [`mat`] — dense row-major matrices and the handful of GEMM variants
+//!   the backward passes need.
+//! * [`param`] — trainable parameters (value + gradient + Adam moments).
+//! * [`linear`], [`embedding`], [`layernorm`], [`activation`] — layers.
+//! * [`softmax`] — softmax / log-softmax / cross-entropy with gradients.
+//! * [`attention`] — causal multi-head self-attention.
+//! * [`transformer`] — a small autoregressive Transformer language model
+//!   over node vocabularies.
+//! * [`lstm`] — an LSTM language model (NetGAN-lite's generator).
+//! * [`mlp`] — multi-layer perceptrons (the discriminator `d_ω`).
+//! * [`optim`] — SGD and Adam with gradient clipping.
+//! * [`gradcheck`] — finite-difference verification utilities.
+
+pub mod activation;
+pub mod attention;
+pub mod embedding;
+pub mod gradcheck;
+pub mod layernorm;
+pub mod linear;
+pub mod lstm;
+pub mod mat;
+pub mod mlp;
+pub mod optim;
+pub mod param;
+pub mod softmax;
+pub mod transformer;
+
+pub use activation::Activation;
+pub use embedding::Embedding;
+pub use layernorm::LayerNorm;
+pub use linear::Linear;
+pub use lstm::LstmLm;
+pub use mat::Mat;
+pub use mlp::Mlp;
+pub use optim::{clip_gradients, Adam, Sgd};
+pub use param::Param;
+pub use softmax::{cross_entropy, log_softmax, softmax_rows, unlikelihood};
+pub use transformer::{TransformerConfig, TransformerLm};

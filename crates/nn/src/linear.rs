@@ -1,0 +1,179 @@
+//! Fully connected layers.
+
+use rand::Rng;
+
+use crate::mat::Mat;
+use crate::param::{HasParams, Param};
+
+/// `y = x W + b` over a batch of rows (`x: B×in`, `W: in×out`, `b: 1×out`).
+#[derive(Clone, Debug)]
+pub struct Linear {
+    /// Weight matrix (`in × out`).
+    pub w: Param,
+    /// Bias row (`1 × out`).
+    pub b: Param,
+    cache_x: Option<Mat>,
+}
+
+impl Linear {
+    /// Xavier-initialized layer.
+    pub fn new<R: Rng + ?Sized>(input: usize, output: usize, rng: &mut R) -> Self {
+        Linear {
+            w: Param::new(Mat::xavier(input, output, rng)),
+            b: Param::new(Mat::zeros(1, output)),
+            cache_x: None,
+        }
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.w.value.rows()
+    }
+
+    /// Output dimension.
+    pub fn output_dim(&self) -> usize {
+        self.w.value.cols()
+    }
+
+    /// Forward pass, caching the input for backward.
+    pub fn forward(&mut self, x: &Mat) -> Mat {
+        let mut y = x.matmul(&self.w.value);
+        for r in 0..y.rows() {
+            let bias = self.b.value.row(0).to_vec();
+            for (yv, bv) in y.row_mut(r).iter_mut().zip(&bias) {
+                *yv += bv;
+            }
+        }
+        self.cache_x = Some(x.clone());
+        y
+    }
+
+    /// Forward pass without caching (inference).
+    pub fn forward_inference(&self, x: &Mat) -> Mat {
+        let mut y = x.matmul(&self.w.value);
+        for r in 0..y.rows() {
+            for (c, yv) in y.row_mut(r).iter_mut().enumerate() {
+                *yv += self.b.value.get(0, c);
+            }
+        }
+        y
+    }
+
+    /// Backward pass: accumulates `dW`, `db` and returns `dx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Linear::forward`].
+    pub fn backward(&mut self, dy: &Mat) -> Mat {
+        let x = self.cache_x.as_ref().expect("backward before forward");
+        // dW = xᵀ dy; db = column sums of dy; dx = dy Wᵀ.
+        self.w.grad.add_assign(&x.matmul_tn(dy));
+        for r in 0..dy.rows() {
+            let row = dy.row(r).to_vec();
+            for (c, &g) in row.iter().enumerate() {
+                let cur = self.b.grad.get(0, c);
+                self.b.grad.set(0, c, cur + g);
+            }
+        }
+        dy.matmul_nt(&self.w.value)
+    }
+}
+
+impl HasParams for Linear {
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.w);
+        f(&mut self.b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_param_gradients;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut l = Linear::new(3, 5, &mut rng);
+        let x = Mat::from_fn(4, 3, |r, c| (r + c) as f64);
+        let y = l.forward(&x);
+        assert_eq!((y.rows(), y.cols()), (4, 5));
+        assert_eq!(l.input_dim(), 3);
+        assert_eq!(l.output_dim(), 5);
+    }
+
+    #[test]
+    fn forward_inference_matches_forward() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut l = Linear::new(4, 2, &mut rng);
+        let x = Mat::from_fn(3, 4, |r, c| (r * 4 + c) as f64 * 0.1);
+        assert_eq!(l.forward(&x), l.forward_inference(&x));
+    }
+
+    #[test]
+    fn identity_weight_passthrough() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut l = Linear::new(2, 2, &mut rng);
+        l.w.value = Mat::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        let x = Mat::from_vec(1, 2, vec![3.0, -4.0]);
+        assert_eq!(l.forward(&x), x);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = Mat::from_fn(3, 4, |r, c| ((r * 7 + c * 3) % 5) as f64 * 0.3 - 0.6);
+        // Loss: sum of squares of outputs.
+        let mut layer = Linear::new(4, 3, &mut rng);
+        check_param_gradients(
+            &mut layer,
+            |l| {
+                let y = l.forward(&x);
+                let loss = 0.5 * y.sq_norm();
+                let dy = y.clone();
+                l.backward(&dy);
+                loss
+            },
+            1e-5,
+            1e-6,
+        );
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut l = Linear::new(3, 2, &mut rng);
+        let x0 = Mat::from_fn(2, 3, |r, c| (r as f64 - c as f64) * 0.4);
+        let y = l.forward(&x0);
+        let dy = y.clone(); // d(½‖y‖²)/dy = y
+        let dx = l.backward(&dy);
+        let eps = 1e-6;
+        for r in 0..x0.rows() {
+            for c in 0..x0.cols() {
+                let mut xp = x0.clone();
+                xp.set(r, c, x0.get(r, c) + eps);
+                let mut xm = x0.clone();
+                xm.set(r, c, x0.get(r, c) - eps);
+                let lp = 0.5 * l.forward_inference(&xp).sq_norm();
+                let lm = 0.5 * l.forward_inference(&xm).sq_norm();
+                let num = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (num - dx.get(r, c)).abs() < 1e-6,
+                    "dx({r},{c}): numeric {num} vs analytic {}",
+                    dx.get(r, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "backward before forward")]
+    fn backward_requires_forward() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut l = Linear::new(2, 2, &mut rng);
+        let dy = Mat::zeros(1, 2);
+        let _ = l.backward(&dy);
+    }
+}

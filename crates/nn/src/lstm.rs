@@ -1,0 +1,311 @@
+//! An LSTM language model — the generator of the NetGAN-lite baseline
+//! (NetGAN trains an LSTM to emit plausible random walks).
+
+use rand::Rng;
+
+use crate::embedding::Embedding;
+use crate::linear::Linear;
+use crate::mat::Mat;
+use crate::param::{HasParams, Param};
+use crate::softmax::{cross_entropy, log_softmax, softmax_rows};
+
+/// Per-timestep forward cache.
+#[derive(Clone, Debug)]
+struct StepCache {
+    z: Mat,      // 1 × (in + hidden): concatenated [x_t, h_{t-1}]
+    i: Vec<f64>, // input gate
+    f: Vec<f64>, // forget gate
+    o: Vec<f64>, // output gate
+    g: Vec<f64>, // candidate
+    c_prev: Vec<f64>,
+    tanh_c: Vec<f64>,
+}
+
+/// A single-layer LSTM language model over token sequences with an implicit
+/// BOS token (id = `vocab`).
+#[derive(Clone, Debug)]
+pub struct LstmLm {
+    vocab: usize,
+    hidden: usize,
+    embed: Embedding,
+    /// Gate weights (`(embed_dim + hidden) × 4·hidden`), gate order
+    /// `[i, f, o, g]`.
+    pub w: Param,
+    /// Gate biases (`1 × 4·hidden`).
+    pub b: Param,
+    head: Linear,
+    cache: Vec<StepCache>,
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl LstmLm {
+    /// Builds an LSTM LM. `dim` is the embedding width, `hidden` the state
+    /// width.
+    pub fn new<R: Rng + ?Sized>(vocab: usize, dim: usize, hidden: usize, rng: &mut R) -> Self {
+        assert!(vocab > 0 && dim > 0 && hidden > 0);
+        let mut b = Mat::zeros(1, 4 * hidden);
+        // Standard trick: initialize the forget-gate bias to 1.
+        for h in 0..hidden {
+            b.set(0, hidden + h, 1.0);
+        }
+        LstmLm {
+            vocab,
+            hidden,
+            embed: Embedding::new(vocab + 1, dim, rng),
+            w: Param::new(Mat::xavier(dim + hidden, 4 * hidden, rng)),
+            b: Param::new(b),
+            head: Linear::new(hidden, vocab, rng),
+            cache: Vec::new(),
+        }
+    }
+
+    /// The BOS token id.
+    pub fn bos(&self) -> usize {
+        self.vocab
+    }
+
+    /// Vocabulary size (excluding BOS).
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    fn step(&mut self, x: &[f64], h_prev: &[f64], c_prev: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let hid = self.hidden;
+        let in_dim = x.len();
+        let mut z = Mat::zeros(1, in_dim + hid);
+        z.row_mut(0)[..in_dim].copy_from_slice(x);
+        z.row_mut(0)[in_dim..].copy_from_slice(h_prev);
+        let mut gates = z.matmul(&self.w.value);
+        for (k, v) in gates.row_mut(0).iter_mut().enumerate() {
+            *v += self.b.value.get(0, k);
+        }
+        let gr = gates.row(0);
+        let i: Vec<f64> = (0..hid).map(|k| sigmoid(gr[k])).collect();
+        let f: Vec<f64> = (0..hid).map(|k| sigmoid(gr[hid + k])).collect();
+        let o: Vec<f64> = (0..hid).map(|k| sigmoid(gr[2 * hid + k])).collect();
+        let g: Vec<f64> = (0..hid).map(|k| gr[3 * hid + k].tanh()).collect();
+        let c: Vec<f64> = (0..hid).map(|k| f[k] * c_prev[k] + i[k] * g[k]).collect();
+        let tanh_c: Vec<f64> = c.iter().map(|&v| v.tanh()).collect();
+        let h: Vec<f64> = (0..hid).map(|k| o[k] * tanh_c[k]).collect();
+        self.cache.push(StepCache {
+            z,
+            i,
+            f,
+            o,
+            g,
+            c_prev: c_prev.to_vec(),
+            tanh_c,
+        });
+        (h, c)
+    }
+
+    /// Forward over `[BOS, seq…]`: row `t` of the output logits predicts
+    /// `seq[t]`.
+    pub fn forward(&mut self, seq: &[usize]) -> Mat {
+        assert!(!seq.is_empty(), "empty sequence");
+        self.cache.clear();
+        let mut ids = Vec::with_capacity(seq.len());
+        ids.push(self.bos());
+        ids.extend_from_slice(&seq[..seq.len() - 1]);
+        let x = self.embed.forward(&ids);
+        let mut h = vec![0.0; self.hidden];
+        let mut c = vec![0.0; self.hidden];
+        let mut states = Mat::zeros(ids.len(), self.hidden);
+        for (t, _) in ids.iter().enumerate() {
+            let (nh, nc) = self.step(&x.row(t).to_vec(), &h, &c);
+            states.row_mut(t).copy_from_slice(&nh);
+            h = nh;
+            c = nc;
+        }
+        self.head.forward(&states)
+    }
+
+    /// Backward through time from `dlogits`; accumulates all gradients.
+    pub fn backward(&mut self, dlogits: &Mat) {
+        let dstates = self.head.backward(dlogits);
+        let hid = self.hidden;
+        let steps = self.cache.len();
+        let in_dim = self.w.value.rows() - hid;
+        let mut dh_next = vec![0.0; hid];
+        let mut dc_next = vec![0.0; hid];
+        let mut dx_all = Mat::zeros(steps, in_dim);
+        for t in (0..steps).rev() {
+            let cache = &self.cache[t];
+            let mut dh: Vec<f64> = dstates.row(t).to_vec();
+            for k in 0..hid {
+                dh[k] += dh_next[k];
+            }
+            // h = o ⊙ tanh(c)
+            let mut dc = vec![0.0; hid];
+            let mut dgates = Mat::zeros(1, 4 * hid);
+            for k in 0..hid {
+                let d_o = dh[k] * cache.tanh_c[k];
+                dc[k] = dh[k] * cache.o[k] * (1.0 - cache.tanh_c[k] * cache.tanh_c[k])
+                    + dc_next[k];
+                let d_i = dc[k] * cache.g[k];
+                let d_f = dc[k] * cache.c_prev[k];
+                let d_g = dc[k] * cache.i[k];
+                // Through the gate nonlinearities.
+                dgates.set(0, k, d_i * cache.i[k] * (1.0 - cache.i[k]));
+                dgates.set(0, hid + k, d_f * cache.f[k] * (1.0 - cache.f[k]));
+                dgates.set(0, 2 * hid + k, d_o * cache.o[k] * (1.0 - cache.o[k]));
+                dgates.set(0, 3 * hid + k, d_g * (1.0 - cache.g[k] * cache.g[k]));
+            }
+            // gates = z W + b
+            self.w.grad.add_assign(&cache.z.matmul_tn(&dgates));
+            for k in 0..4 * hid {
+                let cur = self.b.grad.get(0, k);
+                self.b.grad.set(0, k, cur + dgates.get(0, k));
+            }
+            let dz = dgates.matmul_nt(&self.w.value);
+            dx_all.row_mut(t).copy_from_slice(&dz.row(0)[..in_dim]);
+            dh_next = dz.row(0)[in_dim..].to_vec();
+            dc_next = (0..hid).map(|k| dc[k] * cache.f[k]).collect();
+        }
+        self.embed.backward(&dx_all);
+    }
+
+    /// One training step: positive `weight` = likelihood (cross-entropy),
+    /// negative `weight` = bounded unlikelihood `−log(1 − p)` with magnitude
+    /// `|weight|`. Returns the loss.
+    pub fn train_step(&mut self, seq: &[usize], weight: f64) -> f64 {
+        let logits = self.forward(seq);
+        let (loss, mut dlogits) = if weight >= 0.0 {
+            cross_entropy(&logits, seq, None)
+        } else {
+            crate::softmax::unlikelihood(&logits, seq)
+        };
+        let scale = weight.abs();
+        if scale != 1.0 {
+            dlogits.scale(scale);
+        }
+        self.backward(&dlogits);
+        loss
+    }
+
+    /// Mean NLL of `seq` (no gradients).
+    pub fn nll(&mut self, seq: &[usize]) -> f64 {
+        let logits = self.forward(seq);
+        let ls = log_softmax(&logits);
+        let mut total = 0.0;
+        for (i, &t) in seq.iter().enumerate() {
+            total -= ls.get(i, t);
+        }
+        total / seq.len() as f64
+    }
+
+    /// Autoregressive sampling of `len` tokens.
+    pub fn sample<R: Rng + ?Sized>(&mut self, len: usize, temperature: f64, rng: &mut R) -> Vec<usize> {
+        assert!(temperature > 0.0);
+        let mut seq: Vec<usize> = Vec::with_capacity(len);
+        for _ in 0..len {
+            let mut probe = seq.clone();
+            probe.push(0);
+            let logits = self.forward(&probe);
+            let last = logits.rows() - 1;
+            let mut row = Mat::from_vec(1, logits.cols(), logits.row(last).to_vec());
+            row.scale(1.0 / temperature);
+            let probs = softmax_rows(&row);
+            let mut target = rng.gen::<f64>();
+            let mut tok = logits.cols() - 1;
+            for c in 0..logits.cols() {
+                let p = probs.get(0, c);
+                if target < p {
+                    tok = c;
+                    break;
+                }
+                target -= p;
+            }
+            seq.push(tok);
+        }
+        seq
+    }
+}
+
+impl HasParams for LstmLm {
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.embed.for_each_param(f);
+        f(&mut self.w);
+        f(&mut self.b);
+        self.head.for_each_param(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_param_gradients;
+    use crate::optim::Adam;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny(vocab: usize) -> LstmLm {
+        let mut rng = StdRng::seed_from_u64(21);
+        LstmLm::new(vocab, 6, 8, &mut rng)
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut lm = tiny(5);
+        let logits = lm.forward(&[0, 1, 2, 3]);
+        assert_eq!((logits.rows(), logits.cols()), (4, 5));
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut lm = tiny(4);
+        let seq = [1usize, 0, 3, 2];
+        check_param_gradients(
+            &mut lm,
+            |m| {
+                let logits = m.forward(&seq);
+                let (loss, dlogits) = cross_entropy(&logits, &seq, None);
+                m.backward(&dlogits);
+                loss
+            },
+            1e-5,
+            2e-4,
+        );
+    }
+
+    #[test]
+    fn overfits_single_sequence() {
+        let mut lm = tiny(6);
+        let seq = [5usize, 0, 3, 3, 1];
+        let mut opt = Adam::new(0.02);
+        let initial = lm.nll(&seq);
+        for _ in 0..300 {
+            lm.zero_grad();
+            lm.train_step(&seq, 1.0);
+            opt.step(&mut lm);
+        }
+        let final_nll = lm.nll(&seq);
+        assert!(final_nll < initial * 0.2, "{initial} → {final_nll}");
+    }
+
+    #[test]
+    fn samples_in_vocab() {
+        let mut lm = tiny(9);
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = lm.sample(7, 1.0, &mut rng);
+        assert_eq!(s.len(), 7);
+        assert!(s.iter().all(|&t| t < 9));
+    }
+
+    #[test]
+    fn negative_training_raises_nll() {
+        let mut lm = tiny(4);
+        let seq = [0usize, 1, 2];
+        let mut opt = Adam::new(0.01);
+        let initial = lm.nll(&seq);
+        for _ in 0..80 {
+            lm.zero_grad();
+            lm.train_step(&seq, -1.0);
+            opt.step(&mut lm);
+        }
+        assert!(lm.nll(&seq) > initial);
+    }
+}

@@ -1,0 +1,195 @@
+//! Multi-layer perceptrons — the discriminator `d_ω` of Section II-B (M2)
+//! is "a three-layer MLP".
+
+use rand::Rng;
+
+use crate::activation::Activation;
+use crate::linear::Linear;
+use crate::mat::Mat;
+use crate::param::{HasParams, Param};
+
+/// An MLP with a hidden activation after every layer except the last.
+#[derive(Clone, Debug)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    act: Activation,
+    pre_acts: Vec<Mat>,
+}
+
+impl Mlp {
+    /// Builds an MLP from layer widths, e.g. `[in, h1, h2, out]` for the
+    /// paper's three-layer discriminator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two widths are given.
+    pub fn new<R: Rng + ?Sized>(widths: &[usize], act: Activation, rng: &mut R) -> Self {
+        assert!(widths.len() >= 2, "need at least input and output widths");
+        let layers = widths
+            .windows(2)
+            .map(|w| Linear::new(w[0], w[1], rng))
+            .collect();
+        Mlp { layers, act, pre_acts: Vec::new() }
+    }
+
+    /// Number of linear layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Input width.
+    pub fn input_dim(&self) -> usize {
+        self.layers.first().expect("non-empty").input_dim()
+    }
+
+    /// Output width.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").output_dim()
+    }
+
+    /// Forward over a batch (`B × in`), caching activations.
+    pub fn forward(&mut self, x: &Mat) -> Mat {
+        self.pre_acts.clear();
+        let mut h = x.clone();
+        let depth = self.layers.len();
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            let pre = layer.forward(&h);
+            if i + 1 < depth {
+                self.pre_acts.push(pre.clone());
+                h = self.act.forward(&pre);
+            } else {
+                h = pre;
+            }
+        }
+        h
+    }
+
+    /// Inference-only forward (no caches touched).
+    pub fn forward_inference(&self, x: &Mat) -> Mat {
+        let mut h = x.clone();
+        let depth = self.layers.len();
+        for (i, layer) in self.layers.iter().enumerate() {
+            let pre = layer.forward_inference(&h);
+            h = if i + 1 < depth { self.act.forward(&pre) } else { pre };
+        }
+        h
+    }
+
+    /// Backward from `dout`; returns `dx`.
+    pub fn backward(&mut self, dout: &Mat) -> Mat {
+        let depth = self.layers.len();
+        let mut grad = dout.clone();
+        for i in (0..depth).rev() {
+            grad = self.layers[i].backward(&grad);
+            if i > 0 {
+                grad = self.act.backward(&self.pre_acts[i - 1], &grad);
+            }
+        }
+        grad
+    }
+}
+
+impl HasParams for Mlp {
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for l in &mut self.layers {
+            l.for_each_param(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_param_gradients;
+    use crate::optim::Adam;
+    use crate::softmax::cross_entropy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn three_layer_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut mlp = Mlp::new(&[4, 8, 8, 3], Activation::Relu, &mut rng);
+        assert_eq!(mlp.depth(), 3);
+        assert_eq!(mlp.input_dim(), 4);
+        assert_eq!(mlp.output_dim(), 3);
+        let y = mlp.forward(&Mat::zeros(5, 4));
+        assert_eq!((y.rows(), y.cols()), (5, 3));
+    }
+
+    #[test]
+    fn inference_matches_training_forward() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut mlp = Mlp::new(&[3, 6, 2], Activation::Tanh, &mut rng);
+        let x = Mat::from_fn(4, 3, |r, c| (r as f64 - c as f64) * 0.3);
+        assert_eq!(mlp.forward(&x), mlp.forward_inference(&x));
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = Mat::from_fn(3, 4, |r, c| ((r + 2 * c) as f64 * 0.7).cos());
+        let targets = [0usize, 1, 1];
+        let mut mlp = Mlp::new(&[4, 5, 2], Activation::Tanh, &mut rng);
+        check_param_gradients(
+            &mut mlp,
+            |m| {
+                let logits = m.forward(&x);
+                let (loss, dlogits) = cross_entropy(&logits, &targets, None);
+                m.backward(&dlogits);
+                loss
+            },
+            1e-5,
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn learns_xor() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut mlp = Mlp::new(&[2, 8, 8, 2], Activation::Tanh, &mut rng);
+        let x = Mat::from_vec(4, 2, vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0]);
+        let targets = [0usize, 1, 1, 0];
+        let mut opt = Adam::new(0.02);
+        for _ in 0..500 {
+            mlp.zero_grad();
+            let logits = mlp.forward(&x);
+            let (_, dlogits) = cross_entropy(&logits, &targets, None);
+            mlp.backward(&dlogits);
+            opt.step(&mut mlp);
+        }
+        let logits = mlp.forward_inference(&x);
+        for (r, &t) in targets.iter().enumerate() {
+            let pred = if logits.get(r, 1) > logits.get(r, 0) { 1 } else { 0 };
+            assert_eq!(pred, t, "row {r} misclassified");
+        }
+    }
+
+    #[test]
+    fn weighted_training_biases_toward_heavy_class() {
+        // Two overlapping points with conflicting labels: the weighted one
+        // should win.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut mlp = Mlp::new(&[1, 4, 2], Activation::Tanh, &mut rng);
+        let x = Mat::from_vec(2, 1, vec![0.5, 0.5]);
+        let targets = [0usize, 1];
+        let weights = [1.0, 20.0];
+        let mut opt = Adam::new(0.02);
+        for _ in 0..300 {
+            mlp.zero_grad();
+            let logits = mlp.forward(&x);
+            let (_, dlogits) = cross_entropy(&logits, &targets, Some(&weights));
+            mlp.backward(&dlogits);
+            opt.step(&mut mlp);
+        }
+        let logits = mlp.forward_inference(&Mat::from_vec(1, 1, vec![0.5]));
+        assert!(logits.get(0, 1) > logits.get(0, 0), "heavy class must dominate");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output")]
+    fn too_few_widths_panics() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = Mlp::new(&[3], Activation::Relu, &mut rng);
+    }
+}

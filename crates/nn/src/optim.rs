@@ -1,0 +1,207 @@
+//! Optimizers: SGD and Adam, plus global gradient-norm clipping.
+
+use crate::param::{HasParams, Param};
+
+/// Plain stochastic gradient descent (paper Section II-C, step 10).
+#[derive(Clone, Debug)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f64,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    pub fn new(lr: f64) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Sgd { lr }
+    }
+
+    /// Applies one descent step to every parameter of `model`.
+    pub fn step(&self, model: &mut dyn HasParams) {
+        let lr = self.lr;
+        model.for_each_param(&mut |p: &mut Param| {
+            let g = p.grad.clone();
+            p.value.add_scaled(&g, -lr);
+        });
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Clone, Debug)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f64,
+    /// First-moment decay.
+    pub beta1: f64,
+    /// Second-moment decay.
+    pub beta2: f64,
+    /// Numerical-stability epsilon.
+    pub eps: f64,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the standard betas.
+    pub fn new(lr: f64) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0 }
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Applies one Adam step to every parameter of `model`.
+    pub fn step(&mut self, model: &mut dyn HasParams) {
+        self.t += 1;
+        let (b1, b2, eps) = (self.beta1, self.beta2, self.eps);
+        let bc1 = 1.0 - b1.powi(self.t as i32);
+        let bc2 = 1.0 - b2.powi(self.t as i32);
+        let lr = self.lr;
+        model.for_each_param(&mut |p: &mut Param| {
+            let n = p.value.len();
+            let g = p.grad.as_slice().to_vec();
+            let m = p.m.as_mut_slice();
+            for i in 0..n {
+                m[i] = b1 * m[i] + (1.0 - b1) * g[i];
+            }
+            let m_snapshot = p.m.as_slice().to_vec();
+            let v = p.v.as_mut_slice();
+            for i in 0..n {
+                v[i] = b2 * v[i] + (1.0 - b2) * g[i] * g[i];
+            }
+            let v_snapshot = p.v.as_slice().to_vec();
+            let val = p.value.as_mut_slice();
+            for i in 0..n {
+                let m_hat = m_snapshot[i] / bc1;
+                let v_hat = v_snapshot[i] / bc2;
+                val[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+            }
+        });
+    }
+}
+
+/// Clips the global gradient norm of `model` to `max_norm`; returns the
+/// pre-clip norm.
+pub fn clip_gradients(model: &mut dyn HasParams, max_norm: f64) -> f64 {
+    assert!(max_norm > 0.0, "max_norm must be positive");
+    let mut sq = 0.0;
+    model.for_each_param(&mut |p: &mut Param| sq += p.grad.sq_norm());
+    let norm = sq.sqrt();
+    if norm > max_norm {
+        let scale = max_norm / norm;
+        model.for_each_param(&mut |p: &mut Param| p.grad.scale(scale));
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mat::Mat;
+
+    /// A 1-D quadratic probe: loss = ½‖x − target‖².
+    struct Quadratic {
+        x: Param,
+        target: Vec<f64>,
+    }
+
+    impl Quadratic {
+        fn new(start: Vec<f64>, target: Vec<f64>) -> Self {
+            let n = start.len();
+            Quadratic { x: Param::new(Mat::from_vec(1, n, start)), target }
+        }
+
+        fn loss(&self) -> f64 {
+            self.x
+                .value
+                .as_slice()
+                .iter()
+                .zip(&self.target)
+                .map(|(x, t)| 0.5 * (x - t) * (x - t))
+                .sum()
+        }
+
+        fn compute_grad(&mut self) {
+            let g: Vec<f64> = self
+                .x
+                .value
+                .as_slice()
+                .iter()
+                .zip(&self.target)
+                .map(|(x, t)| x - t)
+                .collect();
+            self.x.grad = Mat::from_vec(1, g.len(), g);
+        }
+    }
+
+    impl HasParams for Quadratic {
+        fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+            f(&mut self.x);
+        }
+    }
+
+    #[test]
+    fn sgd_descends_quadratic() {
+        let mut q = Quadratic::new(vec![5.0, -3.0], vec![1.0, 1.0]);
+        let opt = Sgd::new(0.1);
+        let initial = q.loss();
+        for _ in 0..200 {
+            q.compute_grad();
+            opt.step(&mut q);
+        }
+        assert!(q.loss() < 1e-6 * initial.max(1.0), "final loss {}", q.loss());
+    }
+
+    #[test]
+    fn adam_descends_quadratic() {
+        let mut q = Quadratic::new(vec![5.0, -3.0, 10.0], vec![0.0, 2.0, -1.0]);
+        let mut opt = Adam::new(0.1);
+        for _ in 0..500 {
+            q.compute_grad();
+            opt.step(&mut q);
+        }
+        assert!(q.loss() < 1e-6, "final loss {}", q.loss());
+        assert_eq!(opt.steps(), 500);
+    }
+
+    #[test]
+    fn adam_handles_scale_disparity_better_than_sgd_step_count() {
+        // Badly scaled quadratic: Adam normalizes per-coordinate.
+        let mut q = Quadratic::new(vec![100.0, 0.01], vec![0.0, 0.0]);
+        let mut opt = Adam::new(0.5);
+        for _ in 0..1500 {
+            q.compute_grad();
+            opt.step(&mut q);
+        }
+        assert!(q.loss() < 1e-4, "final loss {}", q.loss());
+    }
+
+    #[test]
+    fn clip_reduces_large_gradient() {
+        let mut q = Quadratic::new(vec![1000.0], vec![0.0]);
+        q.compute_grad();
+        let pre = clip_gradients(&mut q, 1.0);
+        assert!((pre - 1000.0).abs() < 1e-9);
+        let mut post_sq = 0.0;
+        q.for_each_param(&mut |p| post_sq += p.grad.sq_norm());
+        assert!((post_sq.sqrt() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clip_leaves_small_gradient() {
+        let mut q = Quadratic::new(vec![0.5], vec![0.0]);
+        q.compute_grad();
+        clip_gradients(&mut q, 10.0);
+        let mut sq = 0.0;
+        q.for_each_param(&mut |p| sq += p.grad.sq_norm());
+        assert!((sq.sqrt() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn sgd_rejects_zero_lr() {
+        let _ = Sgd::new(0.0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Trainable parameters.
+
+use crate::mat::Mat;
+
+/// A trainable tensor: value, accumulated gradient, and Adam moment buffers.
+#[derive(Clone, Debug)]
+pub struct Param {
+    /// Current value.
+    pub value: Mat,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Mat,
+    /// Adam first-moment estimate.
+    pub m: Mat,
+    /// Adam second-moment estimate.
+    pub v: Mat,
+}
+
+impl Param {
+    /// Wraps a value with zeroed gradient and moments.
+    pub fn new(value: Mat) -> Self {
+        let grad = Mat::zeros(value.rows(), value.cols());
+        let m = grad.clone();
+        let v = grad.clone();
+        Param { value, grad, m, v }
+    }
+
+    /// Zeroes the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill_zero();
+    }
+
+    /// Number of scalar parameters.
+    pub fn count(&self) -> usize {
+        self.value.len()
+    }
+}
+
+/// Anything that owns [`Param`]s and can hand them to an optimizer.
+pub trait HasParams {
+    /// Visits every parameter exactly once.
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// Zeroes all gradients.
+    fn zero_grad(&mut self) {
+        self.for_each_param(&mut |p| p.zero_grad());
+    }
+
+    /// Total scalar parameter count.
+    fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.for_each_param(&mut |p| n += p.count());
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Two {
+        a: Param,
+        b: Param,
+    }
+
+    impl HasParams for Two {
+        fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+            f(&mut self.a);
+            f(&mut self.b);
+        }
+    }
+
+    #[test]
+    fn zero_grad_clears_all() {
+        let mut t = Two {
+            a: Param::new(Mat::zeros(2, 2)),
+            b: Param::new(Mat::zeros(1, 3)),
+        };
+        t.a.grad.set(0, 0, 5.0);
+        t.b.grad.set(0, 2, -1.0);
+        t.zero_grad();
+        assert_eq!(t.a.grad.sum(), 0.0);
+        assert_eq!(t.b.grad.sum(), 0.0);
+    }
+
+    #[test]
+    fn param_count_sums() {
+        let mut t = Two {
+            a: Param::new(Mat::zeros(2, 2)),
+            b: Param::new(Mat::zeros(1, 3)),
+        };
+        assert_eq!(t.param_count(), 7);
+    }
+}

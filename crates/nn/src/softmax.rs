@@ -1,0 +1,228 @@
+//! Softmax, log-softmax, and cross-entropy with analytic gradients.
+
+use crate::mat::Mat;
+
+/// Row-wise numerically stable softmax.
+pub fn softmax_rows(x: &Mat) -> Mat {
+    let mut out = Mat::zeros(x.rows(), x.cols());
+    for r in 0..x.rows() {
+        let row = x.row(r);
+        let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut sum = 0.0;
+        let out_row = out.row_mut(r);
+        for (o, &v) in out_row.iter_mut().zip(row) {
+            let e = (v - max).exp();
+            *o = e;
+            sum += e;
+        }
+        for o in out_row.iter_mut() {
+            *o /= sum;
+        }
+    }
+    out
+}
+
+/// Row-wise numerically stable log-softmax.
+pub fn log_softmax(x: &Mat) -> Mat {
+    let mut out = Mat::zeros(x.rows(), x.cols());
+    for r in 0..x.rows() {
+        let row = x.row(r);
+        let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let lse = max + row.iter().map(|&v| (v - max).exp()).sum::<f64>().ln();
+        let out_row = out.row_mut(r);
+        for (o, &v) in out_row.iter_mut().zip(row) {
+            *o = v - lse;
+        }
+    }
+    out
+}
+
+/// Mean cross-entropy of `logits` (`B × C`) against integer `targets`,
+/// with optional per-example weights. Returns `(loss, dlogits)` where
+/// `dlogits` is the gradient of the (weighted-mean) loss.
+///
+/// # Panics
+///
+/// Panics on length mismatches or out-of-range targets.
+pub fn cross_entropy(logits: &Mat, targets: &[usize], weights: Option<&[f64]>) -> (f64, Mat) {
+    assert_eq!(logits.rows(), targets.len(), "target count mismatch");
+    if let Some(w) = weights {
+        assert_eq!(w.len(), targets.len(), "weight count mismatch");
+    }
+    let b = logits.rows();
+    assert!(b > 0, "empty batch");
+    let probs = softmax_rows(logits);
+    let total_weight: f64 = weights.map_or(b as f64, |w| w.iter().sum());
+    assert!(total_weight > 0.0, "total weight must be positive");
+    let mut loss = 0.0;
+    let mut dlogits = probs.clone();
+    for (r, &t) in targets.iter().enumerate() {
+        assert!(t < logits.cols(), "target {t} out of range");
+        let w = weights.map_or(1.0, |w| w[r]);
+        let p = probs.get(r, t).max(1e-300);
+        loss -= w * p.ln();
+        // d/dlogits of -w·log p_t = w(p - onehot_t); normalize by total weight.
+        let row = dlogits.row_mut(r);
+        for v in row.iter_mut() {
+            *v *= w / total_weight;
+        }
+        row[t] -= w / total_weight;
+    }
+    (loss / total_weight, dlogits)
+}
+
+/// Mean *unlikelihood* loss `−log(1 − p_target)` of `logits` against
+/// `targets` — the bounded-gradient way to push probability mass *away*
+/// from observed negative sequences (Welleck et al.). Returns
+/// `(loss, dlogits)`.
+///
+/// # Panics
+///
+/// Panics on length mismatches or out-of-range targets.
+pub fn unlikelihood(logits: &Mat, targets: &[usize]) -> (f64, Mat) {
+    assert_eq!(logits.rows(), targets.len(), "target count mismatch");
+    let b = logits.rows();
+    assert!(b > 0, "empty batch");
+    let probs = softmax_rows(logits);
+    let mut loss = 0.0;
+    let mut dlogits = Mat::zeros(logits.rows(), logits.cols());
+    for (r, &t) in targets.iter().enumerate() {
+        assert!(t < logits.cols(), "target {t} out of range");
+        let p = probs.get(r, t).min(1.0 - 1e-8);
+        loss -= (1.0 - p).ln();
+        // d(−log(1−p_t))/dz_j = p_t (δ_tj − p_j) / (1 − p_t).
+        let coef = p / (1.0 - p) / b as f64;
+        for j in 0..logits.cols() {
+            let delta = if j == t { 1.0 } else { 0.0 };
+            dlogits.set(r, j, coef * (delta - probs.get(r, j)));
+        }
+    }
+    (loss / b as f64, dlogits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Mat::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        let s = softmax_rows(&x);
+        for r in 0..2 {
+            let sum: f64 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+            assert!(s.row(r).iter().all(|&p| p > 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_stable_for_large_logits() {
+        let x = Mat::from_vec(1, 2, vec![1000.0, 1001.0]);
+        let s = softmax_rows(&x);
+        assert!(s.row(0).iter().all(|p| p.is_finite()));
+        assert!(s.get(0, 1) > s.get(0, 0));
+    }
+
+    #[test]
+    fn log_softmax_matches_softmax_log() {
+        let x = Mat::from_vec(1, 4, vec![0.3, -1.2, 2.0, 0.0]);
+        let ls = log_softmax(&x);
+        let s = softmax_rows(&x);
+        for c in 0..4 {
+            assert!((ls.get(0, c) - s.get(0, c).ln()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_c() {
+        let logits = Mat::zeros(3, 5);
+        let (loss, _) = cross_entropy(&logits, &[0, 2, 4], None);
+        assert!((loss - (5.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_differences() {
+        let logits0 = Mat::from_vec(2, 3, vec![0.5, -0.3, 1.2, 0.0, 0.7, -1.0]);
+        let targets = [2usize, 1];
+        let weights = [1.0, 3.0];
+        let (_, grad) = cross_entropy(&logits0, &targets, Some(&weights));
+        let eps = 1e-6;
+        for r in 0..2 {
+            for c in 0..3 {
+                let mut lp = logits0.clone();
+                lp.set(r, c, logits0.get(r, c) + eps);
+                let mut lm = logits0.clone();
+                lm.set(r, c, logits0.get(r, c) - eps);
+                let (loss_p, _) = cross_entropy(&lp, &targets, Some(&weights));
+                let (loss_m, _) = cross_entropy(&lm, &targets, Some(&weights));
+                let num = (loss_p - loss_m) / (2.0 * eps);
+                assert!(
+                    (num - grad.get(r, c)).abs() < 1e-8,
+                    "({r},{c}): numeric {num} vs analytic {}",
+                    grad.get(r, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_ce_prioritizes_heavy_examples() {
+        // Example 0 confidently wrong, example 1 confidently right.
+        let logits = Mat::from_vec(2, 2, vec![3.0, -3.0, -3.0, 3.0]);
+        let targets = [1usize, 1];
+        let (balanced, _) = cross_entropy(&logits, &targets, None);
+        let (heavy_wrong, _) = cross_entropy(&logits, &targets, Some(&[10.0, 1.0]));
+        let (heavy_right, _) = cross_entropy(&logits, &targets, Some(&[1.0, 10.0]));
+        assert!(heavy_wrong > balanced);
+        assert!(heavy_right < balanced);
+    }
+
+    #[test]
+    fn unlikelihood_gradient_matches_finite_differences() {
+        let logits0 = Mat::from_vec(2, 3, vec![0.5, -0.3, 1.2, 0.0, 0.7, -1.0]);
+        let targets = [2usize, 0];
+        let (_, grad) = unlikelihood(&logits0, &targets);
+        let eps = 1e-6;
+        for r in 0..2 {
+            for c in 0..3 {
+                let mut lp = logits0.clone();
+                lp.set(r, c, logits0.get(r, c) + eps);
+                let mut lm = logits0.clone();
+                lm.set(r, c, logits0.get(r, c) - eps);
+                let (loss_p, _) = unlikelihood(&lp, &targets);
+                let (loss_m, _) = unlikelihood(&lm, &targets);
+                let num = (loss_p - loss_m) / (2.0 * eps);
+                assert!(
+                    (num - grad.get(r, c)).abs() < 1e-7,
+                    "({r},{c}): numeric {num} vs analytic {}",
+                    grad.get(r, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unlikelihood_small_for_unlikely_targets() {
+        // Target already improbable → tiny loss and gradient.
+        let logits = Mat::from_vec(1, 2, vec![10.0, -10.0]);
+        let (loss, grad) = unlikelihood(&logits, &[1]);
+        assert!(loss < 1e-6);
+        assert!(grad.sq_norm() < 1e-8);
+        // Target highly probable → large (but finite) loss.
+        let (loss2, grad2) = unlikelihood(&logits, &[0]);
+        assert!(loss2 > 5.0 && loss2.is_finite());
+        assert!(grad2.sq_norm().is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "target count mismatch")]
+    fn mismatched_targets_panic() {
+        let _ = cross_entropy(&Mat::zeros(2, 2), &[0], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oob_target_panics() {
+        let _ = cross_entropy(&Mat::zeros(1, 2), &[2], None);
+    }
+}

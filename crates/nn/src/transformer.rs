@@ -1,0 +1,398 @@
+//! A small autoregressive Transformer language model over node vocabularies
+//! — the FairGen generator `g_θ` (Section II-B, M1).
+
+use rand::Rng;
+
+use crate::attention::MultiHeadAttention;
+use crate::embedding::Embedding;
+use crate::layernorm::LayerNorm;
+use crate::linear::Linear;
+use crate::mat::Mat;
+use crate::param::{HasParams, Param};
+use crate::softmax::{cross_entropy, log_softmax, softmax_rows};
+
+/// One pre-norm transformer block: `x + Attn(LN(x))` then `h + FFN(LN(h))`.
+#[derive(Clone, Debug)]
+struct Block {
+    ln1: LayerNorm,
+    attn: MultiHeadAttention,
+    ln2: LayerNorm,
+    fc1: Linear,
+    fc2: Linear,
+    cache_ff_pre: Option<Mat>, // pre-activation of fc1
+}
+
+const FFN_MULT: usize = 4;
+
+impl Block {
+    fn new<R: Rng + ?Sized>(d: usize, heads: usize, rng: &mut R) -> Self {
+        Block {
+            ln1: LayerNorm::new(d),
+            attn: MultiHeadAttention::new(d, heads, rng),
+            ln2: LayerNorm::new(d),
+            fc1: Linear::new(d, FFN_MULT * d, rng),
+            fc2: Linear::new(FFN_MULT * d, d, rng),
+            cache_ff_pre: None,
+        }
+    }
+
+    fn forward(&mut self, x: &Mat) -> Mat {
+        let mut h = x.clone();
+        h.add_assign(&self.attn.forward(&self.ln1.forward(x)));
+        let pre = self.fc1.forward(&self.ln2.forward(&h));
+        let act = crate::activation::Activation::Gelu.forward(&pre);
+        let ff = self.fc2.forward(&act);
+        self.cache_ff_pre = Some(pre);
+        let mut out = h;
+        out.add_assign(&ff);
+        out
+    }
+
+    fn backward(&mut self, dy: &Mat) -> Mat {
+        // out = h + fc2(gelu(fc1(ln2(h))))
+        let pre = self.cache_ff_pre.take().expect("backward before forward");
+        let dact = self.fc2.backward(dy);
+        let dpre = crate::activation::Activation::Gelu.backward(&pre, &dact);
+        let dln2 = self.fc1.backward(&dpre);
+        let mut dh = self.ln2.backward(&dln2);
+        dh.add_assign(dy);
+        // h = x + attn(ln1(x))
+        let dattn_in = self.attn.backward(&dh);
+        let mut dx = self.ln1.backward(&dattn_in);
+        dx.add_assign(&dh);
+        dx
+    }
+}
+
+impl HasParams for Block {
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.ln1.for_each_param(f);
+        self.attn.for_each_param(f);
+        self.ln2.for_each_param(f);
+        self.fc1.for_each_param(f);
+        self.fc2.for_each_param(f);
+    }
+}
+
+/// Transformer LM hyperparameters.
+#[derive(Clone, Copy, Debug)]
+pub struct TransformerConfig {
+    /// Vocabulary size *excluding* the implicit begin-of-sequence token.
+    pub vocab: usize,
+    /// Model width (paper default 100; scaled presets use 32–64).
+    pub d_model: usize,
+    /// Attention heads (paper default 4).
+    pub heads: usize,
+    /// Number of transformer blocks.
+    pub layers: usize,
+    /// Maximum sequence length (walk length `T`, plus one for BOS).
+    pub max_len: usize,
+}
+
+impl Default for TransformerConfig {
+    fn default() -> Self {
+        TransformerConfig { vocab: 0, d_model: 32, heads: 4, layers: 1, max_len: 16 }
+    }
+}
+
+/// Autoregressive transformer over token sequences, with an implicit BOS
+/// token so the first real token is also predicted.
+///
+/// Token ids `0..vocab` are real tokens (graph nodes); id `vocab` is BOS.
+#[derive(Clone, Debug)]
+pub struct TransformerLm {
+    cfg: TransformerConfig,
+    tok: Embedding,
+    pos: Embedding,
+    blocks: Vec<Block>,
+    ln_f: LayerNorm,
+    head: Linear,
+    cache_len: usize,
+}
+
+impl TransformerLm {
+    /// Builds a model from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate configurations (zero vocab, width not divisible
+    /// by heads, etc.).
+    pub fn new<R: Rng + ?Sized>(cfg: TransformerConfig, rng: &mut R) -> Self {
+        assert!(cfg.vocab > 0, "vocab must be positive");
+        assert!(cfg.layers > 0, "need at least one block");
+        assert!(cfg.max_len > 1, "max_len must exceed 1");
+        let blocks = (0..cfg.layers).map(|_| Block::new(cfg.d_model, cfg.heads, rng)).collect();
+        TransformerLm {
+            tok: Embedding::new(cfg.vocab + 1, cfg.d_model, rng),
+            pos: Embedding::new(cfg.max_len, cfg.d_model, rng),
+            blocks,
+            ln_f: LayerNorm::new(cfg.d_model),
+            head: Linear::new(cfg.d_model, cfg.vocab, rng),
+            cfg,
+            cache_len: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TransformerConfig {
+        &self.cfg
+    }
+
+    /// The BOS token id.
+    pub fn bos(&self) -> usize {
+        self.cfg.vocab
+    }
+
+    /// The shared token-embedding table (vocab+1 × d); row `v` is node `v`'s
+    /// representation, co-trained with the generator and reused by the
+    /// discriminator `d_ω`.
+    pub fn token_embedding(&self) -> &Embedding {
+        &self.tok
+    }
+
+    /// Mutable access to the shared token embedding (for joint training).
+    pub fn token_embedding_mut(&mut self) -> &mut Embedding {
+        &mut self.tok
+    }
+
+    /// Forward over `[BOS, seq…]`, producing next-token logits for every
+    /// prefix: row `i` predicts `seq[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence is empty or longer than `max_len − 1`.
+    pub fn forward(&mut self, seq: &[usize]) -> Mat {
+        assert!(!seq.is_empty(), "empty sequence");
+        assert!(seq.len() < self.cfg.max_len, "sequence exceeds max_len");
+        let mut ids = Vec::with_capacity(seq.len() + 1);
+        ids.push(self.bos());
+        ids.extend_from_slice(seq);
+        ids.pop(); // inputs are BOS + seq[..T-1]; row i predicts seq[i]
+        let positions: Vec<usize> = (0..ids.len()).collect();
+        let mut x = self.tok.forward(&ids);
+        x.add_assign(&self.pos.forward(&positions));
+        for b in &mut self.blocks {
+            x = b.forward(&x);
+        }
+        let x = self.ln_f.forward(&x);
+        self.cache_len = ids.len();
+        self.head.forward(&x)
+    }
+
+    /// Backward from `dlogits`; accumulates every parameter gradient.
+    pub fn backward(&mut self, dlogits: &Mat) {
+        assert_eq!(dlogits.rows(), self.cache_len, "gradient length mismatch");
+        let dx = self.head.backward(dlogits);
+        let mut dx = self.ln_f.backward(&dx);
+        for b in self.blocks.iter_mut().rev() {
+            dx = b.backward(&dx);
+        }
+        self.pos.backward(&dx);
+        self.tok.backward(&dx);
+    }
+
+    /// One training step on `seq`; runs forward and backward, returning the
+    /// loss. Positive `weight` scales a likelihood (cross-entropy) step;
+    /// negative `weight` applies the bounded *unlikelihood* loss
+    /// `−log(1 − p)` with magnitude `|weight|` — this is how Algorithm 1
+    /// trains `g_θ` to "distinguish the characteristics of the real random
+    /// walks from the fake ones" using `N⁻`.
+    pub fn train_step(&mut self, seq: &[usize], weight: f64) -> f64 {
+        let logits = self.forward(seq);
+        let (loss, mut dlogits) = if weight >= 0.0 {
+            cross_entropy(&logits, seq, None)
+        } else {
+            crate::softmax::unlikelihood(&logits, seq)
+        };
+        let scale = weight.abs();
+        if scale != 1.0 {
+            dlogits.scale(scale);
+        }
+        self.backward(&dlogits);
+        loss
+    }
+
+    /// Mean negative log-likelihood of `seq` (no gradient accumulation).
+    pub fn nll(&mut self, seq: &[usize]) -> f64 {
+        let logits = self.forward(seq);
+        let ls = log_softmax(&logits);
+        let mut total = 0.0;
+        for (i, &t) in seq.iter().enumerate() {
+            total -= ls.get(i, t);
+        }
+        total / seq.len() as f64
+    }
+
+    /// Per-position log-probabilities of `seq` under the model.
+    pub fn log_probs(&mut self, seq: &[usize]) -> Vec<f64> {
+        let logits = self.forward(seq);
+        let ls = log_softmax(&logits);
+        seq.iter().enumerate().map(|(i, &t)| ls.get(i, t)).collect()
+    }
+
+    /// Samples a sequence of `len` tokens autoregressively at the given
+    /// temperature.
+    pub fn sample<R: Rng + ?Sized>(&mut self, len: usize, temperature: f64, rng: &mut R) -> Vec<usize> {
+        assert!(temperature > 0.0, "temperature must be positive");
+        assert!(len < self.cfg.max_len, "len exceeds max_len");
+        let mut seq: Vec<usize> = Vec::with_capacity(len);
+        for _ in 0..len {
+            // Forward over current prefix plus a placeholder last token: use
+            // the fact that row i of forward(seq) predicts seq[i]; to predict
+            // the next token we forward `seq + [0]` and read the last row.
+            let mut probe = seq.clone();
+            probe.push(0);
+            let logits = self.forward(&probe);
+            let last = logits.rows() - 1;
+            let mut row = Mat::from_vec(1, logits.cols(), logits.row(last).to_vec());
+            row.scale(1.0 / temperature);
+            let probs = softmax_rows(&row);
+            let mut target = rng.gen::<f64>();
+            let mut tok = logits.cols() - 1;
+            for c in 0..logits.cols() {
+                let p = probs.get(0, c);
+                if target < p {
+                    tok = c;
+                    break;
+                }
+                target -= p;
+            }
+            seq.push(tok);
+        }
+        seq
+    }
+}
+
+impl HasParams for TransformerLm {
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.tok.for_each_param(f);
+        self.pos.for_each_param(f);
+        for b in &mut self.blocks {
+            b.for_each_param(f);
+        }
+        self.ln_f.for_each_param(f);
+        self.head.for_each_param(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_param_gradients;
+    use crate::optim::Adam;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny(vocab: usize) -> TransformerLm {
+        let mut rng = StdRng::seed_from_u64(7);
+        TransformerLm::new(
+            TransformerConfig { vocab, d_model: 8, heads: 2, layers: 1, max_len: 8 },
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn forward_shape_matches_sequence() {
+        let mut lm = tiny(5);
+        let logits = lm.forward(&[1, 2, 3]);
+        assert_eq!((logits.rows(), logits.cols()), (3, 5));
+    }
+
+    #[test]
+    fn full_model_gradients_match_finite_differences() {
+        let mut lm = tiny(4);
+        let seq = [1usize, 3, 0];
+        check_param_gradients(
+            &mut lm,
+            |m| {
+                let logits = m.forward(&seq);
+                let (loss, dlogits) = cross_entropy(&logits, &seq, None);
+                m.backward(&dlogits);
+                loss
+            },
+            1e-5,
+            2e-4,
+        );
+    }
+
+    #[test]
+    fn overfits_single_sequence() {
+        let mut lm = tiny(6);
+        let seq = [2usize, 4, 1, 5];
+        let mut opt = Adam::new(0.01);
+        let initial = lm.nll(&seq);
+        for _ in 0..300 {
+            lm.zero_grad();
+            lm.train_step(&seq, 1.0);
+            opt.step(&mut lm);
+        }
+        let final_nll = lm.nll(&seq);
+        assert!(
+            final_nll < initial * 0.2,
+            "nll did not drop enough: {initial} → {final_nll}"
+        );
+    }
+
+    #[test]
+    fn negative_weight_raises_nll() {
+        let mut lm = tiny(5);
+        let seq = [0usize, 1, 2];
+        let mut opt = Adam::new(0.01);
+        let initial = lm.nll(&seq);
+        for _ in 0..100 {
+            lm.zero_grad();
+            lm.train_step(&seq, -0.5);
+            opt.step(&mut lm);
+        }
+        assert!(lm.nll(&seq) > initial, "unlikelihood training must raise NLL");
+    }
+
+    #[test]
+    fn log_probs_sum_matches_nll() {
+        let mut lm = tiny(5);
+        let seq = [1usize, 2, 3, 4];
+        let lp = lm.log_probs(&seq);
+        let nll = lm.nll(&seq);
+        let mean_lp: f64 = lp.iter().sum::<f64>() / lp.len() as f64;
+        assert!((nll + mean_lp).abs() < 1e-9);
+    }
+
+    #[test]
+    fn samples_are_in_vocab() {
+        let mut lm = tiny(7);
+        let mut rng = StdRng::seed_from_u64(11);
+        let s = lm.sample(6, 1.0, &mut rng);
+        assert_eq!(s.len(), 6);
+        assert!(s.iter().all(|&t| t < 7));
+    }
+
+    #[test]
+    fn sampling_follows_trained_distribution() {
+        let mut lm = tiny(4);
+        let seq = [3usize, 3, 3, 3];
+        let mut opt = Adam::new(0.02);
+        for _ in 0..200 {
+            lm.zero_grad();
+            lm.train_step(&seq, 1.0);
+            opt.step(&mut lm);
+        }
+        let mut rng = StdRng::seed_from_u64(13);
+        let samples = lm.sample(4, 0.5, &mut rng);
+        let threes = samples.iter().filter(|&&t| t == 3).count();
+        assert!(threes >= 3, "expected mostly 3s, got {samples:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds max_len")]
+    fn too_long_sequence_panics() {
+        let mut lm = tiny(5);
+        let _ = lm.forward(&[0; 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sequence")]
+    fn empty_sequence_panics() {
+        let mut lm = tiny(5);
+        let _ = lm.forward(&[]);
+    }
+}

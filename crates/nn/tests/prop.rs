@@ -1,0 +1,136 @@
+//! Property-based tests for the neural substrate.
+
+use fairgen_nn::param::HasParams;
+use fairgen_nn::{
+    cross_entropy, log_softmax, softmax_rows, unlikelihood, Activation, Adam, Linear, Mat,
+    Mlp,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_mat(rows: usize, cols: usize) -> impl Strategy<Value = Mat> {
+    proptest::collection::vec(-3.0f64..3.0, rows * cols)
+        .prop_map(move |data| Mat::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn softmax_rows_are_distributions(m in arb_mat(4, 6)) {
+        let s = softmax_rows(&m);
+        for r in 0..4 {
+            let sum: f64 = s.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+            prop_assert!(s.row(r).iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn log_softmax_is_log_of_softmax(m in arb_mat(3, 5)) {
+        let ls = log_softmax(&m);
+        let s = softmax_rows(&m);
+        for r in 0..3 {
+            for c in 0..5 {
+                prop_assert!((ls.get(r, c) - s.get(r, c).ln()).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_invariant_to_row_shift(m in arb_mat(2, 4), shift in -50.0f64..50.0) {
+        let shifted = m.map(|v| v + shift);
+        let a = softmax_rows(&m);
+        let b = softmax_rows(&shifted);
+        for r in 0..2 {
+            for c in 0..4 {
+                prop_assert!((a.get(r, c) - b.get(r, c)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn cross_entropy_nonnegative_and_grad_rows_sum_zero(
+        m in arb_mat(3, 4),
+        t0 in 0usize..4, t1 in 0usize..4, t2 in 0usize..4,
+    ) {
+        let targets = [t0, t1, t2];
+        let (loss, grad) = cross_entropy(&m, &targets, None);
+        prop_assert!(loss >= 0.0);
+        // Each row's gradient sums to zero (softmax simplex constraint).
+        for r in 0..3 {
+            let sum: f64 = grad.row(r).iter().sum();
+            prop_assert!(sum.abs() < 1e-9, "row {} sums to {}", r, sum);
+        }
+    }
+
+    #[test]
+    fn unlikelihood_nonnegative_and_finite(m in arb_mat(3, 4), t in 0usize..4) {
+        let targets = [t, (t + 1) % 4, (t + 2) % 4];
+        let (loss, grad) = unlikelihood(&m, &targets);
+        prop_assert!(loss >= 0.0 && loss.is_finite());
+        prop_assert!(grad.as_slice().iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    fn activations_are_finite_and_monotone_where_expected(x in -10.0f64..10.0, y in -10.0f64..10.0) {
+        for act in [Activation::Relu, Activation::Tanh, Activation::Sigmoid, Activation::Gelu] {
+            prop_assert!(act.apply(x).is_finite());
+            // Monotone activations preserve order (GELU is monotone for x > 0).
+            if matches!(act, Activation::Relu | Activation::Tanh | Activation::Sigmoid) && x < y {
+                prop_assert!(act.apply(x) <= act.apply(y) + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn linear_is_linear(seed in any::<u64>(), a in -2.0f64..2.0, b in -2.0f64..2.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layer = Linear::new(3, 2, &mut rng);
+        let x1 = Mat::from_vec(1, 3, vec![0.5, -1.0, 2.0]);
+        let x2 = Mat::from_vec(1, 3, vec![1.5, 0.3, -0.7]);
+        let combo = Mat::from_fn(1, 3, |_, c| a * x1.get(0, c) + b * x2.get(0, c));
+        // f(ax1 + bx2) - bias = a(f(x1)-bias) + b(f(x2)-bias)
+        let f = |x: &Mat| layer.forward_inference(x);
+        let bias = f(&Mat::zeros(1, 3));
+        let lhs = f(&combo);
+        let (y1, y2) = (f(&x1), f(&x2));
+        for c in 0..2 {
+            let rhs = a * (y1.get(0, c) - bias.get(0, c))
+                + b * (y2.get(0, c) - bias.get(0, c))
+                + bias.get(0, c);
+            prop_assert!((lhs.get(0, c) - rhs).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn adam_reduces_convex_loss(start in proptest::collection::vec(-5.0f64..5.0, 4)) {
+        struct P { x: fairgen_nn::Param }
+        impl HasParams for P {
+            fn for_each_param(&mut self, f: &mut dyn FnMut(&mut fairgen_nn::Param)) {
+                f(&mut self.x);
+            }
+        }
+        let n = start.len();
+        let mut p = P { x: fairgen_nn::Param::new(Mat::from_vec(1, n, start.clone())) };
+        let loss = |v: &Mat| -> f64 { 0.5 * v.sq_norm() };
+        let initial = loss(&p.x.value);
+        prop_assume!(initial > 1e-6);
+        let mut opt = Adam::new(0.1);
+        for _ in 0..200 {
+            let g = p.x.value.clone();
+            p.x.grad = g;
+            opt.step(&mut p);
+        }
+        prop_assert!(loss(&p.x.value) < initial * 0.05);
+    }
+
+    #[test]
+    fn mlp_inference_matches_training_forward(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut mlp = Mlp::new(&[4, 6, 3], Activation::Gelu, &mut rng);
+        let x = Mat::from_fn(3, 4, |r, c| ((r * 4 + c) as f64 * 0.31).sin());
+        prop_assert_eq!(mlp.forward(&x), mlp.forward_inference(&x));
+    }
+}

@@ -1,0 +1,49 @@
+//! Umbrella crate hosting the repository-level integration tests
+//! (`tests/`) and runnable examples (`examples/`). It re-exports the public
+//! crates so downstream users can depend on one crate:
+//!
+//! ```
+//! use fairgen_suite::prelude::*;
+//! let lg = Dataset::Blog.generate(1);
+//! assert_eq!(lg.num_classes, 6);
+//! ```
+
+pub use fairgen_baselines as baselines;
+pub use fairgen_core as core;
+pub use fairgen_data as data;
+pub use fairgen_embed as embed;
+pub use fairgen_graph as graph;
+pub use fairgen_metrics as metrics;
+pub use fairgen_nn as nn;
+pub use fairgen_walks as walks;
+
+/// Commonly used items in one import.
+pub mod prelude {
+    pub use fairgen_baselines::{
+        BaGenerator, ErGenerator, GaeGenerator, GraphGenerator, NetGanGenerator,
+        TagGenGenerator, WalkLmBudget,
+    };
+    pub use fairgen_core::{
+        FairGen, FairGenConfig, FairGenGenerator, FairGenInput, FairGenVariant,
+        TrainedFairGen,
+    };
+    pub use fairgen_data::{toy_two_community, Dataset, LabeledGraph};
+    pub use fairgen_embed::{augment_graph, LogisticRegression, Node2Vec, Node2VecConfig};
+    pub use fairgen_graph::{Graph, GraphBuilder, NodeId, NodeSet};
+    pub use fairgen_metrics::{
+        all_metrics, overall_discrepancies, protected_discrepancies, DiscrepancyReport,
+        Metric,
+    };
+    pub use fairgen_walks::{ContextSampler, ContextSamplerConfig, Node2VecWalker, ScoreMatrix};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_is_usable() {
+        use crate::prelude::*;
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        assert_eq!(g.m(), 2);
+        assert_eq!(Metric::ALL.len(), 9);
+    }
+}

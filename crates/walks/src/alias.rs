@@ -1,0 +1,172 @@
+//! Alias-method sampling (Walker/Vose) — O(1) draws from a fixed discrete
+//! distribution.
+//!
+//! node2vec's reference implementation precomputes per-edge alias tables;
+//! this workspace's walkers compute transition weights on the fly (cheaper
+//! to set up at our graph scales), but the alias table is provided for the
+//! cases where a distribution *is* fixed and sampled many times: degree-
+//! proportional start-node selection and negative-sampling tables.
+
+use rand::Rng;
+
+/// A Vose alias table over `0..n` built from non-negative weights.
+#[derive(Clone, Debug)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Builds the table in O(n).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains a negative/non-finite value,
+    /// or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "empty weight vector");
+        let n = weights.len();
+        let total: f64 = weights
+            .iter()
+            .map(|&w| {
+                assert!(w >= 0.0 && w.is_finite(), "weights must be finite and non-negative");
+                w
+            })
+            .sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        // Scale to mean 1.
+        let scaled: Vec<f64> = weights.iter().map(|&w| w * n as f64 / total).collect();
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &w) in scaled.iter().enumerate() {
+            if w < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        let mut prob = scaled;
+        let mut alias = vec![0usize; n];
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s] = l;
+            prob[l] = (prob[l] + prob[s]) - 1.0;
+            if prob[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Numerical leftovers are certain.
+        for i in small.into_iter().chain(large) {
+            prob[i] = 1.0;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one outcome in O(1).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+/// Builds a degree-proportional alias table for a graph (the standard
+/// start-node distribution for walk corpora over non-isolated nodes).
+pub fn degree_alias_table(g: &fairgen_graph::Graph) -> AliasTable {
+    let weights: Vec<f64> = (0..g.n()).map(|v| g.degree(v as u32) as f64).collect();
+    AliasTable::new(&weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn empirical(table: &AliasTable, draws: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = vec![0usize; table.len()];
+        for _ in 0..draws {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        counts.into_iter().map(|c| c as f64 / draws as f64).collect()
+    }
+
+    #[test]
+    fn uniform_weights_sample_uniformly() {
+        let t = AliasTable::new(&[1.0; 5]);
+        let freq = empirical(&t, 50_000, 1);
+        for f in freq {
+            assert!((f - 0.2).abs() < 0.01, "freq {f}");
+        }
+    }
+
+    #[test]
+    fn skewed_weights_match_distribution() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let t = AliasTable::new(&weights);
+        let freq = empirical(&t, 100_000, 2);
+        for (i, &w) in weights.iter().enumerate() {
+            let expect = w / 10.0;
+            assert!((freq[i] - expect).abs() < 0.01, "i={i}: {} vs {expect}", freq[i]);
+        }
+    }
+
+    #[test]
+    fn zero_weight_never_sampled() {
+        let t = AliasTable::new(&[0.0, 1.0, 0.0, 1.0]);
+        let freq = empirical(&t, 20_000, 3);
+        assert_eq!(freq[0], 0.0);
+        assert_eq!(freq[2], 0.0);
+        assert!((freq[1] - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn single_outcome() {
+        let t = AliasTable::new(&[7.5]);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn degree_table_prefers_hubs() {
+        let g = fairgen_graph::Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let t = degree_alias_table(&g);
+        let freq = empirical(&t, 50_000, 5);
+        assert!((freq[0] - 0.5).abs() < 0.02, "hub share {}", freq[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty weight vector")]
+    fn empty_weights_panic() {
+        let _ = AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not all be zero")]
+    fn all_zero_weights_panic() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_weight_panics() {
+        let _ = AliasTable::new(&[1.0, -0.5]);
+    }
+}

@@ -1,0 +1,390 @@
+//! Fair graph assembly from generated walks (Section II-D).
+//!
+//! The trained generator emits synthetic walks; every traversed pair is an
+//! edge observation accumulated in a score matrix `B`. Thresholding `B`
+//! naively leaves out low-degree and protected-group nodes, so assembly
+//! enforces the paper's criteria, in priority order:
+//!
+//! 1. the protected group's volume (edges incident to `S⁺`) in the output is
+//!    at least a caller-provided target (its volume in the input graph);
+//! 2. every node has at least one incident edge;
+//! 3. the output has the same number of edges as the input (filled by the
+//!    highest-scoring remaining candidates).
+
+use std::collections::HashMap;
+
+use fairgen_graph::{Graph, GraphBuilder, NodeId, NodeSet};
+use rand::Rng;
+
+use crate::walker::Walk;
+
+/// Sparse symmetric edge-score accumulator `B ∈ R^{n×n}`.
+#[derive(Clone, Debug)]
+pub struct ScoreMatrix {
+    n: usize,
+    counts: HashMap<u64, f64>,
+}
+
+#[inline]
+fn key(u: NodeId, v: NodeId) -> u64 {
+    let (a, b) = if u <= v { (u, v) } else { (v, u) };
+    ((a as u64) << 32) | b as u64
+}
+
+#[inline]
+fn unkey(k: u64) -> (NodeId, NodeId) {
+    ((k >> 32) as NodeId, (k & 0xffff_ffff) as NodeId)
+}
+
+impl ScoreMatrix {
+    /// An empty score matrix over `n` nodes.
+    pub fn new(n: usize) -> Self {
+        ScoreMatrix { n, counts: HashMap::new() }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of distinct candidate edges observed.
+    pub fn num_candidates(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Adds one observation for edge `{u, v}`. Self-pairs are ignored.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, weight: f64) {
+        assert!((u as usize) < self.n && (v as usize) < self.n, "node out of range");
+        if u == v {
+            return;
+        }
+        *self.counts.entry(key(u, v)).or_insert(0.0) += weight;
+    }
+
+    /// Accumulates every consecutive pair of `walk`.
+    pub fn add_walk(&mut self, walk: &Walk) {
+        for pair in walk.windows(2) {
+            self.add_edge(pair[0], pair[1], 1.0);
+        }
+    }
+
+    /// Accumulates a corpus of walks.
+    pub fn add_walks(&mut self, walks: &[Walk]) {
+        for w in walks {
+            self.add_walk(w);
+        }
+    }
+
+    /// The score of edge `{u, v}`.
+    pub fn score(&self, u: NodeId, v: NodeId) -> f64 {
+        if u == v {
+            return 0.0;
+        }
+        self.counts.get(&key(u, v)).copied().unwrap_or(0.0)
+    }
+
+    /// Candidate edges sorted by descending score (ties broken by edge id
+    /// for determinism).
+    fn ranked_candidates(&self) -> Vec<(NodeId, NodeId, f64)> {
+        let mut cands: Vec<(u64, f64)> = self.counts.iter().map(|(&k, &c)| (k, c)).collect();
+        cands.sort_unstable_by(|a, b| {
+            b.1.partial_cmp(&a.1).expect("scores are finite").then(a.0.cmp(&b.0))
+        });
+        cands
+            .into_iter()
+            .map(|(k, c)| {
+                let (u, v) = unkey(k);
+                (u, v, c)
+            })
+            .collect()
+    }
+
+    /// Assembles a graph with (up to) `target_m` edges using only criteria
+    /// (2) and (3): min-degree 1 and edge-count matching.
+    pub fn assemble<R: Rng + ?Sized>(&self, target_m: usize, rng: &mut R) -> Graph {
+        self.assemble_impl(target_m, None, rng)
+    }
+
+    /// Assembles a graph enforcing all three fairness-aware criteria.
+    /// `target_protected_incident` is the desired number of output edges with
+    /// at least one endpoint in `protected` (use the input graph's count).
+    pub fn assemble_fair<R: Rng + ?Sized>(
+        &self,
+        target_m: usize,
+        protected: &NodeSet,
+        target_protected_incident: usize,
+        rng: &mut R,
+    ) -> Graph {
+        self.assemble_impl(target_m, Some((protected, target_protected_incident)), rng)
+    }
+
+    fn assemble_impl<R: Rng + ?Sized>(
+        &self,
+        target_m: usize,
+        fair: Option<(&NodeSet, usize)>,
+        rng: &mut R,
+    ) -> Graph {
+        let ranked = self.ranked_candidates();
+        let mut selected: HashMap<u64, ()> = HashMap::with_capacity(target_m);
+        let mut degree = vec![0usize; self.n];
+        let mut protected_incident = 0usize;
+        let select = |u: NodeId,
+                          v: NodeId,
+                          selected: &mut HashMap<u64, ()>,
+                          degree: &mut [usize],
+                          protected_incident: &mut usize|
+         -> bool {
+            let k = key(u, v);
+            if selected.contains_key(&k) {
+                return false;
+            }
+            selected.insert(k, ());
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+            if let Some((s, _)) = fair {
+                if s.contains(u) || s.contains(v) {
+                    *protected_incident += 1;
+                }
+            }
+            true
+        };
+
+        // Phase A — protected-volume quota (criterion 1).
+        if let Some((s, quota)) = fair {
+            for &(u, v, _) in &ranked {
+                if protected_incident >= quota || selected.len() >= target_m {
+                    break;
+                }
+                if s.contains(u) || s.contains(v) {
+                    select(u, v, &mut selected, &mut degree, &mut protected_incident);
+                }
+            }
+        }
+
+        // Phase B — minimum degree 1 (criterion 2): give every degree-0 node
+        // its best-scoring candidate, or a random partner if it never
+        // co-occurred in any walk.
+        // `ranked` is sorted by descending score, so the first candidate seen
+        // for a node is its best-scoring partner.
+        let mut best_for: Vec<Option<NodeId>> = vec![None; self.n];
+        for &(u, v, _) in &ranked {
+            for (a, b) in [(u, v), (v, u)] {
+                let slot = &mut best_for[a as usize];
+                if slot.is_none() {
+                    *slot = Some(b);
+                }
+            }
+        }
+        for node in 0..self.n as NodeId {
+            if degree[node as usize] > 0 {
+                continue;
+            }
+            let partner = match best_for[node as usize] {
+                Some(p) => p,
+                None => {
+                    if self.n < 2 {
+                        continue;
+                    }
+                    // Never observed: attach to a random other node.
+                    let mut p = rng.gen_range(0..self.n as NodeId);
+                    while p == node {
+                        p = rng.gen_range(0..self.n as NodeId);
+                    }
+                    p
+                }
+            };
+            select(node, partner, &mut selected, &mut degree, &mut protected_incident);
+        }
+
+        // Phase C — fill to target_m with the best remaining candidates
+        // (criterion 3). The protected-incident count is *softly capped* at
+        // 110% of the quota so that criterion 1 means "similar volume", not
+        // "as much volume as the generator's (possibly over-concentrated)
+        // samples would give": without the cap, a generator that over-weights
+        // the minority context assembles a near-clique on S⁺ and inflates
+        // its triangle count and degrees far beyond the original.
+        let cap = fair.map(|(_, quota)| quota + quota / 10 + 1);
+        for &(u, v, _) in &ranked {
+            if selected.len() >= target_m {
+                break;
+            }
+            if let (Some((s, _)), Some(cap)) = (fair, cap) {
+                if protected_incident >= cap && (s.contains(u) || s.contains(v)) {
+                    continue;
+                }
+            }
+            select(u, v, &mut selected, &mut degree, &mut protected_incident);
+        }
+
+        // If candidates ran out (generator produced too few distinct pairs),
+        // top up with random edges so the edge count still matches.
+        let mut guard = 0usize;
+        let max_possible = self.n * (self.n.saturating_sub(1)) / 2;
+        while selected.len() < target_m.min(max_possible) && guard < 100 * target_m {
+            guard += 1;
+            let u = rng.gen_range(0..self.n as NodeId);
+            let v = rng.gen_range(0..self.n as NodeId);
+            if u != v {
+                select(u, v, &mut selected, &mut degree, &mut protected_incident);
+            }
+        }
+
+        let mut builder = GraphBuilder::with_capacity(self.n, selected.len());
+        builder.ensure_nodes(self.n);
+        for &k in selected.keys() {
+            let (u, v) = unkey(k);
+            builder.add_edge(u, v);
+        }
+        builder.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn add_walk_counts_pairs() {
+        let mut b = ScoreMatrix::new(5);
+        b.add_walk(&vec![0, 1, 2, 1]);
+        assert_eq!(b.score(0, 1), 1.0);
+        assert_eq!(b.score(1, 2), 2.0); // 1→2 and 2→1
+        assert_eq!(b.score(2, 0), 0.0);
+        assert_eq!(b.num_candidates(), 2);
+    }
+
+    #[test]
+    fn self_pairs_ignored() {
+        let mut b = ScoreMatrix::new(3);
+        b.add_walk(&vec![1, 1, 1]);
+        assert_eq!(b.num_candidates(), 0);
+    }
+
+    #[test]
+    fn symmetric_scores() {
+        let mut b = ScoreMatrix::new(4);
+        b.add_edge(2, 3, 1.5);
+        assert_eq!(b.score(3, 2), 1.5);
+    }
+
+    #[test]
+    fn assemble_exact_edge_count() {
+        let mut b = ScoreMatrix::new(6);
+        for w in [vec![0u32, 1, 2, 3], vec![1, 2, 3, 4], vec![2, 3, 4, 5], vec![0, 2, 4, 1]] {
+            b.add_walk(&w);
+        }
+        let g = b.assemble(5, &mut rng());
+        assert_eq!(g.m(), 5);
+    }
+
+    #[test]
+    fn assemble_min_degree_one() {
+        let mut b = ScoreMatrix::new(8);
+        // Only nodes 0..4 appear in walks; 4..8 are never observed.
+        b.add_walk(&vec![0, 1, 2, 3, 0, 1]);
+        let g = b.assemble(8, &mut rng());
+        assert_eq!(g.min_degree() >= 1, true, "degrees: {:?}", g.degrees());
+    }
+
+    #[test]
+    fn assemble_prefers_high_scores() {
+        let mut b = ScoreMatrix::new(4);
+        b.add_edge(0, 1, 10.0);
+        b.add_edge(1, 2, 5.0);
+        b.add_edge(2, 3, 1.0);
+        b.add_edge(0, 3, 0.5);
+        let g = b.assemble(2, &mut rng());
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 2));
+        // m may exceed 2 because min-degree rescue adds edges for 3.
+        assert!(g.m() >= 2);
+    }
+
+    #[test]
+    fn fair_assembly_meets_protected_quota() {
+        let n = 10;
+        let mut b = ScoreMatrix::new(n);
+        // Unprotected block 0..6 heavily observed; protected block 6..10
+        // weakly observed (mirroring representation disparity).
+        for i in 0..6u32 {
+            for j in (i + 1)..6 {
+                b.add_edge(i, j, 100.0);
+            }
+        }
+        b.add_edge(6, 7, 1.0);
+        b.add_edge(7, 8, 1.0);
+        b.add_edge(8, 9, 1.0);
+        b.add_edge(6, 9, 1.0);
+        let protected = NodeSet::from_members(n, &[6, 7, 8, 9]);
+        let quota = 4;
+        let g = b.assemble_fair(12, &protected, quota, &mut rng());
+        let incident = g
+            .edge_list()
+            .iter()
+            .filter(|&&(u, v)| protected.contains(u) || protected.contains(v))
+            .count();
+        assert!(incident >= quota, "only {incident} protected-incident edges");
+        assert!(g.min_degree() >= 1);
+    }
+
+    #[test]
+    fn unfair_assembly_starves_protected_group() {
+        // Same setup as above but without the quota: with only 6 edge slots,
+        // thresholding picks only the heavy unprotected candidates, except for
+        // the min-degree rescue.
+        let n = 10;
+        let mut b = ScoreMatrix::new(n);
+        for i in 0..6u32 {
+            for j in (i + 1)..6 {
+                b.add_edge(i, j, 100.0);
+            }
+        }
+        b.add_edge(6, 7, 1.0);
+        b.add_edge(7, 8, 1.0);
+        b.add_edge(8, 9, 1.0);
+        b.add_edge(6, 9, 1.0);
+        let protected = NodeSet::from_members(n, &[6, 7, 8, 9]);
+        let plain = b.assemble(6, &mut rng());
+        let fair = b.assemble_fair(6, &protected, 4, &mut rng());
+        let count = |g: &Graph| {
+            g.edge_list()
+                .iter()
+                .filter(|&&(u, v)| protected.contains(u) || protected.contains(v))
+                .count()
+        };
+        assert!(count(&fair) >= count(&plain));
+        assert!(count(&fair) >= 4);
+    }
+
+    #[test]
+    fn assemble_caps_at_complete_graph() {
+        let mut b = ScoreMatrix::new(3);
+        b.add_edge(0, 1, 1.0);
+        let g = b.assemble(10, &mut rng());
+        assert_eq!(g.m(), 3); // K3 maximum
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut b = ScoreMatrix::new(20);
+        for i in 0..19u32 {
+            b.add_edge(i, i + 1, (i % 5) as f64 + 1.0);
+        }
+        let g1 = b.assemble(15, &mut StdRng::seed_from_u64(5));
+        let g2 = b.assemble(15, &mut StdRng::seed_from_u64(5));
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_edge_out_of_range_panics() {
+        let mut b = ScoreMatrix::new(2);
+        b.add_edge(0, 5, 1.0);
+    }
+}

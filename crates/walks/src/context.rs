@@ -1,0 +1,269 @@
+//! The label-informed context sampling strategy `f_S(·)` (Section II-B, M1).
+//!
+//! With probability `r` the sampler emits a structural node2vec walk from a
+//! uniformly random non-isolated start node — this encodes the general
+//! structure distribution (minimizing `R(θ)` of Eq. 1). With probability
+//! `1 − r` it emits a label-guided walk: a seed node is drawn from one of the
+//! registered [`ContextEntry`]s and the walk is confined to that entry's
+//! support subgraph `S` — this encodes group/class context (minimizing
+//! `R_{S}(θ)` of Eq. 2 for each group). Entries are drawn proportionally to
+//! their weight, which is how `fairgen-core` balances the protected and
+//! unprotected groups.
+
+use fairgen_graph::{Graph, NodeId, NodeSet};
+use rand::Rng;
+
+use crate::node2vec::Node2VecWalker;
+use crate::walker::{random_walk_confined, Walk};
+
+/// One label-informed sampling context: seeds (labeled or pseudo-labeled
+/// vertices of one class/group) and the support subgraph they live in.
+#[derive(Clone, Debug)]
+pub struct ContextEntry {
+    /// Seed vertices the guided walks start from (ideally inside the
+    /// diffusion core `C_S` of the support — see Lemma 2.1).
+    pub seeds: Vec<NodeId>,
+    /// The subgraph support `S` the walk should stay inside.
+    pub support: NodeSet,
+    /// Selection weight relative to the other entries.
+    pub weight: f64,
+}
+
+/// Configuration of the `f_S` sampler.
+#[derive(Clone, Copy, Debug)]
+pub struct ContextSamplerConfig {
+    /// Walk length `T` (number of nodes per walk). Paper default: 10.
+    pub walk_len: usize,
+    /// Probability `r` of sampling a structural (unlabeled) walk.
+    pub ratio_r: f64,
+    /// node2vec return parameter for the structural branch.
+    pub p: f64,
+    /// node2vec in-out parameter for the structural branch.
+    pub q: f64,
+}
+
+impl Default for ContextSamplerConfig {
+    fn default() -> Self {
+        ContextSamplerConfig { walk_len: 10, ratio_r: 0.5, p: 1.0, q: 1.0 }
+    }
+}
+
+/// The label-informed context sampler `f_S(·)`.
+#[derive(Clone, Debug)]
+pub struct ContextSampler {
+    cfg: ContextSamplerConfig,
+    walker: Node2VecWalker,
+    entries: Vec<ContextEntry>,
+    total_weight: f64,
+}
+
+impl ContextSampler {
+    /// Creates a sampler; `entries` may be empty, in which case every walk is
+    /// structural regardless of `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio_r ∉ [0, 1]`, `walk_len == 0`, an entry has
+    /// non-positive weight, or an entry has no seeds.
+    pub fn new(cfg: ContextSamplerConfig, entries: Vec<ContextEntry>) -> Self {
+        assert!((0.0..=1.0).contains(&cfg.ratio_r), "r must be in [0,1]");
+        assert!(cfg.walk_len > 0, "walk_len must be positive");
+        for e in &entries {
+            assert!(e.weight > 0.0, "entry weight must be positive");
+            assert!(!e.seeds.is_empty(), "entry must have at least one seed");
+        }
+        let total_weight = entries.iter().map(|e| e.weight).sum();
+        ContextSampler { walker: Node2VecWalker::new(cfg.p, cfg.q), cfg, entries, total_weight }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ContextSamplerConfig {
+        &self.cfg
+    }
+
+    /// The registered entries.
+    pub fn entries(&self) -> &[ContextEntry] {
+        &self.entries
+    }
+
+    /// Replaces the label-informed entries (used between self-paced cycles
+    /// when pseudo-labels change).
+    pub fn set_entries(&mut self, entries: Vec<ContextEntry>) {
+        for e in &entries {
+            assert!(e.weight > 0.0, "entry weight must be positive");
+            assert!(!e.seeds.is_empty(), "entry must have at least one seed");
+        }
+        self.total_weight = entries.iter().map(|e| e.weight).sum();
+        self.entries = entries;
+    }
+
+    /// Samples one structural walk (the probability-`r` branch).
+    pub fn sample_structural<R: Rng + ?Sized>(&self, g: &Graph, rng: &mut R) -> Walk {
+        let n = g.n() as NodeId;
+        debug_assert!(n > 0);
+        // Rejection-sample a non-isolated start (falls back after n tries to
+        // whatever node was drawn, which then emits a self-repeating walk).
+        let mut start = rng.gen_range(0..n);
+        for _ in 0..g.n() {
+            if g.degree(start) > 0 {
+                break;
+            }
+            start = rng.gen_range(0..n);
+        }
+        self.walker.walk(g, start, self.cfg.walk_len, rng)
+    }
+
+    /// Samples one label-guided walk (the probability-`1−r` branch), or
+    /// `None` when no entries are registered.
+    pub fn sample_labeled<R: Rng + ?Sized>(&self, g: &Graph, rng: &mut R) -> Option<Walk> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let mut target = rng.gen_range(0.0..self.total_weight);
+        let mut entry = &self.entries[self.entries.len() - 1];
+        for e in &self.entries {
+            if target < e.weight {
+                entry = e;
+                break;
+            }
+            target -= e.weight;
+        }
+        let seed = entry.seeds[rng.gen_range(0..entry.seeds.len())];
+        Some(random_walk_confined(g, seed, self.cfg.walk_len, &entry.support, rng))
+    }
+
+    /// Samples one walk via the full `f_S` strategy.
+    pub fn sample<R: Rng + ?Sized>(&self, g: &Graph, rng: &mut R) -> Walk {
+        if rng.gen::<f64>() < self.cfg.ratio_r {
+            self.sample_structural(g, rng)
+        } else {
+            self.sample_labeled(g, rng)
+                .unwrap_or_else(|| self.sample_structural(g, rng))
+        }
+    }
+
+    /// Samples `k` walks.
+    pub fn sample_corpus<R: Rng + ?Sized>(&self, g: &Graph, k: usize, rng: &mut R) -> Vec<Walk> {
+        (0..k).map(|_| self.sample(g, rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::walker::is_valid_walk;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_triangles() -> Graph {
+        Graph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+        )
+    }
+
+    fn entry(n: usize, seeds: &[NodeId], support: &[NodeId], weight: f64) -> ContextEntry {
+        ContextEntry {
+            seeds: seeds.to_vec(),
+            support: NodeSet::from_members(n, support),
+            weight,
+        }
+    }
+
+    #[test]
+    fn r_zero_always_label_guided() {
+        let g = two_triangles();
+        let cfg = ContextSamplerConfig { ratio_r: 0.0, walk_len: 8, ..Default::default() };
+        let sampler =
+            ContextSampler::new(cfg, vec![entry(6, &[3], &[3, 4, 5], 1.0)]);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let w = sampler.sample(&g, &mut rng);
+            assert!(w.iter().all(|&v| v >= 3), "structural walk leaked through: {w:?}");
+            assert!(is_valid_walk(&g, &w));
+        }
+    }
+
+    #[test]
+    fn r_one_always_structural() {
+        let g = two_triangles();
+        let cfg = ContextSamplerConfig { ratio_r: 1.0, walk_len: 8, ..Default::default() };
+        // Entry confined to the second triangle; with r=1 walks may still
+        // start anywhere — check that at least one walk visits the first
+        // triangle (a confined walk from seed 3 never could).
+        let sampler = ContextSampler::new(cfg, vec![entry(6, &[3], &[3, 4, 5], 1.0)]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let visits_first = (0..100)
+            .map(|_| sampler.sample(&g, &mut rng))
+            .any(|w| w.iter().any(|&v| v < 3));
+        assert!(visits_first);
+    }
+
+    #[test]
+    fn no_entries_falls_back_to_structural() {
+        let g = two_triangles();
+        let cfg = ContextSamplerConfig { ratio_r: 0.0, walk_len: 6, ..Default::default() };
+        let sampler = ContextSampler::new(cfg, vec![]);
+        let w = sampler.sample(&g, &mut StdRng::seed_from_u64(3));
+        assert_eq!(w.len(), 6);
+        assert!(is_valid_walk(&g, &w));
+    }
+
+    #[test]
+    fn weights_bias_entry_selection() {
+        let g = two_triangles();
+        let cfg = ContextSamplerConfig { ratio_r: 0.0, walk_len: 4, ..Default::default() };
+        let sampler = ContextSampler::new(
+            cfg,
+            vec![
+                entry(6, &[0], &[0, 1, 2], 9.0),
+                entry(6, &[3], &[3, 4, 5], 1.0),
+            ],
+        );
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut first = 0usize;
+        let trials = 500;
+        for _ in 0..trials {
+            let w = sampler.sample(&g, &mut rng);
+            if w[0] == 0 {
+                first += 1;
+            }
+        }
+        let frac = first as f64 / trials as f64;
+        assert!((0.8..1.0).contains(&frac), "fraction from heavy entry = {frac}");
+    }
+
+    #[test]
+    fn corpus_has_k_walks_of_len_t() {
+        let g = two_triangles();
+        let cfg = ContextSamplerConfig { walk_len: 5, ..Default::default() };
+        let sampler = ContextSampler::new(cfg, vec![entry(6, &[0], &[0, 1, 2], 1.0)]);
+        let corpus = sampler.sample_corpus(&g, 40, &mut StdRng::seed_from_u64(5));
+        assert_eq!(corpus.len(), 40);
+        assert!(corpus.iter().all(|w| w.len() == 5));
+    }
+
+    #[test]
+    fn set_entries_swaps_contexts() {
+        let g = two_triangles();
+        let cfg = ContextSamplerConfig { ratio_r: 0.0, walk_len: 6, ..Default::default() };
+        let mut sampler = ContextSampler::new(cfg, vec![entry(6, &[0], &[0, 1, 2], 1.0)]);
+        sampler.set_entries(vec![entry(6, &[4], &[3, 4, 5], 1.0)]);
+        let w = sampler.sample(&g, &mut StdRng::seed_from_u64(6));
+        assert!(w.iter().all(|&v| v >= 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "r must be in [0,1]")]
+    fn invalid_r_panics() {
+        let cfg = ContextSamplerConfig { ratio_r: 1.5, ..Default::default() };
+        let _ = ContextSampler::new(cfg, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn empty_seed_entry_panics() {
+        let cfg = ContextSamplerConfig::default();
+        let _ = ContextSampler::new(cfg, vec![entry(6, &[], &[0], 1.0)]);
+    }
+}

@@ -1,0 +1,155 @@
+//! Diffusion cores (Definition 1) and the Lemma 2.1 containment bound.
+
+use fairgen_graph::{conductance, Graph, NodeId, NodeSet, TransitionOp};
+use rand::Rng;
+
+/// The `(δ, t)`-diffusion core of `S` (Definition 1):
+/// `C_S = { x ∈ S | 1 − χ_Sᵀ M^t χ_x < δ·φ(S) }`,
+/// i.e. the members of `S` whose `t`-step lazy-walk escape probability is
+/// below `δ` times the conductance of `S`.
+pub fn diffusion_core(g: &Graph, s: &NodeSet, delta: f64, t: usize) -> NodeSet {
+    assert!((0.0..1.0).contains(&delta) || delta > 0.0, "delta must be positive");
+    let op = TransitionOp::new(g);
+    let phi = conductance(g, s);
+    let threshold = delta * phi;
+    let members: Vec<NodeId> = s
+        .members()
+        .iter()
+        .copied()
+        .filter(|&x| op.escape_probability(x, s, t) < threshold)
+        .collect();
+    NodeSet::from_members(g.n(), &members)
+}
+
+/// The Lemma 2.1 lower bound on the probability that a `T`-length walk from
+/// a diffusion-core seed stays entirely inside `S`: `1 − T·δ·φ(S)`
+/// (clamped at 0).
+pub fn lemma21_bound(g: &Graph, s: &NodeSet, delta: f64, t: usize) -> f64 {
+    (1.0 - t as f64 * delta * conductance(g, s)).max(0.0)
+}
+
+/// Monte-Carlo estimate of the probability that a `t`-step *lazy* random walk
+/// started at `start` never leaves `S`. The lazy walk matches the operator
+/// `M = (AD⁻¹ + I)/2`: at each step it stays put with probability ½ and
+/// otherwise moves to a uniform neighbor.
+pub fn monte_carlo_containment<R: Rng + ?Sized>(
+    g: &Graph,
+    start: NodeId,
+    s: &NodeSet,
+    t: usize,
+    trials: usize,
+    rng: &mut R,
+) -> f64 {
+    assert!(trials > 0, "trials must be positive");
+    let mut contained = 0usize;
+    'trial: for _ in 0..trials {
+        let mut cur = start;
+        for _ in 0..t {
+            if rng.gen::<f64>() < 0.5 {
+                continue; // lazy self-loop
+            }
+            let nb = g.neighbors(cur);
+            if nb.is_empty() {
+                continue;
+            }
+            cur = nb[rng.gen_range(0..nb.len())];
+            if !s.contains(cur) {
+                continue 'trial;
+            }
+        }
+        contained += 1;
+    }
+    contained as f64 / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Two dense cliques of size 5 joined by a single bridge.
+    fn two_cliques() -> (Graph, NodeSet) {
+        let mut edges = Vec::new();
+        for a in 0..5u32 {
+            for b in (a + 1)..5 {
+                edges.push((a, b));
+                edges.push((a + 5, b + 5));
+            }
+        }
+        edges.push((4, 5));
+        let g = Graph::from_edges(10, &edges);
+        let s = NodeSet::from_members(10, &[0, 1, 2, 3, 4]);
+        (g, s)
+    }
+
+    #[test]
+    fn core_is_subset_of_s() {
+        let (g, s) = two_cliques();
+        let core = diffusion_core(&g, &s, 0.9, 3);
+        for &v in core.members() {
+            assert!(s.contains(v));
+        }
+    }
+
+    #[test]
+    fn interior_nodes_in_core_boundary_excluded() {
+        let (g, s) = two_cliques();
+        // φ(S) = 1/21; with t=2 the boundary node 4 escapes with probability
+        // ≈ ¼·(1/5)·stuff ≫ interior nodes. Choose δ so interior passes.
+        let op = fairgen_graph::TransitionOp::new(&g);
+        let esc_interior = op.escape_probability(0, &s, 2);
+        let esc_boundary = op.escape_probability(4, &s, 2);
+        assert!(esc_boundary > esc_interior);
+        let phi = fairgen_graph::conductance(&g, &s);
+        // Pick delta between the two escape levels (relative to phi).
+        let delta = (esc_interior + esc_boundary) / 2.0 / phi;
+        let core = diffusion_core(&g, &s, delta, 2);
+        assert!(core.contains(0), "interior clique node should be in the core");
+        assert!(!core.contains(4), "bridge endpoint should be excluded");
+    }
+
+    #[test]
+    fn lemma21_holds_for_core_members() {
+        // The actual statement: for x ∈ C_S, a T-length walk stays inside S
+        // with probability ≥ 1 − T·δ·φ(S). Verify with the exact operator.
+        let (g, s) = two_cliques();
+        let delta = 0.9;
+        for t in [2usize, 4, 6] {
+            let core = diffusion_core(&g, &s, delta, t);
+            let op = fairgen_graph::TransitionOp::new(&g);
+            let bound = lemma21_bound(&g, &s, delta, t);
+            for &x in core.members() {
+                let contained = op.containment_probability(x, &s, t);
+                assert!(
+                    contained >= bound - 1e-9,
+                    "x={x} t={t}: containment {contained} < bound {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn monte_carlo_close_to_exact() {
+        let (g, s) = two_cliques();
+        let op = fairgen_graph::TransitionOp::new(&g);
+        let exact = op.containment_probability(0, &s, 4);
+        let mc = monte_carlo_containment(&g, 0, &s, 4, 20_000, &mut StdRng::seed_from_u64(1));
+        assert!((mc - exact).abs() < 0.02, "mc={mc}, exact={exact}");
+    }
+
+    #[test]
+    fn bound_clamps_at_zero() {
+        let (g, s) = two_cliques();
+        assert_eq!(lemma21_bound(&g, &s, 100.0, 100), 0.0);
+    }
+
+    #[test]
+    fn full_set_core_is_everything_with_positive_phi_zero() {
+        // φ(V) = 0 so the threshold is 0 and no strict inequality holds:
+        // the core of the full set is empty. Documented edge case.
+        let (g, _) = two_cliques();
+        let core = diffusion_core(&g, &NodeSet::full(10), 0.5, 3);
+        assert!(core.is_empty());
+    }
+}

@@ -1,0 +1,35 @@
+//! Random-walk machinery for the FairGen reproduction.
+//!
+//! This crate implements every walk-related component of the paper:
+//!
+//! * [`walker`] — plain first-order random walks.
+//! * [`node2vec`] — the biased second-order walks of Grover & Leskovec
+//!   (reference \[39\] of the paper) with return parameter `p` and in-out
+//!   parameter `q`, used by f_S's structural branch.
+//! * [`context`] — the label-informed context sampling strategy `f_S(·)` of
+//!   Section II-B (M1): with probability `r` a structural node2vec walk,
+//!   with probability `1 − r` a label-guided walk that starts at a
+//!   (pseudo-)labeled seed and stays inside that seed's group subgraph.
+//! * [`diffusion`] — diffusion cores `C_S` (Definition 1) and the
+//!   Monte-Carlo verification of Lemma 2.1's containment bound
+//!   `1 − T·δ·φ(S)`.
+//! * [`negative`] — negative-walk sampling used to train the generator
+//!   contrastively (Algorithm 1, steps 2 and 6).
+//! * [`assembly`] — the score-matrix graph-assembly procedure of
+//!   Section II-D, including the fairness-aware criteria (protected-group
+//!   volume preservation and minimum degree 1).
+
+pub mod alias;
+pub mod assembly;
+pub mod context;
+pub mod diffusion;
+pub mod negative;
+pub mod node2vec;
+pub mod walker;
+
+pub use alias::{degree_alias_table, AliasTable};
+pub use assembly::ScoreMatrix;
+pub use context::{ContextSampler, ContextSamplerConfig};
+pub use diffusion::{diffusion_core, lemma21_bound, monte_carlo_containment};
+pub use node2vec::Node2VecWalker;
+pub use walker::{random_walk, random_walk_confined, Walk};

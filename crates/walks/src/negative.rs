@@ -1,0 +1,126 @@
+//! Negative-walk sampling (Algorithm 1, steps 2 and 6).
+//!
+//! The generator is trained contrastively: positive walks come from `f_S`,
+//! negative walks are implausible sequences the generator must learn to
+//! assign low likelihood. Before the generator exists (step 2) negatives are
+//! uniform random node sequences; in later cycles they also include
+//! corrupted real walks and the generator's own stale samples.
+
+use fairgen_graph::{Graph, NodeId};
+use rand::Rng;
+
+use crate::walker::Walk;
+
+/// `k` uniform random node sequences of length `len` over `n` nodes.
+/// These almost never follow edges in a sparse graph and serve as the
+/// initial negative pool `N⁻`.
+pub fn random_sequences<R: Rng + ?Sized>(
+    n: usize,
+    k: usize,
+    len: usize,
+    rng: &mut R,
+) -> Vec<Walk> {
+    assert!(n > 0, "need at least one node");
+    (0..k)
+        .map(|_| (0..len).map(|_| rng.gen_range(0..n as NodeId)).collect())
+        .collect()
+}
+
+/// Corrupts each input walk by replacing `corruptions` random positions with
+/// uniform random nodes — harder negatives that are mostly edge-consistent.
+pub fn corrupted_walks<R: Rng + ?Sized>(
+    g: &Graph,
+    walks: &[Walk],
+    corruptions: usize,
+    rng: &mut R,
+) -> Vec<Walk> {
+    assert!(g.n() > 0, "need at least one node");
+    walks
+        .iter()
+        .map(|w| {
+            let mut c = w.clone();
+            for _ in 0..corruptions.min(c.len()) {
+                let pos = rng.gen_range(0..c.len());
+                c[pos] = rng.gen_range(0..g.n() as NodeId);
+            }
+            c
+        })
+        .collect()
+}
+
+/// Fraction of consecutive pairs across a walk corpus that are real edges of
+/// `g` — a cheap plausibility score used in tests and diagnostics.
+pub fn edge_consistency(g: &Graph, walks: &[Walk]) -> f64 {
+    let mut good = 0usize;
+    let mut total = 0usize;
+    for w in walks {
+        for pair in w.windows(2) {
+            total += 1;
+            if g.has_edge(pair[0], pair[1]) {
+                good += 1;
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        good as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node2vec::Node2VecWalker;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ring(n: usize) -> Graph {
+        let edges: Vec<(u32, u32)> =
+            (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+        Graph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn random_sequences_shape() {
+        let seqs = random_sequences(50, 20, 8, &mut StdRng::seed_from_u64(1));
+        assert_eq!(seqs.len(), 20);
+        assert!(seqs.iter().all(|w| w.len() == 8));
+        assert!(seqs.iter().flatten().all(|&v| v < 50));
+    }
+
+    #[test]
+    fn random_sequences_rarely_follow_sparse_edges() {
+        let g = ring(100);
+        let seqs = random_sequences(100, 50, 10, &mut StdRng::seed_from_u64(2));
+        // A ring on 100 nodes has edge density ~2%; random pairs match rarely.
+        assert!(edge_consistency(&g, &seqs) < 0.2);
+    }
+
+    #[test]
+    fn real_walks_fully_consistent() {
+        let g = ring(20);
+        let walker = Node2VecWalker::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let walks = walker.walk_corpus(&g, 30, 8, &mut rng);
+        assert_eq!(edge_consistency(&g, &walks), 1.0);
+    }
+
+    #[test]
+    fn corruption_reduces_consistency() {
+        let g = ring(50);
+        let walker = Node2VecWalker::default();
+        let mut rng = StdRng::seed_from_u64(4);
+        let walks = walker.walk_corpus(&g, 40, 10, &mut rng);
+        let corrupted = corrupted_walks(&g, &walks, 3, &mut rng);
+        assert_eq!(corrupted.len(), walks.len());
+        assert!(edge_consistency(&g, &corrupted) < 1.0);
+        assert!(edge_consistency(&g, &corrupted) > edge_consistency(&g, &random_sequences(50, 40, 10, &mut rng)));
+    }
+
+    #[test]
+    fn edge_consistency_empty() {
+        let g = ring(5);
+        assert_eq!(edge_consistency(&g, &[]), 0.0);
+    }
+}

@@ -1,0 +1,234 @@
+//! Biased second-order random walks (node2vec, reference \[39\]).
+
+use fairgen_graph::{Graph, NodeId};
+use rand::Rng;
+
+use crate::walker::Walk;
+
+/// The biased second-order walker of node2vec.
+///
+/// Given the previous node `t` and current node `v`, the unnormalized
+/// probability of moving to neighbor `x` of `v` is
+///
+/// * `1/p` if `x = t` (return),
+/// * `1`   if `x` is adjacent to `t` (stay close),
+/// * `1/q` otherwise (explore outward).
+///
+/// `p = q = 1` reduces to a uniform first-order walk. Weights are computed
+/// on the fly (`O(deg)` per step with binary-search adjacency tests), which
+/// at the workspace's graph scales is faster to set up than per-edge alias
+/// tables and has no memory footprint.
+#[derive(Clone, Debug)]
+pub struct Node2VecWalker {
+    /// Return parameter `p`.
+    pub p: f64,
+    /// In-out parameter `q`.
+    pub q: f64,
+}
+
+impl Default for Node2VecWalker {
+    fn default() -> Self {
+        Node2VecWalker { p: 1.0, q: 1.0 }
+    }
+}
+
+impl Node2VecWalker {
+    /// Creates a walker with the given bias parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` or `q` is not strictly positive.
+    pub fn new(p: f64, q: f64) -> Self {
+        assert!(p > 0.0 && q > 0.0, "p and q must be positive (got p={p}, q={q})");
+        Node2VecWalker { p, q }
+    }
+
+    /// Samples a `len`-node second-order walk from `start`.
+    pub fn walk<R: Rng + ?Sized>(
+        &self,
+        g: &Graph,
+        start: NodeId,
+        len: usize,
+        rng: &mut R,
+    ) -> Walk {
+        let mut walk = Vec::with_capacity(len);
+        walk.push(start);
+        if len == 1 {
+            return walk;
+        }
+        // First step is uniform.
+        let nb = g.neighbors(start);
+        if nb.is_empty() {
+            walk.resize(len, start);
+            return walk;
+        }
+        let mut prev = start;
+        let mut cur = nb[rng.gen_range(0..nb.len())];
+        walk.push(cur);
+        let mut weights: Vec<f64> = Vec::new();
+        while walk.len() < len {
+            let nb = g.neighbors(cur);
+            if nb.is_empty() {
+                walk.push(cur);
+                continue;
+            }
+            weights.clear();
+            let mut total = 0.0;
+            for &x in nb {
+                let w = if x == prev {
+                    1.0 / self.p
+                } else if g.has_edge(x, prev) {
+                    1.0
+                } else {
+                    1.0 / self.q
+                };
+                total += w;
+                weights.push(w);
+            }
+            let mut target = rng.gen_range(0.0..total);
+            let mut chosen = nb[nb.len() - 1];
+            for (i, &w) in weights.iter().enumerate() {
+                if target < w {
+                    chosen = nb[i];
+                    break;
+                }
+                target -= w;
+            }
+            prev = cur;
+            cur = chosen;
+            walk.push(cur);
+        }
+        walk
+    }
+
+    /// Samples `k` walks of length `len`, each from a uniformly random
+    /// non-isolated start node (matching NetGAN/TagGen-style corpus
+    /// extraction). Returns fewer walks only if the graph has no edges.
+    pub fn walk_corpus<R: Rng + ?Sized>(
+        &self,
+        g: &Graph,
+        k: usize,
+        len: usize,
+        rng: &mut R,
+    ) -> Vec<Walk> {
+        let starts: Vec<NodeId> = (0..g.n() as NodeId).filter(|&v| g.degree(v) > 0).collect();
+        if starts.is_empty() {
+            return Vec::new();
+        }
+        (0..k)
+            .map(|_| {
+                let s = starts[rng.gen_range(0..starts.len())];
+                self.walk(g, s, len, rng)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::walker::is_valid_walk;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn lollipop() -> Graph {
+        // Triangle 0-1-2 with a path 2-3-4-5 hanging off.
+        Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5)])
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_nonpositive_p() {
+        let _ = Node2VecWalker::new(0.0, 1.0);
+    }
+
+    #[test]
+    fn walks_follow_edges() {
+        let g = lollipop();
+        let walker = Node2VecWalker::new(0.5, 2.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let w = walker.walk(&g, 2, 10, &mut rng);
+            assert_eq!(w.len(), 10);
+            assert!(is_valid_walk(&g, &w));
+        }
+    }
+
+    #[test]
+    fn length_one_walk() {
+        let g = lollipop();
+        let w = Node2VecWalker::default().walk(&g, 3, 1, &mut StdRng::seed_from_u64(2));
+        assert_eq!(w, vec![3]);
+    }
+
+    #[test]
+    fn isolated_start_repeats() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        let w = Node2VecWalker::default().walk(&g, 2, 4, &mut StdRng::seed_from_u64(3));
+        assert_eq!(w, vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn low_p_increases_backtracking() {
+        // On the path part of the lollipop, p ≪ 1 should backtrack much more
+        // often than p ≫ 1.
+        let g = Graph::from_edges(7, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6)]);
+        let count_backtracks = |p: f64, q: f64, seed: u64| {
+            let walker = Node2VecWalker::new(p, q);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut backtracks = 0usize;
+            for _ in 0..300 {
+                let w = walker.walk(&g, 3, 8, &mut rng);
+                backtracks += w
+                    .windows(3)
+                    .filter(|t| t[0] == t[2] && t[0] != t[1])
+                    .count();
+            }
+            backtracks
+        };
+        let low_p = count_backtracks(0.1, 1.0, 11);
+        let high_p = count_backtracks(10.0, 1.0, 11);
+        assert!(
+            low_p > high_p * 2,
+            "expected p=0.1 to backtrack much more: {low_p} vs {high_p}"
+        );
+    }
+
+    #[test]
+    fn high_q_stays_local() {
+        // q ≫ 1 discourages moving to nodes not adjacent to the previous one,
+        // so on the lollipop a walk started in the triangle should leave it
+        // less often than with q ≪ 1.
+        let g = lollipop();
+        let escapes = |q: f64| {
+            let walker = Node2VecWalker::new(1.0, q);
+            let mut rng = StdRng::seed_from_u64(5);
+            let mut out = 0usize;
+            for _ in 0..300 {
+                let w = walker.walk(&g, 0, 10, &mut rng);
+                out += w.iter().filter(|&&v| v > 2).count();
+            }
+            out
+        };
+        assert!(escapes(4.0) < escapes(0.25));
+    }
+
+    #[test]
+    fn corpus_size_and_validity() {
+        let g = lollipop();
+        let walker = Node2VecWalker::default();
+        let mut rng = StdRng::seed_from_u64(9);
+        let corpus = walker.walk_corpus(&g, 25, 6, &mut rng);
+        assert_eq!(corpus.len(), 25);
+        for w in &corpus {
+            assert!(is_valid_walk(&g, w));
+        }
+    }
+
+    #[test]
+    fn corpus_empty_graph() {
+        let g = Graph::empty(4);
+        let corpus = Node2VecWalker::default().walk_corpus(&g, 5, 4, &mut StdRng::seed_from_u64(0));
+        assert!(corpus.is_empty());
+    }
+}

@@ -1,0 +1,149 @@
+//! First-order random walks.
+
+use fairgen_graph::{Graph, NodeId, NodeSet};
+use rand::Rng;
+
+/// A random-walk sequence `w = {x_1, …, x_T}` of incident nodes.
+pub type Walk = Vec<NodeId>;
+
+/// Samples a `T`-node first-order random walk starting at `start`.
+///
+/// At each step a uniform neighbor is chosen. If the walk reaches a node
+/// with no neighbors it stays there (only possible when `start` itself is
+/// isolated, since simple graphs have symmetric adjacency).
+pub fn random_walk<R: Rng + ?Sized>(g: &Graph, start: NodeId, len: usize, rng: &mut R) -> Walk {
+    let mut walk = Vec::with_capacity(len);
+    let mut cur = start;
+    walk.push(cur);
+    for _ in 1..len {
+        let nb = g.neighbors(cur);
+        if nb.is_empty() {
+            walk.push(cur);
+            continue;
+        }
+        cur = nb[rng.gen_range(0..nb.len())];
+        walk.push(cur);
+    }
+    walk
+}
+
+/// Samples a `T`-node walk that prefers to stay inside `confine`.
+///
+/// At each step the walk chooses uniformly among neighbors inside the set;
+/// only when the current node has *no* neighbor inside the set does it fall
+/// back to a uniform unrestricted step. This implements the label-guided
+/// branch of f_S (Fig. 3: red walks traversing within the subgraph `S`).
+pub fn random_walk_confined<R: Rng + ?Sized>(
+    g: &Graph,
+    start: NodeId,
+    len: usize,
+    confine: &NodeSet,
+    rng: &mut R,
+) -> Walk {
+    let mut walk = Vec::with_capacity(len);
+    let mut cur = start;
+    walk.push(cur);
+    let mut inside_buf: Vec<NodeId> = Vec::new();
+    for _ in 1..len {
+        let nb = g.neighbors(cur);
+        if nb.is_empty() {
+            walk.push(cur);
+            continue;
+        }
+        inside_buf.clear();
+        inside_buf.extend(nb.iter().copied().filter(|&v| confine.contains(v)));
+        cur = if inside_buf.is_empty() {
+            nb[rng.gen_range(0..nb.len())]
+        } else {
+            inside_buf[rng.gen_range(0..inside_buf.len())]
+        };
+        walk.push(cur);
+    }
+    walk
+}
+
+/// Checks that every consecutive pair of a walk is an edge of `g`
+/// (or a repeated isolated node). Used pervasively by tests.
+pub fn is_valid_walk(g: &Graph, walk: &[NodeId]) -> bool {
+    walk.windows(2).all(|w| {
+        let (u, v) = (w[0], w[1]);
+        g.has_edge(u, v) || (u == v && g.degree(u) == 0)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    fn barbell() -> Graph {
+        Graph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+        )
+    }
+
+    #[test]
+    fn walk_has_requested_length() {
+        let g = barbell();
+        let w = random_walk(&g, 0, 10, &mut rng());
+        assert_eq!(w.len(), 10);
+        assert_eq!(w[0], 0);
+    }
+
+    #[test]
+    fn walk_follows_edges() {
+        let g = barbell();
+        let mut r = rng();
+        for _ in 0..50 {
+            let w = random_walk(&g, 1, 12, &mut r);
+            assert!(is_valid_walk(&g, &w));
+        }
+    }
+
+    #[test]
+    fn isolated_start_stays_put() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        let w = random_walk(&g, 2, 5, &mut rng());
+        assert_eq!(w, vec![2, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn confined_walk_stays_inside_closed_set() {
+        let g = barbell();
+        let s = NodeSet::from_members(6, &[0, 1, 2]);
+        let mut r = rng();
+        for _ in 0..50 {
+            let w = random_walk_confined(&g, 0, 20, &s, &mut r);
+            // {0,1,2} is a triangle: every node always has an inside neighbor,
+            // so the walk can never leave.
+            assert!(w.iter().all(|&v| s.contains(v)), "walk left the set: {w:?}");
+            assert!(is_valid_walk(&g, &w));
+        }
+    }
+
+    #[test]
+    fn confined_walk_escapes_when_stuck() {
+        // Star: confine = {0, 1}; from 1 the only inside neighbor is 0; from 0
+        // inside neighbor is 1 → never stuck. Now confine = {1}: from 1 the
+        // only neighbors are outside → must fall back to hub 0.
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        let s = NodeSet::from_members(4, &[1]);
+        let w = random_walk_confined(&g, 1, 3, &s, &mut rng());
+        assert_eq!(w[1], 0, "must fall back to an unrestricted step");
+        assert!(is_valid_walk(&g, &w));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = barbell();
+        let w1 = random_walk(&g, 0, 15, &mut StdRng::seed_from_u64(7));
+        let w2 = random_walk(&g, 0, 15, &mut StdRng::seed_from_u64(7));
+        assert_eq!(w1, w2);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the walk machinery.
+
+use fairgen_graph::{Graph, NodeSet};
+use fairgen_walks::walker::is_valid_walk;
+use fairgen_walks::{
+    diffusion_core, lemma21_bound, random_walk, random_walk_confined, ContextSampler,
+    ContextSamplerConfig, Node2VecWalker, ScoreMatrix,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A connected-ish random graph: a ring plus random chords, so every node
+/// has degree ≥ 2.
+fn arb_ring_plus(max_n: usize, max_extra: usize) -> impl Strategy<Value = Graph> {
+    (4..=max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=max_extra).prop_map(
+            move |extra| {
+                let mut edges: Vec<(u32, u32)> =
+                    (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+                edges.extend(extra);
+                Graph::from_edges(n, &edges)
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn first_order_walks_valid(g in arb_ring_plus(24, 30), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = random_walk(&g, 0, 12, &mut rng);
+        prop_assert_eq!(w.len(), 12);
+        prop_assert!(is_valid_walk(&g, &w));
+    }
+
+    #[test]
+    fn node2vec_walks_valid(g in arb_ring_plus(24, 30), seed in any::<u64>(),
+                            p in 0.2f64..5.0, q in 0.2f64..5.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = Node2VecWalker::new(p, q).walk(&g, 1, 10, &mut rng);
+        prop_assert_eq!(w.len(), 10);
+        prop_assert!(is_valid_walk(&g, &w));
+    }
+
+    #[test]
+    fn confined_walks_never_leave_closed_ring(n in 6usize..20, seed in any::<u64>()) {
+        // The ring restricted to all nodes is trivially closed; restrict to a
+        // contiguous arc of length >= 3: interior nodes always have an inside
+        // neighbor except at the two boundary nodes, where the walk may leave.
+        // Use the full set minus nothing => never leaves.
+        let edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+        let g = Graph::from_edges(n, &edges);
+        let s = NodeSet::full(n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = random_walk_confined(&g, 0, 15, &s, &mut rng);
+        prop_assert!(w.iter().all(|&v| s.contains(v)));
+    }
+
+    #[test]
+    fn fs_sampler_walks_valid(g in arb_ring_plus(20, 20), seed in any::<u64>(), r in 0.0f64..=1.0) {
+        let cfg = ContextSamplerConfig { walk_len: 8, ratio_r: r, p: 1.0, q: 1.0 };
+        let support: Vec<u32> = (0..g.n() as u32 / 2).collect();
+        let sampler = ContextSampler::new(cfg, vec![fairgen_walks::context::ContextEntry {
+            seeds: vec![0],
+            support: NodeSet::from_members(g.n(), &support),
+            weight: 1.0,
+        }]);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for w in sampler.sample_corpus(&g, 5, &mut rng) {
+            prop_assert_eq!(w.len(), 8);
+            prop_assert!(is_valid_walk(&g, &w));
+        }
+    }
+
+    #[test]
+    fn diffusion_core_subset_and_bound(g in arb_ring_plus(16, 12),
+                                       delta in 0.1f64..2.0, t in 1usize..5) {
+        let half: Vec<u32> = (0..g.n() as u32 / 2).collect();
+        let s = NodeSet::from_members(g.n(), &half);
+        let core = diffusion_core(&g, &s, delta, t);
+        // Core ⊆ S.
+        for &x in core.members() {
+            prop_assert!(s.contains(x));
+        }
+        // Lemma 2.1: exact containment ≥ 1 − tδφ(S) for all core members.
+        let op = fairgen_graph::TransitionOp::new(&g);
+        let bound = lemma21_bound(&g, &s, delta, t);
+        for &x in core.members() {
+            let c = op.containment_probability(x, &s, t);
+            prop_assert!(c >= bound - 1e-9, "x={} containment={} bound={}", x, c, bound);
+        }
+    }
+
+    #[test]
+    fn assembly_invariants(g in arb_ring_plus(20, 25), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let walker = Node2VecWalker::default();
+        let walks = walker.walk_corpus(&g, 60, 8, &mut rng);
+        let mut b = ScoreMatrix::new(g.n());
+        b.add_walks(&walks);
+        let target = g.m();
+        let out = b.assemble(target, &mut rng);
+        prop_assert_eq!(out.n(), g.n());
+        prop_assert!(out.min_degree() >= 1, "degrees {:?}", out.degrees());
+        // Edge count: exact unless K_n is smaller than the target.
+        let max_m = g.n() * (g.n() - 1) / 2;
+        prop_assert!(out.m() >= target.min(max_m), "m={} target={}", out.m(), target);
+    }
+
+    #[test]
+    fn fair_assembly_quota(g in arb_ring_plus(16, 20), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let walks = Node2VecWalker::default().walk_corpus(&g, 80, 8, &mut rng);
+        let mut b = ScoreMatrix::new(g.n());
+        b.add_walks(&walks);
+        let members: Vec<u32> = (0..g.n() as u32 / 4).collect();
+        prop_assume!(!members.is_empty());
+        let s = NodeSet::from_members(g.n(), &members);
+        // Target: the protected-incident edge count of the original graph.
+        let quota = g.edge_list().iter()
+            .filter(|&&(u, v)| s.contains(u) || s.contains(v))
+            .count();
+        let out = b.assemble_fair(g.m(), &s, quota, &mut rng);
+        let incident = out.edge_list().iter()
+            .filter(|&&(u, v)| s.contains(u) || s.contains(v))
+            .count();
+        prop_assert!(incident >= quota.min(b.num_candidates()),
+            "incident={} quota={}", incident, quota);
+    }
+}

@@ -1,0 +1,85 @@
+//! Rare-category detection via data augmentation — the paper's Figure-6
+//! case study in a fraud-flavored setting: an institute has an interaction
+//! network with few confirmed labels; FairGen proposes 5% additional edges,
+//! the analyst re-embeds the augmented graph with node2vec and retrains a
+//! logistic-regression detector, and accuracy improves over no augmentation.
+//!
+//! Run with: `cargo run -p fairgen-suite --release --example fraud_detection`
+
+use fairgen_core::{FairGen, FairGenConfig, FairGenInput};
+use fairgen_data::Dataset;
+use fairgen_embed::eval::mean_std;
+use fairgen_embed::{accuracy, augment_graph, stratified_kfold, LogisticRegression, Node2Vec, Node2VecConfig};
+use fairgen_graph::Graph;
+use fairgen_nn::Mat;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn evaluate(g: &Graph, labels: &[usize], classes: usize, seed: u64) -> (f64, f64) {
+    let emb = Node2Vec::train(
+        g,
+        &Node2VecConfig { dim: 32, walks_per_node: 6, epochs: 2, ..Default::default() },
+        seed,
+    );
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xabc);
+    let mut accs = Vec::new();
+    for (train, test) in stratified_kfold(labels, 10, &mut rng) {
+        let xtr = Mat::from_fn(train.len(), emb.vectors.cols(), |r, c| emb.vectors.get(train[r], c));
+        let ytr: Vec<usize> = train.iter().map(|&i| labels[i]).collect();
+        let clf = LogisticRegression::fit(&xtr, &ytr, classes, 40, 0.05, seed);
+        let xte = Mat::from_fn(test.len(), emb.vectors.cols(), |r, c| emb.vectors.get(test[r], c));
+        let yte: Vec<usize> = test.iter().map(|&i| labels[i]).collect();
+        accs.push(accuracy(&clf.predict(&xte), &yte));
+    }
+    mean_std(&accs)
+}
+
+fn main() {
+    // The interaction network: ACM-shaped, 9 transaction categories, the
+    // "rare" category doubling as the protected group.
+    let lg = Dataset::Acm.generate(11);
+    let labels = lg.labels.clone().expect("ACM is labeled");
+    println!(
+        "interaction network: n={}, m={}, {} categories, rare segment |S+|={}",
+        lg.graph.n(),
+        lg.graph.m(),
+        lg.num_classes,
+        lg.protected.as_ref().map_or(0, |s| s.len())
+    );
+
+    // Baseline detector: node2vec + logistic regression on the raw graph.
+    println!("\nevaluating the baseline detector (10-fold)…");
+    let (base, base_std) = evaluate(&lg.graph, &labels, lg.num_classes, 5);
+    println!("no augmentation:      accuracy {base:.4} ± {base_std:.4}");
+
+    // FairGen proposes new plausible edges.
+    let mut rng = StdRng::seed_from_u64(3);
+    let labeled = lg.sample_few_shot_labels(4, &mut rng);
+    let mut cfg = FairGenConfig::default();
+    cfg.num_walks = 300;
+    cfg.cycles = 2;
+    cfg.gen_epochs = 2;
+    let input = FairGenInput {
+        graph: lg.graph.clone(),
+        labeled,
+        num_classes: lg.num_classes,
+        protected: lg.protected.clone(),
+    };
+    println!("\ntraining FairGen and proposing +5% edges…");
+    let mut trained = FairGen::new(cfg).train(&input, 21);
+    let generated = trained.generate(22);
+    let augmented = augment_graph(&lg.graph, &generated, 0.05, &mut rng);
+    println!(
+        "augmented graph: m={} (+{} proposed edges)",
+        augmented.m(),
+        augmented.m() - lg.graph.m()
+    );
+
+    let (aug, aug_std) = evaluate(&augmented, &labels, lg.num_classes, 5);
+    println!("with augmentation:    accuracy {aug:.4} ± {aug_std:.4}");
+    println!(
+        "\nimprovement: {:+.4} absolute ({:+.1}% relative)",
+        aug - base,
+        100.0 * (aug - base) / base
+    );
+}

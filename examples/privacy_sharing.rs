@@ -1,0 +1,80 @@
+//! Privacy-preserving graph sharing — the paper's motivating scenario:
+//! a financial institute wants to share its transaction network with a
+//! partner without releasing real user data. A FairGen model is trained on
+//! the private graph; only the synthetic graph leaves the house. The demo
+//! verifies that (1) the synthetic graph matches the real one on the nine
+//! aggregate statistics, (2) the minority user segment (protected group) is
+//! preserved rather than washed out, and (3) no real edge list is leaked —
+//! a measurable fraction of synthetic edges never existed.
+//!
+//! Run with: `cargo run -p fairgen-suite --release --example privacy_sharing`
+
+use fairgen_core::{FairGen, FairGenConfig, FairGenInput};
+use fairgen_data::Dataset;
+use fairgen_metrics::{overall_discrepancies, protected_discrepancies, Metric};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // The "private" transaction network: the BLOG-shaped benchmark (users,
+    // communities, and a minority segment S+).
+    let lg = Dataset::Blog.generate(2024);
+    let mut rng = StdRng::seed_from_u64(1);
+    let labeled = lg.sample_few_shot_labels(4, &mut rng);
+    let protected = lg.protected.clone().expect("BLOG has a protected group");
+    println!(
+        "private graph: n={}, m={}, minority segment |S+|={} ({:.1}% of users)",
+        lg.graph.n(),
+        lg.graph.m(),
+        protected.len(),
+        100.0 * lg.protected_ratio()
+    );
+
+    let mut cfg = FairGenConfig::default();
+    cfg.num_walks = 300;
+    cfg.cycles = 2;
+    cfg.gen_epochs = 2;
+    let input = FairGenInput {
+        graph: lg.graph.clone(),
+        labeled,
+        num_classes: lg.num_classes,
+        protected: Some(protected.clone()),
+    };
+    println!("training FairGen on the private graph…");
+    let mut trained = FairGen::new(cfg).train(&input, 99);
+    let shareable = trained.generate(100);
+
+    // (1) Aggregate fidelity.
+    let r = overall_discrepancies(&lg.graph, &shareable);
+    println!("\naggregate fidelity (overall discrepancy, smaller = closer):");
+    for (m, v) in Metric::ALL.iter().zip(r.iter()) {
+        println!("  {:<5} {:.4}", m.abbrev(), v);
+    }
+
+    // (2) Minority-segment preservation.
+    let rp = protected_discrepancies(&lg.graph, &shareable, &protected);
+    let mean_rp = rp.iter().sum::<f64>() / 9.0;
+    println!("\nminority-segment discrepancy R+ (mean over 9 metrics): {mean_rp:.4}");
+    let quota_in = lg
+        .graph
+        .edges()
+        .filter(|&(u, v)| protected.contains(u) || protected.contains(v))
+        .count();
+    let quota_out = shareable
+        .edges()
+        .filter(|&(u, v)| protected.contains(u) || protected.contains(v))
+        .count();
+    println!("minority-incident edges: private {quota_in} → shareable {quota_out}");
+
+    // (3) The shared artifact is synthetic, not a copy.
+    let copied = shareable
+        .edges()
+        .filter(|&(u, v)| lg.graph.has_edge(u, v))
+        .count();
+    println!(
+        "\nedge overlap with the private graph: {copied}/{} ({:.1}%) — the rest is synthetic",
+        shareable.m(),
+        100.0 * copied as f64 / shareable.m() as f64
+    );
+    println!("(sharing the synthetic graph reveals structure, not the raw edge list)");
+}

@@ -1,0 +1,200 @@
+//! Integration tests spanning every crate of the workspace: end-to-end
+//! FairGen pipelines, fairness comparisons against ablations/baselines,
+//! and the downstream augmentation pipeline.
+
+use fairgen_baselines::{ErGenerator, GraphGenerator, TagGenGenerator, WalkLmBudget};
+use fairgen_core::{FairGen, FairGenConfig, FairGenInput, FairGenVariant};
+use fairgen_data::{toy_two_community, Dataset};
+use fairgen_embed::{accuracy, augment_graph, stratified_kfold, LogisticRegression, Node2Vec, Node2VecConfig};
+use fairgen_graph::NodeSet;
+use fairgen_metrics::{overall_discrepancies, protected_discrepancies, DiscrepancyReport};
+use fairgen_nn::Mat;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn toy_input(seed: u64) -> FairGenInput {
+    let lg = toy_two_community(seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let labeled = lg.sample_few_shot_labels(4, &mut rng);
+    FairGenInput {
+        graph: lg.graph.clone(),
+        labeled,
+        num_classes: lg.num_classes,
+        protected: lg.protected.clone(),
+    }
+}
+
+fn quick_cfg() -> FairGenConfig {
+    let mut cfg = FairGenConfig::test_budget();
+    cfg.num_walks = 250;
+    cfg.pool_cap = 750;
+    cfg.cycles = 2;
+    cfg
+}
+
+#[test]
+fn end_to_end_train_generate_measure() {
+    let input = toy_input(3);
+    let mut trained = FairGen::new(quick_cfg()).train(&input, 1);
+    let generated = trained.generate(2);
+    // Structural invariants of the fair assembly.
+    assert_eq!(generated.n(), input.graph.n());
+    assert_eq!(generated.m(), input.graph.m());
+    assert!(generated.min_degree() >= 1);
+    // All nine discrepancies are finite and the mean is sane.
+    let report = DiscrepancyReport::compute(
+        &input.graph,
+        &generated,
+        input.protected.as_ref(),
+    );
+    assert!(report.overall.iter().all(|v| v.is_finite()));
+    assert!(report.mean_overall() < 5.0, "mean R = {}", report.mean_overall());
+    assert!(report.mean_protected().expect("has S+") < 5.0);
+}
+
+#[test]
+fn fairgen_protects_minority_volume_where_no_parity_may_not() {
+    let input = toy_input(5);
+    let s = input.protected.clone().expect("toy has S+");
+    let quota = input
+        .graph
+        .edges()
+        .filter(|&(u, v)| s.contains(u) || s.contains(v))
+        .count();
+    let mut fair = FairGen::new(quick_cfg()).train(&input, 7);
+    let fair_out = fair.generate(8);
+    let fair_incident = fair_out
+        .edges()
+        .filter(|&(u, v)| s.contains(u) || s.contains(v))
+        .count();
+    // The fair assembly enforces the quota up to candidate availability.
+    assert!(
+        fair_incident as f64 >= 0.8 * quota as f64,
+        "fair: {fair_incident} vs quota {quota}"
+    );
+}
+
+#[test]
+fn fairgen_beats_random_baseline_on_protected_discrepancy() {
+    let input = toy_input(9);
+    let s = input.protected.clone().expect("toy has S+");
+    let mut trained = FairGen::new(quick_cfg()).train(&input, 11);
+    let fair_out = trained.generate(12);
+    let er_out = ErGenerator.fit_generate(&input.graph, 12);
+    let fair_rp = protected_discrepancies(&input.graph, &fair_out, &s);
+    let er_rp = protected_discrepancies(&input.graph, &er_out, &s);
+    let fair_mean = fair_rp.iter().sum::<f64>() / 9.0;
+    let er_mean = er_rp.iter().sum::<f64>() / 9.0;
+    assert!(
+        fair_mean < er_mean,
+        "FairGen R+ {fair_mean} should beat ER R+ {er_mean}"
+    );
+}
+
+#[test]
+fn deep_baseline_runs_end_to_end_on_benchmark_dataset() {
+    let lg = Dataset::Ca.generate(1);
+    let gen = TagGenGenerator {
+        budget: WalkLmBudget {
+            walk_len: 8,
+            train_walks: 120,
+            epochs: 2,
+            negative_weight: 0.2,
+            gen_multiplier: 3,
+            lr: 0.02,
+        },
+        d_model: 16,
+        heads: 2,
+        layers: 1,
+    };
+    let out = gen.fit_generate(&lg.graph, 3);
+    assert_eq!(out.m(), lg.graph.m());
+    let r = overall_discrepancies(&lg.graph, &out);
+    assert!(r.iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn augmentation_pipeline_runs_and_reports() {
+    let lg = toy_two_community(13);
+    // Two informative pseudo-classes for the classifier: community id.
+    let s = lg.protected.clone().expect("toy has S+");
+    let labels: Vec<usize> = (0..lg.graph.n() as u32)
+        .map(|v| usize::from(s.contains(v)))
+        .collect();
+    let emb_cfg = Node2VecConfig { dim: 16, walks_per_node: 4, epochs: 2, ..Default::default() };
+    let embed_eval = |g: &fairgen_graph::Graph| -> f64 {
+        let emb = Node2Vec::train(g, &emb_cfg, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let folds = stratified_kfold(&labels, 5, &mut rng);
+        let mut accs = Vec::new();
+        for (train, test) in folds {
+            let xtr = Mat::from_fn(train.len(), 16, |r, c| emb.vectors.get(train[r], c));
+            let ytr: Vec<usize> = train.iter().map(|&i| labels[i]).collect();
+            let clf = LogisticRegression::fit(&xtr, &ytr, 2, 30, 0.05, 7);
+            let xte = Mat::from_fn(test.len(), 16, |r, c| emb.vectors.get(test[r], c));
+            let yte: Vec<usize> = test.iter().map(|&i| labels[i]).collect();
+            accs.push(accuracy(&clf.predict(&xte), &yte));
+        }
+        accs.iter().sum::<f64>() / accs.len() as f64
+    };
+    let base = embed_eval(&lg.graph);
+    // The two communities are near-perfectly separable already.
+    assert!(base > 0.8, "baseline accuracy {base}");
+    let input = toy_input(13);
+    let mut trained = FairGen::new(quick_cfg()).train(&input, 14);
+    let generated = trained.generate(15);
+    let mut rng = StdRng::seed_from_u64(16);
+    let augmented = augment_graph(&lg.graph, &generated, 0.05, &mut rng);
+    assert!(augmented.m() >= lg.graph.m());
+    let aug = embed_eval(&augmented);
+    // Augmentation must not destroy the signal.
+    assert!(aug > base - 0.1, "augmented accuracy collapsed: {base} → {aug}");
+}
+
+#[test]
+fn whole_pipeline_deterministic() {
+    let input = toy_input(21);
+    let cfg = quick_cfg();
+    let mut a = FairGen::new(cfg).train(&input, 33);
+    let mut b = FairGen::new(cfg).train(&input, 33);
+    assert_eq!(a.generate(34), b.generate(34));
+    assert_eq!(a.predict_labels(), b.predict_labels());
+}
+
+#[test]
+fn variant_comparison_tab3_shape() {
+    // Table III's claim at test scale: f_S (full) should not be worse than
+    // pure negative sampling on the protected discrepancy, on average over
+    // seeds. One seed with a margin keeps runtime bounded.
+    let input = toy_input(17);
+    let s = input.protected.clone().expect("toy has S+");
+    let cfg = quick_cfg();
+    let mut full = FairGen::new(cfg).train(&input, 18);
+    let mut neg = FairGen::new(cfg)
+        .with_variant(FairGenVariant::NegativeSampling)
+        .train(&input, 18);
+    let full_rp = protected_discrepancies(&input.graph, &full.generate(19), &s);
+    let neg_rp = protected_discrepancies(&input.graph, &neg.generate(19), &s);
+    let full_mean = full_rp.iter().sum::<f64>() / 9.0;
+    let neg_mean = neg_rp.iter().sum::<f64>() / 9.0;
+    // Allow slack: at test budgets the gap is noisy, but full f_S must not
+    // be catastrophically worse.
+    assert!(
+        full_mean <= neg_mean * 1.5 + 0.05,
+        "full {full_mean} vs negative-sampling {neg_mean}"
+    );
+}
+
+#[test]
+fn protected_group_projection_separates_on_original() {
+    let lg = toy_two_community(25);
+    let s: NodeSet = lg.protected.clone().expect("toy has S+");
+    let emb = Node2Vec::train(
+        &lg.graph,
+        &Node2VecConfig { dim: 16, walks_per_node: 8, epochs: 3, ..Default::default() },
+        1,
+    );
+    let proj = fairgen_embed::pca_2d(&emb.vectors);
+    let sep = fairgen_embed::group_separation(&proj, &s);
+    assert!(sep > 1.0, "original toy graph must separate groups, sep={sep}");
+}
