@@ -1,26 +1,50 @@
 //! The Barabási–Albert baseline.
 
+use fairgen_graph::error::Result;
 use fairgen_graph::Graph;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::traits::GraphGenerator;
+use crate::traits::{FittedGenerator, GraphGenerator, TaskSpec};
 
 /// Barabási–Albert: fits the attachment count `m_attach ≈ m/n` and grows a
 /// preferential-attachment graph on the same vertex count.
+///
+/// Fitting is a single division — the fit seed is unused — so each
+/// generation seed grows an independent preferential-attachment graph.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct BaGenerator;
+
+/// A fitted BA model: vertex count and attachment parameter.
+#[derive(Clone, Copy, Debug)]
+struct FittedBa {
+    n: usize,
+    m_attach: usize,
+}
 
 impl GraphGenerator for BaGenerator {
     fn name(&self) -> &'static str {
         "BA"
     }
 
-    fn fit_generate(&self, g: &Graph, seed: u64) -> Graph {
+    fn fit(&self, g: &Graph, task: &TaskSpec, _seed: u64) -> Result<Box<dyn FittedGenerator>> {
+        task.validate(g)?;
         let n = g.n();
-        let m_attach = ((g.m() as f64 / n.max(1) as f64).round() as usize).max(1).min(n.saturating_sub(1).max(1));
+        let m_attach = ((g.m() as f64 / n.max(1) as f64).round() as usize)
+            .max(1)
+            .min(n.saturating_sub(1).max(1));
+        Ok(Box::new(FittedBa { n, m_attach }))
+    }
+}
+
+impl FittedGenerator for FittedBa {
+    fn name(&self) -> &'static str {
+        "BA"
+    }
+
+    fn generate(&mut self, seed: u64) -> Result<Graph> {
         let mut rng = StdRng::seed_from_u64(seed);
-        fairgen_data::barabasi_albert(n, m_attach, &mut rng)
+        Ok(fairgen_data::barabasi_albert(self.n, self.m_attach, &mut rng))
     }
 }
 
@@ -31,11 +55,17 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
+    fn fit_generate(g: &Graph, seed: u64) -> Graph {
+        BaGenerator
+            .fit_generate(g, &TaskSpec::unlabeled(), seed)
+            .expect("BA never fails on valid input")
+    }
+
     #[test]
     fn node_count_preserved_edge_count_close() {
         let mut rng = StdRng::seed_from_u64(1);
         let g = erdos_renyi(120, 0.05, &mut rng);
-        let out = BaGenerator.fit_generate(&g, 2);
+        let out = fit_generate(&g, 2);
         assert_eq!(out.n(), 120);
         let ratio = out.m() as f64 / g.m() as f64;
         assert!((0.5..2.0).contains(&ratio), "edge ratio {ratio}");
@@ -45,7 +75,7 @@ mod tests {
     fn output_is_heavy_tailed() {
         let mut rng = StdRng::seed_from_u64(2);
         let g = erdos_renyi(200, 0.03, &mut rng);
-        let out = BaGenerator.fit_generate(&g, 3);
+        let out = fit_generate(&g, 3);
         let avg = 2.0 * out.m() as f64 / out.n() as f64;
         assert!(out.max_degree() as f64 > 3.0 * avg, "BA should produce hubs");
     }
@@ -53,14 +83,19 @@ mod tests {
     #[test]
     fn deterministic_in_seed() {
         let g = Graph::from_edges(30, &(0..29).map(|i| (i, i + 1)).collect::<Vec<_>>());
-        assert_eq!(BaGenerator.fit_generate(&g, 5), BaGenerator.fit_generate(&g, 5));
+        assert_eq!(fit_generate(&g, 5), fit_generate(&g, 5));
+        let mut fitted = BaGenerator.fit(&g, &TaskSpec::unlabeled(), 0).expect("fit");
+        assert_eq!(
+            fitted.generate(9).expect("generate"),
+            fitted.generate(9).expect("generate"),
+        );
     }
 
     #[test]
     fn sparse_input_gets_minimum_attachment() {
         // m/n < 0.5 still yields m_attach = 1, not 0.
         let g = Graph::from_edges(10, &[(0, 1), (2, 3)]);
-        let out = BaGenerator.fit_generate(&g, 6);
+        let out = fit_generate(&g, 6);
         assert!(out.m() >= 9);
     }
 }

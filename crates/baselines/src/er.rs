@@ -1,30 +1,53 @@
 //! The Erdős–Rényi baseline.
 
+use fairgen_graph::error::Result;
 use fairgen_graph::{Graph, GraphBuilder, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::traits::GraphGenerator;
+use crate::traits::{FittedGenerator, GraphGenerator, TaskSpec};
 
 /// Erdős–Rényi: fits `p = m / C(n,2)` and samples exactly `m` distinct
 /// uniform edges (the `G(n, m)` variant, so the edge count matches the
 /// input exactly, as the paper's assembly also guarantees).
+///
+/// Fitting is just counting — the fit seed is unused — so the interesting
+/// randomness lives entirely in the per-sample generation seed.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ErGenerator;
+
+/// A fitted ER model: the vertex count and edge budget of the input.
+#[derive(Clone, Copy, Debug)]
+struct FittedEr {
+    n: usize,
+    target: usize,
+}
 
 impl GraphGenerator for ErGenerator {
     fn name(&self) -> &'static str {
         "ER"
     }
 
-    fn fit_generate(&self, g: &Graph, seed: u64) -> Graph {
+    fn fit(&self, g: &Graph, task: &TaskSpec, _seed: u64) -> Result<Box<dyn FittedGenerator>> {
+        task.validate(g)?;
         let n = g.n();
         let target = g.m().min(n * n.saturating_sub(1) / 2);
+        Ok(Box::new(FittedEr { n, target }))
+    }
+}
+
+impl FittedGenerator for FittedEr {
+    fn name(&self) -> &'static str {
+        "ER"
+    }
+
+    fn generate(&mut self, seed: u64) -> Result<Graph> {
+        let n = self.n;
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut builder = GraphBuilder::with_capacity(n, target);
+        let mut builder = GraphBuilder::with_capacity(n, self.target);
         builder.ensure_nodes(n);
-        let mut chosen = std::collections::HashSet::with_capacity(target);
-        while chosen.len() < target {
+        let mut chosen = std::collections::HashSet::with_capacity(self.target);
+        while chosen.len() < self.target {
             let u = rng.gen_range(0..n as NodeId);
             let v = rng.gen_range(0..n as NodeId);
             if u == v {
@@ -35,7 +58,7 @@ impl GraphGenerator for ErGenerator {
                 builder.add_edge(k.0, k.1);
             }
         }
-        builder.build()
+        Ok(builder.build())
     }
 }
 
@@ -43,10 +66,16 @@ impl GraphGenerator for ErGenerator {
 mod tests {
     use super::*;
 
+    fn fit_generate(g: &Graph, seed: u64) -> Graph {
+        ErGenerator
+            .fit_generate(g, &TaskSpec::unlabeled(), seed)
+            .expect("ER never fails on valid input")
+    }
+
     #[test]
     fn preserves_node_and_edge_counts() {
         let g = Graph::from_edges(50, &(0..49).map(|i| (i, i + 1)).collect::<Vec<_>>());
-        let out = ErGenerator.fit_generate(&g, 7);
+        let out = fit_generate(&g, 7);
         assert_eq!(out.n(), 50);
         assert_eq!(out.m(), 49);
     }
@@ -54,8 +83,18 @@ mod tests {
     #[test]
     fn deterministic_in_seed() {
         let g = Graph::from_edges(20, &(0..19).map(|i| (i, i + 1)).collect::<Vec<_>>());
-        assert_eq!(ErGenerator.fit_generate(&g, 3), ErGenerator.fit_generate(&g, 3));
-        assert_ne!(ErGenerator.fit_generate(&g, 3), ErGenerator.fit_generate(&g, 4));
+        assert_eq!(fit_generate(&g, 3), fit_generate(&g, 3));
+        assert_ne!(fit_generate(&g, 3), fit_generate(&g, 4));
+    }
+
+    #[test]
+    fn one_fit_amortizes_many_samples() {
+        let g = Graph::from_edges(20, &(0..19).map(|i| (i, i + 1)).collect::<Vec<_>>());
+        let mut fitted = ErGenerator.fit(&g, &TaskSpec::unlabeled(), 0).expect("fit");
+        let batch = fitted.generate_batch(&[5, 6, 5]).expect("batch");
+        assert_eq!(batch[0], batch[2], "same seed must reproduce");
+        assert_ne!(batch[0], batch[1], "different seeds must differ");
+        assert_eq!(batch[0], fitted.generate(5).expect("generate"));
     }
 
     #[test]
@@ -68,14 +107,14 @@ mod tests {
             edges.extend([(b, b + 1), (b + 1, b + 2), (b, b + 2)]);
         }
         let g = Graph::from_edges(30, &edges);
-        let out = ErGenerator.fit_generate(&g, 11);
+        let out = fit_generate(&g, 11);
         assert!(out.triangle_count() < g.triangle_count());
     }
 
     #[test]
     fn handles_dense_target() {
         let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
-        let out = ErGenerator.fit_generate(&g, 1);
+        let out = fit_generate(&g, 1);
         assert_eq!(out.m(), 6); // complete graph
     }
 }

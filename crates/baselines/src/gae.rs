@@ -6,6 +6,7 @@
 //! against an equal number of sampled non-edges — the standard VGAE recipe
 //! minus the variational term.
 
+use fairgen_graph::error::Result;
 use fairgen_graph::{Graph, NodeId};
 use fairgen_nn::param::HasParams;
 use fairgen_nn::{Adam, Mat, Param};
@@ -13,7 +14,7 @@ use fairgen_walks::ScoreMatrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::traits::GraphGenerator;
+use crate::traits::{FittedGenerator, GraphGenerator, TaskSpec};
 
 /// GAE-lite hyperparameters.
 #[derive(Clone, Copy, Debug)]
@@ -45,9 +46,8 @@ impl HasParams for GaeModel {
 /// `Â X` for the symmetric-normalized adjacency-with-self-loops.
 fn propagate(g: &Graph, x: &Mat) -> Mat {
     let n = g.n();
-    let inv_sqrt: Vec<f64> = (0..n)
-        .map(|v| 1.0 / ((g.degree(v as NodeId) + 1) as f64).sqrt())
-        .collect();
+    let inv_sqrt: Vec<f64> =
+        (0..n).map(|v| 1.0 / ((g.degree(v as NodeId) + 1) as f64).sqrt()).collect();
     let mut out = Mat::zeros(n, x.cols());
     for u in 0..n {
         let du = inv_sqrt[u];
@@ -87,7 +87,8 @@ impl GaeGenerator {
             for &(u, v) in &edges {
                 pairs.push((u, v, 1.0));
                 // One random negative per positive.
-                let (mut x, mut y) = (rng.gen_range(0..n as NodeId), rng.gen_range(0..n as NodeId));
+                let (mut x, mut y) =
+                    (rng.gen_range(0..n as NodeId), rng.gen_range(0..n as NodeId));
                 let mut guard = 0;
                 while (x == y || g.has_edge(x, y)) && guard < 50 {
                     x = rng.gen_range(0..n as NodeId);
@@ -119,16 +120,24 @@ impl GaeGenerator {
     }
 }
 
+/// A fitted GAE model: the decoded edge scores of the trained embeddings
+/// plus the edge budget; each generation seed re-runs only the assembly.
+struct FittedGae {
+    scores: ScoreMatrix,
+    target_m: usize,
+}
+
 impl GraphGenerator for GaeGenerator {
     fn name(&self) -> &'static str {
         "GAE"
     }
 
-    fn fit_generate(&self, g: &Graph, seed: u64) -> Graph {
+    fn fit(&self, g: &Graph, task: &TaskSpec, seed: u64) -> Result<Box<dyn FittedGenerator>> {
+        task.validate(g)?;
         let mut rng = StdRng::seed_from_u64(seed);
         let z = self.train_embeddings(g, &mut rng);
-        // Decode: score every pair, keep the top-m via the assembly machinery
-        // (min-degree rescue included).
+        // Decode once: score every pair; the top-m selection (min-degree
+        // rescue included) happens per generation draw.
         let n = g.n();
         let mut scores = ScoreMatrix::new(n);
         for u in 0..n {
@@ -141,7 +150,18 @@ impl GraphGenerator for GaeGenerator {
                 }
             }
         }
-        scores.assemble(g.m(), &mut rng)
+        Ok(Box::new(FittedGae { scores, target_m: g.m() }))
+    }
+}
+
+impl FittedGenerator for FittedGae {
+    fn name(&self) -> &'static str {
+        "GAE"
+    }
+
+    fn generate(&mut self, seed: u64) -> Result<Graph> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Ok(self.scores.assemble(self.target_m, &mut rng))
     }
 }
 
@@ -164,21 +184,38 @@ mod tests {
         Graph::from_edges(8, &edges)
     }
 
+    fn fit_generate(gen: &GaeGenerator, g: &Graph, seed: u64) -> Graph {
+        gen.fit_generate(g, &TaskSpec::unlabeled(), seed).expect("valid input")
+    }
+
     #[test]
     fn output_counts_match() {
         let g = small();
         let gen = GaeGenerator { dim: 8, epochs: 30, lr: 0.1 };
-        let out = gen.fit_generate(&g, 1);
+        let out = fit_generate(&gen, &g, 1);
         assert_eq!(out.n(), 8);
         assert_eq!(out.m(), g.m());
         assert!(out.min_degree() >= 1);
     }
 
     #[test]
+    fn one_fit_amortizes_many_samples() {
+        let g = small();
+        let gen = GaeGenerator { dim: 8, epochs: 30, lr: 0.1 };
+        let mut fitted = gen.fit(&g, &TaskSpec::unlabeled(), 1).expect("fit");
+        let batch = fitted.generate_batch(&[3, 4, 3]).expect("batch");
+        assert_eq!(batch[0], batch[2], "same seed must reproduce");
+        for out in &batch {
+            assert_eq!(out.n(), g.n());
+            assert_eq!(out.m(), g.m());
+        }
+    }
+
+    #[test]
     fn reconstructs_community_structure() {
         let g = small();
         let gen = GaeGenerator { dim: 8, epochs: 80, lr: 0.1 };
-        let out = gen.fit_generate(&g, 2);
+        let out = fit_generate(&gen, &g, 2);
         // Count intra- vs inter-community edges in the reconstruction.
         let intra = out.edge_list().iter().filter(|&&(u, v)| (u < 4) == (v < 4)).count();
         let inter = out.m() - intra;
@@ -204,7 +241,7 @@ mod tests {
     fn runs_on_benchmark_scale() {
         let lg = Dataset::Ca.generate(1);
         let gen = GaeGenerator { dim: 12, epochs: 5, lr: 0.05 };
-        let out = gen.fit_generate(&lg.graph, 4);
+        let out = fit_generate(&gen, &lg.graph, 4);
         assert_eq!(out.n(), lg.graph.n());
         assert_eq!(out.m(), lg.graph.m());
     }
@@ -213,6 +250,6 @@ mod tests {
     fn deterministic_in_seed() {
         let g = small();
         let gen = GaeGenerator { dim: 6, epochs: 10, lr: 0.1 };
-        assert_eq!(gen.fit_generate(&g, 9), gen.fit_generate(&g, 9));
+        assert_eq!(fit_generate(&gen, &g, 9), fit_generate(&gen, &g, 9));
     }
 }

@@ -18,9 +18,12 @@
 //! frequent (unprotected) patterns well and have no mechanism that protects
 //! the minority group. See DESIGN.md §1.
 //!
-//! All generators implement [`GraphGenerator`]: fit on an input graph and
-//! emit a synthetic graph over the same vertex set with (approximately) the
-//! same edge count.
+//! All generators implement [`GraphGenerator`]: [`GraphGenerator::fit`]
+//! trains once on an input graph (under a [`TaskSpec`]) and the returned
+//! [`FittedGenerator`] emits synthetic graphs over the same vertex set with
+//! (approximately) the same edge count, one per generation seed. See
+//! [`traits`] for the lifecycle contract and the migration notes from the
+//! old one-shot `fit_generate` API.
 
 pub mod ba;
 pub mod er;
@@ -35,5 +38,5 @@ pub use er::ErGenerator;
 pub use gae::GaeGenerator;
 pub use netgan::NetGanGenerator;
 pub use taggen::TagGenGenerator;
-pub use traits::GraphGenerator;
+pub use traits::{FittedGenerator, GraphGenerator, TaskSpec};
 pub use walk_lm::WalkLmBudget;

@@ -1,13 +1,14 @@
 //! NetGAN-lite: an LSTM random-walk generator (Bojchevski et al., ICML'18).
 
+use fairgen_graph::error::Result;
 use fairgen_graph::Graph;
 use fairgen_nn::param::HasParams;
 use fairgen_nn::{clip_gradients, Adam, LstmLm};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::traits::GraphGenerator;
-use crate::walk_lm::{train_and_assemble, WalkLmBudget, WalkModel};
+use crate::traits::{FittedGenerator, GraphGenerator, TaskSpec};
+use crate::walk_lm::{train_walk_lm, FittedWalkLm, WalkLmBudget, WalkModel};
 
 /// NetGAN-lite configuration.
 #[derive(Clone, Copy, Debug)]
@@ -52,13 +53,22 @@ impl GraphGenerator for NetGanGenerator {
         "NetGAN"
     }
 
-    fn fit_generate(&self, g: &Graph, seed: u64) -> Graph {
+    fn fit(&self, g: &Graph, task: &TaskSpec, seed: u64) -> Result<Box<dyn FittedGenerator>> {
+        task.validate(g)?;
         let mut rng = StdRng::seed_from_u64(seed);
         let mut model = NetGanModel {
             lm: LstmLm::new(g.n().max(1), self.dim, self.hidden, &mut rng),
             opt: Adam::new(self.budget.lr),
         };
-        train_and_assemble(&mut model, g, &self.budget, &mut rng)
+        let trained = train_walk_lm(&mut model, g, &self.budget, &mut rng);
+        Ok(Box::new(FittedWalkLm {
+            model,
+            display_name: "NetGAN",
+            n: g.n(),
+            target_m: g.m(),
+            budget: self.budget,
+            trained,
+        }))
     }
 }
 
@@ -97,10 +107,22 @@ mod tests {
     #[test]
     fn output_counts_match() {
         let g = two_cliques();
-        let out = fast().fit_generate(&g, 1);
+        let out = fast().fit_generate(&g, &TaskSpec::unlabeled(), 1).expect("valid input");
         assert_eq!(out.n(), g.n());
         assert_eq!(out.m(), g.m());
         assert!(out.min_degree() >= 1);
+    }
+
+    #[test]
+    fn one_fit_amortizes_many_samples() {
+        let g = two_cliques();
+        let mut fitted = fast().fit(&g, &TaskSpec::unlabeled(), 1).expect("fit");
+        let batch = fitted.generate_batch(&[8, 9, 8]).expect("batch");
+        assert_eq!(batch[0], batch[2], "same seed must reproduce");
+        for out in &batch {
+            assert_eq!(out.n(), g.n());
+            assert_eq!(out.m(), g.m());
+        }
     }
 
     #[test]
@@ -114,7 +136,7 @@ mod tests {
             lm: LstmLm::new(g.n(), gen.dim, gen.hidden, &mut rng),
             opt: Adam::new(gen.budget.lr),
         };
-        let _ = train_and_assemble(&mut model, &g, &gen.budget, &mut rng);
+        assert!(train_walk_lm(&mut model, &g, &gen.budget, &mut rng));
         let samples: Vec<Vec<u32>> = (0..60)
             .map(|_| model.lm_sample(6, &mut rng).iter().map(|&t| t as u32).collect())
             .collect();
@@ -128,6 +150,10 @@ mod tests {
     fn deterministic_in_seed() {
         let g = two_cliques();
         let gen = fast();
-        assert_eq!(gen.fit_generate(&g, 7), gen.fit_generate(&g, 7));
+        let task = TaskSpec::unlabeled();
+        assert_eq!(
+            gen.fit_generate(&g, &task, 7).expect("valid input"),
+            gen.fit_generate(&g, &task, 7).expect("valid input"),
+        );
     }
 }

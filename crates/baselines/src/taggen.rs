@@ -5,14 +5,15 @@
 //! lite version keeps exactly that difference and shares the rest of the
 //! pipeline with NetGAN-lite.
 
+use fairgen_graph::error::Result;
 use fairgen_graph::Graph;
 use fairgen_nn::param::HasParams;
 use fairgen_nn::{clip_gradients, Adam, TransformerConfig, TransformerLm};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::traits::GraphGenerator;
-use crate::walk_lm::{train_and_assemble, WalkLmBudget, WalkModel};
+use crate::traits::{FittedGenerator, GraphGenerator, TaskSpec};
+use crate::walk_lm::{train_walk_lm, FittedWalkLm, WalkLmBudget, WalkModel};
 
 /// TagGen-lite configuration.
 #[derive(Clone, Copy, Debug)]
@@ -59,7 +60,8 @@ impl GraphGenerator for TagGenGenerator {
         "TagGen"
     }
 
-    fn fit_generate(&self, g: &Graph, seed: u64) -> Graph {
+    fn fit(&self, g: &Graph, task: &TaskSpec, seed: u64) -> Result<Box<dyn FittedGenerator>> {
+        task.validate(g)?;
         let mut rng = StdRng::seed_from_u64(seed);
         let cfg = TransformerConfig {
             vocab: g.n().max(1),
@@ -72,7 +74,15 @@ impl GraphGenerator for TagGenGenerator {
             lm: TransformerLm::new(cfg, &mut rng),
             opt: Adam::new(self.budget.lr),
         };
-        train_and_assemble(&mut model, g, &self.budget, &mut rng)
+        let trained = train_walk_lm(&mut model, g, &self.budget, &mut rng);
+        Ok(Box::new(FittedWalkLm {
+            model,
+            display_name: "TagGen",
+            n: g.n(),
+            target_m: g.m(),
+            budget: self.budget,
+            trained,
+        }))
     }
 }
 
@@ -107,10 +117,22 @@ mod tests {
     #[test]
     fn output_counts_match() {
         let g = ring_with_chords();
-        let out = fast().fit_generate(&g, 1);
+        let out = fast().fit_generate(&g, &TaskSpec::unlabeled(), 1).expect("valid input");
         assert_eq!(out.n(), g.n());
         assert_eq!(out.m(), g.m());
         assert!(out.min_degree() >= 1);
+    }
+
+    #[test]
+    fn one_fit_amortizes_many_samples() {
+        let g = ring_with_chords();
+        let mut fitted = fast().fit(&g, &TaskSpec::unlabeled(), 1).expect("fit");
+        let batch = fitted.generate_batch(&[4, 5, 4]).expect("batch");
+        assert_eq!(batch[0], batch[2], "same seed must reproduce");
+        for out in &batch {
+            assert_eq!(out.n(), g.n());
+            assert_eq!(out.m(), g.m());
+        }
     }
 
     #[test]
@@ -129,7 +151,7 @@ mod tests {
             lm: TransformerLm::new(cfg, &mut rng),
             opt: Adam::new(gen.budget.lr),
         };
-        let _ = train_and_assemble(&mut model, &g, &gen.budget, &mut rng);
+        assert!(train_walk_lm(&mut model, &g, &gen.budget, &mut rng));
         let samples: Vec<Vec<u32>> = (0..60)
             .map(|_| model.lm_sample(6, &mut rng).iter().map(|&t| t as u32).collect())
             .collect();
@@ -142,6 +164,10 @@ mod tests {
     fn deterministic_in_seed() {
         let g = ring_with_chords();
         let gen = fast();
-        assert_eq!(gen.fit_generate(&g, 2), gen.fit_generate(&g, 2));
+        let task = TaskSpec::unlabeled();
+        assert_eq!(
+            gen.fit_generate(&g, &task, 2).expect("valid input"),
+            gen.fit_generate(&g, &task, 2).expect("valid input"),
+        );
     }
 }

@@ -1,19 +1,150 @@
-//! The common generator interface.
+//! The common generator interface: a fallible two-phase lifecycle.
+//!
+//! A [`GraphGenerator`] is fitted **once** on an observed graph (plus the
+//! task metadata in [`TaskSpec`]) and the resulting [`FittedGenerator`] is
+//! sampled **many times** — the shape of the paper's augmentation and
+//! sensitivity experiments (Figs. 6–7), which draw several synthetic graphs
+//! from a single trained model. Every phase returns the workspace-wide
+//! [`Result`], so invalid inputs surface as typed
+//! [`FairGenError`](fairgen_graph::FairGenError)s instead of panics.
+//!
+//! # Migration from the one-shot API
+//!
+//! Before this redesign the trait was a single infallible method and task
+//! metadata was bolted onto `FairGenGenerator` alone:
+//!
+//! ```text
+//! // old                                      // new
+//! trait GraphGenerator {                      trait GraphGenerator {
+//!     fn name(&self) -> &'static str;             fn name(&self) -> &'static str;
+//!     fn fit_generate(&self,                      fn fit(&self, g: &Graph,
+//!         g: &Graph, seed: u64) -> Graph;             task: &TaskSpec, seed: u64)
+//! }                                                   -> Result<Box<dyn FittedGenerator>>;
+//!                                                 // convenience, default impl:
+//! FairGenGenerator::new(cfg, labeled,             fn fit_generate(&self, g, task, seed)
+//!     num_classes, protected)                         -> Result<Graph>;
+//!                                             }
+//! ```
+//!
+//! Concretely:
+//!
+//! * `gen.fit_generate(&g, seed)` becomes
+//!   `gen.fit_generate(&g, &TaskSpec::unlabeled(), seed)?` — or, to draw
+//!   many samples from one training run,
+//!   `let mut fitted = gen.fit(&g, &task, seed)?;` followed by
+//!   `fitted.generate(s)?` / `fitted.generate_batch(&seeds)?`.
+//! * Labels and the protected group move from `FairGenGenerator`'s fields
+//!   into [`TaskSpec`], which **every** generator now receives uniformly
+//!   (the baselines ignore it beyond validation).
+//! * `fit_generate(g, task, seed)` is exactly equivalent to
+//!   `fit(g, task, seed)?.generate(seed.wrapping_add(1))` — old call sites
+//!   keep their output distribution, one seed apart.
 
-use fairgen_graph::Graph;
+use fairgen_graph::error::{FairGenError, Result};
+use fairgen_graph::{Graph, NodeId, NodeSet};
 
-/// A graph generative model: fits on an observed graph and produces a
-/// synthetic graph over the same vertex set with approximately the same
-/// number of edges.
+/// Task metadata of the paper's Problem 1, carried uniformly by every
+/// generator: few-shot class labels `L` and the protected group `S⁺`.
 ///
-/// `seed` makes the whole fit-and-generate pipeline deterministic, which the
-/// experiment harnesses rely on.
+/// Structural baselines (ER, BA, GAE, NetGAN, TagGen) validate the spec and
+/// otherwise ignore it; FairGen trains on it.
+#[derive(Clone, Debug, Default)]
+pub struct TaskSpec {
+    /// Few-shot labeled examples `L` as `(node, class)` pairs.
+    pub labeled: Vec<(NodeId, usize)>,
+    /// Number of classes `C` (0 for unlabeled tasks).
+    pub num_classes: usize,
+    /// The protected group `S⁺`.
+    pub protected: Option<NodeSet>,
+}
+
+impl TaskSpec {
+    /// A purely structural task: no labels, no protected group.
+    pub fn unlabeled() -> Self {
+        TaskSpec::default()
+    }
+
+    /// A labeled task with an optional protected group.
+    pub fn new(
+        labeled: Vec<(NodeId, usize)>,
+        num_classes: usize,
+        protected: Option<NodeSet>,
+    ) -> Self {
+        TaskSpec { labeled, num_classes, protected }
+    }
+
+    /// Whether label information is available.
+    pub fn has_labels(&self) -> bool {
+        self.num_classes > 0 && !self.labeled.is_empty()
+    }
+
+    /// Checks the spec against the graph it will be used with: every
+    /// labeled node must exist, every label must be `< num_classes`, and a
+    /// protected group must cover exactly the graph's vertex set.
+    pub fn validate(&self, g: &Graph) -> Result<()> {
+        let n = g.n();
+        for &(node, label) in &self.labeled {
+            if node as usize >= n {
+                return Err(FairGenError::NodeOutOfRange { node, nodes: n });
+            }
+            if label >= self.num_classes {
+                return Err(FairGenError::LabelOutOfRange {
+                    node,
+                    label,
+                    num_classes: self.num_classes,
+                });
+            }
+        }
+        if let Some(s) = &self.protected {
+            if s.universe() != n {
+                return Err(FairGenError::GroupUniverseMismatch {
+                    group_universe: s.universe(),
+                    nodes: n,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A graph generative model: fits on an observed graph once, then produces
+/// synthetic graphs over the same vertex set with approximately the same
+/// number of edges through the returned [`FittedGenerator`].
+///
+/// `seed` makes fitting deterministic; each generation draw is separately
+/// seeded, so one fit amortizes across arbitrarily many reproducible
+/// samples — the contract the experiment harnesses rely on.
 pub trait GraphGenerator {
     /// Display name used in experiment tables.
     fn name(&self) -> &'static str;
 
-    /// Fits the model to `g` and generates one synthetic graph.
-    fn fit_generate(&self, g: &Graph, seed: u64) -> Graph;
+    /// Fits the model to `g` under `task`, deterministically in `seed`.
+    fn fit(&self, g: &Graph, task: &TaskSpec, seed: u64) -> Result<Box<dyn FittedGenerator>>;
+
+    /// One-shot convenience: fit, then draw a single graph. Equivalent to
+    /// `self.fit(g, task, seed)?.generate(seed.wrapping_add(1))`.
+    fn fit_generate(&self, g: &Graph, task: &TaskSpec, seed: u64) -> Result<Graph> {
+        self.fit(g, task, seed)?.generate(seed.wrapping_add(1))
+    }
+}
+
+/// A trained generative model, ready to sample synthetic graphs.
+///
+/// Implementations must be **deterministic per seed**: two `generate`
+/// calls with the same seed on the same fitted model return the same
+/// graph, regardless of any calls in between.
+pub trait FittedGenerator {
+    /// Display name used in experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Draws one synthetic graph, deterministically in `seed`.
+    fn generate(&mut self, seed: u64) -> Result<Graph>;
+
+    /// Draws one synthetic graph per seed. Equivalent to mapping
+    /// [`FittedGenerator::generate`] over `seeds`.
+    fn generate_batch(&mut self, seeds: &[u64]) -> Result<Vec<Graph>> {
+        seeds.iter().map(|&s| self.generate(s)).collect()
+    }
 }
 
 #[cfg(test)]
@@ -21,22 +152,75 @@ mod tests {
     use super::*;
 
     struct Identity;
+    struct FittedIdentity(Graph);
 
     impl GraphGenerator for Identity {
         fn name(&self) -> &'static str {
             "Identity"
         }
-        fn fit_generate(&self, g: &Graph, _seed: u64) -> Graph {
-            g.clone()
+        fn fit(
+            &self,
+            g: &Graph,
+            task: &TaskSpec,
+            _seed: u64,
+        ) -> Result<Box<dyn FittedGenerator>> {
+            task.validate(g)?;
+            Ok(Box::new(FittedIdentity(g.clone())))
+        }
+    }
+
+    impl FittedGenerator for FittedIdentity {
+        fn name(&self) -> &'static str {
+            "Identity"
+        }
+        fn generate(&mut self, _seed: u64) -> Result<Graph> {
+            Ok(self.0.clone())
         }
     }
 
     #[test]
-    fn trait_object_usable() {
+    fn trait_object_usable_through_both_phases() {
         let gens: Vec<Box<dyn GraphGenerator>> = vec![Box::new(Identity)];
         let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
-        let out = gens[0].fit_generate(&g, 0);
-        assert_eq!(out, g);
+        let task = TaskSpec::unlabeled();
+        let mut fitted = gens[0].fit(&g, &task, 0).expect("fit");
+        assert_eq!(fitted.generate(0).expect("generate"), g);
+        let batch = fitted.generate_batch(&[1, 2, 3]).expect("batch");
+        assert_eq!(batch.len(), 3);
+        assert!(batch.iter().all(|out| *out == g));
+        assert_eq!(gens[0].fit_generate(&g, &task, 0).expect("one-shot"), g);
         assert_eq!(gens[0].name(), "Identity");
+        assert_eq!(fitted.name(), "Identity");
+    }
+
+    #[test]
+    fn task_spec_validation_catches_bad_inputs() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        // Node out of range.
+        let t = TaskSpec::new(vec![(9, 0)], 2, None);
+        assert!(matches!(
+            t.validate(&g),
+            Err(FairGenError::NodeOutOfRange { node: 9, nodes: 4 })
+        ));
+        // Label out of range.
+        let t = TaskSpec::new(vec![(1, 5)], 2, None);
+        assert!(matches!(
+            t.validate(&g),
+            Err(FairGenError::LabelOutOfRange { label: 5, num_classes: 2, .. })
+        ));
+        // Group universe mismatch.
+        let t = TaskSpec {
+            protected: Some(NodeSet::from_members(7, &[0, 1])),
+            ..TaskSpec::unlabeled()
+        };
+        assert!(matches!(
+            t.validate(&g),
+            Err(FairGenError::GroupUniverseMismatch { group_universe: 7, nodes: 4 })
+        ));
+        // Valid spec.
+        let t = TaskSpec::new(vec![(0, 0), (3, 1)], 2, Some(NodeSet::from_members(4, &[3])));
+        assert!(t.validate(&g).is_ok());
+        assert!(t.has_labels());
+        assert!(!TaskSpec::unlabeled().has_labels());
     }
 }

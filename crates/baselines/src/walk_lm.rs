@@ -1,11 +1,19 @@
 //! Shared training recipe for walk-based language-model generators
 //! (NetGAN-lite and TagGen-lite): contrastive likelihood on real node2vec
 //! walks versus negative walks, then score-matrix assembly.
+//!
+//! The recipe is split along the two-phase generator lifecycle:
+//! [`train_walk_lm`] fits the language model once, and [`FittedWalkLm`]
+//! re-samples walks + assembles a fresh synthetic graph per generation
+//! seed, so one training run amortizes across many draws.
 
+use fairgen_graph::error::Result;
 use fairgen_graph::Graph;
 use fairgen_walks::{negative, Node2VecWalker, ScoreMatrix, Walk};
 use rand::rngs::StdRng;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
+
+use crate::traits::FittedGenerator;
 
 /// Training/generation budget for walk-LM baselines.
 ///
@@ -56,25 +64,23 @@ pub trait WalkModel {
     fn lm_sample(&mut self, len: usize, rng: &mut StdRng) -> Vec<usize>;
 }
 
-/// Trains `model` contrastively and assembles a synthetic graph.
-pub fn train_and_assemble<M: WalkModel>(
+/// Trains `model` contrastively on node2vec walks from `g`.
+///
+/// Returns `false` (leaving the model untouched) when the graph has no
+/// edges — there is nothing to learn and nothing to assemble.
+pub fn train_walk_lm<M: WalkModel>(
     model: &mut M,
     g: &Graph,
     budget: &WalkLmBudget,
     rng: &mut StdRng,
-) -> Graph {
+) -> bool {
     let walker = Node2VecWalker::default();
     let positives = walker.walk_corpus(g, budget.train_walks, budget.walk_len, rng);
     if positives.is_empty() {
-        // Graph has no edges; nothing to learn.
-        return Graph::empty(g.n());
+        return false;
     }
-    let negatives = negative::random_sequences(
-        g.n(),
-        budget.train_walks / 2,
-        budget.walk_len,
-        rng,
-    );
+    let negatives =
+        negative::random_sequences(g.n(), budget.train_walks / 2, budget.walk_len, rng);
     let to_ids = |w: &Walk| -> Vec<usize> { w.iter().map(|&v| v as usize).collect() };
     let batch = 8usize;
     for _ in 0..budget.epochs {
@@ -94,21 +100,90 @@ pub fn train_and_assemble<M: WalkModel>(
             model.lm_opt_step();
         }
     }
-    // Generate and assemble.
-    let mut scores = ScoreMatrix::new(g.n());
-    let total = budget.train_walks * budget.gen_multiplier;
+    true
+}
+
+/// Samples `total` walks from `model` and assembles a graph with `target_m`
+/// edges over `n` vertices.
+pub fn sample_and_assemble<M: WalkModel>(
+    model: &mut M,
+    n: usize,
+    target_m: usize,
+    walk_len: usize,
+    total: usize,
+    rng: &mut StdRng,
+) -> Graph {
+    let mut scores = ScoreMatrix::new(n);
     for _ in 0..total {
-        let seq = model.lm_sample(budget.walk_len, rng);
+        let seq = model.lm_sample(walk_len, rng);
         let walk: Walk = seq.iter().map(|&t| t as u32).collect();
         scores.add_walk(&walk);
     }
-    scores.assemble(g.m(), rng)
+    scores.assemble(target_m, rng)
+}
+
+/// A fitted walk-LM generator: the trained model plus the sampling budget.
+/// Each generation seed re-samples walks and re-assembles independently.
+///
+/// Fields are crate-private so the `trained`/budget invariants stay
+/// unrepresentable from outside; NetGAN-lite and TagGen-lite construct
+/// this from their `fit` implementations.
+pub struct FittedWalkLm<M: WalkModel> {
+    /// The trained (or untouched, when `trained` is false) language model.
+    pub(crate) model: M,
+    /// Display name of the owning baseline.
+    pub(crate) display_name: &'static str,
+    /// Vertex count of the fitted graph.
+    pub(crate) n: usize,
+    /// Edge budget of the fitted graph.
+    pub(crate) target_m: usize,
+    /// Sampling budget (walk length / walk count).
+    pub(crate) budget: WalkLmBudget,
+    /// Whether training ran (false for edgeless inputs).
+    pub(crate) trained: bool,
+}
+
+impl<M: WalkModel> FittedGenerator for FittedWalkLm<M> {
+    fn name(&self) -> &'static str {
+        self.display_name
+    }
+
+    fn generate(&mut self, seed: u64) -> Result<Graph> {
+        if !self.trained {
+            // Edgeless input: nothing was learned, emit the empty graph.
+            return Ok(Graph::empty(self.n));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let total = self.budget.train_walks * self.budget.gen_multiplier;
+        Ok(sample_and_assemble(
+            &mut self.model,
+            self.n,
+            self.target_m,
+            self.budget.walk_len,
+            total,
+            &mut rng,
+        ))
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+
+    /// One-shot test helper: train, then sample + assemble with the same
+    /// rng stream (the pre-redesign `fit_generate` shape).
+    fn train_and_assemble<M: WalkModel>(
+        model: &mut M,
+        g: &Graph,
+        budget: &WalkLmBudget,
+        rng: &mut StdRng,
+    ) -> Graph {
+        if !train_walk_lm(model, g, budget, rng) {
+            return Graph::empty(g.n());
+        }
+        let total = budget.train_walks * budget.gen_multiplier;
+        sample_and_assemble(model, g.n(), g.m(), budget.walk_len, total, rng)
+    }
 
     /// A fake model that memorizes positives and replays them at sampling
     /// time — exercises the harness without training cost.
@@ -163,7 +238,44 @@ mod tests {
         let g = Graph::empty(5);
         let mut model = Replay { seen: vec![vec![0]], cursor: 0 };
         let mut rng = StdRng::seed_from_u64(2);
+        assert!(!train_walk_lm(&mut model, &g, &WalkLmBudget::default(), &mut rng));
         let out = train_and_assemble(&mut model, &g, &WalkLmBudget::default(), &mut rng);
         assert_eq!(out.m(), 0);
+        // The fitted wrapper reports the empty graph for every seed.
+        let mut fitted = FittedWalkLm {
+            model,
+            display_name: "Replay",
+            n: 5,
+            target_m: 0,
+            budget: WalkLmBudget::default(),
+            trained: false,
+        };
+        assert_eq!(fitted.generate(3).expect("generate").m(), 0);
+    }
+
+    #[test]
+    fn fitted_walk_lm_is_deterministic_per_seed() {
+        let n = 20;
+        let edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+        let g = Graph::from_edges(n, &edges);
+        let mut model = Replay { seen: Vec::new(), cursor: 0 };
+        let budget = WalkLmBudget { train_walks: 40, epochs: 1, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(train_walk_lm(&mut model, &g, &budget, &mut rng));
+        let mut fitted = FittedWalkLm {
+            model,
+            display_name: "Replay",
+            n,
+            target_m: g.m(),
+            budget,
+            trained: true,
+        };
+        // NOTE: Replay's sampling cursor advances across calls, so exact
+        // per-seed reproducibility here only holds for models whose sampling
+        // is driven purely by the seed rng — which the real LM baselines
+        // are. For Replay we only check the structural invariants.
+        let a = fitted.generate(1).expect("generate");
+        assert_eq!(a.n(), n);
+        assert_eq!(a.m(), g.m());
     }
 }

@@ -6,8 +6,8 @@
 //! can afford.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fairgen_baselines::{BaGenerator, ErGenerator, GraphGenerator};
-use fairgen_core::{FairGen, FairGenConfig, FairGenInput};
+use fairgen_baselines::{BaGenerator, ErGenerator, GraphGenerator, TaskSpec};
+use fairgen_core::{FairGen, FairGenConfig};
 use fairgen_data::er_by_density;
 use fairgen_nn::param::HasParams;
 use fairgen_nn::{Adam, TransformerConfig, TransformerLm};
@@ -39,10 +39,15 @@ fn bench_step_vs_nodes(c: &mut Criterion) {
 /// (ER ≈ BA ≪ FairGen) at Criterion scale.
 fn bench_fit_generate(c: &mut Criterion) {
     let g = er_by_density(300, 0.02, 3);
+    let task = TaskSpec::unlabeled();
     let mut group = c.benchmark_group("tab4_fit_generate_micro");
     group.sample_size(10);
-    group.bench_function("ER", |b| b.iter(|| ErGenerator.fit_generate(&g, 1)));
-    group.bench_function("BA", |b| b.iter(|| BaGenerator.fit_generate(&g, 1)));
+    group.bench_function("ER", |b| {
+        b.iter(|| ErGenerator.fit_generate(&g, &task, 1).expect("valid"))
+    });
+    group.bench_function("BA", |b| {
+        b.iter(|| BaGenerator.fit_generate(&g, &task, 1).expect("valid"))
+    });
     let cfg = FairGenConfig {
         num_walks: 50,
         cycles: 1,
@@ -56,9 +61,18 @@ fn bench_fit_generate(c: &mut Criterion) {
     };
     group.bench_function("FairGen_micro", |b| {
         b.iter(|| {
-            let input = FairGenInput::unlabeled(g.clone());
-            let mut t = FairGen::new(cfg).train(&input, 1);
-            t.generate(2)
+            let mut t = FairGen::new(cfg).train(&g, &task, 1).expect("valid");
+            t.generate(2).expect("generate")
+        })
+    });
+    // The fit-once/generate-many split the two-phase API exists for: one
+    // trained model amortizing across draws.
+    let mut trained = FairGen::new(cfg).train(&g, &task, 1).expect("valid");
+    group.bench_function("FairGen_generate_only", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            trained.generate(seed).expect("generate")
         })
     });
     group.finish();

@@ -55,9 +55,7 @@ fn bench_diffusion(c: &mut Criterion) {
     let lg = Dataset::Blog.generate(1);
     let g = lg.graph;
     let s = lg.protected.unwrap();
-    c.bench_function("diffusion_core_BLOG", |b| {
-        b.iter(|| diffusion_core(&g, &s, 0.9, 3))
-    });
+    c.bench_function("diffusion_core_BLOG", |b| b.iter(|| diffusion_core(&g, &s, 0.9, 3)));
     let op = TransitionOp::new(&g);
     let full = NodeSet::full(g.n());
     c.bench_function("transition_matvec_BLOG", |b| {

@@ -13,9 +13,13 @@
 //!    and scored; FairGen should preserve the highest separation, close to
 //!    the original graph's own score.
 
-use fairgen_baselines::{GaeGenerator, GraphGenerator, NetGanGenerator, TagGenGenerator, WalkLmBudget};
-use fairgen_bench::{bench_fairgen_config, bench_gae, bench_walklm_budget, budget_scale, header};
-use fairgen_core::{measure_disparity, FairGen, FairGenGenerator, FairGenInput, FairGenVariant};
+use fairgen_baselines::{
+    GaeGenerator, GraphGenerator, NetGanGenerator, TagGenGenerator, TaskSpec, WalkLmBudget,
+};
+use fairgen_bench::{
+    bench_fairgen_config, bench_gae, bench_walklm_budget, budget_scale, header,
+};
+use fairgen_core::{measure_disparity, FairGen, FairGenGenerator, FairGenVariant};
 use fairgen_data::toy_two_community;
 use fairgen_embed::{group_separation, pca_2d, Node2Vec, Node2VecConfig};
 use fairgen_graph::{Graph, NodeSet};
@@ -45,33 +49,27 @@ fn main() {
             budget: WalkLmBudget { epochs, ..bench_walklm_budget(scale) },
             ..Default::default()
         };
-        let out = gen.fit_generate(&lg.graph, 1234);
+        let out = gen
+            .fit_generate(&lg.graph, &TaskSpec::unlabeled(), 1234)
+            .expect("benchmark inputs are valid");
         let sep = separation(&out, &s, 7);
-        println!(
-            "{:>10} ({iters:>5}) {sep:>12.3} {:>21.1}%",
-            epochs,
-            100.0 * sep / original
-        );
+        println!("{:>10} ({iters:>5}) {sep:>12.3} {:>21.1}%", epochs, 100.0 * sep / original);
     }
     println!();
 
     println!("(Fig. 9) final generated graph of each deep method:");
     println!("{:>18} {:>12} {:>22}", "method", "separation", "vs original");
     let mut rng = StdRng::seed_from_u64(42);
-    let labeled = lg.sample_few_shot_labels(4, &mut rng);
+    let labeled = lg.sample_few_shot_labels(4, &mut rng).expect("toy is labeled");
+    let task = TaskSpec::new(labeled, lg.num_classes, lg.protected.clone());
     let methods: Vec<Box<dyn GraphGenerator>> = vec![
         Box::new(NetGanGenerator { budget: bench_walklm_budget(scale), ..Default::default() }),
         Box::new(GaeGenerator { ..bench_gae(scale) }),
         Box::new(TagGenGenerator { budget: bench_walklm_budget(scale), ..Default::default() }),
-        Box::new(FairGenGenerator::new(
-            bench_fairgen_config(scale),
-            labeled,
-            lg.num_classes,
-            lg.protected.clone(),
-        )),
+        Box::new(FairGenGenerator::new(bench_fairgen_config(scale))),
     ];
     for m in methods {
-        let out = m.fit_generate(&lg.graph, 1234);
+        let out = m.fit_generate(&lg.graph, &task, 1234).expect("benchmark inputs are valid");
         let sep = separation(&out, &s, 7);
         println!("{:>18} {sep:>12.3} {:>21.1}%", m.name(), 100.0 * sep / original);
     }
@@ -83,21 +81,13 @@ fn main() {
     // label-informed sampling should close the gap relative to its
     // structural-only ablation.
     println!("(Eqs. 1-2) walk reconstruction losses of the trained generator:");
-    println!(
-        "{:>18} {:>10} {:>10} {:>10} {:>8}",
-        "variant", "R(theta)", "R_S+", "R_S-", "gap"
-    );
-    let input = FairGenInput {
-        graph: lg.graph.clone(),
-        labeled: lg.sample_few_shot_labels(4, &mut StdRng::seed_from_u64(42)),
-        num_classes: lg.num_classes,
-        protected: lg.protected.clone(),
-    };
+    println!("{:>18} {:>10} {:>10} {:>10} {:>8}", "variant", "R(theta)", "R_S+", "R_S-", "gap");
     for variant in [FairGenVariant::Full, FairGenVariant::NegativeSampling] {
         let mut trained = FairGen::new(bench_fairgen_config(scale))
             .with_variant(variant)
-            .train(&input, 77);
-        let report = measure_disparity(&mut trained, &input.graph, &s, 60, 8, 5);
+            .train(&lg.graph, &task, 77)
+            .expect("benchmark inputs are valid");
+        let report = measure_disparity(&mut trained, &lg.graph, &s, 60, 8, 5);
         println!(
             "{:>18} {:>10.3} {:>10.3} {:>10.3} {:>8.3}",
             variant.name(),

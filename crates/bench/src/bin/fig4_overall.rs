@@ -5,7 +5,7 @@
 //! prints one table per dataset with methods as rows and metrics as columns.
 //! Smaller is better everywhere.
 
-use fairgen_bench::{budget_scale, fmt4, header, method_roster, print_row};
+use fairgen_bench::{bench_task, budget_scale, fmt4, header, method_roster, print_row};
 use fairgen_data::Dataset;
 use fairgen_metrics::{overall_discrepancies, Metric};
 
@@ -14,17 +14,15 @@ fn main() {
     let scale = budget_scale();
     for ds in Dataset::ALL {
         let lg = ds.generate(42);
-        println!(
-            "--- {} (n={}, m={}) ---",
-            lg.name,
-            lg.graph.n(),
-            lg.graph.m()
-        );
+        println!("--- {} (n={}, m={}) ---", lg.name, lg.graph.n(), lg.graph.m());
+        let task = bench_task(&lg, 42);
         let metric_names: Vec<String> =
             Metric::ALL.iter().map(|m| m.abbrev().to_string()).collect();
         print_row("method", &metric_names);
-        for method in method_roster(&lg, scale, 42) {
-            let generated = method.fit_generate(&lg.graph, 1234);
+        for method in method_roster(scale) {
+            let generated = method
+                .fit_generate(&lg.graph, &task, 1234)
+                .expect("benchmark inputs are valid");
             let r = overall_discrepancies(&lg.graph, &generated);
             let cells: Vec<String> = r.iter().map(|&v| fmt4(v)).collect();
             print_row(method.name(), &cells);

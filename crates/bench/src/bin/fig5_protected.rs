@@ -4,7 +4,7 @@
 //! The paper's headline fairness result: FairGen should dominate (smallest
 //! discrepancy) on the protected subgraphs.
 
-use fairgen_bench::{budget_scale, fmt4, header, method_roster, print_row};
+use fairgen_bench::{bench_task, budget_scale, fmt4, header, method_roster, print_row};
 use fairgen_data::Dataset;
 use fairgen_metrics::{protected_discrepancies, Metric};
 
@@ -21,13 +21,16 @@ fn main() {
             lg.graph.m(),
             protected.len()
         );
+        let task = bench_task(&lg, 42);
         let metric_names: Vec<String> =
             Metric::ALL.iter().map(|m| m.abbrev().to_string()).collect();
         print_row("method", &metric_names);
         let mut fairgen_mean = f64::NAN;
         let mut best_other = f64::INFINITY;
-        for method in method_roster(&lg, scale, 42) {
-            let generated = method.fit_generate(&lg.graph, 1234);
+        for method in method_roster(scale) {
+            let generated = method
+                .fit_generate(&lg.graph, &task, 1234)
+                .expect("benchmark inputs are valid");
             let r = protected_discrepancies(&lg.graph, &generated, &protected);
             let mean = r.iter().sum::<f64>() / 9.0;
             if method.name() == "FairGen" {
@@ -42,7 +45,11 @@ fn main() {
             "summary: FairGen mean R+ = {:.4}; best competitor mean R+ = {:.4} → {}",
             fairgen_mean,
             best_other,
-            if fairgen_mean <= best_other { "FairGen wins (paper shape holds)" } else { "competitor wins" }
+            if fairgen_mean <= best_other {
+                "FairGen wins (paper shape holds)"
+            } else {
+                "competitor wins"
+            }
         );
         println!();
     }

@@ -10,32 +10,28 @@
 //! what EXPERIMENTS.md compares.
 
 use fairgen_bench::header;
-use fairgen_core::{FairGen, FairGenConfig, FairGenInput};
+use fairgen_core::{FairGen, FairGenConfig, TaskSpec};
 use fairgen_data::toy_multiclass;
+use fairgen_graph::Graph;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn input() -> FairGenInput {
+fn input() -> (Graph, TaskSpec) {
     let lg = toy_multiclass(42);
     let mut rng = StdRng::seed_from_u64(7);
-    let labeled = lg.sample_few_shot_labels(4, &mut rng);
-    FairGenInput {
-        graph: lg.graph.clone(),
-        labeled,
-        num_classes: lg.num_classes,
-        protected: lg.protected.clone(),
-    }
+    let labeled = lg.sample_few_shot_labels(4, &mut rng).expect("toy is labeled");
+    (lg.graph.clone(), TaskSpec::new(labeled, lg.num_classes, lg.protected.clone()))
 }
 
-fn run(cfg: FairGenConfig, input: &FairGenInput) -> (f64, f64, f64) {
-    let trained = FairGen::new(cfg).train(input, 11);
+fn run(cfg: FairGenConfig, g: &Graph, task: &TaskSpec) -> (f64, f64, f64) {
+    let trained = FairGen::new(cfg).train(g, task, 11).expect("benchmark inputs are valid");
     let obj = trained.final_objective().expect("has cycles");
     (obj.total(), obj.j_g, obj.discriminator_part())
 }
 
 fn main() {
     header("Figure 7", "sensitivity of J, J_G, J_disc to T, r, and lambda");
-    let input = input();
+    let (g, task) = input();
     let base = FairGenConfig {
         num_walks: 200,
         cycles: 2,
@@ -54,7 +50,7 @@ fn main() {
             let mut cfg = base;
             cfg.walk_len = walk_len;
             cfg.ratio_r = r;
-            let (j, j_g, j_d) = run(cfg, &input);
+            let (j, j_g, j_d) = run(cfg, &g, &task);
             println!("{walk_len:>4} {r:>5.2} {j:>10.4} {j_g:>10.4} {j_d:>10.4}");
         }
     }
@@ -66,7 +62,7 @@ fn main() {
         let mut cfg = base;
         cfg.lambda_init = neg_lambda;
         cfg.lambda_growth = 1.0;
-        let (j, _, _) = run(cfg, &input);
+        let (j, _, _) = run(cfg, &g, &task);
         println!("{neg_lambda:>8.2} {j:>10.4}");
     }
 }

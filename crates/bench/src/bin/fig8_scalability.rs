@@ -7,13 +7,12 @@
 //! CPU run short; the *shape* (≈linear) is the reproduced quantity.
 
 use fairgen_bench::header;
-use fairgen_core::{FairGen, FairGenConfig, FairGenInput};
+use fairgen_core::{FairGen, FairGenConfig, TaskSpec};
 use fairgen_data::er_by_density;
 use std::time::Instant;
 
 fn time_fairgen(n: usize, density: f64) -> f64 {
     let g = er_by_density(n, density, 7);
-    let input = FairGenInput::unlabeled(g);
     let cfg = FairGenConfig {
         num_walks: 200,
         cycles: 1,
@@ -25,8 +24,10 @@ fn time_fairgen(n: usize, density: f64) -> f64 {
         ..Default::default()
     };
     let start = Instant::now();
-    let mut trained = FairGen::new(cfg).train(&input, 3);
-    let _ = trained.generate(4);
+    let mut trained = FairGen::new(cfg)
+        .train(&g, &TaskSpec::unlabeled(), 3)
+        .expect("benchmark inputs are valid");
+    let _ = trained.generate(4).expect("generate");
     start.elapsed().as_secs_f64()
 }
 
@@ -38,7 +39,9 @@ fn main() {
     for n in [500usize, 1000, 1500, 2000, 2500, 3000] {
         let secs = time_fairgen(n, 0.005);
         let growth = prev
-            .map(|(pn, ps)| format!("  (x{:.2} for x{:.2} nodes)", secs / ps, n as f64 / pn as f64))
+            .map(|(pn, ps)| {
+                format!("  (x{:.2} for x{:.2} nodes)", secs / ps, n as f64 / pn as f64)
+            })
             .unwrap_or_default();
         println!("{n:>7} {secs:>12.3}{growth}");
         prev = Some((n, secs));

@@ -2,12 +2,11 @@
 //! versus plain node2vec negative sampling, measured by the protected-group
 //! discrepancy `R⁺` on BLOG / ACM / FLICKR. Smaller is better.
 
-use fairgen_bench::{bench_fairgen_config, budget_scale, fmt4, header, print_row};
+use fairgen_baselines::GraphGenerator;
+use fairgen_bench::{bench_fairgen_config, bench_task, budget_scale, fmt4, header, print_row};
 use fairgen_core::{FairGenGenerator, FairGenVariant};
 use fairgen_data::Dataset;
 use fairgen_metrics::{protected_discrepancies, Metric};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     header("Table III", "f_S vs negative sampling, R+(G, G~, S+, f_m)");
@@ -19,19 +18,13 @@ fn main() {
     for ds in [Dataset::Blog, Dataset::Acm, Dataset::Flickr] {
         let lg = ds.generate(42);
         let protected = lg.protected.clone().expect("labeled dataset has S+");
-        let mut rng = StdRng::seed_from_u64(42);
-        let labeled = lg.sample_few_shot_labels(4, &mut rng);
+        let task = bench_task(&lg, 42);
         let cfg = bench_fairgen_config(scale);
         for variant in [FairGenVariant::NegativeSampling, FairGenVariant::Full] {
-            let method = FairGenGenerator::new(
-                cfg,
-                labeled.clone(),
-                lg.num_classes,
-                lg.protected.clone(),
-            )
-            .with_variant(variant);
-            let generated =
-                fairgen_baselines::GraphGenerator::fit_generate(&method, &lg.graph, 1234);
+            let method = FairGenGenerator::new(cfg).with_variant(variant);
+            let generated = method
+                .fit_generate(&lg.graph, &task, 1234)
+                .expect("benchmark inputs are valid");
             let r = protected_discrepancies(&lg.graph, &generated, &protected);
             let cells: Vec<String> = r.iter().map(|&v| fmt4(v)).collect();
             let label = format!(

@@ -6,11 +6,12 @@
 use fairgen_baselines::{
     BaGenerator, ErGenerator, GraphGenerator, NetGanGenerator, TagGenGenerator,
 };
-use fairgen_bench::{bench_fairgen_config, bench_gae, bench_walklm_budget, budget_scale, header, print_row};
+use fairgen_bench::{
+    bench_fairgen_config, bench_gae, bench_task, bench_walklm_budget, budget_scale, header,
+    print_row,
+};
 use fairgen_core::FairGenGenerator;
 use fairgen_data::Dataset;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::time::Instant;
 
 fn main() {
@@ -22,28 +23,24 @@ fn main() {
     let mut rows: Vec<Vec<String>> = vec![Vec::new(); names.len()];
     for ds in Dataset::ALL {
         let lg = ds.generate(42);
-        let labeled = if lg.labels.is_some() {
-            let mut rng = StdRng::seed_from_u64(42);
-            lg.sample_few_shot_labels(4, &mut rng)
-        } else {
-            Vec::new()
-        };
+        let task = bench_task(&lg, 42);
         let methods: Vec<Box<dyn GraphGenerator>> = vec![
             Box::new(ErGenerator),
             Box::new(BaGenerator),
             Box::new(bench_gae(scale)),
-            Box::new(NetGanGenerator { budget: bench_walklm_budget(scale), ..Default::default() }),
-            Box::new(TagGenGenerator { budget: bench_walklm_budget(scale), ..Default::default() }),
-            Box::new(FairGenGenerator::new(
-                bench_fairgen_config(scale),
-                labeled,
-                lg.num_classes,
-                lg.protected.clone(),
-            )),
+            Box::new(NetGanGenerator {
+                budget: bench_walklm_budget(scale),
+                ..Default::default()
+            }),
+            Box::new(TagGenGenerator {
+                budget: bench_walklm_budget(scale),
+                ..Default::default()
+            }),
+            Box::new(FairGenGenerator::new(bench_fairgen_config(scale))),
         ];
         for (i, m) in methods.iter().enumerate() {
             let start = Instant::now();
-            let _ = m.fit_generate(&lg.graph, 1234);
+            let _ = m.fit_generate(&lg.graph, &task, 1234).expect("benchmark inputs are valid");
             rows[i].push(format!("{:.3}", start.elapsed().as_secs_f64()));
         }
     }

@@ -20,8 +20,8 @@
 //! paper-vs-measured comparison for every artifact.
 
 use fairgen_baselines::{
-    BaGenerator, ErGenerator, GaeGenerator, GraphGenerator, NetGanGenerator,
-    TagGenGenerator, WalkLmBudget,
+    BaGenerator, ErGenerator, GaeGenerator, GraphGenerator, NetGanGenerator, TagGenGenerator,
+    TaskSpec, WalkLmBudget,
 };
 use fairgen_core::{FairGenConfig, FairGenGenerator, FairGenVariant};
 use fairgen_data::LabeledGraph;
@@ -71,26 +71,27 @@ pub fn bench_gae(scale: f64) -> GaeGenerator {
     GaeGenerator { dim: 24, epochs: scaled(40, scale), lr: 0.05 }
 }
 
-/// The full method roster of Figures 4–6: two random models, three deep
-/// baselines, FairGen and its three ablations (the paper's leftmost bars).
-pub fn method_roster(lg: &LabeledGraph, scale: f64, seed: u64) -> Vec<Box<dyn GraphGenerator>> {
+/// The [`TaskSpec`] the experiment binaries hand to every generator:
+/// few-shot labels sampled deterministically in `seed` (when the dataset is
+/// labeled) plus the protected group.
+pub fn bench_task(lg: &LabeledGraph, seed: u64) -> TaskSpec {
     let labeled = if lg.labels.is_some() {
         let mut rng = StdRng::seed_from_u64(seed);
-        lg.sample_few_shot_labels(4, &mut rng)
+        lg.sample_few_shot_labels(4, &mut rng).expect("dataset is labeled")
     } else {
         Vec::new()
     };
+    TaskSpec::new(labeled, lg.num_classes, lg.protected.clone())
+}
+
+/// The full method roster of Figures 4–6: two random models, three deep
+/// baselines, FairGen and its three ablations (the paper's leftmost bars).
+/// Task metadata travels separately — build it once with [`bench_task`] and
+/// pass it to every `fit` / `fit_generate` call.
+pub fn method_roster(scale: f64) -> Vec<Box<dyn GraphGenerator>> {
     let cfg = bench_fairgen_config(scale);
     let fairgen = |variant: FairGenVariant| -> Box<dyn GraphGenerator> {
-        Box::new(
-            FairGenGenerator::new(
-                cfg,
-                labeled.clone(),
-                lg.num_classes,
-                lg.protected.clone(),
-            )
-            .with_variant(variant),
-        )
+        Box::new(FairGenGenerator::new(cfg).with_variant(variant))
     };
     vec![
         fairgen(FairGenVariant::Full),
@@ -137,15 +138,21 @@ mod tests {
     use fairgen_data::Dataset;
 
     #[test]
-    fn roster_has_nine_methods_on_labeled_data() {
-        let lg = Dataset::Blog.generate(1);
-        let roster = method_roster(&lg, 0.1, 1);
+    fn roster_has_nine_methods_and_task_matches_dataset() {
+        let roster = method_roster(0.1);
         assert_eq!(roster.len(), 9);
         let names: Vec<&str> = roster.iter().map(|m| m.name()).collect();
         assert!(names.contains(&"FairGen"));
         assert!(names.contains(&"FairGen-R"));
         assert!(names.contains(&"ER"));
         assert!(names.contains(&"TagGen"));
+        let lg = Dataset::Blog.generate(1);
+        let task = bench_task(&lg, 1);
+        assert!(task.has_labels());
+        assert!(task.protected.is_some());
+        assert!(task.validate(&lg.graph).is_ok());
+        let unlabeled = Dataset::Ca.generate(1);
+        assert!(!bench_task(&unlabeled, 1).has_labels());
     }
 
     #[test]

@@ -1,51 +1,37 @@
 //! [`GraphGenerator`] adapter so FairGen (and its ablations) drop into the
 //! same experiment harnesses as the baselines.
+//!
+//! With the two-phase API the adapter is a thin configuration wrapper:
+//! task metadata (labels + protected group) arrives uniformly through the
+//! [`TaskSpec`] parameter of [`GraphGenerator::fit`] instead of being
+//! stored on the adapter, and [`TrainedFairGen`] itself is the
+//! [`FittedGenerator`].
 
-use fairgen_baselines::GraphGenerator;
-use fairgen_graph::{Graph, NodeId, NodeSet};
+use fairgen_baselines::{FittedGenerator, GraphGenerator, TaskSpec};
+use fairgen_graph::Graph;
 
 use crate::config::{FairGenConfig, FairGenVariant};
-use crate::model::{FairGen, FairGenInput};
+use crate::error::Result;
+use crate::model::{FairGen, TrainedFairGen};
 
-/// Wraps FairGen with fixed task metadata (labels + protected group) so it
-/// can be fitted on a graph through the uniform [`GraphGenerator`] trait.
-#[derive(Clone, Debug)]
+/// Wraps a [`FairGen`] trainer behind the uniform [`GraphGenerator`]
+/// interface.
+#[derive(Clone, Copy, Debug)]
 pub struct FairGenGenerator {
     /// The trainer.
     pub fairgen: FairGen,
-    /// Few-shot labels to train with.
-    pub labeled: Vec<(NodeId, usize)>,
-    /// Number of classes.
-    pub num_classes: usize,
-    /// Protected group.
-    pub protected: Option<NodeSet>,
 }
 
 impl FairGenGenerator {
     /// A full-model adapter.
-    pub fn new(
-        cfg: FairGenConfig,
-        labeled: Vec<(NodeId, usize)>,
-        num_classes: usize,
-        protected: Option<NodeSet>,
-    ) -> Self {
-        FairGenGenerator { fairgen: FairGen::new(cfg), labeled, num_classes, protected }
+    pub fn new(cfg: FairGenConfig) -> Self {
+        FairGenGenerator { fairgen: FairGen::new(cfg) }
     }
 
     /// Selects an ablation variant.
     pub fn with_variant(mut self, variant: FairGenVariant) -> Self {
         self.fairgen = self.fairgen.with_variant(variant);
         self
-    }
-
-    /// An adapter with no task metadata (structural generation only).
-    pub fn unlabeled(cfg: FairGenConfig) -> Self {
-        FairGenGenerator {
-            fairgen: FairGen::new(cfg),
-            labeled: Vec::new(),
-            num_classes: 0,
-            protected: None,
-        }
     }
 }
 
@@ -54,15 +40,18 @@ impl GraphGenerator for FairGenGenerator {
         self.fairgen.variant().name()
     }
 
-    fn fit_generate(&self, g: &Graph, seed: u64) -> Graph {
-        let input = FairGenInput {
-            graph: g.clone(),
-            labeled: self.labeled.clone(),
-            num_classes: self.num_classes,
-            protected: self.protected.clone(),
-        };
-        let mut trained = self.fairgen.train(&input, seed);
-        trained.generate(seed.wrapping_add(1))
+    fn fit(&self, g: &Graph, task: &TaskSpec, seed: u64) -> Result<Box<dyn FittedGenerator>> {
+        Ok(Box::new(self.fairgen.train(g, task, seed)?))
+    }
+}
+
+impl FittedGenerator for TrainedFairGen {
+    fn name(&self) -> &'static str {
+        self.variant().name()
+    }
+
+    fn generate(&mut self, seed: u64) -> Result<Graph> {
+        TrainedFairGen::generate(self, seed)
     }
 }
 
@@ -77,22 +66,39 @@ mod tests {
     fn adapter_matches_trait_contract() {
         let lg = toy_two_community(1);
         let mut rng = StdRng::seed_from_u64(0);
-        let labeled = lg.sample_few_shot_labels(3, &mut rng);
-        let gen = FairGenGenerator::new(
-            FairGenConfig::test_budget(),
-            labeled,
-            lg.num_classes,
-            lg.protected.clone(),
-        );
+        let labeled = lg.sample_few_shot_labels(3, &mut rng).expect("toy is labeled");
+        let task = TaskSpec::new(labeled, lg.num_classes, lg.protected.clone());
+        let gen = FairGenGenerator::new(FairGenConfig::test_budget());
         assert_eq!(gen.name(), "FairGen");
-        let out = gen.fit_generate(&lg.graph, 3);
+        let mut fitted = gen.fit(&lg.graph, &task, 3).expect("fit");
+        let out = fitted.generate(4).expect("generate");
         assert_eq!(out.n(), lg.graph.n());
         assert_eq!(out.m(), lg.graph.m());
+        // One fit, many reproducible draws.
+        let batch = fitted.generate_batch(&[4, 9, 4]).expect("batch");
+        assert_eq!(batch[0], out);
+        assert_eq!(batch[0], batch[2]);
+        // The one-shot convenience matches fit + generate(seed + 1).
+        let one_shot = gen.fit_generate(&lg.graph, &task, 3).expect("one-shot");
+        let mut refit = gen.fit(&lg.graph, &task, 3).expect("fit");
+        assert_eq!(one_shot, refit.generate(4).expect("generate"));
+    }
+
+    #[test]
+    fn invalid_task_surfaces_through_the_trait() {
+        use crate::error::FairGenError;
+        let lg = toy_two_community(1);
+        let task = TaskSpec::new(vec![(0, 99)], lg.num_classes, lg.protected.clone());
+        let gen = FairGenGenerator::new(FairGenConfig::test_budget());
+        assert!(matches!(
+            gen.fit(&lg.graph, &task, 0),
+            Err(FairGenError::LabelOutOfRange { label: 99, .. })
+        ));
     }
 
     #[test]
     fn variant_names_propagate() {
-        let gen = FairGenGenerator::unlabeled(FairGenConfig::test_budget())
+        let gen = FairGenGenerator::new(FairGenConfig::test_budget())
             .with_variant(FairGenVariant::RandomSampling);
         assert_eq!(gen.name(), "FairGen-R");
     }

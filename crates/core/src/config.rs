@@ -1,5 +1,7 @@
 //! FairGen hyperparameters (paper Section III-B) and ablation variants.
 
+use crate::error::{FairGenError, Result};
+
 /// Ablation variants studied in the paper's evaluation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum FairGenVariant {
@@ -137,18 +139,50 @@ impl FairGenConfig {
         }
     }
 
-    /// Validates internal consistency.
+    /// Validates internal consistency, returning
+    /// [`FairGenError::InvalidConfig`] naming the offending field.
     ///
-    /// # Panics
-    ///
-    /// Panics on degenerate settings.
-    pub fn validate(&self) {
-        assert!(self.walk_len >= 2, "walks need at least two nodes");
-        assert!(self.num_walks > 0 && self.cycles > 0);
-        assert!((0.0..=1.0).contains(&self.ratio_r), "r must be in [0,1]");
-        assert!(self.lambda_init > 0.0 && self.lambda_growth >= 1.0);
-        assert!(self.d_model % self.heads == 0, "d_model must divide by heads");
-        assert!(self.alpha >= 0.0 && self.beta >= 0.0 && self.gamma >= 0.0);
+    /// [`FairGen::train`](crate::FairGen::train) runs this automatically;
+    /// call it eagerly to fail fast when assembling configurations from
+    /// untrusted input.
+    pub fn validate(&self) -> Result<()> {
+        fn bad(field: &'static str, message: impl Into<String>) -> Result<()> {
+            Err(FairGenError::InvalidConfig { field, message: message.into() })
+        }
+        if self.walk_len < 2 {
+            return bad("walk_len", "walks need at least two nodes");
+        }
+        if self.num_walks == 0 {
+            return bad("num_walks", "must be positive");
+        }
+        if self.cycles == 0 {
+            return bad("cycles", "must be positive");
+        }
+        if !(0.0..=1.0).contains(&self.ratio_r) {
+            return bad("ratio_r", format!("r must be in [0,1], got {}", self.ratio_r));
+        }
+        if self.lambda_init.is_nan() || self.lambda_init <= 0.0 {
+            return bad("lambda_init", format!("must be positive, got {}", self.lambda_init));
+        }
+        if self.lambda_growth.is_nan() || self.lambda_growth < 1.0 {
+            return bad(
+                "lambda_growth",
+                format!("must be at least 1, got {}", self.lambda_growth),
+            );
+        }
+        if self.heads == 0 || !self.d_model.is_multiple_of(self.heads) {
+            return bad(
+                "d_model",
+                format!("d_model {} must divide by heads {}", self.d_model, self.heads),
+            );
+        }
+        for (field, v) in [("alpha", self.alpha), ("beta", self.beta), ("gamma", self.gamma)] {
+            // NaN weights are as degenerate as negative ones.
+            if v.is_nan() || v < 0.0 {
+                return bad(field, format!("must be non-negative, got {v}"));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -167,12 +201,12 @@ mod tests {
         assert_eq!(c.alpha, 1.0);
         assert_eq!(c.beta, 1.0);
         assert_eq!(c.gamma, 1.0);
-        c.validate();
+        c.validate().expect("defaults are valid");
     }
 
     #[test]
     fn test_budget_is_valid() {
-        FairGenConfig::test_budget().validate();
+        FairGenConfig::test_budget().validate().expect("test budget is valid");
     }
 
     #[test]
@@ -184,10 +218,25 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "r must be in [0,1]")]
-    fn invalid_r_rejected() {
-        let mut c = FairGenConfig::default();
-        c.ratio_r = 2.0;
-        c.validate();
+    fn invalid_fields_name_themselves() {
+        let check = |mutate: &dyn Fn(&mut FairGenConfig), field: &str| {
+            let mut c = FairGenConfig::default();
+            mutate(&mut c);
+            match c.validate() {
+                Err(FairGenError::InvalidConfig { field: got, .. }) => {
+                    assert_eq!(got, field);
+                }
+                other => panic!("expected InvalidConfig for {field}, got {other:?}"),
+            }
+        };
+        check(&|c| c.ratio_r = 2.0, "ratio_r");
+        check(&|c| c.walk_len = 1, "walk_len");
+        check(&|c| c.num_walks = 0, "num_walks");
+        check(&|c| c.cycles = 0, "cycles");
+        check(&|c| c.lambda_init = 0.0, "lambda_init");
+        check(&|c| c.lambda_growth = 0.5, "lambda_growth");
+        check(&|c| c.heads = 3, "d_model");
+        check(&|c| c.gamma = -1.0, "gamma");
+        check(&|c| c.alpha = f64::NAN, "alpha");
     }
 }

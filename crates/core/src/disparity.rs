@@ -45,13 +45,7 @@ impl DisparityReport {
 /// Samples a walk corpus from the subgraph induced by `set`, translated
 /// back to parent-graph node ids (so a generator over the parent vocabulary
 /// can score it). Walks whose support has no edges are skipped.
-pub fn group_walks(
-    g: &Graph,
-    set: &NodeSet,
-    count: usize,
-    len: usize,
-    seed: u64,
-) -> Vec<Walk> {
+pub fn group_walks(g: &Graph, set: &NodeSet, count: usize, len: usize, seed: u64) -> Vec<Walk> {
     let (sub, map) = induced_subgraph(g, set.members());
     if sub.m() == 0 {
         return Vec::new();
@@ -79,8 +73,7 @@ pub fn measure_disparity(
     let walker = Node2VecWalker::default();
     let overall_walks = walker.walk_corpus(g, count, len, &mut rng);
     let protected_walks = group_walks(g, protected, count, len, seed ^ 0xaaaa);
-    let unprotected_walks =
-        group_walks(g, &protected.complement(), count, len, seed ^ 0x5555);
+    let unprotected_walks = group_walks(g, &protected.complement(), count, len, seed ^ 0x5555);
     DisparityReport {
         overall: model.walk_nll(&overall_walks),
         protected: model.walk_nll(&protected_walks),
@@ -92,21 +85,19 @@ pub fn measure_disparity(
 mod tests {
     use super::*;
     use crate::config::FairGenConfig;
-    use crate::model::{FairGen, FairGenInput};
+    use crate::model::FairGen;
+    use fairgen_baselines::TaskSpec;
     use fairgen_data::toy_two_community;
 
-    fn trained() -> (TrainedFairGen, FairGenInput) {
+    fn trained() -> (TrainedFairGen, Graph, TaskSpec) {
         let lg = toy_two_community(31);
         let mut rng = StdRng::seed_from_u64(1);
-        let labeled = lg.sample_few_shot_labels(4, &mut rng);
-        let input = FairGenInput {
-            graph: lg.graph.clone(),
-            labeled,
-            num_classes: lg.num_classes,
-            protected: lg.protected.clone(),
-        };
-        let model = FairGen::new(FairGenConfig::test_budget()).train(&input, 2);
-        (model, input)
+        let labeled = lg.sample_few_shot_labels(4, &mut rng).expect("toy is labeled");
+        let task = TaskSpec::new(labeled, lg.num_classes, lg.protected.clone());
+        let model = FairGen::new(FairGenConfig::test_budget())
+            .train(&lg.graph, &task, 2)
+            .expect("valid input");
+        (model, lg.graph, task)
     }
 
     #[test]
@@ -129,9 +120,9 @@ mod tests {
 
     #[test]
     fn disparity_report_is_finite_and_consistent() {
-        let (mut model, input) = trained();
-        let s = input.protected.clone().unwrap();
-        let report = measure_disparity(&mut model, &input.graph, &s, 30, 6, 7);
+        let (mut model, g, task) = trained();
+        let s = task.protected.clone().unwrap();
+        let report = measure_disparity(&mut model, &g, &s, 30, 6, 7);
         assert!(report.overall.is_finite() && report.overall > 0.0);
         assert!(report.protected.is_finite() && report.protected > 0.0);
         assert!(report.unprotected.is_finite() && report.unprotected > 0.0);
@@ -143,12 +134,9 @@ mod tests {
     fn fairgen_keeps_disparity_bounded() {
         // With label-informed sampling the protected group's NLL should not
         // be wildly worse than the unprotected group's.
-        let (mut model, input) = trained();
-        let s = input.protected.clone().unwrap();
-        let report = measure_disparity(&mut model, &input.graph, &s, 40, 6, 9);
-        assert!(
-            report.ratio() < 2.0,
-            "protected group served far worse: {report:?}"
-        );
+        let (mut model, g, task) = trained();
+        let s = task.protected.clone().unwrap();
+        let report = measure_disparity(&mut model, &g, &s, 40, 6, 9);
+        assert!(report.ratio() < 2.0, "protected group served far worse: {report:?}");
     }
 }

@@ -1,0 +1,23 @@
+//! The canonical error surface of the FairGen public API.
+//!
+//! [`FairGenError`] and the [`Result`] alias are defined in
+//! `fairgen_graph::error` (the root of the crate graph, so every layer —
+//! graph I/O, dataset loaders, the generator traits, and this crate — can
+//! share one type); this module is their canonical user-facing path.
+//!
+//! Every fallible entry point of the two-phase generator lifecycle returns
+//! these types:
+//!
+//! * [`FairGenConfig::validate`](crate::FairGenConfig::validate) →
+//!   [`FairGenError::InvalidConfig`]
+//! * [`FairGen::train`](crate::FairGen::train) → `InvalidConfig`,
+//!   [`FairGenError::GraphTooSmall`],
+//!   [`FairGenError::NodeOutOfRange`] / [`FairGenError::LabelOutOfRange`]
+//!   (bad few-shot labels), [`FairGenError::GroupUniverseMismatch`], and
+//!   [`FairGenError::MissingProtectedGroup`] (labels present, `γ > 0`, no
+//!   `S⁺`)
+//! * [`TrainedFairGen::generate`](crate::TrainedFairGen::generate) and the
+//!   [`FittedGenerator`](fairgen_baselines::FittedGenerator) trait methods
+//!   propagate the same type.
+
+pub use fairgen_graph::error::{FairGenError, Result};

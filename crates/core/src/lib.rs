@@ -22,24 +22,62 @@
 //! assembly of Section II-D (protected-volume preservation, minimum degree
 //! one, exact edge-count matching).
 //!
+//! # The two-phase lifecycle: train once, generate many
+//!
+//! The public API is fallible and split into an expensive training phase
+//! and a cheap, repeatable sampling phase:
+//!
+//! ```no_run
+//! use fairgen_core::{FairGen, FairGenConfig, TaskSpec};
+//! # fn demo(graph: fairgen_graph::Graph, task: TaskSpec)
+//! #     -> fairgen_core::error::Result<()> {
+//! let fairgen = FairGen::new(FairGenConfig::default());
+//! let mut model = fairgen.train(&graph, &task, 42)?;   // expensive, once
+//! let samples = model.generate_batch(&[1, 2, 3])?;     // cheap, many
+//! # let _ = samples; Ok(())
+//! # }
+//! ```
+//!
+//! Invalid inputs (degenerate configs, too-small graphs, out-of-range
+//! labels, a positive parity weight without a protected group) surface as
+//! typed [`error::FairGenError`]s rather than panics, and
+//! [`FairGen::train_observed`] streams [`CycleReport`]s to a
+//! [`TrainObserver`] that can cancel or early-stop training at any cycle
+//! boundary.
+//!
 //! Entry points:
 //!
-//! * [`FairGen`] + [`FairGenConfig`] — configure and train.
-//! * [`FairGenInput`] — graph, few-shot labels, protected group.
-//! * [`TrainedFairGen`] — generate graphs, predict labels, inspect the
-//!   per-cycle [`CycleReport`]s.
+//! * [`FairGen`] + [`FairGenConfig`] — configure; [`FairGen::train`] /
+//!   [`FairGen::train_observed`] to fit.
+//! * [`TaskSpec`] — few-shot labels and the protected group (shared with
+//!   every baseline through `fairgen_baselines`).
+//! * [`TrainedFairGen`] — [`generate`](TrainedFairGen::generate) /
+//!   [`generate_batch`](TrainedFairGen::generate_batch) synthetic graphs,
+//!   predict labels, inspect the per-cycle [`CycleReport`]s. Also usable as
+//!   a boxed [`fairgen_baselines::FittedGenerator`] trait object.
+//! * [`FairGenGenerator`] — the [`fairgen_baselines::GraphGenerator`]
+//!   adapter for experiment harnesses.
 //! * [`FairGenVariant`] — the paper's ablations (FairGen-R, w/o SPL,
 //!   w/o Parity, negative sampling).
+//! * [`error`] — [`error::FairGenError`] and the workspace [`error::Result`]
+//!   alias.
 
 pub mod adapter;
 pub mod config;
 pub mod disparity;
+pub mod error;
 pub mod model;
 pub mod objective;
+pub mod observer;
 pub mod selfpaced;
 
 pub use adapter::FairGenGenerator;
-pub use disparity::{group_walks, measure_disparity, DisparityReport};
 pub use config::{FairGenConfig, FairGenVariant};
-pub use model::{CycleReport, FairGen, FairGenInput, TrainedFairGen};
+pub use disparity::{group_walks, measure_disparity, DisparityReport};
+pub use error::{FairGenError, Result};
+pub use model::{CycleReport, FairGen, TrainedFairGen};
 pub use objective::ObjectiveReport;
+pub use observer::{NullObserver, StopAfter, TrainObserver};
+
+// Re-exported so `fairgen_core` alone covers the whole generator lifecycle.
+pub use fairgen_baselines::{FittedGenerator, GraphGenerator, TaskSpec};

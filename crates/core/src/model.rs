@@ -1,5 +1,10 @@
-//! The FairGen model: joint training (Algorithm 1) and fair generation.
+//! The FairGen model: joint training (Algorithm 1) and fair generation,
+//! exposed through the fallible two-phase lifecycle — [`FairGen::train`]
+//! once, [`TrainedFairGen::generate`] many.
 
+use std::ops::ControlFlow;
+
+use fairgen_baselines::TaskSpec;
 use fairgen_graph::{Graph, NodeId, NodeSet};
 use fairgen_nn::param::HasParams;
 use fairgen_nn::{
@@ -12,34 +17,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::config::{FairGenConfig, FairGenVariant};
+use crate::error::{FairGenError, Result};
 use crate::objective::ObjectiveReport;
+use crate::observer::{NullObserver, TrainObserver};
 use crate::selfpaced::SelfPacedState;
-
-/// The training input of Problem 1: an observed graph, few-shot labels, and
-/// the protected-group membership.
-#[derive(Clone, Debug)]
-pub struct FairGenInput {
-    /// The observed graph `G`.
-    pub graph: Graph,
-    /// Few-shot labeled examples `L` (at least one per class when labeled).
-    pub labeled: Vec<(NodeId, usize)>,
-    /// Number of classes `C` (0 for unlabeled graphs).
-    pub num_classes: usize,
-    /// The protected group `S⁺`.
-    pub protected: Option<NodeSet>,
-}
-
-impl FairGenInput {
-    /// An unlabeled input (FairGen degrades to a structural generator).
-    pub fn unlabeled(graph: Graph) -> Self {
-        FairGenInput { graph, labeled: Vec::new(), num_classes: 0, protected: None }
-    }
-
-    /// Whether label information is available.
-    pub fn has_labels(&self) -> bool {
-        self.num_classes > 0 && !self.labeled.is_empty()
-    }
-}
 
 /// Per-cycle training diagnostics.
 #[derive(Clone, Debug)]
@@ -63,8 +44,12 @@ pub struct FairGen {
 
 impl FairGen {
     /// A trainer with the given configuration (full model).
+    ///
+    /// Construction is infallible; the configuration is validated by
+    /// [`FairGen::train`] (or eagerly via
+    /// [`FairGenConfig::validate`]), which returns
+    /// [`FairGenError::InvalidConfig`] on degenerate settings.
     pub fn new(cfg: FairGenConfig) -> Self {
-        cfg.validate();
         FairGen { cfg, variant: FairGenVariant::Full }
     }
 
@@ -84,18 +69,54 @@ impl FairGen {
         self.variant
     }
 
-    /// Trains on `input` (Algorithm 1), deterministically in `seed`.
-    pub fn train(&self, input: &FairGenInput, seed: u64) -> TrainedFairGen {
+    /// Trains on `g` under `task` (Algorithm 1), deterministically in
+    /// `seed`.
+    ///
+    /// # Errors
+    ///
+    /// * [`FairGenError::InvalidConfig`] — degenerate configuration;
+    /// * [`FairGenError::GraphTooSmall`] — fewer than two vertices;
+    /// * [`FairGenError::NodeOutOfRange`] /
+    ///   [`FairGenError::LabelOutOfRange`] /
+    ///   [`FairGenError::GroupUniverseMismatch`] — malformed [`TaskSpec`];
+    /// * [`FairGenError::MissingProtectedGroup`] — labels present and
+    ///   `γ > 0`, but no `S⁺` to enforce parity on (ablation variants with
+    ///   parity disabled are exempt). Unlabeled tasks degrade to structural
+    ///   generation instead of erroring.
+    pub fn train(&self, g: &Graph, task: &TaskSpec, seed: u64) -> Result<TrainedFairGen> {
+        self.train_observed(g, task, seed, &mut NullObserver)
+    }
+
+    /// [`FairGen::train`] with a [`TrainObserver`] streaming each
+    /// [`CycleReport`] as it is produced; the observer can stop training at
+    /// any cycle boundary (the partially-trained model is returned, its
+    /// `history` truncated to the cycles that ran).
+    pub fn train_observed(
+        &self,
+        g: &Graph,
+        task: &TaskSpec,
+        seed: u64,
+        observer: &mut dyn TrainObserver,
+    ) -> Result<TrainedFairGen> {
         let cfg = self.cfg;
         let variant = self.variant;
-        let g = &input.graph;
+        cfg.validate()?;
         let n = g.n();
-        assert!(n >= 2, "graph too small");
-        let mut rng = StdRng::seed_from_u64(seed);
-        let has_labels = input.has_labels();
-        let parity_on = cfg.gamma > 0.0
+        if n < 2 {
+            return Err(FairGenError::GraphTooSmall { nodes: n, min_nodes: 2 });
+        }
+        task.validate(g)?;
+        let has_labels = task.has_labels();
+        if cfg.gamma > 0.0
+            && has_labels
+            && task.protected.is_none()
             && variant != FairGenVariant::NoParity
-            && input.protected.is_some();
+        {
+            return Err(FairGenError::MissingProtectedGroup { gamma: cfg.gamma });
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let parity_on =
+            cfg.gamma > 0.0 && variant != FairGenVariant::NoParity && task.protected.is_some();
 
         // Generator g_θ.
         let gen_cfg = TransformerConfig {
@@ -109,19 +130,16 @@ impl FairGen {
         let mut opt_gen = Adam::new(cfg.lr);
 
         // Discriminator d_ω: a three-layer MLP on the shared embeddings.
-        let num_classes = input.num_classes.max(1);
-        let mut discriminator = Mlp::new(
-            &[cfg.d_model, 64, 64, num_classes],
-            Activation::Tanh,
-            &mut rng,
-        );
+        let num_classes = task.num_classes.max(1);
+        let mut discriminator =
+            Mlp::new(&[cfg.d_model, 64, 64, num_classes], Activation::Tanh, &mut rng);
         let mut opt_disc = Adam::new(cfg.lr);
 
         // Step 1: initialize d_ω and the self-paced vectors from L.
         let mut sp = SelfPacedState::init(
             n,
             num_classes,
-            if has_labels { &input.labeled } else { &[] },
+            if has_labels { &task.labeled } else { &[] },
             cfg.lambda_init,
         );
 
@@ -133,23 +151,21 @@ impl FairGen {
             FairGenVariant::NegativeSampling => (1.0, cfg.p, cfg.q, false),
             _ => (cfg.ratio_r, cfg.p, cfg.q, true),
         };
-        let sampler_cfg =
-            ContextSamplerConfig { walk_len: cfg.walk_len, ratio_r, p, q };
+        let sampler_cfg = ContextSamplerConfig { walk_len: cfg.walk_len, ratio_r, p, q };
         let mut sampler = ContextSampler::new(sampler_cfg, Vec::new());
         if use_label_entries {
             sampler.set_entries(build_entries(
                 g,
                 &sp.labeled_set(),
                 num_classes,
-                input.protected.as_ref(),
+                task.protected.as_ref(),
                 &cfg,
             ));
         }
 
         // Step 2: initial pools N⁺ / N⁻.
         let mut n_pos = sampler.sample_corpus(g, cfg.num_walks, &mut rng);
-        let mut n_neg =
-            negative::random_sequences(n, cfg.num_walks, cfg.walk_len, &mut rng);
+        let mut n_neg = negative::random_sequences(n, cfg.num_walks, cfg.walk_len, &mut rng);
 
         let cycles = if variant == FairGenVariant::NoSelfPaced { 1 } else { cfg.cycles };
         let mut history: Vec<CycleReport> = Vec::with_capacity(cycles);
@@ -172,7 +188,7 @@ impl FairGen {
                     g,
                     &sp.labeled_set(),
                     num_classes,
-                    input.protected.as_ref(),
+                    task.protected.as_ref(),
                     &cfg,
                 ));
             }
@@ -202,8 +218,8 @@ impl FairGen {
                         &mut opt_disc,
                         &generator,
                         &sp,
-                        &input.labeled,
-                        input.protected.as_ref(),
+                        &task.labeled,
+                        task.protected.as_ref(),
                         &cfg,
                         parity_on,
                         &mut rng,
@@ -215,34 +231,41 @@ impl FairGen {
                 &mut generator,
                 &discriminator,
                 &sp,
-                &input.labeled,
-                input.protected.as_ref(),
+                &task.labeled,
+                task.protected.as_ref(),
                 &n_pos,
                 &cfg,
                 parity_on,
                 has_labels,
             );
-            history.push(CycleReport { cycle, lambda: sp.lambda, pseudo_labels: pseudo, objective });
+            let report =
+                CycleReport { cycle, lambda: sp.lambda, pseudo_labels: pseudo, objective };
+            let flow = observer.on_cycle(&report);
+            history.push(report);
+            if let ControlFlow::Break(()) = flow {
+                break;
+            }
         }
 
         // Protected-volume target for fair assembly: the number of edges
         // incident to S⁺ in the input graph.
-        let protected_incident = input.protected.as_ref().map(|s| {
-            g.edges().filter(|&(u, v)| s.contains(u) || s.contains(v)).count()
-        });
+        let protected_incident = task
+            .protected
+            .as_ref()
+            .map(|s| g.edges().filter(|&(u, v)| s.contains(u) || s.contains(v)).count());
 
-        TrainedFairGen {
+        Ok(TrainedFairGen {
             cfg,
             variant,
             generator,
             discriminator,
             graph: g.clone(),
-            protected: input.protected.clone(),
+            protected: task.protected.clone(),
             protected_incident,
             selfpaced: sp,
             history,
             parity_on,
-        }
+        })
     }
 }
 
@@ -278,8 +301,10 @@ impl TrainedFairGen {
         self.history.last().map(|c| &c.objective)
     }
 
-    /// Generates a synthetic graph with the fair assembly of Section II-D.
-    pub fn generate(&mut self, seed: u64) -> Graph {
+    /// Generates a synthetic graph with the fair assembly of Section II-D,
+    /// deterministically in `seed`. One training run amortizes across any
+    /// number of calls; each seed is an independent, reproducible draw.
+    pub fn generate(&mut self, seed: u64) -> Result<Graph> {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut scores = fairgen_walks::ScoreMatrix::new(self.graph.n());
         let total = self.cfg.num_walks * self.cfg.gen_multiplier;
@@ -288,12 +313,18 @@ impl TrainedFairGen {
             let walk: Walk = seq.iter().map(|&t| t as NodeId).collect();
             scores.add_walk(&walk);
         }
-        match (&self.protected, self.protected_incident, self.parity_on) {
+        Ok(match (&self.protected, self.protected_incident, self.parity_on) {
             (Some(s), Some(quota), true) => {
                 scores.assemble_fair(self.graph.m(), s, quota, &mut rng)
             }
             _ => scores.assemble(self.graph.m(), &mut rng),
-        }
+        })
+    }
+
+    /// Generates one synthetic graph per seed; equivalent to mapping
+    /// [`TrainedFairGen::generate`] over `seeds`.
+    pub fn generate_batch(&mut self, seeds: &[u64]) -> Result<Vec<Graph>> {
+        seeds.iter().map(|&s| self.generate(s)).collect()
     }
 
     /// Per-node class log-probabilities under the discriminator (`n × C`).
@@ -307,9 +338,7 @@ impl TrainedFairGen {
         (0..lp.rows())
             .map(|r| {
                 (0..lp.cols())
-                    .max_by(|&a, &b| {
-                        lp.get(r, a).partial_cmp(&lp.get(r, b)).expect("finite")
-                    })
+                    .max_by(|&a, &b| lp.get(r, a).partial_cmp(&lp.get(r, b)).expect("finite"))
                     .expect("at least one class")
             })
             .collect()
@@ -399,7 +428,8 @@ fn build_entries(
                 // too thin to walk in).
                 if !prot.is_empty() {
                     let prot_support = support.intersect(s);
-                    let sup = if prot_support.len() >= 2 { prot_support } else { support.clone() };
+                    let sup =
+                        if prot_support.len() >= 2 { prot_support } else { support.clone() };
                     push_entry(prot.clone(), sup);
                 }
                 if !unprot.is_empty() {
@@ -413,9 +443,7 @@ fn build_entries(
     // group-level entry so its context is still sampled (label scarcity is
     // exactly the C3 challenge).
     if let Some(s) = protected {
-        let has_protected_seed = entries
-            .iter()
-            .any(|e| e.seeds.iter().any(|&v| s.contains(v)));
+        let has_protected_seed = entries.iter().any(|e| e.seeds.iter().any(|&v| s.contains(v)));
         if !has_protected_seed && s.len() >= 2 {
             let seeds: Vec<NodeId> = s.members().iter().copied().take(10).collect();
             let weight = s.len() as f64;
@@ -546,18 +574,11 @@ fn discriminator_step(
             let minus_all = s.complement();
             let sample_size = plus.len().clamp(1, cfg.batch_size);
             let minus: Vec<NodeId> = (0..sample_size)
-                .map(|_| {
-                    minus_all.members()[rng.gen_range(0..minus_all.len())]
-                })
+                .map(|_| minus_all.members()[rng.gen_range(0..minus_all.len())])
                 .collect();
             if !plus.is_empty() && !minus.is_empty() {
-                let dlogits = parity_gradient(
-                    discriminator,
-                    generator,
-                    &plus,
-                    &minus,
-                    cfg.gamma,
-                );
+                let dlogits =
+                    parity_gradient(discriminator, generator, &plus, &minus, cfg.gamma);
                 discriminator.backward(&dlogits);
             }
         }
@@ -635,13 +656,15 @@ fn parity_value(
     if plus.is_empty() || minus.is_empty() {
         return 0.0;
     }
-    let lp_plus = log_softmax(&discriminator.forward_inference(&node_features(generator, &plus)));
+    let lp_plus =
+        log_softmax(&discriminator.forward_inference(&node_features(generator, &plus)));
     let lp_minus =
         log_softmax(&discriminator.forward_inference(&node_features(generator, &minus)));
     let c = lp_plus.cols();
     let mut total = 0.0;
     for cls in 0..c {
-        let mp: f64 = (0..plus.len()).map(|r| lp_plus.get(r, cls)).sum::<f64>() / plus.len() as f64;
+        let mp: f64 =
+            (0..plus.len()).map(|r| lp_plus.get(r, cls)).sum::<f64>() / plus.len() as f64;
         let mm: f64 =
             (0..minus.len()).map(|r| lp_minus.get(r, cls)).sum::<f64>() / minus.len() as f64;
         total += (mp - mm).abs();
@@ -715,46 +738,45 @@ mod tests {
     use super::*;
     use fairgen_data::{toy_two_community, Dataset};
 
-    fn toy_input() -> FairGenInput {
+    fn toy_task() -> (Graph, TaskSpec) {
         let lg = toy_two_community(3);
         let mut rng = StdRng::seed_from_u64(1);
-        let labeled = lg.sample_few_shot_labels(4, &mut rng);
-        FairGenInput {
-            graph: lg.graph.clone(),
-            labeled,
-            num_classes: lg.num_classes,
-            protected: lg.protected.clone(),
-        }
+        let labeled = lg.sample_few_shot_labels(4, &mut rng).expect("toy is labeled");
+        (lg.graph.clone(), TaskSpec::new(labeled, lg.num_classes, lg.protected.clone()))
     }
 
     #[test]
     fn trains_and_generates_on_toy() {
-        let input = toy_input();
+        let (g, task) = toy_task();
         let fairgen = FairGen::new(FairGenConfig::test_budget());
-        let mut trained = fairgen.train(&input, 7);
+        let mut trained = fairgen.train(&g, &task, 7).expect("valid input");
         assert_eq!(trained.history.len(), 2);
-        let out = trained.generate(1);
-        assert_eq!(out.n(), input.graph.n());
-        assert_eq!(out.m(), input.graph.m());
+        let out = trained.generate(1).expect("generate");
+        assert_eq!(out.n(), g.n());
+        assert_eq!(out.m(), g.m());
         assert!(out.min_degree() >= 1);
     }
 
     #[test]
+    fn one_train_amortizes_and_reproduces_per_seed() {
+        let (g, task) = toy_task();
+        let mut trained =
+            FairGen::new(FairGenConfig::test_budget()).train(&g, &task, 7).expect("train");
+        let batch = trained.generate_batch(&[1, 2, 1]).expect("batch");
+        assert_eq!(batch[0], batch[2], "same seed must reproduce");
+        assert_ne!(batch[0], batch[1], "different seeds must differ");
+        assert_eq!(batch[0], trained.generate(1).expect("generate"));
+    }
+
+    #[test]
     fn fair_assembly_preserves_protected_volume() {
-        let input = toy_input();
-        let s = input.protected.clone().unwrap();
-        let quota = input
-            .graph
-            .edges()
-            .filter(|&(u, v)| s.contains(u) || s.contains(v))
-            .count();
+        let (g, task) = toy_task();
+        let s = task.protected.clone().unwrap();
+        let quota = g.edges().filter(|&(u, v)| s.contains(u) || s.contains(v)).count();
         let fairgen = FairGen::new(FairGenConfig::test_budget());
-        let mut trained = fairgen.train(&input, 7);
-        let out = trained.generate(2);
-        let incident = out
-            .edges()
-            .filter(|&(u, v)| s.contains(u) || s.contains(v))
-            .count();
+        let mut trained = fairgen.train(&g, &task, 7).expect("valid input");
+        let out = trained.generate(2).expect("generate");
+        let incident = out.edges().filter(|&(u, v)| s.contains(u) || s.contains(v)).count();
         assert!(
             incident as f64 >= 0.8 * quota as f64,
             "protected volume collapsed: {incident} vs {quota}"
@@ -766,22 +788,21 @@ mod tests {
         // After training, held-out real walks must score below the
         // uniform-baseline NLL of ln(n) (an untrained model's level), and
         // sampled walks must traverse real edges well above chance.
-        let input = toy_input();
+        let (g, task) = toy_task();
         let mut cfg = FairGenConfig::test_budget();
         cfg.cycles = 3;
         cfg.num_walks = 400;
         cfg.pool_cap = 1200;
-        let mut trained = FairGen::new(cfg).train(&input, 5);
+        let mut trained = FairGen::new(cfg).train(&g, &task, 5).expect("valid input");
         let mut rng = StdRng::seed_from_u64(9);
         let walker = fairgen_walks::Node2VecWalker::default();
-        let held_out = walker.walk_corpus(&input.graph, 40, 6, &mut rng);
+        let held_out = walker.walk_corpus(&g, 40, 6, &mut rng);
         let nll = trained.walk_nll(&held_out);
-        let uniform = (input.graph.n() as f64).ln();
+        let uniform = (g.n() as f64).ln();
         assert!(nll < uniform - 0.1, "trained NLL {nll} vs uniform {uniform}");
         // Edge consistency of the generated graph: most selected edges real.
-        let g = &input.graph;
         let density = g.m() as f64 / (g.n() * (g.n() - 1) / 2) as f64;
-        let out = trained.generate(3);
+        let out = trained.generate(3).expect("generate");
         let real = out.edges().filter(|&(u, v)| g.has_edge(u, v)).count();
         let frac = real as f64 / out.m() as f64;
         assert!(
@@ -792,12 +813,12 @@ mod tests {
 
     #[test]
     fn lambda_grows_and_pseudo_labels_appear() {
-        let input = toy_input();
+        let (g, task) = toy_task();
         let mut cfg = FairGenConfig::test_budget();
         cfg.cycles = 3;
         cfg.lambda_init = 1.0;
         cfg.lambda_growth = 2.0;
-        let trained = FairGen::new(cfg).train(&input, 5);
+        let trained = FairGen::new(cfg).train(&g, &task, 5).expect("valid input");
         let lambdas: Vec<f64> = trained.history.iter().map(|c| c.lambda).collect();
         assert!(lambdas.windows(2).all(|w| w[1] > w[0]), "λ must grow: {lambdas:?}");
         // With one class and a growing λ, eventually many nodes are admitted.
@@ -807,12 +828,13 @@ mod tests {
     #[test]
     fn unlabeled_input_still_generates() {
         let lg = Dataset::Ca.generate(2);
-        let input = FairGenInput::unlabeled(lg.graph.clone());
         let mut cfg = FairGenConfig::test_budget();
         cfg.cycles = 1;
         cfg.num_walks = 40;
-        let mut trained = FairGen::new(cfg).train(&input, 3);
-        let out = trained.generate(1);
+        let mut trained = FairGen::new(cfg)
+            .train(&lg.graph, &TaskSpec::unlabeled(), 3)
+            .expect("unlabeled tasks degrade to structural generation");
+        let out = trained.generate(1).expect("generate");
         assert_eq!(out.m(), lg.graph.m());
         let obj = trained.final_objective().unwrap();
         assert_eq!(obj.j_p, 0.0);
@@ -821,7 +843,7 @@ mod tests {
 
     #[test]
     fn variants_train() {
-        let input = toy_input();
+        let (g, task) = toy_task();
         for variant in [
             FairGenVariant::RandomSampling,
             FairGenVariant::NoSelfPaced,
@@ -831,9 +853,12 @@ mod tests {
             let mut cfg = FairGenConfig::test_budget();
             cfg.cycles = 2;
             cfg.num_walks = 40;
-            let mut trained = FairGen::new(cfg).with_variant(variant).train(&input, 4);
-            let out = trained.generate(1);
-            assert_eq!(out.m(), input.graph.m(), "{:?}", variant);
+            let mut trained = FairGen::new(cfg)
+                .with_variant(variant)
+                .train(&g, &task, 4)
+                .expect("valid input");
+            let out = trained.generate(1).expect("generate");
+            assert_eq!(out.m(), g.m(), "{:?}", variant);
             if variant == FairGenVariant::NoSelfPaced {
                 assert_eq!(trained.history.len(), 1);
             }
@@ -842,29 +867,31 @@ mod tests {
 
     #[test]
     fn deterministic_in_seed() {
-        let input = toy_input();
+        let (g, task) = toy_task();
         let fairgen = FairGen::new(FairGenConfig::test_budget());
-        let mut a = fairgen.train(&input, 11);
-        let mut b = fairgen.train(&input, 11);
-        assert_eq!(a.generate(5), b.generate(5));
+        let mut a = fairgen.train(&g, &task, 11).expect("valid input");
+        let mut b = fairgen.train(&g, &task, 11).expect("valid input");
+        assert_eq!(a.generate(5).expect("a"), b.generate(5).expect("b"));
     }
 
     #[test]
     fn predict_labels_shape() {
-        let input = toy_input();
-        let trained = FairGen::new(FairGenConfig::test_budget()).train(&input, 2);
+        let (g, task) = toy_task();
+        let trained =
+            FairGen::new(FairGenConfig::test_budget()).train(&g, &task, 2).expect("valid");
         let labels = trained.predict_labels();
-        assert_eq!(labels.len(), input.graph.n());
-        assert!(labels.iter().all(|&c| c < input.num_classes));
+        assert_eq!(labels.len(), g.n());
+        assert!(labels.iter().all(|&c| c < task.num_classes));
     }
 
     #[test]
     fn walk_nll_protected_vs_all() {
         // The group-wise reconstruction loss R_{S+}(θ) is computable.
-        let input = toy_input();
-        let mut trained = FairGen::new(FairGenConfig::test_budget()).train(&input, 2);
-        let s = input.protected.clone().unwrap();
-        let (sub, map) = fairgen_graph::induced_subgraph(&input.graph, s.members());
+        let (g, task) = toy_task();
+        let mut trained =
+            FairGen::new(FairGenConfig::test_budget()).train(&g, &task, 2).expect("valid");
+        let s = task.protected.clone().unwrap();
+        let (sub, map) = fairgen_graph::induced_subgraph(&g, s.members());
         let mut rng = StdRng::seed_from_u64(0);
         let walker = fairgen_walks::Node2VecWalker::default();
         let sub_walks = walker.walk_corpus(&sub, 20, 6, &mut rng);
@@ -876,5 +903,71 @@ mod tests {
         let nll = trained.walk_nll(&walks);
         assert!(nll.is_finite() && nll > 0.0);
         assert_eq!(trained.walk_nll(&[]), 0.0);
+    }
+
+    #[test]
+    fn observer_streams_reports_and_can_stop_training() {
+        let (g, task) = toy_task();
+        let mut cfg = FairGenConfig::test_budget();
+        cfg.cycles = 4;
+        cfg.num_walks = 40;
+
+        // Stream: every cycle report arrives, in order.
+        let mut cycles_seen = Vec::new();
+        let mut observer = |r: &CycleReport| {
+            cycles_seen.push(r.cycle);
+            ControlFlow::Continue(())
+        };
+        let trained =
+            FairGen::new(cfg).train_observed(&g, &task, 8, &mut observer).expect("valid input");
+        assert_eq!(cycles_seen, vec![1, 2, 3, 4]);
+        assert_eq!(trained.history.len(), 4);
+
+        // Cancel: breaking at cycle 2 truncates history but returns a
+        // usable model.
+        let mut observer = |r: &CycleReport| {
+            if r.cycle >= 2 {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        };
+        let mut stopped =
+            FairGen::new(cfg).train_observed(&g, &task, 8, &mut observer).expect("valid input");
+        assert_eq!(stopped.history.len(), 2);
+        let out = stopped.generate(1).expect("partial model still generates");
+        assert_eq!(out.m(), g.m());
+    }
+
+    #[test]
+    fn invalid_inputs_error_instead_of_panicking() {
+        let (g, task) = toy_task();
+        // Degenerate config.
+        let mut cfg = FairGenConfig::test_budget();
+        cfg.ratio_r = 7.0;
+        assert!(matches!(
+            FairGen::new(cfg).train(&g, &task, 1),
+            Err(FairGenError::InvalidConfig { field: "ratio_r", .. })
+        ));
+        // Too-small graph.
+        let tiny = Graph::empty(1);
+        assert!(matches!(
+            FairGen::new(FairGenConfig::test_budget()).train(&tiny, &TaskSpec::unlabeled(), 1),
+            Err(FairGenError::GraphTooSmall { nodes: 1, min_nodes: 2 })
+        ));
+        // Labels present, gamma > 0, no protected group.
+        let stripped = TaskSpec::new(task.labeled.clone(), task.num_classes, None);
+        assert!(matches!(
+            FairGen::new(FairGenConfig::test_budget()).train(&g, &stripped, 1),
+            Err(FairGenError::MissingProtectedGroup { .. })
+        ));
+        // ... but the parity-free ablation accepts the same task.
+        let mut cfg = FairGenConfig::test_budget();
+        cfg.cycles = 1;
+        cfg.num_walks = 30;
+        assert!(FairGen::new(cfg)
+            .with_variant(FairGenVariant::NoParity)
+            .train(&g, &stripped, 1)
+            .is_ok());
     }
 }

@@ -1,0 +1,137 @@
+//! Training observability: stream per-cycle diagnostics out of
+//! [`FairGen::train`](crate::FairGen::train) and cancel or early-stop a run
+//! from the outside.
+//!
+//! [`FairGen::train_observed`](crate::FairGen::train_observed) calls
+//! [`TrainObserver::on_cycle`] after every self-paced cycle with the fresh
+//! [`CycleReport`]. Returning [`ControlFlow::Break`] stops training at that
+//! cycle boundary; the partially-trained model is still returned (with its
+//! `history` truncated to the cycles that ran), so a serving layer can
+//! impose deadlines without losing the work already done.
+//!
+//! Closures observe directly:
+//!
+//! ```
+//! use std::ops::ControlFlow;
+//! use fairgen_core::{CycleReport, TrainObserver};
+//!
+//! let mut seen = 0usize;
+//! let mut observer = |report: &CycleReport| {
+//!     seen += 1;
+//!     if report.objective.total() < 0.05 {
+//!         ControlFlow::Break(()) // converged early
+//!     } else {
+//!         ControlFlow::Continue(())
+//!     }
+//! };
+//! // &mut observer implements TrainObserver; pass it to train_observed.
+//! let _: &mut dyn TrainObserver = &mut observer;
+//! ```
+
+use std::ops::ControlFlow;
+
+use crate::model::CycleReport;
+
+/// Receives a [`CycleReport`] after each self-paced training cycle and
+/// decides whether training continues.
+pub trait TrainObserver {
+    /// Called once per completed cycle. Return [`ControlFlow::Break`] to
+    /// stop training at this cycle boundary (cancellation / early stop);
+    /// the model trained so far is still returned.
+    fn on_cycle(&mut self, report: &CycleReport) -> ControlFlow<()>;
+}
+
+/// Ignores every report and never stops training; what
+/// [`FairGen::train`](crate::FairGen::train) uses internally.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullObserver;
+
+impl TrainObserver for NullObserver {
+    fn on_cycle(&mut self, _report: &CycleReport) -> ControlFlow<()> {
+        ControlFlow::Continue(())
+    }
+}
+
+impl<F: FnMut(&CycleReport) -> ControlFlow<()>> TrainObserver for F {
+    fn on_cycle(&mut self, report: &CycleReport) -> ControlFlow<()> {
+        self(report)
+    }
+}
+
+/// Stops training after a fixed number of cycles — a deadline in cycle
+/// units, useful for bounding work under load.
+///
+/// Observation happens at cycle *boundaries*, so at least one full cycle
+/// always runs: `StopAfter::new(0)` and `StopAfter::new(1)` both stop
+/// after the first cycle. To skip training entirely, don't train.
+#[derive(Clone, Copy, Debug)]
+pub struct StopAfter {
+    /// Number of cycles to allow.
+    pub cycles: usize,
+    seen: usize,
+}
+
+impl StopAfter {
+    /// An observer allowing `cycles` cycles (minimum one — see the type
+    /// docs).
+    pub fn new(cycles: usize) -> Self {
+        StopAfter { cycles, seen: 0 }
+    }
+}
+
+impl TrainObserver for StopAfter {
+    fn on_cycle(&mut self, _report: &CycleReport) -> ControlFlow<()> {
+        self.seen += 1;
+        if self.seen >= self.cycles {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::ObjectiveReport;
+
+    fn report(cycle: usize) -> CycleReport {
+        CycleReport {
+            cycle,
+            lambda: 1.0,
+            pseudo_labels: 0,
+            objective: ObjectiveReport { j_g: 0.0, j_p: 0.0, j_f: 0.0, j_l: 0.0, j_s: 0.0 },
+        }
+    }
+
+    #[test]
+    fn null_observer_always_continues() {
+        let mut obs = NullObserver;
+        for c in 1..5 {
+            assert_eq!(obs.on_cycle(&report(c)), ControlFlow::Continue(()));
+        }
+    }
+
+    #[test]
+    fn closures_observe_and_break() {
+        let mut count = 0usize;
+        let mut obs = |r: &CycleReport| {
+            count += 1;
+            if r.cycle >= 2 {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        };
+        assert_eq!(TrainObserver::on_cycle(&mut obs, &report(1)), ControlFlow::Continue(()));
+        assert_eq!(TrainObserver::on_cycle(&mut obs, &report(2)), ControlFlow::Break(()));
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn stop_after_counts_cycles() {
+        let mut obs = StopAfter::new(2);
+        assert_eq!(obs.on_cycle(&report(1)), ControlFlow::Continue(()));
+        assert_eq!(obs.on_cycle(&report(2)), ControlFlow::Break(()));
+    }
+}

@@ -20,7 +20,12 @@ pub struct SelfPacedState {
 impl SelfPacedState {
     /// Initializes from the few-shot labeled vertices (Algorithm 1 step 1):
     /// `v^(c)_i = 1` for every `x_i` labeled `c`, 0 elsewhere.
-    pub fn init(n: usize, num_classes: usize, labeled: &[(NodeId, usize)], lambda: f64) -> Self {
+    pub fn init(
+        n: usize,
+        num_classes: usize,
+        labeled: &[(NodeId, usize)],
+        lambda: f64,
+    ) -> Self {
         assert!(num_classes > 0, "need at least one class");
         assert!(lambda > 0.0, "lambda must be positive");
         let mut v = vec![vec![false; n]; num_classes];
@@ -69,7 +74,7 @@ impl SelfPacedState {
                 let lp = log_probs.get(i, c);
                 let selected = -lp < self.lambda; // Eq. 14
                 self.v[c][i] = selected;
-                if selected && best.map_or(true, |(_, b)| lp > b) {
+                if selected && best.is_none_or(|(_, b)| lp > b) {
                     best = Some((c, lp));
                 }
             }
@@ -78,12 +83,7 @@ impl SelfPacedState {
                 pseudo += 1;
             }
         }
-        self.assigned = self
-            .truth
-            .iter()
-            .zip(&self.assigned)
-            .map(|(t, a)| t.or(*a))
-            .collect();
+        self.assigned = self.truth.iter().zip(&self.assigned).map(|(t, a)| t.or(*a)).collect();
         pseudo
     }
 

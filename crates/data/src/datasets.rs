@@ -1,6 +1,7 @@
 //! The seven named benchmark configurations (paper Table I, scaled) and the
 //! Figure-1 toy graph.
 
+use fairgen_graph::error::{FairGenError, Result};
 use fairgen_graph::{Graph, NodeId, NodeSet};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -34,15 +35,15 @@ impl LabeledGraph {
     /// Samples `per_class` few-shot labeled examples per class,
     /// guaranteeing at least one per class (paper problem setting).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the dataset is unlabeled.
+    /// Returns [`FairGenError::MissingLabels`] if the dataset is unlabeled.
     pub fn sample_few_shot_labels<R: Rng + ?Sized>(
         &self,
         per_class: usize,
         rng: &mut R,
-    ) -> Vec<(NodeId, usize)> {
-        let labels = self.labels.as_ref().expect("dataset has no labels");
+    ) -> Result<Vec<(NodeId, usize)>> {
+        let labels = self.labels.as_ref().ok_or(FairGenError::MissingLabels)?;
         let mut by_class: Vec<Vec<NodeId>> = vec![Vec::new(); self.num_classes];
         for (v, &c) in labels.iter().enumerate() {
             by_class[c].push(v as NodeId);
@@ -54,7 +55,7 @@ impl LabeledGraph {
                 out.push((v, c));
             }
         }
-        out
+        Ok(out)
     }
 
     /// Fraction of nodes in the protected group (0 if none).
@@ -121,7 +122,8 @@ impl Dataset {
 
     /// Generates the synthetic counterpart, deterministically in `seed`.
     pub fn generate(self, seed: u64) -> LabeledGraph {
-        let mut rng = StdRng::seed_from_u64(seed ^ (self as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ (self as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
         match self {
             // Communication network: 3 latent departments, dense.
             Dataset::Email => {
@@ -135,7 +137,13 @@ impl Dataset {
                     p_protected_inter: 0.0,
                 };
                 let (graph, _, _) = dc_sbm(&cfg, &mut rng);
-                LabeledGraph { name: self.name(), graph, labels: None, num_classes: 0, protected: None }
+                LabeledGraph {
+                    name: self.name(),
+                    graph,
+                    labels: None,
+                    num_classes: 0,
+                    protected: None,
+                }
             }
             // Social circles: 5 latent communities, dense.
             Dataset::Fb => {
@@ -149,7 +157,13 @@ impl Dataset {
                     p_protected_inter: 0.0,
                 };
                 let (graph, _, _) = dc_sbm(&cfg, &mut rng);
-                LabeledGraph { name: self.name(), graph, labels: None, num_classes: 0, protected: None }
+                LabeledGraph {
+                    name: self.name(),
+                    graph,
+                    labels: None,
+                    num_classes: 0,
+                    protected: None,
+                }
             }
             // BLOG: 6 classes, protected ≈ 6% of nodes.
             Dataset::Blog => labeled_sbm(self.name(), &[63; 6], 24, 0.10, 0.012, &mut rng),
@@ -158,12 +172,24 @@ impl Dataset {
             // File-sharing: sparse power-law → Barabási–Albert.
             Dataset::Gnu => {
                 let graph = barabasi_albert(450, 3, &mut rng);
-                LabeledGraph { name: self.name(), graph, labels: None, num_classes: 0, protected: None }
+                LabeledGraph {
+                    name: self.name(),
+                    graph,
+                    labels: None,
+                    num_classes: 0,
+                    protected: None,
+                }
             }
             // Collaboration: sparse, clustered — BA with small attachment.
             Dataset::Ca => {
                 let graph = barabasi_albert(400, 2, &mut rng);
-                LabeledGraph { name: self.name(), graph, labels: None, num_classes: 0, protected: None }
+                LabeledGraph {
+                    name: self.name(),
+                    graph,
+                    labels: None,
+                    num_classes: 0,
+                    protected: None,
+                }
             }
             // ACM: 9 classes, protected = small-population topic (~3.6%).
             Dataset::Acm => labeled_sbm(self.name(), &[64; 9], 22, 0.09, 0.008, &mut rng),
@@ -213,13 +239,7 @@ pub fn toy_two_community(seed: u64) -> LabeledGraph {
         p_protected_inter: 0.01,
     };
     let (graph, labels, protected) = dc_sbm(&cfg, &mut rng);
-    LabeledGraph {
-        name: "TOY",
-        graph,
-        labels: Some(labels),
-        num_classes: 1,
-        protected,
-    }
+    LabeledGraph { name: "TOY", graph, labels: Some(labels), num_classes: 1, protected }
 }
 
 /// A small *multi-class* toy: three labeled communities plus a protected
@@ -238,13 +258,7 @@ pub fn toy_multiclass(seed: u64) -> LabeledGraph {
         p_protected_inter: 0.012,
     };
     let (graph, labels, protected) = dc_sbm(&cfg, &mut rng);
-    LabeledGraph {
-        name: "TOY3",
-        graph,
-        labels: Some(labels),
-        num_classes: 3,
-        protected,
-    }
+    LabeledGraph { name: "TOY3", graph, labels: Some(labels), num_classes: 3, protected }
 }
 
 /// Convenience: an ER graph by `(n, density)` — the scalability workload of
@@ -291,7 +305,7 @@ mod tests {
     fn few_shot_sampling_covers_every_class() {
         let lg = Dataset::Blog.generate(3);
         let mut rng = StdRng::seed_from_u64(0);
-        let labeled = lg.sample_few_shot_labels(2, &mut rng);
+        let labeled = lg.sample_few_shot_labels(2, &mut rng).expect("BLOG is labeled");
         let mut seen = vec![false; lg.num_classes];
         for (v, c) in &labeled {
             assert_eq!(lg.labels.as_ref().unwrap()[*v as usize], *c);
@@ -344,11 +358,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no labels")]
-    fn few_shot_on_unlabeled_panics() {
+    fn few_shot_on_unlabeled_errors() {
         let lg = Dataset::Email.generate(1);
         let mut rng = StdRng::seed_from_u64(0);
-        let _ = lg.sample_few_shot_labels(1, &mut rng);
+        assert!(matches!(
+            lg.sample_few_shot_labels(1, &mut rng),
+            Err(FairGenError::MissingLabels)
+        ));
     }
 }
 

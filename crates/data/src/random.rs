@@ -106,10 +106,7 @@ mod tests {
         let g = barabasi_albert(500, 2, &mut rng);
         let max_deg = g.max_degree();
         let avg = 2.0 * g.m() as f64 / g.n() as f64;
-        assert!(
-            max_deg as f64 > 5.0 * avg,
-            "BA should have hubs: max={max_deg}, avg={avg}"
-        );
+        assert!(max_deg as f64 > 5.0 * avg, "BA should have hubs: max={max_deg}, avg={avg}");
     }
 
     #[test]

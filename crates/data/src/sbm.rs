@@ -29,12 +29,8 @@ pub struct DcSbmConfig {
 impl DcSbmConfig {
     fn validate(&self) {
         assert!(!self.block_sizes.is_empty(), "need at least one block");
-        for &p in &[
-            self.p_intra,
-            self.p_inter,
-            self.p_protected_intra,
-            self.p_protected_inter,
-        ] {
+        for &p in &[self.p_intra, self.p_inter, self.p_protected_intra, self.p_protected_inter]
+        {
             assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
         }
         assert!(self.theta_shape > 1.0, "theta_shape must exceed 1");
@@ -60,7 +56,7 @@ pub fn dc_sbm<R: Rng + ?Sized>(
     // Block assignment for unprotected nodes; protected nodes appended after.
     let mut labels = Vec::with_capacity(n);
     for (b, &size) in cfg.block_sizes.iter().enumerate() {
-        labels.extend(std::iter::repeat(b).take(size));
+        labels.extend(std::iter::repeat_n(b, size));
     }
     for i in 0..cfg.protected_size {
         labels.push(i % num_classes);

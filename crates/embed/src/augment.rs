@@ -20,10 +20,8 @@ pub fn augment_graph<R: Rng + ?Sized>(
     assert_eq!(g.n(), generated.n(), "node count mismatch");
     assert!(extra_frac >= 0.0, "extra_frac must be non-negative");
     let want = (extra_frac * g.m() as f64).round() as usize;
-    let mut novel: Vec<(u32, u32)> = generated
-        .edges()
-        .filter(|&(u, v)| !g.has_edge(u, v))
-        .collect();
+    let mut novel: Vec<(u32, u32)> =
+        generated.edges().filter(|&(u, v)| !g.has_edge(u, v)).collect();
     // Uniformly subsample the novel proposals.
     for i in (1..novel.len()).rev() {
         novel.swap(i, rng.gen_range(0..=i));
@@ -60,7 +58,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let aug = augment_graph(&g, &full, 0.5, &mut rng);
         assert_eq!(aug.m(), 9 + 5); // round(0.5 * 9) = 5 (round half up: 4.5 → 5)
-        // Original edges all preserved.
+                                    // Original edges all preserved.
         for (u, v) in g.edges() {
             assert!(aug.has_edge(u, v));
         }

@@ -28,8 +28,7 @@ pub fn stratified_kfold<R: Rng + ?Sized>(
     let classes = labels.iter().max().map_or(0, |&m| m + 1);
     let mut fold_of = vec![0usize; labels.len()];
     for c in 0..classes {
-        let mut idx: Vec<usize> =
-            (0..labels.len()).filter(|&i| labels[i] == c).collect();
+        let mut idx: Vec<usize> = (0..labels.len()).filter(|&i| labels[i] == c).collect();
         for i in (1..idx.len()).rev() {
             idx.swap(i, rng.gen_range(0..=i));
         }
@@ -39,10 +38,8 @@ pub fn stratified_kfold<R: Rng + ?Sized>(
     }
     (0..k)
         .map(|f| {
-            let test: Vec<usize> =
-                (0..labels.len()).filter(|&i| fold_of[i] == f).collect();
-            let train: Vec<usize> =
-                (0..labels.len()).filter(|&i| fold_of[i] != f).collect();
+            let test: Vec<usize> = (0..labels.len()).filter(|&i| fold_of[i] == f).collect();
+            let train: Vec<usize> = (0..labels.len()).filter(|&i| fold_of[i] != f).collect();
             (train, test)
         })
         .collect()
@@ -94,7 +91,7 @@ mod tests {
         // 40 of class 0, 10 of class 1: every fold's test set should contain
         // exactly 2 of class 1 under 5 folds.
         let labels: Vec<usize> =
-            std::iter::repeat(0).take(40).chain(std::iter::repeat(1).take(10)).collect();
+            std::iter::repeat_n(0, 40).chain(std::iter::repeat_n(1, 10)).collect();
         let mut rng = StdRng::seed_from_u64(2);
         let folds = stratified_kfold(&labels, 5, &mut rng);
         for (_, test) in &folds {

@@ -29,11 +29,7 @@ pub fn roc_auc(positives: &[f64], negatives: &[f64]) -> f64 {
 
 /// Inner-product score of a node pair under an embedding matrix (`n × d`).
 fn pair_score(emb: &Mat, u: NodeId, v: NodeId) -> f64 {
-    emb.row(u as usize)
-        .iter()
-        .zip(emb.row(v as usize))
-        .map(|(a, b)| a * b)
-        .sum()
+    emb.row(u as usize).iter().zip(emb.row(v as usize)).map(|(a, b)| a * b).sum()
 }
 
 /// Link-prediction AUC of `emb` on `g`: scores every edge (up to
@@ -50,10 +46,9 @@ pub fn link_prediction_auc<R: Rng + ?Sized>(
     assert_eq!(emb.rows(), g.n(), "embedding row count mismatch");
     assert!(max_pairs > 0, "max_pairs must be positive");
     let touches = |u: NodeId, v: NodeId| -> bool {
-        within.map_or(true, |s| s.contains(u) || s.contains(v))
+        within.is_none_or(|s| s.contains(u) || s.contains(v))
     };
-    let mut edges: Vec<(NodeId, NodeId)> =
-        g.edges().filter(|&(u, v)| touches(u, v)).collect();
+    let mut edges: Vec<(NodeId, NodeId)> = g.edges().filter(|&(u, v)| touches(u, v)).collect();
     if edges.is_empty() {
         return f64::NAN;
     }

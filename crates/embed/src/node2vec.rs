@@ -82,15 +82,18 @@ impl Node2Vec {
         let mut table: Vec<NodeId> = Vec::new();
         for v in 0..n as NodeId {
             let w = (g.degree(v) as f64).powf(0.75).ceil() as usize;
-            table.extend(std::iter::repeat(v).take(w.max(1)));
+            table.extend(std::iter::repeat_n(v, w.max(1)));
         }
 
         for _ in 0..cfg.epochs {
-            for wi in 0..corpus.len() {
-                let walk = corpus[wi].clone();
+            for walk in corpus.iter() {
+                let walk = walk.clone();
                 for (i, &c) in walk.iter().enumerate() {
                     let lo = i.saturating_sub(cfg.window);
                     let hi = (i + cfg.window).min(walk.len() - 1);
+                    // The window is an index interval around `i`; iterating
+                    // positions keeps the `j == i` skip readable.
+                    #[allow(clippy::needless_range_loop)]
                     for j in lo..=hi {
                         if j == i {
                             continue;
@@ -175,7 +178,13 @@ mod tests {
     }
 
     fn fast_cfg() -> Node2VecConfig {
-        Node2VecConfig { dim: 12, walks_per_node: 6, walk_len: 8, epochs: 3, ..Default::default() }
+        Node2VecConfig {
+            dim: 12,
+            walks_per_node: 6,
+            walk_len: 8,
+            epochs: 3,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -207,10 +216,7 @@ mod tests {
             }
         }
         let (intra, inter) = (intra / n_intra as f64, inter / n_inter as f64);
-        assert!(
-            intra > inter + 0.2,
-            "communities not separated: intra {intra} inter {inter}"
-        );
+        assert!(intra > inter + 0.2, "communities not separated: intra {intra} inter {inter}");
     }
 
     #[test]

@@ -48,9 +48,9 @@ fn top_component(x: &Mat, seed: u64) -> Vec<f64> {
             *out = (0..d).map(|c| x.get(r, c) * v[c]).sum();
         }
         let mut w = vec![0.0; d];
-        for r in 0..x.rows() {
+        for (r, &xvr) in xv.iter().enumerate() {
             for (c, wc) in w.iter_mut().enumerate() {
-                *wc += x.get(r, c) * xv[r];
+                *wc += x.get(r, c) * xvr;
             }
         }
         if normalize(&mut w) < 1e-12 {
@@ -103,12 +103,7 @@ pub fn group_separation(embedding: &Mat, protected: &NodeSet) -> f64 {
     let between: f64 = cp.iter().zip(&cm).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
     let spread = |idx: &[usize], c: &[f64]| -> f64 {
         idx.iter()
-            .map(|&i| {
-                (0..d)
-                    .map(|k| (embedding.get(i, k) - c[k]).powi(2))
-                    .sum::<f64>()
-                    .sqrt()
-            })
+            .map(|&i| (0..d).map(|k| (embedding.get(i, k) - c[k]).powi(2)).sum::<f64>().sqrt())
             .sum::<f64>()
             / idx.len() as f64
     };
@@ -154,7 +149,10 @@ mod tests {
     fn separation_low_for_mixed_groups() {
         // Interleaved identical distributions.
         let emb = Mat::from_fn(20, 2, |r, c| ((r * 7 + c * 3) % 5) as f64);
-        let s = NodeSet::from_members(20, &(0..20).step_by(2).map(|v| v as u32).collect::<Vec<_>>());
+        let s = NodeSet::from_members(
+            20,
+            &(0..20).step_by(2).map(|v| v as u32).collect::<Vec<_>>(),
+        );
         let sep = group_separation(&emb, &s);
         assert!(sep < 1.0, "sep = {sep}");
     }

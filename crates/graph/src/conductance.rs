@@ -43,10 +43,7 @@ mod tests {
 
     fn barbell() -> (Graph, NodeSet) {
         // Two triangles joined by one bridge edge (2-3).
-        let g = Graph::from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        );
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]);
         let s = NodeSet::from_members(6, &[0, 1, 2]);
         (g, s)
     }

@@ -20,11 +20,8 @@ impl SubgraphMap {
     /// Translates a parent-graph node set into subgraph coordinates,
     /// dropping nodes outside the subgraph.
     pub fn project_set(&self, set: &NodeSet) -> NodeSet {
-        let members: Vec<NodeId> = set
-            .members()
-            .iter()
-            .filter_map(|&v| self.from_parent[v as usize])
-            .collect();
+        let members: Vec<NodeId> =
+            set.members().iter().filter_map(|&v| self.from_parent[v as usize]).collect();
         NodeSet::from_members(self.to_parent.len(), &members)
     }
 }

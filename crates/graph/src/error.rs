@@ -1,0 +1,165 @@
+//! The workspace-wide error type.
+//!
+//! Every fallible public entry point in the FairGen workspace — graph
+//! construction and I/O here, dataset loaders in `fairgen-data`, the
+//! generator lifecycle in `fairgen-baselines` / `fairgen-core` — returns
+//! [`FairGenError`] through the [`Result`] alias. The type lives in this
+//! crate because `fairgen-graph` is the root of the dependency graph;
+//! `fairgen_core::error` re-exports it as the canonical path for users.
+
+use crate::graph::NodeId;
+
+/// Everything that can go wrong across the FairGen public API.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FairGenError {
+    /// A configuration field has a degenerate or inconsistent value.
+    InvalidConfig {
+        /// The offending field (paper notation, e.g. `"ratio_r"`).
+        field: &'static str,
+        /// Human-readable constraint violated.
+        message: String,
+    },
+    /// The input graph has fewer vertices than the operation requires.
+    GraphTooSmall {
+        /// Vertices in the input.
+        nodes: usize,
+        /// Minimum the operation supports.
+        min_nodes: usize,
+    },
+    /// A node id referenced a vertex outside `0..nodes`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: NodeId,
+        /// Vertex count of the graph.
+        nodes: usize,
+    },
+    /// A few-shot label carried a class outside `0..num_classes`.
+    LabelOutOfRange {
+        /// The labeled node.
+        node: NodeId,
+        /// The offending class label.
+        label: usize,
+        /// Declared number of classes.
+        num_classes: usize,
+    },
+    /// A protected-group [`NodeSet`](crate::NodeSet) was built over a
+    /// different vertex count than the graph it is used with.
+    GroupUniverseMismatch {
+        /// Universe size of the group set.
+        group_universe: usize,
+        /// Vertex count of the graph.
+        nodes: usize,
+    },
+    /// The parity weight `γ` is positive and labels are present, but no
+    /// protected group `S⁺` was supplied, so the fairness objective the
+    /// configuration demands cannot be enforced.
+    MissingProtectedGroup {
+        /// The configured parity weight.
+        gamma: f64,
+    },
+    /// A label-dependent operation ran on an unlabeled dataset.
+    MissingLabels,
+    /// An edge-list line was neither a comment nor a `u v` pair.
+    MalformedEdgeList {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+/// Workspace-wide result alias over [`FairGenError`].
+pub type Result<T> = std::result::Result<T, FairGenError>;
+
+impl std::fmt::Display for FairGenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FairGenError::InvalidConfig { field, message } => {
+                write!(f, "invalid config field `{field}`: {message}")
+            }
+            FairGenError::GraphTooSmall { nodes, min_nodes } => {
+                write!(f, "graph too small: {nodes} nodes, need at least {min_nodes}")
+            }
+            FairGenError::NodeOutOfRange { node, nodes } => {
+                write!(f, "node {node} out of range for a graph with {nodes} vertices")
+            }
+            FairGenError::LabelOutOfRange { node, label, num_classes } => {
+                write!(f, "label {label} of node {node} out of range for {num_classes} classes")
+            }
+            FairGenError::GroupUniverseMismatch { group_universe, nodes } => {
+                write!(
+                    f,
+                    "protected group over {group_universe} vertices used with a \
+                     graph of {nodes} vertices"
+                )
+            }
+            FairGenError::MissingProtectedGroup { gamma } => {
+                write!(
+                    f,
+                    "parity weight γ = {gamma} > 0 with labels but no protected \
+                     group S⁺; supply one or set gamma to 0"
+                )
+            }
+            FairGenError::MissingLabels => {
+                write!(f, "operation requires labels but the dataset has none")
+            }
+            FairGenError::MalformedEdgeList { line, text } => {
+                write!(f, "malformed edge list at line {line}: {text:?}")
+            }
+            FairGenError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FairGenError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FairGenError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for FairGenError {
+    fn from(e: std::io::Error) -> Self {
+        FairGenError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let cases: Vec<(FairGenError, &str)> = vec![
+            (
+                FairGenError::InvalidConfig {
+                    field: "ratio_r",
+                    message: "must be in [0,1]".into(),
+                },
+                "ratio_r",
+            ),
+            (FairGenError::GraphTooSmall { nodes: 1, min_nodes: 2 }, "at least 2"),
+            (FairGenError::NodeOutOfRange { node: 9, nodes: 5 }, "node 9"),
+            (FairGenError::LabelOutOfRange { node: 3, label: 7, num_classes: 2 }, "label 7"),
+            (FairGenError::MissingProtectedGroup { gamma: 1.0 }, "γ = 1"),
+            (FairGenError::MissingLabels, "labels"),
+            (FairGenError::MalformedEdgeList { line: 4, text: "x".into() }, "line 4"),
+        ];
+        for (e, needle) in cases {
+            assert!(e.to_string().contains(needle), "{e} missing {needle:?}");
+        }
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: FairGenError = io.into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("gone"));
+    }
+}

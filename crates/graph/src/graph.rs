@@ -32,11 +32,25 @@ impl Graph {
     ///
     /// # Panics
     ///
-    /// Panics if any endpoint is `>= n`.
+    /// Panics if any endpoint is `>= n`. Use [`Graph::try_from_edges`] for a
+    /// fallible variant returning [`FairGenError::NodeOutOfRange`](crate::FairGenError).
     pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Self {
+        match Self::try_from_edges(n, edges) {
+            Ok(g) => g,
+            Err(e) => panic!("edge list out of range: {e}"),
+        }
+    }
+
+    /// Fallible [`Graph::from_edges`]: returns
+    /// [`FairGenError::NodeOutOfRange`](crate::FairGenError) instead of
+    /// panicking when an endpoint is `>= n`.
+    pub fn try_from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> crate::Result<Self> {
         let mut deg = vec![0usize; n];
         for &(u, v) in edges {
-            assert!((u as usize) < n && (v as usize) < n, "edge ({u},{v}) out of range for n={n}");
+            let worst = u.max(v);
+            if worst as usize >= n {
+                return Err(crate::FairGenError::NodeOutOfRange { node: worst, nodes: n });
+            }
             if u == v {
                 continue;
             }
@@ -79,7 +93,7 @@ impl Graph {
             clean_offsets.push(clean_neighbors.len());
         }
         let m = clean_neighbors.len() / 2;
-        Graph { offsets: clean_offsets, neighbors: clean_neighbors, m }
+        Ok(Graph { offsets: clean_offsets, neighbors: clean_neighbors, m })
     }
 
     /// A graph with `n` vertices and no edges.
@@ -326,5 +340,18 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_panics() {
         let _ = Graph::from_edges(2, &[(0, 2)]);
+    }
+
+    #[test]
+    fn try_from_edges_reports_offending_node() {
+        match Graph::try_from_edges(2, &[(0, 1), (0, 5)]) {
+            Err(crate::FairGenError::NodeOutOfRange { node, nodes }) => {
+                assert_eq!(node, 5);
+                assert_eq!(nodes, 2);
+            }
+            other => panic!("expected NodeOutOfRange, got {other:?}"),
+        }
+        let g = Graph::try_from_edges(3, &[(0, 1), (1, 2)]).expect("valid edges");
+        assert_eq!(g.m(), 2);
     }
 }

@@ -4,51 +4,15 @@
 //! Format: one `u v` pair per line (whitespace-separated decimal node ids),
 //! `#`-prefixed comment lines ignored, plus an optional leading
 //! `# nodes: <n>` header so isolated vertices survive the round trip.
+//!
+//! Parse failures surface as [`FairGenError::MalformedEdgeList`] /
+//! [`FairGenError::Io`] through the workspace-wide [`Result`] alias.
 
 use std::io::{BufRead, BufReader, Read, Write};
 
-use crate::graph::{Graph, NodeId};
+use crate::error::{FairGenError, Result};
+use crate::graph::Graph;
 use crate::GraphBuilder;
-
-/// Errors produced while parsing an edge list.
-#[derive(Debug)]
-pub enum ParseError {
-    /// Underlying I/O failure.
-    Io(std::io::Error),
-    /// A line that is neither a comment nor a `u v` pair.
-    Malformed {
-        /// 1-based line number.
-        line: usize,
-        /// The offending text.
-        text: String,
-    },
-}
-
-impl std::fmt::Display for ParseError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ParseError::Io(e) => write!(f, "i/o error: {e}"),
-            ParseError::Malformed { line, text } => {
-                write!(f, "malformed edge list at line {line}: {text:?}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for ParseError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            ParseError::Io(e) => Some(e),
-            ParseError::Malformed { .. } => None,
-        }
-    }
-}
-
-impl From<std::io::Error> for ParseError {
-    fn from(e: std::io::Error) -> Self {
-        ParseError::Io(e)
-    }
-}
 
 /// Writes `g` as an edge list with a `# nodes:` header.
 pub fn write_edge_list<W: Write>(g: &Graph, mut w: W) -> std::io::Result<()> {
@@ -61,7 +25,7 @@ pub fn write_edge_list<W: Write>(g: &Graph, mut w: W) -> std::io::Result<()> {
 
 /// Reads an edge list produced by [`write_edge_list`] (or any `u v`-per-line
 /// file; SNAP-style `#` comments are skipped).
-pub fn read_edge_list<R: Read>(r: R) -> Result<Graph, ParseError> {
+pub fn read_edge_list<R: Read>(r: R) -> Result<Graph> {
     let reader = BufReader::new(r);
     let mut builder = GraphBuilder::new(0);
     for (lineno, line) in reader.lines().enumerate() {
@@ -79,26 +43,15 @@ pub fn read_edge_list<R: Read>(r: R) -> Result<Graph, ParseError> {
             }
             continue;
         }
+        let malformed =
+            || FairGenError::MalformedEdgeList { line: lineno + 1, text: trimmed.to_string() };
         let mut parts = trimmed.split_whitespace();
         let (u, v) = match (parts.next(), parts.next(), parts.next()) {
-            (Some(a), Some(b), None) => {
-                let parse = |s: &str| -> Option<NodeId> { s.parse().ok() };
-                match (parse(a), parse(b)) {
-                    (Some(u), Some(v)) => (u, v),
-                    _ => {
-                        return Err(ParseError::Malformed {
-                            line: lineno + 1,
-                            text: trimmed.to_string(),
-                        })
-                    }
-                }
-            }
-            _ => {
-                return Err(ParseError::Malformed {
-                    line: lineno + 1,
-                    text: trimmed.to_string(),
-                })
-            }
+            (Some(a), Some(b), None) => match (a.parse(), b.parse()) {
+                (Ok(u), Ok(v)) => (u, v),
+                _ => return Err(malformed()),
+            },
+            _ => return Err(malformed()),
         };
         builder.add_edge(u, v);
     }
@@ -144,7 +97,7 @@ mod tests {
     fn malformed_line_reports_position() {
         let text = "0 1\nnot an edge\n";
         match read_edge_list(text.as_bytes()) {
-            Err(ParseError::Malformed { line, .. }) => assert_eq!(line, 2),
+            Err(FairGenError::MalformedEdgeList { line, .. }) => assert_eq!(line, 2),
             other => panic!("expected malformed error, got {other:?}"),
         }
     }
@@ -157,7 +110,7 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = ParseError::Malformed { line: 7, text: "x".into() };
+        let e = FairGenError::MalformedEdgeList { line: 7, text: "x".into() };
         assert!(e.to_string().contains("line 7"));
     }
 }

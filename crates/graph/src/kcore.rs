@@ -82,10 +82,7 @@ mod tests {
     #[test]
     fn clique_core_numbers() {
         // K4 plus a pendant: clique nodes have core 3, pendant core 1.
-        let g = Graph::from_edges(
-            5,
-            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4)],
-        );
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4)]);
         let core = core_numbers(&g);
         assert_eq!(core, vec![3, 3, 3, 3, 1]);
         assert_eq!(degeneracy(&g), 3);
@@ -105,10 +102,7 @@ mod tests {
 
     #[test]
     fn k_core_extraction() {
-        let g = Graph::from_edges(
-            6,
-            &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5)],
-        );
+        let g = Graph::from_edges(6, &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5)]);
         assert_eq!(k_core_nodes(&g, 2), vec![0, 1, 2]);
         assert_eq!(k_core_nodes(&g, 1).len(), 6);
         assert!(k_core_nodes(&g, 3).is_empty());

@@ -20,6 +20,7 @@ pub mod builder;
 pub mod components;
 pub mod conductance;
 pub mod ego;
+pub mod error;
 pub mod graph;
 pub mod io;
 pub mod kcore;
@@ -28,11 +29,14 @@ pub mod transition;
 pub mod traversal;
 
 pub use builder::GraphBuilder;
-pub use components::{connected_components, largest_component_nodes, num_components, UnionFind};
+pub use components::{
+    connected_components, largest_component_nodes, num_components, UnionFind,
+};
 pub use conductance::{conductance, cut_size, volume};
 pub use ego::{ego_network, induced_subgraph, SubgraphMap};
+pub use error::{FairGenError, Result};
 pub use graph::{Graph, NodeId};
-pub use io::{read_edge_list, write_edge_list, ParseError};
+pub use io::{read_edge_list, write_edge_list};
 pub use kcore::{core_numbers, degeneracy, k_core_nodes};
 pub use partition::NodeSet;
 pub use transition::TransitionOp;

@@ -111,9 +111,7 @@ impl NodeSet {
     /// Panics if the universes differ.
     pub fn intersect(&self, other: &NodeSet) -> NodeSet {
         assert_eq!(self.universe(), other.universe(), "universe mismatch");
-        NodeSet::from_mask(
-            self.mask.iter().zip(&other.mask).map(|(&a, &b)| a && b).collect(),
-        )
+        NodeSet::from_mask(self.mask.iter().zip(&other.mask).map(|(&a, &b)| a && b).collect())
     }
 
     /// Union with another set over the same universe.
@@ -123,9 +121,7 @@ impl NodeSet {
     /// Panics if the universes differ.
     pub fn union(&self, other: &NodeSet) -> NodeSet {
         assert_eq!(self.universe(), other.universe(), "universe mismatch");
-        NodeSet::from_mask(
-            self.mask.iter().zip(&other.mask).map(|(&a, &b)| a || b).collect(),
-        )
+        NodeSet::from_mask(self.mask.iter().zip(&other.mask).map(|(&a, &b)| a || b).collect())
     }
 
     /// The indicator vector χ_S as `f64` (1.0 on members, 0.0 elsewhere).

@@ -1,8 +1,8 @@
 //! Property-based tests for the graph substrate.
 
 use fairgen_graph::{
-    conductance, connected_components, ego_network, induced_subgraph, num_components,
-    Graph, NodeSet, TransitionOp,
+    conductance, connected_components, ego_network, induced_subgraph, num_components, Graph,
+    NodeSet, TransitionOp,
 };
 use proptest::prelude::*;
 

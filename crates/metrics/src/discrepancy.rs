@@ -24,10 +24,7 @@ fn relative_discrepancy(a: f64, b: f64) -> f64 {
 
 /// Overall discrepancy `R(G, G̃, f_m)` of Eq. 15 for one metric.
 pub fn overall_discrepancy(original: &Graph, generated: &Graph, metric: Metric) -> f64 {
-    relative_discrepancy(
-        compute_metric(original, metric),
-        compute_metric(generated, metric),
-    )
+    relative_discrepancy(compute_metric(original, metric), compute_metric(generated, metric))
 }
 
 /// Overall discrepancy for all nine metrics, in [`Metric::ALL`] order.
@@ -53,10 +50,7 @@ pub fn protected_discrepancy(
 ) -> f64 {
     let (orig_ego, _) = ego_network(original, protected.members());
     let (gen_ego, _) = ego_network(generated, protected.members());
-    relative_discrepancy(
-        compute_metric(&orig_ego, metric),
-        compute_metric(&gen_ego, metric),
-    )
+    relative_discrepancy(compute_metric(&orig_ego, metric), compute_metric(&gen_ego, metric))
 }
 
 /// Protected-group discrepancy for all nine metrics.
@@ -69,10 +63,8 @@ pub fn protected_discrepancies(
     let (gen_ego, _) = ego_network(generated, protected.members());
     let mut out = [0.0; 9];
     for (i, m) in Metric::ALL.iter().enumerate() {
-        out[i] = relative_discrepancy(
-            compute_metric(&orig_ego, *m),
-            compute_metric(&gen_ego, *m),
-        );
+        out[i] =
+            relative_discrepancy(compute_metric(&orig_ego, *m), compute_metric(&gen_ego, *m));
     }
     out
 }
@@ -115,17 +107,7 @@ mod tests {
         // Dense community 0-3, sparse protected community 4-6, one bridge.
         let g = Graph::from_edges(
             7,
-            &[
-                (0, 1),
-                (0, 2),
-                (0, 3),
-                (1, 2),
-                (1, 3),
-                (2, 3),
-                (4, 5),
-                (5, 6),
-                (3, 4),
-            ],
+            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (4, 5), (5, 6), (3, 4)],
         );
         let s = NodeSet::from_members(7, &[4, 5, 6]);
         (g, s)
@@ -150,10 +132,8 @@ mod tests {
         let (g, s) = two_communities();
         // Generated graph keeps the dense community perfectly but loses the
         // protected community's internal edges.
-        let gen = Graph::from_edges(
-            7,
-            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4)],
-        );
+        let gen =
+            Graph::from_edges(7, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4)]);
         let r = DiscrepancyReport::compute(&g, &gen, Some(&s));
         let r_plus = r.protected.unwrap();
         // The protected ego-network discrepancy must exceed the overall mean

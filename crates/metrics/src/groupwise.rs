@@ -37,10 +37,8 @@ impl GroupwiseReport {
         let complement = protected.complement();
         let (sub_u, _) = induced_subgraph(g, complement.members());
         let total_volume = g.total_volume().max(1);
-        let bridge_edges = g
-            .edges()
-            .filter(|&(u, v)| protected.contains(u) != protected.contains(v))
-            .count();
+        let bridge_edges =
+            g.edges().filter(|&(u, v)| protected.contains(u) != protected.contains(v)).count();
         GroupwiseReport {
             overall: all_metrics(g),
             protected: all_metrics(&sub_p),
@@ -70,10 +68,7 @@ mod tests {
 
     /// Dense unprotected triangle block + sparse protected pair + 1 bridge.
     fn setup() -> (Graph, NodeSet) {
-        let g = Graph::from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (0, 3), (4, 5), (3, 4)],
-        );
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (0, 3), (4, 5), (3, 4)]);
         let s = NodeSet::from_members(6, &[4, 5]);
         (g, s)
     }

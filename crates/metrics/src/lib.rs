@@ -13,11 +13,11 @@ pub mod discrepancy;
 pub mod groupwise;
 pub mod stats;
 
-pub use groupwise::GroupwiseReport;
 pub use discrepancy::{
-    overall_discrepancies, overall_discrepancy, protected_discrepancies,
-    protected_discrepancy, DiscrepancyReport,
+    overall_discrepancies, overall_discrepancy, protected_discrepancies, protected_discrepancy,
+    DiscrepancyReport,
 };
+pub use groupwise::GroupwiseReport;
 pub use stats::{
     all_metrics, aspl_exact, aspl_sampled, avg_clustering_coefficient, avg_degree,
     compute_metric, edge_distribution_entropy, gini_coefficient, largest_cc_size,

@@ -68,11 +68,8 @@ pub fn gini_coefficient(g: &Graph) -> f64 {
     if total == 0 {
         return 0.0;
     }
-    let weighted: f64 = degs
-        .iter()
-        .enumerate()
-        .map(|(i, &d)| (i as f64 + 1.0) * d as f64)
-        .sum();
+    let weighted: f64 =
+        degs.iter().enumerate().map(|(i, &d)| (i as f64 + 1.0) * d as f64).sum();
     2.0 * weighted / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64
 }
 
@@ -154,10 +151,10 @@ pub fn avg_clustering_coefficient(g: &Graph) -> f64 {
     }
     let tri = g.triangles_per_node();
     let mut acc = 0.0;
-    for v in 0..n {
+    for (v, &t) in tri.iter().enumerate() {
         let d = g.degree(v as NodeId);
         if d >= 2 {
-            acc += 2.0 * tri[v] as f64 / (d as f64 * (d as f64 - 1.0));
+            acc += 2.0 * t as f64 / (d as f64 * (d as f64 - 1.0));
         }
     }
     acc / n as f64
@@ -195,10 +192,7 @@ pub struct MetricReport {
 impl MetricReport {
     /// The value of one metric.
     pub fn get(&self, m: Metric) -> f64 {
-        let idx = Metric::ALL
-            .iter()
-            .position(|&x| x == m)
-            .expect("metric in ALL");
+        let idx = Metric::ALL.iter().position(|&x| x == m).expect("metric in ALL");
         self.values[idx]
     }
 

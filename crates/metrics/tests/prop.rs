@@ -2,9 +2,9 @@
 
 use fairgen_graph::{Graph, NodeSet};
 use fairgen_metrics::{
-    all_metrics, aspl_exact, avg_clustering_coefficient, avg_degree,
-    edge_distribution_entropy, gini_coefficient, largest_cc_size,
-    num_connected_components, overall_discrepancies, protected_discrepancies, Metric,
+    all_metrics, aspl_exact, avg_clustering_coefficient, avg_degree, edge_distribution_entropy,
+    gini_coefficient, largest_cc_size, num_connected_components, overall_discrepancies,
+    protected_discrepancies, Metric,
 };
 use proptest::prelude::*;
 

@@ -24,9 +24,7 @@ impl Activation {
     pub fn apply(self, x: f64) -> f64 {
         match self {
             Activation::Relu => x.max(0.0),
-            Activation::Gelu => {
-                0.5 * x * (1.0 + (GELU_C * (x + 0.044715 * x * x * x)).tanh())
-            }
+            Activation::Gelu => 0.5 * x * (1.0 + (GELU_C * (x + 0.044715 * x * x * x)).tanh()),
             Activation::Tanh => x.tanh(),
             Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
             Activation::Identity => x,

@@ -58,7 +58,7 @@ impl MultiHeadAttention {
     ///
     /// Panics if `d_model` is not divisible by `heads`.
     pub fn new<R: Rng + ?Sized>(d_model: usize, heads: usize, rng: &mut R) -> Self {
-        assert!(heads > 0 && d_model % heads == 0, "d_model must divide by heads");
+        assert!(heads > 0 && d_model.is_multiple_of(heads), "d_model must divide by heads");
         MultiHeadAttention {
             wq: Param::new(Mat::xavier(d_model, d_model, rng)),
             wk: Param::new(Mat::xavier(d_model, d_model, rng)),

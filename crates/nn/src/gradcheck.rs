@@ -35,6 +35,9 @@ pub fn check_param_gradients<M: HasParams>(
     model.for_each_param(&mut |p| shapes.push(p.count()));
 
     for (pi, &count) in shapes.iter().enumerate() {
+        // Positional indexing is load-bearing here: `idx` addresses the same
+        // slot across repeated `for_each_param` traversals.
+        #[allow(clippy::needless_range_loop)]
         for idx in 0..count {
             let perturb = |model: &mut M, delta: f64| {
                 let mut k = 0usize;
@@ -90,8 +93,7 @@ mod tests {
             &mut c,
             |m| {
                 let loss: f64 = m.x.value.as_slice().iter().map(|&x| x * x * x).sum();
-                let g: Vec<f64> =
-                    m.x.value.as_slice().iter().map(|&x| 3.0 * x * x).collect();
+                let g: Vec<f64> = m.x.value.as_slice().iter().map(|&x| 3.0 * x * x).collect();
                 m.x.grad = Mat::from_vec(1, 3, g);
                 loss
             },

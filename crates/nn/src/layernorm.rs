@@ -49,8 +49,8 @@ impl LayerNorm {
             let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / cols as f64;
             let istd = 1.0 / (var + self.eps).sqrt();
             inv_std.push(istd);
-            for c in 0..cols {
-                let xh = (row[c] - mean) * istd;
+            for (c, &xc) in row.iter().enumerate() {
+                let xh = (xc - mean) * istd;
                 xhat.set(r, c, xh);
                 y.set(r, c, self.gamma.value.get(0, c) * xh + self.beta.value.get(0, c));
             }
@@ -75,7 +75,7 @@ impl LayerNorm {
             let mut sum_dxhat = 0.0;
             let mut sum_dxhat_xhat = 0.0;
             let mut dxhat = vec![0.0; cols];
-            for c in 0..cols {
+            for (c, slot) in dxhat.iter_mut().enumerate() {
                 let g = dy.get(r, c);
                 let xh = cache.xhat.get(r, c);
                 let cur_g = self.gamma.grad.get(0, c);
@@ -83,13 +83,13 @@ impl LayerNorm {
                 let cur_b = self.beta.grad.get(0, c);
                 self.beta.grad.set(0, c, cur_b + g);
                 let dxh = g * self.gamma.value.get(0, c);
-                dxhat[c] = dxh;
+                *slot = dxh;
                 sum_dxhat += dxh;
                 sum_dxhat_xhat += dxh * xh;
             }
-            for c in 0..cols {
+            for (c, &dxh) in dxhat.iter().enumerate() {
                 let xh = cache.xhat.get(r, c);
-                let v = (dxhat[c] - sum_dxhat / n - xh * sum_dxhat_xhat / n) * istd;
+                let v = (dxh - sum_dxhat / n - xh * sum_dxhat_xhat / n) * istd;
                 dx.set(r, c, v);
             }
         }

@@ -90,15 +90,7 @@ impl LstmLm {
         let c: Vec<f64> = (0..hid).map(|k| f[k] * c_prev[k] + i[k] * g[k]).collect();
         let tanh_c: Vec<f64> = c.iter().map(|&v| v.tanh()).collect();
         let h: Vec<f64> = (0..hid).map(|k| o[k] * tanh_c[k]).collect();
-        self.cache.push(StepCache {
-            z,
-            i,
-            f,
-            o,
-            g,
-            c_prev: c_prev.to_vec(),
-            tanh_c,
-        });
+        self.cache.push(StepCache { z, i, f, o, g, c_prev: c_prev.to_vec(), tanh_c });
         (h, c)
     }
 
@@ -115,7 +107,7 @@ impl LstmLm {
         let mut c = vec![0.0; self.hidden];
         let mut states = Mat::zeros(ids.len(), self.hidden);
         for (t, _) in ids.iter().enumerate() {
-            let (nh, nc) = self.step(&x.row(t).to_vec(), &h, &c);
+            let (nh, nc) = self.step(x.row(t), &h, &c);
             states.row_mut(t).copy_from_slice(&nh);
             h = nh;
             c = nc;
@@ -143,8 +135,8 @@ impl LstmLm {
             let mut dgates = Mat::zeros(1, 4 * hid);
             for k in 0..hid {
                 let d_o = dh[k] * cache.tanh_c[k];
-                dc[k] = dh[k] * cache.o[k] * (1.0 - cache.tanh_c[k] * cache.tanh_c[k])
-                    + dc_next[k];
+                dc[k] =
+                    dh[k] * cache.o[k] * (1.0 - cache.tanh_c[k] * cache.tanh_c[k]) + dc_next[k];
                 let d_i = dc[k] * cache.g[k];
                 let d_f = dc[k] * cache.c_prev[k];
                 let d_g = dc[k] * cache.i[k];
@@ -198,7 +190,12 @@ impl LstmLm {
     }
 
     /// Autoregressive sampling of `len` tokens.
-    pub fn sample<R: Rng + ?Sized>(&mut self, len: usize, temperature: f64, rng: &mut R) -> Vec<usize> {
+    pub fn sample<R: Rng + ?Sized>(
+        &mut self,
+        len: usize,
+        temperature: f64,
+        rng: &mut R,
+    ) -> Vec<usize> {
         assert!(temperature > 0.0);
         let mut seq: Vec<usize> = Vec::with_capacity(len);
         for _ in 0..len {

@@ -25,10 +25,7 @@ impl Mlp {
     /// Panics if fewer than two widths are given.
     pub fn new<R: Rng + ?Sized>(widths: &[usize], act: Activation, rng: &mut R) -> Self {
         assert!(widths.len() >= 2, "need at least input and output widths");
-        let layers = widths
-            .windows(2)
-            .map(|w| Linear::new(w[0], w[1], rng))
-            .collect();
+        let layers = widths.windows(2).map(|w| Linear::new(w[0], w[1], rng)).collect();
         Mlp { layers, act, pre_acts: Vec::new() }
     }
 

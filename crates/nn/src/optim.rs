@@ -124,14 +124,8 @@ mod tests {
         }
 
         fn compute_grad(&mut self) {
-            let g: Vec<f64> = self
-                .x
-                .value
-                .as_slice()
-                .iter()
-                .zip(&self.target)
-                .map(|(x, t)| x - t)
-                .collect();
+            let g: Vec<f64> =
+                self.x.value.as_slice().iter().zip(&self.target).map(|(x, t)| x - t).collect();
             self.x.grad = Mat::from_vec(1, g.len(), g);
         }
     }

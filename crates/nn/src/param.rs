@@ -71,10 +71,7 @@ mod tests {
 
     #[test]
     fn zero_grad_clears_all() {
-        let mut t = Two {
-            a: Param::new(Mat::zeros(2, 2)),
-            b: Param::new(Mat::zeros(1, 3)),
-        };
+        let mut t = Two { a: Param::new(Mat::zeros(2, 2)), b: Param::new(Mat::zeros(1, 3)) };
         t.a.grad.set(0, 0, 5.0);
         t.b.grad.set(0, 2, -1.0);
         t.zero_grad();
@@ -84,10 +81,7 @@ mod tests {
 
     #[test]
     fn param_count_sums() {
-        let mut t = Two {
-            a: Param::new(Mat::zeros(2, 2)),
-            b: Param::new(Mat::zeros(1, 3)),
-        };
+        let mut t = Two { a: Param::new(Mat::zeros(2, 2)), b: Param::new(Mat::zeros(1, 3)) };
         assert_eq!(t.param_count(), 7);
     }
 }

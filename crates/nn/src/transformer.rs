@@ -232,7 +232,12 @@ impl TransformerLm {
 
     /// Samples a sequence of `len` tokens autoregressively at the given
     /// temperature.
-    pub fn sample<R: Rng + ?Sized>(&mut self, len: usize, temperature: f64, rng: &mut R) -> Vec<usize> {
+    pub fn sample<R: Rng + ?Sized>(
+        &mut self,
+        len: usize,
+        temperature: f64,
+        rng: &mut R,
+    ) -> Vec<usize> {
         assert!(temperature > 0.0, "temperature must be positive");
         assert!(len < self.cfg.max_len, "len exceeds max_len");
         let mut seq: Vec<usize> = Vec::with_capacity(len);
@@ -327,10 +332,7 @@ mod tests {
             opt.step(&mut lm);
         }
         let final_nll = lm.nll(&seq);
-        assert!(
-            final_nll < initial * 0.2,
-            "nll did not drop enough: {initial} → {final_nll}"
-        );
+        assert!(final_nll < initial * 0.2, "nll did not drop enough: {initial} → {final_nll}");
     }
 
     #[test]

@@ -2,8 +2,7 @@
 
 use fairgen_nn::param::HasParams;
 use fairgen_nn::{
-    cross_entropy, log_softmax, softmax_rows, unlikelihood, Activation, Adam, Linear, Mat,
-    Mlp,
+    cross_entropy, log_softmax, softmax_rows, unlikelihood, Activation, Adam, Linear, Mat, Mlp,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;

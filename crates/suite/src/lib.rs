@@ -20,21 +20,22 @@ pub use fairgen_walks as walks;
 /// Commonly used items in one import.
 pub mod prelude {
     pub use fairgen_baselines::{
-        BaGenerator, ErGenerator, GaeGenerator, GraphGenerator, NetGanGenerator,
-        TagGenGenerator, WalkLmBudget,
+        BaGenerator, ErGenerator, FittedGenerator, GaeGenerator, GraphGenerator,
+        NetGanGenerator, TagGenGenerator, TaskSpec, WalkLmBudget,
     };
     pub use fairgen_core::{
-        FairGen, FairGenConfig, FairGenGenerator, FairGenInput, FairGenVariant,
-        TrainedFairGen,
+        CycleReport, FairGen, FairGenConfig, FairGenError, FairGenGenerator, FairGenVariant,
+        NullObserver, Result, TrainObserver, TrainedFairGen,
     };
     pub use fairgen_data::{toy_two_community, Dataset, LabeledGraph};
     pub use fairgen_embed::{augment_graph, LogisticRegression, Node2Vec, Node2VecConfig};
     pub use fairgen_graph::{Graph, GraphBuilder, NodeId, NodeSet};
     pub use fairgen_metrics::{
-        all_metrics, overall_discrepancies, protected_discrepancies, DiscrepancyReport,
-        Metric,
+        all_metrics, overall_discrepancies, protected_discrepancies, DiscrepancyReport, Metric,
     };
-    pub use fairgen_walks::{ContextSampler, ContextSamplerConfig, Node2VecWalker, ScoreMatrix};
+    pub use fairgen_walks::{
+        ContextSampler, ContextSamplerConfig, Node2VecWalker, ScoreMatrix,
+    };
 }
 
 #[cfg(test)]

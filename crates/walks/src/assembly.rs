@@ -129,10 +129,10 @@ impl ScoreMatrix {
         let mut degree = vec![0usize; self.n];
         let mut protected_incident = 0usize;
         let select = |u: NodeId,
-                          v: NodeId,
-                          selected: &mut HashMap<u64, ()>,
-                          degree: &mut [usize],
-                          protected_incident: &mut usize|
+                      v: NodeId,
+                      selected: &mut HashMap<u64, ()>,
+                      degree: &mut [usize],
+                      protected_incident: &mut usize|
          -> bool {
             let k = key(u, v);
             if selected.contains_key(&k) {
@@ -289,7 +289,7 @@ mod tests {
         // Only nodes 0..4 appear in walks; 4..8 are never observed.
         b.add_walk(&vec![0, 1, 2, 3, 0, 1]);
         let g = b.assemble(8, &mut rng());
-        assert_eq!(g.min_degree() >= 1, true, "degrees: {:?}", g.degrees());
+        assert!(g.min_degree() >= 1, "degrees: {:?}", g.degrees());
     }
 
     #[test]

@@ -137,13 +137,17 @@ impl ContextSampler {
         if rng.gen::<f64>() < self.cfg.ratio_r {
             self.sample_structural(g, rng)
         } else {
-            self.sample_labeled(g, rng)
-                .unwrap_or_else(|| self.sample_structural(g, rng))
+            self.sample_labeled(g, rng).unwrap_or_else(|| self.sample_structural(g, rng))
         }
     }
 
     /// Samples `k` walks.
-    pub fn sample_corpus<R: Rng + ?Sized>(&self, g: &Graph, k: usize, rng: &mut R) -> Vec<Walk> {
+    pub fn sample_corpus<R: Rng + ?Sized>(
+        &self,
+        g: &Graph,
+        k: usize,
+        rng: &mut R,
+    ) -> Vec<Walk> {
         (0..k).map(|_| self.sample(g, rng)).collect()
     }
 }
@@ -156,10 +160,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn two_triangles() -> Graph {
-        Graph::from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        )
+        Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
     }
 
     fn entry(n: usize, seeds: &[NodeId], support: &[NodeId], weight: f64) -> ContextEntry {
@@ -174,8 +175,7 @@ mod tests {
     fn r_zero_always_label_guided() {
         let g = two_triangles();
         let cfg = ContextSamplerConfig { ratio_r: 0.0, walk_len: 8, ..Default::default() };
-        let sampler =
-            ContextSampler::new(cfg, vec![entry(6, &[3], &[3, 4, 5], 1.0)]);
+        let sampler = ContextSampler::new(cfg, vec![entry(6, &[3], &[3, 4, 5], 1.0)]);
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..50 {
             let w = sampler.sample(&g, &mut rng);
@@ -193,9 +193,8 @@ mod tests {
         // triangle (a confined walk from seed 3 never could).
         let sampler = ContextSampler::new(cfg, vec![entry(6, &[3], &[3, 4, 5], 1.0)]);
         let mut rng = StdRng::seed_from_u64(2);
-        let visits_first = (0..100)
-            .map(|_| sampler.sample(&g, &mut rng))
-            .any(|w| w.iter().any(|&v| v < 3));
+        let visits_first =
+            (0..100).map(|_| sampler.sample(&g, &mut rng)).any(|w| w.iter().any(|&v| v < 3));
         assert!(visits_first);
     }
 
@@ -215,10 +214,7 @@ mod tests {
         let cfg = ContextSamplerConfig { ratio_r: 0.0, walk_len: 4, ..Default::default() };
         let sampler = ContextSampler::new(
             cfg,
-            vec![
-                entry(6, &[0], &[0, 1, 2], 9.0),
-                entry(6, &[3], &[3, 4, 5], 1.0),
-            ],
+            vec![entry(6, &[0], &[0, 1, 2], 9.0), entry(6, &[3], &[3, 4, 5], 1.0)],
         );
         let mut rng = StdRng::seed_from_u64(4);
         let mut first = 0usize;

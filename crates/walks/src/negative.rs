@@ -21,9 +21,7 @@ pub fn random_sequences<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Vec<Walk> {
     assert!(n > 0, "need at least one node");
-    (0..k)
-        .map(|_| (0..len).map(|_| rng.gen_range(0..n as NodeId)).collect())
-        .collect()
+    (0..k).map(|_| (0..len).map(|_| rng.gen_range(0..n as NodeId)).collect()).collect()
 }
 
 /// Corrupts each input walk by replacing `corruptions` random positions with
@@ -76,8 +74,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn ring(n: usize) -> Graph {
-        let edges: Vec<(u32, u32)> =
-            (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+        let edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
         Graph::from_edges(n, &edges)
     }
 
@@ -115,7 +112,10 @@ mod tests {
         let corrupted = corrupted_walks(&g, &walks, 3, &mut rng);
         assert_eq!(corrupted.len(), walks.len());
         assert!(edge_consistency(&g, &corrupted) < 1.0);
-        assert!(edge_consistency(&g, &corrupted) > edge_consistency(&g, &random_sequences(50, 40, 10, &mut rng)));
+        assert!(
+            edge_consistency(&g, &corrupted)
+                > edge_consistency(&g, &random_sequences(50, 40, 10, &mut rng))
+        );
     }
 
     #[test]

@@ -179,10 +179,7 @@ mod tests {
             let mut backtracks = 0usize;
             for _ in 0..300 {
                 let w = walker.walk(&g, 3, 8, &mut rng);
-                backtracks += w
-                    .windows(3)
-                    .filter(|t| t[0] == t[2] && t[0] != t[1])
-                    .count();
+                backtracks += w.windows(3).filter(|t| t[0] == t[2] && t[0] != t[1]).count();
             }
             backtracks
         };
@@ -228,7 +225,8 @@ mod tests {
     #[test]
     fn corpus_empty_graph() {
         let g = Graph::empty(4);
-        let corpus = Node2VecWalker::default().walk_corpus(&g, 5, 4, &mut StdRng::seed_from_u64(0));
+        let corpus =
+            Node2VecWalker::default().walk_corpus(&g, 5, 4, &mut StdRng::seed_from_u64(0));
         assert!(corpus.is_empty());
     }
 }

@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run -p fairgen-suite --release --example fairness_audit`
 
-use fairgen_baselines::{GraphGenerator, TagGenGenerator, WalkLmBudget};
+use fairgen_baselines::{GraphGenerator, TagGenGenerator, TaskSpec, WalkLmBudget};
 use fairgen_core::{FairGenConfig, FairGenGenerator};
 use fairgen_data::toy_two_community;
 use fairgen_embed::{group_separation, pca_2d, Node2Vec, Node2VecConfig};
@@ -43,23 +43,23 @@ fn main() {
     // Reference point: the original graph audited against itself.
     audit("original graph (reference)", &lg.graph, &lg.graph, &s);
 
-    // Fairness-unaware deep generator.
+    // The shared task metadata every generator receives.
+    let mut rng = StdRng::seed_from_u64(1);
+    let labeled = lg.sample_few_shot_labels(4, &mut rng).expect("toy is labeled");
+    let task = TaskSpec::new(labeled, lg.num_classes, lg.protected.clone());
+
+    // Fairness-unaware deep generator (ignores the task beyond validation).
     let taggen = TagGenGenerator {
         budget: WalkLmBudget { train_walks: 400, epochs: 3, ..Default::default() },
         ..Default::default()
     };
-    let out_taggen = taggen.fit_generate(&lg.graph, 1234);
+    let out_taggen = taggen.fit_generate(&lg.graph, &task, 1234).expect("valid audit input");
     audit("TagGen-lite (fairness-unaware)", &lg.graph, &out_taggen, &s);
 
     // FairGen.
-    let mut rng = StdRng::seed_from_u64(1);
-    let labeled = lg.sample_few_shot_labels(4, &mut rng);
-    let mut cfg = FairGenConfig::default();
-    cfg.num_walks = 400;
-    cfg.cycles = 2;
-    let fairgen =
-        FairGenGenerator::new(cfg, labeled, lg.num_classes, lg.protected.clone());
-    let out_fairgen = fairgen.fit_generate(&lg.graph, 1234);
+    let cfg = FairGenConfig { num_walks: 400, cycles: 2, ..Default::default() };
+    let fairgen = FairGenGenerator::new(cfg);
+    let out_fairgen = fairgen.fit_generate(&lg.graph, &task, 1234).expect("valid audit input");
     audit("FairGen", &lg.graph, &out_fairgen, &s);
 
     println!("a fair generator shows smaller mean R+ and higher separation.");

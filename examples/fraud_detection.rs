@@ -6,10 +6,12 @@
 //!
 //! Run with: `cargo run -p fairgen-suite --release --example fraud_detection`
 
-use fairgen_core::{FairGen, FairGenConfig, FairGenInput};
+use fairgen_core::{FairGen, FairGenConfig, TaskSpec};
 use fairgen_data::Dataset;
 use fairgen_embed::eval::mean_std;
-use fairgen_embed::{accuracy, augment_graph, stratified_kfold, LogisticRegression, Node2Vec, Node2VecConfig};
+use fairgen_embed::{
+    accuracy, augment_graph, stratified_kfold, LogisticRegression, Node2Vec, Node2VecConfig,
+};
 use fairgen_graph::Graph;
 use fairgen_nn::Mat;
 use rand::rngs::StdRng;
@@ -24,10 +26,12 @@ fn evaluate(g: &Graph, labels: &[usize], classes: usize, seed: u64) -> (f64, f64
     let mut rng = StdRng::seed_from_u64(seed ^ 0xabc);
     let mut accs = Vec::new();
     for (train, test) in stratified_kfold(labels, 10, &mut rng) {
-        let xtr = Mat::from_fn(train.len(), emb.vectors.cols(), |r, c| emb.vectors.get(train[r], c));
+        let xtr =
+            Mat::from_fn(train.len(), emb.vectors.cols(), |r, c| emb.vectors.get(train[r], c));
         let ytr: Vec<usize> = train.iter().map(|&i| labels[i]).collect();
         let clf = LogisticRegression::fit(&xtr, &ytr, classes, 40, 0.05, seed);
-        let xte = Mat::from_fn(test.len(), emb.vectors.cols(), |r, c| emb.vectors.get(test[r], c));
+        let xte =
+            Mat::from_fn(test.len(), emb.vectors.cols(), |r, c| emb.vectors.get(test[r], c));
         let yte: Vec<usize> = test.iter().map(|&i| labels[i]).collect();
         accs.push(accuracy(&clf.predict(&xte), &yte));
     }
@@ -54,20 +58,13 @@ fn main() {
 
     // FairGen proposes new plausible edges.
     let mut rng = StdRng::seed_from_u64(3);
-    let labeled = lg.sample_few_shot_labels(4, &mut rng);
-    let mut cfg = FairGenConfig::default();
-    cfg.num_walks = 300;
-    cfg.cycles = 2;
-    cfg.gen_epochs = 2;
-    let input = FairGenInput {
-        graph: lg.graph.clone(),
-        labeled,
-        num_classes: lg.num_classes,
-        protected: lg.protected.clone(),
-    };
+    let labeled = lg.sample_few_shot_labels(4, &mut rng).expect("ACM is labeled");
+    let task = TaskSpec::new(labeled, lg.num_classes, lg.protected.clone());
+    let cfg = FairGenConfig { num_walks: 300, cycles: 2, gen_epochs: 2, ..Default::default() };
     println!("\ntraining FairGen and proposing +5% edges…");
-    let mut trained = FairGen::new(cfg).train(&input, 21);
-    let generated = trained.generate(22);
+    let mut trained =
+        FairGen::new(cfg).train(&lg.graph, &task, 21).expect("valid detector input");
+    let generated = trained.generate(22).expect("generate");
     let augmented = augment_graph(&lg.graph, &generated, 0.05, &mut rng);
     println!(
         "augmented graph: m={} (+{} proposed edges)",

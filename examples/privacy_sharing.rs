@@ -9,7 +9,7 @@
 //!
 //! Run with: `cargo run -p fairgen-suite --release --example privacy_sharing`
 
-use fairgen_core::{FairGen, FairGenConfig, FairGenInput};
+use fairgen_core::{FairGen, FairGenConfig, TaskSpec};
 use fairgen_data::Dataset;
 use fairgen_metrics::{overall_discrepancies, protected_discrepancies, Metric};
 use rand::rngs::StdRng;
@@ -20,7 +20,7 @@ fn main() {
     // communities, and a minority segment S+).
     let lg = Dataset::Blog.generate(2024);
     let mut rng = StdRng::seed_from_u64(1);
-    let labeled = lg.sample_few_shot_labels(4, &mut rng);
+    let labeled = lg.sample_few_shot_labels(4, &mut rng).expect("BLOG is labeled");
     let protected = lg.protected.clone().expect("BLOG has a protected group");
     println!(
         "private graph: n={}, m={}, minority segment |S+|={} ({:.1}% of users)",
@@ -30,19 +30,12 @@ fn main() {
         100.0 * lg.protected_ratio()
     );
 
-    let mut cfg = FairGenConfig::default();
-    cfg.num_walks = 300;
-    cfg.cycles = 2;
-    cfg.gen_epochs = 2;
-    let input = FairGenInput {
-        graph: lg.graph.clone(),
-        labeled,
-        num_classes: lg.num_classes,
-        protected: Some(protected.clone()),
-    };
+    let cfg = FairGenConfig { num_walks: 300, cycles: 2, gen_epochs: 2, ..Default::default() };
+    let task = TaskSpec::new(labeled, lg.num_classes, Some(protected.clone()));
     println!("training FairGen on the private graph…");
-    let mut trained = FairGen::new(cfg).train(&input, 99);
-    let shareable = trained.generate(100);
+    let mut trained =
+        FairGen::new(cfg).train(&lg.graph, &task, 99).expect("valid private-graph input");
+    let shareable = trained.generate(100).expect("generate");
 
     // (1) Aggregate fidelity.
     let r = overall_discrepancies(&lg.graph, &shareable);
@@ -67,10 +60,7 @@ fn main() {
     println!("minority-incident edges: private {quota_in} → shareable {quota_out}");
 
     // (3) The shared artifact is synthetic, not a copy.
-    let copied = shareable
-        .edges()
-        .filter(|&(u, v)| lg.graph.has_edge(u, v))
-        .count();
+    let copied = shareable.edges().filter(|&(u, v)| lg.graph.has_edge(u, v)).count();
     println!(
         "\nedge overlap with the private graph: {copied}/{} ({:.1}%) — the rest is synthetic",
         shareable.m(),

@@ -1,65 +1,78 @@
-//! Quickstart: train FairGen on a small two-community graph and compare the
-//! generated graph against the original on the nine network statistics.
+//! Quickstart: train FairGen **once** on a small two-community graph,
+//! stream the per-cycle diagnostics through a `TrainObserver`, then draw
+//! **several** synthetic graphs from the single trained model and compare
+//! each against the original on the nine network statistics.
 //!
 //! Run with: `cargo run -p fairgen-suite --release --example quickstart`
 
-use fairgen_core::{FairGen, FairGenConfig, FairGenInput};
+use std::ops::ControlFlow;
+
+use fairgen_core::{CycleReport, FairGen, FairGenConfig, TaskSpec};
 use fairgen_data::toy_two_community;
 use fairgen_metrics::{all_metrics, DiscrepancyReport, Metric};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn main() {
+fn main() -> fairgen_core::error::Result<()> {
     // 1. A graph with a small protected community (|S+| = 20 of 100 nodes)
-    //    and few-shot class labels — the paper's Problem 1 input.
+    //    and few-shot class labels — the paper's Problem 1 input, carried
+    //    by a TaskSpec shared with every other generator in the workspace.
     let lg = toy_two_community(7);
     let mut rng = StdRng::seed_from_u64(0);
-    let labeled = lg.sample_few_shot_labels(4, &mut rng);
-    let input = FairGenInput {
-        graph: lg.graph.clone(),
-        labeled,
-        num_classes: lg.num_classes,
-        protected: lg.protected.clone(),
-    };
+    let labeled = lg.sample_few_shot_labels(4, &mut rng)?;
+    let task = TaskSpec::new(labeled, lg.num_classes, lg.protected.clone());
     println!(
         "input graph: n={}, m={}, |S+|={}",
-        input.graph.n(),
-        input.graph.m(),
-        input.protected.as_ref().map_or(0, |s| s.len())
+        lg.graph.n(),
+        lg.graph.m(),
+        task.protected.as_ref().map_or(0, |s| s.len())
     );
 
-    // 2. Train (Algorithm 1) and generate (fair assembly, Section II-D).
-    let mut cfg = FairGenConfig::default();
-    cfg.num_walks = 400; // scaled for a quick demo
-    cfg.cycles = 2;
+    // 2. Train (Algorithm 1) once, observing each cycle as it completes.
+    //    Returning ControlFlow::Break from the observer would cancel
+    //    training at the cycle boundary; here we just watch.
+    // Budget scaled for a quick demo.
+    let cfg = FairGenConfig { num_walks: 400, cycles: 2, ..Default::default() };
     let fairgen = FairGen::new(cfg);
     println!("training FairGen ({} self-paced cycles)…", cfg.cycles);
-    let mut trained = fairgen.train(&input, 42);
-    for report in &trained.history {
+    let mut observer = |report: &CycleReport| {
         println!(
             "  cycle {}: lambda={:.3}, pseudo-labels={}, {}",
             report.cycle, report.lambda, report.pseudo_labels, report.objective
         );
-    }
-    let generated = trained.generate(43);
+        ControlFlow::Continue(())
+    };
+    let mut trained = fairgen.train_observed(&lg.graph, &task, 42, &mut observer)?;
 
-    // 3. Compare the nine statistics of Table II.
-    let orig = all_metrics(&input.graph);
-    let synth = all_metrics(&generated);
-    println!("\n{:<6} {:>12} {:>12}", "metric", "original", "generated");
+    // 3. Fit once, generate many: three independent reproducible draws
+    //    from the one trained model — no retraining per sample.
+    let samples = trained.generate_batch(&[43, 44, 45])?;
+
+    // 4. Compare the nine statistics of Table II, per draw.
+    let orig = all_metrics(&lg.graph);
+    print!("\n{:<6} {:>12}", "metric", "original");
+    for i in 0..samples.len() {
+        print!(" {:>11}{}", "draw", i + 1);
+    }
+    println!();
     for m in Metric::ALL {
-        println!("{:<6} {:>12.4} {:>12.4}", m.abbrev(), orig.get(m), synth.get(m));
+        print!("{:<6} {:>12.4}", m.abbrev(), orig.get(m));
+        for sample in &samples {
+            print!(" {:>12.4}", all_metrics(sample).get(m));
+        }
+        println!();
     }
 
-    // 4. Overall and protected-group discrepancies (Eqs. 15–16).
-    let report = DiscrepancyReport::compute(
-        &input.graph,
-        &generated,
-        input.protected.as_ref(),
-    );
-    println!("\nmean overall discrepancy R  = {:.4}", report.mean_overall());
-    println!(
-        "mean protected discrepancy R+ = {:.4}",
-        report.mean_protected().expect("protected group present")
-    );
+    // 5. Overall and protected-group discrepancies (Eqs. 15–16), per draw.
+    println!();
+    for (i, sample) in samples.iter().enumerate() {
+        let report = DiscrepancyReport::compute(&lg.graph, sample, task.protected.as_ref());
+        println!(
+            "draw {}: mean R = {:.4}, mean R+ = {:.4}",
+            i + 1,
+            report.mean_overall(),
+            report.mean_protected().expect("protected group present"),
+        );
+    }
+    Ok(())
 }
