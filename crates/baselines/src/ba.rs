@@ -1,10 +1,12 @@
 //! The Barabási–Albert baseline.
 
-use fairgen_graph::error::Result;
+use fairgen_graph::codec::{Decoder, Encoder};
+use fairgen_graph::error::{FairGenError, Result};
 use fairgen_graph::Graph;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::persist::{PersistableGenerator, PersistableGraphGenerator};
 use crate::traits::{FittedGenerator, GraphGenerator, TaskSpec};
 
 /// Barabási–Albert: fits the attachment count `m_attach ≈ m/n` and grows a
@@ -17,9 +19,20 @@ pub struct BaGenerator;
 
 /// A fitted BA model: vertex count and attachment parameter.
 #[derive(Clone, Copy, Debug)]
-struct FittedBa {
+pub(crate) struct FittedBa {
     n: usize,
     m_attach: usize,
+}
+
+impl BaGenerator {
+    fn fit_impl(&self, g: &Graph, task: &TaskSpec) -> Result<FittedBa> {
+        task.validate(g)?;
+        let n = g.n();
+        let m_attach = ((g.m() as f64 / n.max(1) as f64).round() as usize)
+            .max(1)
+            .min(n.saturating_sub(1).max(1));
+        Ok(FittedBa { n, m_attach })
+    }
 }
 
 impl GraphGenerator for BaGenerator {
@@ -28,13 +41,42 @@ impl GraphGenerator for BaGenerator {
     }
 
     fn fit(&self, g: &Graph, task: &TaskSpec, _seed: u64) -> Result<Box<dyn FittedGenerator>> {
-        task.validate(g)?;
-        let n = g.n();
-        let m_attach = ((g.m() as f64 / n.max(1) as f64).round() as usize)
-            .max(1)
-            .min(n.saturating_sub(1).max(1));
-        Ok(Box::new(FittedBa { n, m_attach }))
+        Ok(Box::new(self.fit_impl(g, task)?))
     }
+}
+
+impl PersistableGraphGenerator for BaGenerator {
+    fn fit_persistable(
+        &self,
+        g: &Graph,
+        task: &TaskSpec,
+        _seed: u64,
+    ) -> Result<Box<dyn PersistableGenerator>> {
+        Ok(Box::new(self.fit_impl(g, task)?))
+    }
+}
+
+impl PersistableGenerator for FittedBa {
+    fn checkpoint_tag(&self) -> &'static str {
+        "BA"
+    }
+
+    fn encode_state(&self, enc: &mut Encoder) {
+        enc.put_usize(self.n);
+        enc.put_usize(self.m_attach);
+    }
+}
+
+/// Decodes a fitted BA model from a checkpoint payload.
+pub(crate) fn decode_fitted(dec: &mut Decoder) -> Result<FittedBa> {
+    let n = dec.take_usize()?;
+    let m_attach = dec.take_usize()?;
+    if m_attach == 0 || m_attach > n.saturating_sub(1).max(1) {
+        return Err(FairGenError::CorruptCheckpoint {
+            detail: format!("BA attachment {m_attach} invalid for {n} nodes"),
+        });
+    }
+    Ok(FittedBa { n, m_attach })
 }
 
 impl FittedGenerator for FittedBa {

@@ -1,10 +1,12 @@
 //! The Erdős–Rényi baseline.
 
-use fairgen_graph::error::Result;
+use fairgen_graph::codec::{Decoder, Encoder};
+use fairgen_graph::error::{FairGenError, Result};
 use fairgen_graph::{Graph, GraphBuilder, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::persist::{PersistableGenerator, PersistableGraphGenerator};
 use crate::traits::{FittedGenerator, GraphGenerator, TaskSpec};
 
 /// Erdős–Rényi: fits `p = m / C(n,2)` and samples exactly `m` distinct
@@ -18,9 +20,18 @@ pub struct ErGenerator;
 
 /// A fitted ER model: the vertex count and edge budget of the input.
 #[derive(Clone, Copy, Debug)]
-struct FittedEr {
+pub(crate) struct FittedEr {
     n: usize,
     target: usize,
+}
+
+impl ErGenerator {
+    fn fit_impl(&self, g: &Graph, task: &TaskSpec) -> Result<FittedEr> {
+        task.validate(g)?;
+        let n = g.n();
+        let target = g.m().min(n * n.saturating_sub(1) / 2);
+        Ok(FittedEr { n, target })
+    }
 }
 
 impl GraphGenerator for ErGenerator {
@@ -29,11 +40,43 @@ impl GraphGenerator for ErGenerator {
     }
 
     fn fit(&self, g: &Graph, task: &TaskSpec, _seed: u64) -> Result<Box<dyn FittedGenerator>> {
-        task.validate(g)?;
-        let n = g.n();
-        let target = g.m().min(n * n.saturating_sub(1) / 2);
-        Ok(Box::new(FittedEr { n, target }))
+        Ok(Box::new(self.fit_impl(g, task)?))
     }
+}
+
+impl PersistableGraphGenerator for ErGenerator {
+    fn fit_persistable(
+        &self,
+        g: &Graph,
+        task: &TaskSpec,
+        _seed: u64,
+    ) -> Result<Box<dyn PersistableGenerator>> {
+        Ok(Box::new(self.fit_impl(g, task)?))
+    }
+}
+
+impl PersistableGenerator for FittedEr {
+    fn checkpoint_tag(&self) -> &'static str {
+        "ER"
+    }
+
+    fn encode_state(&self, enc: &mut Encoder) {
+        enc.put_usize(self.n);
+        enc.put_usize(self.target);
+    }
+}
+
+/// Decodes a fitted ER model from a checkpoint payload.
+pub(crate) fn decode_fitted(dec: &mut Decoder) -> Result<FittedEr> {
+    let n = dec.take_usize()?;
+    let target = dec.take_usize()?;
+    let max = n * n.saturating_sub(1) / 2;
+    if target > max {
+        return Err(FairGenError::CorruptCheckpoint {
+            detail: format!("ER target {target} exceeds the {max} possible edges on {n} nodes"),
+        });
+    }
+    Ok(FittedEr { n, target })
 }
 
 impl FittedGenerator for FittedEr {

@@ -6,6 +6,7 @@
 //! against an equal number of sampled non-edges — the standard VGAE recipe
 //! minus the variational term.
 
+use fairgen_graph::codec::{Codec, Decoder, Encoder};
 use fairgen_graph::error::Result;
 use fairgen_graph::{Graph, NodeId};
 use fairgen_nn::param::HasParams;
@@ -14,6 +15,7 @@ use fairgen_walks::ScoreMatrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::persist::{PersistableGenerator, PersistableGraphGenerator};
 use crate::traits::{FittedGenerator, GraphGenerator, TaskSpec};
 
 /// GAE-lite hyperparameters.
@@ -122,17 +124,13 @@ impl GaeGenerator {
 
 /// A fitted GAE model: the decoded edge scores of the trained embeddings
 /// plus the edge budget; each generation seed re-runs only the assembly.
-struct FittedGae {
+pub(crate) struct FittedGae {
     scores: ScoreMatrix,
     target_m: usize,
 }
 
-impl GraphGenerator for GaeGenerator {
-    fn name(&self) -> &'static str {
-        "GAE"
-    }
-
-    fn fit(&self, g: &Graph, task: &TaskSpec, seed: u64) -> Result<Box<dyn FittedGenerator>> {
+impl GaeGenerator {
+    fn fit_impl(&self, g: &Graph, task: &TaskSpec, seed: u64) -> Result<FittedGae> {
         task.validate(g)?;
         let mut rng = StdRng::seed_from_u64(seed);
         let z = self.train_embeddings(g, &mut rng);
@@ -150,8 +148,51 @@ impl GraphGenerator for GaeGenerator {
                 }
             }
         }
-        Ok(Box::new(FittedGae { scores, target_m: g.m() }))
+        Ok(FittedGae { scores, target_m: g.m() })
     }
+}
+
+impl GraphGenerator for GaeGenerator {
+    fn name(&self) -> &'static str {
+        "GAE"
+    }
+
+    fn fit(&self, g: &Graph, task: &TaskSpec, seed: u64) -> Result<Box<dyn FittedGenerator>> {
+        Ok(Box::new(self.fit_impl(g, task, seed)?))
+    }
+}
+
+impl PersistableGraphGenerator for GaeGenerator {
+    fn fit_persistable(
+        &self,
+        g: &Graph,
+        task: &TaskSpec,
+        seed: u64,
+    ) -> Result<Box<dyn PersistableGenerator>> {
+        Ok(Box::new(self.fit_impl(g, task, seed)?))
+    }
+
+    fn fold_config(&self, fp: &mut fairgen_graph::FingerprintBuilder) {
+        fp.add_usize(self.dim).add_usize(self.epochs).add_f64(self.lr);
+    }
+}
+
+impl PersistableGenerator for FittedGae {
+    fn checkpoint_tag(&self) -> &'static str {
+        "GAE"
+    }
+
+    fn encode_state(&self, enc: &mut Encoder) {
+        self.scores.encode(enc);
+        enc.put_usize(self.target_m);
+    }
+}
+
+/// Decodes a fitted GAE model from a checkpoint payload.
+pub(crate) fn decode_fitted(dec: &mut Decoder) -> Result<FittedGae> {
+    let scores = ScoreMatrix::decode(dec)?;
+    let target_m = dec.take_usize()?;
+    Ok(FittedGae { scores, target_m })
 }
 
 impl FittedGenerator for FittedGae {

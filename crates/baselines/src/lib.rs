@@ -29,6 +29,7 @@ pub mod ba;
 pub mod er;
 pub mod gae;
 pub mod netgan;
+pub mod persist;
 pub mod taggen;
 pub mod traits;
 pub mod walk_lm;
@@ -37,6 +38,9 @@ pub use ba::BaGenerator;
 pub use er::ErGenerator;
 pub use gae::GaeGenerator;
 pub use netgan::NetGanGenerator;
+pub use persist::{
+    decode_baseline, fitted_to_bytes, PersistableGenerator, PersistableGraphGenerator,
+};
 pub use taggen::TagGenGenerator;
 pub use traits::{FittedGenerator, GraphGenerator, TaskSpec};
 pub use walk_lm::WalkLmBudget;

@@ -1,14 +1,19 @@
 //! NetGAN-lite: an LSTM random-walk generator (Bojchevski et al., ICML'18).
 
-use fairgen_graph::error::Result;
+use fairgen_graph::codec::{Codec, Decoder, Encoder};
+use fairgen_graph::error::{FairGenError, Result};
 use fairgen_graph::Graph;
 use fairgen_nn::param::HasParams;
 use fairgen_nn::{clip_gradients, Adam, LstmLm};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::persist::{PersistableGenerator, PersistableGraphGenerator};
 use crate::traits::{FittedGenerator, GraphGenerator, TaskSpec};
-use crate::walk_lm::{train_walk_lm, FittedWalkLm, WalkLmBudget, WalkModel};
+use crate::walk_lm::{
+    decode_fitted_walk_lm, encode_fitted_walk_lm, train_walk_lm, FittedWalkLm, WalkLmBudget,
+    WalkModel,
+};
 
 /// NetGAN-lite configuration.
 #[derive(Clone, Copy, Debug)]
@@ -27,9 +32,28 @@ impl Default for NetGanGenerator {
     }
 }
 
-struct NetGanModel {
+pub(crate) struct NetGanModel {
     lm: LstmLm,
     opt: Adam,
+}
+
+impl Codec for NetGanModel {
+    /// The optimizer is *not* checkpointed — only its learning rate, so a
+    /// reloaded model could resume fine-tuning with a fresh Adam state.
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_f64(self.opt.lr);
+        self.lm.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder) -> Result<Self> {
+        let lr = dec.take_f64()?;
+        if !lr.is_finite() || lr <= 0.0 {
+            return Err(FairGenError::CorruptCheckpoint {
+                detail: format!("non-positive learning rate {lr}"),
+            });
+        }
+        Ok(NetGanModel { lm: LstmLm::decode(dec)?, opt: Adam::new(lr) })
+    }
 }
 
 impl WalkModel for NetGanModel {
@@ -48,12 +72,13 @@ impl WalkModel for NetGanModel {
     }
 }
 
-impl GraphGenerator for NetGanGenerator {
-    fn name(&self) -> &'static str {
-        "NetGAN"
-    }
-
-    fn fit(&self, g: &Graph, task: &TaskSpec, seed: u64) -> Result<Box<dyn FittedGenerator>> {
+impl NetGanGenerator {
+    fn fit_impl(
+        &self,
+        g: &Graph,
+        task: &TaskSpec,
+        seed: u64,
+    ) -> Result<FittedWalkLm<NetGanModel>> {
         task.validate(g)?;
         let mut rng = StdRng::seed_from_u64(seed);
         let mut model = NetGanModel {
@@ -61,15 +86,66 @@ impl GraphGenerator for NetGanGenerator {
             opt: Adam::new(self.budget.lr),
         };
         let trained = train_walk_lm(&mut model, g, &self.budget, &mut rng);
-        Ok(Box::new(FittedWalkLm {
+        Ok(FittedWalkLm {
             model,
             display_name: "NetGAN",
             n: g.n(),
             target_m: g.m(),
             budget: self.budget,
             trained,
-        }))
+        })
     }
+}
+
+impl GraphGenerator for NetGanGenerator {
+    fn name(&self) -> &'static str {
+        "NetGAN"
+    }
+
+    fn fit(&self, g: &Graph, task: &TaskSpec, seed: u64) -> Result<Box<dyn FittedGenerator>> {
+        Ok(Box::new(self.fit_impl(g, task, seed)?))
+    }
+}
+
+impl PersistableGraphGenerator for NetGanGenerator {
+    fn fit_persistable(
+        &self,
+        g: &Graph,
+        task: &TaskSpec,
+        seed: u64,
+    ) -> Result<Box<dyn PersistableGenerator>> {
+        Ok(Box::new(self.fit_impl(g, task, seed)?))
+    }
+
+    fn fold_config(&self, fp: &mut fairgen_graph::FingerprintBuilder) {
+        fp.add_usize(self.dim).add_usize(self.hidden);
+        self.budget.fold_config(fp);
+    }
+}
+
+impl PersistableGenerator for FittedWalkLm<NetGanModel> {
+    fn checkpoint_tag(&self) -> &'static str {
+        "NetGAN"
+    }
+
+    fn encode_state(&self, enc: &mut Encoder) {
+        encode_fitted_walk_lm(self, enc);
+    }
+}
+
+/// Decodes a fitted NetGAN model from a checkpoint payload.
+pub(crate) fn decode_fitted(dec: &mut Decoder) -> Result<FittedWalkLm<NetGanModel>> {
+    let fitted: FittedWalkLm<NetGanModel> = decode_fitted_walk_lm("NetGAN", dec)?;
+    if fitted.model.lm.vocab() != fitted.n.max(1) {
+        return Err(FairGenError::CorruptCheckpoint {
+            detail: format!(
+                "NetGAN vocab {} disagrees with {} nodes",
+                fitted.model.lm.vocab(),
+                fitted.n
+            ),
+        });
+    }
+    Ok(fitted)
 }
 
 #[cfg(test)]

@@ -1,0 +1,158 @@
+//! Persistence extension of the generator lifecycle: fitted models that
+//! survive process restarts.
+//!
+//! [`PersistableGenerator`] extends [`FittedGenerator`] with a stable
+//! family tag and a state encoder; [`fitted_to_bytes`] seals that state
+//! into the versioned container of [`fairgen_graph::codec`].
+//! [`PersistableGraphGenerator`] is the fitting-side counterpart: it
+//! returns the fitted model as a *persistable* trait object, which is what
+//! a serving layer caches, spills to disk under memory pressure, and
+//! warm-starts from after a restart.
+//!
+//! Decoding dispatches on the container tag. This crate knows the six
+//! baseline families; `fairgen_core::checkpoint` layers FairGen on top and
+//! is the entry point applications should use
+//! (`fairgen_core::checkpoint::{save_to, load_from}`).
+//!
+//! The contract every implementation upholds (and the serving tests
+//! enforce): **save → load → generate(seed) produces the same graph as the
+//! in-memory model**, because weights round-trip bit-exactly and generation
+//! randomness is derived solely from the generation seed.
+
+use fairgen_graph::codec::{self, Decoder, Encoder};
+use fairgen_graph::error::Result;
+use fairgen_graph::{FingerprintBuilder, Graph};
+
+use crate::traits::{FittedGenerator, GraphGenerator, TaskSpec};
+
+/// A fitted generator whose state can be checkpointed.
+pub trait PersistableGenerator: FittedGenerator {
+    /// Stable family tag stored in the checkpoint container (e.g. `"ER"`,
+    /// `"TagGen"`, `"FairGen"`). Decoders dispatch on it; renaming a tag is
+    /// a format break.
+    fn checkpoint_tag(&self) -> &'static str;
+
+    /// Appends the model state (payload only — no container framing) to
+    /// `enc`. Must be deterministic: equal models encode to equal bytes.
+    fn encode_state(&self, enc: &mut Encoder);
+}
+
+/// A generator whose fit result is checkpointable — the fitting side of the
+/// persistence contract, implemented by all six baselines here and by
+/// `FairGenGenerator` in `fairgen-core`.
+pub trait PersistableGraphGenerator: GraphGenerator {
+    /// [`GraphGenerator::fit`], but returning the fitted model as a
+    /// persistable trait object.
+    fn fit_persistable(
+        &self,
+        g: &Graph,
+        task: &TaskSpec,
+        seed: u64,
+    ) -> Result<Box<dyn PersistableGenerator>>;
+
+    /// Folds every hyperparameter that changes what `fit` produces into a
+    /// fingerprint, so a serving cache never conflates models trained
+    /// under different configurations (e.g. a test-budget spill warmed
+    /// into a production registry). Parameter-free families (ER, BA) keep
+    /// the default no-op.
+    fn fold_config(&self, fp: &mut FingerprintBuilder) {
+        let _ = fp;
+    }
+}
+
+/// Seals a fitted model into checkpoint container bytes.
+pub fn fitted_to_bytes(model: &dyn PersistableGenerator) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    model.encode_state(&mut enc);
+    codec::seal(model.checkpoint_tag(), &enc.into_bytes())
+}
+
+/// Decodes a baseline fitted model from an *opened* container, dispatching
+/// on its tag. Returns `Ok(None)` when the tag names a family this crate
+/// does not know (the caller may layer more families on top, as
+/// `fairgen_core::checkpoint` does for FairGen).
+pub fn decode_baseline(
+    tag: &str,
+    dec: &mut Decoder,
+) -> Result<Option<Box<dyn PersistableGenerator>>> {
+    let model: Box<dyn PersistableGenerator> = match tag {
+        "ER" => Box::new(crate::er::decode_fitted(dec)?),
+        "BA" => Box::new(crate::ba::decode_fitted(dec)?),
+        "GAE" => Box::new(crate::gae::decode_fitted(dec)?),
+        "NetGAN" => Box::new(crate::netgan::decode_fitted(dec)?),
+        "TagGen" => Box::new(crate::taggen::decode_fitted(dec)?),
+        _ => return Ok(None),
+    };
+    dec.finish()?;
+    Ok(Some(model))
+}
+
+/// Convenience: seals `model` and reopens it through [`decode_baseline`] —
+/// the in-process equivalent of a spill/warm-start cycle, used by tests.
+pub fn roundtrip_baseline(
+    model: &dyn PersistableGenerator,
+) -> Result<Option<Box<dyn PersistableGenerator>>> {
+    let bytes = fitted_to_bytes(model);
+    let (tag, mut dec) = codec::open(&bytes)?;
+    decode_baseline(&tag, &mut dec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BaGenerator, ErGenerator};
+    use fairgen_graph::FairGenError;
+
+    fn ring(n: u32) -> Graph {
+        Graph::from_edges(n as usize, &(0..n).map(|i| (i, (i + 1) % n)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn fit_persistable_matches_fit() {
+        let g = ring(12);
+        let task = TaskSpec::unlabeled();
+        let mut a = ErGenerator.fit(&g, &task, 0).expect("fit");
+        let mut b = ErGenerator.fit_persistable(&g, &task, 0).expect("fit_persistable");
+        assert_eq!(a.generate(7).expect("a"), b.generate(7).expect("b"));
+        assert_eq!(b.checkpoint_tag(), "ER");
+    }
+
+    #[test]
+    fn roundtrip_preserves_generation() {
+        let g = ring(16);
+        let task = TaskSpec::unlabeled();
+        for gen in [&ErGenerator as &dyn PersistableGraphGenerator, &BaGenerator] {
+            let mut fitted = gen.fit_persistable(&g, &task, 1).expect("fit");
+            let mut back =
+                roundtrip_baseline(fitted.as_ref()).expect("decode").expect("known family");
+            assert_eq!(
+                fitted.generate(9).expect("mem"),
+                back.generate(9).expect("disk"),
+                "{} roundtrip diverged",
+                gen.name()
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_tag_is_left_to_the_caller() {
+        let bytes = codec::seal("SomeFutureFamily", &[]);
+        let (tag, mut dec) = codec::open(&bytes).expect("container valid");
+        assert!(decode_baseline(&tag, &mut dec).expect("no error").is_none());
+    }
+
+    #[test]
+    fn trailing_payload_bytes_are_rejected() {
+        let g = ring(8);
+        let fitted = ErGenerator.fit_persistable(&g, &TaskSpec::unlabeled(), 0).expect("fit");
+        let mut enc = Encoder::new();
+        fitted.encode_state(&mut enc);
+        enc.put_u8(0xAB);
+        let bytes = codec::seal(fitted.checkpoint_tag(), &enc.into_bytes());
+        let (tag, mut dec) = codec::open(&bytes).expect("container valid");
+        assert!(matches!(
+            decode_baseline(&tag, &mut dec),
+            Err(FairGenError::CorruptCheckpoint { .. })
+        ));
+    }
+}

@@ -5,15 +5,20 @@
 //! lite version keeps exactly that difference and shares the rest of the
 //! pipeline with NetGAN-lite.
 
-use fairgen_graph::error::Result;
+use fairgen_graph::codec::{Codec, Decoder, Encoder};
+use fairgen_graph::error::{FairGenError, Result};
 use fairgen_graph::Graph;
 use fairgen_nn::param::HasParams;
 use fairgen_nn::{clip_gradients, Adam, TransformerConfig, TransformerLm};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::persist::{PersistableGenerator, PersistableGraphGenerator};
 use crate::traits::{FittedGenerator, GraphGenerator, TaskSpec};
-use crate::walk_lm::{train_walk_lm, FittedWalkLm, WalkLmBudget, WalkModel};
+use crate::walk_lm::{
+    decode_fitted_walk_lm, encode_fitted_walk_lm, train_walk_lm, FittedWalkLm, WalkLmBudget,
+    WalkModel,
+};
 
 /// TagGen-lite configuration.
 #[derive(Clone, Copy, Debug)]
@@ -34,9 +39,29 @@ impl Default for TagGenGenerator {
     }
 }
 
-struct TagGenModel {
+pub(crate) struct TagGenModel {
     lm: TransformerLm,
     opt: Adam,
+}
+
+impl Codec for TagGenModel {
+    /// Optimizer-free, like every checkpoint: only the learning rate is
+    /// kept so a reloaded model could resume fine-tuning from fresh Adam
+    /// state.
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_f64(self.opt.lr);
+        self.lm.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder) -> Result<Self> {
+        let lr = dec.take_f64()?;
+        if !lr.is_finite() || lr <= 0.0 {
+            return Err(FairGenError::CorruptCheckpoint {
+                detail: format!("non-positive learning rate {lr}"),
+            });
+        }
+        Ok(TagGenModel { lm: TransformerLm::decode(dec)?, opt: Adam::new(lr) })
+    }
 }
 
 impl WalkModel for TagGenModel {
@@ -55,12 +80,13 @@ impl WalkModel for TagGenModel {
     }
 }
 
-impl GraphGenerator for TagGenGenerator {
-    fn name(&self) -> &'static str {
-        "TagGen"
-    }
-
-    fn fit(&self, g: &Graph, task: &TaskSpec, seed: u64) -> Result<Box<dyn FittedGenerator>> {
+impl TagGenGenerator {
+    fn fit_impl(
+        &self,
+        g: &Graph,
+        task: &TaskSpec,
+        seed: u64,
+    ) -> Result<FittedWalkLm<TagGenModel>> {
         task.validate(g)?;
         let mut rng = StdRng::seed_from_u64(seed);
         let cfg = TransformerConfig {
@@ -75,15 +101,66 @@ impl GraphGenerator for TagGenGenerator {
             opt: Adam::new(self.budget.lr),
         };
         let trained = train_walk_lm(&mut model, g, &self.budget, &mut rng);
-        Ok(Box::new(FittedWalkLm {
+        Ok(FittedWalkLm {
             model,
             display_name: "TagGen",
             n: g.n(),
             target_m: g.m(),
             budget: self.budget,
             trained,
-        }))
+        })
     }
+}
+
+impl GraphGenerator for TagGenGenerator {
+    fn name(&self) -> &'static str {
+        "TagGen"
+    }
+
+    fn fit(&self, g: &Graph, task: &TaskSpec, seed: u64) -> Result<Box<dyn FittedGenerator>> {
+        Ok(Box::new(self.fit_impl(g, task, seed)?))
+    }
+}
+
+impl PersistableGraphGenerator for TagGenGenerator {
+    fn fit_persistable(
+        &self,
+        g: &Graph,
+        task: &TaskSpec,
+        seed: u64,
+    ) -> Result<Box<dyn PersistableGenerator>> {
+        Ok(Box::new(self.fit_impl(g, task, seed)?))
+    }
+
+    fn fold_config(&self, fp: &mut fairgen_graph::FingerprintBuilder) {
+        fp.add_usize(self.d_model).add_usize(self.heads).add_usize(self.layers);
+        self.budget.fold_config(fp);
+    }
+}
+
+impl PersistableGenerator for FittedWalkLm<TagGenModel> {
+    fn checkpoint_tag(&self) -> &'static str {
+        "TagGen"
+    }
+
+    fn encode_state(&self, enc: &mut Encoder) {
+        encode_fitted_walk_lm(self, enc);
+    }
+}
+
+/// Decodes a fitted TagGen model from a checkpoint payload.
+pub(crate) fn decode_fitted(dec: &mut Decoder) -> Result<FittedWalkLm<TagGenModel>> {
+    let fitted: FittedWalkLm<TagGenModel> = decode_fitted_walk_lm("TagGen", dec)?;
+    if fitted.model.lm.config().vocab != fitted.n.max(1) {
+        return Err(FairGenError::CorruptCheckpoint {
+            detail: format!(
+                "TagGen vocab {} disagrees with {} nodes",
+                fitted.model.lm.config().vocab,
+                fitted.n
+            ),
+        });
+    }
+    Ok(fitted)
 }
 
 #[cfg(test)]

@@ -7,7 +7,8 @@
 //! re-samples walks + assembles a fresh synthetic graph per generation
 //! seed, so one training run amortizes across many draws.
 
-use fairgen_graph::error::Result;
+use fairgen_graph::codec::{Codec, Decoder, Encoder};
+use fairgen_graph::error::{FairGenError, Result};
 use fairgen_graph::Graph;
 use fairgen_walks::{negative, Node2VecWalker, ScoreMatrix, Walk};
 use rand::rngs::StdRng;
@@ -114,9 +115,13 @@ pub fn sample_and_assemble<M: WalkModel>(
     rng: &mut StdRng,
 ) -> Graph {
     let mut scores = ScoreMatrix::new(n);
+    // One walk buffer reused across all `total` samples — this loop is the
+    // per-draw hot path of both walk-LM baselines.
+    let mut walk: Walk = Vec::with_capacity(walk_len);
     for _ in 0..total {
         let seq = model.lm_sample(walk_len, rng);
-        let walk: Walk = seq.iter().map(|&t| t as u32).collect();
+        walk.clear();
+        walk.extend(seq.iter().map(|&t| t as u32));
         scores.add_walk(&walk);
     }
     scores.assemble(target_m, rng)
@@ -141,6 +146,75 @@ pub struct FittedWalkLm<M: WalkModel> {
     pub(crate) budget: WalkLmBudget,
     /// Whether training ran (false for edgeless inputs).
     pub(crate) trained: bool,
+}
+
+impl WalkLmBudget {
+    /// Folds the budget into a serving-cache fingerprint (every field
+    /// changes the fitted model or its sampling behaviour).
+    pub fn fold_config(&self, fp: &mut fairgen_graph::FingerprintBuilder) {
+        fp.add_usize(self.walk_len)
+            .add_usize(self.train_walks)
+            .add_usize(self.epochs)
+            .add_f64(self.negative_weight)
+            .add_usize(self.gen_multiplier)
+            .add_f64(self.lr);
+    }
+}
+
+impl Codec for WalkLmBudget {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_usize(self.walk_len);
+        enc.put_usize(self.train_walks);
+        enc.put_usize(self.epochs);
+        enc.put_f64(self.negative_weight);
+        enc.put_usize(self.gen_multiplier);
+        enc.put_f64(self.lr);
+    }
+
+    fn decode(dec: &mut Decoder) -> Result<Self> {
+        let budget = WalkLmBudget {
+            walk_len: dec.take_usize()?,
+            train_walks: dec.take_usize()?,
+            epochs: dec.take_usize()?,
+            negative_weight: dec.take_f64()?,
+            gen_multiplier: dec.take_usize()?,
+            lr: dec.take_f64()?,
+        };
+        if budget.walk_len < 2 || !budget.lr.is_finite() || budget.lr <= 0.0 {
+            return Err(FairGenError::CorruptCheckpoint {
+                detail: format!("degenerate walk-LM budget {budget:?}"),
+            });
+        }
+        Ok(budget)
+    }
+}
+
+/// Appends the family-independent half of a fitted walk-LM checkpoint
+/// (counts, budget, trained flag) followed by the model state.
+pub(crate) fn encode_fitted_walk_lm<M: WalkModel + Codec>(
+    fitted: &FittedWalkLm<M>,
+    enc: &mut Encoder,
+) {
+    enc.put_usize(fitted.n);
+    enc.put_usize(fitted.target_m);
+    fitted.budget.encode(enc);
+    enc.put_bool(fitted.trained);
+    fitted.model.encode(enc);
+}
+
+/// Reads back what [`encode_fitted_walk_lm`] wrote. `display_name` is the
+/// owning family's static name (it doubles as the checkpoint tag, so it is
+/// not stored in the payload).
+pub(crate) fn decode_fitted_walk_lm<M: WalkModel + Codec>(
+    display_name: &'static str,
+    dec: &mut Decoder,
+) -> Result<FittedWalkLm<M>> {
+    let n = dec.take_usize()?;
+    let target_m = dec.take_usize()?;
+    let budget = WalkLmBudget::decode(dec)?;
+    let trained = dec.take_bool()?;
+    let model = M::decode(dec)?;
+    Ok(FittedWalkLm { model, display_name, n, target_m, budget, trained })
 }
 
 impl<M: WalkModel> FittedGenerator for FittedWalkLm<M> {

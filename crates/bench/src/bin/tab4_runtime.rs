@@ -2,7 +2,14 @@
 //! benchmark datasets (fit + generate). The paper's shape: ER/BA are
 //! near-instant, deep models are orders of magnitude slower, FairGen is
 //! much faster than NetGAN while TagGen-class models sit in between.
+//!
+//! A second table reports what the serving layer makes of that split:
+//! per method, the `ModelRegistry`'s cold-miss latency (fit + generate on
+//! first sight of a fingerprint) versus its warm-hit latency (generate
+//! only, model cached) — the amortization every fit-once/serve-many
+//! deployment banks on.
 
+use fairgen_baselines::persist::PersistableGraphGenerator;
 use fairgen_baselines::{
     BaGenerator, ErGenerator, GraphGenerator, NetGanGenerator, TagGenGenerator,
 };
@@ -12,7 +19,52 @@ use fairgen_bench::{
 };
 use fairgen_core::FairGenGenerator;
 use fairgen_data::Dataset;
+use fairgen_serve::{GenerateRequest, ModelRegistry, ServedFrom};
 use std::time::Instant;
+
+fn registry_latency() {
+    let scale = budget_scale();
+    let ds = Dataset::ALL[0];
+    header(
+        "Registry",
+        &format!("cold-miss vs warm-hit latency in seconds, {} dataset", ds.name()),
+    );
+    let lg = ds.generate(42);
+    let task = bench_task(&lg, 42);
+    let methods: Vec<Box<dyn PersistableGraphGenerator>> = vec![
+        Box::new(ErGenerator),
+        Box::new(BaGenerator),
+        Box::new(bench_gae(scale)),
+        Box::new(NetGanGenerator { budget: bench_walklm_budget(scale), ..Default::default() }),
+        Box::new(TagGenGenerator { budget: bench_walklm_budget(scale), ..Default::default() }),
+        Box::new(FairGenGenerator::new(bench_fairgen_config(scale))),
+    ];
+    print_row("method", &["cold", "warm", "speedup"]);
+    for gen in methods {
+        let mut registry = ModelRegistry::new(gen);
+        let name = registry.generator_name();
+        let start = Instant::now();
+        let cold = registry
+            .handle(&GenerateRequest::single(&lg.graph, &task, 1234, 1))
+            .expect("benchmark inputs are valid");
+        let cold_s = start.elapsed().as_secs_f64();
+        assert_eq!(cold.served_from, ServedFrom::ColdFit);
+        let start = Instant::now();
+        let warm = registry
+            .handle(&GenerateRequest::single(&lg.graph, &task, 1234, 2))
+            .expect("benchmark inputs are valid");
+        let warm_s = start.elapsed().as_secs_f64();
+        assert_eq!(warm.served_from, ServedFrom::Memory, "{name} refitted on a warm hit");
+        print_row(
+            name,
+            &[
+                format!("{cold_s:.3}"),
+                format!("{warm_s:.3}"),
+                format!("{:.1}x", cold_s / warm_s.max(1e-9)),
+            ],
+        );
+    }
+}
 
 fn main() {
     header("Table IV", "running time in seconds (fit + generate)");
@@ -47,4 +99,6 @@ fn main() {
     for (i, name) in names.iter().enumerate() {
         print_row(name, &rows[i]);
     }
+    println!();
+    registry_latency();
 }

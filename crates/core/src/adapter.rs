@@ -7,8 +7,9 @@
 //! stored on the adapter, and [`TrainedFairGen`] itself is the
 //! [`FittedGenerator`].
 
+use fairgen_baselines::persist::{PersistableGenerator, PersistableGraphGenerator};
 use fairgen_baselines::{FittedGenerator, GraphGenerator, TaskSpec};
-use fairgen_graph::Graph;
+use fairgen_graph::{Codec, Encoder, Graph};
 
 use crate::config::{FairGenConfig, FairGenVariant};
 use crate::error::Result;
@@ -52,6 +53,38 @@ impl FittedGenerator for TrainedFairGen {
 
     fn generate(&mut self, seed: u64) -> Result<Graph> {
         TrainedFairGen::generate(self, seed)
+    }
+}
+
+impl PersistableGenerator for TrainedFairGen {
+    /// One tag for every variant: the variant is part of the payload, so
+    /// `FairGen-R` et al. reload through the same `"FairGen"` dispatch arm.
+    fn checkpoint_tag(&self) -> &'static str {
+        "FairGen"
+    }
+
+    fn encode_state(&self, enc: &mut Encoder) {
+        Codec::encode(self, enc);
+    }
+}
+
+impl PersistableGraphGenerator for FairGenGenerator {
+    fn fit_persistable(
+        &self,
+        g: &Graph,
+        task: &TaskSpec,
+        seed: u64,
+    ) -> Result<Box<dyn PersistableGenerator>> {
+        Ok(Box::new(self.fairgen.train(g, task, seed)?))
+    }
+
+    fn fold_config(&self, fp: &mut fairgen_graph::FingerprintBuilder) {
+        // name() already distinguishes variants, but fold the discriminant
+        // anyway so the key never rests on display strings alone.
+        let mut enc = Encoder::new();
+        Codec::encode(&self.fairgen.variant(), &mut enc);
+        fp.add_bytes(&enc.into_bytes());
+        self.fairgen.config().fold_config(fp);
     }
 }
 

@@ -139,6 +139,35 @@ impl FairGenConfig {
         }
     }
 
+    /// Folds every hyperparameter into a serving-cache fingerprint — the
+    /// whole config shapes training, so all fields participate.
+    pub fn fold_config(&self, fp: &mut fairgen_graph::FingerprintBuilder) {
+        fp.add_usize(self.walk_len)
+            .add_usize(self.num_walks)
+            .add_usize(self.cycles)
+            .add_usize(self.batch_iters)
+            .add_usize(self.batch_size)
+            .add_f64(self.ratio_r)
+            .add_f64(self.alpha)
+            .add_f64(self.beta)
+            .add_f64(self.gamma)
+            .add_f64(self.lambda_init)
+            .add_f64(self.lambda_growth)
+            .add_usize(self.d_model)
+            .add_usize(self.heads)
+            .add_usize(self.layers)
+            .add_usize(self.gen_epochs)
+            .add_f64(self.negative_weight)
+            .add_f64(self.lr)
+            .add_usize(self.pool_cap)
+            .add_usize(self.gen_multiplier)
+            .add_f64(self.p)
+            .add_f64(self.q)
+            .add_bool(self.use_diffusion_core)
+            .add_f64(self.core_delta)
+            .add_usize(self.core_t);
+    }
+
     /// Validates internal consistency, returning
     /// [`FairGenError::InvalidConfig`] naming the offending field.
     ///
@@ -183,6 +212,97 @@ impl FairGenConfig {
             }
         }
         Ok(())
+    }
+}
+
+impl fairgen_graph::Codec for FairGenVariant {
+    fn encode(&self, enc: &mut fairgen_graph::Encoder) {
+        enc.put_u8(match self {
+            FairGenVariant::Full => 0,
+            FairGenVariant::RandomSampling => 1,
+            FairGenVariant::NoSelfPaced => 2,
+            FairGenVariant::NoParity => 3,
+            FairGenVariant::NegativeSampling => 4,
+        });
+    }
+
+    fn decode(dec: &mut fairgen_graph::Decoder) -> fairgen_graph::Result<Self> {
+        Ok(match dec.take_u8()? {
+            0 => FairGenVariant::Full,
+            1 => FairGenVariant::RandomSampling,
+            2 => FairGenVariant::NoSelfPaced,
+            3 => FairGenVariant::NoParity,
+            4 => FairGenVariant::NegativeSampling,
+            other => {
+                return Err(FairGenError::CorruptCheckpoint {
+                    detail: format!("unknown FairGen variant discriminant {other}"),
+                })
+            }
+        })
+    }
+}
+
+impl fairgen_graph::Codec for FairGenConfig {
+    fn encode(&self, enc: &mut fairgen_graph::Encoder) {
+        enc.put_usize(self.walk_len);
+        enc.put_usize(self.num_walks);
+        enc.put_usize(self.cycles);
+        enc.put_usize(self.batch_iters);
+        enc.put_usize(self.batch_size);
+        enc.put_f64(self.ratio_r);
+        enc.put_f64(self.alpha);
+        enc.put_f64(self.beta);
+        enc.put_f64(self.gamma);
+        enc.put_f64(self.lambda_init);
+        enc.put_f64(self.lambda_growth);
+        enc.put_usize(self.d_model);
+        enc.put_usize(self.heads);
+        enc.put_usize(self.layers);
+        enc.put_usize(self.gen_epochs);
+        enc.put_f64(self.negative_weight);
+        enc.put_f64(self.lr);
+        enc.put_usize(self.pool_cap);
+        enc.put_usize(self.gen_multiplier);
+        enc.put_f64(self.p);
+        enc.put_f64(self.q);
+        enc.put_bool(self.use_diffusion_core);
+        enc.put_f64(self.core_delta);
+        enc.put_usize(self.core_t);
+    }
+
+    fn decode(dec: &mut fairgen_graph::Decoder) -> fairgen_graph::Result<Self> {
+        let cfg = FairGenConfig {
+            walk_len: dec.take_usize()?,
+            num_walks: dec.take_usize()?,
+            cycles: dec.take_usize()?,
+            batch_iters: dec.take_usize()?,
+            batch_size: dec.take_usize()?,
+            ratio_r: dec.take_f64()?,
+            alpha: dec.take_f64()?,
+            beta: dec.take_f64()?,
+            gamma: dec.take_f64()?,
+            lambda_init: dec.take_f64()?,
+            lambda_growth: dec.take_f64()?,
+            d_model: dec.take_usize()?,
+            heads: dec.take_usize()?,
+            layers: dec.take_usize()?,
+            gen_epochs: dec.take_usize()?,
+            negative_weight: dec.take_f64()?,
+            lr: dec.take_f64()?,
+            pool_cap: dec.take_usize()?,
+            gen_multiplier: dec.take_usize()?,
+            p: dec.take_f64()?,
+            q: dec.take_f64()?,
+            use_diffusion_core: dec.take_bool()?,
+            core_delta: dec.take_f64()?,
+            core_t: dec.take_usize()?,
+        };
+        // The same validation train() runs: a checkpoint carrying a config
+        // this build considers degenerate is treated as corrupt.
+        cfg.validate().map_err(|e| FairGenError::CorruptCheckpoint {
+            detail: format!("checkpointed config rejected: {e}"),
+        })?;
+        Ok(cfg)
     }
 }
 

@@ -63,6 +63,7 @@
 //!   alias.
 
 pub mod adapter;
+pub mod checkpoint;
 pub mod config;
 pub mod disparity;
 pub mod error;
@@ -77,7 +78,9 @@ pub use disparity::{group_walks, measure_disparity, DisparityReport};
 pub use error::{FairGenError, Result};
 pub use model::{CycleReport, FairGen, TrainedFairGen};
 pub use objective::ObjectiveReport;
-pub use observer::{NullObserver, StopAfter, TrainObserver};
+pub use observer::{JsonlObserver, NullObserver, StopAfter, TrainObserver};
 
 // Re-exported so `fairgen_core` alone covers the whole generator lifecycle.
-pub use fairgen_baselines::{FittedGenerator, GraphGenerator, TaskSpec};
+pub use fairgen_baselines::{
+    FittedGenerator, GraphGenerator, PersistableGenerator, PersistableGraphGenerator, TaskSpec,
+};

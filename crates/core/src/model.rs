@@ -308,9 +308,13 @@ impl TrainedFairGen {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut scores = fairgen_walks::ScoreMatrix::new(self.graph.n());
         let total = self.cfg.num_walks * self.cfg.gen_multiplier;
+        // One walk buffer reused across all `total` samples — this loop is
+        // the per-draw hot path (see tab4_runtime's fit/generate split).
+        let mut walk: Walk = Vec::with_capacity(self.cfg.walk_len);
         for _ in 0..total {
             let seq = self.generator.sample(self.cfg.walk_len, 1.0, &mut rng);
-            let walk: Walk = seq.iter().map(|&t| t as NodeId).collect();
+            walk.clear();
+            walk.extend(seq.iter().map(|&t| t as NodeId));
             scores.add_walk(&walk);
         }
         Ok(match (&self.protected, self.protected_incident, self.parity_on) {
@@ -322,9 +326,14 @@ impl TrainedFairGen {
     }
 
     /// Generates one synthetic graph per seed; equivalent to mapping
-    /// [`TrainedFairGen::generate`] over `seeds`.
+    /// [`TrainedFairGen::generate`] over `seeds`. Pre-allocates the output
+    /// for serving-sized batches.
     pub fn generate_batch(&mut self, seeds: &[u64]) -> Result<Vec<Graph>> {
-        seeds.iter().map(|&s| self.generate(s)).collect()
+        let mut out = Vec::with_capacity(seeds.len());
+        for &s in seeds {
+            out.push(self.generate(s)?);
+        }
+        Ok(out)
     }
 
     /// Per-node class log-probabilities under the discriminator (`n × C`).
@@ -359,6 +368,108 @@ impl TrainedFairGen {
             })
             .sum();
         total / walks.len() as f64
+    }
+}
+
+impl fairgen_graph::Codec for CycleReport {
+    fn encode(&self, enc: &mut fairgen_graph::Encoder) {
+        enc.put_usize(self.cycle);
+        enc.put_f64(self.lambda);
+        enc.put_usize(self.pseudo_labels);
+        self.objective.encode(enc);
+    }
+
+    fn decode(dec: &mut fairgen_graph::Decoder) -> fairgen_graph::Result<Self> {
+        Ok(CycleReport {
+            cycle: dec.take_usize()?,
+            lambda: dec.take_f64()?,
+            pseudo_labels: dec.take_usize()?,
+            objective: ObjectiveReport::decode(dec)?,
+        })
+    }
+}
+
+/// The FairGen checkpoint payload (behind tag `"FairGen"`): config, variant,
+/// both networks, the training graph, protected-group data, the final
+/// self-paced state, and the per-cycle history. Everything [`generate`]
+/// (and the inspection API) touches — a reloaded model is indistinguishable
+/// from the in-memory original, per seed.
+///
+/// [`generate`]: TrainedFairGen::generate
+impl fairgen_graph::Codec for TrainedFairGen {
+    fn encode(&self, enc: &mut fairgen_graph::Encoder) {
+        self.cfg.encode(enc);
+        self.variant.encode(enc);
+        self.generator.encode(enc);
+        self.discriminator.encode(enc);
+        self.graph.encode(enc);
+        enc.put_opt(&self.protected);
+        enc.put_opt(&self.protected_incident);
+        self.selfpaced.encode(enc);
+        enc.put_seq(&self.history);
+        enc.put_bool(self.parity_on);
+    }
+
+    fn decode(dec: &mut fairgen_graph::Decoder) -> fairgen_graph::Result<Self> {
+        let cfg = FairGenConfig::decode(dec)?;
+        let variant = FairGenVariant::decode(dec)?;
+        let generator = TransformerLm::decode(dec)?;
+        let discriminator = Mlp::decode(dec)?;
+        let graph = Graph::decode(dec)?;
+        let protected: Option<NodeSet> = dec.take_opt()?;
+        let protected_incident: Option<usize> = dec.take_opt()?;
+        let selfpaced = SelfPacedState::decode(dec)?;
+        let history: Vec<CycleReport> = dec.take_seq()?;
+        let parity_on = dec.take_bool()?;
+        let corrupt = |detail: String| FairGenError::CorruptCheckpoint { detail };
+        let n = graph.n();
+        if generator.config().vocab != n {
+            return Err(corrupt(format!(
+                "generator vocab {} disagrees with {} graph nodes",
+                generator.config().vocab,
+                n
+            )));
+        }
+        if generator.config().d_model != cfg.d_model {
+            return Err(corrupt(format!(
+                "generator width {} disagrees with configured d_model {}",
+                generator.config().d_model,
+                cfg.d_model
+            )));
+        }
+        if discriminator.input_dim() != cfg.d_model {
+            return Err(corrupt(format!(
+                "discriminator input {} disagrees with d_model {}",
+                discriminator.input_dim(),
+                cfg.d_model
+            )));
+        }
+        if selfpaced.assigned.len() != n {
+            return Err(corrupt(format!(
+                "self-paced state over {} nodes used with a {n}-node graph",
+                selfpaced.assigned.len()
+            )));
+        }
+        if let Some(s) = &protected {
+            if s.universe() != n {
+                return Err(corrupt(format!(
+                    "protected group over {} nodes used with a {n}-node graph",
+                    s.universe()
+                )));
+            }
+        }
+        Ok(TrainedFairGen {
+            cfg,
+            variant,
+            generator,
+            discriminator,
+            graph,
+            protected,
+            protected_incident,
+            selfpaced,
+            history,
+            parity_on,
+        })
     }
 }
 

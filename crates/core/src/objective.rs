@@ -29,6 +29,26 @@ impl ObjectiveReport {
     }
 }
 
+impl fairgen_graph::Codec for ObjectiveReport {
+    fn encode(&self, enc: &mut fairgen_graph::Encoder) {
+        enc.put_f64(self.j_g);
+        enc.put_f64(self.j_p);
+        enc.put_f64(self.j_f);
+        enc.put_f64(self.j_l);
+        enc.put_f64(self.j_s);
+    }
+
+    fn decode(dec: &mut fairgen_graph::Decoder) -> fairgen_graph::Result<Self> {
+        Ok(ObjectiveReport {
+            j_g: dec.take_f64()?,
+            j_p: dec.take_f64()?,
+            j_f: dec.take_f64()?,
+            j_l: dec.take_f64()?,
+            j_s: dec.take_f64()?,
+        })
+    }
+}
+
 impl std::fmt::Display for ObjectiveReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(

@@ -90,6 +90,81 @@ impl TrainObserver for StopAfter {
     }
 }
 
+/// Streams each [`CycleReport`] as one JSON object per line (JSONL) to a
+/// writer — a dashboard, a log shipper, or a file that `tail -f` and
+/// `jq` understand while a long run is still training:
+///
+/// ```json
+/// {"cycle":1,"lambda":0.980,"pseudo_labels":4,"objective":{"j_g":3.91,
+///  "j_p":0.69,"j_f":0.02,"j_l":0.41,"j_s":-0.09,"total":4.94}}
+/// ```
+///
+/// Each line is flushed as it is produced, so the sink observes cycles in
+/// real time. Non-finite objective terms serialize as `null` (JSON has no
+/// NaN). A write failure stops training at the cycle boundary (the model
+/// trained so far is still returned) and is retrievable through
+/// [`JsonlObserver::io_error`] — a dead sink should surface, not silently
+/// drop telemetry.
+#[derive(Debug)]
+pub struct JsonlObserver<W: std::io::Write> {
+    sink: W,
+    error: Option<std::io::Error>,
+}
+
+impl<W: std::io::Write> JsonlObserver<W> {
+    /// An observer streaming to `sink`.
+    pub fn new(sink: W) -> Self {
+        JsonlObserver { sink, error: None }
+    }
+
+    /// The first write error, if any (training was stopped at that cycle).
+    pub fn io_error(&self) -> Option<&std::io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Consumes the observer, returning the sink.
+    pub fn into_inner(self) -> W {
+        self.sink
+    }
+
+    fn render(report: &CycleReport) -> String {
+        fn num(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v}")
+            } else {
+                "null".to_string()
+            }
+        }
+        let o = &report.objective;
+        format!(
+            "{{\"cycle\":{},\"lambda\":{},\"pseudo_labels\":{},\"objective\":{{\
+             \"j_g\":{},\"j_p\":{},\"j_f\":{},\"j_l\":{},\"j_s\":{},\"total\":{}}}}}\n",
+            report.cycle,
+            num(report.lambda),
+            report.pseudo_labels,
+            num(o.j_g),
+            num(o.j_p),
+            num(o.j_f),
+            num(o.j_l),
+            num(o.j_s),
+            num(o.total()),
+        )
+    }
+}
+
+impl<W: std::io::Write> TrainObserver for JsonlObserver<W> {
+    fn on_cycle(&mut self, report: &CycleReport) -> ControlFlow<()> {
+        let line = Self::render(report);
+        match self.sink.write_all(line.as_bytes()).and_then(|()| self.sink.flush()) {
+            Ok(()) => ControlFlow::Continue(()),
+            Err(e) => {
+                self.error = Some(e);
+                ControlFlow::Break(())
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,5 +208,49 @@ mod tests {
         let mut obs = StopAfter::new(2);
         assert_eq!(obs.on_cycle(&report(1)), ControlFlow::Continue(()));
         assert_eq!(obs.on_cycle(&report(2)), ControlFlow::Break(()));
+    }
+
+    #[test]
+    fn jsonl_observer_streams_one_line_per_cycle() {
+        let mut obs = JsonlObserver::new(Vec::new());
+        assert_eq!(obs.on_cycle(&report(1)), ControlFlow::Continue(()));
+        assert_eq!(obs.on_cycle(&report(2)), ControlFlow::Continue(()));
+        assert!(obs.io_error().is_none());
+        let text = String::from_utf8(obs.into_inner()).expect("utf-8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"cycle\":1,"));
+        assert!(lines[1].contains("\"lambda\":1"));
+        assert!(lines[0].contains("\"objective\":{\"j_g\":0,"));
+        assert!(lines[0].ends_with("}}"));
+    }
+
+    #[test]
+    fn jsonl_observer_serializes_non_finite_as_null() {
+        let mut r = report(1);
+        r.objective.j_g = f64::NAN;
+        r.objective.j_f = f64::INFINITY;
+        let mut obs = JsonlObserver::new(Vec::new());
+        assert_eq!(obs.on_cycle(&r), ControlFlow::Continue(()));
+        let text = String::from_utf8(obs.into_inner()).expect("utf-8");
+        assert!(text.contains("\"j_g\":null"));
+        assert!(text.contains("\"j_f\":null"));
+        assert!(!text.contains("NaN") && !text.contains("inf"));
+    }
+
+    #[test]
+    fn jsonl_observer_breaks_on_dead_sink() {
+        struct Dead;
+        impl std::io::Write for Dead {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::new(std::io::ErrorKind::BrokenPipe, "sink gone"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut obs = JsonlObserver::new(Dead);
+        assert_eq!(obs.on_cycle(&report(1)), ControlFlow::Break(()));
+        assert!(obs.io_error().is_some());
     }
 }

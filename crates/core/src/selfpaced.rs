@@ -103,6 +103,90 @@ impl SelfPacedState {
     }
 }
 
+impl fairgen_graph::Codec for SelfPacedState {
+    fn encode(&self, enc: &mut fairgen_graph::Encoder) {
+        let n = self.truth.len();
+        enc.put_usize(n);
+        enc.put_usize(self.num_classes());
+        enc.put_f64(self.lambda);
+        for vc in &self.v {
+            for &b in vc {
+                enc.put_bool(b);
+            }
+        }
+        let put_assignment = |enc: &mut fairgen_graph::Encoder, slot: &Option<usize>| match slot
+        {
+            Some(c) => {
+                enc.put_bool(true);
+                enc.put_usize(*c);
+            }
+            None => enc.put_bool(false),
+        };
+        for slot in &self.truth {
+            put_assignment(enc, slot);
+        }
+        for slot in &self.assigned {
+            put_assignment(enc, slot);
+        }
+    }
+
+    fn decode(dec: &mut fairgen_graph::Decoder) -> fairgen_graph::Result<Self> {
+        let corrupt =
+            |detail: String| fairgen_graph::FairGenError::CorruptCheckpoint { detail };
+        let n = dec.take_usize()?;
+        let num_classes = dec.take_usize()?;
+        if num_classes == 0 {
+            return Err(corrupt("self-paced state with zero classes".into()));
+        }
+        let lambda = dec.take_f64()?;
+        if !(lambda.is_finite() && lambda > 0.0) {
+            return Err(corrupt(format!("invalid self-paced lambda {lambda}")));
+        }
+        // Bound the declared sizes by the bytes that actually follow
+        // (num_classes·n selection bools + 2·n assignment flags, one byte
+        // each at minimum) before allocating anything — a hostile length
+        // prefix must error, not abort on an absurd allocation.
+        let min_bytes = num_classes.saturating_mul(n).saturating_add(n.saturating_mul(2));
+        if min_bytes > dec.remaining() {
+            return Err(corrupt(format!(
+                "self-paced state declares {num_classes} classes × {n} nodes but only {} \
+                 bytes remain",
+                dec.remaining()
+            )));
+        }
+        let mut v = Vec::with_capacity(num_classes);
+        for _ in 0..num_classes {
+            let mut vc = Vec::with_capacity(n);
+            for _ in 0..n {
+                vc.push(dec.take_bool()?);
+            }
+            v.push(vc);
+        }
+        let take_assignments = |dec: &mut fairgen_graph::Decoder,
+                                what: &str|
+         -> fairgen_graph::Result<Vec<Option<usize>>> {
+            let mut out = Vec::with_capacity(n);
+            for _ in 0..n {
+                out.push(if dec.take_bool()? {
+                    let c = dec.take_usize()?;
+                    if c >= num_classes {
+                        return Err(corrupt(format!(
+                            "{what} class {c} out of range for {num_classes} classes"
+                        )));
+                    }
+                    Some(c)
+                } else {
+                    None
+                });
+            }
+            Ok(out)
+        };
+        let truth = take_assignments(dec, "ground-truth")?;
+        let assigned = take_assignments(dec, "assigned")?;
+        Ok(SelfPacedState { v, lambda, truth, assigned })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,5 +251,20 @@ mod tests {
     #[should_panic(expected = "class 5 out of range")]
     fn oob_class_panics() {
         let _ = SelfPacedState::init(3, 2, &[(0, 5)], 1.0);
+    }
+
+    #[test]
+    fn decode_rejects_hostile_length_prefix_before_allocating() {
+        use fairgen_graph::{Codec, Decoder, Encoder, FairGenError};
+        let mut enc = Encoder::new();
+        enc.put_usize(usize::MAX / 4); // n — would be a multi-exabyte alloc
+        enc.put_usize(3); // num_classes
+        enc.put_f64(1.0); // lambda
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert!(matches!(
+            <SelfPacedState as Codec>::decode(&mut dec),
+            Err(FairGenError::CorruptCheckpoint { detail }) if detail.contains("remain")
+        ));
     }
 }

@@ -1,0 +1,635 @@
+//! Versioned binary checkpoint codec.
+//!
+//! Fitted generators survive process restarts through a small, dependency-
+//! free binary format. Every checkpoint is a *container*:
+//!
+//! ```text
+//! offset  size  field
+//! ──────  ────  ─────────────────────────────────────────────────────────
+//!      0     4  magic  b"FGCK"
+//!      4     2  format version (little-endian u16, currently 1)
+//!      6     8  tag length L (little-endian u64)
+//!     14     L  tag — UTF-8 payload kind, e.g. "ER", "TagGen", "FairGen"
+//!   14+L     8  payload length P (little-endian u64)
+//!   22+L     P  payload — [`Codec`]-encoded model state
+//! 22+L+P     8  checksum — fnv1a(tag) XOR rotl(fnv1a(payload), 1),
+//!               each an independent FNV-1a 64 pass (the rotation keeps
+//!               tag and payload from cancelling when bytes swap sides)
+//! ```
+//!
+//! All integers are little-endian; `f64`s are stored via
+//! [`f64::to_bits`], so weights round-trip *bit-exactly* and a reloaded
+//! model generates byte-identical graphs for the same seed. Collections are
+//! length-prefixed (u64). Decoding is fully validated: a wrong magic,
+//! unsupported version, truncated buffer, checksum mismatch, or trailing
+//! garbage surfaces as
+//! [`CorruptCheckpoint`](crate::FairGenError::CorruptCheckpoint)
+//! instead of a panic or (worse) a silently wrong model.
+//!
+//! [`Codec`] is the per-type encode/decode trait; this crate implements it
+//! for [`Graph`] and [`NodeSet`], `fairgen-nn` for its tensors and models,
+//! and the generator crates for their fitted-model types. [`seal`] /
+//! [`open`] wrap a payload into (out of) the container format, and
+//! [`write_file`] / [`read_file`] add the filesystem trip.
+
+use std::io::{Read as _, Write as _};
+use std::path::Path;
+
+use crate::error::{FairGenError, Result};
+use crate::graph::{Graph, NodeId};
+use crate::partition::NodeSet;
+
+/// Container magic bytes.
+pub const MAGIC: [u8; 4] = *b"FGCK";
+
+/// Current container format version.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// FNV-1a 64-bit over a byte stream — the container checksum.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Append-only binary writer for checkpoint payloads.
+#[derive(Clone, Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        Encoder::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a bool as one byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(v as u8);
+    }
+
+    /// Writes a little-endian u16.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian u32.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian u64.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a usize as a u64.
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Writes an `f64` via its bit pattern (bit-exact round-trip).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Writes a length-prefixed `f64` slice.
+    pub fn put_f64_slice(&mut self, vs: &[f64]) {
+        self.put_usize(vs.len());
+        for &v in vs {
+            self.put_f64(v);
+        }
+    }
+
+    /// Writes a length-prefixed [`Codec`] sequence.
+    pub fn put_seq<T: Codec>(&mut self, items: &[T]) {
+        self.put_usize(items.len());
+        for item in items {
+            item.encode(self);
+        }
+    }
+
+    /// Writes an `Option<T>` as a presence byte plus the value.
+    pub fn put_opt<T: Codec>(&mut self, v: &Option<T>) {
+        match v {
+            Some(inner) => {
+                self.put_bool(true);
+                inner.encode(self);
+            }
+            None => self.put_bool(false),
+        }
+    }
+}
+
+/// Validated binary reader over a checkpoint payload.
+#[derive(Clone, Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+fn corrupt(detail: impl Into<String>) -> FairGenError {
+    FairGenError::CorruptCheckpoint { detail: detail.into() }
+}
+
+impl<'a> Decoder<'a> {
+    /// A decoder over raw payload bytes (no container framing).
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Errors unless every byte was consumed — catches truncated writes
+    /// that happen to pass the checksum of a *shorter* format revision.
+    pub fn finish(&self) -> Result<()> {
+        if self.remaining() != 0 {
+            return Err(corrupt(format!("{} trailing bytes after payload", self.remaining())));
+        }
+        Ok(())
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(corrupt(format!(
+                "unexpected end of checkpoint: wanted {n} bytes, {} left",
+                self.remaining()
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn take_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a bool, rejecting anything but 0 or 1.
+    pub fn take_bool(&mut self) -> Result<bool> {
+        match self.take_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(corrupt(format!("invalid bool byte {other}"))),
+        }
+    }
+
+    /// Reads a little-endian u16.
+    pub fn take_u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("length checked")))
+    }
+
+    /// Reads a little-endian u32.
+    pub fn take_u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("length checked")))
+    }
+
+    /// Reads a little-endian u64.
+    pub fn take_u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("length checked")))
+    }
+
+    /// Reads a u64 and converts to usize.
+    pub fn take_usize(&mut self) -> Result<usize> {
+        let v = self.take_u64()?;
+        usize::try_from(v).map_err(|_| corrupt(format!("length {v} exceeds usize")))
+    }
+
+    /// Reads a length intended to index a collection, rejecting values that
+    /// could not possibly fit in the remaining buffer (corruption guard
+    /// before any large allocation).
+    pub fn take_len(&mut self, min_item_bytes: usize) -> Result<usize> {
+        let n = self.take_usize()?;
+        let need = n.saturating_mul(min_item_bytes.max(1));
+        if need > self.remaining() {
+            return Err(corrupt(format!(
+                "declared {n} items ({need} bytes min) but only {} bytes remain",
+                self.remaining()
+            )));
+        }
+        Ok(n)
+    }
+
+    /// Reads an `f64` from its bit pattern.
+    pub fn take_f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.take_u64()?))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn take_str(&mut self) -> Result<String> {
+        let n = self.take_len(1)?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| corrupt(format!("invalid utf-8 tag: {e}")))
+    }
+
+    /// Reads a length-prefixed `f64` vector.
+    pub fn take_f64_vec(&mut self) -> Result<Vec<f64>> {
+        let n = self.take_len(8)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.take_f64()?);
+        }
+        Ok(out)
+    }
+
+    /// Reads a length-prefixed [`Codec`] sequence.
+    pub fn take_seq<T: Codec>(&mut self) -> Result<Vec<T>> {
+        let n = self.take_len(1)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(T::decode(self)?);
+        }
+        Ok(out)
+    }
+
+    /// Reads an `Option<T>` written by [`Encoder::put_opt`].
+    pub fn take_opt<T: Codec>(&mut self) -> Result<Option<T>> {
+        if self.take_bool()? {
+            Ok(Some(T::decode(self)?))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+/// A type that round-trips through the checkpoint byte format.
+///
+/// Implementations must be *deterministic* (equal values encode to equal
+/// bytes) and *total* on their own output (`decode(encode(x)) == x` up to
+/// transient caches, which are dropped).
+pub trait Codec: Sized {
+    /// Appends this value to the payload.
+    fn encode(&self, enc: &mut Encoder);
+
+    /// Reads one value back, validating every length and discriminant.
+    fn decode(dec: &mut Decoder) -> Result<Self>;
+}
+
+/// Wraps a payload into the container format under `tag`.
+pub fn seal(tag: &str, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + 2 + 8 + tag.len() + 8 + payload.len() + 8);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(tag.len() as u64).to_le_bytes());
+    out.extend_from_slice(tag.as_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    let mut sum = fnv1a(tag.as_bytes());
+    sum ^= fnv1a(payload).rotate_left(1);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// Opens a container, verifying magic, version and checksum. Returns the
+/// payload tag and a [`Decoder`] positioned at the start of the payload.
+pub fn open(bytes: &[u8]) -> Result<(String, Decoder<'_>)> {
+    let mut dec = Decoder::new(bytes);
+    let magic = dec.take(4)?;
+    if magic != MAGIC {
+        return Err(corrupt(format!("bad magic {magic:02x?}, expected {MAGIC:02x?}")));
+    }
+    let version = dec.take_u16()?;
+    if version != FORMAT_VERSION {
+        return Err(corrupt(format!(
+            "unsupported checkpoint format version {version} (this build reads \
+             {FORMAT_VERSION})"
+        )));
+    }
+    let tag = dec.take_str()?;
+    let payload_len = dec.take_len(1)?;
+    if dec.remaining() != payload_len + 8 {
+        return Err(corrupt(format!(
+            "payload length {payload_len} inconsistent with container size \
+             ({} bytes remain)",
+            dec.remaining()
+        )));
+    }
+    let payload = dec.take(payload_len)?;
+    let declared = dec.take_u64()?;
+    let mut sum = fnv1a(tag.as_bytes());
+    sum ^= fnv1a(payload).rotate_left(1);
+    if declared != sum {
+        return Err(corrupt(format!(
+            "checksum mismatch: stored {declared:#x}, computed {sum:#x}"
+        )));
+    }
+    Ok((tag, Decoder::new(payload)))
+}
+
+/// Encodes a value and seals it into a container under `tag`.
+pub fn seal_value<T: Codec>(tag: &str, value: &T) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    value.encode(&mut enc);
+    seal(tag, &enc.into_bytes())
+}
+
+/// Opens a container, checks the tag matches, and decodes a single value,
+/// rejecting trailing bytes.
+pub fn open_value<T: Codec>(expected_tag: &str, bytes: &[u8]) -> Result<T> {
+    let (tag, mut dec) = open(bytes)?;
+    if tag != expected_tag {
+        return Err(corrupt(format!(
+            "tag mismatch: checkpoint holds {tag:?}, expected {expected_tag:?}"
+        )));
+    }
+    let value = T::decode(&mut dec)?;
+    dec.finish()?;
+    Ok(value)
+}
+
+/// Writes container bytes to a file.
+pub fn write_file<P: AsRef<Path>>(path: P, bytes: &[u8]) -> Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    Ok(())
+}
+
+/// Reads container bytes from a file.
+pub fn read_file<P: AsRef<Path>>(path: P) -> Result<Vec<u8>> {
+    let mut f = std::fs::File::open(path)?;
+    let mut buf = Vec::new();
+    f.read_to_end(&mut buf)?;
+    Ok(buf)
+}
+
+impl Codec for u64 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(*self);
+    }
+    fn decode(dec: &mut Decoder) -> Result<Self> {
+        dec.take_u64()
+    }
+}
+
+impl Codec for usize {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_usize(*self);
+    }
+    fn decode(dec: &mut Decoder) -> Result<Self> {
+        dec.take_usize()
+    }
+}
+
+impl Codec for f64 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_f64(*self);
+    }
+    fn decode(dec: &mut Decoder) -> Result<Self> {
+        dec.take_f64()
+    }
+}
+
+impl Codec for bool {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_bool(*self);
+    }
+    fn decode(dec: &mut Decoder) -> Result<Self> {
+        dec.take_bool()
+    }
+}
+
+impl Codec for Graph {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_usize(self.n());
+        enc.put_usize(self.m());
+        for (u, v) in self.edges() {
+            enc.put_u32(u);
+            enc.put_u32(v);
+        }
+    }
+
+    fn decode(dec: &mut Decoder) -> Result<Self> {
+        let n = dec.take_usize()?;
+        let m = dec.take_len(8)?;
+        let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(m);
+        for _ in 0..m {
+            let u = dec.take_u32()?;
+            let v = dec.take_u32()?;
+            edges.push((u, v));
+        }
+        let g = Graph::try_from_edges(n, &edges)?;
+        if g.m() != m {
+            return Err(corrupt(format!(
+                "edge list collapsed from {m} to {} edges (duplicates or self-loops)",
+                g.m()
+            )));
+        }
+        Ok(g)
+    }
+}
+
+impl Codec for NodeSet {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_usize(self.universe());
+        enc.put_usize(self.len());
+        for &v in self.members() {
+            enc.put_u32(v);
+        }
+    }
+
+    fn decode(dec: &mut Decoder) -> Result<Self> {
+        let universe = dec.take_usize()?;
+        let len = dec.take_len(4)?;
+        let mut members: Vec<NodeId> = Vec::with_capacity(len);
+        for _ in 0..len {
+            let v = dec.take_u32()?;
+            if v as usize >= universe {
+                return Err(corrupt(format!(
+                    "node-set member {v} outside universe {universe}"
+                )));
+            }
+            members.push(v);
+        }
+        let set = NodeSet::from_members(universe, &members);
+        if set.len() != len {
+            return Err(corrupt(format!(
+                "node-set members collapsed from {len} to {} (duplicates)",
+                set.len()
+            )));
+        }
+        Ok(set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut enc = Encoder::new();
+        enc.put_u8(7);
+        enc.put_bool(true);
+        enc.put_u16(513);
+        enc.put_u32(70_000);
+        enc.put_u64(u64::MAX);
+        enc.put_usize(42);
+        enc.put_f64(-0.0);
+        enc.put_f64(f64::NAN);
+        enc.put_str("hål∅");
+        enc.put_f64_slice(&[1.5, -2.5]);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.take_u8().unwrap(), 7);
+        assert!(dec.take_bool().unwrap());
+        assert_eq!(dec.take_u16().unwrap(), 513);
+        assert_eq!(dec.take_u32().unwrap(), 70_000);
+        assert_eq!(dec.take_u64().unwrap(), u64::MAX);
+        assert_eq!(dec.take_usize().unwrap(), 42);
+        assert_eq!(dec.take_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(dec.take_f64().unwrap().is_nan());
+        assert_eq!(dec.take_str().unwrap(), "hål∅");
+        assert_eq!(dec.take_f64_vec().unwrap(), vec![1.5, -2.5]);
+        dec.finish().expect("fully consumed");
+    }
+
+    #[test]
+    fn graph_roundtrips_bit_exactly() {
+        let g = Graph::from_edges(6, &[(0, 1), (2, 5), (1, 4), (3, 4)]);
+        let bytes = seal_value("Graph", &g);
+        let back: Graph = open_value("Graph", &bytes).expect("roundtrip");
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn node_set_roundtrips() {
+        let s = NodeSet::from_members(9, &[0, 4, 8]);
+        let bytes = seal_value("NodeSet", &s);
+        let back: NodeSet = open_value("NodeSet", &bytes).expect("roundtrip");
+        assert_eq!(back, s);
+        let empty = NodeSet::empty(3);
+        let bytes = seal_value("NodeSet", &empty);
+        assert_eq!(open_value::<NodeSet>("NodeSet", &bytes).expect("roundtrip"), empty);
+    }
+
+    #[test]
+    fn option_and_seq_roundtrip() {
+        let mut enc = Encoder::new();
+        enc.put_opt::<u64>(&Some(9));
+        enc.put_opt::<u64>(&None);
+        enc.put_seq(&[1.0f64, 2.0]);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.take_opt::<u64>().unwrap(), Some(9));
+        assert_eq!(dec.take_opt::<u64>().unwrap(), None);
+        assert_eq!(dec.take_seq::<f64>().unwrap(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn container_verifies_magic_version_checksum() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        let good = seal_value("Graph", &g);
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            open(&bad_magic),
+            Err(FairGenError::CorruptCheckpoint { detail }) if detail.contains("magic")
+        ));
+
+        let mut bad_version = good.clone();
+        bad_version[4] = 99;
+        assert!(matches!(
+            open(&bad_version),
+            Err(FairGenError::CorruptCheckpoint { detail }) if detail.contains("version")
+        ));
+
+        let mut flipped = good.clone();
+        let mid = flipped.len() - 12; // inside the payload
+        flipped[mid] ^= 0xff;
+        assert!(matches!(
+            open(&flipped),
+            Err(FairGenError::CorruptCheckpoint { detail }) if detail.contains("checksum")
+        ));
+
+        let truncated = &good[..good.len() - 3];
+        assert!(open(truncated).is_err());
+    }
+
+    #[test]
+    fn tag_mismatch_is_rejected() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        let bytes = seal_value("Graph", &g);
+        assert!(matches!(
+            open_value::<Graph>("NodeSet", &bytes),
+            Err(FairGenError::CorruptCheckpoint { detail }) if detail.contains("tag mismatch")
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut enc = Encoder::new();
+        Graph::from_edges(2, &[(0, 1)]).encode(&mut enc);
+        enc.put_u8(0); // stray byte inside the sealed payload
+        let bytes = seal("Graph", &enc.into_bytes());
+        assert!(matches!(
+            open_value::<Graph>("Graph", &bytes),
+            Err(FairGenError::CorruptCheckpoint { detail }) if detail.contains("trailing")
+        ));
+    }
+
+    #[test]
+    fn hostile_length_prefix_fails_before_allocating() {
+        // A declared length of u64::MAX must not attempt a huge allocation.
+        let mut enc = Encoder::new();
+        enc.put_u64(u64::MAX);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert!(dec.take_len(8).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let dir = std::env::temp_dir().join("fairgen-codec-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("graph.ckpt");
+        write_file(&path, &seal_value("Graph", &g)).expect("write");
+        let back: Graph =
+            open_value("Graph", &read_file(&path).expect("read")).expect("decode");
+        assert_eq!(back, g);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_surfaces_io_error() {
+        let err = read_file("/nonexistent/fairgen/nope.ckpt").unwrap_err();
+        assert!(matches!(err, FairGenError::Io(_)));
+    }
+}

@@ -60,6 +60,18 @@ pub enum FairGenError {
     },
     /// A label-dependent operation ran on an unlabeled dataset.
     MissingLabels,
+    /// A checkpoint failed structural validation (bad magic, version,
+    /// checksum, length, or discriminant) and cannot be decoded.
+    CorruptCheckpoint {
+        /// What failed, with the offending values.
+        detail: String,
+    },
+    /// A checkpoint was structurally valid but holds a model family this
+    /// loader does not know how to reconstruct.
+    UnknownCheckpointTag {
+        /// The family tag found in the container.
+        tag: String,
+    },
     /// An edge-list line was neither a comment nor a `u v` pair.
     MalformedEdgeList {
         /// 1-based line number.
@@ -106,6 +118,12 @@ impl std::fmt::Display for FairGenError {
             FairGenError::MissingLabels => {
                 write!(f, "operation requires labels but the dataset has none")
             }
+            FairGenError::CorruptCheckpoint { detail } => {
+                write!(f, "corrupt checkpoint: {detail}")
+            }
+            FairGenError::UnknownCheckpointTag { tag } => {
+                write!(f, "checkpoint holds unknown model family {tag:?}")
+            }
             FairGenError::MalformedEdgeList { line, text } => {
                 write!(f, "malformed edge list at line {line}: {text:?}")
             }
@@ -148,6 +166,11 @@ mod tests {
             (FairGenError::LabelOutOfRange { node: 3, label: 7, num_classes: 2 }, "label 7"),
             (FairGenError::MissingProtectedGroup { gamma: 1.0 }, "γ = 1"),
             (FairGenError::MissingLabels, "labels"),
+            (
+                FairGenError::CorruptCheckpoint { detail: "checksum mismatch".into() },
+                "checksum",
+            ),
+            (FairGenError::UnknownCheckpointTag { tag: "XGen".into() }, "XGen"),
             (FairGenError::MalformedEdgeList { line: 4, text: "x".into() }, "line 4"),
         ];
         for (e, needle) in cases {

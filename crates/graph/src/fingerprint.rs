@@ -1,0 +1,259 @@
+//! Content fingerprints for fit-once/serve-many caching.
+//!
+//! A serving layer wants to fit a generator **once** per distinct input and
+//! answer every later request from the cached model. The cache key must be
+//! a pure function of the *content* that training consumes: the graph's
+//! vertex count and edge set, the task's labels and protected group, and
+//! the fit seed. [`FingerprintBuilder`] folds exactly those into a 128-bit
+//! [`GraphFingerprint`].
+//!
+//! Stability properties the serving tests rely on:
+//!
+//! * **Edge-order independence** — [`Graph`] canonicalizes its adjacency at
+//!   construction, and [`FingerprintBuilder::add_graph`] hashes the sorted
+//!   `u < v` edge stream, so two graphs built from permuted edge lists
+//!   fingerprint identically.
+//! * **Label-order independence** — [`FingerprintBuilder::add_labels`]
+//!   sorts the `(node, class)` pairs before hashing.
+//! * **Sensitivity** — every field is length- and kind-framed before
+//!   hashing, so perturbing a label, a protected member, the seed, or the
+//!   generator name yields a different fingerprint (up to 128-bit
+//!   collisions).
+
+use crate::graph::{Graph, NodeId};
+use crate::partition::NodeSet;
+
+/// A 128-bit content hash identifying one fit request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GraphFingerprint {
+    hi: u64,
+    lo: u64,
+}
+
+impl GraphFingerprint {
+    /// The raw 128-bit value.
+    pub fn as_u128(&self) -> u128 {
+        ((self.hi as u128) << 64) | self.lo as u128
+    }
+
+    /// Lowercase hex rendering (32 chars) — stable across runs, safe for
+    /// file names.
+    pub fn to_hex(&self) -> String {
+        format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+impl std::fmt::Display for GraphFingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+/// Incremental [`GraphFingerprint`] builder over two independent FNV-1a
+/// streams (the second sees each byte pre-rotated, so the halves decorrelate
+/// without an external hash dependency).
+#[derive(Clone, Debug)]
+pub struct FingerprintBuilder {
+    hi: u64,
+    lo: u64,
+}
+
+impl Default for FingerprintBuilder {
+    fn default() -> Self {
+        FingerprintBuilder::new()
+    }
+}
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl FingerprintBuilder {
+    /// A fresh builder.
+    pub fn new() -> Self {
+        FingerprintBuilder { hi: 0xcbf2_9ce4_8422_2325, lo: 0x6c62_272e_07bb_0142 }
+    }
+
+    /// Folds raw bytes into both streams.
+    pub fn add_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.hi ^= b as u64;
+            self.hi = self.hi.wrapping_mul(FNV_PRIME);
+            self.lo ^= (b.rotate_left(3)) as u64 ^ 0x55;
+            self.lo = self.lo.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Folds a u64 (little-endian).
+    pub fn add_u64(&mut self, v: u64) -> &mut Self {
+        self.add_bytes(&v.to_le_bytes())
+    }
+
+    /// Folds a usize as u64.
+    pub fn add_usize(&mut self, v: usize) -> &mut Self {
+        self.add_u64(v as u64)
+    }
+
+    /// Folds an `f64` via its bit pattern.
+    pub fn add_f64(&mut self, v: f64) -> &mut Self {
+        self.add_u64(v.to_bits())
+    }
+
+    /// Folds a bool.
+    pub fn add_bool(&mut self, v: bool) -> &mut Self {
+        self.add_bytes(&[v as u8])
+    }
+
+    /// Folds a length-framed string (e.g. a generator family name).
+    pub fn add_str(&mut self, s: &str) -> &mut Self {
+        self.add_usize(s.len());
+        self.add_bytes(s.as_bytes())
+    }
+
+    /// Folds a graph's content: vertex count, edge count, and the canonical
+    /// sorted `u < v` edge stream. Edge-input order does not matter because
+    /// [`Graph`] canonicalizes on construction.
+    pub fn add_graph(&mut self, g: &Graph) -> &mut Self {
+        self.add_usize(g.n());
+        self.add_usize(g.m());
+        for (u, v) in g.edges() {
+            self.add_u64(((u as u64) << 32) | v as u64);
+        }
+        self
+    }
+
+    /// Folds few-shot labels, sorted so input order does not matter.
+    pub fn add_labels(&mut self, labeled: &[(NodeId, usize)]) -> &mut Self {
+        let mut sorted = labeled.to_vec();
+        sorted.sort_unstable();
+        self.add_usize(sorted.len());
+        for (node, class) in sorted {
+            self.add_u64(node as u64);
+            self.add_usize(class);
+        }
+        self
+    }
+
+    /// Folds a node set (universe + sorted members).
+    pub fn add_node_set(&mut self, s: &NodeSet) -> &mut Self {
+        self.add_usize(s.universe());
+        self.add_usize(s.len());
+        for &v in s.members() {
+            self.add_u64(v as u64);
+        }
+        self
+    }
+
+    /// Folds an optional node set, framing presence explicitly so
+    /// `None` and an empty set stay distinct.
+    pub fn add_opt_node_set(&mut self, s: Option<&NodeSet>) -> &mut Self {
+        match s {
+            Some(set) => {
+                self.add_bool(true);
+                self.add_node_set(set)
+            }
+            None => self.add_bool(false),
+        }
+    }
+
+    /// The accumulated fingerprint.
+    pub fn finish(&self) -> GraphFingerprint {
+        // A final avalanche so short inputs still spread across all bits.
+        let mix = |mut z: u64| {
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        GraphFingerprint { hi: mix(self.hi), lo: mix(self.lo ^ self.hi.rotate_left(32)) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp_of(f: impl FnOnce(&mut FingerprintBuilder)) -> GraphFingerprint {
+        let mut b = FingerprintBuilder::new();
+        f(&mut b);
+        b.finish()
+    }
+
+    #[test]
+    fn stable_under_edge_reordering() {
+        let edges = [(0, 1), (1, 2), (2, 3), (0, 3), (1, 3)];
+        let mut shuffled = edges;
+        shuffled.reverse();
+        shuffled.swap(0, 2);
+        let a = fp_of(|b| {
+            b.add_graph(&Graph::from_edges(4, &edges));
+        });
+        let b = fp_of(|b| {
+            b.add_graph(&Graph::from_edges(4, &shuffled));
+        });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stable_under_label_reordering() {
+        let a = fp_of(|b| {
+            b.add_labels(&[(3, 1), (0, 0), (7, 2)]);
+        });
+        let b = fp_of(|b| {
+            b.add_labels(&[(0, 0), (7, 2), (3, 1)]);
+        });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinct_across_perturbations() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2)]);
+        let base = fp_of(|b| {
+            b.add_graph(&g).add_labels(&[(0, 1)]).add_u64(7);
+        });
+        let edge_flip = fp_of(|b| {
+            b.add_graph(&Graph::from_edges(4, &[(0, 1), (1, 3)]))
+                .add_labels(&[(0, 1)])
+                .add_u64(7);
+        });
+        let label_flip = fp_of(|b| {
+            b.add_graph(&g).add_labels(&[(0, 0)]).add_u64(7);
+        });
+        let seed_flip = fp_of(|b| {
+            b.add_graph(&g).add_labels(&[(0, 1)]).add_u64(8);
+        });
+        assert_ne!(base, edge_flip);
+        assert_ne!(base, label_flip);
+        assert_ne!(base, seed_flip);
+    }
+
+    #[test]
+    fn none_differs_from_empty_set() {
+        let a = fp_of(|b| {
+            b.add_opt_node_set(None);
+        });
+        let b = fp_of(|b| {
+            b.add_opt_node_set(Some(&NodeSet::empty(0)));
+        });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn hex_rendering_is_32_lowercase_chars() {
+        let fp = fp_of(|b| {
+            b.add_str("TagGen");
+        });
+        let hex = fp.to_hex();
+        assert_eq!(hex.len(), 32);
+        assert!(hex.chars().all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()));
+        assert_eq!(fp.to_string(), hex);
+        assert_eq!(u128::from_str_radix(&hex, 16).expect("hex"), fp.as_u128());
+    }
+
+    #[test]
+    fn halves_are_decorrelated() {
+        // A degenerate second stream would make hi == lo for simple inputs.
+        let fp = fp_of(|b| {
+            b.add_u64(0);
+        });
+        assert_ne!(fp.as_u128() >> 64, fp.as_u128() & u128::from(u64::MAX));
+    }
+}

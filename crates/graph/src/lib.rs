@@ -9,7 +9,7 @@
 //! * Connected components, BFS, single-source shortest paths
 //!   ([`components`], [`traversal`]).
 //! * Ego networks and induced subgraphs ([`ego`]).
-//! * Cuts, volumes and conductance φ(S) ([`conductance`]).
+//! * Cuts, volumes and conductance φ(S) ([`mod@conductance`]).
 //! * The lazy random-walk transition operator M = (AD⁻¹ + I)/2 used by the
 //!   paper's Definition 1 and Lemma 2.1 ([`transition`]).
 //!
@@ -17,10 +17,12 @@
 //! self-loops and parallel edges are dropped at construction time.
 
 pub mod builder;
+pub mod codec;
 pub mod components;
 pub mod conductance;
 pub mod ego;
 pub mod error;
+pub mod fingerprint;
 pub mod graph;
 pub mod io;
 pub mod kcore;
@@ -29,12 +31,14 @@ pub mod transition;
 pub mod traversal;
 
 pub use builder::GraphBuilder;
+pub use codec::{Codec, Decoder, Encoder};
 pub use components::{
     connected_components, largest_component_nodes, num_components, UnionFind,
 };
 pub use conductance::{conductance, cut_size, volume};
 pub use ego::{ego_network, induced_subgraph, SubgraphMap};
 pub use error::{FairGenError, Result};
+pub use fingerprint::{FingerprintBuilder, GraphFingerprint};
 pub use graph::{Graph, NodeId};
 pub use io::{read_edge_list, write_edge_list};
 pub use kcore::{core_numbers, degeneracy, k_core_nodes};

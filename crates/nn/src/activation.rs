@@ -71,6 +71,33 @@ impl Activation {
     }
 }
 
+impl fairgen_graph::Codec for Activation {
+    fn encode(&self, enc: &mut fairgen_graph::Encoder) {
+        enc.put_u8(match self {
+            Activation::Relu => 0,
+            Activation::Gelu => 1,
+            Activation::Tanh => 2,
+            Activation::Sigmoid => 3,
+            Activation::Identity => 4,
+        });
+    }
+
+    fn decode(dec: &mut fairgen_graph::Decoder) -> fairgen_graph::Result<Self> {
+        Ok(match dec.take_u8()? {
+            0 => Activation::Relu,
+            1 => Activation::Gelu,
+            2 => Activation::Tanh,
+            3 => Activation::Sigmoid,
+            4 => Activation::Identity,
+            other => {
+                return Err(fairgen_graph::FairGenError::CorruptCheckpoint {
+                    detail: format!("unknown activation discriminant {other}"),
+                })
+            }
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

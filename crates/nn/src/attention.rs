@@ -181,6 +181,33 @@ impl HasParams for MultiHeadAttention {
     }
 }
 
+impl fairgen_graph::Codec for MultiHeadAttention {
+    fn encode(&self, enc: &mut fairgen_graph::Encoder) {
+        enc.put_usize(self.heads);
+        for p in [&self.wq, &self.wk, &self.wv, &self.wo] {
+            fairgen_graph::Codec::encode(p, enc);
+        }
+    }
+
+    fn decode(dec: &mut fairgen_graph::Decoder) -> fairgen_graph::Result<Self> {
+        let heads = dec.take_usize()?;
+        let wq = <Param as fairgen_graph::Codec>::decode(dec)?;
+        let wk = <Param as fairgen_graph::Codec>::decode(dec)?;
+        let wv = <Param as fairgen_graph::Codec>::decode(dec)?;
+        let wo = <Param as fairgen_graph::Codec>::decode(dec)?;
+        let d = wq.value.rows();
+        if heads == 0 || !d.is_multiple_of(heads) {
+            return Err(fairgen_graph::FairGenError::CorruptCheckpoint {
+                detail: format!("attention width {d} not divisible by {heads} heads"),
+            });
+        }
+        for (p, what) in [(&wq, "wq"), (&wk, "wk"), (&wv, "wv"), (&wo, "wo")] {
+            crate::mat::check_shape(&p.value, d, d, what)?;
+        }
+        Ok(MultiHeadAttention { wq, wk, wv, wo, heads, cache: None })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -82,6 +82,17 @@ impl HasParams for Embedding {
     }
 }
 
+impl fairgen_graph::Codec for Embedding {
+    fn encode(&self, enc: &mut fairgen_graph::Encoder) {
+        fairgen_graph::Codec::encode(&self.table, enc);
+    }
+
+    fn decode(dec: &mut fairgen_graph::Decoder) -> fairgen_graph::Result<Self> {
+        let table = <Param as fairgen_graph::Codec>::decode(dec)?;
+        Ok(Embedding { table, cache_ids: None })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -104,6 +104,21 @@ impl HasParams for LayerNorm {
     }
 }
 
+impl fairgen_graph::Codec for LayerNorm {
+    fn encode(&self, enc: &mut fairgen_graph::Encoder) {
+        fairgen_graph::Codec::encode(&self.gamma, enc);
+        fairgen_graph::Codec::encode(&self.beta, enc);
+    }
+
+    fn decode(dec: &mut fairgen_graph::Decoder) -> fairgen_graph::Result<Self> {
+        let gamma = <Param as fairgen_graph::Codec>::decode(dec)?;
+        let beta = <Param as fairgen_graph::Codec>::decode(dec)?;
+        crate::mat::check_shape(&beta.value, 1, gamma.value.cols(), "layernorm beta")?;
+        crate::mat::check_shape(&gamma.value, 1, gamma.value.cols(), "layernorm gamma")?;
+        Ok(LayerNorm { gamma, beta, eps: 1e-5, cache: None })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

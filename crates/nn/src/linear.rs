@@ -86,6 +86,20 @@ impl HasParams for Linear {
     }
 }
 
+impl fairgen_graph::Codec for Linear {
+    fn encode(&self, enc: &mut fairgen_graph::Encoder) {
+        fairgen_graph::Codec::encode(&self.w, enc);
+        fairgen_graph::Codec::encode(&self.b, enc);
+    }
+
+    fn decode(dec: &mut fairgen_graph::Decoder) -> fairgen_graph::Result<Self> {
+        let w = <Param as fairgen_graph::Codec>::decode(dec)?;
+        let b = <Param as fairgen_graph::Codec>::decode(dec)?;
+        crate::mat::check_shape(&b.value, 1, w.value.cols(), "linear bias")?;
+        Ok(Linear { w, b, cache_x: None })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -231,6 +231,47 @@ impl HasParams for LstmLm {
     }
 }
 
+impl fairgen_graph::Codec for LstmLm {
+    fn encode(&self, enc: &mut fairgen_graph::Encoder) {
+        enc.put_usize(self.vocab);
+        enc.put_usize(self.hidden);
+        fairgen_graph::Codec::encode(&self.embed, enc);
+        fairgen_graph::Codec::encode(&self.w, enc);
+        fairgen_graph::Codec::encode(&self.b, enc);
+        fairgen_graph::Codec::encode(&self.head, enc);
+    }
+
+    fn decode(dec: &mut fairgen_graph::Decoder) -> fairgen_graph::Result<Self> {
+        let vocab = dec.take_usize()?;
+        let hidden = dec.take_usize()?;
+        let embed = <Embedding as fairgen_graph::Codec>::decode(dec)?;
+        let w = <Param as fairgen_graph::Codec>::decode(dec)?;
+        let b = <Param as fairgen_graph::Codec>::decode(dec)?;
+        let head = <Linear as fairgen_graph::Codec>::decode(dec)?;
+        let corrupt =
+            |detail: String| fairgen_graph::FairGenError::CorruptCheckpoint { detail };
+        if vocab == 0 || hidden == 0 {
+            return Err(corrupt(format!("degenerate lstm: vocab={vocab}, hidden={hidden}")));
+        }
+        if embed.vocab() != vocab + 1 {
+            return Err(corrupt(format!(
+                "lstm embedding rows {} disagree with vocab {vocab} (+BOS)",
+                embed.vocab()
+            )));
+        }
+        crate::mat::check_shape(&w.value, embed.dim() + hidden, 4 * hidden, "lstm gates")?;
+        crate::mat::check_shape(&b.value, 1, 4 * hidden, "lstm gate bias")?;
+        if head.input_dim() != hidden || head.output_dim() != vocab {
+            return Err(corrupt(format!(
+                "lstm head {}→{} disagrees with hidden={hidden}, vocab={vocab}",
+                head.input_dim(),
+                head.output_dim()
+            )));
+        }
+        Ok(LstmLm { vocab, hidden, embed, w, b, head, cache: Vec::new() })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

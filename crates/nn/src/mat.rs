@@ -219,6 +219,49 @@ impl Mat {
     }
 }
 
+/// Checkpoint-decode helper: rejects a matrix whose shape does not match
+/// what the surrounding model declares.
+pub(crate) fn check_shape(
+    m: &Mat,
+    rows: usize,
+    cols: usize,
+    what: &str,
+) -> fairgen_graph::Result<()> {
+    if m.rows() != rows || m.cols() != cols {
+        return Err(fairgen_graph::FairGenError::CorruptCheckpoint {
+            detail: format!(
+                "{what}: expected {rows}×{cols}, checkpoint holds {}×{}",
+                m.rows(),
+                m.cols()
+            ),
+        });
+    }
+    Ok(())
+}
+
+impl fairgen_graph::Codec for Mat {
+    fn encode(&self, enc: &mut fairgen_graph::Encoder) {
+        enc.put_usize(self.rows);
+        enc.put_usize(self.cols);
+        enc.put_f64_slice(&self.data);
+    }
+
+    fn decode(dec: &mut fairgen_graph::Decoder) -> fairgen_graph::Result<Self> {
+        let rows = dec.take_usize()?;
+        let cols = dec.take_usize()?;
+        let data = dec.take_f64_vec()?;
+        if data.len() != rows.saturating_mul(cols) {
+            return Err(fairgen_graph::FairGenError::CorruptCheckpoint {
+                detail: format!(
+                    "matrix declared {rows}×{cols} but carries {} entries",
+                    data.len()
+                ),
+            });
+        }
+        Ok(Mat { rows, cols, data })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -94,6 +94,35 @@ impl HasParams for Mlp {
     }
 }
 
+impl fairgen_graph::Codec for Mlp {
+    fn encode(&self, enc: &mut fairgen_graph::Encoder) {
+        fairgen_graph::Codec::encode(&self.act, enc);
+        enc.put_seq(&self.layers);
+    }
+
+    fn decode(dec: &mut fairgen_graph::Decoder) -> fairgen_graph::Result<Self> {
+        let act = <Activation as fairgen_graph::Codec>::decode(dec)?;
+        let layers: Vec<Linear> = dec.take_seq()?;
+        if layers.is_empty() {
+            return Err(fairgen_graph::FairGenError::CorruptCheckpoint {
+                detail: "mlp with zero layers".into(),
+            });
+        }
+        for pair in layers.windows(2) {
+            if pair[0].output_dim() != pair[1].input_dim() {
+                return Err(fairgen_graph::FairGenError::CorruptCheckpoint {
+                    detail: format!(
+                        "mlp layer widths disagree: {} feeds {}",
+                        pair[0].output_dim(),
+                        pair[1].input_dim()
+                    ),
+                });
+            }
+        }
+        Ok(Mlp { layers, act, pre_acts: Vec::new() })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

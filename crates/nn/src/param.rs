@@ -35,6 +35,19 @@ impl Param {
     }
 }
 
+/// Checkpoints are *optimizer-free*: only the value matrix is stored, and
+/// decoding re-zeroes the gradient and Adam moments. A reloaded model
+/// generates identically; resumed *training* restarts its optimizer state.
+impl fairgen_graph::Codec for Param {
+    fn encode(&self, enc: &mut fairgen_graph::Encoder) {
+        self.value.encode(enc);
+    }
+
+    fn decode(dec: &mut fairgen_graph::Decoder) -> fairgen_graph::Result<Self> {
+        Ok(Param::new(<Mat as fairgen_graph::Codec>::decode(dec)?))
+    }
+}
+
 /// Anything that owns [`Param`]s and can hand them to an optimizer.
 pub trait HasParams {
     /// Visits every parameter exactly once.

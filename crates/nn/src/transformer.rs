@@ -9,7 +9,7 @@ use crate::layernorm::LayerNorm;
 use crate::linear::Linear;
 use crate::mat::Mat;
 use crate::param::{HasParams, Param};
-use crate::softmax::{cross_entropy, log_softmax, softmax_rows};
+use crate::softmax::{cross_entropy, log_softmax};
 
 /// One pre-norm transformer block: `x + Attn(LN(x))` then `h + FFN(LN(h))`.
 #[derive(Clone, Debug)]
@@ -71,6 +71,37 @@ impl HasParams for Block {
         self.ln2.for_each_param(f);
         self.fc1.for_each_param(f);
         self.fc2.for_each_param(f);
+    }
+}
+
+impl fairgen_graph::Codec for Block {
+    fn encode(&self, enc: &mut fairgen_graph::Encoder) {
+        fairgen_graph::Codec::encode(&self.ln1, enc);
+        fairgen_graph::Codec::encode(&self.attn, enc);
+        fairgen_graph::Codec::encode(&self.ln2, enc);
+        fairgen_graph::Codec::encode(&self.fc1, enc);
+        fairgen_graph::Codec::encode(&self.fc2, enc);
+    }
+
+    fn decode(dec: &mut fairgen_graph::Decoder) -> fairgen_graph::Result<Self> {
+        let ln1 = <LayerNorm as fairgen_graph::Codec>::decode(dec)?;
+        let attn = <MultiHeadAttention as fairgen_graph::Codec>::decode(dec)?;
+        let ln2 = <LayerNorm as fairgen_graph::Codec>::decode(dec)?;
+        let fc1 = <Linear as fairgen_graph::Codec>::decode(dec)?;
+        let fc2 = <Linear as fairgen_graph::Codec>::decode(dec)?;
+        let d = attn.d_model();
+        if ln1.dim() != d
+            || ln2.dim() != d
+            || fc1.input_dim() != d
+            || fc1.output_dim() != FFN_MULT * d
+            || fc2.input_dim() != FFN_MULT * d
+            || fc2.output_dim() != d
+        {
+            return Err(fairgen_graph::FairGenError::CorruptCheckpoint {
+                detail: format!("transformer block widths disagree with d_model {d}"),
+            });
+        }
+        Ok(Block { ln1, attn, ln2, fc1, fc2, cache_ff_pre: None })
     }
 }
 
@@ -240,31 +271,41 @@ impl TransformerLm {
     ) -> Vec<usize> {
         assert!(temperature > 0.0, "temperature must be positive");
         assert!(len < self.cfg.max_len, "len exceeds max_len");
-        let mut seq: Vec<usize> = Vec::with_capacity(len);
+        // Forward over the current prefix plus a placeholder last token: row
+        // i of forward(seq) predicts seq[i], so forwarding `seq + [0]` and
+        // reading the last row predicts the next token (the placeholder is
+        // sliced off before the model sees it). The probe and the softmax
+        // scratch are reused across steps — sampling runs once per generated
+        // walk token, the hottest loop in every generator.
+        let mut probe: Vec<usize> = Vec::with_capacity(len + 1);
+        probe.push(0);
+        let mut weights: Vec<f64> = Vec::with_capacity(self.cfg.vocab);
+        let inv_t = 1.0 / temperature;
         for _ in 0..len {
-            // Forward over current prefix plus a placeholder last token: use
-            // the fact that row i of forward(seq) predicts seq[i]; to predict
-            // the next token we forward `seq + [0]` and read the last row.
-            let mut probe = seq.clone();
-            probe.push(0);
             let logits = self.forward(&probe);
-            let last = logits.rows() - 1;
-            let mut row = Mat::from_vec(1, logits.cols(), logits.row(last).to_vec());
-            row.scale(1.0 / temperature);
-            let probs = softmax_rows(&row);
-            let mut target = rng.gen::<f64>();
-            let mut tok = logits.cols() - 1;
-            for c in 0..logits.cols() {
-                let p = probs.get(0, c);
-                if target < p {
+            let row = logits.row(logits.rows() - 1);
+            let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            weights.clear();
+            let mut sum = 0.0;
+            for &l in row {
+                let w = ((l - max) * inv_t).exp();
+                weights.push(w);
+                sum += w;
+            }
+            let mut target = rng.gen::<f64>() * sum;
+            let mut tok = weights.len() - 1;
+            for (c, &w) in weights.iter().enumerate() {
+                if target < w {
                     tok = c;
                     break;
                 }
-                target -= p;
+                target -= w;
             }
-            seq.push(tok);
+            *probe.last_mut().expect("probe is never empty") = tok;
+            probe.push(0);
         }
-        seq
+        probe.pop();
+        probe
     }
 }
 
@@ -277,6 +318,90 @@ impl HasParams for TransformerLm {
         }
         self.ln_f.for_each_param(f);
         self.head.for_each_param(f);
+    }
+}
+
+impl fairgen_graph::Codec for TransformerConfig {
+    fn encode(&self, enc: &mut fairgen_graph::Encoder) {
+        enc.put_usize(self.vocab);
+        enc.put_usize(self.d_model);
+        enc.put_usize(self.heads);
+        enc.put_usize(self.layers);
+        enc.put_usize(self.max_len);
+    }
+
+    fn decode(dec: &mut fairgen_graph::Decoder) -> fairgen_graph::Result<Self> {
+        let cfg = TransformerConfig {
+            vocab: dec.take_usize()?,
+            d_model: dec.take_usize()?,
+            heads: dec.take_usize()?,
+            layers: dec.take_usize()?,
+            max_len: dec.take_usize()?,
+        };
+        if cfg.vocab == 0
+            || cfg.layers == 0
+            || cfg.max_len < 2
+            || cfg.heads == 0
+            || !cfg.d_model.is_multiple_of(cfg.heads)
+        {
+            return Err(fairgen_graph::FairGenError::CorruptCheckpoint {
+                detail: format!("degenerate transformer config {cfg:?}"),
+            });
+        }
+        Ok(cfg)
+    }
+}
+
+impl fairgen_graph::Codec for TransformerLm {
+    fn encode(&self, enc: &mut fairgen_graph::Encoder) {
+        fairgen_graph::Codec::encode(&self.cfg, enc);
+        fairgen_graph::Codec::encode(&self.tok, enc);
+        fairgen_graph::Codec::encode(&self.pos, enc);
+        enc.put_seq(&self.blocks);
+        fairgen_graph::Codec::encode(&self.ln_f, enc);
+        fairgen_graph::Codec::encode(&self.head, enc);
+    }
+
+    fn decode(dec: &mut fairgen_graph::Decoder) -> fairgen_graph::Result<Self> {
+        let cfg = <TransformerConfig as fairgen_graph::Codec>::decode(dec)?;
+        let tok = <Embedding as fairgen_graph::Codec>::decode(dec)?;
+        let pos = <Embedding as fairgen_graph::Codec>::decode(dec)?;
+        let blocks: Vec<Block> = dec.take_seq()?;
+        let ln_f = <LayerNorm as fairgen_graph::Codec>::decode(dec)?;
+        let head = <Linear as fairgen_graph::Codec>::decode(dec)?;
+        let corrupt =
+            |detail: String| fairgen_graph::FairGenError::CorruptCheckpoint { detail };
+        if tok.vocab() != cfg.vocab + 1 || tok.dim() != cfg.d_model {
+            return Err(corrupt(format!(
+                "token table {}×{} disagrees with config {cfg:?}",
+                tok.vocab(),
+                tok.dim()
+            )));
+        }
+        if pos.vocab() != cfg.max_len || pos.dim() != cfg.d_model {
+            return Err(corrupt(format!(
+                "position table {}×{} disagrees with config {cfg:?}",
+                pos.vocab(),
+                pos.dim()
+            )));
+        }
+        if blocks.len() != cfg.layers
+            || blocks
+                .iter()
+                .any(|b| b.attn.d_model() != cfg.d_model || b.attn.heads() != cfg.heads)
+        {
+            return Err(corrupt(format!(
+                "{} decoded blocks disagree with config {cfg:?}",
+                blocks.len()
+            )));
+        }
+        if ln_f.dim() != cfg.d_model
+            || head.input_dim() != cfg.d_model
+            || head.output_dim() != cfg.vocab
+        {
+            return Err(corrupt(format!("output head disagrees with config {cfg:?}")));
+        }
+        Ok(TransformerLm { cfg, tok, pos, blocks, ln_f, head, cache_len: 0 })
     }
 }
 

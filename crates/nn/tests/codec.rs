@@ -1,0 +1,97 @@
+//! Checkpoint codec roundtrips for the nn substrate: a reloaded model must
+//! be *bit-identical* in behaviour — same logits, same samples per seed.
+
+use fairgen_graph::codec::{open_value, seal_value, Codec, Decoder, Encoder};
+use fairgen_graph::FairGenError;
+use fairgen_nn::{Activation, LstmLm, Mat, Mlp, TransformerConfig, TransformerLm};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn roundtrip<T: Codec>(value: &T) -> T {
+    let bytes = seal_value("test", value);
+    open_value("test", &bytes).expect("roundtrip decodes")
+}
+
+#[test]
+fn mat_roundtrips_bit_exactly() {
+    let m = Mat::from_vec(2, 3, vec![1.5, -0.0, f64::NAN, f64::INFINITY, 1e-300, -2.25]);
+    let back = roundtrip(&m);
+    assert_eq!(back.rows(), 2);
+    assert_eq!(back.cols(), 3);
+    for (a, b) in m.as_slice().iter().zip(back.as_slice()) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}
+
+#[test]
+fn mat_rejects_inconsistent_shape() {
+    let mut enc = Encoder::new();
+    enc.put_usize(2);
+    enc.put_usize(3);
+    enc.put_f64_slice(&[1.0; 5]); // 5 entries for a 2×3 matrix
+    let bytes = enc.into_bytes();
+    let mut dec = Decoder::new(&bytes);
+    assert!(matches!(
+        <Mat as Codec>::decode(&mut dec),
+        Err(FairGenError::CorruptCheckpoint { .. })
+    ));
+}
+
+#[test]
+fn transformer_lm_roundtrip_preserves_behaviour() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let cfg = TransformerConfig { vocab: 9, d_model: 8, heads: 2, layers: 2, max_len: 8 };
+    let mut lm = TransformerLm::new(cfg, &mut rng);
+    let mut back = roundtrip(&lm);
+    let seq = [1usize, 4, 7];
+    assert_eq!(lm.nll(&seq).to_bits(), back.nll(&seq).to_bits());
+    let mut r1 = StdRng::seed_from_u64(11);
+    let mut r2 = StdRng::seed_from_u64(11);
+    assert_eq!(lm.sample(6, 0.8, &mut r1), back.sample(6, 0.8, &mut r2));
+}
+
+#[test]
+fn lstm_lm_roundtrip_preserves_behaviour() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut lm = LstmLm::new(7, 6, 10, &mut rng);
+    let mut back = roundtrip(&lm);
+    let seq = [2usize, 6, 0];
+    assert_eq!(lm.nll(&seq).to_bits(), back.nll(&seq).to_bits());
+    let mut r1 = StdRng::seed_from_u64(5);
+    let mut r2 = StdRng::seed_from_u64(5);
+    assert_eq!(lm.sample(5, 1.0, &mut r1), back.sample(5, 1.0, &mut r2));
+}
+
+#[test]
+fn mlp_roundtrip_preserves_inference() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mlp = Mlp::new(&[4, 8, 8, 3], Activation::Tanh, &mut rng);
+    let back = roundtrip(&mlp);
+    let x = Mat::from_fn(5, 4, |r, c| ((r * 3 + c) as f64 * 0.37).sin());
+    assert_eq!(mlp.forward_inference(&x), back.forward_inference(&x));
+}
+
+#[test]
+fn corrupt_activation_discriminant_rejected() {
+    let mut enc = Encoder::new();
+    enc.put_u8(200);
+    let bytes = enc.into_bytes();
+    let mut dec = Decoder::new(&bytes);
+    assert!(matches!(
+        <Activation as Codec>::decode(&mut dec),
+        Err(FairGenError::CorruptCheckpoint { detail }) if detail.contains("activation")
+    ));
+}
+
+#[test]
+fn truncated_transformer_checkpoint_rejected() {
+    let mut rng = StdRng::seed_from_u64(6);
+    let cfg = TransformerConfig { vocab: 5, d_model: 4, heads: 2, layers: 1, max_len: 6 };
+    let lm = TransformerLm::new(cfg, &mut rng);
+    let bytes = seal_value("test", &lm);
+    // Cutting the container anywhere must produce an error, never a panic
+    // or a silently wrong model.
+    for cut in [10, bytes.len() / 2, bytes.len() - 1] {
+        assert!(open_value::<TransformerLm>("test", &bytes[..cut]).is_err(), "cut at {cut}");
+    }
+}

@@ -1,0 +1,50 @@
+//! Serving layer for the FairGen workspace: fit **once**, serve **many**.
+//!
+//! The two-phase generator API (`fit` → `FittedGenerator::generate`) makes
+//! training the expensive step and sampling the cheap one — the runtime
+//! split tab4 measures. This crate turns that asymmetry into a serving
+//! deployment:
+//!
+//! * [`ModelRegistry`] — a long-lived cache keyed by
+//!   [`GraphFingerprint`](fairgen_graph::GraphFingerprint), a content hash
+//!   of everything `fit` consumes (graph, labels, protected group, fit
+//!   seed, generator family). The first request for a key fits; every
+//!   later request is served from the cached model with **zero refits**.
+//! * **Request batching** — [`ModelRegistry::handle_batch`] coalesces
+//!   same-key requests into one `generate_batch` call.
+//! * **LRU eviction under a budget** — [`RegistryConfig::capacity`] bounds
+//!   resident models; victims are the least recently used.
+//! * **Checkpoint spill / warm start** — with
+//!   [`RegistryConfig::checkpoint_dir`] set, evicted models are spilled as
+//!   `fairgen_core::checkpoint` files and unknown keys are warm-started
+//!   from disk (including files written by a previous process), so a
+//!   restart costs a deserialization, not a retraining run.
+//!
+//! The registry serves any [`PersistableGraphGenerator`] — all six
+//! baselines and FairGen itself (via
+//! [`FairGenGenerator`](fairgen_core::FairGenGenerator)) — uniformly:
+//!
+//! ```no_run
+//! use fairgen_core::{FairGenConfig, FairGenGenerator, TaskSpec};
+//! use fairgen_serve::{GenerateRequest, ModelRegistry, RegistryConfig};
+//! # fn demo(g: fairgen_graph::Graph, task: TaskSpec)
+//! #     -> fairgen_core::error::Result<()> {
+//! let mut registry = ModelRegistry::with_config(
+//!     Box::new(FairGenGenerator::new(FairGenConfig::default())),
+//!     RegistryConfig { capacity: 4, checkpoint_dir: Some("ckpt".into()) },
+//! )?;
+//! // Fits FairGen once…
+//! let first = registry.handle(&GenerateRequest::new(&g, &task, 42, vec![1, 2, 3]))?;
+//! // …then serves out of memory (and survives restarts via `ckpt/`).
+//! let later = registry.handle(&GenerateRequest::single(&g, &task, 42, 4))?;
+//! # let _ = (first, later); Ok(())
+//! # }
+//! ```
+
+pub mod registry;
+pub mod request;
+
+pub use registry::{ModelRegistry, RegistryConfig, RegistryStats};
+pub use request::{fingerprint_request, GenerateRequest, GenerateResponse, ServedFrom};
+
+pub use fairgen_baselines::persist::{PersistableGenerator, PersistableGraphGenerator};

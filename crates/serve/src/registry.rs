@@ -1,0 +1,301 @@
+//! The fit-once/serve-many model registry.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+use fairgen_baselines::persist::{PersistableGenerator, PersistableGraphGenerator};
+use fairgen_baselines::TaskSpec;
+use fairgen_core::checkpoint;
+use fairgen_core::error::{FairGenError, Result};
+use fairgen_graph::{Graph, GraphFingerprint};
+
+use crate::request::{fold_request_content, GenerateRequest, GenerateResponse, ServedFrom};
+
+/// Registry resource policy.
+#[derive(Clone, Debug)]
+pub struct RegistryConfig {
+    /// Maximum fitted models resident in memory; the least-recently-used
+    /// entry is evicted past this budget. Must be at least 1.
+    pub capacity: usize,
+    /// When set, the registry *warm-starts* unknown fingerprints from
+    /// `<dir>/fg-<fingerprint>.ckpt` before fitting, and *spills* evicted
+    /// models there instead of discarding the training work.
+    pub checkpoint_dir: Option<PathBuf>,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        RegistryConfig { capacity: 8, checkpoint_dir: None }
+    }
+}
+
+/// Monotonic counters describing everything the registry has done.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Requests answered (batched same-key requests each count once).
+    pub requests: u64,
+    /// Models fitted from scratch — the expensive event the registry
+    /// exists to amortize.
+    pub cold_fits: u64,
+    /// Requests answered by a memory-resident model.
+    pub memory_hits: u64,
+    /// Models warm-started from a checkpoint file.
+    pub checkpoint_loads: u64,
+    /// Models evicted under the capacity budget.
+    pub evictions: u64,
+    /// Evicted models spilled to checkpoint files.
+    pub spills: u64,
+}
+
+struct Entry {
+    model: Box<dyn PersistableGenerator>,
+    last_used: u64,
+}
+
+/// A long-lived model cache over one generator family: fits **once** per
+/// distinct [`GraphFingerprint`], serves every later request from the
+/// cached [`PersistableGenerator`], batches same-key requests through
+/// `generate_batch`, evicts LRU past a configurable budget, and — when a
+/// checkpoint directory is configured — spills evicted models to disk and
+/// warm-starts from files written by any earlier process.
+///
+/// ```no_run
+/// use fairgen_baselines::{ErGenerator, TaskSpec};
+/// use fairgen_serve::{GenerateRequest, ModelRegistry};
+/// # fn demo(g: fairgen_graph::Graph) -> fairgen_core::error::Result<()> {
+/// let mut registry = ModelRegistry::new(Box::new(ErGenerator));
+/// let task = TaskSpec::unlabeled();
+/// let cold = registry.handle(&GenerateRequest::single(&g, &task, 42, 1))?;
+/// let warm = registry.handle(&GenerateRequest::single(&g, &task, 42, 2))?; // no refit
+/// # let _ = (cold, warm); Ok(())
+/// # }
+/// ```
+pub struct ModelRegistry {
+    generator: Box<dyn PersistableGraphGenerator>,
+    cfg: RegistryConfig,
+    entries: HashMap<GraphFingerprint, Entry>,
+    clock: u64,
+    stats: RegistryStats,
+}
+
+impl ModelRegistry {
+    /// A registry with the default policy (8 resident models, no
+    /// checkpoint directory).
+    pub fn new(generator: Box<dyn PersistableGraphGenerator>) -> Self {
+        Self::with_config(generator, RegistryConfig::default())
+            .expect("default config is valid")
+    }
+
+    /// A registry with an explicit policy. Creates the checkpoint
+    /// directory if configured.
+    ///
+    /// # Errors
+    ///
+    /// [`FairGenError::InvalidConfig`] on a zero capacity;
+    /// [`FairGenError::Io`] when the checkpoint directory cannot be
+    /// created.
+    pub fn with_config(
+        generator: Box<dyn PersistableGraphGenerator>,
+        cfg: RegistryConfig,
+    ) -> Result<Self> {
+        if cfg.capacity == 0 {
+            return Err(FairGenError::InvalidConfig {
+                field: "capacity",
+                message: "registry needs room for at least one model".into(),
+            });
+        }
+        if let Some(dir) = &cfg.checkpoint_dir {
+            std::fs::create_dir_all(dir)?;
+        }
+        Ok(ModelRegistry {
+            generator,
+            cfg,
+            entries: HashMap::new(),
+            clock: 0,
+            stats: RegistryStats::default(),
+        })
+    }
+
+    /// The generator family this registry serves.
+    pub fn generator_name(&self) -> &'static str {
+        self.generator.name()
+    }
+
+    /// The cache key a request maps to. It folds the generator name *and*
+    /// its hyperparameters
+    /// ([`fold_config`](PersistableGraphGenerator::fold_config)) alongside
+    /// the request content, so registries over different families — or the
+    /// same family under different configs — never share keys even when
+    /// they share a checkpoint directory.
+    pub fn fingerprint(&self, g: &Graph, task: &TaskSpec, fit_seed: u64) -> GraphFingerprint {
+        let mut b = fairgen_graph::FingerprintBuilder::new();
+        b.add_str(self.generator.name());
+        self.generator.fold_config(&mut b);
+        fold_request_content(&mut b, g, task, fit_seed);
+        b.finish()
+    }
+
+    /// Number of memory-resident models.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no model is resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether a fingerprint is currently resident in memory.
+    pub fn contains(&self, fp: GraphFingerprint) -> bool {
+        self.entries.contains_key(&fp)
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> RegistryStats {
+        self.stats
+    }
+
+    /// Answers one request: resolve the fingerprint to a model (memory →
+    /// checkpoint → fresh fit), draw one graph per sample seed through
+    /// `generate_batch`, and report where the model came from.
+    pub fn handle(&mut self, req: &GenerateRequest) -> Result<GenerateResponse> {
+        let fp = self.fingerprint(req.graph, req.task, req.fit_seed);
+        let served_from = self.ensure(fp, req)?;
+        self.stats.requests += 1;
+        let graphs = self.generate_on(fp, &req.sample_seeds)?;
+        Ok(GenerateResponse { fingerprint: fp, served_from, graphs })
+    }
+
+    /// Answers a batch, coalescing same-key requests: each distinct
+    /// fingerprint is resolved **once** and all its sample seeds run
+    /// through a single `generate_batch` call, so n same-key requests cost
+    /// one fit (at most) and one batched generation pass. Responses come
+    /// back in request order; requests sharing a key all report their
+    /// group's [`ServedFrom`].
+    pub fn handle_batch(&mut self, reqs: &[GenerateRequest]) -> Result<Vec<GenerateResponse>> {
+        // Group request indices by fingerprint, preserving first-seen order.
+        let mut order: Vec<GraphFingerprint> = Vec::new();
+        let mut groups: HashMap<GraphFingerprint, Vec<usize>> = HashMap::new();
+        let mut keys: Vec<GraphFingerprint> = Vec::with_capacity(reqs.len());
+        for (i, req) in reqs.iter().enumerate() {
+            let fp = self.fingerprint(req.graph, req.task, req.fit_seed);
+            keys.push(fp);
+            let slot = groups.entry(fp).or_default();
+            if slot.is_empty() {
+                order.push(fp);
+            }
+            slot.push(i);
+        }
+        let mut responses: Vec<Option<GenerateResponse>> =
+            (0..reqs.len()).map(|_| None).collect();
+        for fp in order {
+            let members = &groups[&fp];
+            let served_from = self.ensure(fp, &reqs[members[0]])?;
+            // The group resolved once; its remaining members are served by
+            // the now-resident model, so per-request counters stay
+            // consistent (requests == cold_fits + memory_hits +
+            // checkpoint_loads).
+            self.stats.memory_hits += members.len() as u64 - 1;
+            let merged: Vec<u64> =
+                members.iter().flat_map(|&i| reqs[i].sample_seeds.iter().copied()).collect();
+            let mut graphs = self.generate_on(fp, &merged)?;
+            // Split the batched output back per request, front to back.
+            for &i in members.iter().rev() {
+                let tail = graphs.split_off(graphs.len() - reqs[i].sample_seeds.len());
+                responses[i] =
+                    Some(GenerateResponse { fingerprint: fp, served_from, graphs: tail });
+                self.stats.requests += 1;
+            }
+        }
+        Ok(responses.into_iter().map(|r| r.expect("every request answered")).collect())
+    }
+
+    /// Spills every resident model to the checkpoint directory (no-op
+    /// without one configured). Returns how many files were written.
+    pub fn spill_all(&mut self) -> Result<usize> {
+        let Some(_) = self.cfg.checkpoint_dir else { return Ok(0) };
+        let fps: Vec<GraphFingerprint> = self.entries.keys().copied().collect();
+        for &fp in &fps {
+            let path = self.checkpoint_path(fp).expect("dir configured");
+            checkpoint::save_to(path, self.entries[&fp].model.as_ref())?;
+            self.stats.spills += 1;
+        }
+        Ok(fps.len())
+    }
+
+    /// Drops every resident model (checkpoint files are untouched).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    fn checkpoint_path(&self, fp: GraphFingerprint) -> Option<PathBuf> {
+        self.cfg.checkpoint_dir.as_ref().map(|dir| dir.join(format!("fg-{}.ckpt", fp.to_hex())))
+    }
+
+    /// Resolves `fp` to a resident model: memory hit, checkpoint warm
+    /// start, or a fresh fit — in that order — then enforces the LRU
+    /// budget.
+    fn ensure(&mut self, fp: GraphFingerprint, req: &GenerateRequest) -> Result<ServedFrom> {
+        self.clock += 1;
+        if let Some(entry) = self.entries.get_mut(&fp) {
+            entry.last_used = self.clock;
+            self.stats.memory_hits += 1;
+            return Ok(ServedFrom::Memory);
+        }
+        let (model, served_from) = match self.checkpoint_path(fp).filter(|p| p.exists()) {
+            Some(path) => {
+                let model = checkpoint::load_from(path)?;
+                self.stats.checkpoint_loads += 1;
+                (model, ServedFrom::Checkpoint)
+            }
+            None => {
+                let model =
+                    self.generator.fit_persistable(req.graph, req.task, req.fit_seed)?;
+                self.stats.cold_fits += 1;
+                (model, ServedFrom::ColdFit)
+            }
+        };
+        self.entries.insert(fp, Entry { model, last_used: self.clock });
+        self.evict_over_budget()?;
+        Ok(served_from)
+    }
+
+    fn generate_on(&mut self, fp: GraphFingerprint, seeds: &[u64]) -> Result<Vec<Graph>> {
+        let entry = self.entries.get_mut(&fp).expect("ensured before generating");
+        entry.model.generate_batch(seeds)
+    }
+
+    /// Evicts least-recently-used entries until the budget holds, spilling
+    /// each victim to the checkpoint directory when one is configured (so
+    /// eviction demotes a model from memory to disk instead of discarding
+    /// the training work).
+    fn evict_over_budget(&mut self) -> Result<()> {
+        while self.entries.len() > self.cfg.capacity {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&fp, _)| fp)
+                .expect("over budget implies non-empty");
+            if let Some(path) = self.checkpoint_path(victim) {
+                checkpoint::save_to(path, self.entries[&victim].model.as_ref())?;
+                self.stats.spills += 1;
+            }
+            self.entries.remove(&victim);
+            self.stats.evictions += 1;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for ModelRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelRegistry")
+            .field("generator", &self.generator.name())
+            .field("resident", &self.entries.len())
+            .field("capacity", &self.cfg.capacity)
+            .field("checkpoint_dir", &self.cfg.checkpoint_dir)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}

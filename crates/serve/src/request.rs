@@ -1,0 +1,136 @@
+//! The serving request/response vocabulary.
+
+use fairgen_baselines::TaskSpec;
+use fairgen_graph::{FingerprintBuilder, Graph, GraphFingerprint};
+
+/// One generation request: "give me these sample draws from the generator
+/// fitted on this graph + task + fit seed".
+///
+/// Requests borrow their graph and task — the registry hashes them into a
+/// [`GraphFingerprint`] and only clones into a model when it actually has
+/// to fit.
+#[derive(Clone, Debug)]
+pub struct GenerateRequest<'a> {
+    /// The observed graph to fit on (cache-key content).
+    pub graph: &'a Graph,
+    /// Task metadata: few-shot labels + protected group (cache-key content).
+    pub task: &'a TaskSpec,
+    /// The fit seed (cache-key content — distinct seeds are distinct models).
+    pub fit_seed: u64,
+    /// One synthetic graph is drawn per sample seed.
+    pub sample_seeds: Vec<u64>,
+}
+
+impl<'a> GenerateRequest<'a> {
+    /// A request for one draw per sample seed.
+    pub fn new(
+        graph: &'a Graph,
+        task: &'a TaskSpec,
+        fit_seed: u64,
+        sample_seeds: Vec<u64>,
+    ) -> Self {
+        GenerateRequest { graph, task, fit_seed, sample_seeds }
+    }
+
+    /// A single-draw request.
+    pub fn single(
+        graph: &'a Graph,
+        task: &'a TaskSpec,
+        fit_seed: u64,
+        sample_seed: u64,
+    ) -> Self {
+        GenerateRequest::new(graph, task, fit_seed, vec![sample_seed])
+    }
+}
+
+/// Where the model that answered a request came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServedFrom {
+    /// First sighting of this fingerprint: the registry fitted a model.
+    ColdFit,
+    /// The fitted model was resident in memory.
+    Memory,
+    /// Warm start: the model was reloaded from a checkpoint file.
+    Checkpoint,
+}
+
+/// The registry's answer to a [`GenerateRequest`].
+#[derive(Debug)]
+pub struct GenerateResponse {
+    /// The cache key the request mapped to.
+    pub fingerprint: GraphFingerprint,
+    /// Cold fit, memory hit, or checkpoint warm start. Same-key requests
+    /// batched together all report their *group's* outcome.
+    pub served_from: ServedFrom,
+    /// One synthetic graph per requested sample seed, in order.
+    pub graphs: Vec<Graph>,
+}
+
+/// Folds the request-side cache-key content: the graph (edge-order
+/// independent), the task's labels (order-independent), class count and
+/// protected group, and the fit seed.
+pub(crate) fn fold_request_content(
+    b: &mut FingerprintBuilder,
+    graph: &Graph,
+    task: &TaskSpec,
+    fit_seed: u64,
+) {
+    b.add_graph(graph)
+        .add_labels(&task.labeled)
+        .add_usize(task.num_classes)
+        .add_opt_node_set(task.protected.as_ref())
+        .add_u64(fit_seed);
+}
+
+/// The request-content half of a cache key under a generator family name.
+///
+/// [`ModelRegistry`](crate::ModelRegistry) keys additionally fold the
+/// generator's *hyperparameters*
+/// ([`PersistableGraphGenerator::fold_config`][fold]) — use
+/// [`ModelRegistry::fingerprint`](crate::ModelRegistry::fingerprint) when
+/// you need the exact key a registry will use; this free function is the
+/// config-free variant for callers that only have a family name.
+///
+/// [fold]: fairgen_baselines::persist::PersistableGraphGenerator::fold_config
+pub fn fingerprint_request(
+    generator_name: &str,
+    graph: &Graph,
+    task: &TaskSpec,
+    fit_seed: u64,
+) -> GraphFingerprint {
+    let mut b = FingerprintBuilder::new();
+    b.add_str(generator_name);
+    fold_request_content(&mut b, graph, task, fit_seed);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_covers_every_request_field() {
+        let g = Graph::from_edges(5, &[(0, 1), (2, 3)]);
+        let task = TaskSpec::unlabeled();
+        let base = fingerprint_request("ER", &g, &task, 1);
+        assert_eq!(base, fingerprint_request("ER", &g, &task, 1));
+        assert_ne!(base, fingerprint_request("BA", &g, &task, 1));
+        assert_ne!(base, fingerprint_request("ER", &g, &task, 2));
+        let relabeled = TaskSpec::new(vec![(0, 0)], 1, None);
+        assert_ne!(base, fingerprint_request("ER", &g, &relabeled, 1));
+        let g2 = Graph::from_edges(5, &[(0, 1), (2, 4)]);
+        assert_ne!(base, fingerprint_request("ER", &g2, &task, 1));
+    }
+
+    #[test]
+    fn sample_seeds_do_not_affect_the_key() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        let task = TaskSpec::unlabeled();
+        let a = GenerateRequest::single(&g, &task, 9, 1);
+        let b = GenerateRequest::new(&g, &task, 9, vec![4, 5, 6]);
+        assert_eq!(
+            fingerprint_request("ER", a.graph, a.task, a.fit_seed),
+            fingerprint_request("ER", b.graph, b.task, b.fit_seed),
+        );
+    }
+}

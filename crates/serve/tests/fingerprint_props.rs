@@ -1,0 +1,124 @@
+//! Property tests for the serving cache key: a [`GraphFingerprint`] must be
+//! stable under edge reordering and distinct across label / protected-group
+//! perturbations — otherwise the registry either refits needlessly or,
+//! much worse, serves the wrong model.
+
+use fairgen_baselines::TaskSpec;
+use fairgen_graph::{Graph, NodeId, NodeSet};
+use fairgen_serve::fingerprint_request;
+use proptest::prelude::*;
+
+/// Strategy: `(n, edges)` with possibly duplicated/self-loop raw edges, the
+/// kind of list real loaders produce.
+fn arb_edges(max_n: usize, max_m: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (3..=max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 1..=max_m)
+            .prop_map(move |edges| (n, edges))
+    })
+}
+
+/// Deterministic permutation of an edge list driven by a seed.
+fn permuted(edges: &[(u32, u32)], seed: u64) -> Vec<(u32, u32)> {
+    let mut out = edges.to_vec();
+    let mut state = seed | 1;
+    for i in (1..out.len()).rev() {
+        // SplitMix-style step; only determinism matters here.
+        state = state.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(0x2545_f491_4f6c_dd1d);
+        let j = (state % (i as u64 + 1)) as usize;
+        out.swap(i, j);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn stable_under_edge_reordering_and_orientation(
+        input in arb_edges(20, 60),
+        seed in 0u64..1000,
+    ) {
+        let (n, edges) = input;
+        let task = TaskSpec::unlabeled();
+        let base = fingerprint_request("X", &Graph::from_edges(n, &edges), &task, 7);
+        // Permute the list…
+        let shuffled = permuted(&edges, seed);
+        prop_assert_eq!(
+            base,
+            fingerprint_request("X", &Graph::from_edges(n, &shuffled), &task, 7)
+        );
+        // …and flip every orientation.
+        let flipped: Vec<(u32, u32)> = edges.iter().map(|&(u, v)| (v, u)).collect();
+        prop_assert_eq!(
+            base,
+            fingerprint_request("X", &Graph::from_edges(n, &flipped), &task, 7)
+        );
+    }
+
+    #[test]
+    fn stable_under_label_reordering(
+        input in arb_edges(16, 40),
+        seed in 0u64..1000,
+    ) {
+        let (n, edges) = input;
+        let g = Graph::from_edges(n, &edges);
+        let labeled: Vec<(NodeId, usize)> =
+            (0..n as u32).step_by(2).map(|v| (v, (v % 2) as usize)).collect();
+        let mut shuffled = labeled.clone();
+        if shuffled.len() > 1 {
+            let j = (seed as usize) % shuffled.len();
+            shuffled.swap(0, j);
+            shuffled.reverse();
+        }
+        let a = TaskSpec::new(labeled, 2, None);
+        let b = TaskSpec::new(shuffled, 2, None);
+        prop_assert_eq!(
+            fingerprint_request("X", &g, &a, 3),
+            fingerprint_request("X", &g, &b, 3)
+        );
+    }
+
+    #[test]
+    fn distinct_across_label_perturbations(input in arb_edges(16, 40), node in 0u32..16) {
+        let (n, edges) = input;
+        prop_assume!((node as usize) < n);
+        let g = Graph::from_edges(n, &edges);
+        let base_task = TaskSpec::new(vec![(node, 0)], 2, None);
+        let base = fingerprint_request("X", &g, &base_task, 3);
+        // Flip the class.
+        let relabeled = TaskSpec::new(vec![(node, 1)], 2, None);
+        prop_assert_ne!(base, fingerprint_request("X", &g, &relabeled, 3));
+        // Drop the label.
+        let unlabeled = TaskSpec::new(Vec::new(), 2, None);
+        prop_assert_ne!(base, fingerprint_request("X", &g, &unlabeled, 3));
+    }
+
+    #[test]
+    fn distinct_across_group_perturbations(input in arb_edges(16, 40), member in 0u32..16) {
+        let (n, edges) = input;
+        prop_assume!((member as usize) < n);
+        let g = Graph::from_edges(n, &edges);
+        let with = TaskSpec {
+            protected: Some(NodeSet::from_members(n, &[member])),
+            ..TaskSpec::unlabeled()
+        };
+        let without = TaskSpec::unlabeled();
+        let other = TaskSpec {
+            protected: Some(NodeSet::from_members(n + 1, &[member])),
+            ..TaskSpec::unlabeled()
+        };
+        let a = fingerprint_request("X", &g, &with, 3);
+        prop_assert_ne!(a, fingerprint_request("X", &g, &without, 3));
+        prop_assert_ne!(a, fingerprint_request("X", &g, &other, 3));
+    }
+
+    #[test]
+    fn distinct_across_seed_and_family(input in arb_edges(16, 40), seed in 0u64..1_000_000) {
+        let (n, edges) = input;
+        let g = Graph::from_edges(n, &edges);
+        let task = TaskSpec::unlabeled();
+        let base = fingerprint_request("FairGen", &g, &task, seed);
+        prop_assert_ne!(base, fingerprint_request("FairGen", &g, &task, seed.wrapping_add(1)));
+        prop_assert_ne!(base, fingerprint_request("TagGen", &g, &task, seed));
+    }
+}

@@ -1,0 +1,285 @@
+//! Registry behaviour: fit-once/serve-many, batching, LRU, spill and warm
+//! start.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use fairgen_baselines::persist::{PersistableGenerator, PersistableGraphGenerator};
+use fairgen_baselines::{ErGenerator, GraphGenerator, TaskSpec};
+use fairgen_core::error::Result;
+use fairgen_core::{FairGenConfig, FairGenGenerator};
+use fairgen_graph::Graph;
+use fairgen_serve::{GenerateRequest, ModelRegistry, RegistryConfig, ServedFrom};
+
+/// Wraps a generator and counts how many times `fit_persistable` runs —
+/// the registry's whole point is keeping this number at one per key.
+struct CountingGen<G> {
+    inner: G,
+    fits: Rc<Cell<usize>>,
+}
+
+impl<G: GraphGenerator> GraphGenerator for CountingGen<G> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+    fn fit(
+        &self,
+        g: &Graph,
+        task: &TaskSpec,
+        seed: u64,
+    ) -> Result<Box<dyn fairgen_baselines::FittedGenerator>> {
+        self.inner.fit(g, task, seed)
+    }
+}
+
+impl<G: PersistableGraphGenerator> PersistableGraphGenerator for CountingGen<G> {
+    fn fit_persistable(
+        &self,
+        g: &Graph,
+        task: &TaskSpec,
+        seed: u64,
+    ) -> Result<Box<dyn PersistableGenerator>> {
+        self.fits.set(self.fits.get() + 1);
+        self.inner.fit_persistable(g, task, seed)
+    }
+}
+
+fn counting_er() -> (Box<dyn PersistableGraphGenerator>, Rc<Cell<usize>>) {
+    let fits = Rc::new(Cell::new(0));
+    (Box::new(CountingGen { inner: ErGenerator, fits: Rc::clone(&fits) }), fits)
+}
+
+fn ring(n: u32) -> Graph {
+    Graph::from_edges(n as usize, &(0..n).map(|i| (i, (i + 1) % n)).collect::<Vec<_>>())
+}
+
+fn temp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("fairgen-serve-tests").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn second_request_served_with_zero_refits() {
+    let (gen, fits) = counting_er();
+    let mut registry = ModelRegistry::new(gen);
+    let g = ring(20);
+    let task = TaskSpec::unlabeled();
+
+    let first = registry.handle(&GenerateRequest::single(&g, &task, 42, 1)).expect("first");
+    assert_eq!(first.served_from, ServedFrom::ColdFit);
+    assert_eq!(fits.get(), 1);
+
+    let second =
+        registry.handle(&GenerateRequest::new(&g, &task, 42, vec![2, 3])).expect("second");
+    assert_eq!(second.served_from, ServedFrom::Memory);
+    assert_eq!(fits.get(), 1, "second request must be served with zero refits");
+    assert_eq!(second.graphs.len(), 2);
+    assert_eq!(first.fingerprint, second.fingerprint);
+
+    // Same sample seed through the registry == direct fit + generate.
+    let mut direct = ErGenerator.fit(&g, &task, 42).expect("fit");
+    assert_eq!(first.graphs[0], direct.generate(1).expect("generate"));
+
+    let stats = registry.stats();
+    assert_eq!(stats.requests, 2);
+    assert_eq!(stats.cold_fits, 1);
+    assert_eq!(stats.memory_hits, 1);
+}
+
+#[test]
+fn distinct_fit_inputs_get_distinct_models() {
+    let (gen, fits) = counting_er();
+    let mut registry = ModelRegistry::new(gen);
+    let g = ring(16);
+    let h = ring(18);
+    let task = TaskSpec::unlabeled();
+    registry.handle(&GenerateRequest::single(&g, &task, 1, 0)).expect("g");
+    registry.handle(&GenerateRequest::single(&h, &task, 1, 0)).expect("h");
+    registry.handle(&GenerateRequest::single(&g, &task, 2, 0)).expect("g, new fit seed");
+    assert_eq!(fits.get(), 3);
+    assert_eq!(registry.len(), 3);
+}
+
+#[test]
+fn handle_batch_coalesces_same_key_requests() {
+    let (gen, fits) = counting_er();
+    let mut registry = ModelRegistry::new(gen);
+    let g = ring(14);
+    let h = ring(15);
+    let task = TaskSpec::unlabeled();
+    let reqs = vec![
+        GenerateRequest::new(&g, &task, 7, vec![1, 2]),
+        GenerateRequest::single(&h, &task, 7, 9),
+        GenerateRequest::single(&g, &task, 7, 3),
+    ];
+    let responses = registry.handle_batch(&reqs).expect("batch");
+    assert_eq!(fits.get(), 2, "three requests over two keys must fit twice");
+    assert_eq!(responses.len(), 3);
+    assert_eq!(responses[0].graphs.len(), 2);
+    assert_eq!(responses[1].graphs.len(), 1);
+    assert_eq!(responses[2].graphs.len(), 1);
+    assert_eq!(responses[0].fingerprint, responses[2].fingerprint);
+    assert_ne!(responses[0].fingerprint, responses[1].fingerprint);
+
+    // Batched outputs are per-seed identical to individual handling.
+    let mut solo = ModelRegistry::new(Box::new(ErGenerator));
+    let alone = solo.handle(&GenerateRequest::single(&g, &task, 7, 3)).expect("solo");
+    assert_eq!(responses[2].graphs[0], alone.graphs[0]);
+}
+
+#[test]
+fn lru_eviction_respects_budget_and_recency() {
+    let (gen, fits) = counting_er();
+    let mut registry =
+        ModelRegistry::with_config(gen, RegistryConfig { capacity: 2, checkpoint_dir: None })
+            .expect("valid config");
+    let task = TaskSpec::unlabeled();
+    let (a, b, c) = (ring(10), ring(11), ring(12));
+    let fp_a = registry.fingerprint(&a, &task, 0);
+    let fp_b = registry.fingerprint(&b, &task, 0);
+
+    registry.handle(&GenerateRequest::single(&a, &task, 0, 1)).expect("a");
+    registry.handle(&GenerateRequest::single(&b, &task, 0, 1)).expect("b");
+    // Touch `a` so `b` becomes the LRU victim.
+    registry.handle(&GenerateRequest::single(&a, &task, 0, 2)).expect("a again");
+    registry.handle(&GenerateRequest::single(&c, &task, 0, 1)).expect("c evicts b");
+
+    assert_eq!(registry.len(), 2);
+    assert!(registry.contains(fp_a), "recently used entry must survive");
+    assert!(!registry.contains(fp_b), "LRU entry must be evicted");
+    assert_eq!(registry.stats().evictions, 1);
+
+    // A re-request for the victim refits (no checkpoint dir to warm from).
+    let again = registry.handle(&GenerateRequest::single(&b, &task, 0, 1)).expect("b refit");
+    assert_eq!(again.served_from, ServedFrom::ColdFit);
+    assert_eq!(fits.get(), 4);
+}
+
+#[test]
+fn eviction_spills_and_warm_starts_from_checkpoint() {
+    let dir = temp_dir("spill");
+    let (gen, fits) = counting_er();
+    let mut registry = ModelRegistry::with_config(
+        gen,
+        RegistryConfig { capacity: 1, checkpoint_dir: Some(dir.clone()) },
+    )
+    .expect("valid config");
+    let task = TaskSpec::unlabeled();
+    let (a, b) = (ring(10), ring(11));
+
+    let cold = registry.handle(&GenerateRequest::single(&a, &task, 3, 5)).expect("a");
+    registry.handle(&GenerateRequest::single(&b, &task, 3, 5)).expect("b evicts+spills a");
+    assert_eq!(registry.stats().spills, 1);
+
+    // `a` comes back from disk — no refit, identical output.
+    let warm = registry.handle(&GenerateRequest::single(&a, &task, 3, 5)).expect("a warm");
+    assert_eq!(warm.served_from, ServedFrom::Checkpoint);
+    assert_eq!(warm.graphs, cold.graphs, "warm-started model must generate identically");
+    assert_eq!(fits.get(), 2, "warm start must not refit");
+    assert_eq!(registry.stats().checkpoint_loads, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fresh_registry_warm_starts_from_a_previous_process() {
+    // Simulated restart: registry 1 spills, registry 2 (fresh) reloads.
+    let dir = temp_dir("restart");
+    let g = ring(12);
+    let task = TaskSpec::unlabeled();
+    let cfg = RegistryConfig { capacity: 4, checkpoint_dir: Some(dir.clone()) };
+
+    let (gen1, _) = counting_er();
+    let mut first = ModelRegistry::with_config(gen1, cfg.clone()).expect("valid config");
+    let original = first.handle(&GenerateRequest::single(&g, &task, 8, 2)).expect("cold");
+    assert_eq!(first.spill_all().expect("spill"), 1);
+    drop(first);
+
+    let (gen2, fits2) = counting_er();
+    let mut second = ModelRegistry::with_config(gen2, cfg).expect("valid config");
+    let revived = second.handle(&GenerateRequest::single(&g, &task, 8, 2)).expect("warm");
+    assert_eq!(revived.served_from, ServedFrom::Checkpoint);
+    assert_eq!(revived.graphs, original.graphs);
+    assert_eq!(fits2.get(), 0, "the restarted process never refits");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fairgen_served_through_the_registry() {
+    // The flagship model behind the same interface: fit once, serve many.
+    let lg = fairgen_data::toy_two_community(5);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0);
+    let labeled = lg.sample_few_shot_labels(4, &mut rng).expect("toy is labeled");
+    let task = TaskSpec::new(labeled, lg.num_classes, lg.protected.clone());
+    let mut registry =
+        ModelRegistry::new(Box::new(FairGenGenerator::new(FairGenConfig::test_budget())));
+    let first =
+        registry.handle(&GenerateRequest::new(&lg.graph, &task, 11, vec![1, 2])).expect("cold");
+    assert_eq!(first.served_from, ServedFrom::ColdFit);
+    let second =
+        registry.handle(&GenerateRequest::single(&lg.graph, &task, 11, 1)).expect("warm");
+    assert_eq!(second.served_from, ServedFrom::Memory);
+    assert_eq!(first.graphs[0], second.graphs[0], "same sample seed, same draw");
+    assert_eq!(registry.stats().cold_fits, 1);
+}
+
+#[test]
+fn distinct_hyperparameters_get_distinct_keys() {
+    // A checkpoint dir shared by a test-budget registry and a production
+    // registry must never cross-serve models: the config is part of the key.
+    use fairgen_baselines::GaeGenerator;
+    let g = ring(10);
+    let task = TaskSpec::unlabeled();
+    let small = ModelRegistry::new(Box::new(GaeGenerator { dim: 4, epochs: 2, lr: 0.1 }));
+    let big = ModelRegistry::new(Box::new(GaeGenerator { dim: 24, epochs: 40, lr: 0.05 }));
+    assert_ne!(
+        small.fingerprint(&g, &task, 1),
+        big.fingerprint(&g, &task, 1),
+        "different hyperparameters must map to different cache keys"
+    );
+    // Same config, same key — a restarted process still warm-starts.
+    let again = ModelRegistry::new(Box::new(GaeGenerator { dim: 4, epochs: 2, lr: 0.1 }));
+    assert_eq!(small.fingerprint(&g, &task, 1), again.fingerprint(&g, &task, 1));
+}
+
+#[test]
+fn batched_stats_stay_per_request() {
+    let (gen, _) = counting_er();
+    let mut registry = ModelRegistry::new(gen);
+    let g = ring(14);
+    let task = TaskSpec::unlabeled();
+    let reqs = vec![
+        GenerateRequest::single(&g, &task, 7, 1),
+        GenerateRequest::single(&g, &task, 7, 2),
+        GenerateRequest::single(&g, &task, 7, 3),
+    ];
+    registry.handle_batch(&reqs).expect("batch");
+    let stats = registry.stats();
+    assert_eq!(stats.requests, 3);
+    assert_eq!(
+        stats.requests,
+        stats.cold_fits + stats.memory_hits + stats.checkpoint_loads,
+        "every request must be attributed to exactly one source"
+    );
+}
+
+#[test]
+fn zero_capacity_is_rejected() {
+    let (gen, _) = counting_er();
+    assert!(matches!(
+        ModelRegistry::with_config(gen, RegistryConfig { capacity: 0, checkpoint_dir: None }),
+        Err(fairgen_core::FairGenError::InvalidConfig { field: "capacity", .. })
+    ));
+}
+
+#[test]
+fn fit_errors_propagate_and_poison_nothing() {
+    let (gen, _) = counting_er();
+    let mut registry = ModelRegistry::new(gen);
+    let g = ring(8);
+    let bad = TaskSpec::new(vec![(99, 0)], 1, None);
+    assert!(registry.handle(&GenerateRequest::single(&g, &bad, 0, 0)).is_err());
+    assert!(registry.is_empty(), "failed fit must not cache anything");
+    let good = TaskSpec::unlabeled();
+    assert!(registry.handle(&GenerateRequest::single(&g, &good, 0, 0)).is_ok());
+}

@@ -118,6 +118,12 @@ impl ScoreMatrix {
         self.assemble_impl(target_m, Some((protected, target_protected_incident)), rng)
     }
 
+    /// Checkpoint decode guard: rejects keys naming nodes outside `0..n`.
+    fn validate_key(n: usize, k: u64) -> bool {
+        let (u, v) = unkey(k);
+        (u as usize) < n && (v as usize) < n && u < v
+    }
+
     fn assemble_impl<R: Rng + ?Sized>(
         &self,
         target_m: usize,
@@ -236,6 +242,44 @@ impl ScoreMatrix {
             builder.add_edge(u, v);
         }
         builder.build()
+    }
+}
+
+impl fairgen_graph::Codec for ScoreMatrix {
+    /// Entries are written in ascending key order so equal matrices encode
+    /// to equal bytes regardless of `HashMap` iteration order.
+    fn encode(&self, enc: &mut fairgen_graph::Encoder) {
+        enc.put_usize(self.n);
+        let mut keys: Vec<u64> = self.counts.keys().copied().collect();
+        keys.sort_unstable();
+        enc.put_usize(keys.len());
+        for k in keys {
+            enc.put_u64(k);
+            enc.put_f64(self.counts[&k]);
+        }
+    }
+
+    fn decode(dec: &mut fairgen_graph::Decoder) -> fairgen_graph::Result<Self> {
+        let n = dec.take_usize()?;
+        let len = dec.take_len(16)?;
+        let mut counts = HashMap::with_capacity(len);
+        for _ in 0..len {
+            let k = dec.take_u64()?;
+            let w = dec.take_f64()?;
+            if !Self::validate_key(n, k) {
+                let (u, v) = unkey(k);
+                return Err(fairgen_graph::FairGenError::CorruptCheckpoint {
+                    detail: format!("score entry ({u}, {v}) invalid for {n} nodes"),
+                });
+            }
+            if counts.insert(k, w).is_some() {
+                let (u, v) = unkey(k);
+                return Err(fairgen_graph::FairGenError::CorruptCheckpoint {
+                    detail: format!("duplicate score entry ({u}, {v})"),
+                });
+            }
+        }
+        Ok(ScoreMatrix { n, counts })
     }
 }
 

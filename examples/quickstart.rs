@@ -1,13 +1,14 @@
 //! Quickstart: train FairGen **once** on a small two-community graph,
-//! stream the per-cycle diagnostics through a `TrainObserver`, then draw
+//! stream the per-cycle diagnostics through a `TrainObserver` (to the
+//! console *and*, as JSONL, to a file a dashboard could tail), then draw
 //! **several** synthetic graphs from the single trained model and compare
 //! each against the original on the nine network statistics.
 //!
 //! Run with: `cargo run -p fairgen-suite --release --example quickstart`
 
-use std::ops::ControlFlow;
-
-use fairgen_core::{CycleReport, FairGen, FairGenConfig, TaskSpec};
+use fairgen_core::{
+    CycleReport, FairGen, FairGenConfig, JsonlObserver, TaskSpec, TrainObserver,
+};
 use fairgen_data::toy_two_community;
 use fairgen_metrics::{all_metrics, DiscrepancyReport, Metric};
 use rand::rngs::StdRng;
@@ -29,20 +30,29 @@ fn main() -> fairgen_core::error::Result<()> {
     );
 
     // 2. Train (Algorithm 1) once, observing each cycle as it completes.
-    //    Returning ControlFlow::Break from the observer would cancel
-    //    training at the cycle boundary; here we just watch.
+    //    Two sinks share the stream: the console line below, and a
+    //    JsonlObserver writing one JSON object per cycle to a file
+    //    (`tail -f … | jq` follows a long run live). Returning
+    //    ControlFlow::Break from the observer would cancel training at the
+    //    cycle boundary; here we just watch.
     // Budget scaled for a quick demo.
     let cfg = FairGenConfig { num_walks: 400, cycles: 2, ..Default::default() };
     let fairgen = FairGen::new(cfg);
+    let jsonl_path = std::env::temp_dir().join("fairgen-quickstart-cycles.jsonl");
+    let mut jsonl = JsonlObserver::new(std::fs::File::create(&jsonl_path)?);
     println!("training FairGen ({} self-paced cycles)…", cfg.cycles);
+    println!("streaming cycle reports to {}", jsonl_path.display());
     let mut observer = |report: &CycleReport| {
         println!(
             "  cycle {}: lambda={:.3}, pseudo-labels={}, {}",
             report.cycle, report.lambda, report.pseudo_labels, report.objective
         );
-        ControlFlow::Continue(())
+        jsonl.on_cycle(report)
     };
     let mut trained = fairgen.train_observed(&lg.graph, &task, 42, &mut observer)?;
+    if let Some(e) = jsonl.io_error() {
+        eprintln!("warning: JSONL sink failed mid-run: {e}");
+    }
 
     // 3. Fit once, generate many: three independent reproducible draws
     //    from the one trained model — no retraining per sample.
