@@ -67,7 +67,7 @@ impl WalkModel for NetGanModel {
         clip_gradients(&mut self.lm, 5.0);
         self.opt.step(&mut self.lm);
     }
-    fn lm_sample(&mut self, len: usize, rng: &mut StdRng) -> Vec<usize> {
+    fn lm_sample(&mut self, len: usize, rng: &mut StdRng) -> Result<Vec<usize>> {
         self.lm.sample(len, 1.0, rng)
     }
 }
@@ -214,7 +214,14 @@ mod tests {
         };
         assert!(train_walk_lm(&mut model, &g, &gen.budget, &mut rng));
         let samples: Vec<Vec<u32>> = (0..60)
-            .map(|_| model.lm_sample(6, &mut rng).iter().map(|&t| t as u32).collect())
+            .map(|_| {
+                model
+                    .lm_sample(6, &mut rng)
+                    .expect("sample")
+                    .iter()
+                    .map(|&t| t as u32)
+                    .collect()
+            })
             .collect();
         let consistency = edge_consistency(&g, &samples);
         // Density of the two-clique graph is 31/66 ≈ 0.47; random pairs match

@@ -61,8 +61,13 @@ pub trait WalkModel {
     fn lm_zero(&mut self);
     /// Apply an optimizer step.
     fn lm_opt_step(&mut self);
-    /// Sample a sequence of the given length.
-    fn lm_sample(&mut self, len: usize, rng: &mut StdRng) -> Vec<usize>;
+    /// Sample a sequence of the given length (KV-cached / state-carrying
+    /// incremental decoding in both LM baselines).
+    ///
+    /// # Errors
+    ///
+    /// [`FairGenError::Generate`] on a degenerate sampling distribution.
+    fn lm_sample(&mut self, len: usize, rng: &mut StdRng) -> Result<Vec<usize>>;
 }
 
 /// Trains `model` contrastively on node2vec walks from `g`.
@@ -106,6 +111,10 @@ pub fn train_walk_lm<M: WalkModel>(
 
 /// Samples `total` walks from `model` and assembles a graph with `target_m`
 /// edges over `n` vertices.
+///
+/// # Errors
+///
+/// Propagates [`FairGenError::Generate`] from a degenerate sampling step.
 pub fn sample_and_assemble<M: WalkModel>(
     model: &mut M,
     n: usize,
@@ -113,18 +122,21 @@ pub fn sample_and_assemble<M: WalkModel>(
     walk_len: usize,
     total: usize,
     rng: &mut StdRng,
-) -> Graph {
+) -> Result<Graph> {
     let mut scores = ScoreMatrix::new(n);
     // One walk buffer reused across all `total` samples — this loop is the
-    // per-draw hot path of both walk-LM baselines.
+    // per-draw hot path of both walk-LM baselines. The models additionally
+    // reuse one decode-state allocation across every sample here (and
+    // across batched registry requests), so the loop is allocation-free
+    // after the first walk.
     let mut walk: Walk = Vec::with_capacity(walk_len);
     for _ in 0..total {
-        let seq = model.lm_sample(walk_len, rng);
+        let seq = model.lm_sample(walk_len, rng)?;
         walk.clear();
         walk.extend(seq.iter().map(|&t| t as u32));
         scores.add_walk(&walk);
     }
-    scores.assemble(target_m, rng)
+    Ok(scores.assemble(target_m, rng))
 }
 
 /// A fitted walk-LM generator: the trained model plus the sampling budget.
@@ -229,14 +241,14 @@ impl<M: WalkModel> FittedGenerator for FittedWalkLm<M> {
         }
         let mut rng = StdRng::seed_from_u64(seed);
         let total = self.budget.train_walks * self.budget.gen_multiplier;
-        Ok(sample_and_assemble(
+        sample_and_assemble(
             &mut self.model,
             self.n,
             self.target_m,
             self.budget.walk_len,
             total,
             &mut rng,
-        ))
+        )
     }
 }
 
@@ -257,6 +269,7 @@ mod tests {
         }
         let total = budget.train_walks * budget.gen_multiplier;
         sample_and_assemble(model, g.n(), g.m(), budget.walk_len, total, rng)
+            .expect("replay sampling never degenerates")
     }
 
     /// A fake model that memorizes positives and replays them at sampling
@@ -275,10 +288,10 @@ mod tests {
         }
         fn lm_zero(&mut self) {}
         fn lm_opt_step(&mut self) {}
-        fn lm_sample(&mut self, len: usize, _rng: &mut StdRng) -> Vec<usize> {
+        fn lm_sample(&mut self, len: usize, _rng: &mut StdRng) -> Result<Vec<usize>> {
             let w = self.seen[self.cursor % self.seen.len()].clone();
             self.cursor += 1;
-            w.into_iter().take(len).collect()
+            Ok(w.into_iter().take(len).collect())
         }
     }
 

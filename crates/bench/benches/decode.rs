@@ -1,0 +1,90 @@
+//! Criterion microbenchmarks for the sampling hot path: KV-cached
+//! incremental decoding versus the full-forward reference, per-token decode
+//! cost across prefix lengths, and the blocked matmul kernel at the paper's
+//! shapes (`d_model` 100, walk length 10; scaled presets use 32–64).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairgen_nn::{LstmLm, Mat, TransformerConfig, TransformerLm};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn quickstart_lm() -> TransformerLm {
+    // The quickstart config: d_model 32, 4 heads, 1 block, vocab sized like
+    // the scaled CA benchmark graph. max_len is widened so one model serves
+    // every walk length under test.
+    let mut rng = StdRng::seed_from_u64(5);
+    let cfg = TransformerConfig { vocab: 400, d_model: 32, heads: 4, layers: 1, max_len: 256 };
+    TransformerLm::new(cfg, &mut rng)
+}
+
+fn bench_transformer_decode(c: &mut Criterion) {
+    let mut lm = quickstart_lm();
+    let mut group = c.benchmark_group("transformer_sample");
+    for &len in &[10usize, 50, 200] {
+        group.bench_with_input(BenchmarkId::new("incremental", len), &len, |b, &len| {
+            let mut rng = StdRng::seed_from_u64(6);
+            b.iter(|| lm.sample(len, 1.0, &mut rng).expect("sample"))
+        });
+    }
+    // The reference path is O(T²·d) — only bench the short lengths.
+    for &len in &[10usize, 50] {
+        group.bench_with_input(BenchmarkId::new("full_forward", len), &len, |b, &len| {
+            let mut rng = StdRng::seed_from_u64(6);
+            b.iter(|| lm.sample_ref(len, 1.0, &mut rng).expect("sample"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_lstm_decode(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut lm = LstmLm::new(400, 32, 48, &mut rng);
+    let mut group = c.benchmark_group("lstm_sample");
+    for &len in &[10usize, 50] {
+        group.bench_with_input(BenchmarkId::new("state_carry", len), &len, |b, &len| {
+            let mut rng = StdRng::seed_from_u64(8);
+            b.iter(|| lm.sample(len, 1.0, &mut rng).expect("sample"))
+        });
+        group.bench_with_input(BenchmarkId::new("full_forward", len), &len, |b, &len| {
+            let mut rng = StdRng::seed_from_u64(8);
+            b.iter(|| lm.sample_ref(len, 1.0, &mut rng).expect("sample"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    // (T+1)×d · d×d projection, d×4d FFN, and T×d · d×vocab head shapes at
+    // the paper width (100) and the scaled preset (32), plus one k-panel
+    // crossing case.
+    let shapes: &[(usize, usize, usize)] =
+        &[(11, 32, 32), (11, 100, 100), (11, 100, 400), (11, 400, 100), (51, 64, 256)];
+    for &(m, k, n) in shapes {
+        let a = Mat::from_fn(m, k, |r, c| ((r * k + c) as f64 * 0.37).sin());
+        let b_m = Mat::from_fn(k, n, |r, c| ((r * n + c) as f64 * 0.59).cos());
+        let mut out = Mat::zeros(m, n);
+        group.bench_with_input(
+            BenchmarkId::new("matmul_into", format!("{m}x{k}x{n}")),
+            &(m, k, n),
+            |bch, _| bch.iter(|| a.matmul_into(&b_m, &mut out)),
+        );
+    }
+    for &(m, k, n) in &[(11usize, 32usize, 32usize), (11, 100, 100)] {
+        let a = Mat::from_fn(m, k, |r, c| ((r * k + c) as f64 * 0.41).sin());
+        let b_m = Mat::from_fn(n, k, |r, c| ((r * k + c) as f64 * 0.23).cos());
+        group.bench_with_input(
+            BenchmarkId::new("matmul_nt_packed", format!("{m}x{k}x{n}")),
+            &(m, k, n),
+            |bch, _| bch.iter(|| a.matmul_nt(&b_m)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_transformer_decode, bench_lstm_decode, bench_matmul
+}
+criterion_main!(benches);

@@ -79,7 +79,7 @@ fn bench_models(c: &mut Criterion) {
     });
     c.bench_function("transformer_sample_T10", |b| {
         let mut rng = StdRng::seed_from_u64(6);
-        b.iter(|| lm.sample(10, 1.0, &mut rng))
+        b.iter(|| lm.sample(10, 1.0, &mut rng).expect("sample"))
     });
     let mut lstm = LstmLm::new(400, 32, 48, &mut rng);
     let mut opt2 = Adam::new(0.01);

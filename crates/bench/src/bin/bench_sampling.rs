@@ -1,0 +1,158 @@
+//! Emits `BENCH_sampling.json`: tokens/sec of the KV-cached incremental
+//! samplers versus the full-forward reference paths at the quickstart
+//! model shapes, so the sampling-hot-path perf trajectory is tracked
+//! across PRs.
+//!
+//! Run via `scripts/bench_sampling.sh`, or directly:
+//!
+//! ```text
+//! cargo run --release -p fairgen-bench --bin bench_sampling -- [OUT.json]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use fairgen_nn::{LstmLm, TransformerConfig, TransformerLm};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Walk lengths reported (10 = the paper's default `T`; 200 stresses the
+/// prefix-length dependence of the per-token cost).
+const WALK_LENS: [usize; 3] = [10, 50, 200];
+
+/// Times `f` adaptively: at least `min_reps` calls and at least ~0.4 s of
+/// wall clock, returning mean seconds per call.
+fn time_secs<F: FnMut()>(mut f: F, min_reps: usize) -> f64 {
+    f(); // warm-up
+    let mut reps = 0usize;
+    let start = Instant::now();
+    loop {
+        f();
+        reps += 1;
+        let elapsed = start.elapsed().as_secs_f64();
+        if reps >= min_reps && elapsed >= 0.4 {
+            return elapsed / reps as f64;
+        }
+        if reps >= 10_000 {
+            return elapsed / reps as f64;
+        }
+    }
+}
+
+struct Row {
+    walk_len: usize,
+    tok_per_sec_full: f64,
+    tok_per_sec_incremental: f64,
+    per_token_ns_incremental: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.tok_per_sec_incremental / self.tok_per_sec_full
+    }
+}
+
+fn json_rows(rows: &[Row]) -> String {
+    let mut s = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"walk_len\": {}, \"tokens_per_sec_full_forward\": {:.0}, \
+             \"tokens_per_sec_incremental\": {:.0}, \"speedup\": {:.2}, \
+             \"per_token_ns_incremental\": {:.0}}}",
+            r.walk_len,
+            r.tok_per_sec_full,
+            r.tok_per_sec_incremental,
+            r.speedup(),
+            r.per_token_ns_incremental,
+        );
+        s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]");
+    s
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_sampling.json".to_string());
+
+    // Quickstart config: d_model 32, 4 heads, 1 block (FairGenConfig
+    // defaults), vocab sized like the scaled CA graph; max_len widened so
+    // one model serves every walk length.
+    let mut rng = StdRng::seed_from_u64(5);
+    let cfg = TransformerConfig { vocab: 400, d_model: 32, heads: 4, layers: 1, max_len: 256 };
+    let mut tf = TransformerLm::new(cfg, &mut rng);
+    let mut lstm = LstmLm::new(400, 32, 48, &mut rng);
+
+    let mut tf_rows = Vec::new();
+    let mut r_full = StdRng::seed_from_u64(11);
+    let mut r_inc = StdRng::seed_from_u64(11);
+    for &len in &WALK_LENS {
+        let t_full = time_secs(
+            || {
+                tf.sample_ref(len, 1.0, &mut r_full).expect("sample_ref");
+            },
+            2,
+        );
+        let t_inc = time_secs(
+            || {
+                tf.sample(len, 1.0, &mut r_inc).expect("sample");
+            },
+            5,
+        );
+        tf_rows.push(Row {
+            walk_len: len,
+            tok_per_sec_full: len as f64 / t_full,
+            tok_per_sec_incremental: len as f64 / t_inc,
+            per_token_ns_incremental: t_inc * 1e9 / len as f64,
+        });
+    }
+
+    let mut lstm_rows = Vec::new();
+    for &len in &WALK_LENS {
+        let t_full = time_secs(
+            || {
+                lstm.sample_ref(len, 1.0, &mut r_full).expect("sample_ref");
+            },
+            2,
+        );
+        let t_inc = time_secs(
+            || {
+                lstm.sample(len, 1.0, &mut r_inc).expect("sample");
+            },
+            5,
+        );
+        lstm_rows.push(Row {
+            walk_len: len,
+            tok_per_sec_full: len as f64 / t_full,
+            tok_per_sec_incremental: len as f64 / t_inc,
+            per_token_ns_incremental: t_inc * 1e9 / len as f64,
+        });
+    }
+
+    // Per-token flatness: incremental cost per token at T=200 relative to
+    // T=10 (the full-forward path grows ~linearly in the prefix instead).
+    let flatness = tf_rows[2].per_token_ns_incremental / tf_rows[0].per_token_ns_incremental;
+
+    let json = format!(
+        "{{\n  \"config\": {{\"vocab\": 400, \"d_model\": 32, \"heads\": 4, \"layers\": 1, \
+         \"lstm_hidden\": 48, \"temperature\": 1.0}},\n  \"transformer\": {},\n  \
+         \"lstm\": {},\n  \"per_token_growth_incremental_200_vs_10\": {:.2}\n}}\n",
+        json_rows(&tf_rows),
+        json_rows(&lstm_rows),
+        flatness,
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_sampling.json");
+    println!("{json}");
+    println!("wrote {out_path}");
+    for (name, rows) in [("transformer", &tf_rows), ("lstm", &lstm_rows)] {
+        for r in rows.iter() {
+            println!(
+                "{name} T={:<4} full {:>10.0} tok/s   incremental {:>10.0} tok/s   {:>6.1}x",
+                r.walk_len,
+                r.tok_per_sec_full,
+                r.tok_per_sec_incremental,
+                r.speedup()
+            );
+        }
+    }
+}

@@ -195,9 +195,11 @@ impl FairGen {
             n_pos.extend(sampler.sample_corpus(g, cfg.num_walks, &mut rng));
             cap_pool(&mut n_pos, cfg.pool_cap);
 
-            // Step 6: new negative walks from the current generator.
+            // Step 6: new negative walks from the current generator
+            // (KV-cached incremental decoding; one decode-state allocation
+            // amortizes over every walk of every cycle).
             for _ in 0..cfg.num_walks {
-                let seq = generator.sample(cfg.walk_len, 1.0, &mut rng);
+                let seq = generator.sample(cfg.walk_len, 1.0, &mut rng)?;
                 n_neg.push(seq.iter().map(|&t| t as NodeId).collect());
             }
             cap_pool(&mut n_neg, cfg.pool_cap);
@@ -310,9 +312,12 @@ impl TrainedFairGen {
         let total = self.cfg.num_walks * self.cfg.gen_multiplier;
         // One walk buffer reused across all `total` samples — this loop is
         // the per-draw hot path (see tab4_runtime's fit/generate split).
+        // Sampling is KV-cached incremental decoding, and the generator
+        // reuses one decode-state allocation across every walk here and
+        // across batched `generate_batch` requests.
         let mut walk: Walk = Vec::with_capacity(self.cfg.walk_len);
         for _ in 0..total {
-            let seq = self.generator.sample(self.cfg.walk_len, 1.0, &mut rng);
+            let seq = self.generator.sample(self.cfg.walk_len, 1.0, &mut rng)?;
             walk.clear();
             walk.extend(seq.iter().map(|&t| t as NodeId));
             scores.add_walk(&walk);

@@ -60,6 +60,13 @@ pub enum FairGenError {
     },
     /// A label-dependent operation ran on an unlabeled dataset.
     MissingLabels,
+    /// Sampling from a fitted generator produced a degenerate distribution
+    /// (e.g. an all-`-inf` logits row whose softmax weights sum to zero),
+    /// so no token can be drawn.
+    Generate {
+        /// What degenerated, with the offending values.
+        detail: String,
+    },
     /// A checkpoint failed structural validation (bad magic, version,
     /// checksum, length, or discriminant) and cannot be decoded.
     CorruptCheckpoint {
@@ -118,6 +125,9 @@ impl std::fmt::Display for FairGenError {
             FairGenError::MissingLabels => {
                 write!(f, "operation requires labels but the dataset has none")
             }
+            FairGenError::Generate { detail } => {
+                write!(f, "generation failed: {detail}")
+            }
             FairGenError::CorruptCheckpoint { detail } => {
                 write!(f, "corrupt checkpoint: {detail}")
             }
@@ -166,6 +176,10 @@ mod tests {
             (FairGenError::LabelOutOfRange { node: 3, label: 7, num_classes: 2 }, "label 7"),
             (FairGenError::MissingProtectedGroup { gamma: 1.0 }, "γ = 1"),
             (FairGenError::MissingLabels, "labels"),
+            (
+                FairGenError::Generate { detail: "degenerate softmax".into() },
+                "degenerate softmax",
+            ),
             (
                 FairGenError::CorruptCheckpoint { detail: "checksum mismatch".into() },
                 "checksum",

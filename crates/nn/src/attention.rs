@@ -2,24 +2,9 @@
 
 use rand::Rng;
 
-use crate::mat::Mat;
+use crate::mat::{vecmat_into, Mat};
 use crate::param::{HasParams, Param};
-use crate::softmax::softmax_rows;
-
-/// Extracts the column block `[start, start+width)` of `m`.
-fn col_block(m: &Mat, start: usize, width: usize) -> Mat {
-    Mat::from_fn(m.rows(), width, |r, c| m.get(r, start + c))
-}
-
-/// Adds `block` into columns `[start, ..)` of `m`.
-fn add_col_block(m: &mut Mat, start: usize, block: &Mat) {
-    for r in 0..block.rows() {
-        for c in 0..block.cols() {
-            let cur = m.get(r, start + c);
-            m.set(r, start + c, cur + block.get(r, c));
-        }
-    }
-}
+use crate::softmax::softmax_slice;
 
 /// Causal multi-head self-attention: `Y = concat_h(softmax(mask(Q_h K_hᵀ /
 /// √d_h)) V_h) · W_o` with `Q = X W_q`, `K = X W_k`, `V = X W_v`.
@@ -43,12 +28,39 @@ pub struct MultiHeadAttention {
 
 #[derive(Clone, Debug)]
 struct AttnCache {
+    /// The layer input, taken by value in [`MultiHeadAttention::forward`]
+    /// (the caller hands over its owned activation, so caching it costs no
+    /// clone).
     x: Mat,
     q: Mat,
     k: Mat,
     v: Mat,
-    attn: Vec<Mat>, // per-head attention weights (T × T)
+    attn: Vec<Mat>, // per-head attention weights (T × T, zero above diagonal)
     concat: Mat,    // pre-Wo head outputs (T × d)
+}
+
+/// Per-sequence key/value cache plus scratch for one attention layer's
+/// incremental decode path ([`MultiHeadAttention::step`]). Rows `0..pos` of
+/// `k`/`v` hold the projections of the already-consumed prefix.
+#[derive(Clone, Debug)]
+pub struct KvCache {
+    pub(crate) k: Mat,
+    pub(crate) v: Mat,
+    q: Vec<f64>,
+    scores: Vec<f64>,
+    concat: Vec<f64>,
+}
+
+impl KvCache {
+    pub(crate) fn new(max_len: usize, d_model: usize) -> Self {
+        KvCache {
+            k: Mat::zeros(max_len, d_model),
+            v: Mat::zeros(max_len, d_model),
+            q: vec![0.0; d_model],
+            scores: vec![0.0; max_len],
+            concat: vec![0.0; d_model],
+        }
+    }
 }
 
 impl MultiHeadAttention {
@@ -80,7 +92,14 @@ impl MultiHeadAttention {
     }
 
     /// Forward pass with causal masking, caching activations.
-    pub fn forward(&mut self, x: &Mat) -> Mat {
+    ///
+    /// Takes the input by value: the caller's owned activation moves into
+    /// the backward cache, so nothing is cloned. Head blocks are walked as
+    /// column slices of the shared Q/K/V matrices — no per-head copies —
+    /// and scores are only ever computed over the causal prefix `j ≤ i`
+    /// (masked weights stay exactly `0.0` in the cached attention
+    /// matrices).
+    pub fn forward(&mut self, x: Mat) -> Mat {
         let d = self.d_model();
         assert_eq!(x.cols(), d, "input width mismatch");
         let t = x.rows();
@@ -92,25 +111,76 @@ impl MultiHeadAttention {
         let mut concat = Mat::zeros(t, d);
         let mut attn_weights = Vec::with_capacity(self.heads);
         for h in 0..self.heads {
-            let qh = col_block(&q, h * dh, dh);
-            let kh = col_block(&k, h * dh, dh);
-            let vh = col_block(&v, h * dh, dh);
-            let mut scores = qh.matmul_nt(&kh);
-            scores.scale(scale);
-            // Causal mask: position i attends only to j ≤ i.
+            let h0 = h * dh;
+            let mut a = Mat::zeros(t, t);
             for i in 0..t {
-                for j in (i + 1)..t {
-                    scores.set(i, j, f64::NEG_INFINITY);
+                let a_row = a.row_mut(i);
+                let q_row = &q.row(i)[h0..h0 + dh];
+                for (j, slot) in a_row.iter_mut().enumerate().take(i + 1) {
+                    let k_row = &k.row(j)[h0..h0 + dh];
+                    let mut acc = 0.0;
+                    for (qa, kb) in q_row.iter().zip(k_row) {
+                        acc += qa * kb;
+                    }
+                    *slot = acc * scale;
+                }
+                softmax_slice(&mut a_row[..=i]);
+            }
+            for i in 0..t {
+                let c_row = &mut concat.row_mut(i)[h0..h0 + dh];
+                for j in 0..=i {
+                    let w = a.get(i, j);
+                    let v_row = &v.row(j)[h0..h0 + dh];
+                    for (o, &vv) in c_row.iter_mut().zip(v_row) {
+                        *o += w * vv;
+                    }
                 }
             }
-            let a = softmax_rows(&scores);
-            let oh = a.matmul(&vh);
-            add_col_block(&mut concat, h * dh, &oh);
             attn_weights.push(a);
         }
         let y = concat.matmul(&self.wo.value);
-        self.cache = Some(AttnCache { x: x.clone(), q, k, v, attn: attn_weights, concat });
+        self.cache = Some(AttnCache { x, q, k, v, attn: attn_weights, concat });
         y
+    }
+
+    /// One incremental decode step: projects `x` (this position's
+    /// post-norm input row), appends its K/V rows to `cache` at row `pos`,
+    /// and attends the new query over the cached prefix — no T×T score
+    /// matrix, no causal-mask loop. Writes the attention output row into
+    /// `out`. Bit-exact with row `pos` of [`MultiHeadAttention::forward`]
+    /// over the same prefix.
+    pub fn step(&self, x: &[f64], pos: usize, cache: &mut KvCache, out: &mut [f64]) {
+        let d = self.d_model();
+        assert_eq!(x.len(), d, "input width mismatch");
+        assert!(pos < cache.k.rows(), "decode position {pos} past cache capacity");
+        let dh = d / self.heads;
+        let scale = 1.0 / (dh as f64).sqrt();
+        let KvCache { k, v, q, scores, concat } = cache;
+        vecmat_into(x, &self.wq.value, q);
+        vecmat_into(x, &self.wk.value, k.row_mut(pos));
+        vecmat_into(x, &self.wv.value, v.row_mut(pos));
+        for h in 0..self.heads {
+            let h0 = h * dh;
+            let q_row = &q[h0..h0 + dh];
+            for (j, slot) in scores.iter_mut().enumerate().take(pos + 1) {
+                let k_row = &k.row(j)[h0..h0 + dh];
+                let mut acc = 0.0;
+                for (qa, kb) in q_row.iter().zip(k_row) {
+                    acc += qa * kb;
+                }
+                *slot = acc * scale;
+            }
+            softmax_slice(&mut scores[..=pos]);
+            let c_seg = &mut concat[h0..h0 + dh];
+            c_seg.iter_mut().for_each(|o| *o = 0.0);
+            for (j, &w) in scores.iter().enumerate().take(pos + 1) {
+                let v_row = &v.row(j)[h0..h0 + dh];
+                for (o, &vv) in c_seg.iter_mut().zip(v_row) {
+                    *o += w * vv;
+                }
+            }
+        }
+        vecmat_into(concat, &self.wo.value, out);
     }
 
     /// Backward pass: accumulates weight gradients and returns `dx`.
@@ -132,33 +202,61 @@ impl MultiHeadAttention {
         let mut dq = Mat::zeros(t, d);
         let mut dk = Mat::zeros(t, d);
         let mut dv = Mat::zeros(t, d);
+        // One score-gradient scratch shared across heads; only the causal
+        // triangle `j ≤ i` is ever written and read.
+        let mut ds = Mat::zeros(t, t);
         for h in 0..self.heads {
+            let h0 = h * dh;
             let a = &cache.attn[h];
-            let qh = col_block(&cache.q, h * dh, dh);
-            let kh = col_block(&cache.k, h * dh, dh);
-            let vh = col_block(&cache.v, h * dh, dh);
-            let doh = col_block(&dconcat, h * dh, dh);
-            // O_h = A V_h
-            let da = doh.matmul_nt(&vh);
-            let dvh = a.matmul_tn(&doh);
-            // Softmax backward per row: dS = A ⊙ (dA − Σ_j dA_j A_j).
-            let mut ds = Mat::zeros(t, t);
             for i in 0..t {
+                let do_row = &dconcat.row(i)[h0..h0 + dh];
+                // dA_ij = ⟨dO_i, V_j⟩ over the causal prefix, then softmax
+                // backward per row: dS = A ⊙ (dA − Σ_j dA_j A_j).
                 let mut dot = 0.0;
-                for j in 0..t {
-                    dot += da.get(i, j) * a.get(i, j);
+                let ds_row = ds.row_mut(i);
+                for (j, slot) in ds_row.iter_mut().enumerate().take(i + 1) {
+                    let v_row = &cache.v.row(j)[h0..h0 + dh];
+                    let mut da = 0.0;
+                    for (&g, &vv) in do_row.iter().zip(v_row) {
+                        da += g * vv;
+                    }
+                    dot += da * a.get(i, j);
+                    *slot = da;
                 }
-                for j in 0..t {
-                    ds.set(i, j, a.get(i, j) * (da.get(i, j) - dot));
+                for (j, slot) in ds_row.iter_mut().enumerate().take(i + 1) {
+                    *slot = a.get(i, j) * (*slot - dot) * scale;
                 }
             }
-            ds.scale(scale);
-            // S = Q_h K_hᵀ (scaled): dQ_h = dS K_h ; dK_h = dSᵀ Q_h.
-            let dqh = ds.matmul(&kh);
-            let dkh = ds.matmul_tn(&qh);
-            add_col_block(&mut dq, h * dh, &dqh);
-            add_col_block(&mut dk, h * dh, &dkh);
-            add_col_block(&mut dv, h * dh, &dvh);
+            // S = Q_h K_hᵀ (scaled): dQ_h = dS K_h ; dK_h = dSᵀ Q_h ;
+            // O_h = A V_h: dV_h = Aᵀ dO_h. All written straight into the
+            // head's column slice of the shared gradient matrices.
+            for i in 0..t {
+                let do_row = &dconcat.row(i)[h0..h0 + dh];
+                for j in 0..=i {
+                    let s = ds.get(i, j);
+                    let w = a.get(i, j);
+                    {
+                        let dq_row = &mut dq.row_mut(i)[h0..h0 + dh];
+                        let k_row = &cache.k.row(j)[h0..h0 + dh];
+                        for (o, &kv) in dq_row.iter_mut().zip(k_row) {
+                            *o += s * kv;
+                        }
+                    }
+                    {
+                        let dk_row = &mut dk.row_mut(j)[h0..h0 + dh];
+                        let q_row = &cache.q.row(i)[h0..h0 + dh];
+                        for (o, &qv) in dk_row.iter_mut().zip(q_row) {
+                            *o += s * qv;
+                        }
+                    }
+                    {
+                        let dv_row = &mut dv.row_mut(j)[h0..h0 + dh];
+                        for (o, &g) in dv_row.iter_mut().zip(do_row) {
+                            *o += w * g;
+                        }
+                    }
+                }
+            }
         }
 
         // Q = X Wq etc.
@@ -223,7 +321,7 @@ mod tests {
     fn output_shape() {
         let mut rng = StdRng::seed_from_u64(1);
         let mut attn = MultiHeadAttention::new(8, 2, &mut rng);
-        let y = attn.forward(&input(5, 8));
+        let y = attn.forward(input(5, 8));
         assert_eq!((y.rows(), y.cols()), (5, 8));
     }
 
@@ -237,8 +335,8 @@ mod tests {
         for c in 0..8 {
             x2.set(5, c, x2.get(5, c) + 10.0);
         }
-        let y1 = attn.forward(&x1);
-        let y2 = attn.forward(&x2);
+        let y1 = attn.forward(x1.clone());
+        let y2 = attn.forward(x2);
         for r in 0..5 {
             for c in 0..8 {
                 assert!(
@@ -253,7 +351,7 @@ mod tests {
     fn attention_rows_sum_to_one_over_prefix() {
         let mut rng = StdRng::seed_from_u64(3);
         let mut attn = MultiHeadAttention::new(4, 1, &mut rng);
-        let _ = attn.forward(&input(4, 4));
+        let _ = attn.forward(input(4, 4));
         let a = &attn.cache.as_ref().unwrap().attn[0];
         for i in 0..4 {
             let sum: f64 = a.row(i).iter().sum();
@@ -272,7 +370,7 @@ mod tests {
         check_param_gradients(
             &mut attn,
             |a| {
-                let y = a.forward(&x);
+                let y = a.forward(x.clone());
                 let loss = 0.5 * y.sq_norm();
                 a.backward(&y);
                 loss
@@ -287,7 +385,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let mut attn = MultiHeadAttention::new(4, 2, &mut rng);
         let x0 = input(3, 4);
-        let y = attn.forward(&x0);
+        let y = attn.forward(x0.clone());
         let dx = attn.backward(&y.clone());
         let eps = 1e-6;
         for r in 0..x0.rows() {
@@ -296,8 +394,8 @@ mod tests {
                 xp.set(r, c, x0.get(r, c) + eps);
                 let mut xm = x0.clone();
                 xm.set(r, c, x0.get(r, c) - eps);
-                let lp = 0.5 * attn.forward(&xp).sq_norm();
-                let lm = 0.5 * attn.forward(&xm).sq_norm();
+                let lp = 0.5 * attn.forward(xp).sq_norm();
+                let lm = 0.5 * attn.forward(xm).sq_norm();
                 let num = (lp - lm) / (2.0 * eps);
                 assert!(
                     (num - dx.get(r, c)).abs() < 1e-5,

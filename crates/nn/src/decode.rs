@@ -1,0 +1,251 @@
+//! Incremental (KV-cached) decoding state and the shared token samplers.
+//!
+//! Autoregressive walk sampling is the per-draw hot path of every generator
+//! in this workspace (see `tab4_runtime`): the pre-KV-cache samplers
+//! re-forwarded the whole prefix through every block for every generated
+//! token — O(T²) layer passes per walk, with fresh matrix allocations per
+//! step. A [`DecodeState`] instead carries per-block key/value caches and a
+//! rolling position, so extending the sequence by one token costs one row of
+//! work per layer (O(T·d) total) and touches no fresh allocations after
+//! construction.
+//!
+//! Everything here is **bit-exact** with the full-forward reference path:
+//! the decode steps accumulate in the same order as the batched forward
+//! (see [`crate::mat::vecmat_into`]), and the samplers below consume exactly
+//! one `f64` from the RNG per token, so
+//! `sample(seed) == sample_ref(seed)` token-for-token — asserted by the
+//! parity suite in `tests/decode_parity.rs`. Checkpoint round-trip
+//! determinism builds on the same guarantee.
+
+use fairgen_graph::error::{FairGenError, Result};
+use rand::Rng;
+
+use crate::attention::KvCache;
+
+/// Reusable per-sequence decoding state for [`crate::TransformerLm`]:
+/// per-block KV caches, the rolling position, and every scratch row the
+/// step path needs. Create once via
+/// [`crate::TransformerLm::decode_state`] and reuse across any number of
+/// sampled walks (the samplers reset it); batched serving reuses one
+/// allocation for the whole batch.
+#[derive(Clone, Debug)]
+pub struct DecodeState {
+    /// Tokens consumed so far (the next step writes KV row `pos`).
+    pub(crate) pos: usize,
+    pub(crate) max_len: usize,
+    pub(crate) d_model: usize,
+    pub(crate) blocks: Vec<KvCache>,
+    pub(crate) rows: RowScratch,
+    /// Next-token logits of the most recent step (`vocab` wide).
+    pub(crate) logits: Vec<f64>,
+    /// Softmax scratch for the samplers.
+    pub(crate) weights: Vec<f64>,
+}
+
+/// The per-step scratch rows threaded through every block.
+#[derive(Clone, Debug)]
+pub(crate) struct RowScratch {
+    /// Residual stream (`d_model`).
+    pub(crate) x: Vec<f64>,
+    /// LayerNorm output (`d_model`).
+    pub(crate) norm: Vec<f64>,
+    /// Attention output (`d_model`).
+    pub(crate) attn_out: Vec<f64>,
+    /// FFN pre-activation (`ffn` wide).
+    pub(crate) ff_pre: Vec<f64>,
+    /// FFN activation (`ffn` wide).
+    pub(crate) ff_act: Vec<f64>,
+    /// FFN output (`d_model`).
+    pub(crate) ff_out: Vec<f64>,
+}
+
+impl DecodeState {
+    pub(crate) fn new(
+        layers: usize,
+        d_model: usize,
+        ffn: usize,
+        max_len: usize,
+        vocab: usize,
+    ) -> Self {
+        DecodeState {
+            pos: 0,
+            max_len,
+            d_model,
+            blocks: (0..layers).map(|_| KvCache::new(max_len, d_model)).collect(),
+            rows: RowScratch {
+                x: vec![0.0; d_model],
+                norm: vec![0.0; d_model],
+                attn_out: vec![0.0; d_model],
+                ff_pre: vec![0.0; ffn],
+                ff_act: vec![0.0; ffn],
+                ff_out: vec![0.0; d_model],
+            },
+            logits: vec![0.0; vocab],
+            weights: Vec::with_capacity(vocab),
+        }
+    }
+
+    /// Starts a new sequence: rewinds the position without releasing any
+    /// buffer (stale KV rows are overwritten as decoding advances).
+    pub fn reset(&mut self) {
+        self.pos = 0;
+    }
+
+    /// Number of tokens consumed since the last [`DecodeState::reset`].
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// The maximum number of tokens this state can hold.
+    pub fn capacity(&self) -> usize {
+        self.max_len
+    }
+}
+
+/// Draws a token from the temperature-scaled softmax of a logits row,
+/// reusing `weights` as scratch. This is the transformer sampler: weights
+/// are the shifted, scaled exponentials (left unnormalized; the draw scales
+/// the uniform variate by their sum) and exactly one `f64` is consumed from
+/// `rng` — bit-compatible with the pre-KV-cache sampler.
+///
+/// # Errors
+///
+/// [`FairGenError::Generate`] when the weights degenerate (an all-`-inf`
+/// row after temperature scaling yields a zero or non-finite sum), instead
+/// of silently picking the last vocabulary token.
+pub fn sample_scaled_softmax<R: Rng + ?Sized>(
+    row: &[f64],
+    inv_t: f64,
+    weights: &mut Vec<f64>,
+    rng: &mut R,
+) -> Result<usize> {
+    let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    weights.clear();
+    let mut sum = 0.0;
+    for &l in row {
+        let w = ((l - max) * inv_t).exp();
+        weights.push(w);
+        sum += w;
+    }
+    if !sum.is_finite() || sum <= 0.0 {
+        return Err(FairGenError::Generate {
+            detail: format!("degenerate softmax: weight sum {sum} over {} logits", row.len()),
+        });
+    }
+    let mut target = rng.gen::<f64>() * sum;
+    let mut tok = weights.len() - 1;
+    for (c, &w) in weights.iter().enumerate() {
+        if target < w {
+            tok = c;
+            break;
+        }
+        target -= w;
+    }
+    Ok(tok)
+}
+
+/// Draws a token from the *normalized* softmax of `row · inv_t`, reusing
+/// `probs` as scratch. This is the LSTM sampler: probabilities are
+/// normalized first and the draw compares a raw uniform variate against
+/// them — bit-compatible with the pre-KV-cache LSTM sampler (which scaled
+/// the logits row, ran `softmax_rows`, then scanned).
+///
+/// # Errors
+///
+/// [`FairGenError::Generate`] on a degenerate distribution, as with
+/// [`sample_scaled_softmax`].
+pub fn sample_softmax_probs<R: Rng + ?Sized>(
+    row: &[f64],
+    inv_t: f64,
+    probs: &mut Vec<f64>,
+    rng: &mut R,
+) -> Result<usize> {
+    probs.clear();
+    probs.extend(row.iter().map(|&l| l * inv_t));
+    let max = probs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for p in probs.iter_mut() {
+        let e = (*p - max).exp();
+        *p = e;
+        sum += e;
+    }
+    if !sum.is_finite() || sum <= 0.0 {
+        return Err(FairGenError::Generate {
+            detail: format!("degenerate softmax: weight sum {sum} over {} logits", row.len()),
+        });
+    }
+    for p in probs.iter_mut() {
+        *p /= sum;
+    }
+    let mut target = rng.gen::<f64>();
+    let mut tok = probs.len() - 1;
+    for (c, &p) in probs.iter().enumerate() {
+        if target < p {
+            tok = c;
+            break;
+        }
+        target -= p;
+    }
+    Ok(tok)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn scaled_sampler_draws_in_range_and_follows_weights() {
+        let row = [0.0, 0.0, 10.0, 0.0];
+        let mut weights = Vec::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut hits = 0;
+        for _ in 0..50 {
+            let t = sample_scaled_softmax(&row, 1.0, &mut weights, &mut rng).expect("finite");
+            assert!(t < 4);
+            if t == 2 {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 48, "dominant logit drawn only {hits}/50 times");
+    }
+
+    #[test]
+    fn degenerate_scaled_softmax_is_a_typed_error() {
+        let row = [f64::NEG_INFINITY; 4];
+        let mut weights = Vec::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let err = sample_scaled_softmax(&row, 1.0, &mut weights, &mut rng).unwrap_err();
+        assert!(matches!(err, FairGenError::Generate { .. }), "got {err}");
+    }
+
+    #[test]
+    fn degenerate_prob_softmax_is_a_typed_error() {
+        let row = [f64::NEG_INFINITY; 3];
+        let mut probs = Vec::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let err = sample_softmax_probs(&row, 2.0, &mut probs, &mut rng).unwrap_err();
+        assert!(matches!(err, FairGenError::Generate { .. }), "got {err}");
+    }
+
+    #[test]
+    fn empty_row_is_a_typed_error_not_an_underflow() {
+        let mut scratch = Vec::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(sample_scaled_softmax(&[], 1.0, &mut scratch, &mut rng).is_err());
+        assert!(sample_softmax_probs(&[], 1.0, &mut scratch, &mut rng).is_err());
+    }
+
+    #[test]
+    fn prob_sampler_respects_temperature_scaling() {
+        // At a very low temperature the argmax dominates.
+        let row = [1.0, 2.0, 0.5];
+        let mut probs = Vec::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..30 {
+            let t = sample_softmax_probs(&row, 50.0, &mut probs, &mut rng).expect("finite");
+            assert_eq!(t, 1);
+        }
+    }
+}

@@ -58,6 +58,16 @@ impl Embedding {
         self.table.value.row(id)
     }
 
+    /// Copies token `id`'s row into `out` (single-token decode step path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range or `out` has the wrong width.
+    pub fn lookup_into(&self, id: usize, out: &mut [f64]) {
+        assert!(id < self.vocab(), "token id {id} out of range");
+        out.copy_from_slice(self.table.value.row(id));
+    }
+
     /// Backward: scatters `dy` rows into the table gradient.
     ///
     /// # Panics

@@ -59,6 +59,22 @@ impl LayerNorm {
         y
     }
 
+    /// Single-row inference (decode step path): normalizes `x` into `out`
+    /// without touching the training cache. Bit-exact with the
+    /// corresponding row of [`LayerNorm::forward`].
+    pub fn forward_row(&self, x: &[f64], out: &mut [f64]) {
+        let cols = self.dim();
+        assert_eq!(x.len(), cols, "layernorm width mismatch");
+        assert_eq!(out.len(), cols, "layernorm output width mismatch");
+        let mean = x.iter().sum::<f64>() / cols as f64;
+        let var = x.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / cols as f64;
+        let istd = 1.0 / (var + self.eps).sqrt();
+        for (c, (&xc, o)) in x.iter().zip(out.iter_mut()).enumerate() {
+            let xh = (xc - mean) * istd;
+            *o = self.gamma.value.get(0, c) * xh + self.beta.value.get(0, c);
+        }
+    }
+
     /// Backward pass: accumulates `dγ`, `dβ` and returns `dx`.
     ///
     /// # Panics

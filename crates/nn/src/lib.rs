@@ -17,6 +17,8 @@
 //! * [`linear`], [`embedding`], [`layernorm`], [`activation`] — layers.
 //! * [`softmax`] — softmax / log-softmax / cross-entropy with gradients.
 //! * [`attention`] — causal multi-head self-attention.
+//! * [`decode`] — KV-cached incremental decoding state and the shared
+//!   token samplers (the per-walk hot path of every generator).
 //! * [`transformer`] — a small autoregressive Transformer language model
 //!   over node vocabularies.
 //! * [`lstm`] — an LSTM language model (NetGAN-lite's generator).
@@ -26,6 +28,7 @@
 
 pub mod activation;
 pub mod attention;
+pub mod decode;
 pub mod embedding;
 pub mod gradcheck;
 pub mod layernorm;
@@ -39,13 +42,14 @@ pub mod softmax;
 pub mod transformer;
 
 pub use activation::Activation;
+pub use decode::{sample_scaled_softmax, sample_softmax_probs, DecodeState};
 pub use embedding::Embedding;
 pub use layernorm::LayerNorm;
 pub use linear::Linear;
-pub use lstm::LstmLm;
-pub use mat::Mat;
+pub use lstm::{LstmDecodeState, LstmLm};
+pub use mat::{vecmat_into, Mat};
 pub use mlp::Mlp;
 pub use optim::{clip_gradients, Adam, Sgd};
 pub use param::Param;
-pub use softmax::{cross_entropy, log_softmax, softmax_rows, unlikelihood};
+pub use softmax::{cross_entropy, log_softmax, softmax_rows, softmax_slice, unlikelihood};
 pub use transformer::{TransformerConfig, TransformerLm};

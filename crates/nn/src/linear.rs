@@ -59,6 +59,16 @@ impl Linear {
         y
     }
 
+    /// Single-row inference (decode step path): `out = x W + b` without
+    /// touching the training cache or allocating. Bit-exact with the
+    /// corresponding row of [`Linear::forward`].
+    pub fn forward_row(&self, x: &[f64], out: &mut [f64]) {
+        crate::mat::vecmat_into(x, &self.w.value, out);
+        for (o, &bv) in out.iter_mut().zip(self.b.value.row(0)) {
+            *o += bv;
+        }
+    }
+
     /// Backward pass: accumulates `dW`, `db` and returns `dx`.
     ///
     /// # Panics

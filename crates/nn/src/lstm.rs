@@ -3,11 +3,13 @@
 
 use rand::Rng;
 
+use crate::decode::sample_softmax_probs;
 use crate::embedding::Embedding;
 use crate::linear::Linear;
 use crate::mat::Mat;
 use crate::param::{HasParams, Param};
-use crate::softmax::{cross_entropy, log_softmax, softmax_rows};
+use crate::softmax::{cross_entropy, log_softmax};
+use fairgen_graph::error::Result;
 
 /// Per-timestep forward cache.
 #[derive(Clone, Debug)]
@@ -35,6 +37,30 @@ pub struct LstmLm {
     pub b: Param,
     head: Linear,
     cache: Vec<StepCache>,
+    /// Lazily-created decode state reused across [`LstmLm::sample`] calls.
+    /// Never checkpointed.
+    decode_scratch: Option<LstmDecodeState>,
+}
+
+/// Reusable incremental-decoding state for [`LstmLm`]: the carried hidden
+/// and cell rows plus every scratch buffer the step path needs, so sampling
+/// one token costs one LSTM step instead of re-running the whole sequence.
+#[derive(Clone, Debug)]
+pub struct LstmDecodeState {
+    h: Vec<f64>,
+    c: Vec<f64>,
+    z: Mat,     // 1 × (in + hidden)
+    gates: Mat, // 1 × 4·hidden
+    logits: Vec<f64>,
+    probs: Vec<f64>,
+}
+
+impl LstmDecodeState {
+    /// Rewinds to the zero state for a new sequence.
+    pub fn reset(&mut self) {
+        self.h.iter_mut().for_each(|v| *v = 0.0);
+        self.c.iter_mut().for_each(|v| *v = 0.0);
+    }
 }
 
 fn sigmoid(x: f64) -> f64 {
@@ -59,6 +85,7 @@ impl LstmLm {
             b: Param::new(b),
             head: Linear::new(hidden, vocab, rng),
             cache: Vec::new(),
+            decode_scratch: None,
         }
     }
 
@@ -189,36 +216,115 @@ impl LstmLm {
         total / seq.len() as f64
     }
 
-    /// Autoregressive sampling of `len` tokens.
+    /// Creates a decode state sized for this model, for use with
+    /// [`LstmLm::sample_with`].
+    pub fn decode_state(&self) -> LstmDecodeState {
+        LstmDecodeState {
+            h: vec![0.0; self.hidden],
+            c: vec![0.0; self.hidden],
+            z: Mat::zeros(1, self.embed.dim() + self.hidden),
+            gates: Mat::zeros(1, 4 * self.hidden),
+            logits: vec![0.0; self.vocab],
+            probs: Vec::with_capacity(self.vocab),
+        }
+    }
+
+    /// One incremental decode step: consumes `token` (or BOS), advances the
+    /// carried `(h, c)` state, and leaves next-token logits in
+    /// `state.logits`. Bit-exact with the corresponding row of
+    /// [`LstmLm::forward`] — re-running the whole prefix repeats the same
+    /// float ops, so carrying the state reproduces it exactly.
+    fn step_decode(&self, state: &mut LstmDecodeState, token: usize) {
+        let hid = self.hidden;
+        let in_dim = self.embed.dim();
+        let LstmDecodeState { h, c, z, gates, logits, .. } = state;
+        {
+            let zr = z.row_mut(0);
+            self.embed.lookup_into(token, &mut zr[..in_dim]);
+            zr[in_dim..].copy_from_slice(h);
+        }
+        z.matmul_into(&self.w.value, gates);
+        for (k, v) in gates.row_mut(0).iter_mut().enumerate() {
+            *v += self.b.value.get(0, k);
+        }
+        let gr = gates.row(0);
+        for k in 0..hid {
+            let i = sigmoid(gr[k]);
+            let f = sigmoid(gr[hid + k]);
+            let o = sigmoid(gr[2 * hid + k]);
+            let g = gr[3 * hid + k].tanh();
+            let cn = f * c[k] + i * g;
+            let tanh_c = cn.tanh();
+            c[k] = cn;
+            h[k] = o * tanh_c;
+        }
+        self.head.forward_row(h, logits);
+    }
+
+    /// Autoregressive sampling of `len` tokens, carrying the hidden state
+    /// across steps (one LSTM step per token instead of re-running the
+    /// whole sequence). Token-identical to [`LstmLm::sample_ref`] at any
+    /// seed.
+    ///
+    /// # Errors
+    ///
+    /// [`fairgen_graph::FairGenError::Generate`] if a step's softmax
+    /// degenerates.
     pub fn sample<R: Rng + ?Sized>(
         &mut self,
         len: usize,
         temperature: f64,
         rng: &mut R,
-    ) -> Vec<usize> {
+    ) -> Result<Vec<usize>> {
+        let mut state = self.decode_scratch.take().unwrap_or_else(|| self.decode_state());
+        let out = self.sample_with(&mut state, len, temperature, rng);
+        self.decode_scratch = Some(state);
+        out
+    }
+
+    /// [`LstmLm::sample`] against a caller-owned state (reset on entry).
+    pub fn sample_with<R: Rng + ?Sized>(
+        &self,
+        state: &mut LstmDecodeState,
+        len: usize,
+        temperature: f64,
+        rng: &mut R,
+    ) -> Result<Vec<usize>> {
         assert!(temperature > 0.0);
+        state.reset();
+        let inv_t = 1.0 / temperature;
+        let mut seq = Vec::with_capacity(len);
+        let mut tok = self.bos();
+        for _ in 0..len {
+            self.step_decode(state, tok);
+            tok = sample_softmax_probs(&state.logits, inv_t, &mut state.probs, rng)?;
+            seq.push(tok);
+        }
+        Ok(seq)
+    }
+
+    /// Reference sampler: re-forwards the whole prefix per token (the
+    /// pre-state-carry O(T²) path), kept as ground truth for parity tests
+    /// and before/after benchmarks.
+    pub fn sample_ref<R: Rng + ?Sized>(
+        &mut self,
+        len: usize,
+        temperature: f64,
+        rng: &mut R,
+    ) -> Result<Vec<usize>> {
+        assert!(temperature > 0.0);
+        let inv_t = 1.0 / temperature;
         let mut seq: Vec<usize> = Vec::with_capacity(len);
+        let mut probs: Vec<f64> = Vec::with_capacity(self.vocab);
         for _ in 0..len {
             let mut probe = seq.clone();
             probe.push(0);
             let logits = self.forward(&probe);
             let last = logits.rows() - 1;
-            let mut row = Mat::from_vec(1, logits.cols(), logits.row(last).to_vec());
-            row.scale(1.0 / temperature);
-            let probs = softmax_rows(&row);
-            let mut target = rng.gen::<f64>();
-            let mut tok = logits.cols() - 1;
-            for c in 0..logits.cols() {
-                let p = probs.get(0, c);
-                if target < p {
-                    tok = c;
-                    break;
-                }
-                target -= p;
-            }
+            let tok = sample_softmax_probs(logits.row(last), inv_t, &mut probs, rng)?;
             seq.push(tok);
         }
-        seq
+        Ok(seq)
     }
 }
 
@@ -268,7 +374,7 @@ impl fairgen_graph::Codec for LstmLm {
                 head.output_dim()
             )));
         }
-        Ok(LstmLm { vocab, hidden, embed, w, b, head, cache: Vec::new() })
+        Ok(LstmLm { vocab, hidden, embed, w, b, head, cache: Vec::new(), decode_scratch: None })
     }
 }
 
@@ -328,9 +434,21 @@ mod tests {
     fn samples_in_vocab() {
         let mut lm = tiny(9);
         let mut rng = StdRng::seed_from_u64(3);
-        let s = lm.sample(7, 1.0, &mut rng);
+        let s = lm.sample(7, 1.0, &mut rng).expect("sample");
         assert_eq!(s.len(), 7);
         assert!(s.iter().all(|&t| t < 9));
+    }
+
+    #[test]
+    fn state_carry_sampling_matches_reference_bit_for_bit() {
+        let mut lm = tiny(8);
+        for seed in 0..8u64 {
+            let mut r1 = StdRng::seed_from_u64(seed);
+            let mut r2 = StdRng::seed_from_u64(seed);
+            let inc = lm.sample(7, 0.9, &mut r1).expect("incremental");
+            let full = lm.sample_ref(7, 0.9, &mut r2).expect("reference");
+            assert_eq!(inc, full, "seed {seed}");
+        }
     }
 
     #[test]

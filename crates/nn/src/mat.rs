@@ -2,6 +2,11 @@
 
 use rand::Rng;
 
+/// `k`-panel height of the blocked GEMM kernel (see [`Mat::matmul_into`]):
+/// 128 rows × up-to-512 columns of `f64` keeps the streamed `B` panel within
+/// L2 while the `A` slice stays in L1.
+const GEMM_KC: usize = 128;
+
 /// A dense row-major matrix.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Mat {
@@ -117,22 +122,42 @@ impl Mat {
 
     /// `self × other` — `(r×k)(k×c) → r×c`.
     pub fn matmul(&self, other: &Mat) -> Mat {
-        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
         let mut out = Mat::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = other.row(k);
-                for (j, &b) in b_row.iter().enumerate() {
-                    out_row[j] += a * b;
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// `out = self × other` without allocating (`out` must be `r×c`).
+    ///
+    /// This is the shared blocked GEMM kernel: `B` is walked in `k`-panels of
+    /// `GEMM_KC` rows so the streamed panel stays cache-resident across the
+    /// row sweep, and the inner loop is a unit-stride `row()`-slice axpy the
+    /// autovectorizer handles. Every output element accumulates its `k`
+    /// contributions in ascending order regardless of blocking, so this
+    /// kernel, [`vecmat_into`], and the packed [`Mat::matmul_nt`] path all
+    /// produce bit-identical results — the incremental decode paths rely on
+    /// that to reproduce full-forward activations exactly.
+    pub fn matmul_into(&self, other: &Mat, out: &mut Mat) {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, other.cols),
+            "matmul output shape mismatch"
+        );
+        out.fill_zero();
+        for kb in (0..self.cols).step_by(GEMM_KC) {
+            let kend = (kb + GEMM_KC).min(self.cols);
+            for i in 0..self.rows {
+                let a_panel = &self.data[i * self.cols + kb..i * self.cols + kend];
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (dk, &a) in a_panel.iter().enumerate() {
+                    let b_row = other.row(kb + dk);
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
                 }
             }
         }
-        out
     }
 
     /// `selfᵀ × other` — `(k×r)ᵀ(k×c) → r×c`.
@@ -158,6 +183,14 @@ impl Mat {
     /// `self × otherᵀ` — `(r×k)(c×k)ᵀ → r×c`.
     pub fn matmul_nt(&self, other: &Mat) -> Mat {
         assert_eq!(self.cols, other.cols, "matmul_nt shape mismatch");
+        // Packing Bᵀ once turns every inner loop into the unit-stride axpy
+        // kernel of `matmul_into`; the N×K copy amortizes as soon as a few
+        // rows reuse it. Single-row calls keep the dot loop (packing would
+        // cost as much as the multiply). Both paths sum in ascending `k`, so
+        // the choice never changes the result bit-wise.
+        if self.rows >= 4 {
+            return self.matmul(&other.transpose());
+        }
         let mut out = Mat::zeros(self.rows, other.rows);
         for i in 0..self.rows {
             let a_row = self.row(i);
@@ -216,6 +249,23 @@ impl Mat {
     /// The transpose.
     pub fn transpose(&self) -> Mat {
         Mat::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
+}
+
+/// `out = x × b` for a single row `x` (`x.len() == b.rows()`).
+///
+/// The single-row face of the blocked kernel: contributions accumulate in
+/// ascending `k`, bit-identical to the corresponding row of
+/// [`Mat::matmul`]. The incremental decode steps are built on this.
+pub fn vecmat_into(x: &[f64], b: &Mat, out: &mut [f64]) {
+    assert_eq!(x.len(), b.rows(), "vecmat shape mismatch");
+    assert_eq!(out.len(), b.cols(), "vecmat output shape mismatch");
+    out.iter_mut().for_each(|o| *o = 0.0);
+    for (k, &a) in x.iter().enumerate() {
+        let b_row = b.row(k);
+        for (o, &bv) in out.iter_mut().zip(b_row) {
+            *o += a * bv;
+        }
     }
 }
 
@@ -345,5 +395,73 @@ mod tests {
     fn sq_norm() {
         let m = Mat::from_vec(1, 3, vec![3.0, 0.0, 4.0]);
         assert_eq!(m.sq_norm(), 25.0);
+    }
+
+    /// Naive ikj reference with the same ascending-`k` accumulation order as
+    /// the blocked kernel.
+    fn matmul_naive(a: &Mat, b: &Mat) -> Mat {
+        let mut out = Mat::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for k in 0..a.cols() {
+                for j in 0..b.cols() {
+                    let cur = out.get(i, j);
+                    out.set(i, j, cur + a.get(i, k) * b.get(k, j));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_across_panel_boundaries() {
+        // k = 300 spans three GEMM_KC panels (128, 128, 44).
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = Mat::uniform(7, 300, 1.0, &mut rng);
+        let b = Mat::uniform(300, 5, 1.0, &mut rng);
+        assert_eq!(a.matmul(&b), matmul_naive(&a, &b));
+    }
+
+    #[test]
+    fn matmul_into_reuses_output_allocation() {
+        let mut out = Mat::from_fn(2, 2, |_, _| 99.0); // stale contents overwritten
+        a().matmul_into(&b(), &mut out);
+        assert_eq!(out.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn vecmat_matches_matmul_row_bitwise() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let a = Mat::uniform(3, 150, 1.0, &mut rng);
+        let w = Mat::uniform(150, 40, 1.0, &mut rng);
+        let full = a.matmul(&w);
+        let mut row = vec![f64::NAN; 40];
+        for r in 0..a.rows() {
+            vecmat_into(a.row(r), &w, &mut row);
+            for (c, &v) in row.iter().enumerate() {
+                assert_eq!(v.to_bits(), full.get(r, c).to_bits(), "row {r} col {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_matmul_nt_matches_dot_path_bitwise() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = Mat::uniform(6, 37, 1.0, &mut rng); // ≥ 4 rows → packed path
+        let b = Mat::uniform(9, 37, 1.0, &mut rng);
+        let packed = a.matmul_nt(&b);
+        // Dot-product reference (the < 4-row path).
+        for i in 0..a.rows() {
+            for j in 0..b.rows() {
+                let acc: f64 = a.row(i).iter().zip(b.row(j)).fold(0.0, |s, (&x, &y)| s + x * y);
+                assert_eq!(acc.to_bits(), packed.get(i, j).to_bits(), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "output shape mismatch")]
+    fn matmul_into_wrong_output_shape_panics() {
+        let mut out = Mat::zeros(2, 3);
+        a().matmul_into(&b(), &mut out);
     }
 }

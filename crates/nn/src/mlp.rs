@@ -72,6 +72,26 @@ impl Mlp {
         h
     }
 
+    /// Single-row inference: runs one input row through the network without
+    /// touching training caches — the per-request step path for serving
+    /// callers that classify one node at a time. Matches the corresponding
+    /// row of [`Mlp::forward_inference`] bit-for-bit (asserted in this
+    /// module's tests).
+    pub fn forward_row(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.input_dim(), "input width mismatch");
+        let depth = self.layers.len();
+        let mut h = x.to_vec();
+        for (i, layer) in self.layers.iter().enumerate() {
+            let mut pre = vec![0.0; layer.output_dim()];
+            layer.forward_row(&h, &mut pre);
+            if i + 1 < depth {
+                pre.iter_mut().for_each(|v| *v = self.act.apply(*v));
+            }
+            h = pre;
+        }
+        h
+    }
+
     /// Backward from `dout`; returns `dx`.
     pub fn backward(&mut self, dout: &Mat) -> Mat {
         let depth = self.layers.len();
@@ -149,6 +169,20 @@ mod tests {
         let mut mlp = Mlp::new(&[3, 6, 2], Activation::Tanh, &mut rng);
         let x = Mat::from_fn(4, 3, |r, c| (r as f64 - c as f64) * 0.3);
         assert_eq!(mlp.forward(&x), mlp.forward_inference(&x));
+    }
+
+    #[test]
+    fn forward_row_matches_batched_inference_bitwise() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mlp = Mlp::new(&[4, 6, 6, 3], Activation::Gelu, &mut rng);
+        let x = Mat::from_fn(5, 4, |r, c| ((r * 4 + c) as f64 * 0.43).sin());
+        let batched = mlp.forward_inference(&x);
+        for r in 0..x.rows() {
+            let row = mlp.forward_row(x.row(r));
+            for (c, &v) in row.iter().enumerate() {
+                assert_eq!(v.to_bits(), batched.get(r, c).to_bits(), "row {r} col {c}");
+            }
+        }
     }
 
     #[test]

@@ -22,6 +22,22 @@ pub fn softmax_rows(x: &Mat) -> Mat {
     out
 }
 
+/// In-place numerically stable softmax over a slice — one row of
+/// [`softmax_rows`], bit-for-bit. Shared by the batched attention forward
+/// and the KV-cached decode step so the two stay exactly consistent.
+pub fn softmax_slice(row: &mut [f64]) {
+    let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for o in row.iter_mut() {
+        let e = (*o - max).exp();
+        *o = e;
+        sum += e;
+    }
+    for o in row.iter_mut() {
+        *o /= sum;
+    }
+}
+
 /// Row-wise numerically stable log-softmax.
 pub fn log_softmax(x: &Mat) -> Mat {
     let mut out = Mat::zeros(x.rows(), x.cols());

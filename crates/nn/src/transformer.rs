@@ -3,13 +3,15 @@
 
 use rand::Rng;
 
-use crate::attention::MultiHeadAttention;
+use crate::attention::{KvCache, MultiHeadAttention};
+use crate::decode::{sample_scaled_softmax, DecodeState, RowScratch};
 use crate::embedding::Embedding;
 use crate::layernorm::LayerNorm;
 use crate::linear::Linear;
 use crate::mat::Mat;
 use crate::param::{HasParams, Param};
 use crate::softmax::{cross_entropy, log_softmax};
+use fairgen_graph::error::Result;
 
 /// One pre-norm transformer block: `x + Attn(LN(x))` then `h + FFN(LN(h))`.
 #[derive(Clone, Debug)]
@@ -38,7 +40,7 @@ impl Block {
 
     fn forward(&mut self, x: &Mat) -> Mat {
         let mut h = x.clone();
-        h.add_assign(&self.attn.forward(&self.ln1.forward(x)));
+        h.add_assign(&self.attn.forward(self.ln1.forward(x)));
         let pre = self.fc1.forward(&self.ln2.forward(&h));
         let act = crate::activation::Activation::Gelu.forward(&pre);
         let ff = self.fc2.forward(&act);
@@ -46,6 +48,28 @@ impl Block {
         let mut out = h;
         out.add_assign(&ff);
         out
+    }
+
+    /// One incremental decode step: transforms the residual row `rows.x` in
+    /// place, appending this position's K/V rows to `cache`. Bit-exact with
+    /// row `pos` of [`Block::forward`] over the same prefix.
+    fn step(&self, pos: usize, cache: &mut KvCache, rows: &mut RowScratch) {
+        // h = x + Attn(LN1(x))
+        self.ln1.forward_row(&rows.x, &mut rows.norm);
+        self.attn.step(&rows.norm, pos, cache, &mut rows.attn_out);
+        for (xo, &a) in rows.x.iter_mut().zip(&rows.attn_out) {
+            *xo += a;
+        }
+        // out = h + FFN(LN2(h))
+        self.ln2.forward_row(&rows.x, &mut rows.norm);
+        self.fc1.forward_row(&rows.norm, &mut rows.ff_pre);
+        for (o, &p) in rows.ff_act.iter_mut().zip(&rows.ff_pre) {
+            *o = crate::activation::Activation::Gelu.apply(p);
+        }
+        self.fc2.forward_row(&rows.ff_act, &mut rows.ff_out);
+        for (xo, &f) in rows.x.iter_mut().zip(&rows.ff_out) {
+            *xo += f;
+        }
     }
 
     fn backward(&mut self, dy: &Mat) -> Mat {
@@ -139,6 +163,10 @@ pub struct TransformerLm {
     ln_f: LayerNorm,
     head: Linear,
     cache_len: usize,
+    /// Lazily-created decode state reused across [`TransformerLm::sample`]
+    /// calls, so batched generation allocates once per model rather than
+    /// once per walk. Never checkpointed.
+    decode_scratch: Option<DecodeState>,
 }
 
 impl TransformerLm {
@@ -161,6 +189,7 @@ impl TransformerLm {
             head: Linear::new(cfg.d_model, cfg.vocab, rng),
             cfg,
             cache_len: 0,
+            decode_scratch: None,
         }
     }
 
@@ -261,51 +290,127 @@ impl TransformerLm {
         seq.iter().enumerate().map(|(i, &t)| ls.get(i, t)).collect()
     }
 
+    /// Creates a decode state sized for this model, for use with
+    /// [`TransformerLm::step`] / [`TransformerLm::sample_with`]. One state
+    /// serves any number of sequences (the samplers reset it), so serving
+    /// paths can amortize the allocation across a whole batch.
+    pub fn decode_state(&self) -> DecodeState {
+        DecodeState::new(
+            self.cfg.layers,
+            self.cfg.d_model,
+            FFN_MULT * self.cfg.d_model,
+            self.cfg.max_len,
+            self.cfg.vocab,
+        )
+    }
+
+    /// One incremental decode step: consumes `token` (a vocabulary id, or
+    /// [`TransformerLm::bos`] to start a sequence) at the state's current
+    /// position and returns the next-token logits row. Costs one row of
+    /// work per layer — O(T·d) for a prefix of length T — instead of
+    /// re-forwarding the whole prefix, and is bit-exact with the
+    /// corresponding row of [`TransformerLm::forward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` was built for a different shape, the position
+    /// reached `max_len`, or `token` exceeds the vocabulary (BOS included).
+    pub fn step<'s>(&self, state: &'s mut DecodeState, token: usize) -> &'s [f64] {
+        assert_eq!(state.d_model, self.cfg.d_model, "decode state width mismatch");
+        assert_eq!(state.blocks.len(), self.cfg.layers, "decode state depth mismatch");
+        assert_eq!(state.max_len, self.cfg.max_len, "decode state length mismatch");
+        assert!(state.pos < self.cfg.max_len, "decode position past max_len");
+        assert!(token <= self.cfg.vocab, "token id {token} out of range");
+        let pos = state.pos;
+        // x = tok[token] + pos[position], exactly as the batched forward
+        // sums the two embedding lookups.
+        let tok_row = self.tok.vector(token);
+        let pos_row = self.pos.vector(pos);
+        for ((o, &tv), &pv) in state.rows.x.iter_mut().zip(tok_row).zip(pos_row) {
+            *o = tv + pv;
+        }
+        for (b, cache) in self.blocks.iter().zip(state.blocks.iter_mut()) {
+            b.step(pos, cache, &mut state.rows);
+        }
+        self.ln_f.forward_row(&state.rows.x, &mut state.rows.norm);
+        self.head.forward_row(&state.rows.norm, &mut state.logits);
+        state.pos = pos + 1;
+        &state.logits
+    }
+
     /// Samples a sequence of `len` tokens autoregressively at the given
-    /// temperature.
+    /// temperature, using the model's internal (lazily-created, reused)
+    /// decode state. Identical to the pre-KV-cache sampler token-for-token
+    /// at any seed; see [`TransformerLm::sample_ref`].
+    ///
+    /// # Errors
+    ///
+    /// [`fairgen_graph::FairGenError::Generate`] if a step's softmax
+    /// degenerates (zero or non-finite weight sum).
     pub fn sample<R: Rng + ?Sized>(
         &mut self,
         len: usize,
         temperature: f64,
         rng: &mut R,
-    ) -> Vec<usize> {
+    ) -> Result<Vec<usize>> {
+        let mut state = self.decode_scratch.take().unwrap_or_else(|| self.decode_state());
+        let out = self.sample_with(&mut state, len, temperature, rng);
+        self.decode_scratch = Some(state);
+        out
+    }
+
+    /// [`TransformerLm::sample`] against a caller-owned [`DecodeState`]
+    /// (reset on entry) — the serving path, where one state allocation is
+    /// shared across a whole batch of requests.
+    pub fn sample_with<R: Rng + ?Sized>(
+        &self,
+        state: &mut DecodeState,
+        len: usize,
+        temperature: f64,
+        rng: &mut R,
+    ) -> Result<Vec<usize>> {
+        assert!(temperature > 0.0, "temperature must be positive");
+        assert!(len < self.cfg.max_len, "len exceeds max_len");
+        state.reset();
+        let inv_t = 1.0 / temperature;
+        let mut seq = Vec::with_capacity(len);
+        let mut tok = self.bos();
+        for _ in 0..len {
+            self.step(state, tok);
+            tok = sample_scaled_softmax(&state.logits, inv_t, &mut state.weights, rng)?;
+            seq.push(tok);
+        }
+        Ok(seq)
+    }
+
+    /// Reference sampler: re-forwards the whole prefix for every token (the
+    /// pre-KV-cache O(T²) path). Kept as the ground truth for the decode
+    /// parity tests and the before/after numbers in `BENCH_sampling.json`.
+    pub fn sample_ref<R: Rng + ?Sized>(
+        &mut self,
+        len: usize,
+        temperature: f64,
+        rng: &mut R,
+    ) -> Result<Vec<usize>> {
         assert!(temperature > 0.0, "temperature must be positive");
         assert!(len < self.cfg.max_len, "len exceeds max_len");
         // Forward over the current prefix plus a placeholder last token: row
         // i of forward(seq) predicts seq[i], so forwarding `seq + [0]` and
         // reading the last row predicts the next token (the placeholder is
-        // sliced off before the model sees it). The probe and the softmax
-        // scratch are reused across steps — sampling runs once per generated
-        // walk token, the hottest loop in every generator.
+        // sliced off before the model sees it).
         let mut probe: Vec<usize> = Vec::with_capacity(len + 1);
         probe.push(0);
         let mut weights: Vec<f64> = Vec::with_capacity(self.cfg.vocab);
         let inv_t = 1.0 / temperature;
         for _ in 0..len {
             let logits = self.forward(&probe);
-            let row = logits.row(logits.rows() - 1);
-            let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-            weights.clear();
-            let mut sum = 0.0;
-            for &l in row {
-                let w = ((l - max) * inv_t).exp();
-                weights.push(w);
-                sum += w;
-            }
-            let mut target = rng.gen::<f64>() * sum;
-            let mut tok = weights.len() - 1;
-            for (c, &w) in weights.iter().enumerate() {
-                if target < w {
-                    tok = c;
-                    break;
-                }
-                target -= w;
-            }
+            let tok =
+                sample_scaled_softmax(logits.row(logits.rows() - 1), inv_t, &mut weights, rng)?;
             *probe.last_mut().expect("probe is never empty") = tok;
             probe.push(0);
         }
         probe.pop();
-        probe
+        Ok(probe)
     }
 }
 
@@ -401,7 +506,16 @@ impl fairgen_graph::Codec for TransformerLm {
         {
             return Err(corrupt(format!("output head disagrees with config {cfg:?}")));
         }
-        Ok(TransformerLm { cfg, tok, pos, blocks, ln_f, head, cache_len: 0 })
+        Ok(TransformerLm {
+            cfg,
+            tok,
+            pos,
+            blocks,
+            ln_f,
+            head,
+            cache_len: 0,
+            decode_scratch: None,
+        })
     }
 }
 
@@ -488,9 +602,52 @@ mod tests {
     fn samples_are_in_vocab() {
         let mut lm = tiny(7);
         let mut rng = StdRng::seed_from_u64(11);
-        let s = lm.sample(6, 1.0, &mut rng);
+        let s = lm.sample(6, 1.0, &mut rng).expect("sample");
         assert_eq!(s.len(), 6);
         assert!(s.iter().all(|&t| t < 7));
+    }
+
+    #[test]
+    fn incremental_sampling_matches_reference_bit_for_bit() {
+        let mut lm = tiny(6);
+        for seed in 0..8u64 {
+            let mut r1 = StdRng::seed_from_u64(seed);
+            let mut r2 = StdRng::seed_from_u64(seed);
+            let inc = lm.sample(6, 0.8, &mut r1).expect("incremental");
+            let full = lm.sample_ref(6, 0.8, &mut r2).expect("reference");
+            assert_eq!(inc, full, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn step_logits_match_forward_rows_bitwise() {
+        let mut lm = tiny(5);
+        let seq = [1usize, 4, 0, 2];
+        let logits = lm.forward(&seq);
+        let mut state = lm.decode_state();
+        let bos = lm.bos();
+        let mut prev = bos;
+        for (i, &t) in seq.iter().enumerate() {
+            let row: Vec<f64> = lm.step(&mut state, prev).to_vec();
+            for (c, &v) in row.iter().enumerate() {
+                assert_eq!(v.to_bits(), logits.get(i, c).to_bits(), "row {i} col {c} diverged");
+            }
+            prev = t;
+        }
+        assert_eq!(state.pos(), seq.len());
+    }
+
+    #[test]
+    fn decode_state_reuse_is_deterministic() {
+        let mut lm = tiny(5);
+        let draw = |lm: &mut TransformerLm| {
+            let mut rng = StdRng::seed_from_u64(3);
+            lm.sample(5, 1.0, &mut rng).expect("sample")
+        };
+        let first = draw(&mut lm);
+        // Second call reuses the internal scratch; reset must make it
+        // indistinguishable from a fresh state.
+        assert_eq!(first, draw(&mut lm));
     }
 
     #[test]
@@ -504,7 +661,7 @@ mod tests {
             opt.step(&mut lm);
         }
         let mut rng = StdRng::seed_from_u64(13);
-        let samples = lm.sample(4, 0.5, &mut rng);
+        let samples = lm.sample(4, 0.5, &mut rng).expect("sample");
         let threes = samples.iter().filter(|&&t| t == 3).count();
         assert!(threes >= 3, "expected mostly 3s, got {samples:?}");
     }

@@ -262,6 +262,10 @@ impl ModelRegistry {
 
     fn generate_on(&mut self, fp: GraphFingerprint, seeds: &[u64]) -> Result<Vec<Graph>> {
         let entry = self.entries.get_mut(&fp).expect("ensured before generating");
+        // One `generate_batch` call for the whole same-key batch: the LM
+        // families sample via KV-cached incremental decoding and keep one
+        // decode-state allocation inside the fitted model, so it is reused
+        // across every walk of every seed in the batch.
         entry.model.generate_batch(seeds)
     }
 

@@ -1,0 +1,7 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_sampling.json: tokens/sec of the KV-cached incremental
+# samplers vs the full-forward reference, at the quickstart model shapes.
+# Usage: scripts/bench_sampling.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo run --release -p fairgen-bench --bin bench_sampling -- "${1:-BENCH_sampling.json}"
