@@ -67,8 +67,14 @@ impl WalkModel for NetGanModel {
         clip_gradients(&mut self.lm, 5.0);
         self.opt.step(&mut self.lm);
     }
-    fn lm_sample(&mut self, len: usize, rng: &mut StdRng) -> Result<Vec<usize>> {
-        self.lm.sample(len, 1.0, rng)
+    fn lm_sample_batch(
+        &self,
+        pool: &fairgen_par::ThreadPool,
+        count: usize,
+        len: usize,
+        draws: &[u64],
+    ) -> Result<Vec<Vec<usize>>> {
+        fairgen_nn::sample_walk_batch(pool, &self.lm, count, len, 1.0, draws)
     }
 }
 

@@ -10,6 +10,7 @@
 use fairgen_graph::codec::{Codec, Decoder, Encoder};
 use fairgen_graph::error::{FairGenError, Result};
 use fairgen_graph::Graph;
+use fairgen_par::{predraw, ThreadPool};
 use fairgen_walks::{negative, Node2VecWalker, ScoreMatrix, Walk};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -61,13 +62,37 @@ pub trait WalkModel {
     fn lm_zero(&mut self);
     /// Apply an optimizer step.
     fn lm_opt_step(&mut self);
-    /// Sample a sequence of the given length (KV-cached / state-carrying
-    /// incremental decoding in both LM baselines).
+    /// Sample `count` sequences across `pool` — one decode state per
+    /// worker, walk `i` replaying `draws[i·len..(i+1)·len]` (see
+    /// [`fairgen_nn::sample_walk_batch`]). This is the single sampling
+    /// contract of the trait; output must be bit-identical for any pool
+    /// width.
     ///
     /// # Errors
     ///
     /// [`FairGenError::Generate`] on a degenerate sampling distribution.
-    fn lm_sample(&mut self, len: usize, rng: &mut StdRng) -> Result<Vec<usize>>;
+    fn lm_sample_batch(
+        &self,
+        pool: &ThreadPool,
+        count: usize,
+        len: usize,
+        draws: &[u64],
+    ) -> Result<Vec<Vec<usize>>>;
+
+    /// Sample one sequence of the given length, consuming exactly `len`
+    /// draws from `rng` — defined as a batch of one so the two entry
+    /// points cannot diverge.
+    ///
+    /// # Errors
+    ///
+    /// [`FairGenError::Generate`] on a degenerate sampling distribution.
+    fn lm_sample(&mut self, len: usize, rng: &mut StdRng) -> Result<Vec<usize>> {
+        let draws = predraw(rng, len);
+        let mut walks = self.lm_sample_batch(&ThreadPool::new(1), 1, len, &draws)?;
+        walks.pop().ok_or_else(|| FairGenError::Internal {
+            detail: "batch of one returned no walk".into(),
+        })
+    }
 }
 
 /// Trains `model` contrastively on node2vec walks from `g`.
@@ -109,33 +134,32 @@ pub fn train_walk_lm<M: WalkModel>(
     true
 }
 
-/// Samples `total` walks from `model` and assembles a graph with `target_m`
-/// edges over `n` vertices.
+/// Samples `total` walks from `model` across `pool` and assembles a graph
+/// with `target_m` edges over `n` vertices — the per-draw hot path of both
+/// walk-LM baselines.
+///
+/// Walk sampling fans out with one decode state per worker, each walk
+/// replaying its slice of the pre-drawn master stream, and the score matrix
+/// is built from per-worker partials merged in chunk order
+/// ([`ScoreMatrix::from_token_walks`]); both stages — and hence the
+/// assembled graph — are bit-identical to the sequential loop for any
+/// worker count.
 ///
 /// # Errors
 ///
 /// Propagates [`FairGenError::Generate`] from a degenerate sampling step.
 pub fn sample_and_assemble<M: WalkModel>(
-    model: &mut M,
+    model: &M,
+    pool: &ThreadPool,
     n: usize,
     target_m: usize,
     walk_len: usize,
     total: usize,
     rng: &mut StdRng,
 ) -> Result<Graph> {
-    let mut scores = ScoreMatrix::new(n);
-    // One walk buffer reused across all `total` samples — this loop is the
-    // per-draw hot path of both walk-LM baselines. The models additionally
-    // reuse one decode-state allocation across every sample here (and
-    // across batched registry requests), so the loop is allocation-free
-    // after the first walk.
-    let mut walk: Walk = Vec::with_capacity(walk_len);
-    for _ in 0..total {
-        let seq = model.lm_sample(walk_len, rng)?;
-        walk.clear();
-        walk.extend(seq.iter().map(|&t| t as u32));
-        scores.add_walk(&walk);
-    }
+    let draws = predraw(rng, total * walk_len);
+    let walks = model.lm_sample_batch(pool, total, walk_len, &draws)?;
+    let scores = ScoreMatrix::from_token_walks(pool, n, &walks);
     Ok(scores.assemble(target_m, rng))
 }
 
@@ -229,7 +253,7 @@ pub(crate) fn decode_fitted_walk_lm<M: WalkModel + Codec>(
     Ok(FittedWalkLm { model, display_name, n, target_m, budget, trained })
 }
 
-impl<M: WalkModel> FittedGenerator for FittedWalkLm<M> {
+impl<M: WalkModel + Sync> FittedGenerator for FittedWalkLm<M> {
     fn name(&self) -> &'static str {
         self.display_name
     }
@@ -241,8 +265,13 @@ impl<M: WalkModel> FittedGenerator for FittedWalkLm<M> {
         }
         let mut rng = StdRng::seed_from_u64(seed);
         let total = self.budget.train_walks * self.budget.gen_multiplier;
+        // Fan the walk batch out over the process-wide pool; output is
+        // bit-identical to the sequential path for any worker count, so
+        // per-seed determinism (and checkpoint round-trip equality) holds
+        // regardless of `FAIRGEN_THREADS`.
         sample_and_assemble(
-            &mut self.model,
+            &self.model,
+            ThreadPool::global(),
             self.n,
             self.target_m,
             self.budget.walk_len,
@@ -258,7 +287,7 @@ mod tests {
 
     /// One-shot test helper: train, then sample + assemble with the same
     /// rng stream (the pre-redesign `fit_generate` shape).
-    fn train_and_assemble<M: WalkModel>(
+    fn train_and_assemble<M: WalkModel + Sync>(
         model: &mut M,
         g: &Graph,
         budget: &WalkLmBudget,
@@ -268,7 +297,8 @@ mod tests {
             return Graph::empty(g.n());
         }
         let total = budget.train_walks * budget.gen_multiplier;
-        sample_and_assemble(model, g.n(), g.m(), budget.walk_len, total, rng)
+        let pool = ThreadPool::new(2);
+        sample_and_assemble(model, &pool, g.n(), g.m(), budget.walk_len, total, rng)
             .expect("replay sampling never degenerates")
     }
 
@@ -292,6 +322,19 @@ mod tests {
             let w = self.seen[self.cursor % self.seen.len()].clone();
             self.cursor += 1;
             Ok(w.into_iter().take(len).collect())
+        }
+        fn lm_sample_batch(
+            &self,
+            _pool: &ThreadPool,
+            count: usize,
+            len: usize,
+            _draws: &[u64],
+        ) -> Result<Vec<Vec<usize>>> {
+            // Index-keyed replay: walk `i` is the `i`-th memorized positive,
+            // so batches are deterministic without the sequential cursor.
+            Ok((0..count)
+                .map(|i| self.seen[i % self.seen.len()].iter().copied().take(len).collect())
+                .collect())
         }
     }
 
@@ -357,12 +400,11 @@ mod tests {
             budget,
             trained: true,
         };
-        // NOTE: Replay's sampling cursor advances across calls, so exact
-        // per-seed reproducibility here only holds for models whose sampling
-        // is driven purely by the seed rng — which the real LM baselines
-        // are. For Replay we only check the structural invariants.
+        // Replay's batch sampling is index-keyed, so generation is exactly
+        // reproducible per seed — as it is for the real LM baselines.
         let a = fitted.generate(1).expect("generate");
         assert_eq!(a.n(), n);
         assert_eq!(a.m(), g.m());
+        assert_eq!(a, fitted.generate(1).expect("generate again"));
     }
 }

@@ -1,0 +1,54 @@
+//! Criterion microbenchmarks for the multi-core fan-outs: batch walk
+//! sampling across pool widths and parallel score-matrix assembly. On a
+//! single-core container the widths collapse to time-slicing — run on a
+//! multi-core box for real scaling curves (see `BENCH_sampling.json`'s
+//! `parallel` section for the tracked numbers).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairgen_nn::sample::{predraw_walks, sample_walk_batch};
+use fairgen_nn::{TransformerConfig, TransformerLm};
+use fairgen_par::ThreadPool;
+use fairgen_walks::ScoreMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn quickstart_lm() -> TransformerLm {
+    let mut rng = StdRng::seed_from_u64(5);
+    let cfg = TransformerConfig { vocab: 400, d_model: 32, heads: 4, layers: 1, max_len: 256 };
+    TransformerLm::new(cfg, &mut rng)
+}
+
+fn bench_batch_sampling(c: &mut Criterion) {
+    let lm = quickstart_lm();
+    let (count, len) = (64usize, 50usize);
+    let mut group = c.benchmark_group("parallel_sample_batch");
+    for &threads in &[1usize, 2, 4] {
+        let pool = ThreadPool::new(threads);
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, _| {
+            let mut rng = StdRng::seed_from_u64(9);
+            b.iter(|| {
+                let draws = predraw_walks(&mut rng, count, len);
+                sample_walk_batch(&pool, &lm, count, len, 1.0, &draws).expect("batch")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_assembly(c: &mut Criterion) {
+    let n = 400usize;
+    let mut rng = StdRng::seed_from_u64(10);
+    let walks: Vec<Vec<usize>> =
+        (0..2000).map(|_| (0..10).map(|_| rng.gen_range(0..n)).collect()).collect();
+    let mut group = c.benchmark_group("parallel_score_matrix");
+    for &threads in &[1usize, 2, 4] {
+        let pool = ThreadPool::new(threads);
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, _| {
+            b.iter(|| ScoreMatrix::from_token_walks(&pool, n, &walks))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_sampling, bench_parallel_assembly);
+criterion_main!(benches);

@@ -6,11 +6,12 @@ use std::ops::ControlFlow;
 
 use fairgen_baselines::TaskSpec;
 use fairgen_graph::{Graph, NodeId, NodeSet};
-use fairgen_nn::param::HasParams;
+use fairgen_nn::param::{add_grads, collect_grads, HasParams};
 use fairgen_nn::{
-    clip_gradients, cross_entropy, log_softmax, softmax_rows, Activation, Adam, Mat, Mlp,
-    TransformerConfig, TransformerLm,
+    clip_gradients, cross_entropy, log_softmax, sample_walk_batch, softmax_rows, Activation,
+    Adam, Mat, Mlp, TransformerConfig, TransformerLm,
 };
+use fairgen_par::{predraw, ThreadPool};
 use fairgen_walks::context::ContextEntry;
 use fairgen_walks::{diffusion_core, negative, ContextSampler, ContextSamplerConfig, Walk};
 use rand::rngs::StdRng;
@@ -90,13 +91,31 @@ impl FairGen {
     /// [`FairGen::train`] with a [`TrainObserver`] streaming each
     /// [`CycleReport`] as it is produced; the observer can stop training at
     /// any cycle boundary (the partially-trained model is returned, its
-    /// `history` truncated to the cycles that ran).
+    /// `history` truncated to the cycles that ran). Fans the per-cycle hot
+    /// loops out over the process-wide [`ThreadPool`].
     pub fn train_observed(
         &self,
         g: &Graph,
         task: &TaskSpec,
         seed: u64,
         observer: &mut dyn TrainObserver,
+    ) -> Result<TrainedFairGen> {
+        self.train_observed_with_pool(g, task, seed, observer, ThreadPool::global())
+    }
+
+    /// [`FairGen::train_observed`] against an explicit pool. Training is
+    /// deterministic in `seed` **for any pool width**: walk sampling
+    /// replays pre-drawn master-RNG slices per walk, and minibatch
+    /// gradients are merged per item in item order, so the parallel path is
+    /// bit-identical to the sequential one (asserted at widths {1, 2, 8} in
+    /// `tests/parallel_parity.rs`).
+    pub fn train_observed_with_pool(
+        &self,
+        g: &Graph,
+        task: &TaskSpec,
+        seed: u64,
+        observer: &mut dyn TrainObserver,
+        pool: &ThreadPool,
     ) -> Result<TrainedFairGen> {
         let cfg = self.cfg;
         let variant = self.variant;
@@ -171,7 +190,8 @@ impl FairGen {
         let mut history: Vec<CycleReport> = Vec::with_capacity(cycles);
 
         for cycle in 1..=cycles {
-            // Step 4: update g_θ from N⁺ and N⁻.
+            // Step 4: update g_θ from N⁺ and N⁻ (data-parallel gradient
+            // accumulation across the pool).
             train_generator(
                 &mut generator,
                 &mut opt_gen,
@@ -180,6 +200,7 @@ impl FairGen {
                 cfg.gen_epochs,
                 cfg.negative_weight,
                 &mut rng,
+                pool,
             );
 
             // Step 5: new positive walks under the updated self-paced state.
@@ -195,11 +216,15 @@ impl FairGen {
             n_pos.extend(sampler.sample_corpus(g, cfg.num_walks, &mut rng));
             cap_pool(&mut n_pos, cfg.pool_cap);
 
-            // Step 6: new negative walks from the current generator
-            // (KV-cached incremental decoding; one decode-state allocation
-            // amortizes over every walk of every cycle).
-            for _ in 0..cfg.num_walks {
-                let seq = generator.sample(cfg.walk_len, 1.0, &mut rng)?;
+            // Step 6: new negative walks from the current generator —
+            // KV-cached incremental decoding fanned out across the pool,
+            // one decode state per worker, each walk replaying its slice of
+            // the pre-drawn master stream (bit-identical to the sequential
+            // loop at any width).
+            let draws = predraw(&mut rng, cfg.num_walks * cfg.walk_len);
+            let sampled =
+                sample_walk_batch(pool, &generator, cfg.num_walks, cfg.walk_len, 1.0, &draws)?;
+            for seq in &sampled {
                 n_neg.push(seq.iter().map(|&t| t as NodeId).collect());
             }
             cap_pool(&mut n_neg, cfg.pool_cap);
@@ -208,7 +233,7 @@ impl FairGen {
             let mut pseudo = 0usize;
             if has_labels && variant != FairGenVariant::NoSelfPaced {
                 sp.augment_lambda(cfg.lambda_growth);
-                let lp = predict_log_probs(&discriminator, &generator, n);
+                let lp = predict_log_probs_pool(&discriminator, &generator, n, pool);
                 pseudo = sp.update(&lp);
             }
 
@@ -239,6 +264,7 @@ impl FairGen {
                 &cfg,
                 parity_on,
                 has_labels,
+                pool,
             );
             let report =
                 CycleReport { cycle, lambda: sp.lambda, pseudo_labels: pseudo, objective };
@@ -306,22 +332,26 @@ impl TrainedFairGen {
     /// Generates a synthetic graph with the fair assembly of Section II-D,
     /// deterministically in `seed`. One training run amortizes across any
     /// number of calls; each seed is an independent, reproducible draw.
+    /// The walk fan-out runs on the process-wide [`ThreadPool`].
     pub fn generate(&mut self, seed: u64) -> Result<Graph> {
+        self.generate_with_pool(seed, ThreadPool::global())
+    }
+
+    /// [`TrainedFairGen::generate`] against an explicit pool — the per-draw
+    /// hot path (see tab4_runtime's fit/generate split). Walk sampling fans
+    /// out with one KV-cache decode state per worker, each walk replaying
+    /// its slice of the pre-drawn master stream; score-matrix counting
+    /// merges per-worker partials in chunk order. Output is bit-identical
+    /// to the sequential path for any pool width (asserted in
+    /// `tests/parallel_parity.rs`), so per-seed determinism holds
+    /// regardless of `FAIRGEN_THREADS`.
+    pub fn generate_with_pool(&mut self, seed: u64, pool: &ThreadPool) -> Result<Graph> {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut scores = fairgen_walks::ScoreMatrix::new(self.graph.n());
         let total = self.cfg.num_walks * self.cfg.gen_multiplier;
-        // One walk buffer reused across all `total` samples — this loop is
-        // the per-draw hot path (see tab4_runtime's fit/generate split).
-        // Sampling is KV-cached incremental decoding, and the generator
-        // reuses one decode-state allocation across every walk here and
-        // across batched `generate_batch` requests.
-        let mut walk: Walk = Vec::with_capacity(self.cfg.walk_len);
-        for _ in 0..total {
-            let seq = self.generator.sample(self.cfg.walk_len, 1.0, &mut rng)?;
-            walk.clear();
-            walk.extend(seq.iter().map(|&t| t as NodeId));
-            scores.add_walk(&walk);
-        }
+        let draws = predraw(&mut rng, total * self.cfg.walk_len);
+        let walks =
+            sample_walk_batch(pool, &self.generator, total, self.cfg.walk_len, 1.0, &draws)?;
+        let scores = fairgen_walks::ScoreMatrix::from_token_walks(pool, self.graph.n(), &walks);
         Ok(match (&self.protected, self.protected_incident, self.parity_on) {
             (Some(s), Some(quota), true) => {
                 scores.assemble_fair(self.graph.m(), s, quota, &mut rng)
@@ -341,9 +371,16 @@ impl TrainedFairGen {
         Ok(out)
     }
 
-    /// Per-node class log-probabilities under the discriminator (`n × C`).
+    /// Per-node class log-probabilities under the discriminator (`n × C`),
+    /// computed in row chunks across the process-wide pool (bit-identical
+    /// to the fused batch at any width).
     pub fn predict_log_probs(&self) -> Mat {
-        predict_log_probs(&self.discriminator, &self.generator, self.graph.n())
+        predict_log_probs_pool(
+            &self.discriminator,
+            &self.generator,
+            self.graph.n(),
+            ThreadPool::global(),
+        )
     }
 
     /// Hard label predictions (argmax class per node).
@@ -569,7 +606,18 @@ fn build_entries(
     entries
 }
 
-/// Step 4 of Algorithm 1: likelihood on N⁺, unlikelihood on N⁻.
+/// Step 4 of Algorithm 1: likelihood on N⁺, unlikelihood on N⁻, with the
+/// per-minibatch forward/backward passes fanned out across `pool`.
+///
+/// Parallelism is data-parallel and **bit-identical across pool widths**:
+/// every RNG draw (epoch shuffle, negative picks) comes from the master
+/// stream in the sequential order; each minibatch item computes its
+/// gradient in isolation (on a worker-local replica cloned from the
+/// current weights when parallel, against zeroed master buffers when
+/// sequential); and the per-item gradients are merged in item order
+/// (`grad = g_0 + g_1 + …`, see [`add_grads`]), an accumulation whose
+/// shape does not depend on how items were scheduled.
+#[allow(clippy::too_many_arguments)]
 fn train_generator(
     generator: &mut TransformerLm,
     opt: &mut Adam,
@@ -578,10 +626,12 @@ fn train_generator(
     epochs: usize,
     negative_weight: f64,
     rng: &mut StdRng,
+    pool: &ThreadPool,
 ) {
     if n_pos.is_empty() {
         return;
     }
+    let to_ids = |w: &Walk| -> Vec<usize> { w.iter().map(|&v| v as usize).collect() };
     let batch = 8usize;
     for _ in 0..epochs {
         let mut order: Vec<usize> = (0..n_pos.len()).collect();
@@ -589,15 +639,52 @@ fn train_generator(
             order.swap(i, rng.gen_range(0..=i));
         }
         for chunk in order.chunks(batch) {
+            // Pre-draw the negative picks in sequential item order, so the
+            // master stream is independent of how items are scheduled.
+            let negs: Vec<Option<usize>> = chunk
+                .iter()
+                .map(|_| {
+                    (negative_weight > 0.0 && !n_neg.is_empty())
+                        .then(|| rng.gen_range(0..n_neg.len()))
+                })
+                .collect();
+            let item_grads: Vec<Vec<f64>> = if pool.threads() == 1 || chunk.len() == 1 {
+                chunk
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &i)| {
+                        generator.zero_grad();
+                        generator.train_step(&to_ids(&n_pos[i]), 1.0);
+                        if let Some(ni) = negs[j] {
+                            generator.train_step(&to_ids(&n_neg[ni]), -negative_weight);
+                        }
+                        collect_grads(generator)
+                    })
+                    .collect()
+            } else {
+                // Each worker clones the current weights once per chunk
+                // (they change at every `opt.step`, so a persistent replica
+                // would need the same full value copy to resync). The copy
+                // is O(params) against O(items · T · params) of
+                // forward/backward work per chunk — a few percent at the
+                // quickstart shapes.
+                let replica_of: &TransformerLm = generator;
+                pool.par_map_init(
+                    chunk.len(),
+                    || replica_of.clone(),
+                    |replica, j| {
+                        replica.zero_grad();
+                        replica.train_step(&to_ids(&n_pos[chunk[j]]), 1.0);
+                        if let Some(ni) = negs[j] {
+                            replica.train_step(&to_ids(&n_neg[ni]), -negative_weight);
+                        }
+                        collect_grads(replica)
+                    },
+                )
+            };
             generator.zero_grad();
-            for &i in chunk {
-                let seq: Vec<usize> = n_pos[i].iter().map(|&v| v as usize).collect();
-                generator.train_step(&seq, 1.0);
-                if negative_weight > 0.0 && !n_neg.is_empty() {
-                    let neg = &n_neg[rng.gen_range(0..n_neg.len())];
-                    let seq: Vec<usize> = neg.iter().map(|&v| v as usize).collect();
-                    generator.train_step(&seq, -negative_weight);
-                }
+            for flat in &item_grads {
+                add_grads(generator, flat);
             }
             clip_gradients(generator, 5.0);
             opt.step(generator);
@@ -622,6 +709,41 @@ fn predict_log_probs(discriminator: &Mlp, generator: &TransformerLm, n: usize) -
     let nodes: Vec<NodeId> = (0..n as NodeId).collect();
     let x = node_features(generator, &nodes);
     let logits = discriminator.forward_inference(&x);
+    log_softmax(&logits)
+}
+
+/// [`predict_log_probs`] with the discriminator's full-graph batch split
+/// into fixed row chunks across `pool`. Bit-identical to the fused batch
+/// at any width: the chunk grid ignores the pool width, the blocked GEMM
+/// accumulates per output row independently, and `log_softmax` is
+/// row-local (asserted in `fairgen-nn`'s `tests/parallel_parity.rs`).
+fn predict_log_probs_pool(
+    discriminator: &Mlp,
+    generator: &TransformerLm,
+    n: usize,
+    pool: &ThreadPool,
+) -> Mat {
+    /// Rows per parallel task.
+    const ROWS: usize = 64;
+    if pool.threads() == 1 || n <= ROWS {
+        return predict_log_probs(discriminator, generator, n);
+    }
+    let chunks = n.div_ceil(ROWS);
+    let parts: Vec<Mat> = pool.par_map(chunks, |c| {
+        let lo = c * ROWS;
+        let hi = ((c + 1) * ROWS).min(n);
+        let nodes: Vec<NodeId> = (lo as NodeId..hi as NodeId).collect();
+        discriminator.forward_inference(&node_features(generator, &nodes))
+    });
+    let cols = parts[0].cols();
+    let mut logits = Mat::zeros(n, cols);
+    let mut row = 0usize;
+    for part in &parts {
+        for r in 0..part.rows() {
+            logits.row_mut(row).copy_from_slice(part.row(r));
+            row += 1;
+        }
+    }
     log_softmax(&logits)
 }
 
@@ -801,6 +923,7 @@ fn compute_objective(
     cfg: &FairGenConfig,
     parity_on: bool,
     has_labels: bool,
+    pool: &ThreadPool,
 ) -> ObjectiveReport {
     // J_G: mean NLL over a fixed-size sample of recent positive walks.
     let sample = 40.min(n_pos.len());
@@ -833,7 +956,7 @@ fn compute_objective(
     };
     // J_L and J_S over the self-paced selections, normalized by n.
     let n = sp.assigned.len();
-    let lp = predict_log_probs(discriminator, generator, n);
+    let lp = predict_log_probs_pool(discriminator, generator, n, pool);
     let mut j_l = 0.0;
     let mut selected = 0usize;
     for (c, vc) in sp.v.iter().enumerate() {

@@ -1,0 +1,115 @@
+//! End-to-end parallel-vs-sequential parity for the FairGen pipeline:
+//! training and generation must be bit-identical across pool widths
+//! {1, 2, 8} for the same seed.
+
+use fairgen_core::{FairGen, FairGenConfig, NullObserver, TaskSpec};
+use fairgen_data::toy_two_community;
+use fairgen_graph::Graph;
+use fairgen_par::ThreadPool;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const WIDTHS: [usize; 3] = [1, 2, 8];
+
+fn toy_task() -> (Graph, TaskSpec) {
+    let lg = toy_two_community(3);
+    let mut rng = StdRng::seed_from_u64(1);
+    let labeled = lg.sample_few_shot_labels(4, &mut rng).expect("toy is labeled");
+    (lg.graph.clone(), TaskSpec::new(labeled, lg.num_classes, lg.protected.clone()))
+}
+
+fn small_config() -> FairGenConfig {
+    let mut cfg = FairGenConfig::test_budget();
+    cfg.cycles = 2;
+    cfg.num_walks = 40;
+    cfg
+}
+
+#[test]
+fn training_is_bit_identical_across_pool_widths() {
+    let (g, task) = toy_task();
+    let fairgen = FairGen::new(small_config());
+    let reference_pool = ThreadPool::new(1);
+    let mut reference = fairgen
+        .train_observed_with_pool(&g, &task, 7, &mut NullObserver, &reference_pool)
+        .expect("train");
+    let ref_graph = reference.generate_with_pool(1, &reference_pool).expect("generate");
+    let ref_history: Vec<(usize, u64, usize)> = reference
+        .history
+        .iter()
+        .map(|c| (c.cycle, c.lambda.to_bits(), c.pseudo_labels))
+        .collect();
+    let ref_objective: Vec<u64> = reference
+        .history
+        .iter()
+        .flat_map(|c| {
+            [
+                c.objective.j_g.to_bits(),
+                c.objective.j_p.to_bits(),
+                c.objective.j_f.to_bits(),
+                c.objective.j_l.to_bits(),
+                c.objective.j_s.to_bits(),
+            ]
+        })
+        .collect();
+
+    for width in WIDTHS {
+        let pool = ThreadPool::new(width);
+        let mut trained = fairgen
+            .train_observed_with_pool(&g, &task, 7, &mut NullObserver, &pool)
+            .expect("train");
+        let history: Vec<(usize, u64, usize)> = trained
+            .history
+            .iter()
+            .map(|c| (c.cycle, c.lambda.to_bits(), c.pseudo_labels))
+            .collect();
+        assert_eq!(history, ref_history, "history diverged at width {width}");
+        let objective: Vec<u64> = trained
+            .history
+            .iter()
+            .flat_map(|c| {
+                [
+                    c.objective.j_g.to_bits(),
+                    c.objective.j_p.to_bits(),
+                    c.objective.j_f.to_bits(),
+                    c.objective.j_l.to_bits(),
+                    c.objective.j_s.to_bits(),
+                ]
+            })
+            .collect();
+        assert_eq!(objective, ref_objective, "objective bits diverged at width {width}");
+        let out = trained.generate_with_pool(1, &pool).expect("generate");
+        assert_eq!(out, ref_graph, "generated graph diverged at width {width}");
+    }
+}
+
+#[test]
+fn generation_is_bit_identical_across_pool_widths() {
+    let (g, task) = toy_task();
+    let mut trained = FairGen::new(small_config()).train(&g, &task, 11).expect("train");
+    for seed in [0u64, 1, 42] {
+        let reference = trained.generate_with_pool(seed, &ThreadPool::new(1)).expect("seq");
+        for width in WIDTHS {
+            let pool = ThreadPool::new(width);
+            let out = trained.generate_with_pool(seed, &pool).expect("par");
+            assert_eq!(out, reference, "seed {seed} diverged at width {width}");
+        }
+    }
+}
+
+#[test]
+fn predicted_labels_are_width_independent() {
+    let (g, task) = toy_task();
+    let trained = FairGen::new(small_config()).train(&g, &task, 3).expect("train");
+    // `predict_log_probs` routes through the global pool; comparing against
+    // a second call (and the argmax labels) guards the row-chunked path's
+    // determinism end to end.
+    let a = trained.predict_log_probs();
+    let b = trained.predict_log_probs();
+    for r in 0..a.rows() {
+        for c in 0..a.cols() {
+            assert_eq!(a.get(r, c).to_bits(), b.get(r, c).to_bits());
+        }
+    }
+    assert_eq!(trained.predict_labels().len(), g.n());
+}

@@ -67,6 +67,21 @@ pub enum FairGenError {
         /// What degenerated, with the offending values.
         detail: String,
     },
+    /// A discrete sampling distribution was requested over weights that are
+    /// empty, negative, non-finite, or all zero (e.g. a degree-proportional
+    /// start-node table over an edgeless graph), so no outcome can be
+    /// drawn.
+    DegenerateDistribution {
+        /// What was wrong with the weights.
+        detail: String,
+    },
+    /// An internal invariant of a serving component was violated — a bug in
+    /// that component, not in the caller's input — surfaced as an error so
+    /// a serving process degrades per-request instead of aborting.
+    Internal {
+        /// The violated invariant.
+        detail: String,
+    },
     /// A checkpoint failed structural validation (bad magic, version,
     /// checksum, length, or discriminant) and cannot be decoded.
     CorruptCheckpoint {
@@ -128,6 +143,12 @@ impl std::fmt::Display for FairGenError {
             FairGenError::Generate { detail } => {
                 write!(f, "generation failed: {detail}")
             }
+            FairGenError::DegenerateDistribution { detail } => {
+                write!(f, "degenerate sampling distribution: {detail}")
+            }
+            FairGenError::Internal { detail } => {
+                write!(f, "internal invariant violated: {detail}")
+            }
             FairGenError::CorruptCheckpoint { detail } => {
                 write!(f, "corrupt checkpoint: {detail}")
             }
@@ -180,6 +201,11 @@ mod tests {
                 FairGenError::Generate { detail: "degenerate softmax".into() },
                 "degenerate softmax",
             ),
+            (
+                FairGenError::DegenerateDistribution { detail: "all weights zero".into() },
+                "all weights zero",
+            ),
+            (FairGenError::Internal { detail: "entry vanished".into() }, "entry vanished"),
             (
                 FairGenError::CorruptCheckpoint { detail: "checksum mismatch".into() },
                 "checksum",

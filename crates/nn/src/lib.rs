@@ -19,6 +19,9 @@
 //! * [`attention`] — causal multi-head self-attention.
 //! * [`decode`] — KV-cached incremental decoding state and the shared
 //!   token samplers (the per-walk hot path of every generator).
+//! * [`sample`] — multi-core batch walk sampling: one decode state per
+//!   worker over a `fairgen_par` pool, bit-identical to sequential
+//!   sampling via pre-drawn, per-walk replayed RNG streams.
 //! * [`transformer`] — a small autoregressive Transformer language model
 //!   over node vocabularies.
 //! * [`lstm`] — an LSTM language model (NetGAN-lite's generator).
@@ -38,6 +41,7 @@ pub mod mat;
 pub mod mlp;
 pub mod optim;
 pub mod param;
+pub mod sample;
 pub mod softmax;
 pub mod transformer;
 
@@ -50,6 +54,7 @@ pub use lstm::{LstmDecodeState, LstmLm};
 pub use mat::{vecmat_into, Mat};
 pub use mlp::Mlp;
 pub use optim::{clip_gradients, Adam, Sgd};
-pub use param::Param;
+pub use param::{add_grads, collect_grads, Param};
+pub use sample::{predraw_walks, sample_walk_batch, BatchSampler};
 pub use softmax::{cross_entropy, log_softmax, softmax_rows, softmax_slice, unlikelihood};
 pub use transformer::{TransformerConfig, TransformerLm};

@@ -66,6 +66,39 @@ pub trait HasParams {
     }
 }
 
+/// Flattens every parameter gradient of `model` (in [`HasParams`] visit
+/// order) into one contiguous vector — the transport format data-parallel
+/// training uses to merge per-item gradients deterministically.
+pub fn collect_grads(model: &mut dyn HasParams) -> Vec<f64> {
+    let mut out = Vec::new();
+    model.for_each_param(&mut |p| out.extend_from_slice(p.grad.as_slice()));
+    out
+}
+
+/// Adds a flat gradient vector (from [`collect_grads`] on an
+/// identically-shaped model) into `model`'s gradients. Applying per-item
+/// vectors in item order reproduces the sequential accumulation
+/// `grad += g_0; grad += g_1; …` bit-for-bit, regardless of which worker
+/// produced each vector.
+///
+/// # Panics
+///
+/// Panics if `flat`'s length disagrees with the model's parameter count.
+pub fn add_grads(model: &mut dyn HasParams, flat: &[f64]) {
+    let mut offset = 0usize;
+    model.for_each_param(&mut |p| {
+        let grad = p.grad.as_mut_slice();
+        let src = flat
+            .get(offset..offset + grad.len())
+            .expect("flat gradient length disagrees with the model");
+        for (g, &s) in grad.iter_mut().zip(src) {
+            *g += s;
+        }
+        offset += grad.len();
+    });
+    assert_eq!(offset, flat.len(), "flat gradient length disagrees with the model");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,5 +129,26 @@ mod tests {
     fn param_count_sums() {
         let mut t = Two { a: Param::new(Mat::zeros(2, 2)), b: Param::new(Mat::zeros(1, 3)) };
         assert_eq!(t.param_count(), 7);
+    }
+
+    #[test]
+    fn grads_round_trip_through_the_flat_format() {
+        let mut t = Two { a: Param::new(Mat::zeros(2, 2)), b: Param::new(Mat::zeros(1, 3)) };
+        t.a.grad.set(0, 1, 2.5);
+        t.b.grad.set(0, 2, -1.0);
+        let flat = collect_grads(&mut t);
+        assert_eq!(flat.len(), 7);
+        t.zero_grad();
+        add_grads(&mut t, &flat);
+        add_grads(&mut t, &flat);
+        assert_eq!(t.a.grad.get(0, 1), 5.0);
+        assert_eq!(t.b.grad.get(0, 2), -2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagrees with the model")]
+    fn flat_length_mismatch_panics() {
+        let mut t = Two { a: Param::new(Mat::zeros(2, 2)), b: Param::new(Mat::zeros(1, 3)) };
+        add_grads(&mut t, &[0.0; 6]);
     }
 }

@@ -1,0 +1,182 @@
+//! Multi-core walk sampling over the incremental decoders.
+//!
+//! PR 3 made per-token decoding cheap (KV caches / carried LSTM state);
+//! the remaining lever on the sampling hot path is fanning whole walks out
+//! across cores. [`sample_walk_batch`] does that over a
+//! [`fairgen_par::ThreadPool`] with **one decode state per worker** and one
+//! per-walk replayed RNG stream, and is **bit-identical to the sequential
+//! sampling loop** for any worker count:
+//!
+//! * Both samplers ([`crate::decode::sample_scaled_softmax`],
+//!   [`crate::decode::sample_softmax_probs`]) consume exactly one `u64` per
+//!   token, so walk `i` of a sequential loop consumes draws
+//!   `[i·len, (i+1)·len)` of the master stream. [`fairgen_par::predraw`]
+//!   materializes that stream up front and each walk replays its own slice
+//!   through a [`fairgen_par::ReplayRng`].
+//! * Decode states are reset per walk, so which worker's state a walk lands
+//!   on cannot influence its tokens (asserted by `tests/parallel_parity.rs`
+//!   at widths {1, 2, 8}).
+
+use fairgen_graph::error::Result;
+use fairgen_par::{predraw, ReplayRng, ThreadPool};
+use rand::{Rng, RngCore};
+
+use crate::decode::DecodeState;
+use crate::lstm::{LstmDecodeState, LstmLm};
+use crate::transformer::TransformerLm;
+
+/// A language model whose sampling runs against a caller-owned decode state
+/// through `&self` — the hook [`sample_walk_batch`] fans out over.
+///
+/// Implementations must consume **exactly one `u64` from `rng` per sampled
+/// token** (the contract that makes [`fairgen_par::predraw`]-based
+/// parallelism bit-identical to sequential sampling) and must reset the
+/// state on entry, so a state reused across walks — or migrated between
+/// workers — cannot leak history into the output.
+pub trait BatchSampler: Sync {
+    /// Reusable per-sequence decoding state (one per worker).
+    type State: Send;
+
+    /// A fresh decode state sized for this model.
+    fn make_state(&self) -> Self::State;
+
+    /// Samples one sequence of `len` tokens against `state`.
+    ///
+    /// # Errors
+    ///
+    /// [`fairgen_graph::FairGenError::Generate`] on a degenerate sampling
+    /// distribution.
+    fn sample_into<R: Rng + ?Sized>(
+        &self,
+        state: &mut Self::State,
+        len: usize,
+        temperature: f64,
+        rng: &mut R,
+    ) -> Result<Vec<usize>>;
+}
+
+impl BatchSampler for TransformerLm {
+    type State = DecodeState;
+
+    fn make_state(&self) -> DecodeState {
+        self.decode_state()
+    }
+
+    fn sample_into<R: Rng + ?Sized>(
+        &self,
+        state: &mut DecodeState,
+        len: usize,
+        temperature: f64,
+        rng: &mut R,
+    ) -> Result<Vec<usize>> {
+        self.sample_with(state, len, temperature, rng)
+    }
+}
+
+impl BatchSampler for LstmLm {
+    type State = LstmDecodeState;
+
+    fn make_state(&self) -> LstmDecodeState {
+        self.decode_state()
+    }
+
+    fn sample_into<R: Rng + ?Sized>(
+        &self,
+        state: &mut LstmDecodeState,
+        len: usize,
+        temperature: f64,
+        rng: &mut R,
+    ) -> Result<Vec<usize>> {
+        self.sample_with(state, len, temperature, rng)
+    }
+}
+
+/// Pre-draws the master stream for `count` walks of `len` tokens each —
+/// advancing `rng` exactly as the sequential sampling loop would — and
+/// returns it for [`sample_walk_batch`].
+pub fn predraw_walks<R: RngCore + ?Sized>(rng: &mut R, count: usize, len: usize) -> Vec<u64> {
+    predraw(rng, count * len)
+}
+
+/// Samples `count` walks of `len` tokens across `pool`, one decode state
+/// per worker, walk `i` replaying `draws[i·len .. (i+1)·len]`. Output is
+/// bit-identical to the sequential loop
+/// `for i in 0..count { model.sample(len, temperature, &mut master_rng) }`
+/// when `draws` came from [`predraw_walks`] on that master RNG — for any
+/// pool width.
+///
+/// # Errors
+///
+/// The first (lowest-index) walk whose sampling degenerates reports its
+/// [`fairgen_graph::FairGenError::Generate`].
+///
+/// # Panics
+///
+/// Panics if `draws.len() != count * len`.
+pub fn sample_walk_batch<M: BatchSampler>(
+    pool: &ThreadPool,
+    model: &M,
+    count: usize,
+    len: usize,
+    temperature: f64,
+    draws: &[u64],
+) -> Result<Vec<Vec<usize>>> {
+    assert_eq!(draws.len(), count * len, "predraw budget disagrees with the walk batch");
+    let walks = pool.par_map_init(
+        count,
+        || model.make_state(),
+        |state, i| {
+            let mut rng = ReplayRng::new(&draws[i * len..(i + 1) * len]);
+            model.sample_into(state, len, temperature, &mut rng)
+        },
+    );
+    walks.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transformer::TransformerConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn batch_equals_sequential_for_both_families() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let tf = TransformerLm::new(
+            TransformerConfig { vocab: 9, d_model: 8, heads: 2, layers: 1, max_len: 8 },
+            &mut rng,
+        );
+        let lstm = LstmLm::new(9, 6, 8, &mut rng);
+        let pool = ThreadPool::new(2);
+        let (count, len) = (12, 5);
+
+        let mut seq_rng = StdRng::seed_from_u64(77);
+        let mut state = tf.make_state();
+        let sequential: Vec<Vec<usize>> = (0..count)
+            .map(|_| tf.sample_with(&mut state, len, 1.0, &mut seq_rng).expect("sample"))
+            .collect();
+        let mut batch_rng = StdRng::seed_from_u64(77);
+        let draws = predraw_walks(&mut batch_rng, count, len);
+        let batch = sample_walk_batch(&pool, &tf, count, len, 1.0, &draws).expect("batch");
+        assert_eq!(batch, sequential);
+
+        let mut seq_rng = StdRng::seed_from_u64(78);
+        let mut state = lstm.make_state();
+        let sequential: Vec<Vec<usize>> = (0..count)
+            .map(|_| lstm.sample_with(&mut state, len, 1.0, &mut seq_rng).expect("sample"))
+            .collect();
+        let mut batch_rng = StdRng::seed_from_u64(78);
+        let draws = predraw_walks(&mut batch_rng, count, len);
+        let batch = sample_walk_batch(&pool, &lstm, count, len, 1.0, &draws).expect("batch");
+        assert_eq!(batch, sequential);
+    }
+
+    #[test]
+    #[should_panic(expected = "predraw budget")]
+    fn wrong_draw_budget_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let lstm = LstmLm::new(4, 4, 4, &mut rng);
+        let _ = sample_walk_batch(&ThreadPool::new(1), &lstm, 3, 5, 1.0, &[0u64; 7]);
+    }
+}

@@ -1,0 +1,119 @@
+//! Parallel-vs-sequential parity: multi-core walk sampling and row-chunked
+//! batch forwards must be bit-identical to their sequential counterparts at
+//! every worker count.
+
+use fairgen_nn::sample::{predraw_walks, sample_walk_batch, BatchSampler};
+use fairgen_nn::{Activation, LstmLm, Mat, Mlp, TransformerConfig, TransformerLm};
+use fairgen_par::ThreadPool;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const WIDTHS: [usize; 3] = [1, 2, 8];
+
+fn transformer(vocab: usize) -> TransformerLm {
+    let mut rng = StdRng::seed_from_u64(40);
+    TransformerLm::new(
+        TransformerConfig { vocab, d_model: 16, heads: 2, layers: 2, max_len: 12 },
+        &mut rng,
+    )
+}
+
+fn lstm(vocab: usize) -> LstmLm {
+    let mut rng = StdRng::seed_from_u64(41);
+    LstmLm::new(vocab, 8, 12, &mut rng)
+}
+
+/// The sequential reference: one shared state, one master RNG, walks drawn
+/// back to back — exactly what the pre-parallel hot loops did.
+fn sequential_walks<M: BatchSampler>(
+    model: &M,
+    count: usize,
+    len: usize,
+    seed: u64,
+) -> Vec<Vec<usize>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut state = model.make_state();
+    (0..count)
+        .map(|_| model.sample_into(&mut state, len, 1.0, &mut rng).expect("sample"))
+        .collect()
+}
+
+#[test]
+fn transformer_batch_sampling_is_bit_identical_at_widths_1_2_8() {
+    let tf = transformer(23);
+    let (count, len) = (40, 9);
+    for seed in [0u64, 7, 1234] {
+        let reference = sequential_walks(&tf, count, len, seed);
+        for width in WIDTHS {
+            let pool = ThreadPool::new(width);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let draws = predraw_walks(&mut rng, count, len);
+            let batch = sample_walk_batch(&pool, &tf, count, len, 1.0, &draws).expect("batch");
+            assert_eq!(batch, reference, "seed {seed}, width {width}");
+        }
+    }
+}
+
+#[test]
+fn lstm_batch_sampling_is_bit_identical_at_widths_1_2_8() {
+    let lm = lstm(17);
+    let (count, len) = (40, 7);
+    for seed in [3u64, 99] {
+        let reference = sequential_walks(&lm, count, len, seed);
+        for width in WIDTHS {
+            let pool = ThreadPool::new(width);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let draws = predraw_walks(&mut rng, count, len);
+            let batch = sample_walk_batch(&pool, &lm, count, len, 1.0, &draws).expect("batch");
+            assert_eq!(batch, reference, "seed {seed}, width {width}");
+        }
+    }
+}
+
+#[test]
+fn master_rng_advances_exactly_like_the_sequential_loop() {
+    // Downstream consumers (graph assembly) share the master RNG with the
+    // sampling loop, so the predraw must leave it in the sequential state.
+    use rand::RngCore;
+    let tf = transformer(11);
+    let (count, len) = (10, 6);
+    let mut sequential = StdRng::seed_from_u64(5);
+    let mut state = tf.make_state();
+    for _ in 0..count {
+        tf.sample_into(&mut state, len, 1.0, &mut sequential).expect("sample");
+    }
+    let mut parallel = StdRng::seed_from_u64(5);
+    let _ = predraw_walks(&mut parallel, count, len);
+    assert_eq!(sequential.next_u64(), parallel.next_u64());
+}
+
+#[test]
+fn row_chunked_mlp_forward_matches_full_batch_bitwise() {
+    // The per-cycle discriminator batches are parallelized by splitting the
+    // input rows across workers; the blocked GEMM accumulates ascending-k
+    // per output row, so a chunked forward must equal the fused one.
+    let mut rng = StdRng::seed_from_u64(8);
+    let mlp = Mlp::new(&[12, 32, 32, 5], Activation::Tanh, &mut rng);
+    let n = 37;
+    let x = Mat::from_fn(n, 12, |r, c| ((r * 31 + c * 7) % 13) as f64 * 0.17 - 0.8);
+    let full = mlp.forward_inference(&x);
+    for chunk in [1usize, 4, 16, 64] {
+        let mut row = 0usize;
+        while row < n {
+            let hi = (row + chunk).min(n);
+            let part = Mat::from_fn(hi - row, 12, |r, c| x.get(row + r, c));
+            let out = mlp.forward_inference(&part);
+            for r in 0..hi - row {
+                for c in 0..full.cols() {
+                    assert_eq!(
+                        out.get(r, c).to_bits(),
+                        full.get(row + r, c).to_bits(),
+                        "chunk {chunk}, row {}, col {c}",
+                        row + r
+                    );
+                }
+            }
+            row = hi;
+        }
+    }
+}

@@ -50,6 +50,12 @@ pub struct RegistryStats {
 struct Entry {
     model: Box<dyn PersistableGenerator>,
     last_used: u64,
+    /// Whether the in-memory state is newer than any checkpoint file: true
+    /// after a cold fit, false after a checkpoint load or a spill. Clean
+    /// entries are skipped on eviction/spill — re-writing a model that was
+    /// loaded from its own checkpoint and never refit is wasted IO (and a
+    /// gratuitous double write of identical bytes).
+    dirty: bool,
 }
 
 /// A long-lived model cache over one generator family: fits **once** per
@@ -186,8 +192,7 @@ impl ModelRegistry {
             }
             slot.push(i);
         }
-        let mut responses: Vec<Option<GenerateResponse>> =
-            (0..reqs.len()).map(|_| None).collect();
+        let mut responses: Vec<(usize, GenerateResponse)> = Vec::with_capacity(reqs.len());
         for fp in order {
             let members = &groups[&fp];
             let served_from = self.ensure(fp, &reqs[members[0]])?;
@@ -202,25 +207,49 @@ impl ModelRegistry {
             // Split the batched output back per request, front to back.
             for &i in members.iter().rev() {
                 let tail = graphs.split_off(graphs.len() - reqs[i].sample_seeds.len());
-                responses[i] =
-                    Some(GenerateResponse { fingerprint: fp, served_from, graphs: tail });
+                responses
+                    .push((i, GenerateResponse { fingerprint: fp, served_from, graphs: tail }));
                 self.stats.requests += 1;
             }
         }
-        Ok(responses.into_iter().map(|r| r.expect("every request answered")).collect())
+        // Every request index appears in exactly one group, so sorting by
+        // index restores request order without a partial-initialization
+        // unwrap; a miscount is a registry bug surfaced as a typed error,
+        // not a panic mid-serve.
+        if responses.len() != reqs.len() {
+            return Err(FairGenError::Internal {
+                detail: format!(
+                    "batched {} requests but produced {} responses",
+                    reqs.len(),
+                    responses.len()
+                ),
+            });
+        }
+        responses.sort_unstable_by_key(|&(i, _)| i);
+        Ok(responses.into_iter().map(|(_, r)| r).collect())
     }
 
-    /// Spills every resident model to the checkpoint directory (no-op
-    /// without one configured). Returns how many files were written.
+    /// Spills every **dirty** resident model to the checkpoint directory
+    /// (no-op without one configured) and marks it clean, so repeated
+    /// spills — or a later eviction — never rewrite unchanged bytes.
+    /// Returns how many files were written.
     pub fn spill_all(&mut self) -> Result<usize> {
-        let Some(_) = self.cfg.checkpoint_dir else { return Ok(0) };
-        let fps: Vec<GraphFingerprint> = self.entries.keys().copied().collect();
-        for &fp in &fps {
-            let path = self.checkpoint_path(fp).expect("dir configured");
-            checkpoint::save_to(path, self.entries[&fp].model.as_ref())?;
+        let Some(dir) = self.cfg.checkpoint_dir.clone() else { return Ok(0) };
+        let mut dirty: Vec<GraphFingerprint> =
+            self.entries.iter().filter(|(_, e)| e.dirty).map(|(&fp, _)| fp).collect();
+        // Deterministic write order, independent of map iteration.
+        dirty.sort_unstable();
+        for &fp in &dirty {
+            checkpoint::save_to(
+                checkpoint_path_in(&dir, fp),
+                self.entries[&fp].model.as_ref(),
+            )?;
             self.stats.spills += 1;
+            if let Some(entry) = self.entries.get_mut(&fp) {
+                entry.dirty = false;
+            }
         }
-        Ok(fps.len())
+        Ok(dirty.len())
     }
 
     /// Drops every resident model (checkpoint files are untouched).
@@ -229,7 +258,7 @@ impl ModelRegistry {
     }
 
     fn checkpoint_path(&self, fp: GraphFingerprint) -> Option<PathBuf> {
-        self.cfg.checkpoint_dir.as_ref().map(|dir| dir.join(format!("fg-{}.ckpt", fp.to_hex())))
+        self.cfg.checkpoint_dir.as_ref().map(|dir| checkpoint_path_in(dir, fp))
     }
 
     /// Resolves `fp` to a resident model: memory hit, checkpoint warm
@@ -242,54 +271,69 @@ impl ModelRegistry {
             self.stats.memory_hits += 1;
             return Ok(ServedFrom::Memory);
         }
-        let (model, served_from) = match self.checkpoint_path(fp).filter(|p| p.exists()) {
+        let (model, served_from, dirty) = match self.checkpoint_path(fp).filter(|p| p.exists())
+        {
             Some(path) => {
                 let model = checkpoint::load_from(path)?;
                 self.stats.checkpoint_loads += 1;
-                (model, ServedFrom::Checkpoint)
+                // The file already holds exactly this state: clean.
+                (model, ServedFrom::Checkpoint, false)
             }
             None => {
                 let model =
                     self.generator.fit_persistable(req.graph, req.task, req.fit_seed)?;
                 self.stats.cold_fits += 1;
-                (model, ServedFrom::ColdFit)
+                (model, ServedFrom::ColdFit, true)
             }
         };
-        self.entries.insert(fp, Entry { model, last_used: self.clock });
+        self.entries.insert(fp, Entry { model, last_used: self.clock, dirty });
         self.evict_over_budget()?;
         Ok(served_from)
     }
 
     fn generate_on(&mut self, fp: GraphFingerprint, seeds: &[u64]) -> Result<Vec<Graph>> {
-        let entry = self.entries.get_mut(&fp).expect("ensured before generating");
+        let entry = self.entries.get_mut(&fp).ok_or_else(|| FairGenError::Internal {
+            detail: format!("model {fp} vanished between ensure and generate"),
+        })?;
         // One `generate_batch` call for the whole same-key batch: the LM
-        // families sample via KV-cached incremental decoding and keep one
-        // decode-state allocation inside the fitted model, so it is reused
-        // across every walk of every seed in the batch.
+        // families sample via KV-cached incremental decoding (fanned out
+        // over the process-wide `fairgen_par` pool, one decode state per
+        // worker), so a whole batch of seeds shares the parallel sampling
+        // machinery per walk.
         entry.model.generate_batch(seeds)
     }
 
-    /// Evicts least-recently-used entries until the budget holds, spilling
-    /// each victim to the checkpoint directory when one is configured (so
-    /// eviction demotes a model from memory to disk instead of discarding
-    /// the training work).
+    /// Evicts least-recently-used entries until the budget holds, breaking
+    /// `last_used` ties on the fingerprint so the victim is a pure function
+    /// of the request history (never `HashMap` iteration order). A dirty
+    /// victim is spilled to the checkpoint directory when one is configured
+    /// (eviction demotes a model from memory to disk instead of discarding
+    /// the training work); a clean victim — loaded from its own checkpoint
+    /// and never refit — is dropped without rewriting the file.
     fn evict_over_budget(&mut self) -> Result<()> {
         while self.entries.len() > self.cfg.capacity {
-            let victim = self
-                .entries
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(&fp, _)| fp)
-                .expect("over budget implies non-empty");
-            if let Some(path) = self.checkpoint_path(victim) {
-                checkpoint::save_to(path, self.entries[&victim].model.as_ref())?;
-                self.stats.spills += 1;
+            let Some(victim) =
+                self.entries.iter().min_by_key(|(&fp, e)| (e.last_used, fp)).map(|(&fp, _)| fp)
+            else {
+                return Err(FairGenError::Internal {
+                    detail: "registry over budget with no entries".into(),
+                });
+            };
+            if self.entries[&victim].dirty {
+                if let Some(path) = self.checkpoint_path(victim) {
+                    checkpoint::save_to(path, self.entries[&victim].model.as_ref())?;
+                    self.stats.spills += 1;
+                }
             }
             self.entries.remove(&victim);
             self.stats.evictions += 1;
         }
         Ok(())
     }
+}
+
+fn checkpoint_path_in(dir: &std::path::Path, fp: GraphFingerprint) -> PathBuf {
+    dir.join(format!("fg-{}.ckpt", fp.to_hex()))
 }
 
 impl std::fmt::Debug for ModelRegistry {

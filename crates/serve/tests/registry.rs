@@ -264,6 +264,100 @@ fn batched_stats_stay_per_request() {
 }
 
 #[test]
+fn clean_checkpoint_loads_are_not_respilled() {
+    // A model warm-started from its own checkpoint and never refit must not
+    // be written back on eviction or spill_all — that is pure wasted IO.
+    let dir = temp_dir("no-respill");
+    let cfg = RegistryConfig { capacity: 1, checkpoint_dir: Some(dir.clone()) };
+    let task = TaskSpec::unlabeled();
+    let (a, b) = (ring(10), ring(11));
+
+    let (gen1, _) = counting_er();
+    let mut registry = ModelRegistry::with_config(gen1, cfg.clone()).expect("valid config");
+    registry.handle(&GenerateRequest::single(&a, &task, 3, 5)).expect("a cold");
+    // spill_all writes the dirty cold fit once; a second call writes nothing.
+    assert_eq!(registry.spill_all().expect("spill"), 1);
+    assert_eq!(registry.spill_all().expect("spill again"), 0);
+    assert_eq!(registry.stats().spills, 1);
+
+    // Evicting the now-clean `a` (by touching `b`) must not rewrite it.
+    registry.handle(&GenerateRequest::single(&b, &task, 3, 5)).expect("b evicts a");
+    assert_eq!(registry.stats().evictions, 1);
+    assert_eq!(registry.stats().spills, 1, "clean victim `a` must not be respilled");
+
+    // Warm-start `a` back: this evicts the dirty cold fit `b`, which *does*
+    // spill — eviction still demotes fresh training work to disk.
+    let warm = registry.handle(&GenerateRequest::single(&a, &task, 3, 5)).expect("a warm");
+    assert_eq!(warm.served_from, ServedFrom::Checkpoint);
+    assert_eq!(registry.stats().evictions, 2);
+    assert_eq!(registry.stats().spills, 2, "dirty victim `b` must spill");
+
+    // And `b` warm-started back in turn evicts the clean reload of `a`
+    // without touching the file again.
+    let warm_b = registry.handle(&GenerateRequest::single(&b, &task, 3, 5)).expect("b warm");
+    assert_eq!(warm_b.served_from, ServedFrom::Checkpoint);
+    assert_eq!(registry.stats().evictions, 3);
+    assert_eq!(registry.stats().spills, 2, "clean victim must not be respilled");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn eviction_victim_is_deterministic_across_runs() {
+    // The victim must be a pure function of the request history, never
+    // HashMap iteration order: two registries fed the same sequence evict
+    // the same keys.
+    let task = TaskSpec::unlabeled();
+    let graphs: Vec<Graph> = (10..18).map(ring).collect();
+    let resident = |registry: &ModelRegistry| -> Vec<String> {
+        graphs
+            .iter()
+            .filter(|g| registry.contains(registry.fingerprint(g, &task, 0)))
+            .map(|g| g.n().to_string())
+            .collect()
+    };
+    let mut survivors = Vec::new();
+    for _run in 0..2 {
+        let (gen, _) = counting_er();
+        let mut registry = ModelRegistry::with_config(
+            gen,
+            RegistryConfig { capacity: 3, checkpoint_dir: None },
+        )
+        .expect("valid config");
+        for g in &graphs {
+            registry.handle(&GenerateRequest::single(g, &task, 0, 1)).expect("serve");
+        }
+        assert_eq!(registry.len(), 3);
+        survivors.push(resident(&registry));
+    }
+    assert_eq!(survivors[0], survivors[1], "victim selection must be deterministic");
+}
+
+#[test]
+fn degenerate_graph_fails_the_request_not_the_process() {
+    // An all-isolated graph has no valid walk start node; a serve request
+    // over it must come back as a plain (typed-error or graceful) response,
+    // never a panic that kills the serving process.
+    use fairgen_baselines::{NetGanGenerator, TagGenGenerator};
+    let g = Graph::empty(6);
+    let task = TaskSpec::unlabeled();
+    for gen in [
+        Box::new(NetGanGenerator::default()) as Box<dyn PersistableGraphGenerator>,
+        Box::new(TagGenGenerator::default()),
+    ] {
+        let mut registry = ModelRegistry::new(gen);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            registry.handle(&GenerateRequest::single(&g, &task, 1, 2))
+        }));
+        let response = result.expect("degenerate input must not panic");
+        if let Ok(resp) = response {
+            // Walk-LM families degrade gracefully: nothing was learned, the
+            // draw is the empty graph.
+            assert!(resp.graphs.iter().all(|out| out.m() == 0));
+        }
+    }
+}
+
+#[test]
 fn zero_capacity_is_rejected() {
     let (gen, _) = counting_er();
     assert!(matches!(

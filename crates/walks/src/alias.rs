@@ -7,6 +7,7 @@
 //! cases where a distribution *is* fixed and sampled many times: degree-
 //! proportional start-node selection and negative-sampling tables.
 
+use fairgen_graph::error::{FairGenError, Result};
 use rand::Rng;
 
 /// A Vose alias table over `0..n` built from non-negative weights.
@@ -22,18 +23,44 @@ impl AliasTable {
     /// # Panics
     ///
     /// Panics if `weights` is empty, contains a negative/non-finite value,
-    /// or sums to zero.
+    /// or sums to zero. Serving paths should prefer
+    /// [`AliasTable::try_new`], which reports the same conditions as a
+    /// typed [`FairGenError::DegenerateDistribution`] so a degenerate input
+    /// fails the request instead of crashing the process.
     pub fn new(weights: &[f64]) -> Self {
-        assert!(!weights.is_empty(), "empty weight vector");
+        match Self::try_new(weights) {
+            Ok(table) => table,
+            // Preserve the historical panic messages for the assert-style
+            // contract.
+            Err(FairGenError::DegenerateDistribution { detail }) => panic!("{detail}"),
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`AliasTable::new`].
+    ///
+    /// # Errors
+    ///
+    /// [`FairGenError::DegenerateDistribution`] if `weights` is empty,
+    /// contains a negative or non-finite value, or sums to zero.
+    pub fn try_new(weights: &[f64]) -> Result<Self> {
+        let degenerate = |detail: String| Err(FairGenError::DegenerateDistribution { detail });
+        if weights.is_empty() {
+            return degenerate("empty weight vector".into());
+        }
         let n = weights.len();
-        let total: f64 = weights
-            .iter()
-            .map(|&w| {
-                assert!(w >= 0.0 && w.is_finite(), "weights must be finite and non-negative");
-                w
-            })
-            .sum();
-        assert!(total > 0.0, "weights must not all be zero");
+        let mut total = 0.0f64;
+        for (i, &w) in weights.iter().enumerate() {
+            if !(w >= 0.0 && w.is_finite()) {
+                return degenerate(format!(
+                    "weights must be finite and non-negative (weight {i} is {w})"
+                ));
+            }
+            total += w;
+        }
+        if total <= 0.0 {
+            return degenerate(format!("weights must not all be zero ({n} weights)"));
+        }
         // Scale to mean 1.
         let scaled: Vec<f64> = weights.iter().map(|&w| w * n as f64 / total).collect();
         let mut small: Vec<usize> = Vec::new();
@@ -60,7 +87,7 @@ impl AliasTable {
         for i in small.into_iter().chain(large) {
             prob[i] = 1.0;
         }
-        AliasTable { prob, alias }
+        Ok(AliasTable { prob, alias })
     }
 
     /// Number of outcomes.
@@ -85,10 +112,23 @@ impl AliasTable {
 }
 
 /// Builds a degree-proportional alias table for a graph (the standard
-/// start-node distribution for walk corpora over non-isolated nodes).
-pub fn degree_alias_table(g: &fairgen_graph::Graph) -> AliasTable {
+/// start-node distribution for walk corpora: isolated nodes get weight
+/// zero and are never drawn).
+///
+/// # Errors
+///
+/// [`FairGenError::DegenerateDistribution`] when the graph has no vertices
+/// or every vertex is isolated — there is no valid start node, so walker
+/// start-node selection (and any serve request built on it) fails typed
+/// instead of panicking.
+pub fn degree_alias_table(g: &fairgen_graph::Graph) -> Result<AliasTable> {
     let weights: Vec<f64> = (0..g.n()).map(|v| g.degree(v as u32) as f64).collect();
-    AliasTable::new(&weights)
+    AliasTable::try_new(&weights).map_err(|_| FairGenError::DegenerateDistribution {
+        detail: format!(
+            "degree-proportional start-node table over a graph with {} vertices and no edges",
+            g.n()
+        ),
+    })
 }
 
 #[cfg(test)]
@@ -147,9 +187,35 @@ mod tests {
     #[test]
     fn degree_table_prefers_hubs() {
         let g = fairgen_graph::Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
-        let t = degree_alias_table(&g);
+        let t = degree_alias_table(&g).expect("graph has edges");
         let freq = empirical(&t, 50_000, 5);
         assert!((freq[0] - 0.5).abs() < 0.02, "hub share {}", freq[0]);
+    }
+
+    #[test]
+    fn try_new_reports_typed_errors() {
+        for weights in [&[][..], &[0.0, 0.0][..], &[1.0, -0.5][..], &[1.0, f64::NAN][..]] {
+            assert!(
+                matches!(
+                    AliasTable::try_new(weights),
+                    Err(fairgen_graph::FairGenError::DegenerateDistribution { .. })
+                ),
+                "weights {weights:?} must fail typed"
+            );
+        }
+        assert_eq!(AliasTable::try_new(&[2.0, 1.0]).expect("valid").len(), 2);
+    }
+
+    #[test]
+    fn all_isolated_graph_fails_typed_not_by_panic() {
+        for g in [fairgen_graph::Graph::empty(0), fairgen_graph::Graph::empty(6)] {
+            let err = degree_alias_table(&g).expect_err("no valid start node");
+            assert!(
+                matches!(err, fairgen_graph::FairGenError::DegenerateDistribution { .. }),
+                "got {err}"
+            );
+            assert!(err.to_string().contains("start-node"), "got {err}");
+        }
     }
 
     #[test]

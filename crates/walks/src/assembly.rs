@@ -75,6 +75,68 @@ impl ScoreMatrix {
         }
     }
 
+    /// Accumulates every consecutive pair of a token-id walk (the `usize`
+    /// sequences the language models emit), saving the caller the
+    /// `Vec<usize> → Walk` conversion on the per-draw hot path.
+    pub fn add_token_walk(&mut self, seq: &[usize]) {
+        for pair in seq.windows(2) {
+            self.add_edge(pair[0] as NodeId, pair[1] as NodeId, 1.0);
+        }
+    }
+
+    /// Merges another score matrix (over the same `n`) into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatched node counts.
+    pub fn merge(&mut self, other: &ScoreMatrix) {
+        assert_eq!(self.n, other.n, "merging score matrices over different node counts");
+        for (&k, &w) in &other.counts {
+            *self.counts.entry(k).or_insert(0.0) += w;
+        }
+    }
+
+    /// Builds the score matrix of a token-walk corpus across `pool`:
+    /// fixed-size chunks of walks are counted into per-worker partial
+    /// matrices and merged in chunk order.
+    ///
+    /// The result is **bit-identical to the sequential
+    /// [`ScoreMatrix::add_token_walk`] loop for any worker count**: the
+    /// chunk grid is independent of the pool width, each chunk's partial is
+    /// deterministic, and walk observations carry unit weight, so every
+    /// per-pair total is an exactly-representable small integer whose sum
+    /// is association-free. Asserted at widths {1, 2, 8} in
+    /// `tests/parallel_parity.rs`.
+    pub fn from_token_walks(
+        pool: &fairgen_par::ThreadPool,
+        n: usize,
+        walks: &[Vec<usize>],
+    ) -> ScoreMatrix {
+        /// Walks per parallel task — enough to amortize the per-task map
+        /// allocation, small enough to steal well.
+        const CHUNK: usize = 64;
+        if pool.threads() == 1 || walks.len() <= CHUNK {
+            let mut scores = ScoreMatrix::new(n);
+            for w in walks {
+                scores.add_token_walk(w);
+            }
+            return scores;
+        }
+        let chunks = walks.len().div_ceil(CHUNK);
+        let partials = pool.par_map(chunks, |c| {
+            let mut partial = ScoreMatrix::new(n);
+            for w in &walks[c * CHUNK..((c + 1) * CHUNK).min(walks.len())] {
+                partial.add_token_walk(w);
+            }
+            partial
+        });
+        let mut scores = ScoreMatrix::new(n);
+        for partial in &partials {
+            scores.merge(partial);
+        }
+        scores
+    }
+
     /// The score of edge `{u, v}`.
     pub fn score(&self, u: NodeId, v: NodeId) -> f64 {
         if u == v {

@@ -1,8 +1,10 @@
 //! Biased second-order random walks (node2vec, reference \[39\]).
 
+use fairgen_graph::error::Result;
 use fairgen_graph::{Graph, NodeId};
 use rand::Rng;
 
+use crate::alias::degree_alias_table;
 use crate::walker::Walk;
 
 /// The biased second-order walker of node2vec.
@@ -101,9 +103,11 @@ impl Node2VecWalker {
         walk
     }
 
-    /// Samples `k` walks of length `len`, each from a uniformly random
-    /// non-isolated start node (matching NetGAN/TagGen-style corpus
-    /// extraction). Returns fewer walks only if the graph has no edges.
+    /// Samples `k` walks of length `len` with degree-proportional start
+    /// nodes drawn from the [`degree_alias_table`] (the standard
+    /// NetGAN/TagGen-style corpus extraction; isolated nodes have weight
+    /// zero and are never drawn). Returns an empty corpus when the graph
+    /// has no edges — the graceful form of [`Node2VecWalker::try_walk_corpus`].
     pub fn walk_corpus<R: Rng + ?Sized>(
         &self,
         g: &Graph,
@@ -111,16 +115,33 @@ impl Node2VecWalker {
         len: usize,
         rng: &mut R,
     ) -> Vec<Walk> {
-        let starts: Vec<NodeId> = (0..g.n() as NodeId).filter(|&v| g.degree(v) > 0).collect();
-        if starts.is_empty() {
-            return Vec::new();
-        }
-        (0..k)
+        self.try_walk_corpus(g, k, len, rng).unwrap_or_default()
+    }
+
+    /// [`Node2VecWalker::walk_corpus`] with the degenerate case surfaced:
+    /// start-node selection over an edgeless (all-isolated) graph reports a
+    /// typed error, so a serve request over such a graph fails instead of
+    /// crashing — or silently producing an empty corpus — deep in the fit
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// [`fairgen_graph::FairGenError::DegenerateDistribution`] when the
+    /// graph has no valid (non-isolated) start node.
+    pub fn try_walk_corpus<R: Rng + ?Sized>(
+        &self,
+        g: &Graph,
+        k: usize,
+        len: usize,
+        rng: &mut R,
+    ) -> Result<Vec<Walk>> {
+        let starts = degree_alias_table(g)?;
+        Ok((0..k)
             .map(|_| {
-                let s = starts[rng.gen_range(0..starts.len())];
+                let s = starts.sample(rng) as NodeId;
                 self.walk(g, s, len, rng)
             })
-            .collect()
+            .collect())
     }
 }
 
@@ -228,5 +249,30 @@ mod tests {
         let corpus =
             Node2VecWalker::default().walk_corpus(&g, 5, 4, &mut StdRng::seed_from_u64(0));
         assert!(corpus.is_empty());
+    }
+
+    #[test]
+    fn try_corpus_surfaces_the_degenerate_start_distribution() {
+        let g = Graph::empty(4);
+        let err = Node2VecWalker::default()
+            .try_walk_corpus(&g, 5, 4, &mut StdRng::seed_from_u64(0))
+            .expect_err("no valid start node");
+        assert!(matches!(err, fairgen_graph::FairGenError::DegenerateDistribution { .. }));
+    }
+
+    #[test]
+    fn corpus_starts_are_degree_proportional() {
+        // Star: the hub has degree 4, each leaf degree 1 → the hub starts
+        // half of all walks.
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let mut rng = StdRng::seed_from_u64(6);
+        let corpus = Node2VecWalker::default().walk_corpus(&g, 4000, 3, &mut rng);
+        let hub_starts = corpus.iter().filter(|w| w[0] == 0).count();
+        let frac = hub_starts as f64 / corpus.len() as f64;
+        assert!((frac - 0.5).abs() < 0.05, "hub start fraction {frac}");
+        // Isolated nodes never start a walk.
+        let g = Graph::from_edges(4, &[(0, 1)]);
+        let corpus = Node2VecWalker::default().walk_corpus(&g, 500, 3, &mut rng);
+        assert!(corpus.iter().all(|w| w[0] < 2));
     }
 }

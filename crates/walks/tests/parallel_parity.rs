@@ -1,0 +1,82 @@
+//! Parallel score-matrix assembly must be bit-identical to the sequential
+//! accumulation loop at every worker count.
+
+use fairgen_graph::codec::{Codec, Encoder};
+use fairgen_par::ThreadPool;
+use fairgen_walks::ScoreMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Canonical byte rendering (the codec writes entries in sorted key order),
+/// so two matrices are equal iff their encodings are.
+fn canonical(scores: &ScoreMatrix) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    scores.encode(&mut enc);
+    enc.into_bytes()
+}
+
+fn synthetic_corpus(n: usize, walks: usize, len: usize, seed: u64) -> Vec<Vec<usize>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..walks).map(|_| (0..len).map(|_| rng.gen_range(0..n)).collect()).collect()
+}
+
+#[test]
+fn parallel_assembly_is_bit_identical_at_widths_1_2_8() {
+    let n = 60;
+    for (walks, len, seed) in [(500, 10, 1u64), (129, 4, 2), (64, 12, 3), (3, 5, 4)] {
+        let corpus = synthetic_corpus(n, walks, len, seed);
+        let mut sequential = ScoreMatrix::new(n);
+        for w in &corpus {
+            sequential.add_token_walk(w);
+        }
+        let reference = canonical(&sequential);
+        for width in [1usize, 2, 8] {
+            let pool = ThreadPool::new(width);
+            let parallel = ScoreMatrix::from_token_walks(&pool, n, &corpus);
+            assert_eq!(
+                canonical(&parallel),
+                reference,
+                "corpus ({walks}, {len}, {seed}) diverged at width {width}"
+            );
+        }
+    }
+}
+
+#[test]
+fn merge_adds_counts_and_respects_n() {
+    let mut a = ScoreMatrix::new(5);
+    a.add_token_walk(&[0, 1, 2]);
+    let mut b = ScoreMatrix::new(5);
+    b.add_token_walk(&[1, 2, 3]);
+    a.merge(&b);
+    assert_eq!(a.score(0, 1), 1.0);
+    assert_eq!(a.score(1, 2), 2.0);
+    assert_eq!(a.score(2, 3), 1.0);
+    assert_eq!(a.num_candidates(), 3);
+}
+
+#[test]
+#[should_panic(expected = "different node counts")]
+fn merge_rejects_mismatched_universes() {
+    let mut a = ScoreMatrix::new(5);
+    a.merge(&ScoreMatrix::new(6));
+}
+
+#[test]
+fn assembled_graphs_agree_end_to_end() {
+    // The full downstream pipeline (ranked candidates → assembly) sees the
+    // same matrix, so assembled graphs agree too.
+    let n = 40;
+    let corpus = synthetic_corpus(n, 300, 8, 9);
+    let mut sequential = ScoreMatrix::new(n);
+    for w in &corpus {
+        sequential.add_token_walk(w);
+    }
+    let expected = sequential.assemble(80, &mut StdRng::seed_from_u64(17));
+    for width in [2usize, 8] {
+        let pool = ThreadPool::new(width);
+        let parallel = ScoreMatrix::from_token_walks(&pool, n, &corpus);
+        let got = parallel.assemble(80, &mut StdRng::seed_from_u64(17));
+        assert_eq!(got, expected, "width {width}");
+    }
+}

@@ -130,4 +130,52 @@ proptest! {
         prop_assert!(incident >= quota.min(b.num_candidates()),
             "incident={} quota={}", incident, quota);
     }
+
+    #[test]
+    fn alias_table_empirical_frequencies_match_weights(
+        raw in proptest::collection::vec(0..100u32, 1..8),
+        seed in any::<u64>(),
+    ) {
+        // At least one strictly positive weight, else the table is
+        // (correctly) degenerate — covered by the property below.
+        prop_assume!(raw.iter().any(|&w| w > 0));
+        let weights: Vec<f64> = raw.iter().map(|&w| w as f64).collect();
+        let table = fairgen_walks::AliasTable::try_new(&weights).expect("valid weights");
+        prop_assert_eq!(table.len(), weights.len());
+        let total: f64 = weights.iter().sum();
+        let draws = 60_000usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = vec![0usize; weights.len()];
+        for _ in 0..draws {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        for (i, (&c, &w)) in counts.iter().zip(&weights).enumerate() {
+            let expected = w / total;
+            let observed = c as f64 / draws as f64;
+            prop_assert!(
+                (observed - expected).abs() < 0.02,
+                "outcome {}: observed {} expected {}", i, observed, expected
+            );
+        }
+    }
+
+    #[test]
+    fn alias_table_rejects_degenerate_weights_typed(
+        len in 0usize..6,
+        poison in 0usize..3,
+    ) {
+        // All-zero, one-negative, and one-NaN variants must all fail with
+        // the typed error, never a panic.
+        let mut weights = vec![0.0f64; len];
+        match poison {
+            1 if len > 0 => weights[len / 2] = -1.0,
+            2 if len > 0 => weights[len / 2] = f64::NAN,
+            _ => {}
+        }
+        let result = fairgen_walks::AliasTable::try_new(&weights);
+        prop_assert!(matches!(
+            result,
+            Err(fairgen_graph::FairGenError::DegenerateDistribution { .. })
+        ));
+    }
 }
