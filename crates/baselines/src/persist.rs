@@ -26,7 +26,11 @@ use fairgen_graph::{FingerprintBuilder, Graph};
 use crate::traits::{FittedGenerator, GraphGenerator, TaskSpec};
 
 /// A fitted generator whose state can be checkpointed.
-pub trait PersistableGenerator: FittedGenerator {
+///
+/// `Send` is a supertrait so a serving layer can move fitted models into
+/// worker threads (one registry per shard); every model is plain owned data,
+/// so the bound costs implementations nothing.
+pub trait PersistableGenerator: FittedGenerator + Send {
     /// Stable family tag stored in the checkpoint container (e.g. `"ER"`,
     /// `"TagGen"`, `"FairGen"`). Decoders dispatch on it; renaming a tag is
     /// a format break.
@@ -40,7 +44,12 @@ pub trait PersistableGenerator: FittedGenerator {
 /// A generator whose fit result is checkpointable — the fitting side of the
 /// persistence contract, implemented by all six baselines here and by
 /// `FairGenGenerator` in `fairgen-core`.
-pub trait PersistableGraphGenerator: GraphGenerator {
+///
+/// `Send + Sync` are supertraits: generators are immutable configuration
+/// objects, and a sharded server both moves one instance into each shard
+/// worker (`Send`) and fingerprints requests against a shared routing
+/// instance from many client threads at once (`Sync`).
+pub trait PersistableGraphGenerator: GraphGenerator + Send + Sync {
     /// [`GraphGenerator::fit`], but returning the fitted model as a
     /// persistable trait object.
     fn fit_persistable(

@@ -61,13 +61,13 @@ fn bench_fit_generate(c: &mut Criterion) {
     };
     group.bench_function("FairGen_micro", |b| {
         b.iter(|| {
-            let mut t = FairGen::new(cfg).train(&g, &task, 1).expect("valid");
+            let t = FairGen::new(cfg).train(&g, &task, 1).expect("valid");
             t.generate(2).expect("generate")
         })
     });
     // The fit-once/generate-many split the two-phase API exists for: one
     // trained model amortizing across draws.
-    let mut trained = FairGen::new(cfg).train(&g, &task, 1).expect("valid");
+    let trained = FairGen::new(cfg).train(&g, &task, 1).expect("valid");
     group.bench_function("FairGen_generate_only", |b| {
         let mut seed = 0u64;
         b.iter(|| {

@@ -24,7 +24,7 @@ fn time_fairgen(n: usize, density: f64) -> f64 {
         ..Default::default()
     };
     let start = Instant::now();
-    let mut trained = FairGen::new(cfg)
+    let trained = FairGen::new(cfg)
         .train(&g, &TaskSpec::unlabeled(), 3)
         .expect("benchmark inputs are valid");
     let _ = trained.generate(4).expect("generate");

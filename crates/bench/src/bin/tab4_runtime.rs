@@ -3,11 +3,13 @@
 //! near-instant, deep models are orders of magnitude slower, FairGen is
 //! much faster than NetGAN while TagGen-class models sit in between.
 //!
-//! A second table reports what the serving layer makes of that split:
-//! per method, the `ModelRegistry`'s cold-miss latency (fit + generate on
-//! first sight of a fingerprint) versus its warm-hit latency (generate
-//! only, model cached) — the amortization every fit-once/serve-many
-//! deployment banks on.
+//! A second table reports what the serving layer makes of that split: per
+//! method, the concurrent `FairGenServer`'s cold-miss latency (fit +
+//! generate on first sight of a fingerprint), its warm-hit latency
+//! (generate only, model cached in a shard registry), and its dedup-hit
+//! latency (repeated `(fingerprint, seed)` request answered from the
+//! sample cache with **zero** model invocations) — the amortization
+//! ladder every fit-once/serve-many deployment climbs.
 
 use fairgen_baselines::persist::PersistableGraphGenerator;
 use fairgen_baselines::{
@@ -19,48 +21,72 @@ use fairgen_bench::{
 };
 use fairgen_core::FairGenGenerator;
 use fairgen_data::Dataset;
-use fairgen_serve::{GenerateRequest, ModelRegistry, ServedFrom};
+use fairgen_serve::{FairGenServer, ServedFrom, ServerConfig};
 use std::time::Instant;
 
-fn registry_latency() {
+fn server_latency() {
     let scale = budget_scale();
     let ds = Dataset::ALL[0];
     header(
-        "Registry",
-        &format!("cold-miss vs warm-hit latency in seconds, {} dataset", ds.name()),
+        "Serving",
+        &format!(
+            "FairGenServer cold-miss vs warm-hit vs dedup-hit latency in seconds, {} dataset",
+            ds.name()
+        ),
     );
     let lg = ds.generate(42);
     let task = bench_task(&lg, 42);
-    let methods: Vec<Box<dyn PersistableGraphGenerator>> = vec![
-        Box::new(ErGenerator),
-        Box::new(BaGenerator),
-        Box::new(bench_gae(scale)),
-        Box::new(NetGanGenerator { budget: bench_walklm_budget(scale), ..Default::default() }),
-        Box::new(TagGenGenerator { budget: bench_walklm_budget(scale), ..Default::default() }),
-        Box::new(FairGenGenerator::new(bench_fairgen_config(scale))),
+    let factories: Vec<Box<dyn Fn() -> Box<dyn PersistableGraphGenerator>>> = vec![
+        Box::new(|| Box::new(ErGenerator)),
+        Box::new(|| Box::new(BaGenerator)),
+        Box::new(move || Box::new(bench_gae(scale))),
+        Box::new(move || {
+            Box::new(NetGanGenerator {
+                budget: bench_walklm_budget(scale),
+                ..Default::default()
+            })
+        }),
+        Box::new(move || {
+            Box::new(TagGenGenerator {
+                budget: bench_walklm_budget(scale),
+                ..Default::default()
+            })
+        }),
+        Box::new(move || Box::new(FairGenGenerator::new(bench_fairgen_config(scale)))),
     ];
-    print_row("method", &["cold", "warm", "speedup"]);
-    for gen in methods {
-        let mut registry = ModelRegistry::new(gen);
-        let name = registry.generator_name();
+    print_row("method", &["cold", "warm", "dedup", "cold/warm", "warm/dedup"]);
+    for factory in factories {
+        let server = FairGenServer::new(factory.as_ref(), ServerConfig::default())
+            .expect("benchmark config is valid");
+        let name = server.generator_name();
         let start = Instant::now();
-        let cold = registry
-            .handle(&GenerateRequest::single(&lg.graph, &task, 1234, 1))
-            .expect("benchmark inputs are valid");
+        let cold =
+            server.handle(&lg.graph, &task, 1234, vec![1]).expect("benchmark inputs are valid");
         let cold_s = start.elapsed().as_secs_f64();
         assert_eq!(cold.served_from, ServedFrom::ColdFit);
         let start = Instant::now();
-        let warm = registry
-            .handle(&GenerateRequest::single(&lg.graph, &task, 1234, 2))
-            .expect("benchmark inputs are valid");
+        let warm =
+            server.handle(&lg.graph, &task, 1234, vec![2]).expect("benchmark inputs are valid");
         let warm_s = start.elapsed().as_secs_f64();
         assert_eq!(warm.served_from, ServedFrom::Memory, "{name} refitted on a warm hit");
+        let start = Instant::now();
+        let dedup =
+            server.handle(&lg.graph, &task, 1234, vec![2]).expect("benchmark inputs are valid");
+        let dedup_s = start.elapsed().as_secs_f64();
+        assert_eq!(
+            dedup.served_from,
+            ServedFrom::DedupCache,
+            "{name} reran a deduplicated request"
+        );
+        assert_eq!(dedup.graphs, warm.graphs, "{name} dedup diverged from generation");
         print_row(
             name,
             &[
                 format!("{cold_s:.3}"),
                 format!("{warm_s:.3}"),
+                format!("{dedup_s:.4}"),
                 format!("{:.1}x", cold_s / warm_s.max(1e-9)),
+                format!("{:.1}x", warm_s / dedup_s.max(1e-9)),
             ],
         );
     }
@@ -100,5 +126,5 @@ fn main() {
         print_row(name, &rows[i]);
     }
     println!();
-    registry_latency();
+    server_latency();
 }

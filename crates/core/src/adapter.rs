@@ -54,6 +54,13 @@ impl FittedGenerator for TrainedFairGen {
     fn generate(&mut self, seed: u64) -> Result<Graph> {
         TrainedFairGen::generate(self, seed)
     }
+
+    /// Routes batches through the cross-seed fan-out
+    /// ([`TrainedFairGen::generate_batch_with_pool`]) instead of the default
+    /// sequential loop, so registry-batched requests scale with the pool.
+    fn generate_batch(&mut self, seeds: &[u64]) -> Result<Vec<Graph>> {
+        TrainedFairGen::generate_batch(self, seeds)
+    }
 }
 
 impl PersistableGenerator for TrainedFairGen {

@@ -96,7 +96,7 @@ mod tests {
 
     #[test]
     fn fairgen_roundtrips_through_bytes() {
-        let (mut model, g) = trained();
+        let (model, g) = trained();
         let bytes = to_bytes(&model);
         let mut back = from_bytes(&bytes).expect("decode");
         assert_eq!(back.name(), "FairGen");
@@ -125,7 +125,7 @@ mod tests {
 
     #[test]
     fn file_roundtrip_and_unknown_tag() {
-        let (mut model, _) = trained();
+        let (model, _) = trained();
         let dir = std::env::temp_dir().join("fairgen-checkpoint-test");
         std::fs::create_dir_all(&dir).expect("temp dir");
         let path = dir.join("model.ckpt");

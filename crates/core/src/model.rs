@@ -333,7 +333,7 @@ impl TrainedFairGen {
     /// deterministically in `seed`. One training run amortizes across any
     /// number of calls; each seed is an independent, reproducible draw.
     /// The walk fan-out runs on the process-wide [`ThreadPool`].
-    pub fn generate(&mut self, seed: u64) -> Result<Graph> {
+    pub fn generate(&self, seed: u64) -> Result<Graph> {
         self.generate_with_pool(seed, ThreadPool::global())
     }
 
@@ -345,7 +345,7 @@ impl TrainedFairGen {
     /// to the sequential path for any pool width (asserted in
     /// `tests/parallel_parity.rs`), so per-seed determinism holds
     /// regardless of `FAIRGEN_THREADS`.
-    pub fn generate_with_pool(&mut self, seed: u64, pool: &ThreadPool) -> Result<Graph> {
+    pub fn generate_with_pool(&self, seed: u64, pool: &ThreadPool) -> Result<Graph> {
         let mut rng = StdRng::seed_from_u64(seed);
         let total = self.cfg.num_walks * self.cfg.gen_multiplier;
         let draws = predraw(&mut rng, total * self.cfg.walk_len);
@@ -361,14 +361,43 @@ impl TrainedFairGen {
     }
 
     /// Generates one synthetic graph per seed; equivalent to mapping
-    /// [`TrainedFairGen::generate`] over `seeds`. Pre-allocates the output
-    /// for serving-sized batches.
-    pub fn generate_batch(&mut self, seeds: &[u64]) -> Result<Vec<Graph>> {
-        let mut out = Vec::with_capacity(seeds.len());
-        for &s in seeds {
-            out.push(self.generate(s)?);
+    /// [`TrainedFairGen::generate`] over `seeds`, with the seeds fanned out
+    /// across the process-wide [`ThreadPool`] (see
+    /// [`TrainedFairGen::generate_batch_with_pool`]).
+    pub fn generate_batch(&self, seeds: &[u64]) -> Result<Vec<Graph>> {
+        self.generate_batch_with_pool(seeds, ThreadPool::global())
+    }
+
+    /// Cross-seed parallel batch generation: each seed's entire draw
+    /// (predraw → walk sampling → score assembly) runs as one unit of work
+    /// on the pool, which is the coarser — and for serving-sized batches,
+    /// better-scaling — grain than parallelizing walks *within* each seed.
+    ///
+    /// Every seed samples against an inline (width-1) pool on its worker, so
+    /// no pool broadcast ever nests inside another. Since the per-seed walk
+    /// fan-out is bit-identical to sequential sampling at any width (the
+    /// PR 4 parity contract), the batch output equals the sequential
+    /// per-seed loop exactly — asserted at widths {1, 2, 8} in
+    /// `tests/parallel_parity.rs`.
+    pub fn generate_batch_with_pool(
+        &self,
+        seeds: &[u64],
+        pool: &ThreadPool,
+    ) -> Result<Vec<Graph>> {
+        if pool.threads() == 1 || seeds.len() <= 1 {
+            let mut out = Vec::with_capacity(seeds.len());
+            for &s in seeds {
+                out.push(self.generate_with_pool(s, pool)?);
+            }
+            return Ok(out);
         }
-        Ok(out)
+        pool.par_map_init(
+            seeds.len(),
+            || ThreadPool::new(1),
+            |inline, i| self.generate_with_pool(seeds[i], inline),
+        )
+        .into_iter()
+        .collect()
     }
 
     /// Per-node class log-probabilities under the discriminator (`n × C`),
@@ -988,7 +1017,7 @@ mod tests {
     fn trains_and_generates_on_toy() {
         let (g, task) = toy_task();
         let fairgen = FairGen::new(FairGenConfig::test_budget());
-        let mut trained = fairgen.train(&g, &task, 7).expect("valid input");
+        let trained = fairgen.train(&g, &task, 7).expect("valid input");
         assert_eq!(trained.history.len(), 2);
         let out = trained.generate(1).expect("generate");
         assert_eq!(out.n(), g.n());
@@ -999,7 +1028,7 @@ mod tests {
     #[test]
     fn one_train_amortizes_and_reproduces_per_seed() {
         let (g, task) = toy_task();
-        let mut trained =
+        let trained =
             FairGen::new(FairGenConfig::test_budget()).train(&g, &task, 7).expect("train");
         let batch = trained.generate_batch(&[1, 2, 1]).expect("batch");
         assert_eq!(batch[0], batch[2], "same seed must reproduce");
@@ -1013,7 +1042,7 @@ mod tests {
         let s = task.protected.clone().unwrap();
         let quota = g.edges().filter(|&(u, v)| s.contains(u) || s.contains(v)).count();
         let fairgen = FairGen::new(FairGenConfig::test_budget());
-        let mut trained = fairgen.train(&g, &task, 7).expect("valid input");
+        let trained = fairgen.train(&g, &task, 7).expect("valid input");
         let out = trained.generate(2).expect("generate");
         let incident = out.edges().filter(|&(u, v)| s.contains(u) || s.contains(v)).count();
         assert!(
@@ -1070,7 +1099,7 @@ mod tests {
         let mut cfg = FairGenConfig::test_budget();
         cfg.cycles = 1;
         cfg.num_walks = 40;
-        let mut trained = FairGen::new(cfg)
+        let trained = FairGen::new(cfg)
             .train(&lg.graph, &TaskSpec::unlabeled(), 3)
             .expect("unlabeled tasks degrade to structural generation");
         let out = trained.generate(1).expect("generate");
@@ -1092,7 +1121,7 @@ mod tests {
             let mut cfg = FairGenConfig::test_budget();
             cfg.cycles = 2;
             cfg.num_walks = 40;
-            let mut trained = FairGen::new(cfg)
+            let trained = FairGen::new(cfg)
                 .with_variant(variant)
                 .train(&g, &task, 4)
                 .expect("valid input");
@@ -1108,8 +1137,8 @@ mod tests {
     fn deterministic_in_seed() {
         let (g, task) = toy_task();
         let fairgen = FairGen::new(FairGenConfig::test_budget());
-        let mut a = fairgen.train(&g, &task, 11).expect("valid input");
-        let mut b = fairgen.train(&g, &task, 11).expect("valid input");
+        let a = fairgen.train(&g, &task, 11).expect("valid input");
+        let b = fairgen.train(&g, &task, 11).expect("valid input");
         assert_eq!(a.generate(5).expect("a"), b.generate(5).expect("b"));
     }
 
@@ -1171,7 +1200,7 @@ mod tests {
                 ControlFlow::Continue(())
             }
         };
-        let mut stopped =
+        let stopped =
             FairGen::new(cfg).train_observed(&g, &task, 8, &mut observer).expect("valid input");
         assert_eq!(stopped.history.len(), 2);
         let out = stopped.generate(1).expect("partial model still generates");

@@ -30,7 +30,7 @@ fn training_is_bit_identical_across_pool_widths() {
     let (g, task) = toy_task();
     let fairgen = FairGen::new(small_config());
     let reference_pool = ThreadPool::new(1);
-    let mut reference = fairgen
+    let reference = fairgen
         .train_observed_with_pool(&g, &task, 7, &mut NullObserver, &reference_pool)
         .expect("train");
     let ref_graph = reference.generate_with_pool(1, &reference_pool).expect("generate");
@@ -55,7 +55,7 @@ fn training_is_bit_identical_across_pool_widths() {
 
     for width in WIDTHS {
         let pool = ThreadPool::new(width);
-        let mut trained = fairgen
+        let trained = fairgen
             .train_observed_with_pool(&g, &task, 7, &mut NullObserver, &pool)
             .expect("train");
         let history: Vec<(usize, u64, usize)> = trained
@@ -86,7 +86,7 @@ fn training_is_bit_identical_across_pool_widths() {
 #[test]
 fn generation_is_bit_identical_across_pool_widths() {
     let (g, task) = toy_task();
-    let mut trained = FairGen::new(small_config()).train(&g, &task, 11).expect("train");
+    let trained = FairGen::new(small_config()).train(&g, &task, 11).expect("train");
     for seed in [0u64, 1, 42] {
         let reference = trained.generate_with_pool(seed, &ThreadPool::new(1)).expect("seq");
         for width in WIDTHS {
@@ -95,6 +95,28 @@ fn generation_is_bit_identical_across_pool_widths() {
             assert_eq!(out, reference, "seed {seed} diverged at width {width}");
         }
     }
+}
+
+#[test]
+fn cross_seed_batch_generation_matches_the_sequential_per_seed_loop() {
+    // The cross-seed `par_map` fan-out in `generate_batch_with_pool`: one
+    // worker per seed, each sampling against an inline width-1 pool, must
+    // be bit-identical to the plain sequential per-seed loop at every
+    // outer width — including a repeated seed, which must reproduce.
+    let (g, task) = toy_task();
+    let trained = FairGen::new(small_config()).train(&g, &task, 11).expect("train");
+    let seeds = [0u64, 1, 42, 7, 7];
+    let seq_pool = ThreadPool::new(1);
+    let reference: Vec<_> =
+        seeds.iter().map(|&s| trained.generate_with_pool(s, &seq_pool).expect("seq")).collect();
+    assert_eq!(reference[3], reference[4], "same seed must reproduce");
+    for width in WIDTHS {
+        let pool = ThreadPool::new(width);
+        let out = trained.generate_batch_with_pool(&seeds, &pool).expect("batch");
+        assert_eq!(out, reference, "cross-seed batch diverged at width {width}");
+    }
+    // The global-pool convenience path agrees as well.
+    assert_eq!(trained.generate_batch(&seeds).expect("global"), reference);
 }
 
 #[test]

@@ -1,0 +1,235 @@
+//! A small closable MPMC queue — the primitive under the serving layer's
+//! per-shard work queues.
+//!
+//! [`Channel`] is deliberately minimal: an unbounded FIFO guarded by one
+//! mutex, with blocking consumers parked on a condvar. Any number of
+//! producers [`push`](Channel::push) and any number of consumers
+//! [`pop`](Channel::pop) or [`drain`](Channel::drain); closing wakes every
+//! blocked consumer and makes further pushes fail (handing the rejected
+//! item back to the producer, so nothing is silently dropped).
+//!
+//! [`Channel::drain`] is the batch-consumption primitive a coalescing
+//! server wants: it blocks until at least one item is queued, then takes
+//! *everything* queued at that instant in FIFO order — so items that
+//! accumulated while the consumer was busy arrive as one batch.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct State<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+}
+
+/// An unbounded, closable multi-producer/multi-consumer FIFO queue.
+pub struct Channel<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+}
+
+impl<T> Default for Channel<T> {
+    fn default() -> Self {
+        Channel::new()
+    }
+}
+
+impl<T> Channel<T> {
+    /// An open, empty channel.
+    pub fn new() -> Self {
+        Channel {
+            state: Mutex::new(State { queue: VecDeque::new(), closed: false }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Enqueues `item` and wakes one blocked consumer. Fails on a closed
+    /// channel, returning the item to the caller.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut state = self.state.lock().expect("channel lock");
+        if state.closed {
+            return Err(item);
+        }
+        state.queue.push_back(item);
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available and dequeues it. Returns `None`
+    /// only when the channel is closed **and** fully drained — items queued
+    /// before [`close`](Channel::close) are still delivered.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("channel lock");
+        loop {
+            if let Some(item) = state.queue.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).expect("channel lock");
+        }
+    }
+
+    /// Blocks until at least one item is queued, then dequeues **all** of
+    /// them in FIFO order. An empty result means the channel is closed and
+    /// drained.
+    pub fn drain(&self) -> Vec<T> {
+        let mut state = self.state.lock().expect("channel lock");
+        loop {
+            if !state.queue.is_empty() {
+                return state.queue.drain(..).collect();
+            }
+            if state.closed {
+                return Vec::new();
+            }
+            state = self.ready.wait(state).expect("channel lock");
+        }
+    }
+
+    /// Dequeues everything currently queued without blocking (possibly
+    /// nothing).
+    pub fn try_drain(&self) -> Vec<T> {
+        let mut state = self.state.lock().expect("channel lock");
+        state.queue.drain(..).collect()
+    }
+
+    /// Closes the channel: further pushes fail, blocked consumers wake, and
+    /// already-queued items remain deliverable. Idempotent.
+    pub fn close(&self) {
+        let mut state = self.state.lock().expect("channel lock");
+        state.closed = true;
+        drop(state);
+        self.ready.notify_all();
+    }
+
+    /// Whether [`close`](Channel::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("channel lock").closed
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("channel lock").queue.len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> std::fmt::Debug for Channel<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.lock().expect("channel lock");
+        f.debug_struct("Channel")
+            .field("queued", &state.queue.len())
+            .field("closed", &state.closed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let ch = Channel::new();
+        for i in 0..5 {
+            ch.push(i).expect("open");
+        }
+        assert_eq!(ch.len(), 5);
+        assert_eq!(ch.pop(), Some(0));
+        assert_eq!(ch.drain(), vec![1, 2, 3, 4]);
+        assert!(ch.is_empty());
+    }
+
+    #[test]
+    fn close_rejects_pushes_but_delivers_backlog() {
+        let ch = Channel::new();
+        ch.push(1).expect("open");
+        ch.push(2).expect("open");
+        ch.close();
+        assert!(ch.is_closed());
+        assert_eq!(ch.push(3), Err(3), "push after close hands the item back");
+        assert_eq!(ch.pop(), Some(1));
+        assert_eq!(ch.pop(), Some(2));
+        assert_eq!(ch.pop(), None);
+        assert_eq!(ch.drain(), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn drain_takes_the_whole_backlog_as_one_batch() {
+        let ch = Arc::new(Channel::new());
+        let consumer = {
+            let ch = Arc::clone(&ch);
+            std::thread::spawn(move || ch.drain())
+        };
+        // Give the consumer a chance to block, then land a burst.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        for i in 0..4 {
+            ch.push(i).expect("open");
+        }
+        let batch = consumer.join().expect("consumer");
+        // The consumer wakes on the first push; it may observe 1..=4 items
+        // depending on scheduling, but they must be a FIFO prefix.
+        assert!(!batch.is_empty());
+        assert_eq!(batch, (0..batch.len() as i32).collect::<Vec<_>>());
+        let mut rest = ch.try_drain();
+        let mut all = batch;
+        all.append(&mut rest);
+        assert_eq!(all, vec![0, 1, 2, 3], "nothing lost, order preserved");
+    }
+
+    #[test]
+    fn many_producers_many_consumers_deliver_exactly_once() {
+        let ch = Arc::new(Channel::new());
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let ch = Arc::clone(&ch);
+                std::thread::spawn(move || {
+                    for i in 0..25 {
+                        ch.push(p * 100 + i).expect("open");
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let ch = Arc::clone(&ch);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = ch.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().expect("producer");
+        }
+        ch.close();
+        let mut all: Vec<i32> =
+            consumers.into_iter().flat_map(|c| c.join().expect("consumer")).collect();
+        all.sort_unstable();
+        let mut expected: Vec<i32> =
+            (0..4).flat_map(|p| (0..25).map(move |i| p * 100 + i)).collect();
+        expected.sort_unstable();
+        assert_eq!(all, expected, "every item delivered exactly once");
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let ch: Arc<Channel<i32>> = Arc::new(Channel::new());
+        let blocked = {
+            let ch = Arc::clone(&ch);
+            std::thread::spawn(move || ch.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        ch.close();
+        assert_eq!(blocked.join().expect("consumer"), None);
+    }
+}

@@ -22,6 +22,8 @@
 //! * [`ThreadPool::scope`] — rayon-style scoped spawning of heterogeneous
 //!   closures that may borrow from the caller's stack frame; every spawned
 //!   task completes before `scope` returns.
+//! * [`Channel`] — a closable MPMC queue with batch draining, the
+//!   primitive under `fairgen-serve`'s per-shard work queues.
 //!
 //! # Deterministic parallel sampling
 //!
@@ -34,6 +36,10 @@
 //! token — the parity suites in `nn`, `walks`, and `core` assert it at
 //! widths {1, 2, 8}. [`stream_seed`] is the alternative (keyed, splittable)
 //! scheme for workloads without a fixed per-item draw count.
+
+pub mod channel;
+
+pub use channel::Channel;
 
 use std::any::Any;
 use std::mem::{ManuallyDrop, MaybeUninit};

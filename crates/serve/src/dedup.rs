@@ -1,0 +1,237 @@
+//! Cross-request sample deduplication: a bounded LRU cache of generated
+//! graphs.
+//!
+//! Generation is deterministic per `(fitted model, generation seed)`, and a
+//! fitted model is itself a pure function of its [`GraphFingerprint`] — so
+//! the pair `(fingerprint, gen_seed)` fully determines a sample. (The task
+//! spec the ISSUE-level key mentions is already folded *into* the
+//! fingerprint, along with the graph, fit seed, generator family, and
+//! hyperparameters.) Two clients asking for the same pair are asking for
+//! the same bytes; the [`DedupCache`] serves the second one without any
+//! model invocation at all.
+//!
+//! Eviction mirrors the model registry's discipline: least-recently-used
+//! first, ties broken on the key, so the resident set is a pure function of
+//! the request history and never of `HashMap` iteration order.
+
+use std::collections::HashMap;
+
+use fairgen_graph::{Graph, GraphFingerprint};
+
+/// The cache key: everything that determines a sample's bytes.
+///
+/// `fingerprint` covers the fit side (graph content, task spec, fit seed,
+/// generator family + hyperparameters); `gen_seed` covers the draw.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DedupKey {
+    /// The fit-side cache key (see [`crate::ModelRegistry::fingerprint`]).
+    pub fingerprint: GraphFingerprint,
+    /// The generation seed of the draw.
+    pub gen_seed: u64,
+}
+
+struct Slot {
+    graph: Graph,
+    last_used: u64,
+}
+
+/// A bounded LRU cache mapping [`DedupKey`]s to generated graphs.
+///
+/// A capacity of zero disables the cache entirely (every lookup misses,
+/// every insert is dropped), which keeps the serving path branch-free at
+/// its call sites.
+pub struct DedupCache {
+    capacity: usize,
+    clock: u64,
+    slots: HashMap<DedupKey, Slot>,
+    hits: u64,
+    misses: u64,
+}
+
+impl DedupCache {
+    /// A cache holding at most `capacity` graphs.
+    pub fn new(capacity: usize) -> Self {
+        DedupCache { capacity, clock: 0, slots: HashMap::new(), hits: 0, misses: 0 }
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of cached graphs (always `<= capacity`).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Lookup counters: key-level hits, and misses (one per missed
+    /// [`lookup`](DedupCache::lookup) or failed
+    /// [`lookup_all`](DedupCache::lookup_all)).
+    pub fn hit_miss_counts(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Whether a key is resident (no LRU touch, no counter bump).
+    pub fn contains(&self, key: DedupKey) -> bool {
+        self.slots.contains_key(&key)
+    }
+
+    /// Looks up one key, refreshing its recency on a hit.
+    pub fn lookup(&mut self, key: DedupKey) -> Option<&Graph> {
+        self.clock += 1;
+        match self.slots.get_mut(&key) {
+            Some(slot) => {
+                slot.last_used = self.clock;
+                self.hits += 1;
+                Some(&slot.graph)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// All-or-nothing batch lookup: when **every** `(fingerprint, seed)`
+    /// pair is resident, returns the graphs in seed order (cloned) and
+    /// refreshes each pair's recency; when any pair is missing, returns
+    /// `None` and touches nothing — the whole request then goes through the
+    /// model, so the cache never serves a half-deduplicated response.
+    pub fn lookup_all(&mut self, fp: GraphFingerprint, seeds: &[u64]) -> Option<Vec<Graph>> {
+        if seeds.is_empty()
+            || !seeds.iter().all(|&s| self.contains(DedupKey { fingerprint: fp, gen_seed: s }))
+        {
+            self.misses += 1;
+            return None;
+        }
+        let graphs = seeds
+            .iter()
+            .map(|&s| {
+                self.lookup(DedupKey { fingerprint: fp, gen_seed: s })
+                    .cloned()
+                    .unwrap_or_else(|| unreachable!("presence checked above"))
+            })
+            .collect();
+        Some(graphs)
+    }
+
+    /// Inserts (or refreshes) a key, then evicts least-recently-used
+    /// entries until the capacity bound holds. With capacity zero the
+    /// insert is dropped.
+    pub fn insert(&mut self, key: DedupKey, graph: Graph) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.clock += 1;
+        self.slots.insert(key, Slot { graph, last_used: self.clock });
+        while self.slots.len() > self.capacity {
+            let victim = self
+                .slots
+                .iter()
+                .min_by_key(|(&k, slot)| (slot.last_used, k))
+                .map(|(&k, _)| k)
+                .expect("over-capacity cache has entries");
+            self.slots.remove(&victim);
+        }
+    }
+
+    /// Drops every cached graph (counters survive).
+    pub fn clear(&mut self) {
+        self.slots.clear();
+    }
+}
+
+impl std::fmt::Debug for DedupCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DedupCache")
+            .field("len", &self.slots.len())
+            .field("capacity", &self.capacity)
+            .field("hits", &self.hits)
+            .field("misses", &self.misses)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairgen_graph::FingerprintBuilder;
+
+    fn fp(tag: u64) -> GraphFingerprint {
+        let mut b = FingerprintBuilder::new();
+        b.add_u64(tag);
+        b.finish()
+    }
+
+    fn key(tag: u64, seed: u64) -> DedupKey {
+        DedupKey { fingerprint: fp(tag), gen_seed: seed }
+    }
+
+    fn graph(n: usize) -> Graph {
+        Graph::from_edges(n, &[(0, 1)])
+    }
+
+    #[test]
+    fn lookup_returns_exactly_what_was_inserted() {
+        let mut cache = DedupCache::new(4);
+        cache.insert(key(1, 10), graph(3));
+        cache.insert(key(1, 11), graph(4));
+        assert_eq!(cache.lookup(key(1, 10)).map(Graph::n), Some(3));
+        assert_eq!(cache.lookup(key(1, 11)).map(Graph::n), Some(4));
+        assert!(cache.lookup(key(2, 10)).is_none(), "different fingerprint, same seed");
+        assert!(cache.lookup(key(1, 12)).is_none(), "same fingerprint, different seed");
+        assert_eq!(cache.hit_miss_counts(), (2, 2));
+    }
+
+    #[test]
+    fn capacity_bound_holds_and_lru_is_evicted() {
+        let mut cache = DedupCache::new(2);
+        cache.insert(key(0, 0), graph(3));
+        cache.insert(key(0, 1), graph(4));
+        // Touch the older entry so the newer one becomes the victim.
+        assert!(cache.lookup(key(0, 0)).is_some());
+        cache.insert(key(0, 2), graph(5));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.contains(key(0, 0)), "recently used survives");
+        assert!(!cache.contains(key(0, 1)), "LRU evicted");
+        assert!(cache.contains(key(0, 2)));
+    }
+
+    #[test]
+    fn lookup_all_is_all_or_nothing() {
+        let mut cache = DedupCache::new(4);
+        cache.insert(key(7, 1), graph(3));
+        cache.insert(key(7, 2), graph(4));
+        let full = cache.lookup_all(fp(7), &[1, 2]).expect("both resident");
+        assert_eq!(full.iter().map(Graph::n).collect::<Vec<_>>(), vec![3, 4]);
+        assert!(cache.lookup_all(fp(7), &[1, 3]).is_none(), "partial hit misses");
+        assert!(cache.lookup_all(fp(7), &[]).is_none(), "empty request never dedups");
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_cache() {
+        let mut cache = DedupCache::new(0);
+        cache.insert(key(1, 1), graph(3));
+        assert!(cache.is_empty());
+        assert!(cache.lookup(key(1, 1)).is_none());
+    }
+
+    #[test]
+    fn reinsert_refreshes_instead_of_growing() {
+        let mut cache = DedupCache::new(2);
+        cache.insert(key(0, 0), graph(3));
+        cache.insert(key(0, 1), graph(4));
+        cache.insert(key(0, 0), graph(5)); // refresh, newer value wins
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.lookup(key(0, 0)).map(Graph::n), Some(5));
+        // The refreshed key is now the most recent: inserting a third key
+        // evicts key(0, 1).
+        cache.insert(key(0, 2), graph(6));
+        assert!(!cache.contains(key(0, 1)));
+    }
+}

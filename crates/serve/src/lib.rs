@@ -19,6 +19,16 @@
 //!   `fairgen_core::checkpoint` files and unknown keys are warm-started
 //!   from disk (including files written by a previous process), so a
 //!   restart costs a deserialization, not a retraining run.
+//! * [`FairGenServer`] — the **concurrent front-end** over all of the
+//!   above: N registry shards (requests route by `fingerprint mod shards`)
+//!   behind per-shard work queues, cross-client coalescing of
+//!   same-fingerprint requests into single `handle_batch` calls, and a
+//!   bounded cross-request [`DedupCache`] that answers repeated
+//!   `(fingerprint, gen_seed)` requests with zero model invocations
+//!   ([`ServedFrom::DedupCache`]). Responses are bit-identical to the
+//!   sequential single-shard path per `(fit_seed, gen_seed)` regardless of
+//!   shard count, queue interleaving, or worker width — see the
+//!   [`server`] module docs for the contract.
 //!
 //! The registry serves any [`PersistableGraphGenerator`] — all six
 //! baselines and FairGen itself (via
@@ -41,10 +51,18 @@
 //! # }
 //! ```
 
+pub mod dedup;
+pub mod queue;
 pub mod registry;
 pub mod request;
+pub mod server;
 
+pub use dedup::{DedupCache, DedupKey};
+pub use queue::PendingResponse;
 pub use registry::{ModelRegistry, RegistryConfig, RegistryStats};
-pub use request::{fingerprint_request, GenerateRequest, GenerateResponse, ServedFrom};
+pub use request::{
+    fingerprint_request, fingerprint_with, GenerateRequest, GenerateResponse, ServedFrom,
+};
+pub use server::{shard_for, FairGenServer, ServerConfig, ServerStats, ShardStats};
 
 pub use fairgen_baselines::persist::{PersistableGenerator, PersistableGraphGenerator};

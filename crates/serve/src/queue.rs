@@ -1,0 +1,171 @@
+//! The per-shard work queue: owned jobs in, fulfilled response slots out.
+//!
+//! [`GenerateRequest`](crate::GenerateRequest) borrows its graph and task —
+//! the right shape for a synchronous registry call, but a queued job must
+//! own its data to cross the thread boundary into a shard worker. The
+//! crate-private `Job` is that owned form ([`Arc`]s, so many same-content
+//! requests share one allocation), paired with a response slot the worker
+//! fulfills and a [`PendingResponse`] the submitting client blocks on.
+//!
+//! The queue itself is a [`fairgen_par::Channel`]: shard workers consume
+//! with [`Channel::drain`], so every request that accumulated while the
+//! worker was busy arrives as one batch — the mechanism behind cross-client
+//! coalescing.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+use fairgen_baselines::TaskSpec;
+use fairgen_core::error::{FairGenError, Result};
+use fairgen_graph::{Graph, GraphFingerprint};
+use fairgen_par::Channel;
+
+use crate::request::GenerateResponse;
+
+/// An owned generation request queued for a shard worker, routed by its
+/// precomputed fingerprint.
+pub(crate) struct Job {
+    pub graph: Arc<Graph>,
+    pub task: Arc<TaskSpec>,
+    pub fit_seed: u64,
+    pub sample_seeds: Vec<u64>,
+    /// The cache key, computed by the front-end's routing generator. The
+    /// shard registry recomputes it from the same content and config, so
+    /// routing and caching can never disagree.
+    pub fingerprint: GraphFingerprint,
+    pub slot: ResponseSlot,
+}
+
+/// A shard's work queue.
+pub(crate) type ShardQueue = Channel<Job>;
+
+struct SlotInner {
+    value: Mutex<Option<Result<GenerateResponse>>>,
+    ready: Condvar,
+}
+
+/// The producer half of a response slot; exactly one `fulfill` call.
+///
+/// Dropping an unfulfilled slot — a shard worker unwinding mid-batch, a
+/// job discarded from a closed queue — delivers a typed `Internal` error
+/// instead of leaving the client parked on the condvar forever.
+pub(crate) struct ResponseSlot {
+    inner: Option<Arc<SlotInner>>,
+}
+
+impl ResponseSlot {
+    /// Delivers the response and wakes the waiting client. Consumes the
+    /// slot, so a double-fulfill is unrepresentable.
+    pub fn fulfill(mut self, response: Result<GenerateResponse>) {
+        self.deliver(response);
+    }
+
+    fn deliver(&mut self, response: Result<GenerateResponse>) {
+        let Some(inner) = self.inner.take() else { return };
+        // Tolerate a poisoned slot mutex: this also runs from `Drop`
+        // during a panic unwind, where a second panic would abort.
+        if let Ok(mut value) = inner.value.lock() {
+            *value = Some(response);
+        }
+        inner.ready.notify_all();
+    }
+}
+
+impl Drop for ResponseSlot {
+    fn drop(&mut self) {
+        self.deliver(Err(FairGenError::Internal {
+            detail: "shard worker dropped the request without serving it".into(),
+        }));
+    }
+}
+
+/// A claim on a response that has been queued but possibly not yet served.
+///
+/// Returned by [`FairGenServer::submit`](crate::FairGenServer::submit);
+/// redeem it with [`PendingResponse::wait`]. Dropping it without waiting
+/// abandons the response (the worker still computes it).
+#[must_use = "a pending response does nothing until waited on"]
+pub struct PendingResponse {
+    inner: Arc<SlotInner>,
+}
+
+impl PendingResponse {
+    /// Blocks until the shard worker fulfills the slot and returns the
+    /// response.
+    pub fn wait(self) -> Result<GenerateResponse> {
+        let mut value = self.inner.value.lock().expect("response slot");
+        loop {
+            if let Some(response) = value.take() {
+                return response;
+            }
+            value = self.inner.ready.wait(value).expect("response slot");
+        }
+    }
+
+    /// Non-blocking probe: takes the response if it is already there.
+    pub fn try_take(&self) -> Option<Result<GenerateResponse>> {
+        self.inner.value.lock().expect("response slot").take()
+    }
+}
+
+impl std::fmt::Debug for PendingResponse {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ready = self.inner.value.lock().expect("response slot").is_some();
+        f.debug_struct("PendingResponse").field("ready", &ready).finish()
+    }
+}
+
+/// A fresh slot/claim pair for one request.
+pub(crate) fn response_slot() -> (ResponseSlot, PendingResponse) {
+    let inner = Arc::new(SlotInner { value: Mutex::new(None), ready: Condvar::new() });
+    (ResponseSlot { inner: Some(Arc::clone(&inner)) }, PendingResponse { inner })
+}
+
+/// The error every queued-but-unserved job receives when its server shuts
+/// down before (or while) processing it.
+pub(crate) fn shutdown_error() -> FairGenError {
+    FairGenError::Internal { detail: "server shut down before serving the request".into() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::ServedFrom;
+    use fairgen_graph::FingerprintBuilder;
+
+    fn dummy_response() -> GenerateResponse {
+        let mut b = FingerprintBuilder::new();
+        b.add_u64(1);
+        GenerateResponse {
+            fingerprint: b.finish(),
+            served_from: ServedFrom::DedupCache,
+            graphs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn fulfilled_slot_wakes_the_waiter() {
+        let (slot, pending) = response_slot();
+        let waiter = std::thread::spawn(move || pending.wait());
+        slot.fulfill(Ok(dummy_response()));
+        let response = waiter.join().expect("waiter").expect("response");
+        assert_eq!(response.served_from, ServedFrom::DedupCache);
+    }
+
+    #[test]
+    fn try_take_is_none_until_fulfilled() {
+        let (slot, pending) = response_slot();
+        assert!(pending.try_take().is_none());
+        slot.fulfill(Err(shutdown_error()));
+        assert!(matches!(pending.try_take(), Some(Err(FairGenError::Internal { .. }))));
+        assert!(pending.try_take().is_none(), "a response is delivered once");
+    }
+
+    #[test]
+    fn dropped_slot_delivers_an_error_instead_of_hanging() {
+        let (slot, pending) = response_slot();
+        let waiter = std::thread::spawn(move || pending.wait());
+        drop(slot); // worker died / job discarded
+        let result = waiter.join().expect("waiter");
+        assert!(matches!(result, Err(FairGenError::Internal { .. })));
+    }
+}

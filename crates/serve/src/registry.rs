@@ -9,7 +9,7 @@ use fairgen_core::checkpoint;
 use fairgen_core::error::{FairGenError, Result};
 use fairgen_graph::{Graph, GraphFingerprint};
 
-use crate::request::{fold_request_content, GenerateRequest, GenerateResponse, ServedFrom};
+use crate::request::{GenerateRequest, GenerateResponse, ServedFrom};
 
 /// Registry resource policy.
 #[derive(Clone, Debug)]
@@ -45,6 +45,26 @@ pub struct RegistryStats {
     pub evictions: u64,
     /// Evicted models spilled to checkpoint files.
     pub spills: u64,
+}
+
+impl RegistryStats {
+    /// Folds another counter set into this one — how a sharded server
+    /// aggregates per-shard registries into fleet totals.
+    pub fn merge(&mut self, other: &RegistryStats) {
+        self.requests += other.requests;
+        self.cold_fits += other.cold_fits;
+        self.memory_hits += other.memory_hits;
+        self.checkpoint_loads += other.checkpoint_loads;
+        self.evictions += other.evictions;
+        self.spills += other.spills;
+    }
+
+    /// Models fitted from scratch — alias for
+    /// [`cold_fits`](RegistryStats::cold_fits) under the serving layer's
+    /// vocabulary ("exactly one fit per distinct fingerprint").
+    pub fn fits(&self) -> u64 {
+        self.cold_fits
+    }
 }
 
 struct Entry {
@@ -134,11 +154,7 @@ impl ModelRegistry {
     /// same family under different configs — never share keys even when
     /// they share a checkpoint directory.
     pub fn fingerprint(&self, g: &Graph, task: &TaskSpec, fit_seed: u64) -> GraphFingerprint {
-        let mut b = fairgen_graph::FingerprintBuilder::new();
-        b.add_str(self.generator.name());
-        self.generator.fold_config(&mut b);
-        fold_request_content(&mut b, g, task, fit_seed);
-        b.finish()
+        crate::request::fingerprint_with(self.generator.as_ref(), g, task, fit_seed)
     }
 
     /// Number of memory-resident models.
@@ -179,13 +195,35 @@ impl ModelRegistry {
     /// back in request order; requests sharing a key all report their
     /// group's [`ServedFrom`].
     pub fn handle_batch(&mut self, reqs: &[GenerateRequest]) -> Result<Vec<GenerateResponse>> {
+        let keys: Vec<GraphFingerprint> =
+            reqs.iter().map(|r| self.fingerprint(r.graph, r.task, r.fit_seed)).collect();
+        self.handle_batch_keyed(reqs, &keys)
+    }
+
+    /// [`ModelRegistry::handle_batch`] with the cache keys precomputed by
+    /// the caller — the serving front-end fingerprints every request once
+    /// at submit time (for shard routing and dedup) and passes the keys
+    /// through, so the shard worker never re-hashes graph content.
+    ///
+    /// `keys[i]` **must** equal `self.fingerprint(...)` of `reqs[i]`
+    /// (guaranteed when both sides derive keys via
+    /// [`fingerprint_with`](crate::request::fingerprint_with) over
+    /// identically-configured generators); a caller that violates this
+    /// caches models under wrong keys.
+    pub fn handle_batch_keyed(
+        &mut self,
+        reqs: &[GenerateRequest],
+        keys: &[GraphFingerprint],
+    ) -> Result<Vec<GenerateResponse>> {
+        if keys.len() != reqs.len() {
+            return Err(FairGenError::Internal {
+                detail: format!("{} requests arrived with {} keys", reqs.len(), keys.len()),
+            });
+        }
         // Group request indices by fingerprint, preserving first-seen order.
         let mut order: Vec<GraphFingerprint> = Vec::new();
         let mut groups: HashMap<GraphFingerprint, Vec<usize>> = HashMap::new();
-        let mut keys: Vec<GraphFingerprint> = Vec::with_capacity(reqs.len());
-        for (i, req) in reqs.iter().enumerate() {
-            let fp = self.fingerprint(req.graph, req.task, req.fit_seed);
-            keys.push(fp);
+        for (i, &fp) in keys.iter().enumerate() {
             let slot = groups.entry(fp).or_default();
             if slot.is_empty() {
                 order.push(fp);

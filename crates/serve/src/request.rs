@@ -52,6 +52,11 @@ pub enum ServedFrom {
     Memory,
     /// Warm start: the model was reloaded from a checkpoint file.
     Checkpoint,
+    /// Every requested `(fingerprint, gen_seed)` pair was already in the
+    /// cross-request sample-dedup cache: the response was assembled from
+    /// cached graphs with **zero** model invocations (only the
+    /// [`FairGenServer`](crate::FairGenServer) path produces this).
+    DedupCache,
 }
 
 /// The registry's answer to a [`GenerateRequest`].
@@ -100,6 +105,28 @@ pub fn fingerprint_request(
 ) -> GraphFingerprint {
     let mut b = FingerprintBuilder::new();
     b.add_str(generator_name);
+    fold_request_content(&mut b, graph, task, fit_seed);
+    b.finish()
+}
+
+/// The exact cache key a registry or server over `generator` assigns to a
+/// request: family name, hyperparameters (via [`fold_config`][fold]), and
+/// request content. [`ModelRegistry::fingerprint`][reg] and
+/// [`FairGenServer::route`](crate::FairGenServer::route) both derive their
+/// keys through this one function, so routing, dedup keying, and registry
+/// caching can never disagree.
+///
+/// [fold]: fairgen_baselines::persist::PersistableGraphGenerator::fold_config
+/// [reg]: crate::ModelRegistry::fingerprint
+pub fn fingerprint_with(
+    generator: &dyn fairgen_baselines::persist::PersistableGraphGenerator,
+    graph: &Graph,
+    task: &TaskSpec,
+    fit_seed: u64,
+) -> GraphFingerprint {
+    let mut b = FingerprintBuilder::new();
+    b.add_str(generator.name());
+    generator.fold_config(&mut b);
     fold_request_content(&mut b, graph, task, fit_seed);
     b.finish()
 }

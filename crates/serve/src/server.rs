@@ -1,0 +1,460 @@
+//! `FairGenServer`: the concurrent serving front-end over the model
+//! registry.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  clients (any thread) ──▶ fingerprint ──▶ shard = fp mod N
+//!                                             │
+//!                         ┌───────────────────┼───────────────────┐
+//!                         ▼                   ▼                   ▼
+//!                   work queue 0        work queue 1   …    work queue N−1
+//!                         │ drain             │ drain            │ drain
+//!                         ▼                   ▼                  ▼
+//!                   shard worker 0      shard worker 1      shard worker N−1
+//!                   DedupCache +        DedupCache +        DedupCache +
+//!                   ModelRegistry       ModelRegistry       ModelRegistry
+//! ```
+//!
+//! * **Sharding** — requests route by [`shard_for`] (`fingerprint mod
+//!   shards`), so one hot graph saturates one worker while every other
+//!   fingerprint keeps flowing; a fingerprint always lands on the same
+//!   shard, which is what makes "exactly one fit per fingerprint" hold
+//!   without any cross-shard locking.
+//! * **Coalescing** — each worker drains its queue in batches
+//!   ([`Channel::drain`](fairgen_par::Channel::drain)): every request that
+//!   arrived while it was busy is grouped by fingerprint and each group
+//!   goes through **one** [`ModelRegistry::handle_batch`] call.
+//! * **Dedup** — before touching the registry, a worker checks its
+//!   [`DedupCache`]: a request whose every `(fingerprint, gen_seed)` pair
+//!   has been served before is answered from cache with zero model
+//!   invocations ([`ServedFrom::DedupCache`]).
+//!
+//! # Determinism contract
+//!
+//! Responses are **bit-identical to the sequential single-shard path** per
+//! `(fit_seed, gen_seed)`, regardless of shard count, queue interleaving,
+//! worker width, or dedup behavior. This is free by construction — fitting
+//! is deterministic in `(graph, task, fit_seed)`, generation is
+//! deterministic in `(model, gen_seed)` at any pool width (the PR 3/PR 4
+//! parity contracts), and the dedup cache only replays graphs generation
+//! would reproduce — and it is *asserted* against a sequential
+//! [`ModelRegistry`] oracle in `tests/server_stress.rs`.
+
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use fairgen_baselines::persist::PersistableGraphGenerator;
+use fairgen_baselines::TaskSpec;
+use fairgen_core::error::{FairGenError, Result};
+use fairgen_graph::{Graph, GraphFingerprint};
+
+use crate::dedup::{DedupCache, DedupKey};
+use crate::queue::{response_slot, shutdown_error, Job, PendingResponse, ShardQueue};
+use crate::registry::{ModelRegistry, RegistryConfig, RegistryStats};
+use crate::request::{GenerateRequest, GenerateResponse, ServedFrom};
+
+/// The shard a fingerprint routes to: `fp mod shards`. Pure, stable, and
+/// uniform-ish over distinct fingerprints (proptested in
+/// `tests/shard_routing.rs`).
+pub fn shard_for(fp: GraphFingerprint, shards: usize) -> usize {
+    debug_assert!(shards >= 1);
+    (fp.as_u128() % shards.max(1) as u128) as usize
+}
+
+/// Server resource policy.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Number of registry shards (= worker threads). Must be at least 1.
+    pub shards: usize,
+    /// Per-shard registry policy. A configured `checkpoint_dir` is shared
+    /// by every shard — files are fingerprint-named, so shards never
+    /// collide — and shard workers spill their dirty models there on
+    /// shutdown, making a graceful stop warm-startable.
+    pub registry: RegistryConfig,
+    /// Per-shard sample-dedup budget, in cached graphs. Zero disables
+    /// cross-request dedup.
+    pub dedup_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { shards: 4, registry: RegistryConfig::default(), dedup_capacity: 256 }
+    }
+}
+
+/// Per-shard serving counters, aggregated by [`FairGenServer::stats`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShardStats {
+    /// The shard registry's lifetime counters.
+    pub registry: RegistryStats,
+    /// Requests answered entirely from the dedup cache (zero model
+    /// invocations; these never reach the registry, so they are *not* in
+    /// `registry.requests`).
+    pub dedup_hits: u64,
+    /// `(fingerprint, gen_seed)` pairs inserted into the dedup cache.
+    pub dedup_inserts: u64,
+    /// Graphs currently resident in the dedup cache.
+    pub dedup_resident: usize,
+    /// Queue drains processed (each is one coalescing opportunity).
+    pub drains: u64,
+    /// Largest number of requests taken in a single drain — how much
+    /// cross-client coalescing actually happened under load.
+    pub max_drain: usize,
+}
+
+/// A snapshot of the whole server's counters.
+#[derive(Clone, Debug, Default)]
+pub struct ServerStats {
+    /// Per-shard snapshots, indexed by shard id.
+    pub per_shard: Vec<ShardStats>,
+}
+
+impl ServerStats {
+    /// Models fitted from scratch across all shards — with stable routing
+    /// this is exactly the number of distinct fingerprints served.
+    pub fn fits(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.registry.cold_fits).sum()
+    }
+
+    /// Requests answered across all shards (registry-served + dedup-served).
+    pub fn requests(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.registry.requests + s.dedup_hits).sum()
+    }
+
+    /// Requests served entirely from the dedup cache.
+    pub fn dedup_hits(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.dedup_hits).sum()
+    }
+
+    /// Aggregated registry counters.
+    pub fn registry(&self) -> RegistryStats {
+        let mut total = RegistryStats::default();
+        for shard in &self.per_shard {
+            total.merge(&shard.registry);
+        }
+        total
+    }
+
+    /// The largest single queue drain observed on any shard.
+    pub fn max_drain(&self) -> usize {
+        self.per_shard.iter().map(|s| s.max_drain).max().unwrap_or(0)
+    }
+}
+
+struct Shard {
+    queue: Arc<ShardQueue>,
+    stats: Arc<Mutex<ShardStats>>,
+    worker: Option<JoinHandle<()>>,
+}
+
+/// A thread-safe serving front-end: N registry shards behind work queues,
+/// cross-client request coalescing, and cross-request sample dedup. See the
+/// [module docs](self) for the architecture and determinism contract.
+///
+/// ```no_run
+/// use fairgen_baselines::{ErGenerator, TaskSpec};
+/// use fairgen_serve::{FairGenServer, ServerConfig};
+/// # fn demo(g: fairgen_graph::Graph) -> fairgen_core::error::Result<()> {
+/// let server = FairGenServer::new(|| Box::new(ErGenerator), ServerConfig::default())?;
+/// let task = TaskSpec::unlabeled();
+/// // Blocking round-trip from any thread:
+/// let response = server.handle(&g, &task, 42, vec![1, 2])?;
+/// // …or submit now, wait later (other clients coalesce in between):
+/// let pending = server.submit(&g, &task, 42, vec![3])?;
+/// let later = pending.wait()?;
+/// # let _ = (response, later); Ok(())
+/// # }
+/// ```
+pub struct FairGenServer {
+    /// Computes request fingerprints on the submitting thread; never fits.
+    router: Box<dyn PersistableGraphGenerator>,
+    shards: Vec<Shard>,
+}
+
+impl FairGenServer {
+    /// Builds a server whose shards each own one registry over
+    /// `make_generator()`. The factory must return identically-configured
+    /// generators — the router instance fingerprints requests, so a factory
+    /// that varied its config would route inconsistently (it would still
+    /// serve *correct* graphs, just with duplicated fits).
+    ///
+    /// # Errors
+    ///
+    /// [`FairGenError::InvalidConfig`] on zero shards or an invalid
+    /// per-shard registry policy; [`FairGenError::Io`] when the checkpoint
+    /// directory cannot be created.
+    pub fn new<F>(make_generator: F, cfg: ServerConfig) -> Result<Self>
+    where
+        F: Fn() -> Box<dyn PersistableGraphGenerator>,
+    {
+        if cfg.shards == 0 {
+            return Err(FairGenError::InvalidConfig {
+                field: "shards",
+                message: "a server needs at least one registry shard".into(),
+            });
+        }
+        // Build shards *inside* the server so a mid-loop failure (bad
+        // registry config, thread-spawn error) drops the partial server,
+        // whose `Drop` shuts down — closes the queues of — every worker
+        // already spawned instead of leaking them parked in `drain()`.
+        let mut server =
+            FairGenServer { router: make_generator(), shards: Vec::with_capacity(cfg.shards) };
+        for id in 0..cfg.shards {
+            let registry = ModelRegistry::with_config(make_generator(), cfg.registry.clone())?;
+            let queue = Arc::new(ShardQueue::new());
+            let stats = Arc::new(Mutex::new(ShardStats::default()));
+            let worker = {
+                let queue = Arc::clone(&queue);
+                let stats = Arc::clone(&stats);
+                let dedup_capacity = cfg.dedup_capacity;
+                std::thread::Builder::new()
+                    .name(format!("fairgen-shard-{id}"))
+                    .spawn(move || shard_worker(registry, &queue, &stats, dedup_capacity))
+                    .map_err(|e| FairGenError::Internal {
+                        detail: format!("failed to spawn shard worker {id}: {e}"),
+                    })?
+            };
+            server.shards.push(Shard { queue, stats, worker: Some(worker) });
+        }
+        Ok(server)
+    }
+
+    /// Number of registry shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The generator family this server serves.
+    pub fn generator_name(&self) -> &'static str {
+        self.router.name()
+    }
+
+    /// The cache key a request maps to and the shard it routes to. The key
+    /// comes from the same derivation as [`ModelRegistry::fingerprint`]
+    /// ([`fingerprint_with`](crate::request::fingerprint_with)), so routing
+    /// and shard-registry caching can never disagree.
+    pub fn route(
+        &self,
+        g: &Graph,
+        task: &TaskSpec,
+        fit_seed: u64,
+    ) -> (GraphFingerprint, usize) {
+        let fp = crate::request::fingerprint_with(self.router.as_ref(), g, task, fit_seed);
+        (fp, shard_for(fp, self.shards.len()))
+    }
+
+    /// Enqueues one request (cloning the graph and task into the job) and
+    /// returns immediately with a [`PendingResponse`]. Callable from any
+    /// number of threads at once.
+    pub fn submit(
+        &self,
+        g: &Graph,
+        task: &TaskSpec,
+        fit_seed: u64,
+        sample_seeds: Vec<u64>,
+    ) -> Result<PendingResponse> {
+        self.submit_shared(Arc::new(g.clone()), Arc::new(task.clone()), fit_seed, sample_seeds)
+    }
+
+    /// [`submit`](FairGenServer::submit) without the clone: clients that
+    /// already hold their graph/task behind [`Arc`]s share the allocation
+    /// with the queue.
+    pub fn submit_shared(
+        &self,
+        graph: Arc<Graph>,
+        task: Arc<TaskSpec>,
+        fit_seed: u64,
+        sample_seeds: Vec<u64>,
+    ) -> Result<PendingResponse> {
+        let (fingerprint, shard) = self.route(&graph, &task, fit_seed);
+        let (slot, pending) = response_slot();
+        let job = Job { graph, task, fit_seed, sample_seeds, fingerprint, slot };
+        self.shards[shard].queue.push(job).map_err(|_| shutdown_error())?;
+        Ok(pending)
+    }
+
+    /// Blocking round-trip: submit, then wait. The concurrent counterpart
+    /// of [`ModelRegistry::handle`].
+    pub fn handle(
+        &self,
+        g: &Graph,
+        task: &TaskSpec,
+        fit_seed: u64,
+        sample_seeds: Vec<u64>,
+    ) -> Result<GenerateResponse> {
+        self.submit(g, task, fit_seed, sample_seeds)?.wait()
+    }
+
+    /// A snapshot of every shard's counters. Shard workers publish their
+    /// counters *before* fulfilling the drain's responses, so once a client
+    /// has seen a response, a later snapshot reflects it.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            per_shard: self
+                .shards
+                .iter()
+                .map(|s| *s.stats.lock().expect("shard stats"))
+                .collect(),
+        }
+    }
+
+    /// Graceful shutdown: closes every queue, lets the workers serve the
+    /// backlog, spill their dirty models (when a checkpoint directory is
+    /// configured), and exit. Idempotent; also run by `Drop`.
+    pub fn shutdown(&mut self) {
+        for shard in &self.shards {
+            shard.queue.close();
+        }
+        for shard in &mut self.shards {
+            if let Some(worker) = shard.worker.take() {
+                // A panicking worker already fulfilled or abandoned its
+                // jobs; surfacing the panic here would abort the server's
+                // owner mid-shutdown for no benefit.
+                let _ = worker.join();
+            }
+        }
+    }
+}
+
+impl Drop for FairGenServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for FairGenServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FairGenServer")
+            .field("generator", &self.router.name())
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+/// One shard's serve loop: drain → dedup-check → per-fingerprint
+/// `handle_batch` → publish stats → fulfill responses.
+fn shard_worker(
+    mut registry: ModelRegistry,
+    queue: &ShardQueue,
+    stats: &Mutex<ShardStats>,
+    dedup_capacity: usize,
+) {
+    // Failsafe: whatever takes this worker down — a panic inside a
+    // user-provided generator included — close the queue so later submits
+    // fail fast, and discard the backlog so every stranded job's slot
+    // delivers its typed drop-error instead of parking its client forever.
+    // On a normal shutdown both actions are no-ops.
+    struct Failsafe<'a>(&'a ShardQueue);
+    impl Drop for Failsafe<'_> {
+        fn drop(&mut self) {
+            self.0.close();
+            drop(self.0.try_drain());
+        }
+    }
+    let _failsafe = Failsafe(queue);
+
+    let mut dedup = DedupCache::new(dedup_capacity);
+    let mut dedup_hits = 0u64;
+    let mut dedup_inserts = 0u64;
+    let mut drains = 0u64;
+    let mut max_drain = 0usize;
+    loop {
+        let jobs = queue.drain();
+        if jobs.is_empty() {
+            break; // Closed and fully drained.
+        }
+        drains += 1;
+        max_drain = max_drain.max(jobs.len());
+
+        // Dedup pass: answer fully-cached requests without the registry.
+        let mut fulfilled: Vec<(crate::queue::ResponseSlot, Result<GenerateResponse>)> =
+            Vec::with_capacity(jobs.len());
+        let mut pending: Vec<Job> = Vec::new();
+        for job in jobs {
+            match dedup.lookup_all(job.fingerprint, &job.sample_seeds) {
+                Some(graphs) => {
+                    dedup_hits += 1;
+                    let response = GenerateResponse {
+                        fingerprint: job.fingerprint,
+                        served_from: ServedFrom::DedupCache,
+                        graphs,
+                    };
+                    fulfilled.push((job.slot, Ok(response)));
+                }
+                None => pending.push(job),
+            }
+        }
+
+        // Coalesce the rest: group by fingerprint (first-seen order), one
+        // `handle_batch` call per group.
+        let mut groups: Vec<(GraphFingerprint, Vec<Job>)> = Vec::new();
+        for job in pending {
+            match groups.iter_mut().find(|(fp, _)| *fp == job.fingerprint) {
+                Some((_, members)) => members.push(job),
+                None => groups.push((job.fingerprint, vec![job])),
+            }
+        }
+        for (fp, members) in groups {
+            let reqs: Vec<GenerateRequest> = members
+                .iter()
+                .map(|j| {
+                    GenerateRequest::new(&j.graph, &j.task, j.fit_seed, j.sample_seeds.clone())
+                })
+                .collect();
+            // Keys were computed once at submit time; the registry must not
+            // re-hash every graph on this (per-shard serialized) thread.
+            let keys = vec![fp; reqs.len()];
+            match registry.handle_batch_keyed(&reqs, &keys) {
+                Ok(responses) => {
+                    for (job, response) in members.into_iter().zip(responses) {
+                        for (&seed, graph) in job.sample_seeds.iter().zip(&response.graphs) {
+                            dedup.insert(
+                                DedupKey { fingerprint: fp, gen_seed: seed },
+                                graph.clone(),
+                            );
+                            dedup_inserts += 1;
+                        }
+                        fulfilled.push((job.slot, Ok(response)));
+                    }
+                }
+                Err(e) => {
+                    // One typed error, `members.len()` waiting clients:
+                    // `FairGenError` is not `Clone`, so the first requester
+                    // gets the original and the rest get its rendering.
+                    let detail = format!("coalesced batch for fingerprint {fp} failed: {e}");
+                    let mut original = Some(e);
+                    for job in members {
+                        let err = match original.take() {
+                            Some(e) => e,
+                            None => FairGenError::Internal { detail: detail.clone() },
+                        };
+                        fulfilled.push((job.slot, Err(err)));
+                    }
+                }
+            }
+        }
+
+        // Publish counters BEFORE waking clients, so `stats()` observed
+        // after a response always includes it.
+        {
+            let mut shared = stats.lock().expect("shard stats");
+            shared.registry = registry.stats();
+            shared.dedup_hits = dedup_hits;
+            shared.dedup_inserts = dedup_inserts;
+            shared.dedup_resident = dedup.len();
+            shared.drains = drains;
+            shared.max_drain = max_drain;
+        }
+        for (slot, response) in fulfilled {
+            slot.fulfill(response);
+        }
+    }
+    // Graceful exit: demote dirty models to the checkpoint directory (a
+    // no-op without one) so a successor server warm-starts instead of
+    // refitting. Failures here have no client to report to.
+    let _ = registry.spill_all();
+    if let Ok(mut shared) = stats.lock() {
+        shared.registry = registry.stats();
+    }
+}

@@ -1,0 +1,160 @@
+//! Model-based property tests for the cross-request [`DedupCache`]: under
+//! random interleavings of insert / lookup (and the evictions they force),
+//! the cache must never return a sample for the wrong key, never exceed its
+//! capacity, and evict exactly the least-recently-used entry (ties on the
+//! key, like the model registry).
+
+use std::collections::HashMap;
+
+use fairgen_graph::{FingerprintBuilder, Graph, GraphFingerprint};
+use fairgen_serve::{DedupCache, DedupKey};
+use proptest::prelude::*;
+
+const TAGS: u64 = 4;
+const SEEDS: u64 = 8;
+
+fn fp(tag: u64) -> GraphFingerprint {
+    let mut b = FingerprintBuilder::new();
+    b.add_u64(tag);
+    b.finish()
+}
+
+fn key(tag: u64, seed: u64) -> DedupKey {
+    DedupKey { fingerprint: fp(tag), gen_seed: seed }
+}
+
+/// Every (tag, seed) pair gets a structurally unique graph — a ring whose
+/// size encodes the pair — so a wrong-key return is detectable from the
+/// value alone.
+fn graph_for(tag: u64, seed: u64) -> Graph {
+    let n = (3 + tag * SEEDS + seed) as u32;
+    Graph::from_edges(n as usize, &(0..n).map(|i| (i, (i + 1) % n)).collect::<Vec<_>>())
+}
+
+/// Reference LRU model mirroring the cache's documented discipline: a clock
+/// bumped on every operation, recency refreshed on hit and insert, victim =
+/// min `(last_used, key)`.
+struct ModelLru {
+    capacity: usize,
+    clock: u64,
+    slots: HashMap<DedupKey, ((u64, u64), u64)>, // key -> ((tag, seed), last_used)
+}
+
+impl ModelLru {
+    fn new(capacity: usize) -> Self {
+        ModelLru { capacity, clock: 0, slots: HashMap::new() }
+    }
+
+    fn lookup(&mut self, k: DedupKey) -> Option<(u64, u64)> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.slots.get_mut(&k).map(|entry| {
+            entry.1 = clock;
+            entry.0
+        })
+    }
+
+    fn insert(&mut self, k: DedupKey, tag: u64, seed: u64) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.clock += 1;
+        self.slots.insert(k, ((tag, seed), self.clock));
+        while self.slots.len() > self.capacity {
+            let victim = self
+                .slots
+                .iter()
+                .min_by_key(|(&k, &(_, used))| (used, k))
+                .map(|(&k, _)| k)
+                .expect("over capacity");
+            self.slots.remove(&victim);
+        }
+    }
+}
+
+/// One scripted operation: `kind` even = insert, odd = lookup.
+fn arb_ops() -> impl Strategy<Value = Vec<(u8, u64, u64)>> {
+    proptest::collection::vec((0u8..2, 0..TAGS, 0..SEEDS), 1..80)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_interleavings_never_serve_the_wrong_key(
+        ops in arb_ops(),
+        capacity in 0usize..6,
+    ) {
+        let mut cache = DedupCache::new(capacity);
+        let mut model = ModelLru::new(capacity);
+        for &(kind, tag, seed) in &ops {
+            let k = key(tag, seed);
+            if kind == 0 {
+                cache.insert(k, graph_for(tag, seed));
+                model.insert(k, tag, seed);
+            } else {
+                let got = cache.lookup(k).cloned();
+                let want = model.lookup(k);
+                match (got, want) {
+                    (None, None) => {}
+                    (Some(g), Some((t, s))) => {
+                        // The value must be the one inserted under exactly
+                        // this key — a ring whose size encodes (tag, seed).
+                        prop_assert_eq!(g, graph_for(t, s), "wrong-key value");
+                        prop_assert_eq!((t, s), (tag, seed));
+                    }
+                    (got, want) => {
+                        return Err(TestCaseError::Fail(format!(
+                            "hit/miss divergence on {k:?}: cache {:?}, model {:?}",
+                            got.map(|g| g.n()),
+                            want
+                        )));
+                    }
+                }
+            }
+            // The capacity bound is an invariant, not a final condition.
+            prop_assert!(cache.len() <= capacity, "cache grew past its budget");
+            prop_assert_eq!(cache.len(), model.slots.len());
+        }
+        // The resident sets agree exactly — evictions picked the same
+        // (LRU, key-tiebroken) victims throughout.
+        for tag in 0..TAGS {
+            for seed in 0..SEEDS {
+                let k = key(tag, seed);
+                prop_assert_eq!(
+                    cache.contains(k),
+                    model.slots.contains_key(&k),
+                    "residency diverged for {:?}", k
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_all_only_fires_on_full_residency(
+        ops in arb_ops(),
+        capacity in 1usize..6,
+        probe_tag in 0..TAGS,
+    ) {
+        let mut cache = DedupCache::new(capacity);
+        for &(kind, tag, seed) in &ops {
+            if kind == 0 {
+                cache.insert(key(tag, seed), graph_for(tag, seed));
+            } else {
+                let _ = cache.lookup(key(tag, seed));
+            }
+        }
+        let seeds = [0u64, 1];
+        let all_resident = seeds.iter().all(|&s| cache.contains(key(probe_tag, s)));
+        match cache.lookup_all(fp(probe_tag), &seeds) {
+            Some(graphs) => {
+                prop_assert!(all_resident, "partial residency must not dedup");
+                prop_assert_eq!(graphs.len(), seeds.len());
+                for (&s, g) in seeds.iter().zip(&graphs) {
+                    prop_assert_eq!(g, &graph_for(probe_tag, s), "wrong-key batch value");
+                }
+            }
+            None => prop_assert!(!all_resident, "full residency must dedup"),
+        }
+    }
+}

@@ -1,8 +1,8 @@
 //! Registry behaviour: fit-once/serve-many, batching, LRU, spill and warm
 //! start.
 
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use fairgen_baselines::persist::{PersistableGenerator, PersistableGraphGenerator};
 use fairgen_baselines::{ErGenerator, GraphGenerator, TaskSpec};
@@ -13,9 +13,11 @@ use fairgen_serve::{GenerateRequest, ModelRegistry, RegistryConfig, ServedFrom};
 
 /// Wraps a generator and counts how many times `fit_persistable` runs —
 /// the registry's whole point is keeping this number at one per key.
+/// (Atomic because `PersistableGraphGenerator` is `Send + Sync` — the
+/// serving front-end shares generators across shard workers.)
 struct CountingGen<G> {
     inner: G,
-    fits: Rc<Cell<usize>>,
+    fits: Arc<AtomicUsize>,
 }
 
 impl<G: GraphGenerator> GraphGenerator for CountingGen<G> {
@@ -39,14 +41,14 @@ impl<G: PersistableGraphGenerator> PersistableGraphGenerator for CountingGen<G> 
         task: &TaskSpec,
         seed: u64,
     ) -> Result<Box<dyn PersistableGenerator>> {
-        self.fits.set(self.fits.get() + 1);
+        self.fits.fetch_add(1, Ordering::SeqCst);
         self.inner.fit_persistable(g, task, seed)
     }
 }
 
-fn counting_er() -> (Box<dyn PersistableGraphGenerator>, Rc<Cell<usize>>) {
-    let fits = Rc::new(Cell::new(0));
-    (Box::new(CountingGen { inner: ErGenerator, fits: Rc::clone(&fits) }), fits)
+fn counting_er() -> (Box<dyn PersistableGraphGenerator>, Arc<AtomicUsize>) {
+    let fits = Arc::new(AtomicUsize::new(0));
+    (Box::new(CountingGen { inner: ErGenerator, fits: Arc::clone(&fits) }), fits)
 }
 
 fn ring(n: u32) -> Graph {
@@ -68,12 +70,16 @@ fn second_request_served_with_zero_refits() {
 
     let first = registry.handle(&GenerateRequest::single(&g, &task, 42, 1)).expect("first");
     assert_eq!(first.served_from, ServedFrom::ColdFit);
-    assert_eq!(fits.get(), 1);
+    assert_eq!(fits.load(Ordering::SeqCst), 1);
 
     let second =
         registry.handle(&GenerateRequest::new(&g, &task, 42, vec![2, 3])).expect("second");
     assert_eq!(second.served_from, ServedFrom::Memory);
-    assert_eq!(fits.get(), 1, "second request must be served with zero refits");
+    assert_eq!(
+        fits.load(Ordering::SeqCst),
+        1,
+        "second request must be served with zero refits"
+    );
     assert_eq!(second.graphs.len(), 2);
     assert_eq!(first.fingerprint, second.fingerprint);
 
@@ -97,7 +103,7 @@ fn distinct_fit_inputs_get_distinct_models() {
     registry.handle(&GenerateRequest::single(&g, &task, 1, 0)).expect("g");
     registry.handle(&GenerateRequest::single(&h, &task, 1, 0)).expect("h");
     registry.handle(&GenerateRequest::single(&g, &task, 2, 0)).expect("g, new fit seed");
-    assert_eq!(fits.get(), 3);
+    assert_eq!(fits.load(Ordering::SeqCst), 3);
     assert_eq!(registry.len(), 3);
 }
 
@@ -114,7 +120,7 @@ fn handle_batch_coalesces_same_key_requests() {
         GenerateRequest::single(&g, &task, 7, 3),
     ];
     let responses = registry.handle_batch(&reqs).expect("batch");
-    assert_eq!(fits.get(), 2, "three requests over two keys must fit twice");
+    assert_eq!(fits.load(Ordering::SeqCst), 2, "three requests over two keys must fit twice");
     assert_eq!(responses.len(), 3);
     assert_eq!(responses[0].graphs.len(), 2);
     assert_eq!(responses[1].graphs.len(), 1);
@@ -153,7 +159,7 @@ fn lru_eviction_respects_budget_and_recency() {
     // A re-request for the victim refits (no checkpoint dir to warm from).
     let again = registry.handle(&GenerateRequest::single(&b, &task, 0, 1)).expect("b refit");
     assert_eq!(again.served_from, ServedFrom::ColdFit);
-    assert_eq!(fits.get(), 4);
+    assert_eq!(fits.load(Ordering::SeqCst), 4);
 }
 
 #[test]
@@ -176,7 +182,7 @@ fn eviction_spills_and_warm_starts_from_checkpoint() {
     let warm = registry.handle(&GenerateRequest::single(&a, &task, 3, 5)).expect("a warm");
     assert_eq!(warm.served_from, ServedFrom::Checkpoint);
     assert_eq!(warm.graphs, cold.graphs, "warm-started model must generate identically");
-    assert_eq!(fits.get(), 2, "warm start must not refit");
+    assert_eq!(fits.load(Ordering::SeqCst), 2, "warm start must not refit");
     assert_eq!(registry.stats().checkpoint_loads, 1);
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -200,7 +206,7 @@ fn fresh_registry_warm_starts_from_a_previous_process() {
     let revived = second.handle(&GenerateRequest::single(&g, &task, 8, 2)).expect("warm");
     assert_eq!(revived.served_from, ServedFrom::Checkpoint);
     assert_eq!(revived.graphs, original.graphs);
-    assert_eq!(fits2.get(), 0, "the restarted process never refits");
+    assert_eq!(fits2.load(Ordering::SeqCst), 0, "the restarted process never refits");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -1,0 +1,337 @@
+//! Concurrency stress harness for [`FairGenServer`]: M client threads × K
+//! rounds over G distinct graphs against a sharded server.
+//!
+//! The assertions are the serving layer's whole contract:
+//!
+//! * every concurrent response is **byte-identical** to a sequential
+//!   single-shard [`ModelRegistry`] oracle per `(fit_seed, gen_seed)`,
+//!   regardless of shard routing, queue interleaving, or coalescing;
+//! * exactly **one fit per distinct fingerprint** (`stats().fits() == G`);
+//! * repeated `(fingerprint, seed)` requests are answered from the dedup
+//!   cache with zero model invocations.
+//!
+//! CI runs this suite at `FAIRGEN_THREADS=1` and at the default pool width,
+//! so the contract is exercised both with and without sampling parallelism
+//! underneath the shard workers.
+
+use std::sync::Arc;
+
+use fairgen_baselines::{ErGenerator, TaskSpec};
+use fairgen_core::error::FairGenError;
+use fairgen_core::{FairGenConfig, FairGenGenerator};
+use fairgen_graph::Graph;
+use fairgen_serve::{
+    FairGenServer, GenerateRequest, ModelRegistry, RegistryConfig, ServedFrom, ServerConfig,
+};
+
+/// M client threads.
+const CLIENTS: usize = 8;
+/// K request rounds per client (each round sends its request twice — the
+/// second send is the dedup candidate).
+const ROUNDS: usize = 6;
+/// G distinct graphs (= distinct fingerprints under one fit seed).
+const GRAPHS: usize = 4;
+
+const FIT_SEED: u64 = 7;
+
+fn ring(n: u32) -> Graph {
+    Graph::from_edges(n as usize, &(0..n).map(|i| (i, (i + 1) % n)).collect::<Vec<_>>())
+}
+
+fn tenant_graphs() -> Vec<Arc<Graph>> {
+    (0..GRAPHS).map(|i| Arc::new(ring(16 + i as u32))).collect()
+}
+
+/// The deterministic request schedule: which graph and which sample seeds
+/// client `c` asks for in round `r`. Seeds depend only on the round, so
+/// clients `c` and `c + GRAPHS` issue identical requests — cross-client
+/// duplicates by construction, on top of each client's own repeat.
+fn schedule(client: usize, round: usize) -> (usize, Vec<u64>) {
+    ((client + round) % GRAPHS, vec![round as u64, round as u64 * 31 + 1])
+}
+
+// `round` indexes `expected[gi]` where `gi` itself depends on `round`, so
+// the loop cannot become an iterator chain.
+#[allow(clippy::needless_range_loop)]
+#[test]
+fn concurrent_sharded_responses_match_the_sequential_oracle() {
+    let graphs = tenant_graphs();
+    let task = Arc::new(TaskSpec::unlabeled());
+
+    // Sequential single-shard oracle: a plain synchronous registry, one
+    // request per distinct (graph, round) content, handled in a fixed
+    // order on this thread.
+    let mut oracle = ModelRegistry::new(Box::new(ErGenerator));
+    let mut expected: Vec<Vec<Vec<Graph>>> = vec![Vec::new(); GRAPHS];
+    for (gi, graph) in graphs.iter().enumerate() {
+        for round in 0..ROUNDS {
+            // Seeds depend only on the round (see `schedule`), so the
+            // oracle enumerates (graph, round) once each.
+            let seeds = schedule(0, round).1;
+            let response = oracle
+                .handle(&GenerateRequest::new(graph, &task, FIT_SEED, seeds))
+                .expect("oracle serve");
+            expected[gi].push(response.graphs);
+        }
+    }
+
+    let server = FairGenServer::new(
+        || Box::new(ErGenerator),
+        ServerConfig {
+            shards: 4,
+            registry: RegistryConfig { capacity: GRAPHS, checkpoint_dir: None },
+            dedup_capacity: 1024,
+        },
+    )
+    .expect("server");
+
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let server = &server;
+            let graphs = &graphs;
+            let task = &task;
+            let expected = &expected;
+            scope.spawn(move || {
+                for round in 0..ROUNDS {
+                    let (gi, seeds) = schedule(client, round);
+                    // First send: may be a cold fit, a memory hit, or — when
+                    // a sibling client got there first — a dedup hit. The
+                    // bytes must be the oracle's either way.
+                    let first = server
+                        .submit_shared(
+                            Arc::clone(&graphs[gi]),
+                            Arc::clone(task),
+                            FIT_SEED,
+                            seeds.clone(),
+                        )
+                        .expect("submit")
+                        .wait()
+                        .expect("serve");
+                    assert_eq!(
+                        first.graphs, expected[gi][round],
+                        "client {client} round {round}: response diverged from the oracle"
+                    );
+                    // Identical repeat: by now every (fingerprint, seed)
+                    // pair of this request is cached, so this *must* be a
+                    // pure dedup hit with the same bytes.
+                    let again = server
+                        .handle(&graphs[gi], task, FIT_SEED, seeds)
+                        .expect("repeat serve");
+                    assert_eq!(
+                        again.served_from,
+                        ServedFrom::DedupCache,
+                        "client {client} round {round}: repeat must be served from dedup"
+                    );
+                    assert_eq!(
+                        again.graphs, expected[gi][round],
+                        "client {client} round {round}: dedup response diverged"
+                    );
+                }
+            });
+        }
+    });
+
+    let stats = server.stats();
+    assert_eq!(stats.fits(), GRAPHS as u64, "exactly one fit per distinct fingerprint");
+    assert!(stats.dedup_hits() > 0, "repeated (fingerprint, seed) pairs must hit the cache");
+    assert!(
+        stats.dedup_hits() >= (CLIENTS * ROUNDS) as u64,
+        "every repeat send is a guaranteed dedup hit"
+    );
+    assert_eq!(
+        stats.requests(),
+        (CLIENTS * ROUNDS * 2) as u64,
+        "every submitted request is answered and counted exactly once"
+    );
+    assert_eq!(stats.per_shard.len(), 4);
+}
+
+#[test]
+fn same_fingerprint_requests_coalesce_to_one_fit_per_shard_history() {
+    // A burst of same-key submissions from many clients: whatever the queue
+    // interleaving, the shard fits once and answers everyone identically.
+    let g = Arc::new(ring(24));
+    let task = Arc::new(TaskSpec::unlabeled());
+    let server =
+        FairGenServer::new(|| Box::new(ErGenerator), ServerConfig::default()).expect("server");
+
+    let mut expected_oracle = ModelRegistry::new(Box::new(ErGenerator));
+    let expected = expected_oracle
+        .handle(&GenerateRequest::new(&g, &task, 1, vec![5]))
+        .expect("oracle")
+        .graphs;
+
+    std::thread::scope(|scope| {
+        for _ in 0..12 {
+            let server = &server;
+            let g = &g;
+            let task = &task;
+            let expected = &expected;
+            scope.spawn(move || {
+                let response = server
+                    .submit_shared(Arc::clone(g), Arc::clone(task), 1, vec![5])
+                    .expect("submit")
+                    .wait()
+                    .expect("serve");
+                assert_eq!(&response.graphs, expected);
+            });
+        }
+    });
+
+    let stats = server.stats();
+    assert_eq!(stats.fits(), 1, "12 same-key clients, one fit");
+    assert_eq!(stats.requests(), 12);
+}
+
+#[test]
+fn fairgen_family_served_concurrently_matches_its_direct_model() {
+    // The flagship (expensive) family through the concurrent path: train
+    // once via the server, compare bytes against a directly-trained model.
+    let lg = fairgen_data::toy_two_community(5);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0);
+    let labeled = lg.sample_few_shot_labels(4, &mut rng).expect("toy is labeled");
+    let task = Arc::new(TaskSpec::new(labeled, lg.num_classes, lg.protected.clone()));
+    let graph = Arc::new(lg.graph.clone());
+    let cfg = FairGenConfig::test_budget();
+
+    let direct =
+        fairgen_core::FairGen::new(cfg).train(&graph, &task, 11).expect("direct train");
+    let expected = direct.generate_batch(&[1, 2]).expect("direct generate");
+
+    let server = FairGenServer::new(
+        move || Box::new(FairGenGenerator::new(cfg)),
+        ServerConfig { shards: 2, ..ServerConfig::default() },
+    )
+    .expect("server");
+
+    std::thread::scope(|scope| {
+        for _ in 0..3 {
+            let server = &server;
+            let graph = &graph;
+            let task = &task;
+            let expected = &expected;
+            scope.spawn(move || {
+                let response = server
+                    .submit_shared(Arc::clone(graph), Arc::clone(task), 11, vec![1, 2])
+                    .expect("submit")
+                    .wait()
+                    .expect("serve");
+                assert_eq!(&response.graphs, expected, "served FairGen diverged from direct");
+            });
+        }
+    });
+    assert_eq!(server.stats().fits(), 1);
+}
+
+#[test]
+fn graceful_shutdown_spills_and_a_successor_warm_starts() {
+    let dir = std::env::temp_dir().join("fairgen-serve-tests").join("server-restart");
+    let _ = std::fs::remove_dir_all(&dir);
+    let g = ring(18);
+    let task = TaskSpec::unlabeled();
+    let cfg = ServerConfig {
+        shards: 2,
+        registry: RegistryConfig { capacity: 4, checkpoint_dir: Some(dir.clone()) },
+        dedup_capacity: 16,
+    };
+
+    let first = {
+        let server =
+            FairGenServer::new(|| Box::new(ErGenerator), cfg.clone()).expect("server A");
+        let response = server.handle(&g, &task, 3, vec![9]).expect("serve");
+        assert_eq!(response.served_from, ServedFrom::ColdFit);
+        response.graphs
+        // Drop = graceful shutdown = dirty models spill to `dir`.
+    };
+
+    let revived = FairGenServer::new(|| Box::new(ErGenerator), cfg).expect("server B");
+    let response = revived.handle(&g, &task, 3, vec![9]).expect("warm serve");
+    assert_eq!(response.served_from, ServedFrom::Checkpoint, "successor must warm-start");
+    assert_eq!(response.graphs, first, "warm-started model must generate identically");
+    assert_eq!(revived.stats().fits(), 0, "the successor never refits");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn invalid_requests_fail_typed_without_poisoning_the_server() {
+    let server =
+        FairGenServer::new(|| Box::new(ErGenerator), ServerConfig::default()).expect("server");
+    let g = ring(8);
+    let bad = TaskSpec::new(vec![(99, 0)], 1, None);
+    let err = server.handle(&g, &bad, 0, vec![0]).expect_err("out-of-range label");
+    assert!(
+        matches!(err, FairGenError::NodeOutOfRange { node: 99, .. }),
+        "typed error must cross the queue intact, got {err:?}"
+    );
+    // The shard keeps serving.
+    let good = server.handle(&g, &TaskSpec::unlabeled(), 0, vec![0]).expect("healthy serve");
+    assert_eq!(good.served_from, ServedFrom::ColdFit);
+}
+
+#[test]
+fn panicking_generator_fails_requests_instead_of_hanging_clients() {
+    // A generator whose fit panics (third-party trait impls are full of
+    // asserts) takes its shard worker down. The failsafe contract: the
+    // in-flight client gets a typed Internal error — never a hang — and
+    // later submits to the dead shard fail fast at the closed queue.
+    use fairgen_baselines::persist::{PersistableGenerator, PersistableGraphGenerator};
+    use fairgen_baselines::{FittedGenerator, GraphGenerator};
+
+    struct PanickingGen;
+    impl GraphGenerator for PanickingGen {
+        fn name(&self) -> &'static str {
+            "Panicking"
+        }
+        fn fit(
+            &self,
+            _g: &Graph,
+            _task: &TaskSpec,
+            _seed: u64,
+        ) -> fairgen_core::error::Result<Box<dyn FittedGenerator>> {
+            panic!("third-party fit blew up");
+        }
+    }
+    impl PersistableGraphGenerator for PanickingGen {
+        fn fit_persistable(
+            &self,
+            _g: &Graph,
+            _task: &TaskSpec,
+            _seed: u64,
+        ) -> fairgen_core::error::Result<Box<dyn PersistableGenerator>> {
+            panic!("third-party fit blew up");
+        }
+    }
+
+    let server = FairGenServer::new(
+        || Box::new(PanickingGen),
+        ServerConfig { shards: 1, ..ServerConfig::default() },
+    )
+    .expect("server");
+    let g = ring(8);
+    let task = TaskSpec::unlabeled();
+    let err = server.handle(&g, &task, 0, vec![1]).expect_err("panic surfaces as an error");
+    assert!(matches!(err, FairGenError::Internal { .. }), "got {err:?}");
+    // The worker is going (or gone). New work either fails fast at the
+    // closed queue, or — if it races in before the failsafe closes it —
+    // is discarded with a typed error on wait. Never a hang.
+    match server.submit(&g, &task, 0, vec![2]) {
+        Err(err) => assert!(matches!(err, FairGenError::Internal { .. })),
+        Ok(pending) => {
+            let err = pending.wait().expect_err("dead shard never serves");
+            assert!(matches!(err, FairGenError::Internal { .. }), "got {err:?}");
+        }
+    }
+}
+
+#[test]
+fn submit_after_shutdown_fails_cleanly() {
+    let mut server =
+        FairGenServer::new(|| Box::new(ErGenerator), ServerConfig::default()).expect("server");
+    server.shutdown();
+    let g = ring(8);
+    let err = server
+        .submit(&g, &TaskSpec::unlabeled(), 0, vec![1])
+        .map(|_| ())
+        .expect_err("closed queues reject work");
+    assert!(matches!(err, FairGenError::Internal { .. }));
+}

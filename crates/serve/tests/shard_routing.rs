@@ -1,0 +1,82 @@
+//! Property tests for the server's shard routing (`fingerprint mod
+//! shards`): the assignment must be **stable** — the same request content
+//! always lands on the same shard, which is what makes "one fit per
+//! fingerprint" hold without cross-shard locking — and **uniform-ish**, so
+//! no shard sits idle while its siblings drown.
+
+use fairgen_baselines::TaskSpec;
+use fairgen_graph::Graph;
+use fairgen_serve::{fingerprint_request, shard_for};
+use proptest::prelude::*;
+
+/// Strategy: `(n, edges)` with possibly duplicated/self-loop raw edges.
+fn arb_edges(max_n: usize, max_m: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (3..=max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 1..=max_m)
+            .prop_map(move |edges| (n, edges))
+    })
+}
+
+/// Deterministic permutation of an edge list driven by a seed.
+fn permuted(edges: &[(u32, u32)], seed: u64) -> Vec<(u32, u32)> {
+    let mut out = edges.to_vec();
+    let mut state = seed | 1;
+    for i in (1..out.len()).rev() {
+        state = state.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(0x2545_f491_4f6c_dd1d);
+        let j = (state % (i as u64 + 1)) as usize;
+        out.swap(i, j);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn assignment_is_stable_across_calls_and_content_representations(
+        input in arb_edges(20, 60),
+        seed in 0u64..1000,
+        shards in 1usize..9,
+    ) {
+        let (n, edges) = input;
+        let task = TaskSpec::unlabeled();
+        let fp = fingerprint_request("X", &Graph::from_edges(n, &edges), &task, 7);
+        // Pure in the fingerprint: same fp, same shard, every call.
+        prop_assert_eq!(shard_for(fp, shards), shard_for(fp, shards));
+        // Stable under content re-representation: a permuted edge list is
+        // the same graph, so it must route to the same shard.
+        let fp2 = fingerprint_request(
+            "X", &Graph::from_edges(n, &permuted(&edges, seed)), &task, 7,
+        );
+        prop_assert_eq!(shard_for(fp, shards), shard_for(fp2, shards));
+        // The assignment is in range, and one shard means shard 0.
+        prop_assert!(shard_for(fp, shards) < shards);
+        prop_assert_eq!(shard_for(fp, 1), 0);
+    }
+
+    #[test]
+    fn no_shard_starves_across_64_distinct_fingerprints(
+        input in arb_edges(16, 40),
+    ) {
+        // ≥64 distinct fingerprints (one per fit seed over a random base
+        // graph) spread over 4 shards: every shard must receive at least
+        // one. A mod-128-bit-hash assignment that starved a shard here
+        // would mean the fingerprint stream is badly non-uniform.
+        let (n, edges) = input;
+        let g = Graph::from_edges(n, &edges);
+        let task = TaskSpec::unlabeled();
+        let mut counts = [0usize; 4];
+        let mut fps = std::collections::HashSet::new();
+        for fit_seed in 0..64u64 {
+            let fp = fingerprint_request("X", &g, &task, fit_seed);
+            prop_assert!(fps.insert(fp), "fit seeds must yield distinct fingerprints");
+            counts[shard_for(fp, 4)] += 1;
+        }
+        for (shard, &count) in counts.iter().enumerate() {
+            prop_assert!(
+                count > 0,
+                "shard {} received 0 of 64 distinct fingerprints ({:?})", shard, counts
+            );
+        }
+    }
+}

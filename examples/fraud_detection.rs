@@ -62,8 +62,7 @@ fn main() {
     let task = TaskSpec::new(labeled, lg.num_classes, lg.protected.clone());
     let cfg = FairGenConfig { num_walks: 300, cycles: 2, gen_epochs: 2, ..Default::default() };
     println!("\ntraining FairGen and proposing +5% edges…");
-    let mut trained =
-        FairGen::new(cfg).train(&lg.graph, &task, 21).expect("valid detector input");
+    let trained = FairGen::new(cfg).train(&lg.graph, &task, 21).expect("valid detector input");
     let generated = trained.generate(22).expect("generate");
     let augmented = augment_graph(&lg.graph, &generated, 0.05, &mut rng);
     println!(

@@ -33,7 +33,7 @@ fn main() {
     let cfg = FairGenConfig { num_walks: 300, cycles: 2, gen_epochs: 2, ..Default::default() };
     let task = TaskSpec::new(labeled, lg.num_classes, Some(protected.clone()));
     println!("training FairGen on the private graph…");
-    let mut trained =
+    let trained =
         FairGen::new(cfg).train(&lg.graph, &task, 99).expect("valid private-graph input");
     let shareable = trained.generate(100).expect("generate");
 

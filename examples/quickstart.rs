@@ -49,7 +49,7 @@ fn main() -> fairgen_core::error::Result<()> {
         );
         jsonl.on_cycle(report)
     };
-    let mut trained = fairgen.train_observed(&lg.graph, &task, 42, &mut observer)?;
+    let trained = fairgen.train_observed(&lg.graph, &task, 42, &mut observer)?;
     if let Some(e) = jsonl.io_error() {
         eprintln!("warning: JSONL sink failed mid-run: {e}");
     }

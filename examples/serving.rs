@@ -1,113 +1,124 @@
-//! Serving: a long-lived `ModelRegistry` answering generation requests for
-//! many tenants — fit once per distinct (graph, task, seed), serve every
-//! later request from the cache, batch same-key requests, and survive a
-//! process restart through checkpoint files.
+//! Concurrent serving: a [`FairGenServer`] answering generation requests
+//! from many client threads at once — sharded registries, cross-client
+//! request coalescing, cross-request sample dedup, and checkpoint
+//! warm-start across a restart.
 //!
 //! The scenario: a synthetic-data service holds FairGen models for several
-//! customer graphs. Requests arrive interleaved; the registry keeps the hot
-//! models in memory under a budget, spills cold ones to disk, and a
-//! "restarted" service warm-starts from the spilled checkpoints instead of
-//! retraining.
+//! customer graphs. Clients hammer it from separate threads; requests route
+//! to registry shards by fingerprint, same-model requests that pile up
+//! while a shard is busy coalesce into single batched calls, repeated
+//! requests are answered straight from the dedup cache with zero model
+//! invocations, and a "restarted" service warm-starts from the checkpoints
+//! the old one spilled at shutdown.
 //!
 //! Run with: `cargo run -p fairgen-suite --release --example serving`
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use fairgen_core::{FairGenConfig, FairGenGenerator, TaskSpec};
 use fairgen_data::toy_two_community;
-use fairgen_serve::{GenerateRequest, ModelRegistry, RegistryConfig, ServedFrom};
+use fairgen_serve::{FairGenServer, RegistryConfig, ServedFrom, ServerConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn label(task: u64) -> (fairgen_graph::Graph, TaskSpec) {
+fn tenant(task: u64) -> (Arc<fairgen_graph::Graph>, Arc<TaskSpec>) {
     // Each "tenant" is a differently-seeded two-community graph.
     let lg = toy_two_community(task);
     let mut rng = StdRng::seed_from_u64(task);
     let labeled = lg.sample_few_shot_labels(4, &mut rng).expect("toy is labeled");
-    (lg.graph.clone(), TaskSpec::new(labeled, lg.num_classes, lg.protected.clone()))
+    (
+        Arc::new(lg.graph.clone()),
+        Arc::new(TaskSpec::new(labeled, lg.num_classes, lg.protected.clone())),
+    )
 }
 
 fn main() -> fairgen_core::error::Result<()> {
     let ckpt_dir = std::env::temp_dir().join("fairgen-serving-example");
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
     let cfg = FairGenConfig { num_walks: 200, cycles: 2, ..Default::default() };
-    let mut registry = ModelRegistry::with_config(
-        Box::new(FairGenGenerator::new(cfg)),
-        RegistryConfig { capacity: 2, checkpoint_dir: Some(ckpt_dir.clone()) },
-    )?;
+    let server_cfg = ServerConfig {
+        shards: 2,
+        registry: RegistryConfig { capacity: 2, checkpoint_dir: Some(ckpt_dir.clone()) },
+        dedup_capacity: 64,
+    };
+    let server =
+        FairGenServer::new(move || Box::new(FairGenGenerator::new(cfg)), server_cfg.clone())?;
     println!(
-        "registry over {} (capacity 2, checkpoints in {})\n",
-        registry.generator_name(),
+        "{} server: {} shards, capacity 2/shard, checkpoints in {}\n",
+        server.generator_name(),
+        server.shard_count(),
         ckpt_dir.display()
     );
 
-    // Three tenants; tenant A is requested twice — the second time must be
-    // a pure cache hit.
-    let (graph_a, task_a) = label(1);
-    let (graph_b, task_b) = label(2);
-    let (graph_c, task_c) = label(3);
-    let traffic = [
-        ("tenant A", &graph_a, &task_a, vec![10, 11]),
-        ("tenant B", &graph_b, &task_b, vec![20]),
-        ("tenant A", &graph_a, &task_a, vec![12, 13, 14]),
-        ("tenant C", &graph_c, &task_c, vec![30]), // evicts + spills the LRU
-        ("tenant B", &graph_b, &task_b, vec![21]),
-    ];
-    for (who, graph, task, seeds) in traffic {
-        let started = Instant::now();
-        let response = registry.handle(&GenerateRequest::new(graph, task, 42, seeds))?;
-        println!(
-            "{who}: {} draw(s) in {:>7.3}s  [{:?}]",
-            response.graphs.len(),
-            started.elapsed().as_secs_f64(),
-            response.served_from,
-        );
-    }
-    let stats = registry.stats();
-    println!(
-        "\nstats: {} requests, {} cold fits, {} memory hits, {} checkpoint loads, \
-         {} evictions ({} spilled)",
-        stats.requests,
-        stats.cold_fits,
-        stats.memory_hits,
-        stats.checkpoint_loads,
-        stats.evictions,
-        stats.spills,
-    );
+    // Three tenants, three concurrent client threads. Each client sends its
+    // request twice — the repeat is answered from the dedup cache.
+    let tenants: Vec<_> = (1..=3u64).map(tenant).collect();
+    std::thread::scope(|scope| {
+        for (id, (graph, task)) in tenants.iter().enumerate() {
+            let server = &server;
+            scope.spawn(move || {
+                let seeds = vec![10 + id as u64, 20 + id as u64];
+                let started = Instant::now();
+                let first = server
+                    .submit_shared(Arc::clone(graph), Arc::clone(task), 42, seeds.clone())
+                    .expect("submit")
+                    .wait()
+                    .expect("serve");
+                println!(
+                    "tenant {id}: {} draw(s) in {:>7.3}s  [{:?}]",
+                    first.graphs.len(),
+                    started.elapsed().as_secs_f64(),
+                    first.served_from,
+                );
+                let started = Instant::now();
+                let again = server
+                    .submit_shared(Arc::clone(graph), Arc::clone(task), 42, seeds)
+                    .expect("submit")
+                    .wait()
+                    .expect("serve repeat");
+                assert_eq!(again.served_from, ServedFrom::DedupCache);
+                assert_eq!(again.graphs, first.graphs, "dedup must replay the same bytes");
+                println!(
+                    "tenant {id}: repeat in {:>7.3}s  [{:?}] — zero model invocations",
+                    started.elapsed().as_secs_f64(),
+                    again.served_from,
+                );
+            });
+        }
+    });
 
-    // Same-key batching: five requests over two keys → at most two fits,
-    // one generate_batch per key.
-    let batch = vec![
-        GenerateRequest::single(&graph_a, &task_a, 42, 15),
-        GenerateRequest::single(&graph_b, &task_b, 42, 22),
-        GenerateRequest::single(&graph_a, &task_a, 42, 16),
-        GenerateRequest::single(&graph_a, &task_a, 42, 17),
-        GenerateRequest::single(&graph_b, &task_b, 42, 23),
-    ];
-    let responses = registry.handle_batch(&batch)?;
+    let stats = server.stats();
+    let registry = stats.registry();
     println!(
-        "\nbatched {} requests over 2 keys; cold fits total: {}",
-        responses.len(),
-        registry.stats().cold_fits
+        "\nstats: {} requests, {} fits, {} memory hits, {} dedup hits, \
+         largest coalesced drain {}",
+        stats.requests(),
+        stats.fits(),
+        registry.memory_hits,
+        stats.dedup_hits(),
+        stats.max_drain(),
     );
+    assert_eq!(stats.fits(), 3, "one fit per tenant, regardless of interleaving");
 
-    // "Restart": spill everything, drop the registry, start a fresh one on
-    // the same checkpoint directory — no tenant pays for retraining.
-    registry.spill_all()?;
-    drop(registry);
-    let mut revived = ModelRegistry::with_config(
-        Box::new(FairGenGenerator::new(cfg)),
-        RegistryConfig { capacity: 2, checkpoint_dir: Some(ckpt_dir.clone()) },
-    )?;
+    // "Restart": drop the server (graceful shutdown spills every dirty
+    // model), then start a fresh one on the same checkpoint directory — no
+    // tenant pays for retraining.
+    drop(server);
+    let revived = FairGenServer::new(move || Box::new(FairGenGenerator::new(cfg)), server_cfg)?;
+    let (graph, task) = &tenants[0];
     let started = Instant::now();
-    let response = revived.handle(&GenerateRequest::single(&graph_a, &task_a, 42, 10))?;
+    let response =
+        revived.submit_shared(Arc::clone(graph), Arc::clone(task), 42, vec![10])?.wait()?;
     println!(
-        "\nafter restart, tenant A served in {:.3}s [{:?}] — {} refits",
+        "\nafter restart, tenant 0 served in {:.3}s [{:?}] — {} refits",
         started.elapsed().as_secs_f64(),
         response.served_from,
-        revived.stats().cold_fits,
+        revived.stats().fits(),
     );
     assert_eq!(response.served_from, ServedFrom::Checkpoint);
 
+    drop(revived);
     let _ = std::fs::remove_dir_all(&ckpt_dir);
     Ok(())
 }

@@ -33,7 +33,7 @@ fn quick_cfg() -> FairGenConfig {
 #[test]
 fn end_to_end_train_generate_measure() {
     let (g, task) = toy_task(3);
-    let mut trained = FairGen::new(quick_cfg()).train(&g, &task, 1).expect("valid input");
+    let trained = FairGen::new(quick_cfg()).train(&g, &task, 1).expect("valid input");
     let generated = trained.generate(2).expect("generate");
     // Structural invariants of the fair assembly.
     assert_eq!(generated.n(), g.n());
@@ -51,7 +51,7 @@ fn fairgen_protects_minority_volume_where_no_parity_may_not() {
     let (g, task) = toy_task(5);
     let s = task.protected.clone().expect("toy has S+");
     let quota = g.edges().filter(|&(u, v)| s.contains(u) || s.contains(v)).count();
-    let mut fair = FairGen::new(quick_cfg()).train(&g, &task, 7).expect("valid input");
+    let fair = FairGen::new(quick_cfg()).train(&g, &task, 7).expect("valid input");
     let fair_out = fair.generate(8).expect("generate");
     let fair_incident =
         fair_out.edges().filter(|&(u, v)| s.contains(u) || s.contains(v)).count();
@@ -66,7 +66,7 @@ fn fairgen_protects_minority_volume_where_no_parity_may_not() {
 fn fairgen_beats_random_baseline_on_protected_discrepancy() {
     let (g, task) = toy_task(9);
     let s = task.protected.clone().expect("toy has S+");
-    let mut trained = FairGen::new(quick_cfg()).train(&g, &task, 11).expect("valid input");
+    let trained = FairGen::new(quick_cfg()).train(&g, &task, 11).expect("valid input");
     let fair_out = trained.generate(12).expect("generate");
     let er_out = ErGenerator.fit_generate(&g, &task, 12).expect("ER accepts any graph");
     let fair_rp = protected_discrepancies(&g, &fair_out, &s);
@@ -130,7 +130,7 @@ fn augmentation_pipeline_runs_and_reports() {
     // The two communities are near-perfectly separable already.
     assert!(base > 0.8, "baseline accuracy {base}");
     let (g, task) = toy_task(13);
-    let mut trained = FairGen::new(quick_cfg()).train(&g, &task, 14).expect("valid input");
+    let trained = FairGen::new(quick_cfg()).train(&g, &task, 14).expect("valid input");
     let generated = trained.generate(15).expect("generate");
     let mut rng = StdRng::seed_from_u64(16);
     let augmented = augment_graph(&lg.graph, &generated, 0.05, &mut rng);
@@ -144,8 +144,8 @@ fn augmentation_pipeline_runs_and_reports() {
 fn whole_pipeline_deterministic() {
     let (g, task) = toy_task(21);
     let cfg = quick_cfg();
-    let mut a = FairGen::new(cfg).train(&g, &task, 33).expect("valid input");
-    let mut b = FairGen::new(cfg).train(&g, &task, 33).expect("valid input");
+    let a = FairGen::new(cfg).train(&g, &task, 33).expect("valid input");
+    let b = FairGen::new(cfg).train(&g, &task, 33).expect("valid input");
     assert_eq!(a.generate(34).expect("a"), b.generate(34).expect("b"));
     assert_eq!(a.predict_labels(), b.predict_labels());
 }
@@ -166,7 +166,7 @@ fn variant_comparison_tab3_shape() {
         let total: f64 = train_seeds
             .iter()
             .map(|&train_seed| {
-                let mut trained = FairGen::new(cfg)
+                let trained = FairGen::new(cfg)
                     .with_variant(variant)
                     .train(&g, &task, train_seed)
                     .expect("valid input");
