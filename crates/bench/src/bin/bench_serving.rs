@@ -1,0 +1,238 @@
+//! Emits `BENCH_serving.json`: latency distribution and throughput of the
+//! `fairgen-rpc` network front-end under N concurrent socket clients,
+//! across the three serving regimes — `cold` (every request a distinct
+//! graph: full fit), `warm` (one fitted model, fresh sample seeds:
+//! registry memory hits), and `dedup` (exact request repeats: answered
+//! from the sample cache without touching a model).
+//!
+//! Run via `scripts/bench_serving.sh`, or directly:
+//!
+//! ```text
+//! cargo run --release -p fairgen-bench --bin bench_serving -- \
+//!     [OUT.json] [CLIENTS] [REQUESTS_PER_CLIENT]
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use fairgen_baselines::{ErGenerator, TaskSpec};
+use fairgen_graph::Graph;
+use fairgen_rpc::{RpcClient, RpcConfig, RpcServer};
+use fairgen_serve::{FairGenServer, ServedFrom, ServerConfig};
+
+fn ring(n: u32) -> Graph {
+    let edges: Vec<(u32, u32)> = (0..n).map(|u| (u, (u + 1) % n)).collect();
+    Graph::from_edges(n as usize, &edges)
+}
+
+/// One request a client thread should issue.
+#[derive(Clone)]
+struct Job {
+    graph_n: u32,
+    fit_seed: u64,
+    sample_seed: u64,
+}
+
+/// Everything measured about one mix.
+struct MixReport {
+    mix: &'static str,
+    requests: usize,
+    errors: usize,
+    elapsed_secs: f64,
+    /// Sorted per-request latencies, microseconds.
+    latencies_us: Vec<u64>,
+    served_from: BTreeMap<&'static str, usize>,
+}
+
+impl MixReport {
+    fn percentile(&self, p: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let rank = ((self.latencies_us.len() as f64 - 1.0) * p).round() as usize;
+        self.latencies_us[rank]
+    }
+
+    fn requests_per_sec(&self) -> f64 {
+        if self.elapsed_secs <= 0.0 {
+            return 0.0;
+        }
+        self.requests as f64 / self.elapsed_secs
+    }
+}
+
+fn served_from_key(s: ServedFrom) -> &'static str {
+    match s {
+        ServedFrom::ColdFit => "cold_fit",
+        ServedFrom::Memory => "memory",
+        ServedFrom::Checkpoint => "checkpoint",
+        ServedFrom::DedupCache => "dedup_cache",
+    }
+}
+
+/// Runs `jobs_per_client` requests on each of `clients` concurrent socket
+/// connections against a fresh server, and measures every request.
+fn run_mix(
+    mix: &'static str,
+    clients: usize,
+    jobs: Vec<Vec<Job>>,
+    prime: Option<&Job>,
+) -> MixReport {
+    let inner = FairGenServer::new(|| Box::new(ErGenerator), ServerConfig::default())
+        .expect("in-process server");
+    let mut rpc = RpcServer::serve(inner, RpcConfig::default()).expect("bind loopback");
+    let addr = rpc.local_addr();
+    let task = TaskSpec::unlabeled();
+
+    // Untimed priming request: puts the warm/dedup mixes into their steady
+    // state (model fitted / sample cached) before the clock starts.
+    if let Some(job) = prime {
+        let mut client = RpcClient::connect(addr).expect("prime connect");
+        client
+            .generate(&ring(job.graph_n), &task, job.fit_seed, job.sample_seed)
+            .expect("prime request");
+    }
+
+    let start = Instant::now();
+    let workers: Vec<_> = jobs
+        .into_iter()
+        .map(|client_jobs| {
+            let task = task.clone();
+            std::thread::spawn(move || {
+                let mut client = RpcClient::connect(addr).expect("connect");
+                let mut latencies = Vec::with_capacity(client_jobs.len());
+                let mut outcomes: Vec<&'static str> = Vec::with_capacity(client_jobs.len());
+                let mut errors = 0usize;
+                for job in &client_jobs {
+                    let g = ring(job.graph_n);
+                    let t0 = Instant::now();
+                    match client.generate(&g, &task, job.fit_seed, job.sample_seed) {
+                        Ok(result) => {
+                            latencies.push(t0.elapsed().as_micros() as u64);
+                            outcomes.push(served_from_key(result.served_from));
+                        }
+                        Err(_) => errors += 1,
+                    }
+                }
+                (latencies, outcomes, errors)
+            })
+        })
+        .collect();
+
+    let mut latencies_us = Vec::new();
+    let mut served_from: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut errors = 0usize;
+    for w in workers {
+        let (lat, outcomes, errs) = w.join().expect("client thread");
+        latencies_us.extend(lat);
+        for o in outcomes {
+            *served_from.entry(o).or_insert(0) += 1;
+        }
+        errors += errs;
+    }
+    let elapsed_secs = start.elapsed().as_secs_f64();
+    rpc.shutdown();
+
+    latencies_us.sort_unstable();
+    let requests = latencies_us.len();
+    assert_eq!(errors, 0, "{mix}: the load harness must not provoke errors");
+    assert!(requests > 0 && clients > 0);
+    MixReport { mix, requests, errors, elapsed_secs, latencies_us, served_from }
+}
+
+fn json_report(clients: usize, per_client: usize, mixes: &[MixReport]) -> String {
+    let mut s = String::from("{\n");
+    let _ = writeln!(
+        s,
+        "  \"config\": {{\"clients\": {clients}, \"requests_per_client\": {per_client}, \
+         \"generator\": \"er\", \"transport\": \"http/1.1 json-rpc loopback\"}},"
+    );
+    s.push_str("  \"mixes\": [\n");
+    for (i, m) in mixes.iter().enumerate() {
+        let mut served = String::from("{");
+        for (j, (k, v)) in m.served_from.iter().enumerate() {
+            let _ = write!(served, "{}\"{k}\": {v}", if j > 0 { ", " } else { "" });
+        }
+        served.push('}');
+        let _ = write!(
+            s,
+            "    {{\"mix\": \"{}\", \"requests\": {}, \"errors\": {}, \
+             \"requests_per_sec\": {:.0}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \
+             \"max_us\": {}, \"served_from\": {}}}",
+            m.mix,
+            m.requests,
+            m.errors,
+            m.requests_per_sec(),
+            m.percentile(0.50),
+            m.percentile(0.95),
+            m.percentile(0.99),
+            m.latencies_us.last().copied().unwrap_or(0),
+            served,
+        );
+        s.push_str(if i + 1 < mixes.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let out = args.next().unwrap_or_else(|| "BENCH_serving.json".into());
+    let clients: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let per_client: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(64);
+    assert!(clients >= 1 && per_client >= 1);
+
+    // cold: every request is a previously-unseen graph → full fit.
+    let cold_jobs: Vec<Vec<Job>> = (0..clients)
+        .map(|w| {
+            (0..per_client)
+                .map(|i| Job {
+                    graph_n: 16 + (w * per_client + i) as u32,
+                    fit_seed: 1,
+                    sample_seed: 1,
+                })
+                .collect()
+        })
+        .collect();
+
+    // warm: one shared fitted model, every request a fresh sample seed.
+    let warm_jobs: Vec<Vec<Job>> = (0..clients)
+        .map(|w| {
+            (0..per_client)
+                .map(|i| Job {
+                    graph_n: 64,
+                    fit_seed: 7,
+                    sample_seed: 1000 + (w * per_client + i) as u64,
+                })
+                .collect()
+        })
+        .collect();
+    let warm_prime = Job { graph_n: 64, fit_seed: 7, sample_seed: 999 };
+
+    // dedup: the exact same request over and over → sample-cache replay.
+    let dedup_job = Job { graph_n: 64, fit_seed: 7, sample_seed: 42 };
+    let dedup_jobs: Vec<Vec<Job>> =
+        (0..clients).map(|_| vec![dedup_job.clone(); per_client]).collect();
+
+    eprintln!("bench_serving: {clients} clients x {per_client} requests per mix");
+    let mixes = [
+        run_mix("cold", clients, cold_jobs, None),
+        run_mix("warm", clients, warm_jobs, Some(&warm_prime)),
+        run_mix("dedup", clients, dedup_jobs, Some(&dedup_job)),
+    ];
+    for m in &mixes {
+        eprintln!(
+            "  {:<5} {:>6.0} req/s  p50 {:>6} us  p95 {:>6} us  p99 {:>6} us",
+            m.mix,
+            m.requests_per_sec(),
+            m.percentile(0.50),
+            m.percentile(0.95),
+            m.percentile(0.99),
+        );
+    }
+
+    let json = json_report(clients, per_client, &mixes);
+    std::fs::write(&out, &json).expect("write report");
+    eprintln!("bench_serving: wrote {out}");
+}

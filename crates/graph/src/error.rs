@@ -82,6 +82,14 @@ pub enum FairGenError {
         /// The violated invariant.
         detail: String,
     },
+    /// The serving front-end has shut down (or is draining) and accepts no
+    /// new work. Unlike [`Internal`](FairGenError::Internal), this is an
+    /// orderly rejection the client should treat as "retry elsewhere / come
+    /// back later", not a bug. Both the in-process
+    /// `FairGenServer::submit`/`submit_shared` path and the network RPC
+    /// layer report closure with this exact variant (and one stable wire
+    /// code — see `fairgen_rpc::codes`).
+    ServerClosed,
     /// A checkpoint failed structural validation (bad magic, version,
     /// checksum, length, or discriminant) and cannot be decoded.
     CorruptCheckpoint {
@@ -149,6 +157,9 @@ impl std::fmt::Display for FairGenError {
             FairGenError::Internal { detail } => {
                 write!(f, "internal invariant violated: {detail}")
             }
+            FairGenError::ServerClosed => {
+                write!(f, "server is shut down and accepts no new work")
+            }
             FairGenError::CorruptCheckpoint { detail } => {
                 write!(f, "corrupt checkpoint: {detail}")
             }
@@ -206,6 +217,7 @@ mod tests {
                 "all weights zero",
             ),
             (FairGenError::Internal { detail: "entry vanished".into() }, "entry vanished"),
+            (FairGenError::ServerClosed, "shut down"),
             (
                 FairGenError::CorruptCheckpoint { detail: "checksum mismatch".into() },
                 "checksum",

@@ -1,0 +1,197 @@
+//! A blocking HTTP/1.1 JSON-RPC client for the `fairgen-rpc` wire format.
+//!
+//! One [`RpcClient`] holds one keep-alive connection and issues requests
+//! sequentially (JSON-RPC ids are matched per call). The load harness and
+//! the loopback tests run many clients, each on its own thread.
+
+use std::io::{BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use fairgen_baselines::TaskSpec;
+use fairgen_graph::Graph;
+
+use crate::http::{read_response, HttpError, HttpLimits};
+use crate::json::{obj, parse, Json, JsonError};
+use crate::wire::{
+    encode_generate_params, generate_result_from_json, GenerateResult, WireError,
+};
+
+/// A structured JSON-RPC error reported by the server.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RpcErrorInfo {
+    /// The stable wire code (see [`codes`](crate::codes)).
+    pub code: i64,
+    /// Human-readable message.
+    pub message: String,
+    /// The error-kind discriminator from `data.kind`, when present.
+    pub kind: Option<String>,
+    /// The HTTP status the error arrived under.
+    pub http_status: u16,
+}
+
+/// Everything that can go wrong on a client call.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (connect, read, write, timeout).
+    Io(std::io::Error),
+    /// The response was not parseable HTTP.
+    Http(HttpError),
+    /// The response body was not parseable JSON.
+    Json(JsonError),
+    /// The response JSON did not match the wire schema.
+    Wire(WireError),
+    /// The server answered with a structured JSON-RPC error.
+    Rpc(RpcErrorInfo),
+    /// The response id did not echo the request id.
+    IdMismatch {
+        /// The id the client sent.
+        sent: u64,
+        /// What came back, rendered.
+        got: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o failure: {e}"),
+            ClientError::Http(e) => write!(f, "bad http response: {}", e.describe()),
+            ClientError::Json(e) => write!(f, "bad json in response: {e}"),
+            ClientError::Wire(e) => write!(f, "response schema mismatch: {e}"),
+            ClientError::Rpc(e) => {
+                write!(f, "server error {} (http {}): {}", e.code, e.http_status, e.message)
+            }
+            ClientError::IdMismatch { sent, got } => {
+                write!(f, "response id {got} does not match request id {sent}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Result alias for client calls.
+pub type ClientResult<T> = std::result::Result<T, ClientError>;
+
+/// One keep-alive JSON-RPC connection.
+pub struct RpcClient {
+    reader: BufReader<TcpStream>,
+    limits: HttpLimits,
+    next_id: u64,
+}
+
+impl RpcClient {
+    /// Connects with default timeouts (10 s).
+    pub fn connect(addr: impl ToSocketAddrs) -> ClientResult<Self> {
+        Self::connect_with(addr, Duration::from_secs(10))
+    }
+
+    /// Connects with a specific read/write timeout.
+    pub fn connect_with(addr: impl ToSocketAddrs, timeout: Duration) -> ClientResult<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(RpcClient {
+            reader: BufReader::new(stream),
+            limits: HttpLimits::default(),
+            next_id: 1,
+        })
+    }
+
+    /// Issues one JSON-RPC call and returns the `result` value, or
+    /// [`ClientError::Rpc`] when the server answered with an error object.
+    pub fn call(&mut self, method: &str, params: Json) -> ClientResult<Json> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let envelope = obj(vec![
+            ("jsonrpc", Json::Str("2.0".into())),
+            ("id", Json::U64(id)),
+            ("method", Json::Str(method.into())),
+            ("params", params),
+        ]);
+        let body = envelope.encode();
+        let request = format!(
+            "POST /rpc HTTP/1.1\r\nHost: fairgen\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        let stream = self.reader.get_ref();
+        let mut writer = stream.try_clone()?;
+        writer.write_all(request.as_bytes())?;
+        writer.flush()?;
+
+        let response = read_response(&mut self.reader, &self.limits).map_err(|e| match e {
+            HttpError::Io(io) => ClientError::Io(io),
+            other => ClientError::Http(other),
+        })?;
+        let value = parse(&response.body).map_err(ClientError::Json)?;
+        let got_id = value.get("id").cloned().unwrap_or(Json::Null);
+        if let Some(error) = value.get("error") {
+            return Err(ClientError::Rpc(RpcErrorInfo {
+                code: error.get("code").and_then(Json::as_i64).unwrap_or(0),
+                message: error.get("message").and_then(Json::as_str).unwrap_or("").to_string(),
+                kind: error
+                    .get("data")
+                    .and_then(|d| d.get("kind"))
+                    .and_then(Json::as_str)
+                    .map(str::to_string),
+                http_status: response.status,
+            }));
+        }
+        if got_id.as_u64() != Some(id) {
+            return Err(ClientError::IdMismatch { sent: id, got: got_id.encode() });
+        }
+        value.get("result").cloned().ok_or_else(|| {
+            ClientError::Wire(WireError {
+                field: "result".into(),
+                detail: "missing from a non-error response".into(),
+            })
+        })
+    }
+
+    /// One synthetic draw: `generate(graph, task, fit_seed, sample_seed)`.
+    pub fn generate(
+        &mut self,
+        graph: &Graph,
+        task: &TaskSpec,
+        fit_seed: u64,
+        sample_seed: u64,
+    ) -> ClientResult<GenerateResult> {
+        let params = encode_generate_params(graph, task, fit_seed, &[sample_seed], false);
+        let result = self.call("generate", params)?;
+        generate_result_from_json(&result).map_err(ClientError::Wire)
+    }
+
+    /// One draw per seed: `generate_batch(graph, task, fit_seed, seeds)`.
+    pub fn generate_batch(
+        &mut self,
+        graph: &Graph,
+        task: &TaskSpec,
+        fit_seed: u64,
+        sample_seeds: &[u64],
+    ) -> ClientResult<GenerateResult> {
+        let params = encode_generate_params(graph, task, fit_seed, sample_seeds, true);
+        let result = self.call("generate_batch", params)?;
+        generate_result_from_json(&result).map_err(ClientError::Wire)
+    }
+
+    /// The server's stats snapshot, as raw JSON (shape documented in
+    /// [`wire::stats_to_json`](crate::wire::stats_to_json)).
+    pub fn stats(&mut self) -> ClientResult<Json> {
+        self.call("stats", Json::Obj(Vec::new()))
+    }
+}
+
+impl std::fmt::Debug for RpcClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RpcClient").field("next_id", &self.next_id).finish()
+    }
+}

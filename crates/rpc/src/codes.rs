@@ -1,0 +1,170 @@
+//! The stable wire error-code table.
+//!
+//! Two code families share the JSON-RPC `error.code` field:
+//!
+//! * **Transport / envelope codes** (negative, JSON-RPC 2.0 reserved
+//!   range): the request never reached a generator — unparseable JSON,
+//!   malformed envelope, unknown method, bad params, malformed HTTP.
+//! * **Application codes** (positive, `1000`+): a typed [`FairGenError`]
+//!   crossed the serving stack. Every variant has exactly one code; the
+//!   mapping is append-only — codes are part of the wire contract and must
+//!   never be renumbered (pinned by `codes_are_stable` below).
+//!
+//! Errors are always returned as structured JSON-RPC error objects
+//! (`{"code", "message", "data": {"kind"}}`) — never a bare HTTP 500.
+
+use fairgen_core::error::FairGenError;
+
+/// The request body was not valid JSON (JSON-RPC 2.0 "Parse error").
+pub const PARSE_ERROR: i64 = -32700;
+/// The body parsed but is not a valid request envelope ("Invalid Request").
+pub const INVALID_REQUEST: i64 = -32600;
+/// The method name is not served here ("Method not found").
+pub const METHOD_NOT_FOUND: i64 = -32601;
+/// The params are missing fields or have the wrong shape ("Invalid params").
+pub const INVALID_PARAMS: i64 = -32602;
+/// The HTTP layer rejected the request before JSON-RPC could run
+/// (malformed request line/headers, oversized body, bad method/target).
+pub const HTTP_ERROR: i64 = -32000;
+
+/// [`FairGenError::InvalidConfig`].
+pub const INVALID_CONFIG: i64 = 1001;
+/// [`FairGenError::GraphTooSmall`].
+pub const GRAPH_TOO_SMALL: i64 = 1002;
+/// [`FairGenError::NodeOutOfRange`].
+pub const NODE_OUT_OF_RANGE: i64 = 1003;
+/// [`FairGenError::LabelOutOfRange`].
+pub const LABEL_OUT_OF_RANGE: i64 = 1004;
+/// [`FairGenError::GroupUniverseMismatch`].
+pub const GROUP_UNIVERSE_MISMATCH: i64 = 1005;
+/// [`FairGenError::MissingProtectedGroup`].
+pub const MISSING_PROTECTED_GROUP: i64 = 1006;
+/// [`FairGenError::MissingLabels`].
+pub const MISSING_LABELS: i64 = 1007;
+/// [`FairGenError::Generate`].
+pub const GENERATE: i64 = 1008;
+/// [`FairGenError::DegenerateDistribution`].
+pub const DEGENERATE_DISTRIBUTION: i64 = 1009;
+/// [`FairGenError::Internal`].
+pub const INTERNAL: i64 = 1010;
+/// [`FairGenError::CorruptCheckpoint`].
+pub const CORRUPT_CHECKPOINT: i64 = 1011;
+/// [`FairGenError::UnknownCheckpointTag`].
+pub const UNKNOWN_CHECKPOINT_TAG: i64 = 1012;
+/// [`FairGenError::MalformedEdgeList`].
+pub const MALFORMED_EDGE_LIST: i64 = 1013;
+/// [`FairGenError::Io`].
+pub const IO: i64 = 1014;
+/// [`FairGenError::ServerClosed`] — the one code both the in-process
+/// `submit`/`submit_shared` rejection and the RPC layer's own
+/// closed-server path report (pinned in `tests/rpc_runtime_paths.rs`).
+pub const SERVER_CLOSED: i64 = 1015;
+
+/// The stable wire code for a [`FairGenError`].
+pub fn wire_code(e: &FairGenError) -> i64 {
+    match e {
+        FairGenError::InvalidConfig { .. } => INVALID_CONFIG,
+        FairGenError::GraphTooSmall { .. } => GRAPH_TOO_SMALL,
+        FairGenError::NodeOutOfRange { .. } => NODE_OUT_OF_RANGE,
+        FairGenError::LabelOutOfRange { .. } => LABEL_OUT_OF_RANGE,
+        FairGenError::GroupUniverseMismatch { .. } => GROUP_UNIVERSE_MISMATCH,
+        FairGenError::MissingProtectedGroup { .. } => MISSING_PROTECTED_GROUP,
+        FairGenError::MissingLabels => MISSING_LABELS,
+        FairGenError::Generate { .. } => GENERATE,
+        FairGenError::DegenerateDistribution { .. } => DEGENERATE_DISTRIBUTION,
+        FairGenError::Internal { .. } => INTERNAL,
+        FairGenError::ServerClosed => SERVER_CLOSED,
+        FairGenError::CorruptCheckpoint { .. } => CORRUPT_CHECKPOINT,
+        FairGenError::UnknownCheckpointTag { .. } => UNKNOWN_CHECKPOINT_TAG,
+        FairGenError::MalformedEdgeList { .. } => MALFORMED_EDGE_LIST,
+        FairGenError::Io(_) => IO,
+        // `FairGenError` is `#[non_exhaustive]`: a variant added upstream
+        // without a row here degrades to INTERNAL instead of breaking the
+        // build — `every_variant_has_a_distinct_code` below is the reminder
+        // to assign it a real code.
+        _ => INTERNAL,
+    }
+}
+
+/// The variant name for the error's `data.kind` field — lets clients
+/// dispatch without string-matching the rendered message.
+pub fn kind_name(e: &FairGenError) -> &'static str {
+    match e {
+        FairGenError::InvalidConfig { .. } => "InvalidConfig",
+        FairGenError::GraphTooSmall { .. } => "GraphTooSmall",
+        FairGenError::NodeOutOfRange { .. } => "NodeOutOfRange",
+        FairGenError::LabelOutOfRange { .. } => "LabelOutOfRange",
+        FairGenError::GroupUniverseMismatch { .. } => "GroupUniverseMismatch",
+        FairGenError::MissingProtectedGroup { .. } => "MissingProtectedGroup",
+        FairGenError::MissingLabels => "MissingLabels",
+        FairGenError::Generate { .. } => "Generate",
+        FairGenError::DegenerateDistribution { .. } => "DegenerateDistribution",
+        FairGenError::Internal { .. } => "Internal",
+        FairGenError::ServerClosed => "ServerClosed",
+        FairGenError::CorruptCheckpoint { .. } => "CorruptCheckpoint",
+        FairGenError::UnknownCheckpointTag { .. } => "UnknownCheckpointTag",
+        FairGenError::MalformedEdgeList { .. } => "MalformedEdgeList",
+        FairGenError::Io(_) => "Io",
+        _ => "Internal",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_of_each() -> Vec<FairGenError> {
+        vec![
+            FairGenError::InvalidConfig { field: "x", message: "m".into() },
+            FairGenError::GraphTooSmall { nodes: 1, min_nodes: 2 },
+            FairGenError::NodeOutOfRange { node: 3, nodes: 2 },
+            FairGenError::LabelOutOfRange { node: 0, label: 5, num_classes: 2 },
+            FairGenError::GroupUniverseMismatch { group_universe: 3, nodes: 4 },
+            FairGenError::MissingProtectedGroup { gamma: 0.5 },
+            FairGenError::MissingLabels,
+            FairGenError::Generate { detail: "d".into() },
+            FairGenError::DegenerateDistribution { detail: "d".into() },
+            FairGenError::Internal { detail: "d".into() },
+            FairGenError::CorruptCheckpoint { detail: "d".into() },
+            FairGenError::UnknownCheckpointTag { tag: "t".into() },
+            FairGenError::MalformedEdgeList { line: 1, text: "x".into() },
+            FairGenError::Io(std::io::Error::other("io")),
+            FairGenError::ServerClosed,
+        ]
+    }
+
+    #[test]
+    fn every_variant_has_a_distinct_code() {
+        let errors = one_of_each();
+        let codes: Vec<i64> = errors.iter().map(wire_code).collect();
+        for (i, a) in codes.iter().enumerate() {
+            for (j, b) in codes.iter().enumerate() {
+                if i != j {
+                    assert_ne!(a, b, "{:?} and {:?} share code {a}", errors[i], errors[j]);
+                }
+            }
+        }
+        for code in codes {
+            assert!((1000..2000).contains(&code), "application codes live in 1000..2000");
+        }
+    }
+
+    #[test]
+    fn codes_are_stable() {
+        // The wire contract: these numbers must never change. Append new
+        // variants with new codes instead.
+        let pinned: Vec<(i64, FairGenError)> =
+            one_of_each().into_iter().zip(1001..).map(|(e, c)| (c, e)).collect();
+        for (code, e) in pinned {
+            assert_eq!(wire_code(&e), code, "renumbered {e:?}");
+        }
+    }
+
+    #[test]
+    fn kind_names_match_variants() {
+        for e in one_of_each() {
+            let kind = kind_name(&e);
+            assert!(format!("{e:?}").starts_with(kind), "{e:?} vs {kind}");
+        }
+    }
+}

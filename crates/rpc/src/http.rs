@@ -1,0 +1,464 @@
+//! A minimal HTTP/1.1 message layer over `std::io` streams.
+//!
+//! Implements exactly what the JSON-RPC front-end needs: parse one request
+//! (request line, headers, `Content-Length`-framed body) off a buffered
+//! reader with hard limits, and write one `Content-Length`-framed response.
+//! Persistent connections are supported (HTTP/1.1 keep-alive semantics,
+//! `Connection: close` honored); chunked transfer coding is rejected with a
+//! typed error rather than implemented.
+//!
+//! Every malformed-input path is a typed [`HttpError`] carrying the HTTP
+//! status the server should answer with — never a panic, never a bare 500
+//! (proptested in `tests/http_props.rs`).
+
+use std::io::{self, BufRead, Write};
+
+/// Parser resource limits. Defaults are generous for RPC traffic while
+/// keeping a hostile peer from ballooning memory.
+#[derive(Clone, Copy, Debug)]
+pub struct HttpLimits {
+    /// Maximum bytes in the request line or any single header line.
+    pub max_line_bytes: usize,
+    /// Maximum number of header lines.
+    pub max_headers: usize,
+    /// Maximum `Content-Length` the server will read.
+    pub max_body_bytes: usize,
+}
+
+impl Default for HttpLimits {
+    fn default() -> Self {
+        HttpLimits { max_line_bytes: 8 * 1024, max_headers: 64, max_body_bytes: 64 << 20 }
+    }
+}
+
+/// One parsed HTTP request.
+#[derive(Clone, Debug)]
+pub struct HttpRequest {
+    /// Request method (`POST`, `GET`, …), as sent.
+    pub method: String,
+    /// Request target (`/rpc`).
+    pub target: String,
+    /// `true` for `HTTP/1.1`, `false` for `HTTP/1.0`.
+    pub http11: bool,
+    /// Header `(name, value)` pairs in arrival order; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (`Content-Length` bytes; empty without the header).
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// First value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the connection should stay open after this request:
+    /// HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close, and an explicit
+    /// `Connection` header overrides either way.
+    pub fn keep_alive(&self) -> bool {
+        match self.header("connection").map(|v| v.to_ascii_lowercase()) {
+            Some(v) if v.split(',').any(|t| t.trim() == "close") => false,
+            Some(v) if v.split(',').any(|t| t.trim() == "keep-alive") => true,
+            _ => self.http11,
+        }
+    }
+}
+
+/// Why a request could not be parsed, each mapping to a 4xx/5xx status.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer closed the connection cleanly between requests — not an
+    /// error to report, just "no more requests".
+    Eof,
+    /// The socket read timed out. `mid_request` distinguishes an idle
+    /// keep-alive connection (close quietly) from a stalled upload
+    /// (answer 408).
+    Timeout {
+        /// Whether any bytes of the next request had already arrived.
+        mid_request: bool,
+    },
+    /// Connection died mid-request or another I/O failure.
+    Io(io::Error),
+    /// Request line is not `METHOD SP TARGET SP HTTP/1.x` (status 400).
+    BadRequestLine,
+    /// The HTTP version is not 1.0 or 1.1 (status 505).
+    UnsupportedVersion,
+    /// A header line has no `:`, a malformed name, or non-UTF-8 bytes
+    /// (status 400).
+    BadHeader,
+    /// More than [`HttpLimits::max_headers`] header lines (status 431).
+    TooManyHeaders,
+    /// A line exceeded [`HttpLimits::max_line_bytes`] (status 431).
+    LineTooLong,
+    /// `Content-Length` missing on a method requiring a body, duplicated
+    /// with conflicting values, or not a decimal number (status 400 / 411).
+    BadContentLength,
+    /// Declared body exceeds [`HttpLimits::max_body_bytes`] (status 413).
+    BodyTooLarge {
+        /// The declared `Content-Length`.
+        declared: u64,
+    },
+    /// `Transfer-Encoding` is declared; this server only frames bodies by
+    /// `Content-Length` (status 501).
+    UnsupportedTransferEncoding,
+}
+
+impl HttpError {
+    /// The `(status, reason)` this parse failure should be answered with.
+    /// [`Eof`](HttpError::Eof), timeouts, and I/O failures have no
+    /// answerable peer state and return `None`.
+    pub fn status(&self) -> Option<(u16, &'static str)> {
+        match self {
+            HttpError::Eof | HttpError::Io(_) => None,
+            HttpError::Timeout { mid_request: false } => None,
+            HttpError::Timeout { mid_request: true } => Some((408, "Request Timeout")),
+            HttpError::BadRequestLine | HttpError::BadHeader => Some((400, "Bad Request")),
+            HttpError::UnsupportedVersion => Some((505, "HTTP Version Not Supported")),
+            HttpError::TooManyHeaders | HttpError::LineTooLong => {
+                Some((431, "Request Header Fields Too Large"))
+            }
+            HttpError::BadContentLength => Some((400, "Bad Request")),
+            HttpError::BodyTooLarge { .. } => Some((413, "Content Too Large")),
+            HttpError::UnsupportedTransferEncoding => Some((501, "Not Implemented")),
+        }
+    }
+
+    /// One-line human description (goes into the JSON error body).
+    pub fn describe(&self) -> String {
+        match self {
+            HttpError::Eof => "connection closed".into(),
+            HttpError::Timeout { .. } => "read timed out".into(),
+            HttpError::Io(e) => format!("i/o failure: {e}"),
+            HttpError::BadRequestLine => "malformed request line".into(),
+            HttpError::UnsupportedVersion => "only HTTP/1.0 and HTTP/1.1 are supported".into(),
+            HttpError::BadHeader => "malformed header line".into(),
+            HttpError::TooManyHeaders => "too many header lines".into(),
+            HttpError::LineTooLong => "header line too long".into(),
+            HttpError::BadContentLength => "missing or malformed Content-Length".into(),
+            HttpError::BodyTooLarge { declared } => {
+                format!("declared body of {declared} bytes exceeds the server limit")
+            }
+            HttpError::UnsupportedTransferEncoding => {
+                "Transfer-Encoding is not supported; frame the body with Content-Length".into()
+            }
+        }
+    }
+}
+
+fn io_to_http(e: io::Error, mid_request: bool) -> HttpError {
+    match e.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => {
+            HttpError::Timeout { mid_request }
+        }
+        io::ErrorKind::UnexpectedEof if !mid_request => HttpError::Eof,
+        _ => HttpError::Io(e),
+    }
+}
+
+/// Reads one line terminated by `\n` (tolerating a preceding `\r`),
+/// enforcing the line-length limit. Returns the line without terminators.
+fn read_line(
+    reader: &mut impl BufRead,
+    limits: &HttpLimits,
+    mid_request: &mut bool,
+) -> Result<Vec<u8>, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                return Err(if *mid_request {
+                    HttpError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-request",
+                    ))
+                } else {
+                    HttpError::Eof
+                });
+            }
+            Ok(_) => {}
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(io_to_http(e, *mid_request)),
+        }
+        *mid_request = true;
+        if byte[0] == b'\n' {
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return Ok(line);
+        }
+        if line.len() >= limits.max_line_bytes {
+            return Err(HttpError::LineTooLong);
+        }
+        line.push(byte[0]);
+    }
+}
+
+/// Reads one request off `reader`. Blocks until a request arrives, the
+/// connection closes ([`HttpError::Eof`]), or the socket's read timeout
+/// fires ([`HttpError::Timeout`]).
+pub fn read_request(
+    reader: &mut impl BufRead,
+    limits: &HttpLimits,
+) -> Result<HttpRequest, HttpError> {
+    // `mid_request` flips once the first byte arrives: EOF/timeouts before
+    // that are a quiet connection close, after it a reportable error.
+    let mut mid_request = false;
+    let request_line = read_line(reader, limits, &mut mid_request)?;
+    let request_line =
+        std::str::from_utf8(&request_line).map_err(|_| HttpError::BadRequestLine)?;
+    let mut parts = request_line.split(' ');
+    let (method, target, version) =
+        match (parts.next(), parts.next(), parts.next(), parts.next()) {
+            (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+            _ => return Err(HttpError::BadRequestLine),
+        };
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        v if v.starts_with("HTTP/") => return Err(HttpError::UnsupportedVersion),
+        _ => return Err(HttpError::BadRequestLine),
+    };
+    if !method.bytes().all(|b| b.is_ascii_alphanumeric()) {
+        return Err(HttpError::BadRequestLine);
+    }
+
+    let mut headers: Vec<(String, String)> = Vec::new();
+    loop {
+        let line = read_line(reader, limits, &mut mid_request)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= limits.max_headers {
+            return Err(HttpError::TooManyHeaders);
+        }
+        let line = std::str::from_utf8(&line).map_err(|_| HttpError::BadHeader)?;
+        let (name, value) = line.split_once(':').ok_or(HttpError::BadHeader)?;
+        if name.is_empty() || !name.bytes().all(|b| b.is_ascii_graphic() && b != b':') {
+            return Err(HttpError::BadHeader);
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    if headers.iter().any(|(k, _)| k == "transfer-encoding") {
+        return Err(HttpError::UnsupportedTransferEncoding);
+    }
+    let mut declared: Option<u64> = None;
+    for (k, v) in &headers {
+        if k == "content-length" {
+            let parsed: u64 = v.parse().map_err(|_| HttpError::BadContentLength)?;
+            match declared {
+                Some(prev) if prev != parsed => return Err(HttpError::BadContentLength),
+                _ => declared = Some(parsed),
+            }
+        }
+    }
+    let body = match declared {
+        None | Some(0) => Vec::new(),
+        Some(n) if n > limits.max_body_bytes as u64 => {
+            return Err(HttpError::BodyTooLarge { declared: n });
+        }
+        Some(n) => {
+            let mut body = vec![0u8; n as usize];
+            reader.read_exact(&mut body).map_err(|e| io_to_http(e, true))?;
+            body
+        }
+    };
+
+    Ok(HttpRequest {
+        method: method.to_string(),
+        target: target.to_string(),
+        http11,
+        headers,
+        body,
+    })
+}
+
+/// One parsed HTTP response (client side).
+#[derive(Clone, Debug)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// Reason phrase.
+    pub reason: String,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The response body.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// First value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Reads one response off `reader` (the client half of the protocol).
+pub fn read_response(
+    reader: &mut impl BufRead,
+    limits: &HttpLimits,
+) -> Result<HttpResponse, HttpError> {
+    let mut mid_request = false;
+    let status_line = read_line(reader, limits, &mut mid_request)?;
+    let status_line =
+        std::str::from_utf8(&status_line).map_err(|_| HttpError::BadRequestLine)?;
+    let rest = status_line
+        .strip_prefix("HTTP/1.1 ")
+        .or_else(|| status_line.strip_prefix("HTTP/1.0 "))
+        .ok_or(HttpError::BadRequestLine)?;
+    let (code, reason) = rest.split_once(' ').unwrap_or((rest, ""));
+    let status: u16 = code.parse().map_err(|_| HttpError::BadRequestLine)?;
+
+    let mut headers: Vec<(String, String)> = Vec::new();
+    loop {
+        let line = read_line(reader, limits, &mut mid_request)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= limits.max_headers {
+            return Err(HttpError::TooManyHeaders);
+        }
+        let line = std::str::from_utf8(&line).map_err(|_| HttpError::BadHeader)?;
+        let (name, value) = line.split_once(':').ok_or(HttpError::BadHeader)?;
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let declared: u64 = match headers.iter().find(|(k, _)| k == "content-length") {
+        Some((_, v)) => v.parse().map_err(|_| HttpError::BadContentLength)?,
+        None => 0,
+    };
+    if declared > limits.max_body_bytes as u64 {
+        return Err(HttpError::BodyTooLarge { declared });
+    }
+    let mut body = vec![0u8; declared as usize];
+    reader.read_exact(&mut body).map_err(|e| io_to_http(e, true))?;
+    Ok(HttpResponse { status, reason: reason.to_string(), headers, body })
+}
+
+/// Writes one `Content-Length`-framed response. `close` adds
+/// `Connection: close` so the peer knows not to pipeline further requests.
+pub fn write_response(
+    writer: &mut impl Write,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+    close: bool,
+) -> io::Result<()> {
+    let connection = if close { "close" } else { "keep-alive" };
+    // One buffer, one write: header and body in separate TCP segments
+    // trips Nagle + delayed-ACK (~40 ms per response on loopback).
+    let mut out = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: {connection}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    out.extend_from_slice(body);
+    writer.write_all(&out)?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse_bytes(bytes: &[u8]) -> Result<HttpRequest, HttpError> {
+        let mut reader = BufReader::new(bytes);
+        read_request(&mut reader, &HttpLimits::default())
+    }
+
+    #[test]
+    fn well_formed_post_parses() {
+        let req =
+            parse_bytes(b"POST /rpc HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd")
+                .expect("parse");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.target, "/rpc");
+        assert!(req.http11);
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"abcd");
+        assert!(req.keep_alive());
+    }
+
+    #[test]
+    fn connection_close_is_honored() {
+        let req =
+            parse_bytes(b"POST / HTTP/1.1\r\nConnection: close\r\nContent-Length: 0\r\n\r\n")
+                .expect("parse");
+        assert!(!req.keep_alive());
+        let old = parse_bytes(b"GET / HTTP/1.0\r\n\r\n").expect("parse");
+        assert!(!old.keep_alive());
+    }
+
+    #[test]
+    fn bare_lf_line_endings_are_tolerated() {
+        let req = parse_bytes(b"POST / HTTP/1.1\nContent-Length: 2\n\nok").expect("parse");
+        assert_eq!(req.body, b"ok");
+    }
+
+    #[test]
+    fn immediate_eof_is_quiet() {
+        assert!(matches!(parse_bytes(b"").unwrap_err(), HttpError::Eof));
+    }
+
+    #[test]
+    fn truncation_mid_request_is_an_io_error() {
+        for partial in [
+            &b"POST / HT"[..],
+            b"POST / HTTP/1.1\r\nContent-Le",
+            b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc",
+        ] {
+            assert!(
+                matches!(parse_bytes(partial).unwrap_err(), HttpError::Io(_)),
+                "for {partial:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_get_answerable_statuses() {
+        let cases: Vec<(&[u8], u16)> = vec![
+            (b"NOT-A-REQUEST-LINE\r\n\r\n", 400),
+            (b"POST / HTTP/2.0\r\n\r\n", 505),
+            (b"POST / HTTP/1.1\r\nno-colon-here\r\n\r\n", 400),
+            (b"POST / HTTP/1.1\r\nContent-Length: banana\r\n\r\n", 400),
+            (b"POST / HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 2\r\n\r\n", 400),
+            (b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", 501),
+            (b"POST / HTTP/1.1\r\nContent-Length: 999999999999\r\n\r\n", 413),
+        ];
+        for (input, want) in cases {
+            let err = parse_bytes(input).unwrap_err();
+            let (status, _) = err.status().unwrap_or((0, ""));
+            assert_eq!(status, want, "for {:?} ({err:?})", String::from_utf8_lossy(input));
+        }
+    }
+
+    #[test]
+    fn header_limits_are_enforced() {
+        let mut many = b"POST / HTTP/1.1\r\n".to_vec();
+        for i in 0..100 {
+            many.extend_from_slice(format!("h{i}: v\r\n").as_bytes());
+        }
+        many.extend_from_slice(b"\r\n");
+        assert!(matches!(parse_bytes(&many).unwrap_err(), HttpError::TooManyHeaders));
+
+        let mut long = b"POST / HTTP/1.1\r\nbig: ".to_vec();
+        long.extend(std::iter::repeat_n(b'x', 10 * 1024));
+        long.extend_from_slice(b"\r\n\r\n");
+        assert!(matches!(parse_bytes(&long).unwrap_err(), HttpError::LineTooLong));
+    }
+
+    #[test]
+    fn response_writer_frames_and_parses_back() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "OK", "application/json", b"{\"x\":1}", false)
+            .expect("write");
+        let text = String::from_utf8(out).expect("ascii");
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 7\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"x\":1}"));
+    }
+}

@@ -1,0 +1,45 @@
+//! `fairgen-rpc`: the network front-end for the FairGen serving stack.
+//!
+//! Everything below [`FairGenServer`](fairgen_serve::FairGenServer) is
+//! in-process; this crate puts a socket in front of it — a hand-rolled
+//! HTTP/1.1 JSON-RPC server on [`std::net::TcpListener`] (the build
+//! environment has no crates.io, so the JSON and HTTP layers are vendored
+//! modules, the same way `fairgen-par` vendored its thread pool).
+//!
+//! | module | what it owns |
+//! |---|---|
+//! | [`json`] | vendored JSON value tree, strict parser, writer |
+//! | [`http`] | HTTP/1.1 request/response framing with typed errors |
+//! | [`wire`] | serde-free request/response structs and their JSON shapes |
+//! | [`codes`] | the stable `FairGenError` → wire-code table |
+//! | [`server`] | [`RpcServer`]: accept loop, per-connection handlers, drain |
+//! | [`client`] | [`RpcClient`]: blocking keep-alive JSON-RPC client |
+//!
+//! The method surface is `generate`, `generate_batch`, and `stats` —
+//! POSTed as JSON-RPC 2.0 envelopes to `/rpc` (wire format documented in
+//! [`wire`]). Every failure crosses the socket as a structured JSON error
+//! with a stable numeric code ([`codes`]) — malformed transport input gets
+//! a typed 4xx, application errors keep their `FairGenError` identity,
+//! and a draining or shut-down server answers exactly
+//! [`codes::SERVER_CLOSED`], the same typed rejection the in-process
+//! `submit` path returns. Shutdown mirrors the in-process contract: stop
+//! accepting, drain in-flight connections, then close the shard queues and
+//! spill dirty models.
+//!
+//! The `bench_serving` bin (in `fairgen-bench`) drives this socket with N
+//! concurrent clients across cold/warm/dedup request mixes and writes the
+//! latency/throughput distribution into `BENCH_serving.json` — the
+//! serving-path artifact later scaling PRs move.
+
+pub mod client;
+pub mod codes;
+pub mod http;
+pub mod json;
+pub mod server;
+pub mod wire;
+
+pub use client::{ClientError, ClientResult, RpcClient, RpcErrorInfo};
+pub use http::{HttpError, HttpLimits, HttpRequest, HttpResponse};
+pub use json::{Json, JsonError, JsonErrorKind};
+pub use server::{handle_rpc_body, respond, RpcConfig, RpcServer};
+pub use wire::{GenerateParams, GenerateResult, RpcRequest, WireError};

@@ -1,0 +1,549 @@
+//! Serde-free wire types: the JSON shapes of graphs, tasks, requests, and
+//! responses, with hand-written encode/decode on the vendored [`Json`]
+//! tree.
+//!
+//! # Wire format
+//!
+//! A request is an HTTP `POST` to `/rpc` whose body is a JSON-RPC 2.0
+//! envelope:
+//!
+//! ```json
+//! {"jsonrpc": "2.0", "id": 1, "method": "generate", "params": {
+//!    "graph": {"n": 6, "edges": [[0,1],[1,2]]},
+//!    "task":  {"labeled": [[0,1]], "num_classes": 2,
+//!              "protected": {"universe": 6, "members": [0,1,2]}},
+//!    "fit_seed": 42, "sample_seed": 7}}
+//! ```
+//!
+//! `generate_batch` takes `sample_seeds: [u64]` instead of `sample_seed`;
+//! `stats` takes no params. Success answers carry `result`, failures a
+//! structured `error` (`{"code", "message", "data": {"kind"}}`) — see
+//! [`codes`] for the code table.
+
+use fairgen_baselines::TaskSpec;
+use fairgen_graph::{Graph, NodeId, NodeSet};
+use fairgen_serve::{GenerateResponse, ServedFrom, ServerStats, ShardStats};
+
+use crate::codes;
+use crate::json::{obj, Json};
+
+/// Why a structurally-valid JSON value does not decode into the expected
+/// wire type. Maps to [`codes::INVALID_PARAMS`] (or
+/// [`codes::INVALID_REQUEST`] at the envelope level).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireError {
+    /// Dotted path of the offending field (e.g. `params.graph.edges[3]`).
+    pub field: String,
+    /// What was wrong.
+    pub detail: String,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "field `{}`: {}", self.field, self.detail)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn wire_err(field: impl Into<String>, detail: impl Into<String>) -> WireError {
+    WireError { field: field.into(), detail: detail.into() }
+}
+
+fn get_u64(params: &Json, field: &str) -> Result<u64, WireError> {
+    params
+        .get(field)
+        .ok_or_else(|| wire_err(field, "missing"))?
+        .as_u64()
+        .ok_or_else(|| wire_err(field, "expected an unsigned integer"))
+}
+
+fn get_usize(params: &Json, field: &str) -> Result<usize, WireError> {
+    usize::try_from(get_u64(params, field)?)
+        .map_err(|_| wire_err(field, "does not fit in usize"))
+}
+
+fn node_id(v: &Json, field: &str) -> Result<NodeId, WireError> {
+    let raw = v.as_u64().ok_or_else(|| wire_err(field, "expected an unsigned integer"))?;
+    NodeId::try_from(raw).map_err(|_| wire_err(field, "node id does not fit in u32"))
+}
+
+// ---------------------------------------------------------------------------
+// Graph
+// ---------------------------------------------------------------------------
+
+/// Encodes a graph as `{"n": N, "edges": [[u,v], …]}` (each undirected edge
+/// once, `u < v`, ascending — the iteration order of [`Graph::edges`]).
+pub fn graph_to_json(g: &Graph) -> Json {
+    let edges = g
+        .edges()
+        .map(|(u, v)| Json::Arr(vec![Json::U64(u as u64), Json::U64(v as u64)]))
+        .collect();
+    obj(vec![("n", Json::U64(g.n() as u64)), ("edges", Json::Arr(edges))])
+}
+
+/// Decodes a graph, validating every node id against `n`.
+pub fn graph_from_json(v: &Json) -> Result<Graph, WireError> {
+    let n = get_usize(v, "n")?;
+    let raw_edges = v
+        .get("edges")
+        .ok_or_else(|| wire_err("edges", "missing"))?
+        .as_arr()
+        .ok_or_else(|| wire_err("edges", "expected an array of [u, v] pairs"))?;
+    let mut edges = Vec::with_capacity(raw_edges.len());
+    for (i, e) in raw_edges.iter().enumerate() {
+        let field = format!("edges[{i}]");
+        let pair = e.as_arr().ok_or_else(|| wire_err(&field, "expected a [u, v] pair"))?;
+        if pair.len() != 2 {
+            return Err(wire_err(&field, "expected exactly two endpoints"));
+        }
+        edges.push((node_id(&pair[0], &field)?, node_id(&pair[1], &field)?));
+    }
+    Graph::try_from_edges(n, &edges).map_err(|e| wire_err("edges", e.to_string()))
+}
+
+// ---------------------------------------------------------------------------
+// TaskSpec
+// ---------------------------------------------------------------------------
+
+/// Encodes a task as `{"labeled": [[node, class], …], "num_classes": C,
+/// "protected": {"universe": U, "members": […]} | null}`.
+pub fn task_to_json(task: &TaskSpec) -> Json {
+    let labeled = task
+        .labeled
+        .iter()
+        .map(|&(node, class)| Json::Arr(vec![Json::U64(node as u64), Json::U64(class as u64)]))
+        .collect();
+    let protected = match &task.protected {
+        Some(set) => obj(vec![
+            ("universe", Json::U64(set.universe() as u64)),
+            (
+                "members",
+                Json::Arr(set.members().iter().map(|&v| Json::U64(v as u64)).collect()),
+            ),
+        ]),
+        None => Json::Null,
+    };
+    obj(vec![
+        ("labeled", Json::Arr(labeled)),
+        ("num_classes", Json::U64(task.num_classes as u64)),
+        ("protected", protected),
+    ])
+}
+
+/// Decodes a task. Structural validation only (ids fit, members are inside
+/// the declared universe) — semantic validation against the graph happens
+/// in [`TaskSpec::validate`] on the serving side.
+pub fn task_from_json(v: &Json) -> Result<TaskSpec, WireError> {
+    let raw_labeled = v
+        .get("labeled")
+        .ok_or_else(|| wire_err("labeled", "missing"))?
+        .as_arr()
+        .ok_or_else(|| wire_err("labeled", "expected an array of [node, class] pairs"))?;
+    let mut labeled = Vec::with_capacity(raw_labeled.len());
+    for (i, pair) in raw_labeled.iter().enumerate() {
+        let field = format!("labeled[{i}]");
+        let pair =
+            pair.as_arr().ok_or_else(|| wire_err(&field, "expected a [node, class] pair"))?;
+        if pair.len() != 2 {
+            return Err(wire_err(&field, "expected exactly [node, class]"));
+        }
+        let node = node_id(&pair[0], &field)?;
+        let class = usize::try_from(
+            pair[1].as_u64().ok_or_else(|| wire_err(&field, "class must be unsigned"))?,
+        )
+        .map_err(|_| wire_err(&field, "class does not fit in usize"))?;
+        labeled.push((node, class));
+    }
+    let num_classes = get_usize(v, "num_classes")?;
+    let protected = match v.get("protected") {
+        None | Some(Json::Null) => None,
+        Some(p) => {
+            let universe = get_usize(p, "universe")
+                .map_err(|_| wire_err("protected.universe", "missing or not unsigned"))?;
+            let raw = p
+                .get("members")
+                .ok_or_else(|| wire_err("protected.members", "missing"))?
+                .as_arr()
+                .ok_or_else(|| wire_err("protected.members", "expected an array"))?;
+            let mut members = Vec::with_capacity(raw.len());
+            for (i, m) in raw.iter().enumerate() {
+                let field = format!("protected.members[{i}]");
+                let id = node_id(m, &field)?;
+                if id as usize >= universe {
+                    return Err(wire_err(&field, "member outside the declared universe"));
+                }
+                members.push(id);
+            }
+            Some(NodeSet::from_members(universe, &members))
+        }
+    };
+    Ok(TaskSpec::new(labeled, num_classes, protected))
+}
+
+// ---------------------------------------------------------------------------
+// RPC envelope
+// ---------------------------------------------------------------------------
+
+/// A decoded JSON-RPC request envelope.
+#[derive(Clone, Debug)]
+pub struct RpcRequest {
+    /// The request id, echoed verbatim in the response (`Json::Null` when
+    /// the client sent none).
+    pub id: Json,
+    /// The method name.
+    pub method: String,
+    /// The params object (`Json::Null` when absent).
+    pub params: Json,
+}
+
+/// Decodes and validates the envelope: must be an object with a string
+/// `method`; `jsonrpc`, when present, must be `"2.0"`; `id`, when present,
+/// must be a string, number, or null (per JSON-RPC 2.0).
+pub fn decode_envelope(v: &Json) -> Result<RpcRequest, WireError> {
+    if !matches!(v, Json::Obj(_)) {
+        return Err(wire_err("request", "expected a JSON object"));
+    }
+    if let Some(version) = v.get("jsonrpc") {
+        if version.as_str() != Some("2.0") {
+            return Err(wire_err("jsonrpc", "expected \"2.0\""));
+        }
+    }
+    let method = v
+        .get("method")
+        .ok_or_else(|| wire_err("method", "missing"))?
+        .as_str()
+        .ok_or_else(|| wire_err("method", "expected a string"))?
+        .to_string();
+    let id = v.get("id").cloned().unwrap_or(Json::Null);
+    if !matches!(id, Json::Null | Json::Str(_) | Json::U64(_) | Json::I64(_) | Json::F64(_)) {
+        return Err(wire_err("id", "expected a string, number, or null"));
+    }
+    let params = v.get("params").cloned().unwrap_or(Json::Null);
+    Ok(RpcRequest { id, method, params })
+}
+
+/// The params of `generate` / `generate_batch`, decoded.
+#[derive(Clone, Debug)]
+pub struct GenerateParams {
+    /// The observed graph to fit on.
+    pub graph: Graph,
+    /// Task metadata.
+    pub task: TaskSpec,
+    /// The fit seed (cache-key content).
+    pub fit_seed: u64,
+    /// One synthetic draw per seed.
+    pub sample_seeds: Vec<u64>,
+}
+
+/// Decodes `generate` params (`sample_seed`, exactly one draw) or
+/// `generate_batch` params (`sample_seeds`, any number), per `batch`.
+pub fn decode_generate_params(params: &Json, batch: bool) -> Result<GenerateParams, WireError> {
+    if !matches!(params, Json::Obj(_)) {
+        return Err(wire_err("params", "expected an object"));
+    }
+    let graph =
+        graph_from_json(params.get("graph").ok_or_else(|| wire_err("graph", "missing"))?)?;
+    let task = task_from_json(params.get("task").ok_or_else(|| wire_err("task", "missing"))?)?;
+    let fit_seed = get_u64(params, "fit_seed")?;
+    let sample_seeds = if batch {
+        let raw = params
+            .get("sample_seeds")
+            .ok_or_else(|| wire_err("sample_seeds", "missing"))?
+            .as_arr()
+            .ok_or_else(|| wire_err("sample_seeds", "expected an array of unsigned seeds"))?;
+        raw.iter()
+            .enumerate()
+            .map(|(i, s)| {
+                s.as_u64().ok_or_else(|| {
+                    wire_err(format!("sample_seeds[{i}]"), "expected an unsigned integer")
+                })
+            })
+            .collect::<Result<Vec<u64>, WireError>>()?
+    } else {
+        vec![get_u64(params, "sample_seed")?]
+    };
+    Ok(GenerateParams { graph, task, fit_seed, sample_seeds })
+}
+
+/// Encodes the params of a `generate`/`generate_batch` call (client side).
+pub fn encode_generate_params(
+    graph: &Graph,
+    task: &TaskSpec,
+    fit_seed: u64,
+    sample_seeds: &[u64],
+    batch: bool,
+) -> Json {
+    let mut fields = vec![
+        ("graph", graph_to_json(graph)),
+        ("task", task_to_json(task)),
+        ("fit_seed", Json::U64(fit_seed)),
+    ];
+    if batch {
+        fields.push((
+            "sample_seeds",
+            Json::Arr(sample_seeds.iter().map(|&s| Json::U64(s)).collect()),
+        ));
+    } else {
+        fields.push(("sample_seed", Json::U64(sample_seeds[0])));
+    }
+    obj(fields)
+}
+
+/// The wire name of a [`ServedFrom`] outcome.
+pub fn served_from_str(s: ServedFrom) -> &'static str {
+    match s {
+        ServedFrom::ColdFit => "cold_fit",
+        ServedFrom::Memory => "memory",
+        ServedFrom::Checkpoint => "checkpoint",
+        ServedFrom::DedupCache => "dedup_cache",
+    }
+}
+
+/// Parses a wire [`ServedFrom`] name.
+pub fn served_from_parse(s: &str) -> Option<ServedFrom> {
+    match s {
+        "cold_fit" => Some(ServedFrom::ColdFit),
+        "memory" => Some(ServedFrom::Memory),
+        "checkpoint" => Some(ServedFrom::Checkpoint),
+        "dedup_cache" => Some(ServedFrom::DedupCache),
+        _ => None,
+    }
+}
+
+/// Encodes a serving response as
+/// `{"fingerprint": "<hex>", "served_from": "<outcome>", "graphs": […]}`.
+pub fn generate_result_to_json(response: &GenerateResponse) -> Json {
+    obj(vec![
+        ("fingerprint", Json::Str(response.fingerprint.to_hex())),
+        ("served_from", Json::Str(served_from_str(response.served_from).into())),
+        ("graphs", Json::Arr(response.graphs.iter().map(graph_to_json).collect())),
+    ])
+}
+
+/// A `generate`/`generate_batch` result decoded on the client side. The
+/// fingerprint stays a hex string — it is an opaque cache key on the wire.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GenerateResult {
+    /// Hex rendering of the serving cache key.
+    pub fingerprint: String,
+    /// Which serving path answered.
+    pub served_from: ServedFrom,
+    /// One synthetic graph per requested seed, in request order.
+    pub graphs: Vec<Graph>,
+}
+
+/// Decodes a `generate`/`generate_batch` result.
+pub fn generate_result_from_json(v: &Json) -> Result<GenerateResult, WireError> {
+    let fingerprint = v
+        .get("fingerprint")
+        .and_then(Json::as_str)
+        .ok_or_else(|| wire_err("fingerprint", "missing or not a string"))?
+        .to_string();
+    let served_from = v
+        .get("served_from")
+        .and_then(Json::as_str)
+        .and_then(served_from_parse)
+        .ok_or_else(|| wire_err("served_from", "missing or unknown outcome"))?;
+    let raw = v
+        .get("graphs")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| wire_err("graphs", "missing or not an array"))?;
+    let graphs = raw.iter().map(graph_from_json).collect::<Result<Vec<Graph>, WireError>>()?;
+    Ok(GenerateResult { fingerprint, served_from, graphs })
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+fn shard_stats_to_json(s: &ShardStats) -> Json {
+    obj(vec![
+        ("queue_depth", Json::U64(s.queue_depth as u64)),
+        ("drains", Json::U64(s.drains)),
+        ("max_drain", Json::U64(s.max_drain as u64)),
+        ("dedup_hits", Json::U64(s.dedup_hits)),
+        ("dedup_inserts", Json::U64(s.dedup_inserts)),
+        ("dedup_resident", Json::U64(s.dedup_resident as u64)),
+        (
+            "registry",
+            obj(vec![
+                ("requests", Json::U64(s.registry.requests)),
+                ("cold_fits", Json::U64(s.registry.cold_fits)),
+                ("memory_hits", Json::U64(s.registry.memory_hits)),
+                ("checkpoint_loads", Json::U64(s.registry.checkpoint_loads)),
+                ("evictions", Json::U64(s.registry.evictions)),
+                ("spills", Json::U64(s.registry.spills)),
+            ]),
+        ),
+    ])
+}
+
+/// Encodes a whole-server stats snapshot: per-shard counters plus the
+/// aggregate totals the load harness consumes.
+pub fn stats_to_json(stats: &ServerStats) -> Json {
+    obj(vec![
+        ("shards", Json::Arr(stats.per_shard.iter().map(shard_stats_to_json).collect())),
+        (
+            "totals",
+            obj(vec![
+                ("requests", Json::U64(stats.requests())),
+                ("fits", Json::U64(stats.fits())),
+                ("dedup_hits", Json::U64(stats.dedup_hits())),
+                ("drains", Json::U64(stats.drains())),
+                ("queue_depth", Json::U64(stats.queue_depth() as u64)),
+                ("max_drain", Json::U64(stats.max_drain() as u64)),
+            ]),
+        ),
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// Error objects
+// ---------------------------------------------------------------------------
+
+/// Builds a JSON-RPC error object: `{"code", "message", "data": {"kind"}}`.
+pub fn error_object(code: i64, message: &str, kind: &str) -> Json {
+    obj(vec![
+        ("code", Json::I64(code)),
+        ("message", Json::Str(message.into())),
+        ("data", obj(vec![("kind", Json::Str(kind.into()))])),
+    ])
+}
+
+/// The error object for a typed [`FairGenError`](fairgen_core::error::FairGenError), using the stable
+/// [`codes`] table.
+pub fn fairgen_error_object(e: &fairgen_core::error::FairGenError) -> Json {
+    error_object(codes::wire_code(e), &e.to_string(), codes::kind_name(e))
+}
+
+/// Wraps a result or error object into the response envelope, echoing `id`.
+pub fn response_envelope(id: &Json, body: Result<Json, Json>) -> Json {
+    let (key, value) = match body {
+        Ok(result) => ("result", result),
+        Err(error) => ("error", error),
+    };
+    Json::Obj(vec![
+        ("jsonrpc".to_string(), Json::Str("2.0".into())),
+        ("id".to_string(), id.clone()),
+        (key.to_string(), value),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn ring(n: usize) -> Graph {
+        let edges: Vec<(NodeId, NodeId)> =
+            (0..n).map(|i| (i as NodeId, ((i + 1) % n) as NodeId)).collect();
+        Graph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn graph_round_trips() {
+        for g in [ring(8), Graph::empty(3), Graph::from_edges(5, &[(0, 4), (1, 3)])] {
+            let encoded = graph_to_json(&g).encode();
+            let back =
+                graph_from_json(&parse(encoded.as_bytes()).expect("json")).expect("decode");
+            assert_eq!(back, g);
+        }
+    }
+
+    #[test]
+    fn task_round_trips() {
+        let task =
+            TaskSpec::new(vec![(0, 1), (3, 0)], 2, Some(NodeSet::from_members(6, &[0, 2, 4])));
+        let back = task_from_json(&parse(task_to_json(&task).encode().as_bytes()).unwrap())
+            .expect("decode");
+        assert_eq!(back.labeled, task.labeled);
+        assert_eq!(back.num_classes, task.num_classes);
+        assert_eq!(
+            back.protected.as_ref().map(|s| s.members().to_vec()),
+            task.protected.as_ref().map(|s| s.members().to_vec()),
+        );
+        let unlabeled = TaskSpec::unlabeled();
+        let back =
+            task_from_json(&parse(task_to_json(&unlabeled).encode().as_bytes()).unwrap())
+                .expect("decode");
+        assert!(back.protected.is_none());
+        assert!(back.labeled.is_empty());
+    }
+
+    #[test]
+    fn bad_graphs_are_typed_wire_errors() {
+        for (text, field_prefix) in [
+            (r#"{"edges": []}"#, "n"),
+            (r#"{"n": 3}"#, "edges"),
+            (r#"{"n": 3, "edges": [[0]]}"#, "edges[0]"),
+            (r#"{"n": 3, "edges": [[0, 9]]}"#, "edges"),
+            (r#"{"n": 3, "edges": [[0, -1]]}"#, "edges[0]"),
+            (r#"{"n": 3, "edges": 7}"#, "edges"),
+        ] {
+            let v = parse(text.as_bytes()).expect("valid json");
+            let err = graph_from_json(&v).expect_err(text);
+            assert!(err.field.starts_with(field_prefix), "{text}: {err}");
+        }
+    }
+
+    #[test]
+    fn protected_member_outside_universe_is_rejected() {
+        let v = parse(
+            br#"{"labeled": [], "num_classes": 0,
+                 "protected": {"universe": 3, "members": [5]}}"#,
+        )
+        .expect("json");
+        let err = task_from_json(&v).expect_err("member out of range");
+        assert!(err.field.contains("members[0]"), "{err}");
+    }
+
+    #[test]
+    fn envelope_validation() {
+        let ok = parse(br#"{"jsonrpc":"2.0","id":3,"method":"stats"}"#).unwrap();
+        let req = decode_envelope(&ok).expect("envelope");
+        assert_eq!(req.method, "stats");
+        assert_eq!(req.id, Json::U64(3));
+        assert!(req.params.is_null());
+
+        for bad in [
+            r#"[1,2,3]"#,
+            r#"{"jsonrpc":"1.0","method":"x"}"#,
+            r#"{"jsonrpc":"2.0"}"#,
+            r#"{"method": 7}"#,
+            r#"{"method":"x","id":[1]}"#,
+        ] {
+            let v = parse(bad.as_bytes()).unwrap();
+            assert!(decode_envelope(&v).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn generate_params_round_trip() {
+        let g = ring(5);
+        let task = TaskSpec::unlabeled();
+        for batch in [false, true] {
+            let seeds = if batch { vec![1, 2, 3] } else { vec![9] };
+            let params = encode_generate_params(&g, &task, 42, &seeds, batch);
+            let back =
+                decode_generate_params(&parse(params.encode().as_bytes()).unwrap(), batch)
+                    .expect("decode");
+            assert_eq!(back.graph, g);
+            assert_eq!(back.fit_seed, 42);
+            assert_eq!(back.sample_seeds, seeds);
+        }
+    }
+
+    #[test]
+    fn served_from_names_round_trip() {
+        for s in [
+            ServedFrom::ColdFit,
+            ServedFrom::Memory,
+            ServedFrom::Checkpoint,
+            ServedFrom::DedupCache,
+        ] {
+            assert_eq!(served_from_parse(served_from_str(s)), Some(s));
+        }
+        assert_eq!(served_from_parse("warp_drive"), None);
+    }
+}

@@ -1,0 +1,129 @@
+//! Malformed-input property tests for the HTTP/1.1 request parser:
+//! arbitrary byte soup, truncated requests, oversized bodies, and
+//! non-UTF-8 headers must never panic, and every reportable failure maps
+//! to a typed 4xx/5xx via [`HttpError::status`].
+
+use std::io::Cursor;
+
+use fairgen_rpc::http::{read_request, HttpError, HttpLimits};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn limits() -> HttpLimits {
+    HttpLimits { max_line_bytes: 256, max_headers: 8, max_body_bytes: 4096 }
+}
+
+/// Renders a well-formed POST request from fuzzed pieces.
+fn render_request(target_seed: u64, header_count: usize, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(format!("POST /rpc{target_seed} HTTP/1.1\r\n").as_bytes());
+    out.extend_from_slice(format!("Content-Length: {}\r\n", body.len()).as_bytes());
+    for i in 0..header_count {
+        out.extend_from_slice(format!("X-Extra-{i}: value-{i}\r\n").as_bytes());
+    }
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(body);
+    out
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in vec(any::<u8>(), 0..512)) {
+        let result = read_request(&mut Cursor::new(bytes), &limits());
+        // Whatever happened, a reportable error must carry a 4xx/5xx
+        // status — `status()` only returns None for Eof/Timeout/Io.
+        if let Err(err) = result {
+            if let Some((status, _)) = err.status() {
+                prop_assert!((400..=599).contains(&status));
+            }
+        }
+    }
+
+    #[test]
+    fn valid_requests_round_trip(
+        target_seed in any::<u64>(),
+        extra_headers in 0usize..5,
+        body in vec(any::<u8>(), 0..128),
+    ) {
+        let bytes = render_request(target_seed, extra_headers, &body);
+        let req = read_request(&mut Cursor::new(bytes), &limits());
+        let req = match req {
+            Ok(req) => req,
+            Err(err) => return Err(TestCaseError::Fail(format!("rejected: {err:?}"))),
+        };
+        prop_assert_eq!(req.method.as_str(), "POST");
+        prop_assert_eq!(req.target, format!("/rpc{target_seed}"));
+        prop_assert!(req.http11);
+        prop_assert!(req.keep_alive());
+        prop_assert_eq!(req.body, body);
+        prop_assert_eq!(req.headers.len(), 1 + extra_headers);
+    }
+
+    #[test]
+    fn truncations_give_typed_errors(
+        target_seed in any::<u64>(),
+        body in vec(any::<u8>(), 1..64),
+        cut_seed in any::<u64>(),
+    ) {
+        let bytes = render_request(target_seed, 2, &body);
+        // Strictly shorter than the full request: parsing must fail, and
+        // fail with a typed error (Io from the truncated body read, or a
+        // grammar error if the cut landed inside a line), never a panic.
+        let cut = (cut_seed as usize) % bytes.len();
+        let result = read_request(&mut Cursor::new(bytes[..cut].to_vec()), &limits());
+        prop_assert!(result.is_err());
+    }
+
+    #[test]
+    fn oversized_content_length_is_413(declared in 4097u64..u64::MAX) {
+        let text = format!("POST /rpc HTTP/1.1\r\nContent-Length: {declared}\r\n\r\n");
+        let err = read_request(&mut Cursor::new(text.into_bytes()), &limits())
+            .expect_err("body over limit");
+        prop_assert!(matches!(err, HttpError::BodyTooLarge { declared: d } if d == declared));
+        prop_assert_eq!(err.status().map(|(s, _)| s), Some(413));
+    }
+
+    #[test]
+    fn bad_utf8_headers_are_400(byte in 0x80u8..=0xff) {
+        // A lone continuation/invalid byte makes the header line non-UTF-8.
+        let mut bytes = b"POST /rpc HTTP/1.1\r\nX-Bad: a".to_vec();
+        bytes.push(byte);
+        bytes.extend_from_slice(b"\r\n\r\n");
+        let err = read_request(&mut Cursor::new(bytes), &limits()).expect_err("bad utf-8");
+        // `é`'s lead byte may form valid UTF-8 with the following `\r`? No:
+        // 0x80..=0xBF are bare continuations and 0xC0.. expects more bytes,
+        // so with ASCII following this is always invalid.
+        prop_assert!(matches!(err, HttpError::BadHeader));
+        prop_assert_eq!(err.status().map(|(s, _)| s), Some(400));
+    }
+
+    #[test]
+    fn header_floods_are_431(extra in 9usize..40) {
+        let bytes = render_request(1, extra, b"");
+        let err = read_request(&mut Cursor::new(bytes), &limits()).expect_err("too many");
+        prop_assert!(matches!(err, HttpError::TooManyHeaders));
+        prop_assert_eq!(err.status().map(|(s, _)| s), Some(431));
+    }
+
+    #[test]
+    fn long_lines_are_431(pad in 257usize..600) {
+        let mut bytes = b"POST /".to_vec();
+        bytes.extend(std::iter::repeat_n(b'a', pad));
+        bytes.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+        let err = read_request(&mut Cursor::new(bytes), &limits()).expect_err("long line");
+        prop_assert!(matches!(err, HttpError::LineTooLong));
+        prop_assert_eq!(err.status().map(|(s, _)| s), Some(431));
+    }
+
+    #[test]
+    fn conflicting_content_lengths_are_400(a in 0u64..100, delta in 1u64..100) {
+        let text = format!(
+            "POST /rpc HTTP/1.1\r\nContent-Length: {a}\r\nContent-Length: {}\r\n\r\n",
+            a + delta
+        );
+        let err = read_request(&mut Cursor::new(text.into_bytes()), &limits())
+            .expect_err("conflicting lengths");
+        prop_assert!(matches!(err, HttpError::BadContentLength));
+        prop_assert_eq!(err.status().map(|(s, _)| s), Some(400));
+    }
+}

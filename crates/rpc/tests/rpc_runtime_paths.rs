@@ -1,0 +1,214 @@
+//! End-to-end loopback tests: a real [`RpcServer`] on an ephemeral port,
+//! driven by real [`RpcClient`]s over TCP, byte-compared against the
+//! in-process [`FairGenServer::handle`] oracle.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::thread;
+
+use fairgen_baselines::{ErGenerator, TaskSpec};
+use fairgen_graph::Graph;
+use fairgen_rpc::http::read_response;
+use fairgen_rpc::{codes, ClientError, HttpLimits, Json, RpcClient, RpcConfig, RpcServer};
+use fairgen_serve::{FairGenServer, RegistryConfig, ServedFrom, ServerConfig};
+
+fn ring(n: u32) -> Graph {
+    let edges: Vec<(u32, u32)> = (0..n).map(|u| (u, (u + 1) % n)).collect();
+    Graph::from_edges(n as usize, &edges)
+}
+
+fn spawn_rpc(cfg: ServerConfig) -> RpcServer {
+    let inner = FairGenServer::new(|| Box::new(ErGenerator), cfg).expect("inner server");
+    RpcServer::serve(inner, RpcConfig::default()).expect("bind loopback")
+}
+
+fn temp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("fairgen-rpc-tests").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Two concurrent socket clients, each a stream of distinct requests; every
+/// response must be byte-equal to a fresh in-process oracle server fed the
+/// same `(graph, task, fit_seed, sample_seed)` — the network layer may not
+/// perturb a single byte of the payload.
+#[test]
+fn loopback_clients_match_the_in_process_oracle() {
+    let rpc = spawn_rpc(ServerConfig::default());
+    let addr = rpc.local_addr();
+    let task = TaskSpec::unlabeled();
+
+    let workers: Vec<_> = (0u32..2)
+        .map(|w| {
+            let task = task.clone();
+            thread::spawn(move || {
+                let mut client = RpcClient::connect(addr).expect("connect");
+                (0u64..4)
+                    .map(|i| {
+                        let g = ring(8 + w * 4 + i as u32);
+                        let fit_seed = 100 + u64::from(w);
+                        let got = client
+                            .generate(&g, &task, fit_seed, 7 + i)
+                            .expect("generate over socket");
+                        (g, fit_seed, 7 + i, got)
+                    })
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    let served: Vec<_> =
+        workers.into_iter().flat_map(|w| w.join().expect("client thread")).collect();
+
+    // A completely separate in-process server is the oracle: same
+    // generator, same seeds, zero shared state with the network path.
+    let oracle =
+        FairGenServer::new(|| Box::new(ErGenerator), ServerConfig::default()).expect("oracle");
+    for (g, fit_seed, sample_seed, got) in served {
+        let want = oracle.handle(&g, &task, fit_seed, vec![sample_seed]).expect("oracle");
+        assert_eq!(got.graphs, want.graphs, "socket and in-process graphs must be identical");
+        assert_eq!(got.fingerprint, want.fingerprint.to_hex());
+        assert_eq!(got.graphs.len(), 1);
+    }
+}
+
+/// Repeating the exact same request must be answered from the dedup cache,
+/// and the socket must carry that provenance faithfully.
+#[test]
+fn repeats_are_served_from_the_dedup_cache() {
+    let rpc = spawn_rpc(ServerConfig::default());
+    let mut client = RpcClient::connect(rpc.local_addr()).expect("connect");
+    let (g, task) = (ring(16), TaskSpec::unlabeled());
+
+    let first = client.generate(&g, &task, 3, 5).expect("cold");
+    assert_eq!(first.served_from, ServedFrom::ColdFit);
+    let repeat = client.generate(&g, &task, 3, 5).expect("repeat");
+    assert_eq!(repeat.served_from, ServedFrom::DedupCache);
+    assert_eq!(repeat.graphs, first.graphs, "dedup must replay the identical graph");
+
+    // Same model, new sample seed: warm model, fresh draw.
+    let warm = client.generate(&g, &task, 3, 6).expect("warm");
+    assert_eq!(warm.served_from, ServedFrom::Memory);
+
+    let stats = client.stats().expect("stats");
+    let totals = stats.get("totals").expect("totals");
+    assert_eq!(totals.get("dedup_hits").and_then(Json::as_u64), Some(1));
+    assert_eq!(totals.get("fits").and_then(Json::as_u64), Some(1));
+    assert_eq!(totals.get("queue_depth").and_then(Json::as_u64), Some(0));
+    assert!(totals.get("drains").and_then(Json::as_u64).is_some());
+}
+
+/// `generate_batch` over the socket: one graph per seed, in order, matching
+/// the equivalent sequence of single draws.
+#[test]
+fn batch_matches_singles() {
+    let rpc = spawn_rpc(ServerConfig::default());
+    let mut client = RpcClient::connect(rpc.local_addr()).expect("connect");
+    let (g, task) = (ring(12), TaskSpec::unlabeled());
+
+    let batch = client.generate_batch(&g, &task, 9, &[1, 2, 3]).expect("batch");
+    assert_eq!(batch.graphs.len(), 3);
+    let oracle =
+        FairGenServer::new(|| Box::new(ErGenerator), ServerConfig::default()).expect("oracle");
+    let want = oracle.handle(&g, &task, 9, vec![1, 2, 3]).expect("oracle");
+    assert_eq!(batch.graphs, want.graphs);
+}
+
+/// A malformed JSON body gets a typed 400 with the stable parse-error code
+/// — and because the HTTP framing was fine, the connection stays usable:
+/// the next request on the same socket succeeds.
+#[test]
+fn malformed_json_is_typed_and_keeps_the_connection_alive() {
+    let rpc = spawn_rpc(ServerConfig::default());
+    let mut stream = TcpStream::connect(rpc.local_addr()).expect("connect");
+    let limits = HttpLimits::default();
+
+    let bad = b"{definitely not json";
+    write!(stream, "POST /rpc HTTP/1.1\r\nContent-Length: {}\r\n\r\n", bad.len()).unwrap();
+    stream.write_all(bad).unwrap();
+    let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone"));
+    let resp = read_response(&mut reader, &limits).expect("error response");
+    assert_eq!(resp.status, 400);
+    let body = fairgen_rpc::json::parse(&resp.body).expect("error body is valid JSON");
+    assert_eq!(
+        body.get("error").and_then(|e| e.get("code")).and_then(Json::as_i64),
+        Some(codes::PARSE_ERROR),
+    );
+
+    // Good framing, bad payload → keep-alive: the same connection serves
+    // the next (valid) request.
+    let ok = br#"{"method":"stats","id":1}"#;
+    write!(stream, "POST /rpc HTTP/1.1\r\nContent-Length: {}\r\n\r\n", ok.len()).unwrap();
+    stream.write_all(ok).unwrap();
+    let resp = read_response(&mut reader, &limits).expect("stats response");
+    assert_eq!(resp.status, 200);
+    let body = fairgen_rpc::json::parse(&resp.body).expect("stats body");
+    assert!(body.get("result").and_then(|r| r.get("totals")).is_some());
+}
+
+/// Broken HTTP framing (a malformed request line) gets a typed 4xx JSON
+/// error and then a clean close — the server never just drops the socket.
+#[test]
+fn malformed_http_framing_is_typed_then_closed() {
+    let rpc = spawn_rpc(ServerConfig::default());
+    let mut stream = TcpStream::connect(rpc.local_addr()).expect("connect");
+    stream.write_all(b"COMPLETE NONSENSE\r\n\r\n").unwrap();
+    let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone"));
+    let resp = read_response(&mut reader, &HttpLimits::default()).expect("error response");
+    assert_eq!(resp.status, 400);
+    assert_eq!(resp.header("connection"), Some("close"));
+    let body = fairgen_rpc::json::parse(&resp.body).expect("error body");
+    assert_eq!(
+        body.get("error").and_then(|e| e.get("code")).and_then(Json::as_i64),
+        Some(codes::HTTP_ERROR),
+    );
+    // And the server closes its half: the next read sees EOF.
+    use std::io::Read;
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).expect("clean close");
+    assert!(rest.is_empty());
+}
+
+/// An unknown method surfaces client-side as a typed RPC error with the
+/// reserved method-not-found code and a 404 transport status.
+#[test]
+fn unknown_method_is_a_typed_client_error() {
+    let rpc = spawn_rpc(ServerConfig::default());
+    let mut client = RpcClient::connect(rpc.local_addr()).expect("connect");
+    let err = client.call("warp", Json::Obj(Vec::new())).expect_err("unknown method");
+    match err {
+        ClientError::Rpc(info) => {
+            assert_eq!(info.code, codes::METHOD_NOT_FOUND);
+            assert_eq!(info.http_status, 404);
+        }
+        other => panic!("expected an RPC error, got {other:?}"),
+    }
+}
+
+/// Graceful shutdown spills fitted models to the checkpoint directory; a
+/// brand-new RpcServer over the same directory warm-starts — first request
+/// is served from `checkpoint`, byte-identical to the pre-restart answer.
+#[test]
+fn shutdown_spills_and_a_new_server_warm_starts() {
+    let dir = temp_dir("rpc-restart");
+    let cfg = ServerConfig {
+        shards: 2,
+        registry: RegistryConfig { capacity: 4, checkpoint_dir: Some(dir.clone()) },
+        dedup_capacity: 0,
+    };
+    let (g, task) = (ring(20), TaskSpec::unlabeled());
+
+    let mut first = spawn_rpc(cfg.clone());
+    let mut client = RpcClient::connect(first.local_addr()).expect("connect");
+    let original = client.generate(&g, &task, 11, 4).expect("cold");
+    assert_eq!(original.served_from, ServedFrom::ColdFit);
+    drop(client);
+    first.shutdown();
+
+    let second = spawn_rpc(cfg);
+    let mut client = RpcClient::connect(second.local_addr()).expect("reconnect");
+    let revived = client.generate(&g, &task, 11, 4).expect("warm");
+    assert_eq!(revived.served_from, ServedFrom::Checkpoint, "restart must not refit");
+    assert_eq!(revived.graphs, original.graphs);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -120,10 +120,11 @@ pub(crate) fn response_slot() -> (ResponseSlot, PendingResponse) {
     (ResponseSlot { inner: Some(Arc::clone(&inner)) }, PendingResponse { inner })
 }
 
-/// The error every queued-but-unserved job receives when its server shuts
-/// down before (or while) processing it.
+/// The error every submit rejected by a closed server receives. The RPC
+/// front-end's closed-server path returns the *same* variant, so in-process
+/// and network clients see one typed closure signal (one stable wire code).
 pub(crate) fn shutdown_error() -> FairGenError {
-    FairGenError::Internal { detail: "server shut down before serving the request".into() }
+    FairGenError::ServerClosed
 }
 
 #[cfg(test)]
@@ -156,7 +157,7 @@ mod tests {
         let (slot, pending) = response_slot();
         assert!(pending.try_take().is_none());
         slot.fulfill(Err(shutdown_error()));
-        assert!(matches!(pending.try_take(), Some(Err(FairGenError::Internal { .. }))));
+        assert!(matches!(pending.try_take(), Some(Err(FairGenError::ServerClosed))));
         assert!(pending.try_take().is_none(), "a response is delivered once");
     }
 

@@ -101,6 +101,10 @@ pub struct ShardStats {
     /// Largest number of requests taken in a single drain — how much
     /// cross-client coalescing actually happened under load.
     pub max_drain: usize,
+    /// Jobs waiting in the shard's queue at snapshot time (sampled by
+    /// [`FairGenServer::stats`], not maintained by the worker — a live
+    /// backlog gauge, not a cumulative counter).
+    pub queue_depth: usize,
 }
 
 /// A snapshot of the whole server's counters.
@@ -139,6 +143,18 @@ impl ServerStats {
     /// The largest single queue drain observed on any shard.
     pub fn max_drain(&self) -> usize {
         self.per_shard.iter().map(|s| s.max_drain).max().unwrap_or(0)
+    }
+
+    /// Cumulative queue drains across all shards (each drain is one
+    /// coalescing opportunity).
+    pub fn drains(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.drains).sum()
+    }
+
+    /// Jobs queued but not yet taken by a shard worker, summed over all
+    /// shards at snapshot time.
+    pub fn queue_depth(&self) -> usize {
+        self.per_shard.iter().map(|s| s.queue_depth).sum()
     }
 }
 
@@ -294,7 +310,14 @@ impl FairGenServer {
             per_shard: self
                 .shards
                 .iter()
-                .map(|s| *s.stats.lock().expect("shard stats"))
+                .map(|s| {
+                    let mut snapshot = *s.stats.lock().expect("shard stats");
+                    // The live backlog gauge comes from the queue itself —
+                    // the worker only publishes after finishing a drain, so
+                    // it could never report a non-empty queue.
+                    snapshot.queue_depth = s.queue.len();
+                    snapshot
+                })
                 .collect(),
         }
     }

@@ -315,7 +315,7 @@ fn panicking_generator_fails_requests_instead_of_hanging_clients() {
     // closed queue, or — if it races in before the failsafe closes it —
     // is discarded with a typed error on wait. Never a hang.
     match server.submit(&g, &task, 0, vec![2]) {
-        Err(err) => assert!(matches!(err, FairGenError::Internal { .. })),
+        Err(err) => assert!(matches!(err, FairGenError::ServerClosed), "got {err:?}"),
         Ok(pending) => {
             let err = pending.wait().expect_err("dead shard never serves");
             assert!(matches!(err, FairGenError::Internal { .. }), "got {err:?}");
@@ -333,5 +333,5 @@ fn submit_after_shutdown_fails_cleanly() {
         .submit(&g, &TaskSpec::unlabeled(), 0, vec![1])
         .map(|_| ())
         .expect_err("closed queues reject work");
-    assert!(matches!(err, FairGenError::Internal { .. }));
+    assert!(matches!(err, FairGenError::ServerClosed), "got {err:?}");
 }

@@ -12,6 +12,11 @@
 //! the old one spilled at shutdown.
 //!
 //! Run with: `cargo run -p fairgen-suite --release --example serving`
+//!
+//! Pass `--socket` to run the same scenario over the network instead: the
+//! `FairGenServer` goes behind a `fairgen-rpc` HTTP/1.1 JSON-RPC front-end
+//! on an ephemeral loopback port, and every tenant becomes a real TCP
+//! client — same dedup and warm-start guarantees, now across a socket.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -33,7 +38,95 @@ fn tenant(task: u64) -> (Arc<fairgen_graph::Graph>, Arc<TaskSpec>) {
     )
 }
 
+/// The `--socket` variant: the same three tenants, but every request
+/// crosses a real TCP connection through the `fairgen-rpc` front-end.
+fn run_over_socket() -> fairgen_core::error::Result<()> {
+    use fairgen_rpc::{RpcClient, RpcConfig, RpcServer};
+
+    let ckpt_dir = std::env::temp_dir().join("fairgen-serving-example-socket");
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    let cfg = FairGenConfig { num_walks: 200, cycles: 2, ..Default::default() };
+    let server_cfg = ServerConfig {
+        shards: 2,
+        registry: RegistryConfig { capacity: 2, checkpoint_dir: Some(ckpt_dir.clone()) },
+        dedup_capacity: 64,
+    };
+    let inner =
+        FairGenServer::new(move || Box::new(FairGenGenerator::new(cfg)), server_cfg.clone())?;
+    let mut rpc = RpcServer::serve(inner, RpcConfig::default())?;
+    let addr = rpc.local_addr();
+    println!("fairgen-rpc listening on {addr}\n");
+
+    let tenants: Vec<_> = (1..=3u64).map(tenant).collect();
+    std::thread::scope(|scope| {
+        for (id, (graph, task)) in tenants.iter().enumerate() {
+            scope.spawn(move || {
+                let mut client = RpcClient::connect(addr).expect("connect");
+                let seeds = vec![10 + id as u64, 20 + id as u64];
+                let started = Instant::now();
+                let first =
+                    client.generate_batch(graph, task, 42, &seeds).expect("serve over socket");
+                println!(
+                    "tenant {id}: {} draw(s) in {:>7.3}s  [{:?}]",
+                    first.graphs.len(),
+                    started.elapsed().as_secs_f64(),
+                    first.served_from,
+                );
+                let started = Instant::now();
+                let again = client.generate_batch(graph, task, 42, &seeds).expect("repeat");
+                assert_eq!(again.served_from, ServedFrom::DedupCache);
+                assert_eq!(again.graphs, first.graphs, "dedup must replay the same bytes");
+                println!(
+                    "tenant {id}: repeat in {:>7.3}s  [{:?}] — zero model invocations",
+                    started.elapsed().as_secs_f64(),
+                    again.served_from,
+                );
+            });
+        }
+    });
+
+    let mut client = RpcClient::connect(addr).expect("connect for stats");
+    let stats = client.stats().expect("stats over socket");
+    let totals = stats.get("totals").expect("totals");
+    let count = |k: &str| totals.get(k).and_then(fairgen_rpc::Json::as_u64).unwrap_or(0);
+    println!(
+        "\nstats over the socket: {} requests, {} fits, {} dedup hits, \
+         largest coalesced drain {}",
+        count("requests"),
+        count("fits"),
+        count("dedup_hits"),
+        count("max_drain"),
+    );
+    assert_eq!(count("fits"), 3, "one fit per tenant, regardless of interleaving");
+    drop(client);
+
+    // "Restart": graceful shutdown drains connections and spills every
+    // dirty model; a fresh server on the same directory warm-starts.
+    rpc.shutdown();
+    let revived_inner =
+        FairGenServer::new(move || Box::new(FairGenGenerator::new(cfg)), server_cfg)?;
+    let revived = RpcServer::serve(revived_inner, RpcConfig::default())?;
+    let mut client = RpcClient::connect(revived.local_addr()).expect("reconnect");
+    let (graph, task) = &tenants[0];
+    let started = Instant::now();
+    let response = client.generate_batch(graph, task, 42, &[10]).expect("warm over socket");
+    println!(
+        "\nafter restart, tenant 0 served in {:.3}s [{:?}]",
+        started.elapsed().as_secs_f64(),
+        response.served_from,
+    );
+    assert_eq!(response.served_from, ServedFrom::Checkpoint);
+
+    drop(client);
+    drop(revived);
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    Ok(())
+}
+
 fn main() -> fairgen_core::error::Result<()> {
+    if std::env::args().any(|a| a == "--socket") {
+        return run_over_socket();
+    }
     let ckpt_dir = std::env::temp_dir().join("fairgen-serving-example");
     let _ = std::fs::remove_dir_all(&ckpt_dir);
     let cfg = FairGenConfig { num_walks: 200, cycles: 2, ..Default::default() };

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_serving.json: latency percentiles and throughput of the
+# fairgen-rpc HTTP/1.1 front-end under concurrent loopback clients, across
+# cold / warm / dedup request mixes.
+# Usage: scripts/bench_serving.sh [output.json] [clients] [requests_per_client]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo run --release -p fairgen-bench --bin bench_serving -- \
+  "${1:-BENCH_serving.json}" "${2:-4}" "${3:-64}"
