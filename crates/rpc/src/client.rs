@@ -11,16 +11,17 @@ use std::time::Duration;
 use fairgen_baselines::TaskSpec;
 use fairgen_graph::Graph;
 
+use crate::codes;
 use crate::http::{read_response, HttpError, HttpLimits};
 use crate::json::{obj, parse, Json, JsonError};
 use crate::wire::{
-    encode_generate_params, generate_result_from_json, GenerateResult, WireError,
+    encode_generate_params, generate_result_from_json, GenerateResult, WireError, WireLimits,
 };
 
 /// A structured JSON-RPC error reported by the server.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RpcErrorInfo {
-    /// The stable wire code (see [`codes`](crate::codes)).
+    /// The stable wire code (see [`codes`]).
     pub code: i64,
     /// Human-readable message.
     pub message: String,
@@ -84,6 +85,7 @@ pub type ClientResult<T> = std::result::Result<T, ClientError>;
 pub struct RpcClient {
     reader: BufReader<TcpStream>,
     limits: HttpLimits,
+    wire: WireLimits,
     next_id: u64,
 }
 
@@ -102,6 +104,7 @@ impl RpcClient {
         Ok(RpcClient {
             reader: BufReader::new(stream),
             limits: HttpLimits::default(),
+            wire: WireLimits::default(),
             next_id: 1,
         })
     }
@@ -134,8 +137,9 @@ impl RpcClient {
         })?;
         let value = parse(&response.body).map_err(ClientError::Json)?;
         let got_id = value.get("id").cloned().unwrap_or(Json::Null);
+        let id_matches = got_id.as_u64() == Some(id);
         if let Some(error) = value.get("error") {
-            return Err(ClientError::Rpc(RpcErrorInfo {
+            let info = RpcErrorInfo {
                 code: error.get("code").and_then(Json::as_i64).unwrap_or(0),
                 message: error.get("message").and_then(Json::as_str).unwrap_or("").to_string(),
                 kind: error
@@ -144,9 +148,22 @@ impl RpcClient {
                     .and_then(Json::as_str)
                     .map(str::to_string),
                 http_status: response.status,
-            }));
+            };
+            // A pre-dispatch failure (unparseable body, bad envelope, HTTP
+            // reject) legitimately carries a null id — the server never
+            // learned ours. Anything else echoing the wrong id belongs to
+            // some other call: the connection is desynced, and attributing
+            // the error to this request would misreport which call failed.
+            let pre_dispatch = matches!(
+                info.code,
+                codes::PARSE_ERROR | codes::INVALID_REQUEST | codes::HTTP_ERROR
+            );
+            if !id_matches && !(got_id.is_null() && pre_dispatch) {
+                return Err(ClientError::IdMismatch { sent: id, got: got_id.encode() });
+            }
+            return Err(ClientError::Rpc(info));
         }
-        if got_id.as_u64() != Some(id) {
+        if !id_matches {
             return Err(ClientError::IdMismatch { sent: id, got: got_id.encode() });
         }
         value.get("result").cloned().ok_or_else(|| {
@@ -167,7 +184,7 @@ impl RpcClient {
     ) -> ClientResult<GenerateResult> {
         let params = encode_generate_params(graph, task, fit_seed, &[sample_seed], false);
         let result = self.call("generate", params)?;
-        generate_result_from_json(&result).map_err(ClientError::Wire)
+        generate_result_from_json(&result, &self.wire).map_err(ClientError::Wire)
     }
 
     /// One draw per seed: `generate_batch(graph, task, fit_seed, seeds)`.
@@ -180,7 +197,7 @@ impl RpcClient {
     ) -> ClientResult<GenerateResult> {
         let params = encode_generate_params(graph, task, fit_seed, sample_seeds, true);
         let result = self.call("generate_batch", params)?;
-        generate_result_from_json(&result).map_err(ClientError::Wire)
+        generate_result_from_json(&result, &self.wire).map_err(ClientError::Wire)
     }
 
     /// The server's stats snapshot, as raw JSON (shape documented in

@@ -90,8 +90,9 @@ pub enum HttpError {
     TooManyHeaders,
     /// A line exceeded [`HttpLimits::max_line_bytes`] (status 431).
     LineTooLong,
-    /// `Content-Length` missing on a method requiring a body, duplicated
-    /// with conflicting values, or not a decimal number (status 400 / 411).
+    /// `Content-Length` duplicated with conflicting values or not a
+    /// decimal number (status 400). A missing `Content-Length` is not an
+    /// error: per RFC 9112 §6.3 the request simply has no body.
     BadContentLength,
     /// Declared body exceeds [`HttpLimits::max_body_bytes`] (status 413).
     BodyTooLarge {
@@ -134,7 +135,7 @@ impl HttpError {
             HttpError::BadHeader => "malformed header line".into(),
             HttpError::TooManyHeaders => "too many header lines".into(),
             HttpError::LineTooLong => "header line too long".into(),
-            HttpError::BadContentLength => "missing or malformed Content-Length".into(),
+            HttpError::BadContentLength => "malformed or conflicting Content-Length".into(),
             HttpError::BodyTooLarge { declared } => {
                 format!("declared body of {declared} bytes exceeds the server limit")
             }
@@ -192,6 +193,35 @@ fn read_line(
         }
         line.push(byte[0]);
     }
+}
+
+/// Reads `declared` body bytes in bounded chunks. The buffer grows with
+/// the bytes actually received, so a peer declaring a large
+/// `Content-Length` (within [`HttpLimits::max_body_bytes`]) and then
+/// stalling costs one chunk of memory, not the full declared length.
+fn read_body(reader: &mut impl BufRead, declared: usize) -> Result<Vec<u8>, HttpError> {
+    const CHUNK: usize = 64 * 1024;
+    let mut body = Vec::with_capacity(declared.min(CHUNK));
+    let mut buf = [0u8; 8 * 1024];
+    let mut remaining = declared;
+    while remaining > 0 {
+        let want = remaining.min(buf.len());
+        match reader.read(&mut buf[..want]) {
+            Ok(0) => {
+                return Err(HttpError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-body",
+                )));
+            }
+            Ok(k) => {
+                body.extend_from_slice(&buf[..k]);
+                remaining -= k;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(io_to_http(e, true)),
+        }
+    }
+    Ok(body)
 }
 
 /// Reads one request off `reader`. Blocks until a request arrives, the
@@ -258,11 +288,7 @@ pub fn read_request(
         Some(n) if n > limits.max_body_bytes as u64 => {
             return Err(HttpError::BodyTooLarge { declared: n });
         }
-        Some(n) => {
-            let mut body = vec![0u8; n as usize];
-            reader.read_exact(&mut body).map_err(|e| io_to_http(e, true))?;
-            body
-        }
+        Some(n) => read_body(reader, n as usize)?,
     };
 
     Ok(HttpRequest {
@@ -330,8 +356,7 @@ pub fn read_response(
     if declared > limits.max_body_bytes as u64 {
         return Err(HttpError::BodyTooLarge { declared });
     }
-    let mut body = vec![0u8; declared as usize];
-    reader.read_exact(&mut body).map_err(|e| io_to_http(e, true))?;
+    let body = read_body(reader, declared as usize)?;
     Ok(HttpResponse { status, reason: reason.to_string(), headers, body })
 }
 

@@ -40,7 +40,7 @@ use crate::http::{read_request, write_response, HttpLimits};
 use crate::json::{parse, Json};
 use crate::wire::{
     decode_envelope, decode_generate_params, error_object, fairgen_error_object,
-    generate_result_to_json, response_envelope, stats_to_json,
+    generate_result_to_json, response_envelope, stats_to_json, WireLimits,
 };
 
 /// Network front-end policy.
@@ -53,8 +53,15 @@ pub struct RpcConfig {
     pub read_timeout: Duration,
     /// Per-connection socket write timeout.
     pub write_timeout: Duration,
+    /// Maximum concurrently-served connections. Each connection costs a
+    /// handler thread plus up to [`HttpLimits::max_body_bytes`] of buffer,
+    /// so the accept loop answers connections beyond this cap with a typed
+    /// 503 and closes them instead of spawning unboundedly.
+    pub max_connections: usize,
     /// HTTP parser resource limits.
     pub limits: HttpLimits,
+    /// Wire-decode resource bounds (max node/edge counts per request).
+    pub wire: WireLimits,
 }
 
 impl Default for RpcConfig {
@@ -63,7 +70,9 @@ impl Default for RpcConfig {
             bind_addr: "127.0.0.1:0".into(),
             read_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(30),
+            max_connections: 256,
             limits: HttpLimits::default(),
+            wire: WireLimits::default(),
         }
     }
 }
@@ -226,7 +235,22 @@ fn accept_loop(
             return;
         }
         match listener.accept() {
-            Ok((stream, _peer)) => {
+            Ok((mut stream, _peer)) => {
+                if *shared.active.lock().expect("active") >= cfg.max_connections {
+                    // At capacity: answer a typed 503 and close instead of
+                    // spawning yet another handler thread.
+                    let _ = stream.set_write_timeout(Some(cfg.write_timeout));
+                    let body = response_envelope(
+                        &Json::Null,
+                        Err(error_object(
+                            codes::HTTP_ERROR,
+                            "connection limit reached; retry later",
+                            "Http",
+                        )),
+                    );
+                    let _ = write_json(&mut stream, 503, &body, true);
+                    continue;
+                }
                 let id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
                 // Register under the accept thread, not the handler: a
                 // shutdown racing the spawn must still see the connection.
@@ -271,8 +295,14 @@ fn handle_connection(
         match read_request(&mut reader, &cfg.limits) {
             Ok(request) => {
                 let closing = shared.closing.load(Ordering::SeqCst);
-                let (status, body) =
-                    respond(server, closing, &request.method, &request.target, &request.body);
+                let (status, body) = respond(
+                    server,
+                    closing,
+                    &request.method,
+                    &request.target,
+                    &request.body,
+                    &cfg.wire,
+                );
                 let close = closing || !request.keep_alive();
                 if write_json(&mut writer, status, &body, close).is_err() || close {
                     return;
@@ -335,6 +365,7 @@ pub fn respond(
     method: &str,
     target: &str,
     body: &[u8],
+    wire: &WireLimits,
 ) -> (u16, Json) {
     if method != "POST" {
         let err = error_object(
@@ -353,7 +384,7 @@ pub fn respond(
         );
         return (404, response_envelope(&Json::Null, Err(err)));
     }
-    handle_rpc_body(server, closing, body)
+    handle_rpc_body(server, closing, body, wire)
 }
 
 /// Parses and dispatches one JSON-RPC request body, returning the HTTP
@@ -363,7 +394,12 @@ pub fn respond(
 /// With `closing` set (the RPC layer is draining), every method is
 /// rejected with the same typed wire code as a post-shutdown in-process
 /// submit: [`codes::SERVER_CLOSED`].
-pub fn handle_rpc_body(server: &FairGenServer, closing: bool, body: &[u8]) -> (u16, Json) {
+pub fn handle_rpc_body(
+    server: &FairGenServer,
+    closing: bool,
+    body: &[u8],
+    wire: &WireLimits,
+) -> (u16, Json) {
     let value = match parse(body) {
         Ok(v) => v,
         Err(e) => {
@@ -385,7 +421,7 @@ pub fn handle_rpc_body(server: &FairGenServer, closing: bool, body: &[u8]) -> (u
     match request.method.as_str() {
         "generate" | "generate_batch" => {
             let batch = request.method == "generate_batch";
-            let params = match decode_generate_params(&request.params, batch) {
+            let params = match decode_generate_params(&request.params, batch, wire) {
                 Ok(p) => p,
                 Err(e) => {
                     let err = error_object(codes::INVALID_PARAMS, &e.to_string(), "Params");
@@ -442,16 +478,20 @@ mod tests {
         FairGenServer::new(|| Box::new(ErGenerator), ServerConfig::default()).expect("server")
     }
 
+    fn wire() -> WireLimits {
+        WireLimits::default()
+    }
+
     #[test]
     fn non_post_and_bad_target_are_typed_4xx() {
         let server = inner();
-        let (status, body) = respond(&server, false, "GET", "/rpc", b"");
+        let (status, body) = respond(&server, false, "GET", "/rpc", b"", &wire());
         assert_eq!(status, 405);
         assert_eq!(
             body.get("error").and_then(|e| e.get("code")).and_then(Json::as_i64),
             Some(codes::HTTP_ERROR)
         );
-        let (status, _) = respond(&server, false, "POST", "/metrics", b"{}");
+        let (status, _) = respond(&server, false, "POST", "/metrics", b"{}", &wire());
         assert_eq!(status, 404);
     }
 
@@ -464,10 +504,38 @@ mod tests {
             (br#"{"method":"warp","id":1}"#, codes::METHOD_NOT_FOUND, 404),
             (br#"{"method":"generate","id":1,"params":{}}"#, codes::INVALID_PARAMS, 400),
         ] {
-            let (got_status, envelope) = handle_rpc_body(&server, false, body);
+            let (got_status, envelope) = handle_rpc_body(&server, false, body, &wire());
             assert_eq!(got_status, status, "{}", String::from_utf8_lossy(body));
             let got = envelope.get("error").and_then(|e| e.get("code")).and_then(Json::as_i64);
             assert_eq!(got, Some(code), "{}", String::from_utf8_lossy(body));
+        }
+    }
+
+    #[test]
+    fn oversized_scalars_are_invalid_params_not_allocations() {
+        // `n` and `protected.universe` drive O(value) allocations when the
+        // graph/task are constructed; a hostile few-byte request must be
+        // rejected in decode with INVALID_PARAMS, never reach an allocator.
+        let server = inner();
+        for body in [
+            &br#"{"method":"generate","id":3,"params":{
+                "graph": {"n": 18446744073709551615, "edges": []},
+                "task": {"labeled": [], "num_classes": 0, "protected": null},
+                "fit_seed": 0, "sample_seed": 0}}"#[..],
+            br#"{"method":"generate","id":4,"params":{
+                "graph": {"n": 4, "edges": [[0,1]]},
+                "task": {"labeled": [], "num_classes": 0,
+                         "protected": {"universe": 18446744073709551615, "members": []}},
+                "fit_seed": 0, "sample_seed": 0}}"#,
+        ] {
+            let (status, envelope) = handle_rpc_body(&server, false, body, &wire());
+            assert_eq!(status, 400, "{}", String::from_utf8_lossy(body));
+            assert_eq!(
+                envelope.get("error").and_then(|e| e.get("code")).and_then(Json::as_i64),
+                Some(codes::INVALID_PARAMS),
+                "{}",
+                String::from_utf8_lossy(body)
+            );
         }
     }
 
@@ -477,7 +545,7 @@ mod tests {
         // indistinguishable on the wire: one typed code, one status.
         let body = br#"{"method":"stats","id":7}"#;
         let server = inner();
-        let (status, envelope) = handle_rpc_body(&server, true, body);
+        let (status, envelope) = handle_rpc_body(&server, true, body, &wire());
         assert_eq!(status, 503);
         assert_eq!(
             envelope.get("error").and_then(|e| e.get("code")).and_then(Json::as_i64),
@@ -491,7 +559,7 @@ mod tests {
             "graph": {"n": 4, "edges": [[0,1],[1,2],[2,3]]},
             "task": {"labeled": [], "num_classes": 0, "protected": null},
             "fit_seed": 1, "sample_seed": 2}}"#;
-        let (status, envelope) = handle_rpc_body(&shut, false, gen_body);
+        let (status, envelope) = handle_rpc_body(&shut, false, gen_body, &wire());
         assert_eq!(status, 503);
         assert_eq!(
             envelope.get("error").and_then(|e| e.get("code")).and_then(Json::as_i64),
@@ -507,10 +575,10 @@ mod tests {
             "graph": {"n": 6, "edges": [[0,1],[1,2],[2,3],[3,4],[4,5],[5,0]]},
             "task": {"labeled": [], "num_classes": 0, "protected": null},
             "fit_seed": 42, "sample_seed": 7}}"#;
-        let (status, envelope) = handle_rpc_body(&server, false, body);
+        let (status, envelope) = handle_rpc_body(&server, false, body, &wire());
         assert_eq!(status, 200, "{envelope:?}");
         let result = envelope.get("result").expect("result");
-        let decoded = crate::wire::generate_result_from_json(result).expect("decode");
+        let decoded = crate::wire::generate_result_from_json(result, &wire()).expect("decode");
         assert_eq!(decoded.graphs.len(), 1);
         // Oracle: the same request straight through the in-process API.
         let g = fairgen_graph::Graph::from_edges(
@@ -532,7 +600,7 @@ mod tests {
             "graph": {"n": 4, "edges": [[0,1],[1,2],[2,3]]},
             "task": {"labeled": [[99, 0]], "num_classes": 1, "protected": null},
             "fit_seed": 0, "sample_seed": 0}}"#;
-        let (status, envelope) = handle_rpc_body(&server, false, body);
+        let (status, envelope) = handle_rpc_body(&server, false, body, &wire());
         assert_eq!(status, 200);
         let error = envelope.get("error").expect("error object");
         assert_eq!(error.get("code").and_then(Json::as_i64), Some(codes::NODE_OUT_OF_RANGE));
@@ -547,7 +615,7 @@ mod tests {
         server
             .handle(&g, &fairgen_baselines::TaskSpec::unlabeled(), 3, vec![1])
             .expect("serve");
-        let (status, envelope) = handle_rpc_body(&server, false, br#"{"method":"stats"}"#);
+        let (status, envelope) = handle_rpc_body(&server, false, br#"{"method":"stats"}"#, &wire());
         assert_eq!(status, 200);
         let totals = envelope.get("result").and_then(|r| r.get("totals")).expect("totals");
         assert_eq!(totals.get("requests").and_then(Json::as_u64), Some(1));

@@ -50,6 +50,37 @@ fn wire_err(field: impl Into<String>, detail: impl Into<String>) -> WireError {
     WireError { field: field.into(), detail: detail.into() }
 }
 
+/// Decode-time resource bounds. The scalar fields `n`,
+/// `protected.universe`, and `num_classes` drive O(value) allocations when
+/// the [`Graph`]/[`NodeSet`]/task are constructed, so without a bound a
+/// few-byte request (`{"n": 18446744073709551615, "edges": []}`) would
+/// force a huge infallible allocation and abort the process. Every decode
+/// validates against these limits first and fails with a typed
+/// [`WireError`] (→ [`codes::INVALID_PARAMS`] on the wire) instead.
+#[derive(Clone, Copy, Debug)]
+pub struct WireLimits {
+    /// Maximum graph node count — also bounds `protected.universe` and
+    /// `num_classes`, which allocate proportionally downstream.
+    pub max_nodes: usize,
+    /// Maximum number of edges in one graph.
+    pub max_edges: usize,
+}
+
+impl Default for WireLimits {
+    fn default() -> Self {
+        // 4M nodes / 16M edges keeps the largest decode-triggered
+        // allocation in the same ballpark as HttpLimits::max_body_bytes.
+        WireLimits { max_nodes: 1 << 22, max_edges: 1 << 24 }
+    }
+}
+
+fn bounded(value: usize, limit: usize, field: &str, what: &str) -> Result<usize, WireError> {
+    if value > limit {
+        return Err(wire_err(field, format!("{value} exceeds the server limit of {limit} {what}")));
+    }
+    Ok(value)
+}
+
 fn get_u64(params: &Json, field: &str) -> Result<u64, WireError> {
     params
         .get(field)
@@ -82,14 +113,17 @@ pub fn graph_to_json(g: &Graph) -> Json {
     obj(vec![("n", Json::U64(g.n() as u64)), ("edges", Json::Arr(edges))])
 }
 
-/// Decodes a graph, validating every node id against `n`.
-pub fn graph_from_json(v: &Json) -> Result<Graph, WireError> {
-    let n = get_usize(v, "n")?;
+/// Decodes a graph, validating every node id against `n` and both `n` and
+/// the edge count against `limits` (before anything proportional to them
+/// is allocated).
+pub fn graph_from_json(v: &Json, limits: &WireLimits) -> Result<Graph, WireError> {
+    let n = bounded(get_usize(v, "n")?, limits.max_nodes, "n", "nodes")?;
     let raw_edges = v
         .get("edges")
         .ok_or_else(|| wire_err("edges", "missing"))?
         .as_arr()
         .ok_or_else(|| wire_err("edges", "expected an array of [u, v] pairs"))?;
+    bounded(raw_edges.len(), limits.max_edges, "edges", "edges")?;
     let mut edges = Vec::with_capacity(raw_edges.len());
     for (i, e) in raw_edges.iter().enumerate() {
         let field = format!("edges[{i}]");
@@ -132,9 +166,10 @@ pub fn task_to_json(task: &TaskSpec) -> Json {
 }
 
 /// Decodes a task. Structural validation only (ids fit, members are inside
-/// the declared universe) — semantic validation against the graph happens
-/// in [`TaskSpec::validate`] on the serving side.
-pub fn task_from_json(v: &Json) -> Result<TaskSpec, WireError> {
+/// the declared universe, `universe`/`num_classes` within `limits`) —
+/// semantic validation against the graph happens in [`TaskSpec::validate`]
+/// on the serving side.
+pub fn task_from_json(v: &Json, limits: &WireLimits) -> Result<TaskSpec, WireError> {
     let raw_labeled = v
         .get("labeled")
         .ok_or_else(|| wire_err("labeled", "missing"))?
@@ -155,12 +190,17 @@ pub fn task_from_json(v: &Json) -> Result<TaskSpec, WireError> {
         .map_err(|_| wire_err(&field, "class does not fit in usize"))?;
         labeled.push((node, class));
     }
-    let num_classes = get_usize(v, "num_classes")?;
+    let num_classes =
+        bounded(get_usize(v, "num_classes")?, limits.max_nodes, "num_classes", "classes")?;
     let protected = match v.get("protected") {
         None | Some(Json::Null) => None,
         Some(p) => {
             let universe = get_usize(p, "universe")
                 .map_err(|_| wire_err("protected.universe", "missing or not unsigned"))?;
+            // Bounding also keeps `universe` far below u32::MAX, so the
+            // `n as NodeId` inside NodeSet construction cannot truncate.
+            let universe =
+                bounded(universe, limits.max_nodes, "protected.universe", "nodes")?;
             let raw = p
                 .get("members")
                 .ok_or_else(|| wire_err("protected.members", "missing"))?
@@ -238,13 +278,20 @@ pub struct GenerateParams {
 
 /// Decodes `generate` params (`sample_seed`, exactly one draw) or
 /// `generate_batch` params (`sample_seeds`, any number), per `batch`.
-pub fn decode_generate_params(params: &Json, batch: bool) -> Result<GenerateParams, WireError> {
+pub fn decode_generate_params(
+    params: &Json,
+    batch: bool,
+    limits: &WireLimits,
+) -> Result<GenerateParams, WireError> {
     if !matches!(params, Json::Obj(_)) {
         return Err(wire_err("params", "expected an object"));
     }
-    let graph =
-        graph_from_json(params.get("graph").ok_or_else(|| wire_err("graph", "missing"))?)?;
-    let task = task_from_json(params.get("task").ok_or_else(|| wire_err("task", "missing"))?)?;
+    let graph = graph_from_json(
+        params.get("graph").ok_or_else(|| wire_err("graph", "missing"))?,
+        limits,
+    )?;
+    let task =
+        task_from_json(params.get("task").ok_or_else(|| wire_err("task", "missing"))?, limits)?;
     let fit_seed = get_u64(params, "fit_seed")?;
     let sample_seeds = if batch {
         let raw = params
@@ -333,8 +380,13 @@ pub struct GenerateResult {
     pub graphs: Vec<Graph>,
 }
 
-/// Decodes a `generate`/`generate_batch` result.
-pub fn generate_result_from_json(v: &Json) -> Result<GenerateResult, WireError> {
+/// Decodes a `generate`/`generate_batch` result. `limits` bounds the
+/// decoded graphs the same way the server bounds request graphs — a
+/// misbehaving server cannot DoS the client either.
+pub fn generate_result_from_json(
+    v: &Json,
+    limits: &WireLimits,
+) -> Result<GenerateResult, WireError> {
     let fingerprint = v
         .get("fingerprint")
         .and_then(Json::as_str)
@@ -349,7 +401,10 @@ pub fn generate_result_from_json(v: &Json) -> Result<GenerateResult, WireError> 
         .get("graphs")
         .and_then(Json::as_arr)
         .ok_or_else(|| wire_err("graphs", "missing or not an array"))?;
-    let graphs = raw.iter().map(graph_from_json).collect::<Result<Vec<Graph>, WireError>>()?;
+    let graphs = raw
+        .iter()
+        .map(|g| graph_from_json(g, limits))
+        .collect::<Result<Vec<Graph>, WireError>>()?;
     Ok(GenerateResult { fingerprint, served_from, graphs })
 }
 
@@ -441,12 +496,16 @@ mod tests {
         Graph::from_edges(n, &edges)
     }
 
+    fn limits() -> WireLimits {
+        WireLimits::default()
+    }
+
     #[test]
     fn graph_round_trips() {
         for g in [ring(8), Graph::empty(3), Graph::from_edges(5, &[(0, 4), (1, 3)])] {
             let encoded = graph_to_json(&g).encode();
-            let back =
-                graph_from_json(&parse(encoded.as_bytes()).expect("json")).expect("decode");
+            let back = graph_from_json(&parse(encoded.as_bytes()).expect("json"), &limits())
+                .expect("decode");
             assert_eq!(back, g);
         }
     }
@@ -455,8 +514,9 @@ mod tests {
     fn task_round_trips() {
         let task =
             TaskSpec::new(vec![(0, 1), (3, 0)], 2, Some(NodeSet::from_members(6, &[0, 2, 4])));
-        let back = task_from_json(&parse(task_to_json(&task).encode().as_bytes()).unwrap())
-            .expect("decode");
+        let back =
+            task_from_json(&parse(task_to_json(&task).encode().as_bytes()).unwrap(), &limits())
+                .expect("decode");
         assert_eq!(back.labeled, task.labeled);
         assert_eq!(back.num_classes, task.num_classes);
         assert_eq!(
@@ -464,9 +524,11 @@ mod tests {
             task.protected.as_ref().map(|s| s.members().to_vec()),
         );
         let unlabeled = TaskSpec::unlabeled();
-        let back =
-            task_from_json(&parse(task_to_json(&unlabeled).encode().as_bytes()).unwrap())
-                .expect("decode");
+        let back = task_from_json(
+            &parse(task_to_json(&unlabeled).encode().as_bytes()).unwrap(),
+            &limits(),
+        )
+        .expect("decode");
         assert!(back.protected.is_none());
         assert!(back.labeled.is_empty());
     }
@@ -482,9 +544,45 @@ mod tests {
             (r#"{"n": 3, "edges": 7}"#, "edges"),
         ] {
             let v = parse(text.as_bytes()).expect("valid json");
-            let err = graph_from_json(&v).expect_err(text);
+            let err = graph_from_json(&v, &limits()).expect_err(text);
             assert!(err.field.starts_with(field_prefix), "{text}: {err}");
         }
+    }
+
+    #[test]
+    fn oversized_scalars_are_rejected_before_any_allocation() {
+        // Each of these drives an O(value) allocation if it reaches the
+        // constructors; a u64::MAX value must die in decode with a typed
+        // error, not abort the process.
+        let huge = u64::MAX;
+        let g = parse(format!(r#"{{"n": {huge}, "edges": []}}"#).as_bytes()).unwrap();
+        let err = graph_from_json(&g, &limits()).expect_err("huge n");
+        assert_eq!(err.field, "n", "{err}");
+
+        let t = parse(
+            format!(
+                r#"{{"labeled": [], "num_classes": 0,
+                     "protected": {{"universe": {huge}, "members": []}}}}"#
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+        let err = task_from_json(&t, &limits()).expect_err("huge universe");
+        assert_eq!(err.field, "protected.universe", "{err}");
+
+        let t = parse(
+            format!(r#"{{"labeled": [], "num_classes": {huge}, "protected": null}}"#)
+                .as_bytes(),
+        )
+        .unwrap();
+        let err = task_from_json(&t, &limits()).expect_err("huge num_classes");
+        assert_eq!(err.field, "num_classes", "{err}");
+
+        // A tight edge cap trips on the edge-array length.
+        let tight = WireLimits { max_edges: 1, ..limits() };
+        let g = parse(br#"{"n": 4, "edges": [[0,1],[1,2]]}"#).unwrap();
+        let err = graph_from_json(&g, &tight).expect_err("too many edges");
+        assert_eq!(err.field, "edges", "{err}");
     }
 
     #[test]
@@ -494,7 +592,7 @@ mod tests {
                  "protected": {"universe": 3, "members": [5]}}"#,
         )
         .expect("json");
-        let err = task_from_json(&v).expect_err("member out of range");
+        let err = task_from_json(&v, &limits()).expect_err("member out of range");
         assert!(err.field.contains("members[0]"), "{err}");
     }
 
@@ -525,9 +623,12 @@ mod tests {
         for batch in [false, true] {
             let seeds = if batch { vec![1, 2, 3] } else { vec![9] };
             let params = encode_generate_params(&g, &task, 42, &seeds, batch);
-            let back =
-                decode_generate_params(&parse(params.encode().as_bytes()).unwrap(), batch)
-                    .expect("decode");
+            let back = decode_generate_params(
+                &parse(params.encode().as_bytes()).unwrap(),
+                batch,
+                &limits(),
+            )
+            .expect("decode");
             assert_eq!(back.graph, g);
             assert_eq!(back.fit_seed, 42);
             assert_eq!(back.sample_seeds, seeds);

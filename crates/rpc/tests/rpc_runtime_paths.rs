@@ -185,6 +185,80 @@ fn unknown_method_is_a_typed_client_error() {
     }
 }
 
+/// The accept loop stops handing out handler threads at `max_connections`:
+/// an over-cap connection is answered with a typed 503 straight off accept
+/// and closed, while established connections keep serving.
+#[test]
+fn connection_cap_rejects_with_typed_503() {
+    let inner = FairGenServer::new(|| Box::new(ErGenerator), ServerConfig::default())
+        .expect("inner server");
+    let cfg = RpcConfig { max_connections: 1, ..RpcConfig::default() };
+    let rpc = RpcServer::serve(inner, cfg).expect("bind loopback");
+
+    let mut first = RpcClient::connect(rpc.local_addr()).expect("connect");
+    first.stats().expect("established connection serves");
+
+    let second = TcpStream::connect(rpc.local_addr()).expect("connect");
+    second
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .expect("set read timeout");
+    let mut reader = std::io::BufReader::new(second.try_clone().expect("clone"));
+    let resp = read_response(&mut reader, &HttpLimits::default()).expect("busy response");
+    assert_eq!(resp.status, 503);
+    assert_eq!(resp.header("connection"), Some("close"));
+    let body = fairgen_rpc::json::parse(&resp.body).expect("error body");
+    assert_eq!(
+        body.get("error").and_then(|e| e.get("code")).and_then(Json::as_i64),
+        Some(codes::HTTP_ERROR),
+    );
+    first.stats().expect("first connection still serves");
+}
+
+/// A response carrying an error object with the wrong id is a desync
+/// ([`ClientError::IdMismatch`]), not an error attributed to the current
+/// call; a null id is accepted only alongside pre-dispatch error codes
+/// (parse/envelope/HTTP failures, where the server never learned the id).
+#[test]
+fn error_ids_are_verified_before_rpc_attribution() {
+    let cases = [
+        // An application error echoing some other call's id: desync.
+        (r#"{"jsonrpc":"2.0","id":999,"error":{"code":1010,"message":"x"}}"#, false),
+        // An application error with a null id: also desync.
+        (r#"{"jsonrpc":"2.0","id":null,"error":{"code":1010,"message":"x"}}"#, false),
+        // A pre-dispatch parse error with a null id: legitimately ours.
+        (r#"{"jsonrpc":"2.0","id":null,"error":{"code":-32700,"message":"x"}}"#, true),
+    ];
+    for (response_body, expect_rpc) in cases {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind fake server");
+        let addr = listener.local_addr().expect("addr");
+        let canned = response_body.to_string();
+        let fake = thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone"));
+            fairgen_rpc::http::read_request(&mut reader, &HttpLimits::default())
+                .expect("request");
+            let mut writer = stream;
+            fairgen_rpc::http::write_response(
+                &mut writer,
+                200,
+                "OK",
+                "application/json",
+                canned.as_bytes(),
+                true,
+            )
+            .expect("write canned response");
+        });
+        let mut client = RpcClient::connect(addr).expect("connect");
+        let got = client.call("stats", Json::Obj(Vec::new()));
+        match (expect_rpc, got) {
+            (true, Err(ClientError::Rpc(info))) => assert_eq!(info.code, codes::PARSE_ERROR),
+            (false, Err(ClientError::IdMismatch { sent: 1, .. })) => {}
+            (want, other) => panic!("for {response_body}: want rpc={want}, got {other:?}"),
+        }
+        fake.join().expect("fake server thread");
+    }
+}
+
 /// Graceful shutdown spills fitted models to the checkpoint directory; a
 /// brand-new RpcServer over the same directory warm-starts — first request
 /// is served from `checkpoint`, byte-identical to the pre-restart answer.
