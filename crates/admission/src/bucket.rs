@@ -1,0 +1,199 @@
+//! Deterministic per-tenant token-bucket rate limiting.
+//!
+//! A [`TokenBucket`] holds up to `burst` tokens and refills at
+//! `tokens_per_sec`. All arithmetic is integer — tokens are tracked in
+//! *nano-tokens* (`1 token = 10⁹ nano-tokens`), and a refill over an
+//! elapsed interval of `Δ` nanoseconds adds exactly
+//! `Δ × tokens_per_sec` nano-tokens (u128 intermediate, no rounding, no
+//! float drift). Fed by an injected [`Clock`], the same admit/advance
+//! sequence always produces the same admit/reject decisions — the
+//! `bucket_props` proptest pins both determinism and the burst ceiling.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use crate::clock::Clock;
+use crate::tenant::TenantId;
+
+/// Nano-tokens per token: the fixed-point scale of the refill arithmetic.
+const SCALE: u128 = 1_000_000_000;
+
+/// Per-tenant rate policy: every tenant gets its own bucket with this
+/// shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RateConfig {
+    /// Bucket capacity in tokens — the largest burst a tenant can spend at
+    /// once. Must be at least 1.
+    pub burst: u64,
+    /// Refill rate in tokens per second. Zero means no refill: the tenant
+    /// gets exactly `burst` tokens, ever (useful in tests).
+    pub tokens_per_sec: u64,
+}
+
+/// One tenant's bucket. [`TokenBucket::try_take`] is the only mutation:
+/// refill-then-spend in a single step, against a caller-supplied "now".
+#[derive(Clone, Debug)]
+pub struct TokenBucket {
+    cfg: RateConfig,
+    /// Current balance, in nano-tokens. Starts full.
+    nano_tokens: u128,
+    /// The clock reading of the last refill.
+    last_nanos: u64,
+}
+
+impl TokenBucket {
+    /// A full bucket whose refill interval starts at `now_nanos`.
+    pub fn new(cfg: RateConfig, now_nanos: u64) -> Self {
+        TokenBucket { cfg, nano_tokens: cfg.burst as u128 * SCALE, last_nanos: now_nanos }
+    }
+
+    /// Refills for the time elapsed since the last call, then spends `cost`
+    /// tokens if the balance covers them. Returns whether the spend
+    /// happened. A `now_nanos` earlier than the last refill (possible when
+    /// racing producers read the clock in one order and lock the bucket in
+    /// another) refills nothing but still allows spending.
+    pub fn try_take(&mut self, now_nanos: u64, cost: u64) -> bool {
+        self.refill(now_nanos);
+        let want = cost as u128 * SCALE;
+        if self.nano_tokens >= want {
+            self.nano_tokens -= want;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whole tokens currently available (after refilling to `now_nanos`).
+    pub fn available(&mut self, now_nanos: u64) -> u64 {
+        self.refill(now_nanos);
+        (self.nano_tokens / SCALE) as u64
+    }
+
+    fn refill(&mut self, now_nanos: u64) {
+        let elapsed = now_nanos.saturating_sub(self.last_nanos);
+        if elapsed == 0 {
+            return;
+        }
+        self.last_nanos = now_nanos;
+        // elapsed ns × tokens/sec = elapsed × rate nano-tokens: the ns→sec
+        // division and the token→nano-token multiplication are both 10⁹, so
+        // they cancel exactly — no remainder is ever discarded.
+        let added = elapsed as u128 * self.cfg.tokens_per_sec as u128;
+        self.nano_tokens = (self.nano_tokens + added).min(self.cfg.burst as u128 * SCALE);
+    }
+}
+
+/// A map of per-tenant [`TokenBucket`]s behind one lock. Buckets are
+/// created on a tenant's first request, full.
+pub struct RateLimiter {
+    cfg: RateConfig,
+    clock: Arc<dyn Clock>,
+    buckets: Mutex<HashMap<TenantId, TokenBucket>>,
+}
+
+impl RateLimiter {
+    /// A limiter applying `cfg` to every tenant independently.
+    pub fn new(cfg: RateConfig, clock: Arc<dyn Clock>) -> Self {
+        RateLimiter { cfg, clock, buckets: Mutex::new(HashMap::new()) }
+    }
+
+    /// Spends `cost` tokens from `tenant`'s bucket if it can afford them.
+    pub fn try_admit(&self, tenant: &TenantId, cost: u64) -> bool {
+        let now = self.clock.now_nanos();
+        let mut buckets = self.buckets.lock().expect("rate limiter lock");
+        let bucket =
+            buckets.entry(tenant.clone()).or_insert_with(|| TokenBucket::new(self.cfg, now));
+        bucket.try_take(now, cost)
+    }
+
+    /// Whole tokens `tenant` could spend right now (creating its bucket if
+    /// this is the first sighting).
+    pub fn available(&self, tenant: &TenantId) -> u64 {
+        let now = self.clock.now_nanos();
+        let mut buckets = self.buckets.lock().expect("rate limiter lock");
+        let bucket =
+            buckets.entry(tenant.clone()).or_insert_with(|| TokenBucket::new(self.cfg, now));
+        bucket.available(now)
+    }
+
+    /// Tenants with a bucket (i.e. seen at least once).
+    pub fn tenants(&self) -> usize {
+        self.buckets.lock().expect("rate limiter lock").len()
+    }
+}
+
+impl std::fmt::Debug for RateLimiter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RateLimiter")
+            .field("cfg", &self.cfg)
+            .field("tenants", &self.tenants())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    const NANOS_PER_SEC: u64 = 1_000_000_000;
+
+    #[test]
+    fn starts_full_and_spends_down_to_zero() {
+        let mut b = TokenBucket::new(RateConfig { burst: 3, tokens_per_sec: 0 }, 0);
+        assert!(b.try_take(0, 1));
+        assert!(b.try_take(0, 2));
+        assert!(!b.try_take(0, 1), "empty with zero refill");
+    }
+
+    #[test]
+    fn refill_is_exact_integer_arithmetic() {
+        let mut b = TokenBucket::new(RateConfig { burst: 10, tokens_per_sec: 2 }, 0);
+        assert!(b.try_take(0, 10));
+        // 2 tokens/sec: after exactly half a second, exactly one token.
+        assert!(!b.try_take(NANOS_PER_SEC / 2 - 1, 1), "one nanosecond short");
+        assert!(b.try_take(NANOS_PER_SEC / 2, 1), "exactly one token at 500ms");
+        assert!(!b.try_take(NANOS_PER_SEC / 2, 1), "and it was spent");
+    }
+
+    #[test]
+    fn refill_caps_at_burst() {
+        let mut b = TokenBucket::new(RateConfig { burst: 4, tokens_per_sec: 1000 }, 0);
+        assert_eq!(b.available(u64::MAX / 2), 4, "a long sleep never exceeds burst");
+        assert!(b.try_take(u64::MAX / 2, 4));
+        assert!(!b.try_take(u64::MAX / 2, 1));
+    }
+
+    #[test]
+    fn time_going_backwards_refills_nothing_but_never_panics() {
+        let mut b = TokenBucket::new(RateConfig { burst: 2, tokens_per_sec: 1 }, 1000);
+        assert!(b.try_take(1000, 2));
+        assert!(!b.try_take(500, 1), "no refill from a stale clock reading");
+        assert!(b.try_take(1000 + NANOS_PER_SEC, 1), "forward time refills again");
+    }
+
+    #[test]
+    fn limiter_isolates_tenants() {
+        let clock = Arc::new(ManualClock::at(0));
+        let limiter =
+            RateLimiter::new(RateConfig { burst: 2, tokens_per_sec: 0 }, clock.clone());
+        let a = TenantId::new("a");
+        let b = TenantId::new("b");
+        assert!(limiter.try_admit(&a, 2));
+        assert!(!limiter.try_admit(&a, 1), "tenant a exhausted");
+        assert!(limiter.try_admit(&b, 2), "tenant b unaffected");
+        assert_eq!(limiter.tenants(), 2);
+    }
+
+    #[test]
+    fn limiter_refills_under_the_injected_clock() {
+        let clock = Arc::new(ManualClock::at(0));
+        let limiter =
+            RateLimiter::new(RateConfig { burst: 1, tokens_per_sec: 5 }, clock.clone());
+        let t = TenantId::default();
+        assert!(limiter.try_admit(&t, 1));
+        assert!(!limiter.try_admit(&t, 1));
+        clock.advance(NANOS_PER_SEC / 5);
+        assert!(limiter.try_admit(&t, 1), "one token back after 200ms at 5/s");
+    }
+}

@@ -1,0 +1,50 @@
+//! # fairgen-admission
+//!
+//! Admission control for the FairGen serving stack: the layer between the
+//! front-ends (`fairgen-serve`'s in-process API, `fairgen-rpc`'s network
+//! API) and the shard worker queues that decides — *before* any model work
+//! happens — whether a request gets in, how it is ordered, and how it is
+//! refused.
+//!
+//! An overloaded generation server without admission control fails in the
+//! worst possible way: queues grow without bound, every request's latency
+//! climbs together, and clients time out having received nothing. This
+//! crate makes overload a *typed, bounded, observable* condition instead:
+//!
+//! * [`AdmissionQueue`] — a bounded two-lane queue. Interactive requests
+//!   (single-sample `generate`) drain ahead of bulk ones
+//!   (`generate_batch`), with an anti-starvation aging window
+//!   ([`AdmissionConfig::bulk_after`]) guaranteeing bulk progress. Jobs
+//!   whose queue deadline passes are shed at drain time with a typed
+//!   rejection instead of being served late.
+//! * [`RateLimiter`] — deterministic per-tenant token buckets
+//!   ([`TokenBucket`], integer nano-token arithmetic, injectable
+//!   [`Clock`]): one greedy tenant cannot starve the rest.
+//! * [`DroppedRing`] — a bounded diagnostics ring recording every shed or
+//!   rejected job (tenant, fingerprint, [`DropReason`], queue age),
+//!   surfaced through server stats.
+//!
+//! Every refusal is *typed* — queue-full and rate-limit rejections map to
+//! `FairGenError::Overloaded` (wire code 1016 / HTTP 429), shutdown maps
+//! to `ServerClosed` (1015 / 503) — and *prompt*: a request is never left
+//! hanging. The [`AdmissionConfig::default`] is fully permissive
+//! (unbounded, no deadlines, no rate limits), so the admission layer is
+//! byte-invisible until configured.
+
+pub mod bucket;
+pub mod clock;
+pub mod queue;
+pub mod ring;
+pub mod tenant;
+
+pub use bucket::{RateConfig, RateLimiter, TokenBucket};
+pub use clock::{Clock, ManualClock, SystemClock};
+pub use queue::{
+    AdmissionConfig, AdmissionQueue, AdmitError, AdmitMeta, Drain, QueueStats, QueuedJob,
+};
+pub use ring::{DropReason, DroppedEntry, DroppedRing};
+pub use tenant::{TenantId, DEFAULT_TENANT};
+
+// The lane type travels with admission metadata everywhere; re-export it so
+// front-ends depend on one crate for the whole admission vocabulary.
+pub use fairgen_par::Lane;

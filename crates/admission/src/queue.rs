@@ -1,0 +1,572 @@
+//! The admission queue: a bounded, two-lane, deadline-aware work queue.
+//!
+//! [`AdmissionQueue`] wraps a [`LaneChannel`] and layers admission policy
+//! on the primitive:
+//!
+//! * **Capacity bound** — a push over [`AdmissionConfig::queue_capacity`]
+//!   fails with [`AdmitError::Full`] (recorded in the shared
+//!   [`DroppedRing`]); a push after [`close`](AdmissionQueue::close) fails
+//!   with the *distinct* [`AdmitError::Closed`], so producers can tell
+//!   "shed and retry" from "stop".
+//! * **Priority with anti-starvation aging** — [`drain`](AdmissionQueue::drain)
+//!   orders interactive work ahead of bulk, but after every
+//!   [`AdmissionConfig::bulk_after`] consecutive interactive emissions
+//!   while bulk waits, one bulk job is emitted. The streak counter persists
+//!   across drains, so the guarantee is global: bulk lags by at most
+//!   `bulk_after` interactive jobs, and an interactive job at position `k`
+//!   of its lane has at most `⌈k / bulk_after⌉ + 1` bulk jobs ahead of it —
+//!   the "bulk-aging window".
+//! * **Deadline shedding** — jobs are stamped with an expiry at admission
+//!   ([`AdmitMeta::deadline`], falling back to
+//!   [`AdmissionConfig::queue_deadline`]); a job whose expiry passed while
+//!   it waited comes back in [`Drain::shed`] instead of [`Drain::served`],
+//!   so the worker answers it with a typed rejection instead of spending a
+//!   model invocation on an answer nobody is waiting for.
+//!
+//! All time flows through the injected [`Clock`], so every one of these
+//! behaviors is exactly testable under a
+//! [`ManualClock`](crate::clock::ManualClock).
+
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use fairgen_graph::{FairGenError, GraphFingerprint};
+use fairgen_par::{Lane, LaneChannel, PushError};
+
+use crate::bucket::RateConfig;
+use crate::clock::{Clock, SystemClock};
+use crate::ring::{DropReason, DroppedEntry, DroppedRing};
+use crate::tenant::TenantId;
+
+/// Admission policy knobs. The default is **permissive** — unbounded
+/// queues, no deadlines, no rate limiting — which reproduces the
+/// pre-admission serving behavior bit-for-bit.
+#[derive(Clone)]
+pub struct AdmissionConfig {
+    /// Maximum jobs queued per shard across both lanes (`None` =
+    /// unbounded). Pushes beyond it are rejected typed, never blocked.
+    pub queue_capacity: Option<usize>,
+    /// Anti-starvation aging window: at most this many consecutive
+    /// interactive jobs drain ahead of a waiting bulk job. Must be ≥ 1.
+    pub bulk_after: u32,
+    /// Default maximum queue age: a job older than this at drain time is
+    /// shed with a typed rejection instead of served (`None` = never).
+    pub queue_deadline: Option<Duration>,
+    /// Per-tenant token-bucket policy (`None` = no rate limiting).
+    pub rate: Option<RateConfig>,
+    /// Entries retained in the dropped-work diagnostics ring (0 keeps only
+    /// the lifetime counter).
+    pub dropped_ring: usize,
+    /// The time source for queue ages, deadlines, and bucket refills.
+    /// Injectable so tests are exact; defaults to the system clock.
+    pub clock: Arc<dyn Clock>,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            queue_capacity: None,
+            bulk_after: 4,
+            queue_deadline: None,
+            rate: None,
+            dropped_ring: 64,
+            clock: Arc::new(SystemClock::new()),
+        }
+    }
+}
+
+impl std::fmt::Debug for AdmissionConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdmissionConfig")
+            .field("queue_capacity", &self.queue_capacity)
+            .field("bulk_after", &self.bulk_after)
+            .field("queue_deadline", &self.queue_deadline)
+            .field("rate", &self.rate)
+            .field("dropped_ring", &self.dropped_ring)
+            .field("clock", &self.clock.name())
+            .finish()
+    }
+}
+
+impl AdmissionConfig {
+    /// Rejects degenerate knob values with a typed
+    /// [`FairGenError::InvalidConfig`].
+    pub fn validate(&self) -> Result<(), FairGenError> {
+        if self.queue_capacity == Some(0) {
+            return Err(FairGenError::InvalidConfig {
+                field: "admission.queue_capacity",
+                message: "a zero-capacity queue can never admit work; use None for unbounded"
+                    .into(),
+            });
+        }
+        if self.bulk_after == 0 {
+            return Err(FairGenError::InvalidConfig {
+                field: "admission.bulk_after",
+                message: "the aging window must admit at least one interactive job per bulk \
+                          job"
+                .into(),
+            });
+        }
+        if let Some(rate) = &self.rate {
+            if rate.burst == 0 {
+                return Err(FairGenError::InvalidConfig {
+                    field: "admission.rate.burst",
+                    message: "a zero-burst bucket rejects every request; use None to disable \
+                              rate limiting"
+                        .into(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-job admission metadata, supplied by the producer at push time.
+#[derive(Clone, Debug)]
+pub struct AdmitMeta {
+    /// Who the job is billed to.
+    pub tenant: TenantId,
+    /// Which priority lane it travels in.
+    pub lane: Lane,
+    /// The request's routing/cache key (diagnostics only here).
+    pub fingerprint: GraphFingerprint,
+    /// Per-job deadline override; `None` falls back to
+    /// [`AdmissionConfig::queue_deadline`].
+    pub deadline: Option<Duration>,
+}
+
+/// A job inside (or drained from) the queue, with its admission stamps.
+#[derive(Debug)]
+pub struct QueuedJob<T> {
+    /// The producer's payload.
+    pub item: T,
+    /// Who it is billed to.
+    pub tenant: TenantId,
+    /// The lane it traveled in.
+    pub lane: Lane,
+    /// Its routing/cache key.
+    pub fingerprint: GraphFingerprint,
+    /// Clock reading at admission.
+    pub enqueued_at: u64,
+    /// Absolute expiry instant (`None` = never sheds).
+    pub expires_at: Option<u64>,
+}
+
+impl<T> QueuedJob<T> {
+    /// How long this job has been queued as of `now_nanos`.
+    pub fn age_at(&self, now_nanos: u64) -> u64 {
+        now_nanos.saturating_sub(self.enqueued_at)
+    }
+}
+
+/// Why a push was refused. Like [`PushError`], the rejected item comes
+/// back; unlike it, the two cases map to *different* typed
+/// [`FairGenError`]s ([`Overloaded`](FairGenError::Overloaded) vs
+/// [`ServerClosed`](FairGenError::ServerClosed)).
+#[derive(Debug)]
+pub enum AdmitError<T> {
+    /// The queue is at capacity — shed, answer 429, client may retry.
+    Full(T),
+    /// The queue is closed — the server is shutting down, answer 503.
+    Closed(T),
+}
+
+impl<T> AdmitError<T> {
+    /// The rejected item.
+    pub fn into_inner(self) -> T {
+        match self {
+            AdmitError::Full(item) | AdmitError::Closed(item) => item,
+        }
+    }
+}
+
+/// One drain's outcome: jobs to serve, in priority order, and jobs to shed.
+#[derive(Debug)]
+pub struct Drain<T> {
+    /// Jobs to serve, interleaved per the aging policy.
+    pub served: Vec<QueuedJob<T>>,
+    /// Jobs whose deadline expired while queued; already recorded in the
+    /// ring — the worker's only duty is answering each with a typed
+    /// rejection.
+    pub shed: Vec<QueuedJob<T>>,
+    /// The clock reading the drain ran at (for queue-age diagnostics).
+    pub now_nanos: u64,
+}
+
+impl<T> Drain<T> {
+    /// Whether the drain came back with nothing at all — the queue is
+    /// closed and fully drained.
+    pub fn is_empty(&self) -> bool {
+        self.served.is_empty() && self.shed.is_empty()
+    }
+}
+
+/// Lifetime counters of one [`AdmissionQueue`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Jobs accepted into the queue.
+    pub admitted: u64,
+    /// Pushes rejected at capacity.
+    pub rejected_full: u64,
+    /// Jobs shed at drain time on an expired deadline.
+    pub shed_deadline: u64,
+}
+
+/// A bounded, two-lane, deadline-aware work queue. See the
+/// [module docs](self).
+pub struct AdmissionQueue<T> {
+    chan: LaneChannel<QueuedJob<T>>,
+    default_deadline: Option<Duration>,
+    bulk_after: u32,
+    clock: Arc<dyn Clock>,
+    ring: Arc<DroppedRing>,
+    /// Consecutive interactive emissions since the last bulk one; persists
+    /// across drains so the aging guarantee is global, not per-batch.
+    streak: Mutex<u32>,
+    stats: Mutex<QueueStats>,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// An open queue under `cfg`, recording drops into `ring`. `cfg` must
+    /// already be [validated](AdmissionConfig::validate).
+    pub fn new(cfg: &AdmissionConfig, ring: Arc<DroppedRing>) -> Self {
+        AdmissionQueue {
+            chan: LaneChannel::new(cfg.queue_capacity),
+            default_deadline: cfg.queue_deadline,
+            bulk_after: cfg.bulk_after.max(1),
+            clock: Arc::clone(&cfg.clock),
+            ring,
+            streak: Mutex::new(0),
+            stats: Mutex::new(QueueStats::default()),
+        }
+    }
+
+    /// Admits `item` with `meta`, stamping its enqueue time and expiry.
+    /// Over-capacity and closed pushes fail distinctly; the capacity
+    /// rejection is recorded in the dropped ring.
+    pub fn push(&self, item: T, meta: AdmitMeta) -> Result<(), AdmitError<T>> {
+        let now = self.clock.now_nanos();
+        let deadline = meta.deadline.or(self.default_deadline);
+        let job = QueuedJob {
+            item,
+            tenant: meta.tenant,
+            lane: meta.lane,
+            fingerprint: meta.fingerprint,
+            enqueued_at: now,
+            expires_at: deadline.map(|d| now.saturating_add(nanos(d))),
+        };
+        match self.chan.push(meta.lane, job) {
+            Ok(()) => {
+                self.stats.lock().expect("queue stats").admitted += 1;
+                Ok(())
+            }
+            Err(PushError::Full(job)) => {
+                self.stats.lock().expect("queue stats").rejected_full += 1;
+                self.ring.record(DroppedEntry {
+                    tenant: job.tenant.clone(),
+                    fingerprint: job.fingerprint,
+                    reason: DropReason::QueueFull,
+                    queue_age_nanos: 0,
+                });
+                Err(AdmitError::Full(job.item))
+            }
+            Err(PushError::Closed(job)) => Err(AdmitError::Closed(job.item)),
+        }
+    }
+
+    /// Blocks until work arrives, then returns everything queued — expired
+    /// jobs in [`Drain::shed`] (recorded in the ring), live jobs in
+    /// [`Drain::served`] in aged-interleave priority order. An
+    /// [empty](Drain::is_empty) drain means closed-and-drained.
+    pub fn drain(&self) -> Drain<T> {
+        let drained = self.chan.drain();
+        self.admit_drained(drained)
+    }
+
+    /// Non-blocking variant of [`drain`](AdmissionQueue::drain).
+    pub fn try_drain(&self) -> Drain<T> {
+        let drained = self.chan.try_drain();
+        self.admit_drained(drained)
+    }
+
+    fn admit_drained(&self, drained: fairgen_par::Drained<QueuedJob<T>>) -> Drain<T> {
+        let now = self.clock.now_nanos();
+        let (interactive, mut shed) = self.split_expired(drained.interactive, now);
+        let (bulk, shed_bulk) = self.split_expired(drained.bulk, now);
+        shed.extend(shed_bulk);
+        if !shed.is_empty() {
+            self.stats.lock().expect("queue stats").shed_deadline += shed.len() as u64;
+            for job in &shed {
+                self.ring.record(DroppedEntry {
+                    tenant: job.tenant.clone(),
+                    fingerprint: job.fingerprint,
+                    reason: DropReason::DeadlineExpired,
+                    queue_age_nanos: job.age_at(now),
+                });
+            }
+        }
+        Drain { served: self.interleave(interactive, bulk), shed, now_nanos: now }
+    }
+
+    fn split_expired(
+        &self,
+        jobs: Vec<QueuedJob<T>>,
+        now: u64,
+    ) -> (Vec<QueuedJob<T>>, Vec<QueuedJob<T>>) {
+        let mut live = Vec::with_capacity(jobs.len());
+        let mut shed = Vec::new();
+        for job in jobs {
+            match job.expires_at {
+                Some(expiry) if now >= expiry => shed.push(job),
+                _ => live.push(job),
+            }
+        }
+        (live, shed)
+    }
+
+    /// Weighted interleave with a cross-drain streak: interactive first,
+    /// but after `bulk_after` consecutive interactive jobs while bulk
+    /// waits, one bulk job goes ahead.
+    fn interleave(
+        &self,
+        interactive: Vec<QueuedJob<T>>,
+        bulk: Vec<QueuedJob<T>>,
+    ) -> Vec<QueuedJob<T>> {
+        let mut streak = self.streak.lock().expect("queue streak");
+        let mut out = Vec::with_capacity(interactive.len() + bulk.len());
+        let mut interactive = interactive.into_iter();
+        let mut bulk = bulk.into_iter().peekable();
+        for job in interactive.by_ref() {
+            if *streak >= self.bulk_after {
+                match bulk.next() {
+                    Some(b) => {
+                        out.push(b);
+                        *streak = 0;
+                    }
+                    None => *streak = 0, // nothing waiting: the lag resets
+                }
+            }
+            out.push(job);
+            *streak += 1;
+        }
+        if bulk.peek().is_some() {
+            *streak = 0; // bulk progresses now; interactive owes it nothing
+            out.extend(bulk);
+        }
+        out
+    }
+
+    /// Lifetime admitted/rejected/shed counters.
+    pub fn stats(&self) -> QueueStats {
+        *self.stats.lock().expect("queue stats")
+    }
+
+    /// Jobs currently queued across both lanes.
+    pub fn len(&self) -> usize {
+        self.chan.len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.chan.is_empty()
+    }
+
+    /// Closes the queue: further pushes fail [`AdmitError::Closed`],
+    /// blocked drains wake, queued jobs stay deliverable. Idempotent.
+    pub fn close(&self) {
+        self.chan.close();
+    }
+
+    /// Whether [`close`](AdmissionQueue::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.chan.is_closed()
+    }
+
+    /// The shared drop-diagnostics ring.
+    pub fn ring(&self) -> &Arc<DroppedRing> {
+        &self.ring
+    }
+}
+
+impl<T> std::fmt::Debug for AdmissionQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdmissionQueue")
+            .field("chan", &self.chan)
+            .field("bulk_after", &self.bulk_after)
+            .field("default_deadline", &self.default_deadline)
+            .finish()
+    }
+}
+
+fn nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+    use fairgen_graph::FingerprintBuilder;
+
+    fn fp(tag: u64) -> GraphFingerprint {
+        let mut b = FingerprintBuilder::new();
+        b.add_u64(tag);
+        b.finish()
+    }
+
+    fn meta(lane: Lane) -> AdmitMeta {
+        AdmitMeta { tenant: TenantId::default(), lane, fingerprint: fp(0), deadline: None }
+    }
+
+    fn queue(cfg: &AdmissionConfig) -> AdmissionQueue<u32> {
+        AdmissionQueue::new(cfg, Arc::new(DroppedRing::new(cfg.dropped_ring)))
+    }
+
+    #[test]
+    fn permissive_default_validates_and_admits_everything() {
+        let cfg = AdmissionConfig::default();
+        cfg.validate().expect("permissive default is valid");
+        let q = queue(&cfg);
+        for i in 0..1000 {
+            q.push(i, meta(Lane::Bulk)).expect("unbounded");
+        }
+        assert_eq!(q.stats().admitted, 1000);
+        assert_eq!(q.drain().served.len(), 1000);
+    }
+
+    #[test]
+    fn degenerate_knobs_are_rejected() {
+        for cfg in [
+            AdmissionConfig { queue_capacity: Some(0), ..Default::default() },
+            AdmissionConfig { bulk_after: 0, ..Default::default() },
+            AdmissionConfig {
+                rate: Some(RateConfig { burst: 0, tokens_per_sec: 1 }),
+                ..Default::default()
+            },
+        ] {
+            assert!(matches!(cfg.validate(), Err(FairGenError::InvalidConfig { .. })));
+        }
+    }
+
+    #[test]
+    fn full_and_closed_are_distinct_typed_rejections() {
+        let cfg = AdmissionConfig { queue_capacity: Some(1), ..Default::default() };
+        let q = queue(&cfg);
+        q.push(1, meta(Lane::Interactive)).expect("first fits");
+        assert!(matches!(q.push(2, meta(Lane::Interactive)), Err(AdmitError::Full(2))));
+        assert_eq!(q.stats().rejected_full, 1);
+        assert_eq!(q.ring().total(), 1, "capacity rejection lands in the ring");
+        q.close();
+        assert!(matches!(q.push(3, meta(Lane::Interactive)), Err(AdmitError::Closed(3))));
+        assert_eq!(q.stats().rejected_full, 1, "closed is not counted as full");
+        assert_eq!(q.ring().total(), 1, "closure is orderly, not a drop");
+    }
+
+    #[test]
+    fn interactive_drains_ahead_of_bulk() {
+        let cfg = AdmissionConfig { bulk_after: 10, ..Default::default() };
+        let q = queue(&cfg);
+        q.push(100, meta(Lane::Bulk)).expect("open");
+        q.push(1, meta(Lane::Interactive)).expect("open");
+        q.push(101, meta(Lane::Bulk)).expect("open");
+        q.push(2, meta(Lane::Interactive)).expect("open");
+        let order: Vec<u32> = q.drain().served.into_iter().map(|j| j.item).collect();
+        assert_eq!(order, vec![1, 2, 100, 101]);
+    }
+
+    #[test]
+    fn aging_lets_bulk_make_progress_within_the_window() {
+        let cfg = AdmissionConfig { bulk_after: 2, ..Default::default() };
+        let q = queue(&cfg);
+        for i in 0..3 {
+            q.push(100 + i, meta(Lane::Bulk)).expect("open");
+        }
+        for i in 0..6 {
+            q.push(i, meta(Lane::Interactive)).expect("open");
+        }
+        let order: Vec<u32> = q.drain().served.into_iter().map(|j| j.item).collect();
+        // Two interactive, then an aged bulk, repeating; leftovers appended.
+        assert_eq!(order, vec![0, 1, 100, 2, 3, 101, 4, 5, 102]);
+        // Every interactive job at lane position k has at most
+        // ⌈k / bulk_after⌉ bulk jobs ahead of it.
+        for (pos, &item) in order.iter().enumerate() {
+            if item < 100 {
+                let bulk_ahead = order[..pos].iter().filter(|&&x| x >= 100).count();
+                assert!(
+                    bulk_ahead <= (item as usize).div_ceil(2),
+                    "interactive {item} at {pos} had {bulk_ahead} bulk ahead"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streak_persists_across_drains() {
+        let cfg = AdmissionConfig { bulk_after: 2, ..Default::default() };
+        let q = queue(&cfg);
+        // Drain 1: two interactive, no bulk waiting — streak reaches 2.
+        q.push(0, meta(Lane::Interactive)).expect("open");
+        q.push(1, meta(Lane::Interactive)).expect("open");
+        assert_eq!(q.drain().served.iter().map(|j| j.item).collect::<Vec<_>>(), vec![0, 1]);
+        // Drain 2: the streak from drain 1 means bulk goes FIRST now.
+        q.push(2, meta(Lane::Interactive)).expect("open");
+        q.push(100, meta(Lane::Bulk)).expect("open");
+        assert_eq!(
+            q.drain().served.iter().map(|j| j.item).collect::<Vec<_>>(),
+            vec![100, 2],
+            "aging debt carried across drains"
+        );
+    }
+
+    #[test]
+    fn expired_jobs_are_shed_not_served() {
+        let clock = Arc::new(ManualClock::at(0));
+        let cfg = AdmissionConfig {
+            queue_deadline: Some(Duration::from_millis(10)),
+            clock: clock.clone(),
+            ..Default::default()
+        };
+        let q = queue(&cfg);
+        q.push(1, meta(Lane::Interactive)).expect("open");
+        clock.advance(5_000_000); // 5 ms: still live
+        q.push(2, meta(Lane::Bulk)).expect("open");
+        clock.advance(6_000_000); // job 1 now 11 ms old, job 2 only 6 ms
+        let drain = q.drain();
+        assert_eq!(drain.served.iter().map(|j| j.item).collect::<Vec<_>>(), vec![2]);
+        assert_eq!(drain.shed.iter().map(|j| j.item).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(drain.shed[0].age_at(drain.now_nanos), 11_000_000);
+        assert_eq!(q.stats().shed_deadline, 1);
+        let ring = q.ring().snapshot();
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring[0].reason, DropReason::DeadlineExpired);
+        assert_eq!(ring[0].queue_age_nanos, 11_000_000);
+    }
+
+    #[test]
+    fn per_job_deadline_overrides_the_default() {
+        let clock = Arc::new(ManualClock::at(0));
+        let cfg = AdmissionConfig {
+            queue_deadline: Some(Duration::from_secs(3600)),
+            clock: clock.clone(),
+            ..Default::default()
+        };
+        let q = queue(&cfg);
+        let tight =
+            AdmitMeta { deadline: Some(Duration::from_nanos(1)), ..meta(Lane::Interactive) };
+        q.push(1, tight).expect("open");
+        q.push(2, meta(Lane::Interactive)).expect("open");
+        clock.advance(100);
+        let drain = q.drain();
+        assert_eq!(drain.shed.len(), 1, "tight per-job deadline shed");
+        assert_eq!(drain.served.len(), 1, "default-deadline job survives");
+    }
+
+    #[test]
+    fn closed_and_drained_comes_back_empty() {
+        let q = queue(&AdmissionConfig::default());
+        q.push(1, meta(Lane::Bulk)).expect("open");
+        q.close();
+        assert!(!q.drain().is_empty(), "backlog still delivered");
+        assert!(q.drain().is_empty(), "then empty forever");
+    }
+}

@@ -1,0 +1,178 @@
+//! The dropped-work ring: a bounded record of every shed or rejected job.
+//!
+//! Load shedding that leaves no trace is undebuggable — "my request got a
+//! 429" needs an answer to *why* and *who else*. The [`DroppedRing`] keeps
+//! the last `capacity` drops (tenant, fingerprint, reason, queue age) plus
+//! a lifetime counter, surfaced through `ServerStats` and the `stats` RPC.
+//! It is deliberately a diagnostics buffer, not a log: old entries fall off
+//! the front, and the whole thing costs a few KiB however hard the server
+//! is being hammered.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use fairgen_graph::GraphFingerprint;
+
+use crate::tenant::TenantId;
+
+/// Why a job was dropped instead of served.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DropReason {
+    /// Rejected at admission: the shard queue was at capacity.
+    QueueFull,
+    /// Rejected at admission: the tenant's token bucket was empty.
+    RateLimited,
+    /// Shed at drain: the job's deadline expired while it was queued.
+    DeadlineExpired,
+}
+
+impl DropReason {
+    /// A stable lowercase wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DropReason::QueueFull => "queue_full",
+            DropReason::RateLimited => "rate_limited",
+            DropReason::DeadlineExpired => "deadline_expired",
+        }
+    }
+}
+
+impl std::fmt::Display for DropReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One dropped job's diagnostic record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DroppedEntry {
+    /// Who the job belonged to.
+    pub tenant: TenantId,
+    /// The request's routing/cache key.
+    pub fingerprint: GraphFingerprint,
+    /// Why it was dropped.
+    pub reason: DropReason,
+    /// How long it had been queued when dropped (0 for admission-time
+    /// rejections, which never entered the queue).
+    pub queue_age_nanos: u64,
+}
+
+struct RingState {
+    entries: VecDeque<DroppedEntry>,
+    total: u64,
+}
+
+/// A bounded, thread-safe ring of [`DroppedEntry`] records. Capacity 0
+/// keeps only the lifetime counter.
+pub struct DroppedRing {
+    capacity: usize,
+    state: Mutex<RingState>,
+}
+
+impl DroppedRing {
+    /// An empty ring holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        DroppedRing {
+            capacity,
+            state: Mutex::new(RingState { entries: VecDeque::new(), total: 0 }),
+        }
+    }
+
+    /// Records a drop, evicting the oldest entry when full.
+    pub fn record(&self, entry: DroppedEntry) {
+        let mut state = self.state.lock().expect("dropped ring lock");
+        state.total += 1;
+        if self.capacity == 0 {
+            return;
+        }
+        if state.entries.len() >= self.capacity {
+            state.entries.pop_front();
+        }
+        state.entries.push_back(entry);
+    }
+
+    /// Lifetime drop count (including entries that have aged out).
+    pub fn total(&self) -> u64 {
+        self.state.lock().expect("dropped ring lock").total
+    }
+
+    /// The retained entries, oldest first.
+    pub fn snapshot(&self) -> Vec<DroppedEntry> {
+        self.state.lock().expect("dropped ring lock").entries.iter().cloned().collect()
+    }
+
+    /// Entries currently retained.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("dropped ring lock").entries.len()
+    }
+
+    /// Whether no entries are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured retention bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl std::fmt::Debug for DroppedRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.lock().expect("dropped ring lock");
+        f.debug_struct("DroppedRing")
+            .field("capacity", &self.capacity)
+            .field("retained", &state.entries.len())
+            .field("total", &state.total)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairgen_graph::FingerprintBuilder;
+
+    fn fp(tag: u64) -> GraphFingerprint {
+        let mut b = FingerprintBuilder::new();
+        b.add_u64(tag);
+        b.finish()
+    }
+
+    fn entry(tag: u64, reason: DropReason) -> DroppedEntry {
+        DroppedEntry {
+            tenant: TenantId::new(format!("t{tag}")),
+            fingerprint: fp(tag),
+            reason,
+            queue_age_nanos: tag * 10,
+        }
+    }
+
+    #[test]
+    fn keeps_the_newest_entries_and_counts_everything() {
+        let ring = DroppedRing::new(3);
+        for i in 0..5 {
+            ring.record(entry(i, DropReason::QueueFull));
+        }
+        assert_eq!(ring.total(), 5);
+        assert_eq!(ring.len(), 3);
+        let kept: Vec<u64> = ring.snapshot().iter().map(|e| e.queue_age_nanos / 10).collect();
+        assert_eq!(kept, vec![2, 3, 4], "oldest first, oldest evicted");
+    }
+
+    #[test]
+    fn zero_capacity_counts_without_retaining() {
+        let ring = DroppedRing::new(0);
+        ring.record(entry(1, DropReason::RateLimited));
+        ring.record(entry(2, DropReason::DeadlineExpired));
+        assert_eq!(ring.total(), 2);
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn reasons_have_stable_wire_names() {
+        assert_eq!(DropReason::QueueFull.as_str(), "queue_full");
+        assert_eq!(DropReason::RateLimited.as_str(), "rate_limited");
+        assert_eq!(DropReason::DeadlineExpired.as_str(), "deadline_expired");
+    }
+}

@@ -1,0 +1,73 @@
+//! Tenant identity: who a request is billed to.
+//!
+//! Fairness is per-tenant, so every admitted or rejected job carries a
+//! [`TenantId`]. Requests that declare none get [`TenantId::default`] —
+//! anonymous traffic shares one bucket, which is exactly the incentive to
+//! identify yourself.
+
+use std::sync::Arc;
+
+/// An opaque tenant label. Cheap to clone (shared allocation) and usable as
+/// a hash-map key.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(Arc<str>);
+
+/// The label of the anonymous default tenant.
+pub const DEFAULT_TENANT: &str = "default";
+
+impl TenantId {
+    /// A tenant id from any label. Labels are opaque bytes to this crate;
+    /// transport front-ends bound their length before calling this.
+    pub fn new(label: impl AsRef<str>) -> Self {
+        TenantId(Arc::from(label.as_ref()))
+    }
+
+    /// The label as a string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Whether this is the anonymous default tenant.
+    pub fn is_default(&self) -> bool {
+        &*self.0 == DEFAULT_TENANT
+    }
+}
+
+impl Default for TenantId {
+    fn default() -> Self {
+        TenantId::new(DEFAULT_TENANT)
+    }
+}
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for TenantId {
+    fn from(label: &str) -> Self {
+        TenantId::new(label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_tenant_is_recognized() {
+        assert!(TenantId::default().is_default());
+        assert!(!TenantId::new("acme").is_default());
+        assert_eq!(TenantId::default(), TenantId::new("default"));
+    }
+
+    #[test]
+    fn usable_as_map_key() {
+        let mut m = std::collections::HashMap::new();
+        m.insert(TenantId::new("a"), 1);
+        m.insert(TenantId::new("b"), 2);
+        assert_eq!(m.get(&TenantId::new("a")), Some(&1));
+        assert_eq!(m.len(), 2);
+    }
+}

@@ -3,7 +3,11 @@
 //! across the three serving regimes — `cold` (every request a distinct
 //! graph: full fit), `warm` (one fitted model, fresh sample seeds:
 //! registry memory hits), and `dedup` (exact request repeats: answered
-//! from the sample cache without touching a model).
+//! from the sample cache without touching a model) — plus an `overload`
+//! scenario: greedy bulk tenants flood a deliberately undersized admission
+//! queue while one interactive tenant keeps issuing single draws, and the
+//! report records accept/shed rates and the interactive lane's latency
+//! percentiles under that pressure.
 //!
 //! Run via `scripts/bench_serving.sh`, or directly:
 //!
@@ -18,8 +22,8 @@ use std::time::Instant;
 
 use fairgen_baselines::{ErGenerator, TaskSpec};
 use fairgen_graph::Graph;
-use fairgen_rpc::{RpcClient, RpcConfig, RpcServer};
-use fairgen_serve::{FairGenServer, ServedFrom, ServerConfig};
+use fairgen_rpc::{ClientError, RpcClient, RpcConfig, RpcServer};
+use fairgen_serve::{AdmissionConfig, AdmissionStats, FairGenServer, ServedFrom, ServerConfig};
 
 fn ring(n: u32) -> Graph {
     let edges: Vec<(u32, u32)> = (0..n).map(|u| (u, (u + 1) % n)).collect();
@@ -45,13 +49,18 @@ struct MixReport {
     served_from: BTreeMap<&'static str, usize>,
 }
 
+/// Percentile of an already-sorted latency list, microseconds.
+fn percentile_of(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[rank]
+}
+
 impl MixReport {
     fn percentile(&self, p: f64) -> u64 {
-        if self.latencies_us.is_empty() {
-            return 0;
-        }
-        let rank = ((self.latencies_us.len() as f64 - 1.0) * p).round() as usize;
-        self.latencies_us[rank]
+        percentile_of(&self.latencies_us, p)
     }
 
     fn requests_per_sec(&self) -> f64 {
@@ -141,7 +150,134 @@ fn run_mix(
     MixReport { mix, requests, errors, elapsed_secs, latencies_us, served_from }
 }
 
-fn json_report(clients: usize, per_client: usize, mixes: &[MixReport]) -> String {
+/// Everything measured about the overload scenario.
+struct OverloadReport {
+    bulk_clients: usize,
+    offered: usize,
+    accepted: usize,
+    shed: usize,
+    elapsed_secs: f64,
+    interactive_offered: usize,
+    interactive_shed: usize,
+    /// Sorted latencies of *accepted* interactive requests, microseconds.
+    interactive_latencies_us: Vec<u64>,
+    admission: AdmissionStats,
+}
+
+/// Floods an undersized admission queue with `clients - 1` greedy bulk
+/// tenants while one interactive tenant issues single draws, all against a
+/// pre-warmed model. Every request gets exactly one answer: served, or a
+/// typed 429 overload (anything else aborts the bench).
+fn run_overload(clients: usize, per_client: usize) -> OverloadReport {
+    let bulk_clients = clients.saturating_sub(1).max(1);
+    // Deliberately smaller than the number of concurrent clients so the
+    // queue actually overflows; bulk_after keeps the interactive lane from
+    // starving while bulk work waits.
+    let queue_capacity = (clients / 2).max(2);
+    let cfg = ServerConfig {
+        admission: AdmissionConfig {
+            queue_capacity: Some(queue_capacity),
+            ..AdmissionConfig::default()
+        },
+        ..ServerConfig::default()
+    };
+    let inner = FairGenServer::new(|| Box::new(ErGenerator), cfg).expect("in-process server");
+    let mut rpc = RpcServer::serve(inner, RpcConfig::default()).expect("bind loopback");
+    let addr = rpc.local_addr();
+    let task = TaskSpec::unlabeled();
+
+    // Untimed prime: fit the one shared model so overload measures
+    // queueing, not fitting.
+    RpcClient::connect(addr)
+        .expect("prime connect")
+        .generate(&ring(64), &task, 7, 999)
+        .expect("prime request");
+
+    // Ok(latency) for served, Err(()) for a typed overload shed.
+    let classify = |r: Result<fairgen_rpc::GenerateResult, ClientError>, t0: Instant| match r {
+        Ok(_) => Ok(t0.elapsed().as_micros() as u64),
+        Err(ClientError::Rpc(info)) if info.is_overloaded() => Err(()),
+        Err(other) => panic!("overload mix: only typed 429s are acceptable, got {other}"),
+    };
+
+    let start = Instant::now();
+    let bulk_workers: Vec<_> = (0..bulk_clients)
+        .map(|w| {
+            let task = task.clone();
+            std::thread::spawn(move || {
+                let mut client = RpcClient::connect(addr).expect("connect");
+                let tenant = format!("bulk-{w}");
+                client.set_tenant(Some(&tenant));
+                let mut accepted = 0usize;
+                let mut shed = 0usize;
+                for i in 0..per_client {
+                    let base = 5_000 + ((w * per_client + i) * 8) as u64;
+                    let seeds: Vec<u64> = (0..8).map(|k| base + k).collect();
+                    let t0 = Instant::now();
+                    match classify(client.generate_batch(&ring(64), &task, 7, &seeds), t0) {
+                        Ok(_) => accepted += 1,
+                        Err(()) => shed += 1,
+                    }
+                }
+                (accepted, shed)
+            })
+        })
+        .collect();
+    let interactive_worker = {
+        let task = task.clone();
+        std::thread::spawn(move || {
+            let mut client = RpcClient::connect(addr).expect("connect");
+            client.set_tenant(Some("interactive"));
+            let mut latencies = Vec::with_capacity(per_client);
+            let mut shed = 0usize;
+            for i in 0..per_client {
+                let t0 = Instant::now();
+                match classify(client.generate(&ring(64), &task, 7, 100_000 + i as u64), t0) {
+                    Ok(us) => latencies.push(us),
+                    Err(()) => shed += 1,
+                }
+            }
+            (latencies, shed)
+        })
+    };
+
+    let (mut accepted, mut shed) = (0usize, 0usize);
+    for w in bulk_workers {
+        let (a, s) = w.join().expect("bulk client thread");
+        accepted += a;
+        shed += s;
+    }
+    let (mut interactive_latencies_us, interactive_shed) =
+        interactive_worker.join().expect("interactive client thread");
+    accepted += interactive_latencies_us.len();
+    shed += interactive_shed;
+    let elapsed_secs = start.elapsed().as_secs_f64();
+
+    let admission = rpc.stats().admission;
+    rpc.shutdown();
+    interactive_latencies_us.sort_unstable();
+
+    let offered = (bulk_clients + 1) * per_client;
+    assert_eq!(accepted + shed, offered, "every request must get exactly one answer");
+    OverloadReport {
+        bulk_clients,
+        offered,
+        accepted,
+        shed,
+        elapsed_secs,
+        interactive_offered: per_client,
+        interactive_shed,
+        interactive_latencies_us,
+        admission,
+    }
+}
+
+fn json_report(
+    clients: usize,
+    per_client: usize,
+    mixes: &[MixReport],
+    overload: &OverloadReport,
+) -> String {
     let mut s = String::from("{\n");
     let _ = writeln!(
         s,
@@ -172,7 +308,36 @@ fn json_report(clients: usize, per_client: usize, mixes: &[MixReport]) -> String
         );
         s.push_str(if i + 1 < mixes.len() { ",\n" } else { "\n" });
     }
-    s.push_str("  ]\n}\n");
+    s.push_str("  ],\n");
+    let o = overload;
+    let rate = |n: usize| n as f64 / o.offered.max(1) as f64;
+    let _ = writeln!(
+        s,
+        "  \"overload\": {{\"bulk_clients\": {}, \"offered\": {}, \"accepted\": {}, \
+         \"shed\": {}, \"accept_rate\": {:.3}, \"shed_rate\": {:.3}, \
+         \"elapsed_secs\": {:.3}, \"interactive\": {{\"offered\": {}, \"accepted\": {}, \
+         \"shed\": {}, \"p50_us\": {}, \"p99_us\": {}}}, \
+         \"admission\": {{\"admitted\": {}, \"rejected_full\": {}, \"rejected_rate\": {}, \
+         \"shed_deadline\": {}, \"dropped_total\": {}}}}}",
+        o.bulk_clients,
+        o.offered,
+        o.accepted,
+        o.shed,
+        rate(o.accepted),
+        rate(o.shed),
+        o.elapsed_secs,
+        o.interactive_offered,
+        o.interactive_latencies_us.len(),
+        o.interactive_shed,
+        percentile_of(&o.interactive_latencies_us, 0.50),
+        percentile_of(&o.interactive_latencies_us, 0.99),
+        o.admission.admitted,
+        o.admission.rejected_full,
+        o.admission.rejected_rate,
+        o.admission.shed_deadline,
+        o.admission.dropped_total,
+    );
+    s.push_str("}\n");
     s
 }
 
@@ -232,7 +397,20 @@ fn main() {
         );
     }
 
-    let json = json_report(clients, per_client, &mixes);
+    let overload = run_overload(clients, per_client);
+    eprintln!(
+        "  overload: {}/{} accepted ({:.0}% shed), interactive p50 {} us p99 {} us \
+         ({} of {} shed)",
+        overload.accepted,
+        overload.offered,
+        100.0 * overload.shed as f64 / overload.offered.max(1) as f64,
+        percentile_of(&overload.interactive_latencies_us, 0.50),
+        percentile_of(&overload.interactive_latencies_us, 0.99),
+        overload.interactive_shed,
+        overload.interactive_offered,
+    );
+
+    let json = json_report(clients, per_client, &mixes, &overload);
     std::fs::write(&out, &json).expect("write report");
     eprintln!("bench_serving: wrote {out}");
 }

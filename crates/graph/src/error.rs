@@ -90,6 +90,19 @@ pub enum FairGenError {
     /// layer report closure with this exact variant (and one stable wire
     /// code — see `fairgen_rpc::codes`).
     ServerClosed,
+    /// The serving front-end refused the request under load: the shard
+    /// queue was at capacity, the tenant's rate budget was spent, or the
+    /// request's queue deadline expired before a worker reached it. Like
+    /// [`ServerClosed`](FairGenError::ServerClosed) this is an orderly,
+    /// typed rejection — but a *retryable* one ("back off and try again"),
+    /// not "the server is going away". The network layer maps it to its own
+    /// stable wire code and HTTP 429.
+    Overloaded {
+        /// Which admission mechanism refused the request (a stable
+        /// lowercase reason such as `queue_full`, `rate_limited`, or
+        /// `deadline_expired`, possibly with detail appended).
+        reason: String,
+    },
     /// A checkpoint failed structural validation (bad magic, version,
     /// checksum, length, or discriminant) and cannot be decoded.
     CorruptCheckpoint {
@@ -160,6 +173,9 @@ impl std::fmt::Display for FairGenError {
             FairGenError::ServerClosed => {
                 write!(f, "server is shut down and accepts no new work")
             }
+            FairGenError::Overloaded { reason } => {
+                write!(f, "server overloaded, request rejected: {reason}")
+            }
             FairGenError::CorruptCheckpoint { detail } => {
                 write!(f, "corrupt checkpoint: {detail}")
             }
@@ -218,6 +234,7 @@ mod tests {
             ),
             (FairGenError::Internal { detail: "entry vanished".into() }, "entry vanished"),
             (FairGenError::ServerClosed, "shut down"),
+            (FairGenError::Overloaded { reason: "queue_full".into() }, "queue_full"),
             (
                 FairGenError::CorruptCheckpoint { detail: "checksum mismatch".into() },
                 "checksum",

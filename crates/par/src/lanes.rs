@@ -1,0 +1,329 @@
+//! A bounded, two-lane, closable MPMC queue — the priority-aware sibling of
+//! [`Channel`](crate::Channel).
+//!
+//! [`Channel`](crate::Channel) is a single unbounded FIFO: the right primitive when every
+//! producer is trusted and backlog is free. A serving front-end facing
+//! untrusted load wants two properties it cannot provide:
+//!
+//! * **A capacity bound.** [`LaneChannel::push`] fails with
+//!   [`PushError::Full`] once `capacity` items are queued across both
+//!   lanes, handing the rejected item back so the producer can answer its
+//!   client with a typed rejection instead of growing the backlog without
+//!   limit.
+//! * **Priority lanes.** Items are tagged [`Lane::Interactive`] or
+//!   [`Lane::Bulk`] at push time and kept in per-lane FIFO order.
+//!   [`LaneChannel::drain`] hands both lanes back *separately* — ordering
+//!   *between* lanes (strict priority, weighted interleave, aging) is
+//!   policy, and policy lives in the caller (`fairgen-admission` implements
+//!   the anti-starvation interleave), not in the primitive.
+//!
+//! Close semantics match [`Channel`](crate::Channel): closing wakes every blocked consumer,
+//! makes further pushes fail with [`PushError::Closed`], and leaves
+//! already-queued items deliverable.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Which priority lane an item travels in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Lane {
+    /// Latency-sensitive work — drains ahead of bulk (subject to the
+    /// caller's anti-starvation policy).
+    Interactive,
+    /// Throughput work — may be queued behind interactive items.
+    Bulk,
+}
+
+impl Lane {
+    /// A stable lowercase name (`"interactive"` / `"bulk"`) for logs and
+    /// wire formats.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Lane::Interactive => "interactive",
+            Lane::Bulk => "bulk",
+        }
+    }
+}
+
+impl std::fmt::Display for Lane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Why a push was refused; the rejected item is handed back in either case
+/// so nothing is silently dropped.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The channel holds `capacity` items; the producer should shed.
+    Full(T),
+    /// The channel is closed; the producer should stop.
+    Closed(T),
+}
+
+impl<T> PushError<T> {
+    /// The rejected item, whatever the reason.
+    pub fn into_inner(self) -> T {
+        match self {
+            PushError::Full(item) | PushError::Closed(item) => item,
+        }
+    }
+}
+
+/// One drain's worth of items, per-lane, each lane in FIFO order.
+#[derive(Debug)]
+pub struct Drained<T> {
+    /// The interactive lane's backlog at drain time.
+    pub interactive: Vec<T>,
+    /// The bulk lane's backlog at drain time.
+    pub bulk: Vec<T>,
+}
+
+impl<T> Drained<T> {
+    /// Whether both lanes came back empty (the channel is closed and
+    /// drained).
+    pub fn is_empty(&self) -> bool {
+        self.interactive.is_empty() && self.bulk.is_empty()
+    }
+
+    /// Items across both lanes.
+    pub fn len(&self) -> usize {
+        self.interactive.len() + self.bulk.len()
+    }
+}
+
+struct State<T> {
+    interactive: VecDeque<T>,
+    bulk: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> State<T> {
+    fn len(&self) -> usize {
+        self.interactive.len() + self.bulk.len()
+    }
+}
+
+/// A bounded, closable, two-lane MPMC queue. See the [module docs](self).
+pub struct LaneChannel<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+    /// `None` = unbounded (the permissive default the pre-admission serving
+    /// stack behaves as).
+    capacity: Option<usize>,
+}
+
+impl<T> LaneChannel<T> {
+    /// An open, empty channel holding at most `capacity` items across both
+    /// lanes (`None` = unbounded).
+    pub fn new(capacity: Option<usize>) -> Self {
+        LaneChannel {
+            state: Mutex::new(State {
+                interactive: VecDeque::new(),
+                bulk: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The configured capacity bound (`None` = unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Enqueues `item` on `lane` and wakes one blocked consumer. The
+    /// closed/full checks and the enqueue are one critical section, so two
+    /// producers racing for the last slot can never both win.
+    pub fn push(&self, lane: Lane, item: T) -> Result<(), PushError<T>> {
+        let mut state = self.state.lock().expect("lane channel lock");
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        if let Some(cap) = self.capacity {
+            if state.len() >= cap {
+                return Err(PushError::Full(item));
+            }
+        }
+        match lane {
+            Lane::Interactive => state.interactive.push_back(item),
+            Lane::Bulk => state.bulk.push_back(item),
+        }
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until at least one item is queued on either lane, then
+    /// dequeues **everything**, per lane in FIFO order. An empty result
+    /// means the channel is closed and drained.
+    pub fn drain(&self) -> Drained<T> {
+        let mut state = self.state.lock().expect("lane channel lock");
+        loop {
+            if state.len() > 0 {
+                return Drained {
+                    interactive: state.interactive.drain(..).collect(),
+                    bulk: state.bulk.drain(..).collect(),
+                };
+            }
+            if state.closed {
+                return Drained { interactive: Vec::new(), bulk: Vec::new() };
+            }
+            state = self.ready.wait(state).expect("lane channel lock");
+        }
+    }
+
+    /// Dequeues everything currently queued without blocking (possibly
+    /// nothing).
+    pub fn try_drain(&self) -> Drained<T> {
+        let mut state = self.state.lock().expect("lane channel lock");
+        Drained {
+            interactive: state.interactive.drain(..).collect(),
+            bulk: state.bulk.drain(..).collect(),
+        }
+    }
+
+    /// Closes the channel: further pushes fail, blocked consumers wake, and
+    /// already-queued items remain deliverable. Idempotent.
+    pub fn close(&self) {
+        let mut state = self.state.lock().expect("lane channel lock");
+        state.closed = true;
+        drop(state);
+        self.ready.notify_all();
+    }
+
+    /// Whether [`close`](LaneChannel::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("lane channel lock").closed
+    }
+
+    /// Items currently queued across both lanes.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("lane channel lock").len()
+    }
+
+    /// Items currently queued on one lane.
+    pub fn lane_len(&self, lane: Lane) -> usize {
+        let state = self.state.lock().expect("lane channel lock");
+        match lane {
+            Lane::Interactive => state.interactive.len(),
+            Lane::Bulk => state.bulk.len(),
+        }
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> std::fmt::Debug for LaneChannel<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.lock().expect("lane channel lock");
+        f.debug_struct("LaneChannel")
+            .field("interactive", &state.interactive.len())
+            .field("bulk", &state.bulk.len())
+            .field("capacity", &self.capacity)
+            .field("closed", &state.closed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lanes_keep_fifo_order_independently() {
+        let ch = LaneChannel::new(None);
+        ch.push(Lane::Bulk, 10).expect("open");
+        ch.push(Lane::Interactive, 1).expect("open");
+        ch.push(Lane::Bulk, 11).expect("open");
+        ch.push(Lane::Interactive, 2).expect("open");
+        assert_eq!(ch.len(), 4);
+        assert_eq!(ch.lane_len(Lane::Interactive), 2);
+        let drained = ch.drain();
+        assert_eq!(drained.interactive, vec![1, 2]);
+        assert_eq!(drained.bulk, vec![10, 11]);
+        assert!(ch.is_empty());
+    }
+
+    #[test]
+    fn capacity_bound_spans_both_lanes_and_hands_the_item_back() {
+        let ch = LaneChannel::new(Some(2));
+        ch.push(Lane::Interactive, 1).expect("open");
+        ch.push(Lane::Bulk, 2).expect("open");
+        match ch.push(Lane::Interactive, 3) {
+            Err(PushError::Full(item)) => assert_eq!(item, 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        // Draining frees the slots.
+        let _ = ch.try_drain();
+        ch.push(Lane::Bulk, 4).expect("slot free again");
+    }
+
+    #[test]
+    fn close_rejects_pushes_but_delivers_backlog() {
+        let ch = LaneChannel::new(Some(8));
+        ch.push(Lane::Bulk, 1).expect("open");
+        ch.close();
+        assert!(ch.is_closed());
+        match ch.push(Lane::Bulk, 2) {
+            Err(PushError::Closed(item)) => assert_eq!(item, 2),
+            other => panic!("expected Closed, got {other:?}"),
+        }
+        let drained = ch.drain();
+        assert_eq!(drained.bulk, vec![1]);
+        assert!(ch.drain().is_empty(), "closed and drained");
+    }
+
+    #[test]
+    fn full_and_closed_are_distinct_rejections() {
+        let ch = LaneChannel::new(Some(1));
+        ch.push(Lane::Bulk, 1).expect("open");
+        assert!(matches!(ch.push(Lane::Bulk, 2), Err(PushError::Full(_))));
+        ch.close();
+        // Closed wins over full once close happens — the producer must stop,
+        // not retry.
+        assert!(matches!(ch.push(Lane::Bulk, 3), Err(PushError::Closed(_))));
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let ch: Arc<LaneChannel<i32>> = Arc::new(LaneChannel::new(None));
+        let blocked = {
+            let ch = Arc::clone(&ch);
+            std::thread::spawn(move || ch.drain())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        ch.close();
+        assert!(blocked.join().expect("consumer").is_empty());
+    }
+
+    #[test]
+    fn concurrent_pushes_never_exceed_capacity() {
+        let ch = Arc::new(LaneChannel::new(Some(16)));
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let ch = Arc::clone(&ch);
+                std::thread::spawn(move || {
+                    let mut accepted = 0usize;
+                    for i in 0..32 {
+                        let lane = if i % 2 == 0 { Lane::Interactive } else { Lane::Bulk };
+                        if ch.push(lane, p * 100 + i).is_ok() {
+                            accepted += 1;
+                        }
+                    }
+                    accepted
+                })
+            })
+            .collect();
+        let accepted: usize = producers.into_iter().map(|p| p.join().expect("producer")).sum();
+        assert!(accepted >= 16, "at least capacity items must have been accepted");
+        assert!(ch.len() <= 16, "the bound holds under contention");
+        let drained = ch.try_drain();
+        assert_eq!(drained.len(), ch.capacity().unwrap().min(accepted));
+    }
+}

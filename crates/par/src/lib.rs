@@ -24,6 +24,11 @@
 //!   task completes before `scope` returns.
 //! * [`Channel`] — a closable MPMC queue with batch draining, the
 //!   primitive under `fairgen-serve`'s per-shard work queues.
+//! * [`LaneChannel`] — its bounded, two-priority-lane sibling: pushes fail
+//!   typed ([`PushError::Full`] / [`PushError::Closed`]) instead of growing
+//!   without limit, and drains hand the lanes back separately so an
+//!   admission layer can apply its own interleave policy
+//!   (`fairgen-admission` builds on it).
 //!
 //! # Deterministic parallel sampling
 //!
@@ -38,8 +43,10 @@
 //! scheme for workloads without a fixed per-item draw count.
 
 pub mod channel;
+pub mod lanes;
 
 pub use channel::Channel;
+pub use lanes::{Drained, Lane, LaneChannel, PushError};
 
 use std::any::Any;
 use std::mem::{ManuallyDrop, MaybeUninit};

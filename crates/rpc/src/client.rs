@@ -31,6 +31,24 @@ pub struct RpcErrorInfo {
     pub http_status: u16,
 }
 
+impl RpcErrorInfo {
+    /// Whether the server told this client to come back later rather than
+    /// reporting a fault in the request: [`codes::OVERLOADED`] (admission
+    /// rejected the request — back off and retry here) and
+    /// [`codes::SERVER_CLOSED`] (this instance is draining — retry against
+    /// another). Every other code means retrying the same request verbatim
+    /// would fail the same way.
+    pub fn retryable(&self) -> bool {
+        matches!(self.code, codes::OVERLOADED | codes::SERVER_CLOSED)
+    }
+
+    /// Whether this is specifically the admission-control rejection
+    /// ([`codes::OVERLOADED`], HTTP 429).
+    pub fn is_overloaded(&self) -> bool {
+        self.code == codes::OVERLOADED
+    }
+}
+
 /// Everything that can go wrong on a client call.
 #[derive(Debug)]
 pub enum ClientError {
@@ -87,6 +105,8 @@ pub struct RpcClient {
     limits: HttpLimits,
     wire: WireLimits,
     next_id: u64,
+    /// Sent as `X-FairGen-Tenant` on every request when set.
+    tenant: Option<String>,
 }
 
 impl RpcClient {
@@ -106,7 +126,20 @@ impl RpcClient {
             limits: HttpLimits::default(),
             wire: WireLimits::default(),
             next_id: 1,
+            tenant: None,
         })
+    }
+
+    /// Bills every subsequent call to `tenant` (sent as the
+    /// `X-FairGen-Tenant` header). Pass `None` to go back to the anonymous
+    /// default tenant.
+    pub fn set_tenant(&mut self, tenant: Option<&str>) {
+        self.tenant = tenant.map(str::to_string);
+    }
+
+    /// The tenant label calls are currently billed to, if any.
+    pub fn tenant(&self) -> Option<&str> {
+        self.tenant.as_deref()
     }
 
     /// Issues one JSON-RPC call and returns the `result` value, or
@@ -121,9 +154,13 @@ impl RpcClient {
             ("params", params),
         ]);
         let body = envelope.encode();
+        let tenant_header = match &self.tenant {
+            Some(tenant) => format!("X-FairGen-Tenant: {tenant}\r\n"),
+            None => String::new(),
+        };
         let request = format!(
             "POST /rpc HTTP/1.1\r\nHost: fairgen\r\nContent-Type: application/json\r\n\
-             Content-Length: {}\r\n\r\n{body}",
+             {tenant_header}Content-Length: {}\r\n\r\n{body}",
             body.len()
         );
         let stream = self.reader.get_ref();
@@ -158,7 +195,7 @@ impl RpcClient {
                 info.code,
                 codes::PARSE_ERROR | codes::INVALID_REQUEST | codes::HTTP_ERROR
             );
-            if !id_matches && !(got_id.is_null() && pre_dispatch) {
+            if !(id_matches || (got_id.is_null() && pre_dispatch)) {
                 return Err(ClientError::IdMismatch { sent: id, got: got_id.encode() });
             }
             return Err(ClientError::Rpc(info));

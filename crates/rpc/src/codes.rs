@@ -59,6 +59,11 @@ pub const IO: i64 = 1014;
 /// `submit`/`submit_shared` rejection and the RPC layer's own
 /// closed-server path report (pinned in `tests/rpc_runtime_paths.rs`).
 pub const SERVER_CLOSED: i64 = 1015;
+/// [`FairGenError::Overloaded`] — the admission layer refused the request
+/// (queue full, rate limited, or queue deadline expired). Unlike
+/// [`SERVER_CLOSED`] the condition is transient: clients should back off
+/// and retry. Carried over HTTP as status 429.
+pub const OVERLOADED: i64 = 1016;
 
 /// The stable wire code for a [`FairGenError`].
 pub fn wire_code(e: &FairGenError) -> i64 {
@@ -74,6 +79,7 @@ pub fn wire_code(e: &FairGenError) -> i64 {
         FairGenError::DegenerateDistribution { .. } => DEGENERATE_DISTRIBUTION,
         FairGenError::Internal { .. } => INTERNAL,
         FairGenError::ServerClosed => SERVER_CLOSED,
+        FairGenError::Overloaded { .. } => OVERLOADED,
         FairGenError::CorruptCheckpoint { .. } => CORRUPT_CHECKPOINT,
         FairGenError::UnknownCheckpointTag { .. } => UNKNOWN_CHECKPOINT_TAG,
         FairGenError::MalformedEdgeList { .. } => MALFORMED_EDGE_LIST,
@@ -101,6 +107,7 @@ pub fn kind_name(e: &FairGenError) -> &'static str {
         FairGenError::DegenerateDistribution { .. } => "DegenerateDistribution",
         FairGenError::Internal { .. } => "Internal",
         FairGenError::ServerClosed => "ServerClosed",
+        FairGenError::Overloaded { .. } => "Overloaded",
         FairGenError::CorruptCheckpoint { .. } => "CorruptCheckpoint",
         FairGenError::UnknownCheckpointTag { .. } => "UnknownCheckpointTag",
         FairGenError::MalformedEdgeList { .. } => "MalformedEdgeList",
@@ -130,6 +137,7 @@ mod tests {
             FairGenError::MalformedEdgeList { line: 1, text: "x".into() },
             FairGenError::Io(std::io::Error::other("io")),
             FairGenError::ServerClosed,
+            FairGenError::Overloaded { reason: "queue_full".into() },
         ]
     }
 

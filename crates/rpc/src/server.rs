@@ -33,13 +33,13 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use fairgen_core::error::{FairGenError, Result};
-use fairgen_serve::FairGenServer;
+use fairgen_serve::{FairGenServer, Lane, SubmitOptions, TenantId};
 
 use crate::codes;
 use crate::http::{read_request, write_response, HttpLimits};
 use crate::json::{parse, Json};
 use crate::wire::{
-    decode_envelope, decode_generate_params, error_object, fairgen_error_object,
+    decode_envelope, decode_generate_params, decode_tenant, error_object, fairgen_error_object,
     generate_result_to_json, response_envelope, stats_to_json, WireLimits,
 };
 
@@ -301,6 +301,7 @@ fn handle_connection(
                     &request.method,
                     &request.target,
                     &request.body,
+                    request.header("x-fairgen-tenant"),
                     &cfg.wire,
                 );
                 let close = closing || !request.keep_alive();
@@ -348,6 +349,7 @@ fn reason_for(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         408 => "Request Timeout",
         413 => "Content Too Large",
+        429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         501 => "Not Implemented",
         503 => "Service Unavailable",
@@ -365,6 +367,7 @@ pub fn respond(
     method: &str,
     target: &str,
     body: &[u8],
+    tenant_header: Option<&str>,
     wire: &WireLimits,
 ) -> (u16, Json) {
     if method != "POST" {
@@ -384,12 +387,16 @@ pub fn respond(
         );
         return (404, response_envelope(&Json::Null, Err(err)));
     }
-    handle_rpc_body(server, closing, body, wire)
+    handle_rpc_body(server, closing, body, tenant_header, wire)
 }
 
 /// Parses and dispatches one JSON-RPC request body, returning the HTTP
 /// status and the response envelope. This is the whole method surface:
 /// `generate`, `generate_batch`, and `stats`.
+///
+/// `tenant_header` is the raw `X-FairGen-Tenant` value, if the transport
+/// saw one; a `tenant` param inside the request body takes precedence, and
+/// with neither the request bills the anonymous default tenant.
 ///
 /// With `closing` set (the RPC layer is draining), every method is
 /// rejected with the same typed wire code as a post-shutdown in-process
@@ -398,6 +405,7 @@ pub fn handle_rpc_body(
     server: &FairGenServer,
     closing: bool,
     body: &[u8],
+    tenant_header: Option<&str>,
     wire: &WireLimits,
 ) -> (u16, Json) {
     let value = match parse(body) {
@@ -428,11 +436,26 @@ pub fn handle_rpc_body(
                     return (400, response_envelope(&request.id, Err(err)));
                 }
             };
-            let submitted = server.submit_shared(
+            let tenant = match decode_tenant(&request.params, tenant_header, wire) {
+                Ok(label) => label.map(TenantId::new).unwrap_or_default(),
+                Err(e) => {
+                    let err = error_object(codes::INVALID_PARAMS, &e.to_string(), "Params");
+                    return (400, response_envelope(&request.id, Err(err)));
+                }
+            };
+            let opts = SubmitOptions {
+                tenant,
+                // The method IS the lane: interactive single draws ahead of
+                // bulk batches, matching the in-process inference.
+                lane: Some(if batch { Lane::Bulk } else { Lane::Interactive }),
+                deadline: None,
+            };
+            let submitted = server.submit_with(
                 Arc::new(params.graph),
                 Arc::new(params.task),
                 params.fit_seed,
                 params.sample_seeds,
+                opts,
             );
             let served = match submitted {
                 Ok(pending) => pending.wait(),
@@ -445,10 +468,14 @@ pub fn handle_rpc_body(
                 ),
                 Err(e) => {
                     // Application errors stay HTTP 200 per JSON-RPC-over-
-                    // HTTP convention — except closure, which is a
-                    // transport-visible 503 so load balancers drain too.
-                    let status =
-                        if matches!(e, FairGenError::ServerClosed) { 503 } else { 200 };
+                    // HTTP convention — except closure (503, so load
+                    // balancers drain too) and admission rejection (429, so
+                    // generic clients and proxies back off).
+                    let status = match e {
+                        FairGenError::ServerClosed => 503,
+                        FairGenError::Overloaded { .. } => 429,
+                        _ => 200,
+                    };
                     (status, response_envelope(&request.id, Err(fairgen_error_object(&e))))
                 }
             }
@@ -485,13 +512,13 @@ mod tests {
     #[test]
     fn non_post_and_bad_target_are_typed_4xx() {
         let server = inner();
-        let (status, body) = respond(&server, false, "GET", "/rpc", b"", &wire());
+        let (status, body) = respond(&server, false, "GET", "/rpc", b"", None, &wire());
         assert_eq!(status, 405);
         assert_eq!(
             body.get("error").and_then(|e| e.get("code")).and_then(Json::as_i64),
             Some(codes::HTTP_ERROR)
         );
-        let (status, _) = respond(&server, false, "POST", "/metrics", b"{}", &wire());
+        let (status, _) = respond(&server, false, "POST", "/metrics", b"{}", None, &wire());
         assert_eq!(status, 404);
     }
 
@@ -504,7 +531,7 @@ mod tests {
             (br#"{"method":"warp","id":1}"#, codes::METHOD_NOT_FOUND, 404),
             (br#"{"method":"generate","id":1,"params":{}}"#, codes::INVALID_PARAMS, 400),
         ] {
-            let (got_status, envelope) = handle_rpc_body(&server, false, body, &wire());
+            let (got_status, envelope) = handle_rpc_body(&server, false, body, None, &wire());
             assert_eq!(got_status, status, "{}", String::from_utf8_lossy(body));
             let got = envelope.get("error").and_then(|e| e.get("code")).and_then(Json::as_i64);
             assert_eq!(got, Some(code), "{}", String::from_utf8_lossy(body));
@@ -528,7 +555,7 @@ mod tests {
                          "protected": {"universe": 18446744073709551615, "members": []}},
                 "fit_seed": 0, "sample_seed": 0}}"#,
         ] {
-            let (status, envelope) = handle_rpc_body(&server, false, body, &wire());
+            let (status, envelope) = handle_rpc_body(&server, false, body, None, &wire());
             assert_eq!(status, 400, "{}", String::from_utf8_lossy(body));
             assert_eq!(
                 envelope.get("error").and_then(|e| e.get("code")).and_then(Json::as_i64),
@@ -545,7 +572,7 @@ mod tests {
         // indistinguishable on the wire: one typed code, one status.
         let body = br#"{"method":"stats","id":7}"#;
         let server = inner();
-        let (status, envelope) = handle_rpc_body(&server, true, body, &wire());
+        let (status, envelope) = handle_rpc_body(&server, true, body, None, &wire());
         assert_eq!(status, 503);
         assert_eq!(
             envelope.get("error").and_then(|e| e.get("code")).and_then(Json::as_i64),
@@ -559,7 +586,7 @@ mod tests {
             "graph": {"n": 4, "edges": [[0,1],[1,2],[2,3]]},
             "task": {"labeled": [], "num_classes": 0, "protected": null},
             "fit_seed": 1, "sample_seed": 2}}"#;
-        let (status, envelope) = handle_rpc_body(&shut, false, gen_body, &wire());
+        let (status, envelope) = handle_rpc_body(&shut, false, gen_body, None, &wire());
         assert_eq!(status, 503);
         assert_eq!(
             envelope.get("error").and_then(|e| e.get("code")).and_then(Json::as_i64),
@@ -575,7 +602,7 @@ mod tests {
             "graph": {"n": 6, "edges": [[0,1],[1,2],[2,3],[3,4],[4,5],[5,0]]},
             "task": {"labeled": [], "num_classes": 0, "protected": null},
             "fit_seed": 42, "sample_seed": 7}}"#;
-        let (status, envelope) = handle_rpc_body(&server, false, body, &wire());
+        let (status, envelope) = handle_rpc_body(&server, false, body, None, &wire());
         assert_eq!(status, 200, "{envelope:?}");
         let result = envelope.get("result").expect("result");
         let decoded = crate::wire::generate_result_from_json(result, &wire()).expect("decode");
@@ -600,7 +627,7 @@ mod tests {
             "graph": {"n": 4, "edges": [[0,1],[1,2],[2,3]]},
             "task": {"labeled": [[99, 0]], "num_classes": 1, "protected": null},
             "fit_seed": 0, "sample_seed": 0}}"#;
-        let (status, envelope) = handle_rpc_body(&server, false, body, &wire());
+        let (status, envelope) = handle_rpc_body(&server, false, body, None, &wire());
         assert_eq!(status, 200);
         let error = envelope.get("error").expect("error object");
         assert_eq!(error.get("code").and_then(Json::as_i64), Some(codes::NODE_OUT_OF_RANGE));
@@ -615,7 +642,8 @@ mod tests {
         server
             .handle(&g, &fairgen_baselines::TaskSpec::unlabeled(), 3, vec![1])
             .expect("serve");
-        let (status, envelope) = handle_rpc_body(&server, false, br#"{"method":"stats"}"#, &wire());
+        let (status, envelope) =
+            handle_rpc_body(&server, false, br#"{"method":"stats"}"#, None, &wire());
         assert_eq!(status, 200);
         let totals = envelope.get("result").and_then(|r| r.get("totals")).expect("totals");
         assert_eq!(totals.get("requests").and_then(Json::as_u64), Some(1));

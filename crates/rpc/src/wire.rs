@@ -64,19 +64,56 @@ pub struct WireLimits {
     pub max_nodes: usize,
     /// Maximum number of edges in one graph.
     pub max_edges: usize,
+    /// Maximum byte length of a tenant label (the `tenant` param or the
+    /// `X-FairGen-Tenant` header). Labels are cloned into per-tenant
+    /// rate-limiter buckets and drop-ring entries, so an unbounded label
+    /// would let one request pin arbitrary memory.
+    pub max_tenant_bytes: usize,
 }
 
 impl Default for WireLimits {
     fn default() -> Self {
         // 4M nodes / 16M edges keeps the largest decode-triggered
         // allocation in the same ballpark as HttpLimits::max_body_bytes.
-        WireLimits { max_nodes: 1 << 22, max_edges: 1 << 24 }
+        WireLimits { max_nodes: 1 << 22, max_edges: 1 << 24, max_tenant_bytes: 128 }
+    }
+}
+
+/// Extracts the tenant label for a request: the `tenant` param when
+/// present, else the `X-FairGen-Tenant` header value, else `None` (the
+/// anonymous default tenant). Either source is bounded by
+/// [`WireLimits::max_tenant_bytes`] and must be a non-empty string.
+pub fn decode_tenant(
+    params: &Json,
+    header: Option<&str>,
+    limits: &WireLimits,
+) -> Result<Option<String>, WireError> {
+    let (label, field) = match params.get("tenant") {
+        Some(Json::Str(s)) => (Some(s.as_str()), "tenant"),
+        Some(_) => return Err(wire_err("tenant", "expected a string label")),
+        None => (header, "x-fairgen-tenant header"),
+    };
+    match label {
+        None => Ok(None),
+        Some("") => Err(wire_err(field, "tenant label must be non-empty")),
+        Some(s) if s.len() > limits.max_tenant_bytes => Err(wire_err(
+            field,
+            format!(
+                "tenant label of {} bytes exceeds the server limit of {}",
+                s.len(),
+                limits.max_tenant_bytes
+            ),
+        )),
+        Some(s) => Ok(Some(s.to_string())),
     }
 }
 
 fn bounded(value: usize, limit: usize, field: &str, what: &str) -> Result<usize, WireError> {
     if value > limit {
-        return Err(wire_err(field, format!("{value} exceeds the server limit of {limit} {what}")));
+        return Err(wire_err(
+            field,
+            format!("{value} exceeds the server limit of {limit} {what}"),
+        ));
     }
     Ok(value)
 }
@@ -199,8 +236,7 @@ pub fn task_from_json(v: &Json, limits: &WireLimits) -> Result<TaskSpec, WireErr
                 .map_err(|_| wire_err("protected.universe", "missing or not unsigned"))?;
             // Bounding also keeps `universe` far below u32::MAX, so the
             // `n as NodeId` inside NodeSet construction cannot truncate.
-            let universe =
-                bounded(universe, limits.max_nodes, "protected.universe", "nodes")?;
+            let universe = bounded(universe, limits.max_nodes, "protected.universe", "nodes")?;
             let raw = p
                 .get("members")
                 .ok_or_else(|| wire_err("protected.members", "missing"))?
@@ -415,6 +451,9 @@ pub fn generate_result_from_json(
 fn shard_stats_to_json(s: &ShardStats) -> Json {
     obj(vec![
         ("queue_depth", Json::U64(s.queue_depth as u64)),
+        ("admitted", Json::U64(s.admission.admitted)),
+        ("rejected_full", Json::U64(s.admission.rejected_full)),
+        ("shed_deadline", Json::U64(s.admission.shed_deadline)),
         ("drains", Json::U64(s.drains)),
         ("max_drain", Json::U64(s.max_drain as u64)),
         ("dedup_hits", Json::U64(s.dedup_hits)),
@@ -434,9 +473,22 @@ fn shard_stats_to_json(s: &ShardStats) -> Json {
     ])
 }
 
-/// Encodes a whole-server stats snapshot: per-shard counters plus the
-/// aggregate totals the load harness consumes.
+/// Encodes a whole-server stats snapshot: per-shard counters, the
+/// aggregate totals the load harness consumes, server-wide admission
+/// counters, and the recent dropped-work ring.
 pub fn stats_to_json(stats: &ServerStats) -> Json {
+    let dropped = stats
+        .dropped
+        .iter()
+        .map(|d| {
+            obj(vec![
+                ("tenant", Json::Str(d.tenant.as_str().into())),
+                ("fingerprint", Json::Str(d.fingerprint.to_hex())),
+                ("reason", Json::Str(d.reason.as_str().into())),
+                ("queue_age_nanos", Json::U64(d.queue_age_nanos)),
+            ])
+        })
+        .collect();
     obj(vec![
         ("shards", Json::Arr(stats.per_shard.iter().map(shard_stats_to_json).collect())),
         (
@@ -450,6 +502,17 @@ pub fn stats_to_json(stats: &ServerStats) -> Json {
                 ("max_drain", Json::U64(stats.max_drain() as u64)),
             ]),
         ),
+        (
+            "admission",
+            obj(vec![
+                ("admitted", Json::U64(stats.admission.admitted)),
+                ("rejected_full", Json::U64(stats.admission.rejected_full)),
+                ("rejected_rate", Json::U64(stats.admission.rejected_rate)),
+                ("shed_deadline", Json::U64(stats.admission.shed_deadline)),
+                ("dropped_total", Json::U64(stats.admission.dropped_total)),
+            ]),
+        ),
+        ("dropped", Json::Arr(dropped)),
     ])
 }
 

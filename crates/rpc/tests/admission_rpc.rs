@@ -1,0 +1,248 @@
+//! Admission control end-to-end over a real socket: typed 429/1016
+//! rejections, tenant attribution (header and params), deadline sheds, the
+//! stats surface, and the `Overloaded`-vs-`ServerClosed` distinction on
+//! the wire.
+//!
+//! Rate limiting with `tokens_per_sec: 0` makes overload deterministic
+//! over TCP — no gated workers or timing games needed: the bucket holds
+//! exactly `burst` tokens forever, so the Nth+1 request from a tenant is
+//! rejected no matter how the socket schedules.
+
+use fairgen_baselines::{ErGenerator, TaskSpec};
+use fairgen_graph::Graph;
+use fairgen_rpc::wire::encode_generate_params;
+use fairgen_rpc::{
+    codes, handle_rpc_body, ClientError, Json, RpcClient, RpcConfig, RpcServer, WireLimits,
+};
+use fairgen_serve::{AdmissionConfig, FairGenServer, RateConfig, ServerConfig};
+
+fn ring(n: u32) -> Graph {
+    let edges: Vec<(u32, u32)> = (0..n).map(|u| (u, (u + 1) % n)).collect();
+    Graph::from_edges(n as usize, &edges)
+}
+
+/// An RPC server whose admission layer hands each tenant `burst` tokens
+/// and never refills: requests past the burst are rejected, forever.
+fn spawn_limited(burst: u64) -> RpcServer {
+    let cfg = ServerConfig {
+        admission: AdmissionConfig {
+            rate: Some(RateConfig { burst, tokens_per_sec: 0 }),
+            ..AdmissionConfig::default()
+        },
+        ..ServerConfig::default()
+    };
+    let inner = FairGenServer::new(|| Box::new(ErGenerator), cfg).expect("inner server");
+    RpcServer::serve(inner, RpcConfig::default()).expect("bind loopback")
+}
+
+fn expect_overloaded(err: ClientError, reason: &str) -> fairgen_rpc::RpcErrorInfo {
+    match err {
+        ClientError::Rpc(info) => {
+            assert_eq!(info.code, codes::OVERLOADED, "wire code is pinned at 1016");
+            assert_eq!(info.http_status, 429, "admission rejections travel as 429");
+            assert_eq!(info.kind.as_deref(), Some("Overloaded"));
+            assert!(info.retryable(), "overload is the retryable rejection");
+            assert!(info.is_overloaded());
+            assert!(
+                info.message.contains(reason),
+                "message {:?} must name the stable reason {reason:?}",
+                info.message
+            );
+            info
+        }
+        other => panic!("expected a typed RPC overload error, got {other:?}"),
+    }
+}
+
+/// A tenant that exhausts its budget gets exactly one typed 429/1016 per
+/// excess request — and other tenants (named or anonymous) are untouched.
+#[test]
+fn rate_limited_tenant_gets_a_typed_429_and_nobody_else_does() {
+    let rpc = spawn_limited(1);
+    let (g, task) = (ring(12), TaskSpec::unlabeled());
+
+    let mut greedy = RpcClient::connect(rpc.local_addr()).expect("connect");
+    greedy.set_tenant(Some("greedy"));
+    greedy.generate(&g, &task, 0, 1).expect("first request fits the burst");
+    expect_overloaded(
+        greedy.generate(&g, &task, 0, 2).expect_err("burst spent"),
+        "rate_limited",
+    );
+
+    // The connection survives the rejection, and other buckets are full:
+    // a different header tenant and the anonymous default both serve.
+    greedy.set_tenant(Some("patient"));
+    greedy.generate(&g, &task, 0, 3).expect("another tenant has its own bucket");
+    greedy.set_tenant(None);
+    greedy.generate(&g, &task, 0, 4).expect("the default tenant has its own bucket");
+}
+
+/// A `tenant` param inside the JSON-RPC body outranks the transport
+/// header: with both present, the request bills the param tenant.
+#[test]
+fn params_tenant_takes_precedence_over_the_header() {
+    let rpc = spawn_limited(1);
+    let (g, task) = (ring(10), TaskSpec::unlabeled());
+    let mut client = RpcClient::connect(rpc.local_addr()).expect("connect");
+    client.set_tenant(Some("header-t"));
+
+    let with_param_tenant = |seed: u64| {
+        let mut params = encode_generate_params(&g, &task, 0, &[seed], false);
+        match &mut params {
+            Json::Obj(fields) => {
+                fields.push(("tenant".to_string(), Json::Str("param-t".into())))
+            }
+            other => panic!("generate params must be an object, got {other:?}"),
+        }
+        params
+    };
+
+    client.call("generate", with_param_tenant(1)).expect("bills param-t, which is full");
+    expect_overloaded(
+        client.call("generate", with_param_tenant(2)).expect_err("param-t is spent"),
+        "rate_limited",
+    );
+    // If the header tenant had been billed, this would now be rejected.
+    client.generate(&g, &task, 0, 3).expect("header-t still has its token");
+}
+
+/// Empty and oversized tenant labels are request faults (`INVALID_PARAMS`,
+/// HTTP 400) — they never reach admission, and never create a bucket.
+#[test]
+fn bad_tenant_labels_are_invalid_params_not_overload() {
+    let rpc = spawn_limited(1);
+    let (g, task) = (ring(10), TaskSpec::unlabeled());
+    let mut client = RpcClient::connect(rpc.local_addr()).expect("connect");
+
+    let with_tenant = |label: &str| {
+        let mut params = encode_generate_params(&g, &task, 0, &[1], false);
+        match &mut params {
+            Json::Obj(fields) => fields.push(("tenant".to_string(), Json::Str(label.into()))),
+            other => panic!("generate params must be an object, got {other:?}"),
+        }
+        params
+    };
+
+    for label in [String::new(), "x".repeat(WireLimits::default().max_tenant_bytes + 1)] {
+        match client.call("generate", with_tenant(&label)).expect_err("bad label") {
+            ClientError::Rpc(info) => {
+                assert_eq!(info.code, codes::INVALID_PARAMS);
+                assert_eq!(info.http_status, 400);
+                assert!(!info.retryable(), "a bad label is a caller bug, not backpressure");
+            }
+            other => panic!("expected a typed params error, got {other:?}"),
+        }
+    }
+
+    // Oversized header labels are rejected the same way.
+    client.set_tenant(Some(&"h".repeat(WireLimits::default().max_tenant_bytes + 1)));
+    match client.generate(&g, &task, 0, 1).expect_err("oversized header") {
+        ClientError::Rpc(info) => assert_eq!(info.code, codes::INVALID_PARAMS),
+        other => panic!("expected a typed params error, got {other:?}"),
+    }
+}
+
+/// A zero queue deadline sheds every job at drain: the client still gets
+/// exactly one answer — the typed `deadline_expired` overload — never a
+/// hang or a dropped connection.
+#[test]
+fn deadline_shed_crosses_the_socket_as_a_typed_429() {
+    let cfg = ServerConfig {
+        admission: AdmissionConfig {
+            queue_deadline: Some(std::time::Duration::ZERO),
+            ..AdmissionConfig::default()
+        },
+        ..ServerConfig::default()
+    };
+    let inner = FairGenServer::new(|| Box::new(ErGenerator), cfg).expect("inner server");
+    let rpc = RpcServer::serve(inner, RpcConfig::default()).expect("bind loopback");
+    let mut client = RpcClient::connect(rpc.local_addr()).expect("connect");
+    let (g, task) = (ring(14), TaskSpec::unlabeled());
+
+    expect_overloaded(
+        client.generate(&g, &task, 0, 1).expect_err("always-expired deadline"),
+        "deadline_expired",
+    );
+    // And again: the shed path keeps the connection serving.
+    expect_overloaded(
+        client.generate_batch(&g, &task, 0, &[2, 3]).expect_err("bulk sheds too"),
+        "deadline_expired",
+    );
+}
+
+/// The `stats` RPC surfaces the admission counters and the dropped ring,
+/// with tenant attribution and stable reason strings.
+#[test]
+fn stats_rpc_surfaces_admission_counters_and_the_dropped_ring() {
+    let rpc = spawn_limited(1);
+    let (g, task) = (ring(12), TaskSpec::unlabeled());
+    let mut client = RpcClient::connect(rpc.local_addr()).expect("connect");
+    client.set_tenant(Some("noisy"));
+    client.generate(&g, &task, 0, 1).expect("burst");
+    for seed in [2, 3] {
+        let _ = client.generate(&g, &task, 0, seed).expect_err("over budget");
+    }
+
+    let stats = client.stats().expect("stats rpc");
+    let admission = stats.get("admission").expect("admission block in stats");
+    let field = |k: &str| admission.get(k).and_then(Json::as_u64).expect("counter");
+    assert_eq!(field("admitted"), 1);
+    assert_eq!(field("rejected_rate"), 2);
+    assert_eq!(field("rejected_full"), 0);
+    assert_eq!(field("shed_deadline"), 0);
+    assert_eq!(field("dropped_total"), 2);
+
+    let dropped = match stats.get("dropped").expect("dropped ring in stats") {
+        Json::Arr(entries) => entries.clone(),
+        other => panic!("dropped must be an array, got {other:?}"),
+    };
+    assert_eq!(dropped.len(), 2);
+    for entry in &dropped {
+        assert_eq!(entry.get("tenant").and_then(Json::as_str), Some("noisy"));
+        assert_eq!(entry.get("reason").and_then(Json::as_str), Some("rate_limited"));
+        assert!(entry.get("fingerprint").and_then(Json::as_str).is_some());
+        assert!(entry.get("queue_age_nanos").and_then(Json::as_u64).is_some());
+    }
+}
+
+/// The wire keeps the two rejection families distinct: an overloaded (but
+/// open) server answers 429/1016, a draining server answers 503/1015 for
+/// the *same* request body. Clients can tell "back off here" from "go
+/// elsewhere".
+#[test]
+fn overloaded_and_server_closed_are_distinct_on_the_wire() {
+    let cfg = ServerConfig {
+        admission: AdmissionConfig {
+            rate: Some(RateConfig { burst: 1, tokens_per_sec: 0 }),
+            ..AdmissionConfig::default()
+        },
+        ..ServerConfig::default()
+    };
+    let server = FairGenServer::new(|| Box::new(ErGenerator), cfg).expect("server");
+    let (g, task) = (ring(10), TaskSpec::unlabeled());
+    let wire = WireLimits::default();
+    let body = |id: u64, seed: u64| {
+        fairgen_rpc::json::obj(vec![
+            ("jsonrpc", Json::Str("2.0".into())),
+            ("id", Json::U64(id)),
+            ("method", Json::Str("generate".into())),
+            ("params", encode_generate_params(&g, &task, 0, &[seed], false)),
+        ])
+        .encode()
+        .into_bytes()
+    };
+
+    // Spend the only token, then the same tenant is overloaded: 429/1016.
+    let (status, _) = handle_rpc_body(&server, false, &body(1, 1), Some("t"), &wire);
+    assert_eq!(status, 200);
+    let (status, envelope) = handle_rpc_body(&server, false, &body(2, 2), Some("t"), &wire);
+    assert_eq!(status, 429);
+    let code = |e: &Json| e.get("error").and_then(|e| e.get("code")).and_then(Json::as_i64);
+    assert_eq!(code(&envelope), Some(codes::OVERLOADED));
+
+    // The identical request against a draining server: 503/1015.
+    let (status, envelope) = handle_rpc_body(&server, true, &body(3, 2), Some("t"), &wire);
+    assert_eq!(status, 503);
+    assert_eq!(code(&envelope), Some(codes::SERVER_CLOSED));
+    assert_ne!(codes::OVERLOADED, codes::SERVER_CLOSED);
+}

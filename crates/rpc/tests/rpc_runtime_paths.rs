@@ -269,6 +269,7 @@ fn shutdown_spills_and_a_new_server_warm_starts() {
         shards: 2,
         registry: RegistryConfig { capacity: 4, checkpoint_dir: Some(dir.clone()) },
         dedup_capacity: 0,
+        ..ServerConfig::default()
     };
     let (g, task) = (ring(20), TaskSpec::unlabeled());
 

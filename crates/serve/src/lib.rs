@@ -63,6 +63,17 @@ pub use registry::{ModelRegistry, RegistryConfig, RegistryStats};
 pub use request::{
     fingerprint_request, fingerprint_with, GenerateRequest, GenerateResponse, ServedFrom,
 };
-pub use server::{shard_for, FairGenServer, ServerConfig, ServerStats, ShardStats};
+pub use server::{
+    shard_for, AdmissionStats, FairGenServer, ServerConfig, ServerStats, ShardStats,
+    SubmitOptions,
+};
 
 pub use fairgen_baselines::persist::{PersistableGenerator, PersistableGraphGenerator};
+
+// The admission vocabulary travels with every submit option and stats
+// snapshot; re-export it so server embedders configure admission without a
+// direct `fairgen-admission` dependency.
+pub use fairgen_admission::{
+    AdmissionConfig, Clock, DropReason, DroppedEntry, Lane, ManualClock, QueueStats,
+    RateConfig, SystemClock, TenantId,
+};

@@ -7,17 +7,21 @@
 //! requests share one allocation), paired with a response slot the worker
 //! fulfills and a [`PendingResponse`] the submitting client blocks on.
 //!
-//! The queue itself is a [`fairgen_par::Channel`]: shard workers consume
-//! with [`Channel::drain`], so every request that accumulated while the
+//! The queue itself is a [`fairgen_admission::AdmissionQueue`] — a bounded
+//! two-lane channel with deadline shedding; shard workers consume with
+//! [`AdmissionQueue::drain`], so every request that accumulated while the
 //! worker was busy arrives as one batch — the mechanism behind cross-client
-//! coalescing.
+//! coalescing. Under the default permissive
+//! [`AdmissionConfig`](fairgen_admission::AdmissionConfig) (unbounded, no
+//! deadlines) it behaves exactly like the plain [`fairgen_par::Channel`]
+//! it replaced.
 
 use std::sync::{Arc, Condvar, Mutex};
 
+use fairgen_admission::{AdmissionQueue, DropReason};
 use fairgen_baselines::TaskSpec;
 use fairgen_core::error::{FairGenError, Result};
 use fairgen_graph::{Graph, GraphFingerprint};
-use fairgen_par::Channel;
 
 use crate::request::GenerateResponse;
 
@@ -35,8 +39,9 @@ pub(crate) struct Job {
     pub slot: ResponseSlot,
 }
 
-/// A shard's work queue.
-pub(crate) type ShardQueue = Channel<Job>;
+/// A shard's work queue: jobs enter through the admission layer (capacity
+/// bound, priority lanes, deadline tags) and leave in drained batches.
+pub(crate) type ShardQueue = AdmissionQueue<Job>;
 
 struct SlotInner {
     value: Mutex<Option<Result<GenerateResponse>>>,
@@ -125,6 +130,12 @@ pub(crate) fn response_slot() -> (ResponseSlot, PendingResponse) {
 /// and network clients see one typed closure signal (one stable wire code).
 pub(crate) fn shutdown_error() -> FairGenError {
     FairGenError::ServerClosed
+}
+
+/// The error an admission-refused request receives: typed, retryable, and
+/// carrying the stable drop-reason name the dropped ring records.
+pub(crate) fn overload_error(reason: DropReason) -> FairGenError {
+    FairGenError::Overloaded { reason: reason.as_str().into() }
 }
 
 #[cfg(test)]

@@ -41,16 +41,24 @@
 //! would reproduce — and it is *asserted* against a sequential
 //! [`ModelRegistry`] oracle in `tests/server_stress.rs`.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
+use fairgen_admission::{
+    AdmissionConfig, AdmitError, AdmitMeta, DropReason, DroppedEntry, DroppedRing, Lane,
+    QueueStats, RateLimiter, TenantId,
+};
 use fairgen_baselines::persist::PersistableGraphGenerator;
 use fairgen_baselines::TaskSpec;
 use fairgen_core::error::{FairGenError, Result};
 use fairgen_graph::{Graph, GraphFingerprint};
 
 use crate::dedup::{DedupCache, DedupKey};
-use crate::queue::{response_slot, shutdown_error, Job, PendingResponse, ShardQueue};
+use crate::queue::{
+    overload_error, response_slot, shutdown_error, Job, PendingResponse, ShardQueue,
+};
 use crate::registry::{ModelRegistry, RegistryConfig, RegistryStats};
 use crate::request::{GenerateRequest, GenerateResponse, ServedFrom};
 
@@ -75,12 +83,38 @@ pub struct ServerConfig {
     /// Per-shard sample-dedup budget, in cached graphs. Zero disables
     /// cross-request dedup.
     pub dedup_capacity: usize,
+    /// Admission policy: per-shard queue bound, priority-lane aging window,
+    /// queue deadline, per-tenant rate limits, dropped-work ring size. The
+    /// default is fully permissive, reproducing pre-admission behavior.
+    pub admission: AdmissionConfig,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { shards: 4, registry: RegistryConfig::default(), dedup_capacity: 256 }
+        ServerConfig {
+            shards: 4,
+            registry: RegistryConfig::default(),
+            dedup_capacity: 256,
+            admission: AdmissionConfig::default(),
+        }
     }
+}
+
+/// Per-request admission options for
+/// [`FairGenServer::submit_with`]. The default bills the anonymous tenant,
+/// picks the lane from the request shape, and applies the server's default
+/// queue deadline.
+#[derive(Clone, Debug, Default)]
+pub struct SubmitOptions {
+    /// Who the request is billed to (rate limiting, drop diagnostics).
+    pub tenant: TenantId,
+    /// Priority lane override. `None` infers it from the request: a single
+    /// sample is interactive, a multi-sample batch is bulk — mirroring the
+    /// RPC layer's `generate` vs `generate_batch` split.
+    pub lane: Option<Lane>,
+    /// Per-request queue-deadline override. `None` uses
+    /// [`AdmissionConfig::queue_deadline`].
+    pub deadline: Option<Duration>,
 }
 
 /// Per-shard serving counters, aggregated by [`FairGenServer::stats`].
@@ -105,6 +139,28 @@ pub struct ShardStats {
     /// [`FairGenServer::stats`], not maintained by the worker — a live
     /// backlog gauge, not a cumulative counter).
     pub queue_depth: usize,
+    /// The shard queue's admission counters (admitted / rejected-at-
+    /// capacity / shed-on-deadline), sampled from the queue like
+    /// `queue_depth`.
+    pub admission: QueueStats,
+}
+
+/// Server-wide admission counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Jobs accepted into a shard queue.
+    pub admitted: u64,
+    /// Submissions rejected with a full shard queue.
+    pub rejected_full: u64,
+    /// Submissions rejected by a tenant's token bucket (this never reaches
+    /// a shard, so it is a server-level counter, not a per-shard one).
+    pub rejected_rate: u64,
+    /// Queued jobs shed at drain time on an expired deadline.
+    pub shed_deadline: u64,
+    /// Lifetime dropped-ring total — every shed or rejected job, including
+    /// entries that have aged out of the retained window. Always equals
+    /// `rejected_full + rejected_rate + shed_deadline`.
+    pub dropped_total: u64,
 }
 
 /// A snapshot of the whole server's counters.
@@ -112,6 +168,11 @@ pub struct ShardStats {
 pub struct ServerStats {
     /// Per-shard snapshots, indexed by shard id.
     pub per_shard: Vec<ShardStats>,
+    /// Server-wide admission counters.
+    pub admission: AdmissionStats,
+    /// The most recent shed/rejected jobs (oldest first), from the bounded
+    /// dropped-work ring.
+    pub dropped: Vec<DroppedEntry>,
 }
 
 impl ServerStats {
@@ -186,6 +247,14 @@ pub struct FairGenServer {
     /// Computes request fingerprints on the submitting thread; never fits.
     router: Box<dyn PersistableGraphGenerator>,
     shards: Vec<Shard>,
+    /// The shared dropped-work ring every shard queue (and the rate-limit
+    /// path) records into.
+    ring: Arc<DroppedRing>,
+    /// Per-tenant token buckets; `None` when rate limiting is off.
+    limiter: Option<RateLimiter>,
+    /// Submissions refused by the rate limiter (they never reach a shard
+    /// queue, so no shard counts them).
+    rejected_rate: AtomicU64,
 }
 
 impl FairGenServer {
@@ -210,15 +279,26 @@ impl FairGenServer {
                 message: "a server needs at least one registry shard".into(),
             });
         }
+        cfg.admission.validate()?;
+        let ring = Arc::new(DroppedRing::new(cfg.admission.dropped_ring));
+        let limiter = cfg
+            .admission
+            .rate
+            .map(|rate| RateLimiter::new(rate, Arc::clone(&cfg.admission.clock)));
         // Build shards *inside* the server so a mid-loop failure (bad
         // registry config, thread-spawn error) drops the partial server,
         // whose `Drop` shuts down — closes the queues of — every worker
         // already spawned instead of leaking them parked in `drain()`.
-        let mut server =
-            FairGenServer { router: make_generator(), shards: Vec::with_capacity(cfg.shards) };
+        let mut server = FairGenServer {
+            router: make_generator(),
+            shards: Vec::with_capacity(cfg.shards),
+            ring: Arc::clone(&ring),
+            limiter,
+            rejected_rate: AtomicU64::new(0),
+        };
         for id in 0..cfg.shards {
             let registry = ModelRegistry::with_config(make_generator(), cfg.registry.clone())?;
-            let queue = Arc::new(ShardQueue::new());
+            let queue = Arc::new(ShardQueue::new(&cfg.admission, Arc::clone(&ring)));
             let stats = Arc::new(Mutex::new(ShardStats::default()));
             let worker = {
                 let queue = Arc::clone(&queue);
@@ -275,7 +355,8 @@ impl FairGenServer {
 
     /// [`submit`](FairGenServer::submit) without the clone: clients that
     /// already hold their graph/task behind [`Arc`]s share the allocation
-    /// with the queue.
+    /// with the queue. Billed to the default tenant with an inferred lane —
+    /// use [`submit_with`](FairGenServer::submit_with) to say more.
     pub fn submit_shared(
         &self,
         graph: Arc<Graph>,
@@ -283,11 +364,65 @@ impl FairGenServer {
         fit_seed: u64,
         sample_seeds: Vec<u64>,
     ) -> Result<PendingResponse> {
+        self.submit_with(graph, task, fit_seed, sample_seeds, SubmitOptions::default())
+    }
+
+    /// Full-control submission: tenant, priority lane, and queue deadline
+    /// travel with the request through admission.
+    ///
+    /// # Errors
+    ///
+    /// * [`FairGenError::Overloaded`] — the tenant's rate budget is spent
+    ///   (`rate_limited`) or the shard queue is at capacity (`queue_full`).
+    ///   Transient: back off and retry.
+    /// * [`FairGenError::ServerClosed`] — the server is shutting down.
+    ///   Permanent for this server instance.
+    ///
+    /// Jobs that are *admitted* can still be shed later: if the queue
+    /// deadline expires before a worker reaches the job, its
+    /// [`PendingResponse`] resolves to `Overloaded` with reason
+    /// `deadline_expired`. Every submission gets exactly one answer.
+    pub fn submit_with(
+        &self,
+        graph: Arc<Graph>,
+        task: Arc<TaskSpec>,
+        fit_seed: u64,
+        sample_seeds: Vec<u64>,
+        opts: SubmitOptions,
+    ) -> Result<PendingResponse> {
         let (fingerprint, shard) = self.route(&graph, &task, fit_seed);
+        if let Some(limiter) = &self.limiter {
+            // Cost scales with the work requested: one token per sample
+            // (a zero-sample fit-only request still costs one).
+            let cost = sample_seeds.len().max(1) as u64;
+            if !limiter.try_admit(&opts.tenant, cost) {
+                self.rejected_rate.fetch_add(1, Ordering::Relaxed);
+                self.ring.record(DroppedEntry {
+                    tenant: opts.tenant.clone(),
+                    fingerprint,
+                    reason: DropReason::RateLimited,
+                    queue_age_nanos: 0,
+                });
+                return Err(overload_error(DropReason::RateLimited));
+            }
+        }
+        let lane = opts.lane.unwrap_or(if sample_seeds.len() <= 1 {
+            Lane::Interactive
+        } else {
+            Lane::Bulk
+        });
         let (slot, pending) = response_slot();
         let job = Job { graph, task, fit_seed, sample_seeds, fingerprint, slot };
-        self.shards[shard].queue.push(job).map_err(|_| shutdown_error())?;
-        Ok(pending)
+        let meta =
+            AdmitMeta { tenant: opts.tenant, lane, fingerprint, deadline: opts.deadline };
+        match self.shards[shard].queue.push(job, meta) {
+            Ok(()) => Ok(pending),
+            // The rejected job (and its slot) drops here — harmless, since
+            // the error below is the caller's one answer and `pending`
+            // never escapes.
+            Err(AdmitError::Full(_)) => Err(overload_error(DropReason::QueueFull)),
+            Err(AdmitError::Closed(_)) => Err(shutdown_error()),
+        }
     }
 
     /// Blocking round-trip: submit, then wait. The concurrent counterpart
@@ -306,20 +441,31 @@ impl FairGenServer {
     /// counters *before* fulfilling the drain's responses, so once a client
     /// has seen a response, a later snapshot reflects it.
     pub fn stats(&self) -> ServerStats {
-        ServerStats {
-            per_shard: self
-                .shards
-                .iter()
-                .map(|s| {
-                    let mut snapshot = *s.stats.lock().expect("shard stats");
-                    // The live backlog gauge comes from the queue itself —
-                    // the worker only publishes after finishing a drain, so
-                    // it could never report a non-empty queue.
-                    snapshot.queue_depth = s.queue.len();
-                    snapshot
-                })
-                .collect(),
+        let per_shard: Vec<ShardStats> = self
+            .shards
+            .iter()
+            .map(|s| {
+                let mut snapshot = *s.stats.lock().expect("shard stats");
+                // The live backlog gauge and admission counters come from
+                // the queue itself — the worker only publishes after
+                // finishing a drain, so it could never report a non-empty
+                // queue or an in-flight rejection.
+                snapshot.queue_depth = s.queue.len();
+                snapshot.admission = s.queue.stats();
+                snapshot
+            })
+            .collect();
+        let mut admission = AdmissionStats {
+            rejected_rate: self.rejected_rate.load(Ordering::Relaxed),
+            dropped_total: self.ring.total(),
+            ..AdmissionStats::default()
+        };
+        for shard in &per_shard {
+            admission.admitted += shard.admission.admitted;
+            admission.rejected_full += shard.admission.rejected_full;
+            admission.shed_deadline += shard.admission.shed_deadline;
         }
+        ServerStats { per_shard, admission, dropped: self.ring.snapshot() }
     }
 
     /// Graceful shutdown: closes every queue, lets the workers serve the
@@ -383,18 +529,26 @@ fn shard_worker(
     let mut drains = 0u64;
     let mut max_drain = 0usize;
     loop {
-        let jobs = queue.drain();
-        if jobs.is_empty() {
+        let drain = queue.drain();
+        if drain.is_empty() {
             break; // Closed and fully drained.
         }
         drains += 1;
-        max_drain = max_drain.max(jobs.len());
+        max_drain = max_drain.max(drain.served.len() + drain.shed.len());
+
+        // Shed pass: jobs whose queue deadline expired while they waited
+        // get their typed rejection *now* — the admission queue already
+        // recorded them in the dropped ring; answering is all that's left.
+        let mut fulfilled: Vec<(crate::queue::ResponseSlot, Result<GenerateResponse>)> =
+            Vec::with_capacity(drain.served.len() + drain.shed.len());
+        for shed in drain.shed {
+            fulfilled.push((shed.item.slot, Err(overload_error(DropReason::DeadlineExpired))));
+        }
 
         // Dedup pass: answer fully-cached requests without the registry.
-        let mut fulfilled: Vec<(crate::queue::ResponseSlot, Result<GenerateResponse>)> =
-            Vec::with_capacity(jobs.len());
         let mut pending: Vec<Job> = Vec::new();
-        for job in jobs {
+        for queued in drain.served {
+            let job = queued.item;
             match dedup.lookup_all(job.fingerprint, &job.sample_seeds) {
                 Some(graphs) => {
                     dedup_hits += 1;

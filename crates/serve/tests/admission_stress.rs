@@ -1,0 +1,379 @@
+//! Admission-control behavior of [`FairGenServer`] under overload.
+//!
+//! The contract these tests pin:
+//!
+//! * **Zero hangs, one typed answer each** — every submission either enters
+//!   the queue (and its `PendingResponse` resolves) or returns a typed
+//!   error immediately; `accepted + shed == offered` exactly.
+//! * **Distinct rejections** — a full queue answers
+//!   [`FairGenError::Overloaded`] (`queue_full`), a shut-down server
+//!   answers [`FairGenError::ServerClosed`]; deadline sheds answer
+//!   `Overloaded` (`deadline_expired`); rate limiting answers `Overloaded`
+//!   (`rate_limited`). Never a hang, never an untyped failure.
+//! * **Accepted work is untouched** — responses for admitted requests stay
+//!   byte-identical to the sequential [`ModelRegistry`] oracle; admission
+//!   only decides *whether* work runs, never *what* it computes.
+//! * **No tenant starves** — under 3× capacity from two greedy bulk
+//!   tenants and one interactive tenant, every tenant gets work through.
+//!
+//! Overload is made deterministic with a gate generator: the single shard
+//! worker blocks inside `fit` until the test releases it, so the queue
+//! fills to exactly its capacity with no timing dependence.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use fairgen_baselines::persist::{PersistableGenerator, PersistableGraphGenerator};
+use fairgen_baselines::{ErGenerator, FittedGenerator, GraphGenerator, TaskSpec};
+use fairgen_core::error::{FairGenError, Result};
+use fairgen_graph::Graph;
+use fairgen_serve::{
+    AdmissionConfig, DropReason, FairGenServer, GenerateRequest, Lane, ManualClock,
+    ModelRegistry, RateConfig, ServerConfig, SubmitOptions, TenantId,
+};
+
+fn ring(n: u32) -> Graph {
+    Graph::from_edges(n as usize, &(0..n).map(|i| (i, (i + 1) % n)).collect::<Vec<_>>())
+}
+
+/// A latch pair: the generator announces it entered `fit`, then parks until
+/// the test releases it.
+#[derive(Default)]
+struct Gate {
+    started: (Mutex<bool>, Condvar),
+    released: (Mutex<bool>, Condvar),
+}
+
+impl Gate {
+    fn enter(&self) {
+        *self.started.0.lock().expect("gate") = true;
+        self.started.1.notify_all();
+        let mut released = self.released.0.lock().expect("gate");
+        while !*released {
+            released = self.released.1.wait(released).expect("gate");
+        }
+    }
+
+    fn wait_started(&self) {
+        let mut started = self.started.0.lock().expect("gate");
+        while !*started {
+            started = self.started.1.wait(started).expect("gate");
+        }
+    }
+
+    fn release(&self) {
+        *self.released.0.lock().expect("gate") = true;
+        self.released.1.notify_all();
+    }
+}
+
+/// Delegates to [`ErGenerator`] but blocks the first (and any later) fit on
+/// the gate — the deterministic way to hold a shard worker busy while the
+/// test fills its queue.
+struct GateGen {
+    gate: Arc<Gate>,
+}
+
+impl GraphGenerator for GateGen {
+    fn name(&self) -> &'static str {
+        ErGenerator.name()
+    }
+    fn fit(&self, g: &Graph, task: &TaskSpec, seed: u64) -> Result<Box<dyn FittedGenerator>> {
+        self.gate.enter();
+        ErGenerator.fit(g, task, seed)
+    }
+}
+
+impl PersistableGraphGenerator for GateGen {
+    fn fit_persistable(
+        &self,
+        g: &Graph,
+        task: &TaskSpec,
+        seed: u64,
+    ) -> Result<Box<dyn PersistableGenerator>> {
+        self.gate.enter();
+        ErGenerator.fit_persistable(g, task, seed)
+    }
+}
+
+fn gated_server(gate: &Arc<Gate>, admission: AdmissionConfig) -> FairGenServer {
+    let cfg =
+        ServerConfig { shards: 1, dedup_capacity: 0, admission, ..ServerConfig::default() };
+    let gate = Arc::clone(gate);
+    FairGenServer::new(move || Box::new(GateGen { gate: Arc::clone(&gate) }), cfg)
+        .expect("server")
+}
+
+fn opts(tenant: &str) -> SubmitOptions {
+    SubmitOptions { tenant: TenantId::new(tenant), lane: None, deadline: None }
+}
+
+fn is_overloaded(e: &FairGenError, reason: &str) -> bool {
+    matches!(e, FairGenError::Overloaded { reason: r } if r == reason)
+}
+
+/// Two greedy bulk tenants and one interactive tenant offer 3× the queue
+/// capacity while the worker is gated: exactly `capacity` jobs are
+/// admitted round-robin (so every tenant gets through), every excess
+/// submission gets exactly one typed `queue_full` rejection, and the
+/// admitted work — once the gate opens — is byte-identical to the
+/// sequential oracle.
+#[test]
+fn overload_keeps_tenants_progressing_and_accepted_work_byte_equal() {
+    const CAPACITY: usize = 9;
+    const ROUNDS: usize = 10;
+    let tenants = ["bulk-a", "bulk-b", "interactive"];
+
+    let gate = Arc::new(Gate::default());
+    let server = gated_server(
+        &gate,
+        AdmissionConfig { queue_capacity: Some(CAPACITY), ..AdmissionConfig::default() },
+    );
+    let task = Arc::new(TaskSpec::unlabeled());
+
+    // Seeds per submission: the bulk tenants ask for two draws (→ Bulk
+    // lane), the interactive tenant for one (→ Interactive lane).
+    let seeds_for = |tenant: usize| -> Vec<u64> {
+        if tenant < 2 {
+            vec![1, 2]
+        } else {
+            vec![1]
+        }
+    };
+
+    // Prime: one job the worker takes and blocks on, leaving the queue
+    // empty at exactly its configured capacity.
+    let prime_graph = Arc::new(ring(8));
+    let prime = server.submit_with(
+        Arc::clone(&prime_graph),
+        Arc::clone(&task),
+        0,
+        vec![9],
+        opts("interactive"),
+    );
+    let prime = prime.expect("prime admitted");
+    gate.wait_started();
+
+    // Offer 3× capacity round-robin across the three tenants.
+    let mut accepted: Vec<(usize, usize, fairgen_serve::PendingResponse)> = Vec::new();
+    let mut rejected = 0usize;
+    let mut accepted_per_tenant = [0usize; 3];
+    for round in 0..ROUNDS {
+        for (t, tenant) in tenants.iter().enumerate() {
+            let g = Arc::new(ring(10 + (round * 3 + t) as u32));
+            match server.submit_with(g, Arc::clone(&task), 0, seeds_for(t), opts(tenant)) {
+                Ok(pending) => {
+                    accepted.push((t, round, pending));
+                    accepted_per_tenant[t] += 1;
+                }
+                Err(e) => {
+                    assert!(
+                        is_overloaded(&e, "queue_full"),
+                        "excess submission must be a typed queue_full rejection, got {e}"
+                    );
+                    rejected += 1;
+                }
+            }
+        }
+    }
+
+    assert_eq!(accepted.len(), CAPACITY, "exactly the queue capacity is admitted");
+    assert_eq!(rejected, ROUNDS * 3 - CAPACITY, "accepted + shed == offered");
+    for (t, tenant) in tenants.iter().enumerate() {
+        assert!(
+            accepted_per_tenant[t] >= 1,
+            "tenant {tenant} starved at admission: {accepted_per_tenant:?}"
+        );
+    }
+
+    // Open the gate: everything admitted must now be served, byte-equal to
+    // the sequential oracle.
+    gate.release();
+    prime.wait().expect("prime serves");
+    let mut oracle = ModelRegistry::new(Box::new(ErGenerator));
+    for (t, round, pending) in accepted {
+        let response = pending.wait().expect("admitted job serves after the gate opens");
+        let g = ring(10 + (round * 3 + t) as u32);
+        let expected =
+            oracle.handle(&GenerateRequest::new(&g, &task, 0, seeds_for(t))).expect("oracle");
+        assert_eq!(
+            response.graphs, expected.graphs,
+            "admission must not change what admitted work computes"
+        );
+    }
+
+    let stats = server.stats();
+    assert_eq!(stats.admission.admitted as usize, CAPACITY + 1, "prime + capacity");
+    assert_eq!(stats.admission.rejected_full as usize, rejected);
+    assert_eq!(stats.admission.shed_deadline, 0);
+    assert_eq!(stats.admission.dropped_total as usize, rejected);
+    assert!(stats.dropped.iter().all(|d| d.reason == DropReason::QueueFull));
+    // All three tenants appear in the drop diagnostics (every tenant was
+    // rejected at least once in rounds 4+).
+    for tenant in tenants {
+        assert!(
+            stats.dropped.iter().any(|d| d.tenant.as_str() == tenant),
+            "tenant {tenant} missing from the dropped ring"
+        );
+    }
+}
+
+/// Over-capacity and post-shutdown submissions fail with *different* typed
+/// errors on the in-process path: `Overloaded` says "back off and retry",
+/// `ServerClosed` says "this server is going away".
+#[test]
+fn queue_full_and_server_closed_are_distinct_typed_errors() {
+    let gate = Arc::new(Gate::default());
+    let mut server = gated_server(
+        &gate,
+        AdmissionConfig { queue_capacity: Some(1), ..AdmissionConfig::default() },
+    );
+    let task = Arc::new(TaskSpec::unlabeled());
+
+    let prime = server
+        .submit_with(Arc::new(ring(8)), Arc::clone(&task), 0, vec![1], opts("t"))
+        .expect("prime admitted");
+    gate.wait_started();
+    let queued = server
+        .submit_with(Arc::new(ring(9)), Arc::clone(&task), 0, vec![1], opts("t"))
+        .expect("fits the capacity-1 queue");
+    let full = server
+        .submit_with(Arc::new(ring(10)), Arc::clone(&task), 0, vec![1], opts("t"))
+        .expect_err("over capacity");
+    assert!(is_overloaded(&full, "queue_full"), "got {full}");
+
+    gate.release();
+    prime.wait().expect("prime serves");
+    queued.wait().expect("queued job serves");
+    server.shutdown();
+
+    let closed = server
+        .submit_with(Arc::new(ring(11)), Arc::clone(&task), 0, vec![1], opts("t"))
+        .expect_err("post-shutdown");
+    assert!(matches!(closed, FairGenError::ServerClosed), "got {closed}");
+}
+
+/// A zero queue deadline sheds every queued job at drain time: the client
+/// still gets exactly one answer — the typed `deadline_expired` rejection —
+/// and the shed is recorded in stats and the dropped ring.
+#[test]
+fn zero_deadline_sheds_at_drain_with_a_typed_response() {
+    let server = FairGenServer::new(
+        || Box::new(ErGenerator),
+        ServerConfig {
+            shards: 1,
+            admission: AdmissionConfig {
+                queue_deadline: Some(Duration::ZERO),
+                ..AdmissionConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server");
+    let task = Arc::new(TaskSpec::unlabeled());
+
+    for i in 0..4u32 {
+        let err = server
+            .submit_with(Arc::new(ring(8 + i)), Arc::clone(&task), 0, vec![1], opts("t"))
+            .expect("admitted — shedding happens at drain, not at submit")
+            .wait()
+            .expect_err("zero deadline: every job is expired by drain time");
+        assert!(is_overloaded(&err, "deadline_expired"), "got {err}");
+    }
+
+    let stats = server.stats();
+    assert_eq!(stats.admission.admitted, 4);
+    assert_eq!(stats.admission.shed_deadline, 4);
+    assert_eq!(stats.admission.dropped_total, 4);
+    assert!(stats.dropped.iter().all(|d| d.reason == DropReason::DeadlineExpired));
+    assert_eq!(stats.fits(), 0, "shed work must never reach the registry");
+}
+
+/// Token buckets are per-tenant and exactly deterministic under the
+/// injected clock: a greedy tenant exhausts its own burst without touching
+/// anyone else's, and refills arrive precisely when the clock says so.
+#[test]
+fn rate_limiting_is_per_tenant_and_deterministic() {
+    let clock = Arc::new(ManualClock::at(0));
+    let server = FairGenServer::new(
+        || Box::new(ErGenerator),
+        ServerConfig {
+            shards: 1,
+            admission: AdmissionConfig {
+                rate: Some(RateConfig { burst: 2, tokens_per_sec: 1 }),
+                clock: clock.clone(),
+                ..AdmissionConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server");
+    let task = Arc::new(TaskSpec::unlabeled());
+    let g = Arc::new(ring(12));
+    let submit = |tenant: &str, seeds: Vec<u64>| {
+        server.submit_with(Arc::clone(&g), Arc::clone(&task), 0, seeds, opts(tenant))
+    };
+
+    // Tenant a: burst of 2 single-draw requests, then rejected.
+    submit("a", vec![1]).expect("a 1/2").wait().expect("served");
+    submit("a", vec![2]).expect("a 2/2").wait().expect("served");
+    let limited = submit("a", vec![3]).expect_err("a over budget");
+    assert!(is_overloaded(&limited, "rate_limited"), "got {limited}");
+
+    // Tenant b is untouched by a's greed.
+    submit("b", vec![1]).expect("b has its own bucket").wait().expect("served");
+
+    // Cost scales with the draws requested: a 3-seed batch can never fit a
+    // burst-2 bucket, even for a fresh tenant.
+    let batch = submit("c", vec![1, 2, 3]).expect_err("batch cost over burst");
+    assert!(is_overloaded(&batch, "rate_limited"), "got {batch}");
+
+    // One second at 1 token/sec: tenant a can spend exactly once more.
+    clock.advance(1_000_000_000);
+    submit("a", vec![4]).expect("refilled").wait().expect("served");
+    let spent = submit("a", vec![5]).expect_err("refill was exactly one token");
+    assert!(is_overloaded(&spent, "rate_limited"), "got {spent}");
+
+    let stats = server.stats();
+    assert_eq!(stats.admission.rejected_rate, 3);
+    assert_eq!(stats.admission.dropped_total, 3);
+    assert!(stats.dropped.iter().all(|d| d.reason == DropReason::RateLimited));
+    assert!(stats.dropped.iter().any(|d| d.tenant.as_str() == "a"));
+    assert!(stats.dropped.iter().any(|d| d.tenant.as_str() == "c"));
+}
+
+/// The default config is fully permissive: no bound, no deadline, no rate
+/// limiting — admission is byte-invisible (the PR 5 stress suites assert
+/// the byte-equality half of this on the same default config).
+#[test]
+fn permissive_default_rejects_nothing() {
+    let server =
+        FairGenServer::new(|| Box::new(ErGenerator), ServerConfig::default()).expect("server");
+    let task = Arc::new(TaskSpec::unlabeled());
+    let mut pendings = Vec::new();
+    for i in 0..64u32 {
+        let lane = if i % 2 == 0 { Some(Lane::Interactive) } else { Some(Lane::Bulk) };
+        let opts = SubmitOptions { tenant: TenantId::new("t"), lane, deadline: None };
+        pendings.push(
+            server
+                .submit_with(
+                    Arc::new(ring(8 + i % 4)),
+                    Arc::clone(&task),
+                    0,
+                    vec![u64::from(i)],
+                    opts,
+                )
+                .expect("permissive default admits everything"),
+        );
+    }
+    for pending in pendings {
+        pending.wait().expect("served");
+    }
+    let stats = server.stats();
+    assert_eq!(stats.admission.admitted, 64);
+    assert_eq!(stats.admission.rejected_full, 0);
+    assert_eq!(stats.admission.rejected_rate, 0);
+    assert_eq!(stats.admission.shed_deadline, 0);
+    assert_eq!(stats.admission.dropped_total, 0);
+    assert!(stats.dropped.is_empty());
+}

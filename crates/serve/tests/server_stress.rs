@@ -81,6 +81,7 @@ fn concurrent_sharded_responses_match_the_sequential_oracle() {
             shards: 4,
             registry: RegistryConfig { capacity: GRAPHS, checkpoint_dir: None },
             dedup_capacity: 1024,
+            ..ServerConfig::default()
         },
     )
     .expect("server");
@@ -233,6 +234,7 @@ fn graceful_shutdown_spills_and_a_successor_warm_starts() {
         shards: 2,
         registry: RegistryConfig { capacity: 4, checkpoint_dir: Some(dir.clone()) },
         dedup_capacity: 16,
+        ..ServerConfig::default()
     };
 
     let first = {

@@ -50,6 +50,7 @@ fn run_over_socket() -> fairgen_core::error::Result<()> {
         shards: 2,
         registry: RegistryConfig { capacity: 2, checkpoint_dir: Some(ckpt_dir.clone()) },
         dedup_capacity: 64,
+        ..ServerConfig::default()
     };
     let inner =
         FairGenServer::new(move || Box::new(FairGenGenerator::new(cfg)), server_cfg.clone())?;
@@ -134,6 +135,7 @@ fn main() -> fairgen_core::error::Result<()> {
         shards: 2,
         registry: RegistryConfig { capacity: 2, checkpoint_dir: Some(ckpt_dir.clone()) },
         dedup_capacity: 64,
+        ..ServerConfig::default()
     };
     let server =
         FairGenServer::new(move || Box::new(FairGenGenerator::new(cfg)), server_cfg.clone())?;

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Regenerates BENCH_serving.json: latency percentiles and throughput of the
 # fairgen-rpc HTTP/1.1 front-end under concurrent loopback clients, across
-# cold / warm / dedup request mixes.
+# cold / warm / dedup request mixes plus an admission-control overload
+# scenario (accept/shed rates, interactive-lane p50/p99 under bulk flood).
 # Usage: scripts/bench_serving.sh [output.json] [clients] [requests_per_client]
 set -euo pipefail
 cd "$(dirname "$0")/.."
