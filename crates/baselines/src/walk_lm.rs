@@ -62,11 +62,12 @@ pub trait WalkModel {
     fn lm_zero(&mut self);
     /// Apply an optimizer step.
     fn lm_opt_step(&mut self);
-    /// Sample `count` sequences across `pool` — one decode state per
-    /// worker, walk `i` replaying `draws[i·len..(i+1)·len]` (see
+    /// Sample `count` sequences across `pool` — each worker advancing a
+    /// chunk of walks in lockstep through a batched decode state, walk `i`
+    /// replaying `draws[i·len..(i+1)·len]` (see
     /// [`fairgen_nn::sample_walk_batch`]). This is the single sampling
     /// contract of the trait; output must be bit-identical for any pool
-    /// width.
+    /// width and batch width.
     ///
     /// # Errors
     ///

@@ -12,9 +12,11 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use fairgen_nn::sample::{predraw_walks, sample_walk_batch, BatchSampler};
+use fairgen_nn::sample::{
+    predraw_walks, sample_walk_batch, sample_walk_batch_per_walk, MatrixSampler,
+};
 use fairgen_nn::{LstmLm, TransformerConfig, TransformerLm};
-use fairgen_par::ThreadPool;
+use fairgen_par::{ReplayRng, ThreadPool};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -90,7 +92,7 @@ struct ThreadRow {
 /// Tokens/sec of `sample_walk_batch` at each pool width. Output is
 /// bit-identical across widths (the parity suites assert it), so this axis
 /// measures pure scheduling overhead vs. fan-out win.
-fn thread_rows<M: BatchSampler>(model: &M) -> Vec<ThreadRow> {
+fn thread_rows<M: MatrixSampler>(model: &M) -> Vec<ThreadRow> {
     THREAD_AXIS
         .iter()
         .map(|&threads| {
@@ -107,6 +109,84 @@ fn thread_rows<M: BatchSampler>(model: &M) -> Vec<ThreadRow> {
             ThreadRow { threads, tok_per_sec: (BATCH_WALKS * BATCH_LEN) as f64 / secs }
         })
         .collect()
+}
+
+/// Batch widths the matrix-decode axis reports (1 isolates the GEMM-path
+/// overhead at the degenerate width; 64 spans two `MATRIX_BATCH_WIDTH`
+/// chunks' worth of walks stepped as one state here).
+const BATCH_WIDTH_AXIS: [usize; 4] = [1, 4, 16, 64];
+
+struct WidthRow {
+    width: usize,
+    tok_per_sec_batched: f64,
+    tok_per_sec_per_walk: f64,
+}
+
+impl WidthRow {
+    fn speedup(&self) -> f64 {
+        self.tok_per_sec_batched / self.tok_per_sec_per_walk
+    }
+}
+
+/// Tokens/sec of the matrix-stepped decoder at each batch width versus the
+/// per-walk decode loop over the same walks, both on one thread — so the
+/// axis isolates the one-GEMM-per-layer win from the multi-core win (the
+/// two compose: each pool worker steps its own chunk as a matrix).
+fn width_rows<M: MatrixSampler>(model: &M) -> Vec<WidthRow> {
+    let pool = ThreadPool::new(1);
+    BATCH_WIDTH_AXIS
+        .iter()
+        .map(|&width| {
+            let lens = vec![BATCH_LEN; width];
+            let mut state = model.make_batch_state(width);
+            let mut rng = StdRng::seed_from_u64(23);
+            let secs_batched = time_secs(
+                || {
+                    let draws = predraw_walks(&mut rng, width, BATCH_LEN);
+                    let mut rngs: Vec<ReplayRng<'_>> = (0..width)
+                        .map(|w| ReplayRng::new(&draws[w * BATCH_LEN..(w + 1) * BATCH_LEN]))
+                        .collect();
+                    model
+                        .sample_batch_into(&mut state, &lens, 1.0, &mut rngs)
+                        .expect("batched");
+                },
+                3,
+            );
+            let mut rng = StdRng::seed_from_u64(23);
+            let secs_per_walk = time_secs(
+                || {
+                    let draws = predraw_walks(&mut rng, width, BATCH_LEN);
+                    sample_walk_batch_per_walk(&pool, model, width, BATCH_LEN, 1.0, &draws)
+                        .expect("per-walk");
+                },
+                3,
+            );
+            let toks = (width * BATCH_LEN) as f64;
+            WidthRow {
+                width,
+                tok_per_sec_batched: toks / secs_batched,
+                tok_per_sec_per_walk: toks / secs_per_walk,
+            }
+        })
+        .collect()
+}
+
+fn json_width_rows(rows: &[WidthRow]) -> String {
+    let mut s = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "      {{\"batch_width\": {}, \"tokens_per_sec_batched\": {:.0}, \
+             \"tokens_per_sec_per_walk\": {:.0}, \"speedup_vs_per_walk\": {:.2}}}",
+            r.width,
+            r.tok_per_sec_batched,
+            r.tok_per_sec_per_walk,
+            r.speedup(),
+        );
+        s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("    ]");
+    s
 }
 
 fn json_thread_rows(rows: &[ThreadRow]) -> String {
@@ -195,6 +275,11 @@ fn main() {
     let tf_threads = thread_rows(&tf);
     let lstm_threads = thread_rows(&lstm);
 
+    // Matrix-decode axis: batched vs per-walk decoding at each batch width,
+    // single-threaded (composes multiplicatively with the thread axis).
+    let tf_widths = width_rows(&tf);
+    let lstm_widths = width_rows(&lstm);
+
     let json = format!(
         "{{\n  \"config\": {{\"vocab\": 400, \"d_model\": 32, \"heads\": 4, \"layers\": 1, \
          \"lstm_hidden\": 48, \"temperature\": 1.0}},\n  \"transformer\": {},\n  \
@@ -204,7 +289,10 @@ fn main() {
          overhead at any width, so speedup_vs_1_thread tracks min(threads, machine_cores); \
          a single-core container necessarily reports a flat curve\",\n    \
          \"batch_walks\": {}, \"walk_len\": {},\n    \"transformer\": {},\n    \
-         \"lstm\": {}\n  }}\n}}\n",
+         \"lstm\": {}\n  }},\n  \"batched\": {{\n    \"note\": \"matrix-stepped decode \
+         (one GEMM per layer per token across the batch) vs the per-walk decode loop, \
+         both single-threaded; output is bit-identical on every row\",\n    \
+         \"walk_len\": {},\n    \"transformer\": {},\n    \"lstm\": {}\n  }}\n}}\n",
         json_rows(&tf_rows),
         json_rows(&lstm_rows),
         flatness,
@@ -213,6 +301,9 @@ fn main() {
         BATCH_LEN,
         json_thread_rows(&tf_threads),
         json_thread_rows(&lstm_threads),
+        BATCH_LEN,
+        json_width_rows(&tf_widths),
+        json_width_rows(&lstm_widths),
     );
     std::fs::write(&out_path, &json).expect("write BENCH_sampling.json");
     println!("{json}");
@@ -237,6 +328,17 @@ fn main() {
                 r.threads,
                 r.tok_per_sec,
                 r.tok_per_sec / rows[0].tok_per_sec,
+            );
+        }
+    }
+    for (name, rows) in [("transformer", &tf_widths), ("lstm", &lstm_widths)] {
+        for r in rows {
+            println!(
+                "{name} width={:<3} batched {:>10.0} tok/s   per-walk {:>10.0} tok/s   {:>5.2}x",
+                r.width,
+                r.tok_per_sec_batched,
+                r.tok_per_sec_per_walk,
+                r.speedup(),
             );
         }
     }

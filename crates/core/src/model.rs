@@ -218,9 +218,10 @@ impl FairGen {
 
             // Step 6: new negative walks from the current generator —
             // KV-cached incremental decoding fanned out across the pool,
-            // one decode state per worker, each walk replaying its slice of
-            // the pre-drawn master stream (bit-identical to the sequential
-            // loop at any width).
+            // each worker stepping a chunk of walks in lockstep through a
+            // batched decode state (one GEMM per layer per token), each
+            // walk replaying its slice of the pre-drawn master stream
+            // (bit-identical to the sequential loop at any width).
             let draws = predraw(&mut rng, cfg.num_walks * cfg.walk_len);
             let sampled =
                 sample_walk_batch(pool, &generator, cfg.num_walks, cfg.walk_len, 1.0, &draws)?;
@@ -339,12 +340,13 @@ impl TrainedFairGen {
 
     /// [`TrainedFairGen::generate`] against an explicit pool — the per-draw
     /// hot path (see tab4_runtime's fit/generate split). Walk sampling fans
-    /// out with one KV-cache decode state per worker, each walk replaying
-    /// its slice of the pre-drawn master stream; score-matrix counting
-    /// merges per-worker partials in chunk order. Output is bit-identical
-    /// to the sequential path for any pool width (asserted in
-    /// `tests/parallel_parity.rs`), so per-seed determinism holds
-    /// regardless of `FAIRGEN_THREADS`.
+    /// out with one batched KV-cache decode state per worker, each worker
+    /// stepping a chunk of walks in lockstep (one GEMM per layer per token
+    /// across the chunk), each walk replaying its slice of the pre-drawn
+    /// master stream; score-matrix counting merges per-worker partials in
+    /// chunk order. Output is bit-identical to the sequential path for any
+    /// pool width (asserted in `tests/parallel_parity.rs`), so per-seed
+    /// determinism holds regardless of `FAIRGEN_THREADS`.
     pub fn generate_with_pool(&self, seed: u64, pool: &ThreadPool) -> Result<Graph> {
         let mut rng = StdRng::seed_from_u64(seed);
         let total = self.cfg.num_walks * self.cfg.gen_multiplier;

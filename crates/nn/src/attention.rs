@@ -63,6 +63,35 @@ impl KvCache {
     }
 }
 
+/// Reusable scratch for [`MultiHeadAttention::step_batch`]: the projected
+/// Q/K/V rows of every active walk plus their pre-`W_o` head outputs, all
+/// `width × d_model`. One allocation serves a whole batched decode session.
+#[derive(Clone, Debug)]
+pub struct AttnBatchScratch {
+    q: Mat,
+    k: Mat,
+    v: Mat,
+    concat: Mat,
+}
+
+impl AttnBatchScratch {
+    /// Scratch for batches of up to `width` concurrent walks at model
+    /// width `d_model`.
+    pub fn new(width: usize, d_model: usize) -> Self {
+        AttnBatchScratch {
+            q: Mat::zeros(width, d_model),
+            k: Mat::zeros(width, d_model),
+            v: Mat::zeros(width, d_model),
+            concat: Mat::zeros(width, d_model),
+        }
+    }
+
+    /// The batch width this scratch was sized for.
+    pub fn width(&self) -> usize {
+        self.q.rows()
+    }
+}
+
 impl MultiHeadAttention {
     /// Creates an attention layer.
     ///
@@ -181,6 +210,69 @@ impl MultiHeadAttention {
             }
         }
         vecmat_into(concat, &self.wo.value, out);
+    }
+
+    /// Batched incremental decode step over the first `m` rows of `x` (one
+    /// row per active walk, all at position `pos`): three prefix GEMMs
+    /// project Q/K/V for every walk at once, each walk's new K/V row lands
+    /// in its own cache, the per-walk prefix attention runs exactly as
+    /// [`MultiHeadAttention::step`] does, and one GEMM applies `W_o` to all
+    /// head outputs. Row `i` of `out` is bit-exact with a
+    /// [`MultiHeadAttention::step`] call against `caches[i]` (the prefix
+    /// GEMM accumulates ascending-`k` like `vecmat_into`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` exceeds the cache count, the scratch width, or any
+    /// cache's capacity at `pos`, or on a width mismatch.
+    pub fn step_batch(
+        &self,
+        m: usize,
+        pos: usize,
+        x: &Mat,
+        caches: &mut [KvCache],
+        scratch: &mut AttnBatchScratch,
+        out: &mut Mat,
+    ) {
+        let d = self.d_model();
+        assert_eq!(x.cols(), d, "input width mismatch");
+        assert!(m <= caches.len(), "batch exceeds cache count");
+        assert!(m <= scratch.q.rows(), "batch exceeds scratch width");
+        let dh = d / self.heads;
+        let scale = 1.0 / (dh as f64).sqrt();
+        x.matmul_prefix_into(m, &self.wq.value, &mut scratch.q);
+        x.matmul_prefix_into(m, &self.wk.value, &mut scratch.k);
+        x.matmul_prefix_into(m, &self.wv.value, &mut scratch.v);
+        for (i, cache) in caches.iter_mut().enumerate().take(m) {
+            assert!(pos < cache.k.rows(), "decode position {pos} past cache capacity");
+            cache.k.row_mut(pos).copy_from_slice(scratch.k.row(i));
+            cache.v.row_mut(pos).copy_from_slice(scratch.v.row(i));
+            let q_all = scratch.q.row(i);
+            let c_row = scratch.concat.row_mut(i);
+            let KvCache { k, v, scores, .. } = cache;
+            for h in 0..self.heads {
+                let h0 = h * dh;
+                let q_row = &q_all[h0..h0 + dh];
+                for (j, slot) in scores.iter_mut().enumerate().take(pos + 1) {
+                    let k_row = &k.row(j)[h0..h0 + dh];
+                    let mut acc = 0.0;
+                    for (qa, kb) in q_row.iter().zip(k_row) {
+                        acc += qa * kb;
+                    }
+                    *slot = acc * scale;
+                }
+                softmax_slice(&mut scores[..=pos]);
+                let c_seg = &mut c_row[h0..h0 + dh];
+                c_seg.iter_mut().for_each(|o| *o = 0.0);
+                for (j, &w) in scores.iter().enumerate().take(pos + 1) {
+                    let v_row = &v.row(j)[h0..h0 + dh];
+                    for (o, &vv) in c_seg.iter_mut().zip(v_row) {
+                        *o += w * vv;
+                    }
+                }
+            }
+        }
+        scratch.concat.matmul_prefix_into(m, &self.wo.value, out);
     }
 
     /// Backward pass: accumulates weight gradients and returns `dx`.

@@ -20,7 +20,8 @@
 use fairgen_graph::error::{FairGenError, Result};
 use rand::Rng;
 
-use crate::attention::KvCache;
+use crate::attention::{AttnBatchScratch, KvCache};
+use crate::mat::Mat;
 
 /// Reusable per-sequence decoding state for [`crate::TransformerLm`]:
 /// per-block KV caches, the rolling position, and every scratch row the
@@ -97,6 +98,151 @@ impl DecodeState {
     }
 
     /// The maximum number of tokens this state can hold.
+    pub fn capacity(&self) -> usize {
+        self.max_len
+    }
+}
+
+/// Batched decoding state for [`crate::TransformerLm::step_batch`]: up to
+/// `width` concurrent walks advance in lockstep, sharing one set of M-row
+/// activation matrices (one GEMM per layer per token) while each walk keeps
+/// its own per-layer KV cache. Created via
+/// [`crate::TransformerLm::batch_decode_state`]; one state serves any
+/// number of batches (reset between them), so serving paths amortize the
+/// allocation exactly like the single-walk [`DecodeState`].
+///
+/// Row `r` of every activation matrix belongs to the `r`-th *active* walk.
+/// When a walk finishes early, [`BatchDecodeState::retire`] removes its row
+/// from the active set; surviving walks keep their caches (and therefore
+/// their exact float history) — only their row index shifts.
+#[derive(Clone, Debug)]
+pub struct BatchDecodeState {
+    pub(crate) pos: usize,
+    pub(crate) width: usize,
+    pub(crate) max_len: usize,
+    pub(crate) d_model: usize,
+    /// `layers[l][r]` is active walk `r`'s KV cache for block `l`.
+    pub(crate) layers: Vec<Vec<KvCache>>,
+    /// Retired caches, recycled on the next [`BatchDecodeState::reset`]
+    /// (all caches share one shape, so any spare fits any layer/walk slot).
+    spare: Vec<KvCache>,
+    pub(crate) rows: BatchRows,
+    /// Next-token logits of the most recent step (`width × vocab`; only the
+    /// first `m` rows are live).
+    pub(crate) logits: Mat,
+    /// Softmax scratch for the samplers.
+    pub(crate) weights: Vec<f64>,
+}
+
+/// The M-row activation scratch threaded through every block by the batched
+/// step path — the batch analogue of [`RowScratch`].
+#[derive(Clone, Debug)]
+pub(crate) struct BatchRows {
+    /// Residual stream (`width × d_model`).
+    pub(crate) x: Mat,
+    /// LayerNorm output (`width × d_model`).
+    pub(crate) norm: Mat,
+    /// Attention Q/K/V/concat scratch.
+    pub(crate) attn: AttnBatchScratch,
+    /// Attention output (`width × d_model`).
+    pub(crate) attn_out: Mat,
+    /// FFN pre-activation (`width × ffn`).
+    pub(crate) ff_pre: Mat,
+    /// FFN activation (`width × ffn`).
+    pub(crate) ff_act: Mat,
+    /// FFN output (`width × d_model`).
+    pub(crate) ff_out: Mat,
+}
+
+impl BatchDecodeState {
+    pub(crate) fn new(
+        layers: usize,
+        d_model: usize,
+        ffn: usize,
+        max_len: usize,
+        vocab: usize,
+        width: usize,
+    ) -> Self {
+        assert!(width > 0, "batch width must be positive");
+        BatchDecodeState {
+            pos: 0,
+            width,
+            max_len,
+            d_model,
+            layers: (0..layers)
+                .map(|_| (0..width).map(|_| KvCache::new(max_len, d_model)).collect())
+                .collect(),
+            spare: Vec::new(),
+            rows: BatchRows {
+                x: Mat::zeros(width, d_model),
+                norm: Mat::zeros(width, d_model),
+                attn: AttnBatchScratch::new(width, d_model),
+                attn_out: Mat::zeros(width, d_model),
+                ff_pre: Mat::zeros(width, ffn),
+                ff_act: Mat::zeros(width, ffn),
+                ff_out: Mat::zeros(width, d_model),
+            },
+            logits: Mat::zeros(width, vocab),
+            weights: Vec::with_capacity(vocab),
+        }
+    }
+
+    /// Starts a new batch of `m` walks: rewinds the position and ensures
+    /// every layer holds exactly `m` caches, recycling retired ones (stale
+    /// KV rows are overwritten as decoding advances, exactly like
+    /// [`DecodeState::reset`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` exceeds the state's width.
+    pub fn reset(&mut self, m: usize) {
+        assert!(m <= self.width, "batch of {m} exceeds state width {}", self.width);
+        self.pos = 0;
+        for layer in &mut self.layers {
+            while layer.len() > m {
+                self.spare.push(layer.pop().expect("non-empty layer"));
+            }
+            while layer.len() < m {
+                let cache = self
+                    .spare
+                    .pop()
+                    .unwrap_or_else(|| KvCache::new(self.max_len, self.d_model));
+                layer.push(cache);
+            }
+        }
+    }
+
+    /// Retires active row `row`: the walk's caches leave every layer (its
+    /// successors shift down one row) and are recycled for future batches.
+    /// Survivors' caches — and therefore their sampled tokens — are
+    /// untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is not an active row.
+    pub fn retire(&mut self, row: usize) {
+        for layer in &mut self.layers {
+            assert!(row < layer.len(), "retiring inactive row {row}");
+            self.spare.push(layer.remove(row));
+        }
+    }
+
+    /// Number of currently active walks.
+    pub fn active(&self) -> usize {
+        self.layers.first().map_or(0, Vec::len)
+    }
+
+    /// Number of tokens consumed since the last [`BatchDecodeState::reset`].
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// The widest batch this state can hold.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The maximum number of tokens this state can hold per walk.
     pub fn capacity(&self) -> usize {
         self.max_len
     }

@@ -68,6 +68,22 @@ impl Embedding {
         out.copy_from_slice(self.table.value.row(id));
     }
 
+    /// Copies the rows for `ids` into the first `ids.len()` rows of `out`
+    /// (batched decode step path). Rows past `ids.len()` are untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an id is out of range, `out` is too narrow, or has fewer
+    /// rows than `ids`.
+    pub fn lookup_rows_into(&self, ids: &[usize], out: &mut Mat) {
+        assert_eq!(out.cols(), self.dim(), "embedding output width mismatch");
+        assert!(ids.len() <= out.rows(), "embedding output has too few rows");
+        for (r, &id) in ids.iter().enumerate() {
+            assert!(id < self.vocab(), "token id {id} out of range");
+            out.row_mut(r).copy_from_slice(self.table.value.row(id));
+        }
+    }
+
     /// Backward: scatters `dy` rows into the table gradient.
     ///
     /// # Panics

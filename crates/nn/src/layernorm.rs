@@ -75,6 +75,21 @@ impl LayerNorm {
         }
     }
 
+    /// Batched inference over the first `m` rows of `x` into `out` — one
+    /// [`LayerNorm::forward_row`] per row, bit-exact with it (rows are
+    /// normalized independently, so batching cannot reorder any float op).
+    /// Rows `m..` of `out` are untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` exceeds either row count or on a width mismatch.
+    pub fn forward_rows(&self, m: usize, x: &Mat, out: &mut Mat) {
+        assert!(m <= x.rows() && m <= out.rows(), "layernorm batch exceeds row count");
+        for r in 0..m {
+            self.forward_row(x.row(r), out.row_mut(r));
+        }
+    }
+
     /// Backward pass: accumulates `dγ`, `dβ` and returns `dx`.
     ///
     /// # Panics

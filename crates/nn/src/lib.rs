@@ -17,11 +17,13 @@
 //! * [`linear`], [`embedding`], [`layernorm`], [`activation`] — layers.
 //! * [`softmax`] — softmax / log-softmax / cross-entropy with gradients.
 //! * [`attention`] — causal multi-head self-attention.
-//! * [`decode`] — KV-cached incremental decoding state and the shared
-//!   token samplers (the per-walk hot path of every generator).
-//! * [`sample`] — multi-core batch walk sampling: one decode state per
-//!   worker over a `fairgen_par` pool, bit-identical to sequential
-//!   sampling via pre-drawn, per-walk replayed RNG streams.
+//! * [`decode`] — KV-cached incremental decoding state (single-walk and
+//!   batched) and the shared token samplers (the hot path of every
+//!   generator).
+//! * [`sample`] — multi-core batch walk sampling: chunks of walks advance
+//!   in lockstep through batched decoders (one GEMM per layer per token
+//!   across the chunk), fanned out over a `fairgen_par` pool, bit-identical
+//!   to sequential sampling via pre-drawn, per-walk replayed RNG streams.
 //! * [`transformer`] — a small autoregressive Transformer language model
 //!   over node vocabularies.
 //! * [`lstm`] — an LSTM language model (NetGAN-lite's generator).
@@ -46,15 +48,19 @@ pub mod softmax;
 pub mod transformer;
 
 pub use activation::Activation;
-pub use decode::{sample_scaled_softmax, sample_softmax_probs, DecodeState};
+pub use attention::AttnBatchScratch;
+pub use decode::{sample_scaled_softmax, sample_softmax_probs, BatchDecodeState, DecodeState};
 pub use embedding::Embedding;
 pub use layernorm::LayerNorm;
 pub use linear::Linear;
-pub use lstm::{LstmDecodeState, LstmLm};
+pub use lstm::{LstmBatchState, LstmDecodeState, LstmLm};
 pub use mat::{vecmat_into, Mat};
-pub use mlp::Mlp;
+pub use mlp::{Mlp, MlpScratch};
 pub use optim::{clip_gradients, Adam, Sgd};
 pub use param::{add_grads, collect_grads, Param};
-pub use sample::{predraw_walks, sample_walk_batch, BatchSampler};
+pub use sample::{
+    predraw_walks, sample_walk_batch, sample_walk_batch_per_walk, BatchSampler, MatrixSampler,
+    MATRIX_BATCH_WIDTH,
+};
 pub use softmax::{cross_entropy, log_softmax, softmax_rows, softmax_slice, unlikelihood};
 pub use transformer::{TransformerConfig, TransformerLm};

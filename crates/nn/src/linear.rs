@@ -69,6 +69,19 @@ impl Linear {
         }
     }
 
+    /// Batched inference over the first `m` rows of `x` into `out`: one
+    /// GEMM against `W` plus the bias broadcast, bit-exact per row with
+    /// [`Linear::forward_row`] (the prefix GEMM accumulates ascending-`k`
+    /// like `vecmat_into`). Rows `m..` of `out` are untouched.
+    pub fn forward_rows(&self, m: usize, x: &Mat, out: &mut Mat) {
+        x.matmul_prefix_into(m, &self.w.value, out);
+        for r in 0..m {
+            for (o, &bv) in out.row_mut(r).iter_mut().zip(self.b.value.row(0)) {
+                *o += bv;
+            }
+        }
+    }
+
     /// Backward pass: accumulates `dW`, `db` and returns `dx`.
     ///
     /// # Panics

@@ -67,6 +67,62 @@ fn sigmoid(x: f64) -> f64 {
     1.0 / (1.0 + (-x).exp())
 }
 
+/// Batched decoding state for [`LstmLm::sample_batch_with`]: up to `width`
+/// concurrent walks advance in lockstep, the gate projection running as one
+/// `M × (in+hidden) · (in+hidden) × 4·hidden` GEMM per token instead of one
+/// vector–matrix product per walk. Row `r` of every matrix belongs to the
+/// `r`-th *active* walk; [`LstmBatchState::retire`] drops a finished walk's
+/// row (survivors shift up, their carried `(h, c)` bits untouched).
+#[derive(Clone, Debug)]
+pub struct LstmBatchState {
+    width: usize,
+    active: usize,
+    h: Mat,      // width × hidden
+    c: Mat,      // width × hidden
+    z: Mat,      // width × (in + hidden)
+    gates: Mat,  // width × 4·hidden
+    logits: Mat, // width × vocab
+    probs: Vec<f64>,
+}
+
+impl LstmBatchState {
+    /// Starts a new batch of `m` walks from the zero `(h, c)` state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` exceeds the state's width.
+    pub fn reset(&mut self, m: usize) {
+        assert!(m <= self.width, "batch of {m} exceeds state width {}", self.width);
+        self.active = m;
+        for r in 0..m {
+            self.h.row_mut(r).iter_mut().for_each(|v| *v = 0.0);
+            self.c.row_mut(r).iter_mut().for_each(|v| *v = 0.0);
+        }
+    }
+
+    /// Retires active row `row`: its successors' `(h, c)` rows shift up one
+    /// slot, bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is not an active row.
+    pub fn retire(&mut self, row: usize) {
+        self.h.remove_row_prefix(row, self.active);
+        self.c.remove_row_prefix(row, self.active);
+        self.active -= 1;
+    }
+
+    /// Number of currently active walks.
+    pub fn active(&self) -> usize {
+        self.active
+    }
+
+    /// The widest batch this state can hold.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+}
+
 impl LstmLm {
     /// Builds an LSTM LM. `dim` is the embedding width, `hidden` the state
     /// width.
@@ -259,6 +315,130 @@ impl LstmLm {
             h[k] = o * tanh_c;
         }
         self.head.forward_row(h, logits);
+    }
+
+    /// Creates a batched decode state holding up to `width` concurrent
+    /// walks, for [`LstmLm::sample_batch_with`].
+    pub fn batch_decode_state(&self, width: usize) -> LstmBatchState {
+        assert!(width > 0, "batch width must be positive");
+        LstmBatchState {
+            width,
+            active: 0,
+            h: Mat::zeros(width, self.hidden),
+            c: Mat::zeros(width, self.hidden),
+            z: Mat::zeros(width, self.embed.dim() + self.hidden),
+            gates: Mat::zeros(width, 4 * self.hidden),
+            logits: Mat::zeros(width, self.vocab),
+            probs: Vec::with_capacity(self.vocab),
+        }
+    }
+
+    /// One batched decode step: consumes `tokens[i]` for active walk `i`,
+    /// advancing every carried `(h, c)` row through a single gate GEMM.
+    /// Row `i` of `state.logits` is bit-exact with [`LstmLm::step_decode`]
+    /// fed walk `i`'s tokens alone (the prefix GEMM accumulates each output
+    /// element ascending-`k`, exactly like the 1-row `matmul_into`; the gate
+    /// nonlinearities are per-element).
+    fn step_batch(&self, state: &mut LstmBatchState, tokens: &[usize]) {
+        let hid = self.hidden;
+        let in_dim = self.embed.dim();
+        let m = tokens.len();
+        assert_eq!(m, state.active, "one token per active walk");
+        assert_eq!(state.z.cols(), in_dim + hid, "batch state width mismatch");
+        assert_eq!(state.logits.cols(), self.vocab, "batch state vocab mismatch");
+        let LstmBatchState { h, c, z, gates, logits, .. } = state;
+        for (r, &tok) in tokens.iter().enumerate() {
+            let zr = z.row_mut(r);
+            self.embed.lookup_into(tok, &mut zr[..in_dim]);
+            zr[in_dim..].copy_from_slice(h.row(r));
+        }
+        z.matmul_prefix_into(m, &self.w.value, gates);
+        for r in 0..m {
+            for (k, v) in gates.row_mut(r).iter_mut().enumerate() {
+                *v += self.b.value.get(0, k);
+            }
+        }
+        for r in 0..m {
+            let gr = gates.row(r);
+            let cr = c.row_mut(r);
+            let hr = h.row_mut(r);
+            for k in 0..hid {
+                let i = sigmoid(gr[k]);
+                let f = sigmoid(gr[hid + k]);
+                let o = sigmoid(gr[2 * hid + k]);
+                let g = gr[3 * hid + k].tanh();
+                let cn = f * cr[k] + i * g;
+                let tanh_c = cn.tanh();
+                cr[k] = cn;
+                hr[k] = o * tanh_c;
+            }
+        }
+        self.head.forward_rows(m, h, logits);
+    }
+
+    /// Samples `lens.len()` sequences in lockstep against a caller-owned
+    /// [`LstmBatchState`] (reset on entry), drawing walk `i`'s tokens from
+    /// `rngs[i]` — one RNG stream per walk, one uniform draw per token, so
+    /// every walk is bit-identical to [`LstmLm::sample_with`] fed the same
+    /// stream, at any batch width. Finished walks retire from the batch
+    /// without touching the survivors' state or RNG streams.
+    ///
+    /// # Errors
+    ///
+    /// [`fairgen_graph::FairGenError::Generate`] if a step's softmax
+    /// degenerates; walks are sampled position-by-position in walk order, so
+    /// the first failing (position, walk) pair reports first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rngs` and `lens` disagree, the batch exceeds the state's
+    /// width, or the temperature is not positive.
+    pub fn sample_batch_with<R: Rng>(
+        &self,
+        state: &mut LstmBatchState,
+        lens: &[usize],
+        temperature: f64,
+        rngs: &mut [R],
+    ) -> Result<Vec<Vec<usize>>> {
+        assert_eq!(lens.len(), rngs.len(), "one RNG stream per walk");
+        assert!(temperature > 0.0, "temperature must be positive");
+        let n = lens.len();
+        state.reset(n);
+        let inv_t = 1.0 / temperature;
+        let mut seqs: Vec<Vec<usize>> = lens.iter().map(|&l| Vec::with_capacity(l)).collect();
+        // active[row] = walk index owning state row `row`.
+        let mut active: Vec<usize> = (0..n).collect();
+        let mut tokens = vec![self.bos(); n];
+        for row in (0..active.len()).rev() {
+            if lens[active[row]] == 0 {
+                state.retire(row);
+                active.remove(row);
+                tokens.remove(row);
+            }
+        }
+        while !active.is_empty() {
+            let m = active.len();
+            self.step_batch(state, &tokens[..m]);
+            for (row, &walk) in active.iter().enumerate() {
+                let tok = sample_softmax_probs(
+                    state.logits.row(row),
+                    inv_t,
+                    &mut state.probs,
+                    &mut rngs[walk],
+                )?;
+                seqs[walk].push(tok);
+                tokens[row] = tok;
+            }
+            for row in (0..active.len()).rev() {
+                let walk = active[row];
+                if seqs[walk].len() == lens[walk] {
+                    state.retire(row);
+                    active.remove(row);
+                    tokens.remove(row);
+                }
+            }
+        }
+        Ok(seqs)
     }
 
     /// Autoregressive sampling of `len` tokens, carrying the hidden state

@@ -7,6 +7,13 @@ use rand::Rng;
 /// L2 while the `A` slice stays in L1.
 const GEMM_KC: usize = 128;
 
+/// Output-row micro-block of the GEMM kernel: each `B` row loaded from the
+/// streamed panel is applied to up to `GEMM_MR` output rows before moving
+/// on, cutting `B` traffic by that factor while the micro-block of output
+/// rows stays in L1. The batched decode path (M walks per token) is the
+/// shape this pays off most for.
+const GEMM_MR: usize = 4;
+
 /// A dense row-major matrix.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Mat {
@@ -138,26 +145,64 @@ impl Mat {
     /// produce bit-identical results — the incremental decode paths rely on
     /// that to reproduce full-forward activations exactly.
     pub fn matmul_into(&self, other: &Mat, out: &mut Mat) {
-        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
         assert_eq!(
             (out.rows, out.cols),
             (self.rows, other.cols),
             "matmul output shape mismatch"
         );
-        out.fill_zero();
+        self.matmul_prefix_into(self.rows, other, out);
+    }
+
+    /// `out[..m] = self[..m] × other` — the blocked GEMM kernel restricted
+    /// to the first `m` rows of `self` and `out`. Rows `m..` of `out` are
+    /// left untouched, so batched decode scratch sized for the widest batch
+    /// serves every narrower (ragged) step without reallocation.
+    ///
+    /// Accumulation order per output element is identical to
+    /// [`Mat::matmul_into`] (and therefore to [`vecmat_into`]): ascending
+    /// `k` within each panel, panels in ascending order. The `GEMM_MR`-row
+    /// micro-blocking only reorders *across* output rows, never within one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` exceeds either row count, on an inner-dimension
+    /// mismatch, or if `out` is narrower than `other`.
+    pub fn matmul_prefix_into(&self, m: usize, other: &Mat, out: &mut Mat) {
+        assert!(m <= self.rows && m <= out.rows, "matmul prefix exceeds row count");
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        assert_eq!(out.cols, other.cols, "matmul output shape mismatch");
+        let n = other.cols;
+        out.data[..m * n].iter_mut().for_each(|x| *x = 0.0);
         for kb in (0..self.cols).step_by(GEMM_KC) {
             let kend = (kb + GEMM_KC).min(self.cols);
-            for i in 0..self.rows {
-                let a_panel = &self.data[i * self.cols + kb..i * self.cols + kend];
-                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (dk, &a) in a_panel.iter().enumerate() {
+            for ib in (0..m).step_by(GEMM_MR) {
+                let iend = (ib + GEMM_MR).min(m);
+                for dk in 0..kend - kb {
                     let b_row = other.row(kb + dk);
-                    for (o, &b) in out_row.iter_mut().zip(b_row) {
-                        *o += a * b;
+                    for i in ib..iend {
+                        let a = self.data[i * self.cols + kb + dk];
+                        let out_row = &mut out.data[i * n..(i + 1) * n];
+                        for (o, &b) in out_row.iter_mut().zip(b_row) {
+                            *o += a * b;
+                        }
                     }
                 }
             }
         }
+    }
+
+    /// Removes row `row` from the first `m` rows by shifting rows
+    /// `row+1..m` up one slot; rows `m..` are untouched. Used by the batched
+    /// decoders to compact carried per-walk state (LSTM `h`/`c`) when a walk
+    /// retires mid-batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= m` or `m` exceeds the row count.
+    pub fn remove_row_prefix(&mut self, row: usize, m: usize) {
+        assert!(row < m && m <= self.rows, "row removal out of range");
+        let c = self.cols;
+        self.data.copy_within((row + 1) * c..m * c, row * c);
     }
 
     /// `selfᵀ × other` — `(k×r)ᵀ(k×c) → r×c`.
@@ -441,6 +486,41 @@ mod tests {
                 assert_eq!(v.to_bits(), full.get(r, c).to_bits(), "row {r} col {c}");
             }
         }
+    }
+
+    #[test]
+    fn matmul_prefix_matches_full_bitwise_and_leaves_tail_rows() {
+        // 9 rows spans two MR=4 micro-blocks plus a remainder; k = 150
+        // spans two GEMM_KC panels.
+        let mut rng = StdRng::seed_from_u64(12);
+        let a = Mat::uniform(9, 150, 1.0, &mut rng);
+        let w = Mat::uniform(150, 40, 1.0, &mut rng);
+        let full = a.matmul(&w);
+        for m in [0usize, 1, 3, 4, 5, 9] {
+            let mut out = Mat::from_fn(9, 40, |_, _| -7.5);
+            a.matmul_prefix_into(m, &w, &mut out);
+            for r in 0..m {
+                for c in 0..40 {
+                    assert_eq!(
+                        out.get(r, c).to_bits(),
+                        full.get(r, c).to_bits(),
+                        "m {m} ({r},{c})"
+                    );
+                }
+            }
+            for r in m..9 {
+                assert!(out.row(r).iter().all(|&v| v == -7.5), "m {m}: tail row {r} touched");
+            }
+        }
+    }
+
+    #[test]
+    fn remove_row_prefix_shifts_rows_up() {
+        let mut m = Mat::from_fn(4, 2, |r, c| (r * 2 + c) as f64);
+        m.remove_row_prefix(1, 3);
+        assert_eq!(m.row(0), &[0.0, 1.0]);
+        assert_eq!(m.row(1), &[4.0, 5.0]);
+        assert_eq!(m.row(3), &[6.0, 7.0]); // beyond the prefix: untouched
     }
 
     #[test]

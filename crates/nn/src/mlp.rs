@@ -16,6 +16,22 @@ pub struct Mlp {
     pre_acts: Vec<Mat>,
 }
 
+/// Caller-owned inference scratch for [`Mlp::forward_row`] /
+/// [`Mlp::forward_rows`]: one activation matrix per layer, sized for a
+/// caller-chosen batch width. Create once via [`Mlp::scratch`] and reuse
+/// across any number of calls — the step paths allocate nothing.
+#[derive(Clone, Debug)]
+pub struct MlpScratch {
+    acts: Vec<Mat>,
+}
+
+impl MlpScratch {
+    /// The batch width this scratch was sized for.
+    pub fn width(&self) -> usize {
+        self.acts.first().map_or(0, Mat::rows)
+    }
+}
+
 impl Mlp {
     /// Builds an MLP from layer widths, e.g. `[in, h1, h2, out]` for the
     /// paper's three-layer discriminator.
@@ -72,24 +88,60 @@ impl Mlp {
         h
     }
 
+    /// Builds inference scratch sized for batches of up to `width` rows
+    /// (single-row callers pass 1).
+    pub fn scratch(&self, width: usize) -> MlpScratch {
+        MlpScratch {
+            acts: self
+                .layers
+                .iter()
+                .map(|l| Mat::zeros(width.max(1), l.output_dim()))
+                .collect(),
+        }
+    }
+
     /// Single-row inference: runs one input row through the network without
-    /// touching training caches — the per-request step path for serving
-    /// callers that classify one node at a time. Matches the corresponding
-    /// row of [`Mlp::forward_inference`] bit-for-bit (asserted in this
-    /// module's tests).
-    pub fn forward_row(&self, x: &[f64]) -> Vec<f64> {
+    /// touching training caches or allocating — the per-request step path
+    /// for serving callers that classify one node at a time. Matches the
+    /// corresponding row of [`Mlp::forward_inference`] bit-for-bit
+    /// (asserted in this module's tests). The returned slice borrows the
+    /// last layer's scratch row.
+    pub fn forward_row<'s>(&self, x: &[f64], scratch: &'s mut MlpScratch) -> &'s [f64] {
         assert_eq!(x.len(), self.input_dim(), "input width mismatch");
         let depth = self.layers.len();
-        let mut h = x.to_vec();
         for (i, layer) in self.layers.iter().enumerate() {
-            let mut pre = vec![0.0; layer.output_dim()];
-            layer.forward_row(&h, &mut pre);
+            let (prev, rest) = scratch.acts.split_at_mut(i);
+            let input: &[f64] = if i == 0 { x } else { prev[i - 1].row(0) };
+            layer.forward_row(input, rest[0].row_mut(0));
             if i + 1 < depth {
-                pre.iter_mut().for_each(|v| *v = self.act.apply(*v));
+                rest[0].row_mut(0).iter_mut().for_each(|v| *v = self.act.apply(*v));
             }
-            h = pre;
         }
-        h
+        scratch.acts[depth - 1].row(0)
+    }
+
+    /// Batched inference over the first `m` rows of `x`: one prefix GEMM
+    /// per layer (see [`Linear::forward_rows`]), bit-exact per row with
+    /// [`Mlp::forward_row`] and [`Mlp::forward_inference`]. Rows `m..` of
+    /// the returned matrix hold stale scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` exceeds the scratch width or `x` is misshapen.
+    pub fn forward_rows<'s>(&self, m: usize, x: &Mat, scratch: &'s mut MlpScratch) -> &'s Mat {
+        assert_eq!(x.cols(), self.input_dim(), "input width mismatch");
+        let depth = self.layers.len();
+        for (i, layer) in self.layers.iter().enumerate() {
+            let (prev, rest) = scratch.acts.split_at_mut(i);
+            let input: &Mat = if i == 0 { x } else { &prev[i - 1] };
+            layer.forward_rows(m, input, &mut rest[0]);
+            if i + 1 < depth {
+                for r in 0..m {
+                    rest[0].row_mut(r).iter_mut().for_each(|v| *v = self.act.apply(*v));
+                }
+            }
+        }
+        &scratch.acts[depth - 1]
     }
 
     /// Backward from `dout`; returns `dx`.
@@ -177,10 +229,29 @@ mod tests {
         let mlp = Mlp::new(&[4, 6, 6, 3], Activation::Gelu, &mut rng);
         let x = Mat::from_fn(5, 4, |r, c| ((r * 4 + c) as f64 * 0.43).sin());
         let batched = mlp.forward_inference(&x);
+        let mut scratch = mlp.scratch(1);
         for r in 0..x.rows() {
-            let row = mlp.forward_row(x.row(r));
+            let row = mlp.forward_row(x.row(r), &mut scratch);
             for (c, &v) in row.iter().enumerate() {
                 assert_eq!(v.to_bits(), batched.get(r, c).to_bits(), "row {r} col {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_rows_matches_per_row_path_bitwise_at_ragged_widths() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mlp = Mlp::new(&[5, 9, 9, 4], Activation::Gelu, &mut rng);
+        let x = Mat::from_fn(7, 5, |r, c| ((r * 5 + c) as f64 * 0.29).cos());
+        let mut row_scratch = mlp.scratch(1);
+        let mut batch_scratch = mlp.scratch(7);
+        for m in [0usize, 1, 3, 7] {
+            let out = mlp.forward_rows(m, &x, &mut batch_scratch).clone();
+            for r in 0..m {
+                let row = mlp.forward_row(x.row(r), &mut row_scratch);
+                for (c, &v) in row.iter().enumerate() {
+                    assert_eq!(v.to_bits(), out.get(r, c).to_bits(), "m {m} row {r} col {c}");
+                }
             }
         }
     }

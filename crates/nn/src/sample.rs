@@ -1,11 +1,19 @@
 //! Multi-core walk sampling over the incremental decoders.
 //!
 //! PR 3 made per-token decoding cheap (KV caches / carried LSTM state);
-//! the remaining lever on the sampling hot path is fanning whole walks out
-//! across cores. [`sample_walk_batch`] does that over a
-//! [`fairgen_par::ThreadPool`] with **one decode state per worker** and one
-//! per-walk replayed RNG stream, and is **bit-identical to the sequential
-//! sampling loop** for any worker count:
+//! this module layers two further levers on the sampling hot path:
+//!
+//! 1. **Cores** — [`sample_walk_batch`] fans walks out across a
+//!    [`fairgen_par::ThreadPool`] with one decode state per worker and one
+//!    per-walk replayed RNG stream.
+//! 2. **GEMMs** — each worker advances a whole *chunk* of up to
+//!    [`MATRIX_BATCH_WIDTH`] walks in lockstep through the
+//!    [`MatrixSampler`] batched decoders, so every layer costs one
+//!    matrix–matrix product per token across the chunk instead of one
+//!    vector–matrix product per walk.
+//!
+//! Both levers are **bit-identical to the sequential sampling loop** for
+//! any worker count and batch width:
 //!
 //! * Both samplers ([`crate::decode::sample_scaled_softmax`],
 //!   [`crate::decode::sample_softmax_probs`]) consume exactly one `u64` per
@@ -13,17 +21,31 @@
 //!   `[i·len, (i+1)·len)` of the master stream. [`fairgen_par::predraw`]
 //!   materializes that stream up front and each walk replays its own slice
 //!   through a [`fairgen_par::ReplayRng`].
-//! * Decode states are reset per walk, so which worker's state a walk lands
-//!   on cannot influence its tokens (asserted by `tests/parallel_parity.rs`
-//!   at widths {1, 2, 8}).
+//! * Decode states are reset per walk (or per chunk), so which worker's
+//!   state a walk lands on cannot influence its tokens (asserted by
+//!   `tests/parallel_parity.rs` and `tests/batch_parity.rs`).
+//! * The batched decoders accumulate every GEMM output element in the same
+//!   ascending-`k` order as the single-row path, so stacking walks into a
+//!   matrix cannot reorder any float op within one walk.
+//!
+//! Setting the environment variable `FAIRGEN_BATCH_DECODE=0` routes
+//! [`sample_walk_batch`] through the per-walk decoders
+//! ([`sample_walk_batch_per_walk`]) — an operational kill switch that keeps
+//! output bit-identical while giving up the GEMM batching.
 
 use fairgen_graph::error::Result;
 use fairgen_par::{predraw, ReplayRng, ThreadPool};
 use rand::{Rng, RngCore};
 
-use crate::decode::DecodeState;
-use crate::lstm::{LstmDecodeState, LstmLm};
+use crate::decode::{BatchDecodeState, DecodeState};
+use crate::lstm::{LstmBatchState, LstmDecodeState, LstmLm};
 use crate::transformer::TransformerLm;
+
+/// Walks advanced in lockstep per worker by the matrix-stepped
+/// [`sample_walk_batch`]: chunk boundaries fall at fixed multiples of this
+/// constant regardless of pool width, so the worker count cannot change
+/// which walks share a batch (determinism) — only how chunks are scheduled.
+pub const MATRIX_BATCH_WIDTH: usize = 32;
 
 /// A language model whose sampling runs against a caller-owned decode state
 /// through `&self` — the hook [`sample_walk_batch`] fans out over.
@@ -91,6 +113,70 @@ impl BatchSampler for LstmLm {
     }
 }
 
+/// A [`BatchSampler`] that can additionally advance many walks in lockstep
+/// through a shared M-row activation matrix — one GEMM per layer per token
+/// across the whole batch. Implementations must keep every walk bit-exact
+/// with [`BatchSampler::sample_into`] fed the same per-walk RNG stream, at
+/// any batch width, including ragged batches where walks finish early.
+pub trait MatrixSampler: BatchSampler {
+    /// Reusable batched decoding state (one per worker).
+    type BatchState: Send;
+
+    /// A fresh batched state holding up to `width` concurrent walks.
+    fn make_batch_state(&self, width: usize) -> Self::BatchState;
+
+    /// Samples `lens.len()` sequences in lockstep, walk `i` drawing from
+    /// `rngs[i]` (exactly one `u64` per token).
+    ///
+    /// # Errors
+    ///
+    /// [`fairgen_graph::FairGenError::Generate`] on a degenerate sampling
+    /// distribution.
+    fn sample_batch_into<R: Rng>(
+        &self,
+        state: &mut Self::BatchState,
+        lens: &[usize],
+        temperature: f64,
+        rngs: &mut [R],
+    ) -> Result<Vec<Vec<usize>>>;
+}
+
+impl MatrixSampler for TransformerLm {
+    type BatchState = BatchDecodeState;
+
+    fn make_batch_state(&self, width: usize) -> BatchDecodeState {
+        self.batch_decode_state(width)
+    }
+
+    fn sample_batch_into<R: Rng>(
+        &self,
+        state: &mut BatchDecodeState,
+        lens: &[usize],
+        temperature: f64,
+        rngs: &mut [R],
+    ) -> Result<Vec<Vec<usize>>> {
+        self.sample_batch_with(state, lens, temperature, rngs)
+    }
+}
+
+impl MatrixSampler for LstmLm {
+    type BatchState = LstmBatchState;
+
+    fn make_batch_state(&self, width: usize) -> LstmBatchState {
+        self.batch_decode_state(width)
+    }
+
+    fn sample_batch_into<R: Rng>(
+        &self,
+        state: &mut LstmBatchState,
+        lens: &[usize],
+        temperature: f64,
+        rngs: &mut [R],
+    ) -> Result<Vec<Vec<usize>>> {
+        self.sample_batch_with(state, lens, temperature, rngs)
+    }
+}
+
 /// Pre-draws the master stream for `count` walks of `len` tokens each —
 /// advancing `rng` exactly as the sequential sampling loop would — and
 /// returns it for [`sample_walk_batch`].
@@ -98,12 +184,71 @@ pub fn predraw_walks<R: RngCore + ?Sized>(rng: &mut R, count: usize, len: usize)
     predraw(rng, count * len)
 }
 
-/// Samples `count` walks of `len` tokens across `pool`, one decode state
-/// per worker, walk `i` replaying `draws[i·len .. (i+1)·len]`. Output is
-/// bit-identical to the sequential loop
+/// Samples `count` walks of `len` tokens across `pool`, advancing chunks of
+/// up to [`MATRIX_BATCH_WIDTH`] walks in lockstep through the model's
+/// batched decoder — one GEMM per layer per token across each chunk — with
+/// one batched state per worker. Walk `i` replays
+/// `draws[i·len .. (i+1)·len]`, so the output is bit-identical to the
+/// sequential loop
 /// `for i in 0..count { model.sample(len, temperature, &mut master_rng) }`
 /// when `draws` came from [`predraw_walks`] on that master RNG — for any
-/// pool width.
+/// pool width, and identical to [`sample_walk_batch_per_walk`].
+///
+/// Setting `FAIRGEN_BATCH_DECODE=0` in the environment (checked per call)
+/// routes through the per-walk decoders instead — same bits, no GEMM
+/// batching.
+///
+/// # Errors
+///
+/// The lowest-indexed chunk whose sampling degenerates reports its
+/// [`fairgen_graph::FairGenError::Generate`] (within a chunk, the first
+/// failing position in walk order).
+///
+/// # Panics
+///
+/// Panics if `draws.len() != count * len`.
+pub fn sample_walk_batch<M: MatrixSampler>(
+    pool: &ThreadPool,
+    model: &M,
+    count: usize,
+    len: usize,
+    temperature: f64,
+    draws: &[u64],
+) -> Result<Vec<Vec<usize>>> {
+    assert_eq!(draws.len(), count * len, "predraw budget disagrees with the walk batch");
+    // Operational kill switch, read fresh on every call so a live process
+    // can be steered without restarting.
+    if std::env::var_os("FAIRGEN_BATCH_DECODE").is_some_and(|v| v == "0") {
+        return sample_walk_batch_per_walk(pool, model, count, len, temperature, draws);
+    }
+    if count == 0 {
+        return Ok(Vec::new());
+    }
+    let chunks = count.div_ceil(MATRIX_BATCH_WIDTH);
+    let chunked = pool.par_map_init(
+        chunks,
+        || model.make_batch_state(MATRIX_BATCH_WIDTH),
+        |state, chunk| {
+            let lo = chunk * MATRIX_BATCH_WIDTH;
+            let hi = (lo + MATRIX_BATCH_WIDTH).min(count);
+            let lens = vec![len; hi - lo];
+            let mut rngs: Vec<ReplayRng<'_>> =
+                (lo..hi).map(|w| ReplayRng::new(&draws[w * len..(w + 1) * len])).collect();
+            model.sample_batch_into(state, &lens, temperature, &mut rngs)
+        },
+    );
+    let mut walks = Vec::with_capacity(count);
+    for chunk in chunked {
+        walks.extend(chunk?);
+    }
+    Ok(walks)
+}
+
+/// The per-walk fan-out path: samples `count` walks of `len` tokens across
+/// `pool` with one single-walk decode state per worker, walk `i` replaying
+/// `draws[i·len .. (i+1)·len]`. This is the pre-matrix baseline and the
+/// oracle the batched path is tested against; [`sample_walk_batch`] falls
+/// back to it when `FAIRGEN_BATCH_DECODE=0`.
 ///
 /// # Errors
 ///
@@ -113,7 +258,7 @@ pub fn predraw_walks<R: RngCore + ?Sized>(rng: &mut R, count: usize, len: usize)
 /// # Panics
 ///
 /// Panics if `draws.len() != count * len`.
-pub fn sample_walk_batch<M: BatchSampler>(
+pub fn sample_walk_batch_per_walk<M: BatchSampler>(
     pool: &ThreadPool,
     model: &M,
     count: usize,

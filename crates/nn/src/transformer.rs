@@ -4,7 +4,9 @@
 use rand::Rng;
 
 use crate::attention::{KvCache, MultiHeadAttention};
-use crate::decode::{sample_scaled_softmax, DecodeState, RowScratch};
+use crate::decode::{
+    sample_scaled_softmax, BatchDecodeState, BatchRows, DecodeState, RowScratch,
+};
 use crate::embedding::Embedding;
 use crate::layernorm::LayerNorm;
 use crate::linear::Linear;
@@ -69,6 +71,36 @@ impl Block {
         self.fc2.forward_row(&rows.ff_act, &mut rows.ff_out);
         for (xo, &f) in rows.x.iter_mut().zip(&rows.ff_out) {
             *xo += f;
+        }
+    }
+
+    /// Batched analogue of [`Block::step`] over the first `m` rows of
+    /// `rows.x` (one row per active walk, all at position `pos`): the same
+    /// LN → attention → residual → LN → FFN → residual dataflow, but every
+    /// linear map is a single prefix GEMM across all walks. Row `i` is
+    /// bit-exact with a [`Block::step`] call against `caches[i]`.
+    fn step_batch(&self, m: usize, pos: usize, caches: &mut [KvCache], rows: &mut BatchRows) {
+        // h = x + Attn(LN1(x))
+        self.ln1.forward_rows(m, &rows.x, &mut rows.norm);
+        self.attn.step_batch(m, pos, &rows.norm, caches, &mut rows.attn, &mut rows.attn_out);
+        for r in 0..m {
+            for (xo, &a) in rows.x.row_mut(r).iter_mut().zip(rows.attn_out.row(r)) {
+                *xo += a;
+            }
+        }
+        // out = h + FFN(LN2(h))
+        self.ln2.forward_rows(m, &rows.x, &mut rows.norm);
+        self.fc1.forward_rows(m, &rows.norm, &mut rows.ff_pre);
+        for r in 0..m {
+            for (o, &p) in rows.ff_act.row_mut(r).iter_mut().zip(rows.ff_pre.row(r)) {
+                *o = crate::activation::Activation::Gelu.apply(p);
+            }
+        }
+        self.fc2.forward_rows(m, &rows.ff_act, &mut rows.ff_out);
+        for r in 0..m {
+            for (xo, &f) in rows.x.row_mut(r).iter_mut().zip(rows.ff_out.row(r)) {
+                *xo += f;
+            }
         }
     }
 
@@ -302,6 +334,131 @@ impl TransformerLm {
             self.cfg.max_len,
             self.cfg.vocab,
         )
+    }
+
+    /// Creates a batched decode state holding up to `width` concurrent
+    /// walks, for [`TransformerLm::step_batch`] /
+    /// [`TransformerLm::sample_batch_with`]. One state serves any number of
+    /// batches (the samplers reset it).
+    pub fn batch_decode_state(&self, width: usize) -> BatchDecodeState {
+        BatchDecodeState::new(
+            self.cfg.layers,
+            self.cfg.d_model,
+            FFN_MULT * self.cfg.d_model,
+            self.cfg.max_len,
+            self.cfg.vocab,
+            width,
+        )
+    }
+
+    /// One batched incremental decode step: consumes `tokens[i]` for active
+    /// walk `i` (all walks share the state's current position) and returns
+    /// the next-token logits matrix, whose first `tokens.len()` rows are
+    /// live. Each layer costs **one GEMM across all walks** instead of one
+    /// vector–matrix product per walk; row `i` is bit-exact with
+    /// [`TransformerLm::step`] fed walk `i`'s tokens alone, because the
+    /// prefix GEMM accumulates each output element in the same ascending-`k`
+    /// order as `vecmat_into`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` was built for a different shape, `tokens` does not
+    /// match the state's active-walk count (see [`BatchDecodeState::reset`]
+    /// / [`BatchDecodeState::retire`]), the position reached `max_len`, or
+    /// any token exceeds the vocabulary (BOS included).
+    pub fn step_batch<'s>(&self, state: &'s mut BatchDecodeState, tokens: &[usize]) -> &'s Mat {
+        assert_eq!(state.d_model, self.cfg.d_model, "decode state width mismatch");
+        assert_eq!(state.layers.len(), self.cfg.layers, "decode state depth mismatch");
+        assert_eq!(state.max_len, self.cfg.max_len, "decode state length mismatch");
+        assert_eq!(tokens.len(), state.active(), "one token per active walk");
+        assert!(state.pos < self.cfg.max_len, "decode position past max_len");
+        let m = tokens.len();
+        let pos = state.pos;
+        // Row i = tok[tokens[i]] + pos[position], exactly as the per-walk
+        // step sums the two embedding lookups.
+        self.tok.lookup_rows_into(tokens, &mut state.rows.x);
+        let pos_row = self.pos.vector(pos);
+        for r in 0..m {
+            for (o, &pv) in state.rows.x.row_mut(r).iter_mut().zip(pos_row) {
+                *o += pv;
+            }
+        }
+        for (b, caches) in self.blocks.iter().zip(state.layers.iter_mut()) {
+            b.step_batch(m, pos, caches, &mut state.rows);
+        }
+        self.ln_f.forward_rows(m, &state.rows.x, &mut state.rows.norm);
+        self.head.forward_rows(m, &state.rows.norm, &mut state.logits);
+        state.pos = pos + 1;
+        &state.logits
+    }
+
+    /// Samples `lens.len()` sequences in lockstep against a caller-owned
+    /// [`BatchDecodeState`] (reset on entry), drawing walk `i`'s tokens from
+    /// `rngs[i]` — one RNG stream per walk, one uniform draw per token, so
+    /// every walk is bit-identical to [`TransformerLm::sample_with`] fed the
+    /// same stream, at any batch width. Walks whose requested length is
+    /// reached retire from the batch without touching the survivors' caches
+    /// or RNG streams (ragged completion).
+    ///
+    /// # Errors
+    ///
+    /// [`fairgen_graph::FairGenError::Generate`] if a step's softmax
+    /// degenerates; walks are sampled position-by-position in walk order, so
+    /// the first failing (position, walk) pair reports first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rngs` and `lens` disagree, the batch exceeds the state's
+    /// width, any length reaches `max_len`, or the temperature is not
+    /// positive.
+    pub fn sample_batch_with<R: Rng>(
+        &self,
+        state: &mut BatchDecodeState,
+        lens: &[usize],
+        temperature: f64,
+        rngs: &mut [R],
+    ) -> Result<Vec<Vec<usize>>> {
+        assert_eq!(lens.len(), rngs.len(), "one RNG stream per walk");
+        assert!(temperature > 0.0, "temperature must be positive");
+        assert!(lens.iter().all(|&l| l < self.cfg.max_len), "len exceeds max_len");
+        let n = lens.len();
+        state.reset(n);
+        let inv_t = 1.0 / temperature;
+        let mut seqs: Vec<Vec<usize>> = lens.iter().map(|&l| Vec::with_capacity(l)).collect();
+        // active[row] = walk index owning state row `row`.
+        let mut active: Vec<usize> = (0..n).collect();
+        let mut tokens = vec![self.bos(); n];
+        // Retire zero-length requests before the first step.
+        for row in (0..active.len()).rev() {
+            if lens[active[row]] == 0 {
+                state.retire(row);
+                active.remove(row);
+                tokens.remove(row);
+            }
+        }
+        while !active.is_empty() {
+            let m = active.len();
+            self.step_batch(state, &tokens[..m]);
+            for (row, &walk) in active.iter().enumerate() {
+                let tok = sample_scaled_softmax(
+                    state.logits.row(row),
+                    inv_t,
+                    &mut state.weights,
+                    &mut rngs[walk],
+                )?;
+                seqs[walk].push(tok);
+                tokens[row] = tok;
+            }
+            for row in (0..active.len()).rev() {
+                let walk = active[row];
+                if seqs[walk].len() == lens[walk] {
+                    state.retire(row);
+                    active.remove(row);
+                    tokens.remove(row);
+                }
+            }
+        }
+        Ok(seqs)
     }
 
     /// One incremental decode step: consumes `token` (a vocabulary id, or

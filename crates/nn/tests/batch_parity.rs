@@ -1,0 +1,203 @@
+#![recursion_limit = "512"]
+//! Batched-vs-sequential decode parity: the matrix-stepped samplers (one
+//! GEMM per layer per token across a batch of walks) must be bit-identical
+//! to the per-walk decode path at every batch width, including ragged
+//! batches where walks finish early, and `sample_walk_batch`'s matrix mode
+//! must reproduce the per-walk fan-out exactly at every pool width.
+
+use fairgen_nn::sample::{
+    predraw_walks, sample_walk_batch, sample_walk_batch_per_walk, BatchSampler, MatrixSampler,
+};
+use fairgen_nn::{LstmLm, TransformerConfig, TransformerLm};
+use fairgen_par::ThreadPool;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The satellite widths: 1 (degenerate batch), 2, 7 (ragged vs the GEMM
+/// row-blocking factor), 32 (the `MATRIX_BATCH_WIDTH` serving chunk).
+const WIDTHS: [usize; 4] = [1, 2, 7, 32];
+
+fn transformer(vocab: usize) -> TransformerLm {
+    let mut rng = StdRng::seed_from_u64(50);
+    TransformerLm::new(
+        TransformerConfig { vocab, d_model: 16, heads: 2, layers: 2, max_len: 12 },
+        &mut rng,
+    )
+}
+
+fn lstm(vocab: usize) -> LstmLm {
+    let mut rng = StdRng::seed_from_u64(51);
+    LstmLm::new(vocab, 8, 12, &mut rng)
+}
+
+/// Per-walk oracle: walk `i` sampled alone against a fresh single-walk
+/// state, drawing from its own RNG stream — what the batched path must
+/// reproduce bit-for-bit on every row.
+fn per_walk_oracle<M: BatchSampler>(
+    model: &M,
+    lens: &[usize],
+    temperature: f64,
+    seed: u64,
+) -> Vec<Vec<usize>> {
+    let mut state = model.make_state();
+    lens.iter()
+        .enumerate()
+        .map(|(i, &len)| {
+            let mut rng = StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9e37_79b9));
+            model.sample_into(&mut state, len, temperature, &mut rng).expect("oracle walk")
+        })
+        .collect()
+}
+
+/// The batched path over the same per-walk RNG streams as
+/// [`per_walk_oracle`].
+fn batched<M: MatrixSampler>(
+    model: &M,
+    width: usize,
+    lens: &[usize],
+    temperature: f64,
+    seed: u64,
+) -> Vec<Vec<usize>> {
+    let mut state = model.make_batch_state(width);
+    let mut rngs: Vec<StdRng> = (0..lens.len())
+        .map(|i| StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9e37_79b9)))
+        .collect();
+    model.sample_batch_into(&mut state, lens, temperature, &mut rngs).expect("batched walks")
+}
+
+#[test]
+fn transformer_batched_decode_is_bit_identical_at_widths_1_2_7_32() {
+    let tf = transformer(23);
+    for width in WIDTHS {
+        let lens = vec![9usize; width];
+        for seed in [0u64, 7, 1234] {
+            let reference = per_walk_oracle(&tf, &lens, 0.9, seed);
+            let got = batched(&tf, width, &lens, 0.9, seed);
+            assert_eq!(got, reference, "width {width}, seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn lstm_batched_decode_is_bit_identical_at_widths_1_2_7_32() {
+    let lm = lstm(17);
+    for width in WIDTHS {
+        let lens = vec![7usize; width];
+        for seed in [3u64, 99] {
+            let reference = per_walk_oracle(&lm, &lens, 1.1, seed);
+            let got = batched(&lm, width, &lens, 1.1, seed);
+            assert_eq!(got, reference, "width {width}, seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn ragged_early_termination_does_not_perturb_survivors() {
+    // Mixed lengths (zero included): walks retire mid-batch, rows compact,
+    // and every surviving walk must still match its solo run exactly.
+    let tf = transformer(13);
+    let lm = lstm(13);
+    let lens = [0usize, 5, 2, 9, 1, 9, 3, 7];
+    for seed in [2u64, 41, 777] {
+        let reference = per_walk_oracle(&tf, &lens, 1.0, seed);
+        assert_eq!(batched(&tf, lens.len(), &lens, 1.0, seed), reference, "tf seed {seed}");
+        let reference = per_walk_oracle(&lm, &lens, 1.0, seed);
+        assert_eq!(batched(&lm, lens.len(), &lens, 1.0, seed), reference, "lstm seed {seed}");
+    }
+}
+
+#[test]
+fn matrix_walk_batch_matches_per_walk_fanout_at_pool_widths_1_2_8() {
+    // The serving entry point: matrix mode must equal the per-walk fan-out
+    // (and therefore the sequential loop) at every pool width, spanning
+    // multiple MATRIX_BATCH_WIDTH chunks.
+    let tf = transformer(19);
+    let lm = lstm(19);
+    let (count, len) = (70, 8);
+    for pool_width in [1usize, 2, 8] {
+        let pool = ThreadPool::new(pool_width);
+        for seed in [5u64, 60] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let draws = predraw_walks(&mut rng, count, len);
+            let per_walk = sample_walk_batch_per_walk(&pool, &tf, count, len, 1.0, &draws)
+                .expect("per-walk");
+            let matrix =
+                sample_walk_batch(&pool, &tf, count, len, 1.0, &draws).expect("matrix");
+            assert_eq!(matrix, per_walk, "tf pool {pool_width}, seed {seed}");
+
+            let mut rng = StdRng::seed_from_u64(seed + 1);
+            let draws = predraw_walks(&mut rng, count, len);
+            let per_walk = sample_walk_batch_per_walk(&pool, &lm, count, len, 1.0, &draws)
+                .expect("per-walk");
+            let matrix =
+                sample_walk_batch(&pool, &lm, count, len, 1.0, &draws).expect("matrix");
+            assert_eq!(matrix, per_walk, "lstm pool {pool_width}, seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn kill_switch_routes_through_per_walk_path_with_identical_output() {
+    // FAIRGEN_BATCH_DECODE=0 must flip the route without changing a bit.
+    // (Both routes are bit-identical by construction, so this asserts the
+    // flag is read per call and the fallback path stays wired.)
+    let lm = lstm(11);
+    let pool = ThreadPool::new(2);
+    let (count, len) = (20, 6);
+    let mut rng = StdRng::seed_from_u64(9);
+    let draws = predraw_walks(&mut rng, count, len);
+    let matrix = sample_walk_batch(&pool, &lm, count, len, 1.0, &draws).expect("matrix");
+    std::env::set_var("FAIRGEN_BATCH_DECODE", "0");
+    let fallback = sample_walk_batch(&pool, &lm, count, len, 1.0, &draws).expect("fallback");
+    std::env::remove_var("FAIRGEN_BATCH_DECODE");
+    assert_eq!(matrix, fallback);
+}
+
+/// A random small-but-valid transformer shape plus sampling inputs.
+fn arb_transformer_case() -> impl Strategy<Value = (TransformerConfig, u64, Vec<usize>)> {
+    (3usize..20, (0usize..3).prop_map(|i| [4usize, 8, 16][i]), 1usize..3, any::<u64>())
+        .prop_flat_map(|(vocab, d_model, layers, seed)| {
+            let heads = if d_model == 4 { 2 } else { 4 };
+            let cfg = TransformerConfig { vocab, d_model, heads, layers, max_len: 11 };
+            (Just(cfg), Just(seed), proptest::collection::vec(0usize..10, 1..8))
+        })
+}
+
+/// A random small-but-valid LSTM shape plus sampling inputs:
+/// `(vocab, dim, hidden, seed, lens)`.
+fn arb_lstm_case() -> impl Strategy<Value = (usize, usize, usize, u64, Vec<usize>)> {
+    // Nested pairs: the vendored proptest implements Strategy for tuples of
+    // at most four elements.
+    (
+        (3usize..20, 3usize..10, 4usize..16),
+        (any::<u64>(), proptest::collection::vec(0usize..12, 1..8)),
+    )
+        .prop_map(|((vocab, dim, hidden), (seed, lens))| (vocab, dim, hidden, seed, lens))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_transformer_configs_stay_bit_exact(case in arb_transformer_case()) {
+        let (cfg, seed, lens) = case;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tf = TransformerLm::new(cfg, &mut rng);
+        let reference = per_walk_oracle(&tf, &lens, 1.0, seed);
+        prop_assert_eq!(batched(&tf, lens.len(), &lens, 1.0, seed), reference);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_lstm_configs_stay_bit_exact(case in arb_lstm_case()) {
+        let (vocab, dim, hidden, seed, lens) = case;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let lm = LstmLm::new(vocab, dim, hidden, &mut rng);
+        let reference = per_walk_oracle(&lm, &lens, 1.0, seed);
+        prop_assert_eq!(batched(&lm, lens.len(), &lens, 1.0, seed), reference);
+    }
+}

@@ -448,6 +448,10 @@ pub fn generate_result_from_json(
 // Stats
 // ---------------------------------------------------------------------------
 
+fn drain_hist_to_json(hist: &[u64]) -> Json {
+    Json::Arr(hist.iter().map(|&v| Json::U64(v)).collect())
+}
+
 fn shard_stats_to_json(s: &ShardStats) -> Json {
     obj(vec![
         ("queue_depth", Json::U64(s.queue_depth as u64)),
@@ -456,6 +460,9 @@ fn shard_stats_to_json(s: &ShardStats) -> Json {
         ("shed_deadline", Json::U64(s.admission.shed_deadline)),
         ("drains", Json::U64(s.drains)),
         ("max_drain", Json::U64(s.max_drain as u64)),
+        ("drained_jobs", Json::U64(s.drained_jobs)),
+        ("batched_requests", Json::U64(s.batched_requests)),
+        ("drain_width_hist", drain_hist_to_json(&s.drain_hist)),
         ("dedup_hits", Json::U64(s.dedup_hits)),
         ("dedup_inserts", Json::U64(s.dedup_inserts)),
         ("dedup_resident", Json::U64(s.dedup_resident as u64)),
@@ -500,6 +507,10 @@ pub fn stats_to_json(stats: &ServerStats) -> Json {
                 ("drains", Json::U64(stats.drains())),
                 ("queue_depth", Json::U64(stats.queue_depth() as u64)),
                 ("max_drain", Json::U64(stats.max_drain() as u64)),
+                ("drained_jobs", Json::U64(stats.drained_jobs())),
+                ("batched_requests", Json::U64(stats.batched_requests())),
+                ("mean_drain_width", Json::F64(stats.mean_drain_width())),
+                ("drain_width_hist", drain_hist_to_json(&stats.drain_hist())),
             ]),
         ),
         (

@@ -95,7 +95,18 @@ fn repeats_are_served_from_the_dedup_cache() {
     assert_eq!(totals.get("dedup_hits").and_then(Json::as_u64), Some(1));
     assert_eq!(totals.get("fits").and_then(Json::as_u64), Some(1));
     assert_eq!(totals.get("queue_depth").and_then(Json::as_u64), Some(0));
-    assert!(totals.get("drains").and_then(Json::as_u64).is_some());
+    let drains = totals.get("drains").and_then(Json::as_u64).expect("drains");
+    assert!(drains >= 1, "at least one drain served the requests");
+    // Batching gauges: every drain carries ≥ 1 job, the histogram buckets
+    // partition the drains, and the mean width is consistent with both.
+    let drained_jobs = totals.get("drained_jobs").and_then(Json::as_u64).expect("drained_jobs");
+    assert!(drained_jobs >= drains);
+    let hist = totals.get("drain_width_hist").and_then(Json::as_arr).expect("drain_width_hist");
+    let bucketed: u64 = hist.iter().map(|b| b.as_u64().expect("bucket")).sum();
+    assert_eq!(bucketed, drains, "histogram buckets must partition the drains");
+    let mean = totals.get("mean_drain_width").and_then(Json::as_f64).expect("mean_drain_width");
+    assert!((mean - drained_jobs as f64 / drains as f64).abs() < 1e-9);
+    assert!(totals.get("batched_requests").and_then(Json::as_u64).is_some());
 }
 
 /// `generate_batch` over the socket: one graph per seed, in order, matching

@@ -64,8 +64,8 @@ pub use request::{
     fingerprint_request, fingerprint_with, GenerateRequest, GenerateResponse, ServedFrom,
 };
 pub use server::{
-    shard_for, AdmissionStats, FairGenServer, ServerConfig, ServerStats, ShardStats,
-    SubmitOptions,
+    drain_width_bucket, shard_for, AdmissionStats, FairGenServer, ServerConfig, ServerStats,
+    ShardStats, SubmitOptions, DRAIN_HIST_BUCKETS,
 };
 
 pub use fairgen_baselines::persist::{PersistableGenerator, PersistableGraphGenerator};

@@ -135,6 +135,19 @@ pub struct ShardStats {
     /// Largest number of requests taken in a single drain — how much
     /// cross-client coalescing actually happened under load.
     pub max_drain: usize,
+    /// Jobs taken across all drains (shed jobs included — they occupied a
+    /// drain slot). `drained_jobs / drains` is the mean drain width, the
+    /// batching-efficiency gauge the histogram summarizes.
+    pub drained_jobs: u64,
+    /// Requests served as part of a coalesced same-fingerprint group of
+    /// two or more — the requests that actually shared a model invocation
+    /// (dedup-cache answers and singleton groups are excluded).
+    pub batched_requests: u64,
+    /// Histogram of drain widths, bucketed as
+    /// `[1, 2, 3–4, 5–8, 9–16, 17+]` (see [`drain_width_bucket`]). Each
+    /// drain increments exactly one bucket, so the buckets sum to
+    /// `drains`.
+    pub drain_hist: [u64; DRAIN_HIST_BUCKETS],
     /// Jobs waiting in the shard's queue at snapshot time (sampled by
     /// [`FairGenServer::stats`], not maintained by the worker — a live
     /// backlog gauge, not a cumulative counter).
@@ -143,6 +156,28 @@ pub struct ShardStats {
     /// capacity / shed-on-deadline), sampled from the queue like
     /// `queue_depth`.
     pub admission: QueueStats,
+}
+
+/// Number of drain-width histogram buckets in [`ShardStats::drain_hist`].
+pub const DRAIN_HIST_BUCKETS: usize = 6;
+
+/// Maps a drain width (requests taken in one queue drain) to its
+/// [`ShardStats::drain_hist`] bucket: `1, 2, 3–4, 5–8, 9–16, 17+`.
+///
+/// # Panics
+///
+/// Panics on a width of zero (empty drains terminate the worker and are
+/// never recorded).
+pub fn drain_width_bucket(width: usize) -> usize {
+    assert!(width > 0, "drain width must be positive");
+    match width {
+        1 => 0,
+        2 => 1,
+        3..=4 => 2,
+        5..=8 => 3,
+        9..=16 => 4,
+        _ => 5,
+    }
 }
 
 /// Server-wide admission counters.
@@ -216,6 +251,40 @@ impl ServerStats {
     /// shards at snapshot time.
     pub fn queue_depth(&self) -> usize {
         self.per_shard.iter().map(|s| s.queue_depth).sum()
+    }
+
+    /// Jobs taken across all drains on all shards (shed jobs included).
+    pub fn drained_jobs(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.drained_jobs).sum()
+    }
+
+    /// Requests served as part of a coalesced same-fingerprint group of two
+    /// or more, summed over all shards.
+    pub fn batched_requests(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.batched_requests).sum()
+    }
+
+    /// Mean drain width across all shards (`0.0` before the first drain) —
+    /// how many requests the average coalescing opportunity carried.
+    pub fn mean_drain_width(&self) -> f64 {
+        let drains = self.drains();
+        if drains == 0 {
+            0.0
+        } else {
+            self.drained_jobs() as f64 / drains as f64
+        }
+    }
+
+    /// Drain-width histogram summed over all shards; buckets as in
+    /// [`ShardStats::drain_hist`], summing to [`ServerStats::drains`].
+    pub fn drain_hist(&self) -> [u64; DRAIN_HIST_BUCKETS] {
+        let mut total = [0u64; DRAIN_HIST_BUCKETS];
+        for shard in &self.per_shard {
+            for (t, &v) in total.iter_mut().zip(&shard.drain_hist) {
+                *t += v;
+            }
+        }
+        total
     }
 }
 
@@ -528,13 +597,19 @@ fn shard_worker(
     let mut dedup_inserts = 0u64;
     let mut drains = 0u64;
     let mut max_drain = 0usize;
+    let mut drained_jobs = 0u64;
+    let mut batched_requests = 0u64;
+    let mut drain_hist = [0u64; DRAIN_HIST_BUCKETS];
     loop {
         let drain = queue.drain();
         if drain.is_empty() {
             break; // Closed and fully drained.
         }
+        let width = drain.served.len() + drain.shed.len();
         drains += 1;
-        max_drain = max_drain.max(drain.served.len() + drain.shed.len());
+        max_drain = max_drain.max(width);
+        drained_jobs += width as u64;
+        drain_hist[drain_width_bucket(width)] += 1;
 
         // Shed pass: jobs whose queue deadline expired while they waited
         // get their typed rejection *now* — the admission queue already
@@ -573,6 +648,9 @@ fn shard_worker(
             }
         }
         for (fp, members) in groups {
+            if members.len() > 1 {
+                batched_requests += members.len() as u64;
+            }
             let reqs: Vec<GenerateRequest> = members
                 .iter()
                 .map(|j| {
@@ -622,6 +700,9 @@ fn shard_worker(
             shared.dedup_resident = dedup.len();
             shared.drains = drains;
             shared.max_drain = max_drain;
+            shared.drained_jobs = drained_jobs;
+            shared.batched_requests = batched_requests;
+            shared.drain_hist = drain_hist;
         }
         for (slot, response) in fulfilled {
             slot.fulfill(response);

@@ -1,0 +1,107 @@
+//! End-to-end batched-decode parity through the serving stack: responses
+//! produced with the matrix-stepped decoders (the default) must be
+//! byte-identical to a per-walk oracle built with `FAIRGEN_BATCH_DECODE=0`
+//! — under concurrent, coalescing-inducing load.
+//!
+//! This file holds exactly one `#[test]` because the oracle and the server
+//! phases toggle a process-wide environment variable; a sibling test
+//! sampling concurrently would race the flag (harmlessly for correctness —
+//! both routes are bit-identical — but it would defeat the point of pinning
+//! each phase to one route).
+
+use std::sync::Arc;
+
+use fairgen_baselines::{NetGanGenerator, TaskSpec};
+use fairgen_graph::Graph;
+use fairgen_serve::{
+    FairGenServer, GenerateRequest, ModelRegistry, RegistryConfig, ServerConfig,
+};
+
+const FIT_SEED: u64 = 11;
+const CLIENTS: usize = 6;
+const GRAPHS: usize = 2;
+
+fn ring(n: u32) -> Graph {
+    Graph::from_edges(n as usize, &(0..n).map(|i| (i, (i + 1) % n)).collect::<Vec<_>>())
+}
+
+#[test]
+fn coalesced_responses_match_the_per_walk_oracle_byte_for_byte() {
+    let graphs: Vec<Arc<Graph>> =
+        (0..GRAPHS).map(|i| Arc::new(ring(12 + 2 * i as u32))).collect();
+    let task = Arc::new(TaskSpec::unlabeled());
+    let seeds = |gi: usize| vec![gi as u64 * 17 + 1, gi as u64 * 17 + 2];
+
+    // Phase 1 — the oracle, pinned to the per-walk decode path: a plain
+    // synchronous registry handles each distinct request once.
+    std::env::set_var("FAIRGEN_BATCH_DECODE", "0");
+    let mut oracle = ModelRegistry::new(Box::new(NetGanGenerator::default()));
+    let expected: Vec<Vec<Graph>> = graphs
+        .iter()
+        .enumerate()
+        .map(|(gi, graph)| {
+            oracle
+                .handle(&GenerateRequest::new(graph, &task, FIT_SEED, seeds(gi)))
+                .expect("oracle serve")
+                .graphs
+        })
+        .collect();
+    std::env::remove_var("FAIRGEN_BATCH_DECODE");
+
+    // Phase 2 — the server, on the default (matrix-stepped) path, with
+    // every client hammering the same two fingerprints so drains coalesce.
+    let server = FairGenServer::new(
+        || Box::new(NetGanGenerator::default()),
+        ServerConfig {
+            shards: 2,
+            registry: RegistryConfig { capacity: GRAPHS, checkpoint_dir: None },
+            dedup_capacity: 64,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server");
+
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let server = &server;
+            let graphs = &graphs;
+            let task = &task;
+            let expected = &expected;
+            scope.spawn(move || {
+                for gi in 0..GRAPHS {
+                    let response = server
+                        .submit_shared(
+                            Arc::clone(&graphs[gi]),
+                            Arc::clone(task),
+                            FIT_SEED,
+                            seeds(gi),
+                        )
+                        .expect("submit")
+                        .wait()
+                        .expect("serve");
+                    assert_eq!(
+                        response.graphs, expected[gi],
+                        "client {client} graph {gi}: batched-decode response \
+                         diverged from the per-walk oracle"
+                    );
+                }
+            });
+        }
+    });
+
+    // Batching gauges must be self-consistent with what just happened.
+    let stats = server.stats();
+    let drains = stats.drains();
+    assert!(drains >= 1, "the workers drained at least once");
+    assert!(stats.drained_jobs() >= drains, "every drain carries at least one job");
+    assert_eq!(
+        stats.drain_hist().iter().sum::<u64>(),
+        drains,
+        "histogram buckets must partition the drains"
+    );
+    assert_eq!(
+        stats.requests(),
+        (CLIENTS * GRAPHS) as u64,
+        "every submission was answered (registry or dedup)"
+    );
+}

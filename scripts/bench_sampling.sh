@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # Regenerates BENCH_sampling.json: tokens/sec of the KV-cached incremental
-# samplers vs the full-forward reference, at the quickstart model shapes.
+# samplers vs the full-forward reference, the multi-thread fan-out axis, and
+# the batched-decode axis (batch widths 1/4/16/64, one GEMM per layer per
+# token across the batch vs the per-walk decode loop), at the quickstart
+# model shapes.
 # Usage: scripts/bench_sampling.sh [output.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
