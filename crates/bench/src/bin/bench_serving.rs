@@ -77,6 +77,7 @@ fn served_from_key(s: ServedFrom) -> &'static str {
         ServedFrom::Memory => "memory",
         ServedFrom::Checkpoint => "checkpoint",
         ServedFrom::DedupCache => "dedup_cache",
+        ServedFrom::Stale { .. } => "stale",
     }
 }
 

@@ -6,9 +6,17 @@
 //! Node counts are scaled from the paper's 500–5000 range to keep a single
 //! CPU run short; the *shape* (≈linear) is the reproduced quantity.
 
+//! Setting `FIG8_MILLION=1` appends the ROADMAP's million-node
+//! acceptance point: a sparse `G(n, 5/n)` graph at `n = 10⁶` (built with
+//! the `O(n + m)` geometric-skipping sampler — the pairwise one is
+//! `Θ(n²)` and would never finish) trained with a deliberately tiny
+//! budget, plus a `10⁵` point under the same budget for the scaling
+//! ratio. Release builds only — a debug run would measure the compiler,
+//! not the algorithm.
+
 use fairgen_bench::header;
 use fairgen_core::{FairGen, FairGenConfig, TaskSpec};
-use fairgen_data::er_by_density;
+use fairgen_data::{er_by_density, er_sparse_by_density};
 use std::time::Instant;
 
 fn time_fairgen(n: usize, density: f64) -> f64 {
@@ -58,5 +66,71 @@ fn main() {
             .unwrap_or_default();
         println!("{density:>8.3} {secs:>12.3}{growth}");
         prev = Some((density, secs));
+    }
+
+    million_node_gate();
+}
+
+/// The million-node budget: vocab = n makes the token embedding and the
+/// per-token softmax the dominant costs, so everything else is pinned to
+/// its floor — the point measures how those two scale with `n`, which is
+/// the paper's near-linear claim.
+fn million_config() -> FairGenConfig {
+    FairGenConfig {
+        walk_len: 8,
+        num_walks: 32,
+        cycles: 1,
+        batch_iters: 1,
+        batch_size: 32,
+        gen_epochs: 1,
+        pool_cap: 64,
+        gen_multiplier: 1,
+        d_model: 8,
+        heads: 2,
+        layers: 1,
+        ..Default::default()
+    }
+}
+
+fn time_million_point(n: usize) -> (usize, f64, f64) {
+    let start = Instant::now();
+    // Average degree 5 regardless of n: fixed-density million-node ER
+    // would carry 2.5 × 10⁹ edges, which is not the sparse regime the
+    // ROADMAP gate describes.
+    let g = er_sparse_by_density(n, 5.0 / n as f64, 7);
+    let build_secs = start.elapsed().as_secs_f64();
+    let m = g.m();
+    let start = Instant::now();
+    let trained = FairGen::new(million_config())
+        .train(&g, &TaskSpec::unlabeled(), 3)
+        .expect("benchmark inputs are valid");
+    let _ = trained.generate(4).expect("generate");
+    (m, build_secs, start.elapsed().as_secs_f64())
+}
+
+fn million_node_gate() {
+    if std::env::var("FIG8_MILLION").map_or(true, |v| v.is_empty() || v == "0") {
+        println!();
+        println!("(c) million-node gate skipped (set FIG8_MILLION=1 to run it)");
+        return;
+    }
+    if cfg!(debug_assertions) {
+        println!();
+        println!("(c) million-node gate requires a release build; skipping");
+        return;
+    }
+    println!();
+    println!("(c) million-node gate: sparse ER at average degree 5, tiny train budget:");
+    println!("{:>9} {:>10} {:>11} {:>13}", "nodes", "edges", "build_sec", "train_gen_sec");
+    let mut prev: Option<(usize, f64)> = None;
+    for n in [100_000usize, 1_000_000] {
+        let (m, build, secs) = time_million_point(n);
+        let growth = prev
+            .map(|(pn, ps)| {
+                format!("  (x{:.2} for x{:.0} nodes)", secs / ps, n as f64 / pn as f64)
+            })
+            .unwrap_or_default();
+        println!("{n:>9} {m:>10} {build:>11.3} {secs:>13.3}{growth}");
+        prev = Some((n, secs));
     }
 }

@@ -22,5 +22,5 @@ pub mod random;
 pub mod sbm;
 
 pub use datasets::{er_by_density, toy_multiclass, toy_two_community, Dataset, LabeledGraph};
-pub use random::{barabasi_albert, erdos_renyi};
+pub use random::{barabasi_albert, er_sparse_by_density, erdos_renyi, erdos_renyi_sparse};
 pub use sbm::{dc_sbm, DcSbmConfig};

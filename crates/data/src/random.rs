@@ -24,6 +24,80 @@ pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
     b.build()
 }
 
+/// Erdős–Rényi `G(n, p)` by **geometric skipping**: instead of flipping a
+/// coin per pair, jump straight from one present edge to the next by
+/// sampling the skip length from the geometric distribution. Runs in
+/// `O(n + m)` for expected edge count `m = p·n·(n−1)/2`, which is what
+/// makes million-node sparse graphs (Figure 8's scalability gate)
+/// constructible at all — the pairwise [`erdos_renyi`] is `Θ(n²)`.
+///
+/// Draws the same *distribution* as [`erdos_renyi`], not the same graph
+/// for a given rng state (the two consume randomness differently).
+///
+/// # Panics
+///
+/// Panics if `p ∉ [0, 1]`.
+pub fn erdos_renyi_sparse<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1]");
+    let total_pairs = n as u128 * (n.saturating_sub(1)) as u128 / 2;
+    let expected = (p * total_pairs as f64) as usize;
+    let mut b = GraphBuilder::with_capacity(n, expected);
+    b.ensure_nodes(n);
+    if p <= 0.0 || total_pairs == 0 {
+        return b.build();
+    }
+    if p >= 1.0 {
+        for u in 0..n as NodeId {
+            for v in (u + 1)..n as NodeId {
+                b.add_edge(u, v);
+            }
+        }
+        return b.build();
+    }
+    // Pairs (u, v) with u < v are flattened in row-major order; `idx` walks
+    // that space. Skip ~ Geometric(p) via inverse-transform sampling:
+    // ⌊ln(U) / ln(1−p)⌋ pairs are absent before the next present one.
+    let log_q = (1.0 - p).ln();
+    let mut idx: u128 = 0;
+    // `u128` indexing covers n up to ~2⁶⁴; row starts are tracked
+    // incrementally so recovering (u, v) from `idx` costs O(1) amortized.
+    let mut row: usize = 0;
+    let mut row_start: u128 = 0;
+    let mut row_len: u128 = (n - 1) as u128;
+    loop {
+        let uniform: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let skip = (uniform.ln() / log_q).floor();
+        // A huge skip can exceed the remaining pair space; saturate.
+        if skip >= (total_pairs - idx) as f64 {
+            break;
+        }
+        idx += skip as u128;
+        if idx >= total_pairs {
+            break;
+        }
+        while idx >= row_start + row_len {
+            row_start += row_len;
+            row_len -= 1;
+            row += 1;
+        }
+        let u = row as NodeId;
+        let v = (row + 1) as u128 + (idx - row_start);
+        b.add_edge(u, v as NodeId);
+        idx += 1;
+    }
+    b.build()
+}
+
+/// Convenience: a sparse ER graph by `(n, density)` with a seeded rng —
+/// the million-node companion of
+/// [`er_by_density`](crate::datasets::er_by_density).
+pub fn er_sparse_by_density(n: usize, density: f64, seed: u64) -> Graph {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    erdos_renyi_sparse(n, density, &mut rng)
+}
+
 /// Barabási–Albert preferential attachment: starts from a small clique of
 /// `m_attach + 1` nodes, then each new node attaches to `m_attach` distinct
 /// existing nodes chosen proportionally to degree.
@@ -121,5 +195,54 @@ mod tests {
     fn er_invalid_p_panics() {
         let mut rng = StdRng::seed_from_u64(5);
         let _ = erdos_renyi(5, 1.5, &mut rng);
+    }
+
+    #[test]
+    fn sparse_er_edge_count_near_expectation() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let n = 3000;
+        let p = 0.002;
+        let g = erdos_renyi_sparse(n, p, &mut rng);
+        let expected = p * (n * (n - 1)) as f64 / 2.0;
+        let m = g.m() as f64;
+        assert_eq!(g.n(), n);
+        assert!((m - expected).abs() < 4.0 * expected.sqrt(), "m={m} expected≈{expected}");
+    }
+
+    #[test]
+    fn sparse_er_extremes_match_dense() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_eq!(erdos_renyi_sparse(10, 0.0, &mut rng).m(), 0);
+        assert_eq!(erdos_renyi_sparse(10, 1.0, &mut rng).m(), 45);
+        assert_eq!(erdos_renyi_sparse(1, 0.5, &mut rng).m(), 0);
+    }
+
+    #[test]
+    fn sparse_er_deterministic_under_seed() {
+        let g1 = er_sparse_by_density(500, 0.01, 11);
+        let g2 = er_sparse_by_density(500, 0.01, 11);
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn sparse_er_degree_distribution_tracks_dense() {
+        // Same (n, p), different algorithms: mean degrees must agree to
+        // within sampling noise — the skipping sampler draws the same
+        // distribution, just in O(n + m).
+        let n = 2000;
+        let p = 0.004;
+        let dense = erdos_renyi(n, p, &mut StdRng::seed_from_u64(8));
+        let sparse = erdos_renyi_sparse(n, p, &mut StdRng::seed_from_u64(9));
+        let mean = |g: &Graph| 2.0 * g.m() as f64 / g.n() as f64;
+        let expected = p * (n - 1) as f64;
+        assert!((mean(&dense) - expected).abs() < 0.5);
+        assert!((mean(&sparse) - expected).abs() < 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in")]
+    fn sparse_er_invalid_p_panics() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let _ = erdos_renyi_sparse(5, -0.1, &mut rng);
     }
 }

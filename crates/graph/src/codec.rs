@@ -372,12 +372,42 @@ pub fn open_value<T: Codec>(expected_tag: &str, bytes: &[u8]) -> Result<T> {
     Ok(value)
 }
 
-/// Writes container bytes to a file.
+/// Writes container bytes to a file atomically.
+///
+/// The bytes land in `<path>.tmp` first, are fsynced, and only then renamed
+/// over the final path, so a crash mid-write can never leave a torn file
+/// under the name readers look for — at worst it leaves a stray `.tmp`
+/// that [`open`] never sees. After the rename the parent directory is
+/// fsynced on a best-effort basis so the rename itself survives a crash.
 pub fn write_file<P: AsRef<Path>>(path: P, bytes: &[u8]) -> Result<()> {
-    let mut f = std::fs::File::create(path)?;
+    let path = path.as_ref();
+    let tmp = tmp_path(path);
+    let mut f = std::fs::File::create(&tmp)?;
     f.write_all(bytes)?;
     f.sync_all()?;
+    drop(f);
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e.into());
+    }
+    if let Some(parent) = path.parent() {
+        // Directory fsync makes the rename durable; some filesystems refuse
+        // to open directories, so failure here is not an error.
+        if let Ok(dir) = std::fs::File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
     Ok(())
+}
+
+/// The scratch path [`write_file`] stages bytes in before the atomic
+/// rename: `<path>.tmp`. Exposed so crash-recovery sweeps (the model
+/// store's startup scan) can recognise and clear leftovers from a write
+/// that died before its rename.
+pub fn tmp_path(path: &Path) -> std::path::PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".tmp");
+    std::path::PathBuf::from(os)
 }
 
 /// Reads container bytes from a file.

@@ -1,0 +1,452 @@
+//! Edge deltas and drift scoring for evolving graphs.
+//!
+//! A served graph rarely changes wholesale: edges trickle in and out while
+//! the vertex set stays put. [`GraphDelta`] captures one such batch, and
+//! [`Graph::apply_delta`] folds it into a CSR graph with an **incremental
+//! rebuild** — rows untouched by the delta are copied verbatim, only the
+//! rows whose adjacency actually changes are re-merged. For a delta
+//! touching `k` rows the work is `O(n + m + Σ_touched deg + |Δ| log |Δ|)`
+//! with no full re-canonicalization of the edge list.
+//!
+//! [`drift_between`] then answers the serving-layer question: *how far has
+//! this graph moved from the one a model was fitted on?* Two signals are
+//! combined, both cheap and both order-independent:
+//!
+//! * **Degree churn** — the fraction of vertices whose degree changed.
+//! * **Row Jaccard** — the mean Jaccard similarity of the adjacency rows
+//!   that changed at all (1.0 when nothing changed).
+//!
+//! [`DriftScore::score`] folds them into one number in `[0, 1]`:
+//! `max(degree_churn, 1 − jaccard_touched)`. The registry serves the
+//! stale-but-bounded model while this stays at or below its threshold.
+
+use crate::fingerprint::GraphFingerprint;
+use crate::graph::{Graph, NodeId};
+use crate::{FairGenError, Result};
+
+/// A batch of edge insertions and removals against a fixed vertex set.
+///
+/// Pairs are interpreted as undirected edges; orientation and duplicates
+/// do not matter, and self-loops are ignored (the CSR graph cannot hold
+/// them). Removing an absent edge or inserting a present one is a no-op,
+/// so deltas are idempotent. When the same edge appears in both lists,
+/// **insert wins** — the delta describes the desired end state of each
+/// mentioned edge, not a replay log.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GraphDelta {
+    /// Edges to add.
+    pub insert: Vec<(NodeId, NodeId)>,
+    /// Edges to drop.
+    pub remove: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphDelta {
+    /// A delta that does nothing.
+    pub fn empty() -> Self {
+        GraphDelta::default()
+    }
+
+    /// Whether both batches are empty.
+    pub fn is_empty(&self) -> bool {
+        self.insert.is_empty() && self.remove.is_empty()
+    }
+
+    /// Total number of edge operations carried (inserts + removes,
+    /// pre-dedup).
+    pub fn len(&self) -> usize {
+        self.insert.len() + self.remove.len()
+    }
+}
+
+/// Canonicalizes raw pairs: drops self-loops, orients `u < v`, sorts,
+/// dedups. Validates endpoints against `n`.
+fn canonical_pairs(pairs: &[(NodeId, NodeId)], n: usize) -> Result<Vec<(NodeId, NodeId)>> {
+    let mut out = Vec::with_capacity(pairs.len());
+    for &(u, v) in pairs {
+        let worst = u.max(v);
+        if worst as usize >= n {
+            return Err(FairGenError::NodeOutOfRange { node: worst, nodes: n });
+        }
+        if u == v {
+            continue;
+        }
+        out.push((u.min(v), u.max(v)));
+    }
+    out.sort_unstable();
+    out.dedup();
+    Ok(out)
+}
+
+impl Graph {
+    /// Applies `delta` and returns the resulting graph, leaving `self`
+    /// untouched (serving keeps the fitted base graph alive for drift
+    /// scoring, so mutation in place would be a footgun).
+    ///
+    /// Only adjacency rows mentioned by the delta are rebuilt; every other
+    /// row's slice is copied straight across. Inserting an existing edge or
+    /// removing a missing one is a no-op. An edge present in both batches
+    /// ends up **present** (insert wins).
+    pub fn apply_delta(&self, delta: &GraphDelta) -> Result<Graph> {
+        let n = self.n();
+        let insert = canonical_pairs(&delta.insert, n)?;
+        let mut remove = canonical_pairs(&delta.remove, n)?;
+        // Insert wins on conflict: drop conflicting pairs from the removes.
+        remove.retain(|e| insert.binary_search(e).is_err());
+        if insert.is_empty() && remove.is_empty() {
+            return Ok(self.clone());
+        }
+
+        // Group the per-row changes. Each undirected edge {u, v} affects
+        // both row u and row v.
+        let mut ins_rows: std::collections::BTreeMap<NodeId, Vec<NodeId>> =
+            std::collections::BTreeMap::new();
+        let mut rem_rows: std::collections::BTreeMap<NodeId, Vec<NodeId>> =
+            std::collections::BTreeMap::new();
+        for &(u, v) in &insert {
+            ins_rows.entry(u).or_default().push(v);
+            ins_rows.entry(v).or_default().push(u);
+        }
+        for &(u, v) in &remove {
+            rem_rows.entry(u).or_default().push(v);
+            rem_rows.entry(v).or_default().push(u);
+        }
+        for list in ins_rows.values_mut().chain(rem_rows.values_mut()) {
+            list.sort_unstable();
+        }
+
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        // Worst case: every insert lands, nothing is already present.
+        let mut neighbors = Vec::with_capacity(self.total_volume() + 2 * insert.len());
+        for v in 0..n as NodeId {
+            let old = self.neighbors(v);
+            let ins = ins_rows.get(&v).map(Vec::as_slice).unwrap_or(&[]);
+            let rem = rem_rows.get(&v).map(Vec::as_slice).unwrap_or(&[]);
+            if ins.is_empty() && rem.is_empty() {
+                neighbors.extend_from_slice(old);
+            } else {
+                merge_row(old, ins, rem, &mut neighbors);
+            }
+            offsets.push(neighbors.len());
+        }
+        debug_assert_eq!(neighbors.len() % 2, 0);
+        let m = neighbors.len() / 2;
+        Ok(Graph::from_csr_parts(offsets, neighbors, m))
+    }
+}
+
+/// Merges one sorted adjacency row with sorted, deduped insert/remove
+/// lists: `out` receives `(old ∖ rem) ∪ ins` in sorted order.
+fn merge_row(old: &[NodeId], ins: &[NodeId], rem: &[NodeId], out: &mut Vec<NodeId>) {
+    let (mut i, mut j, mut k) = (0usize, 0usize, 0usize);
+    while i < old.len() || j < ins.len() {
+        let take_old = match (old.get(i), ins.get(j)) {
+            (Some(&a), Some(&b)) => {
+                if a == b {
+                    // Inserting an existing edge: emit once, advance both.
+                    j += 1;
+                    true
+                } else {
+                    a < b
+                }
+            }
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => unreachable!("loop condition"),
+        };
+        if take_old {
+            let a = old[i];
+            i += 1;
+            while k < rem.len() && rem[k] < a {
+                k += 1;
+            }
+            if k < rem.len() && rem[k] == a {
+                k += 1;
+                continue; // removed
+            }
+            out.push(a);
+        } else {
+            out.push(ins[j]);
+            j += 1;
+        }
+    }
+}
+
+/// The two drift signals between a fitted base graph and its current
+/// descendant, plus the scalar the serving layer thresholds on.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DriftScore {
+    /// Fraction of vertices whose degree differs (`0.0` = none, `1.0` =
+    /// every vertex).
+    pub degree_changed: f64,
+    /// Mean Jaccard similarity of the adjacency rows that differ at all;
+    /// `1.0` when no row changed.
+    pub jaccard_touched: f64,
+}
+
+impl DriftScore {
+    /// A zero-drift score (identical graphs).
+    pub fn zero() -> Self {
+        DriftScore { degree_changed: 0.0, jaccard_touched: 1.0 }
+    }
+
+    /// The scalar drift in `[0, 1]`: `max(degree_changed, 1 −
+    /// jaccard_touched)`. Either signal alone can push a graph over a
+    /// serving threshold — heavy rewiring that preserves degrees still
+    /// tanks the Jaccard term, and uniform degree growth still trips the
+    /// churn term.
+    pub fn score(&self) -> f64 {
+        self.degree_changed.max(1.0 - self.jaccard_touched)
+    }
+}
+
+/// Computes the [`DriftScore`] of `current` relative to `base`.
+///
+/// Both graphs must share a vertex count (deltas never change `n`);
+/// anything else is an [`FairGenError::InvalidConfig`]. Cost is
+/// `O(n + m_base + m_current)`.
+pub fn drift_between(base: &Graph, current: &Graph) -> Result<DriftScore> {
+    if base.n() != current.n() {
+        return Err(FairGenError::InvalidConfig {
+            field: "drift",
+            message: format!(
+                "drift requires equal vertex counts (base n={}, current n={})",
+                base.n(),
+                current.n()
+            ),
+        });
+    }
+    let n = base.n();
+    if n == 0 {
+        return Ok(DriftScore::zero());
+    }
+    let mut degree_changed = 0usize;
+    let mut touched = 0usize;
+    let mut jaccard_sum = 0.0f64;
+    for v in 0..n as NodeId {
+        let a = base.neighbors(v);
+        let b = current.neighbors(v);
+        if a.len() != b.len() {
+            degree_changed += 1;
+        }
+        if a != b {
+            touched += 1;
+            jaccard_sum += row_jaccard(a, b);
+        }
+    }
+    let jaccard_touched = if touched == 0 { 1.0 } else { jaccard_sum / touched as f64 };
+    Ok(DriftScore { degree_changed: degree_changed as f64 / n as f64, jaccard_touched })
+}
+
+/// Jaccard similarity of two sorted sets; `1.0` when both are empty.
+fn row_jaccard(a: &[NodeId], b: &[NodeId]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let (mut i, mut j, mut inter) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Ties a drift measurement to the identities it relates: the fingerprint
+/// a model was **fitted on** (`base`) and the fingerprint of the graph the
+/// server is **asked about now** (`current`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DeltaFingerprint {
+    /// Fingerprint of the fit the model came from.
+    pub base: GraphFingerprint,
+    /// Fingerprint of the current (post-delta) request content.
+    pub current: GraphFingerprint,
+    /// Structural drift of the current graph relative to the base graph.
+    pub drift: DriftScore,
+}
+
+impl DeltaFingerprint {
+    /// Measures drift between the two graphs and packages it with the two
+    /// request fingerprints.
+    pub fn measure(
+        base: GraphFingerprint,
+        current: GraphFingerprint,
+        base_graph: &Graph,
+        current_graph: &Graph,
+    ) -> Result<Self> {
+        let drift = drift_between(base_graph, current_graph)?;
+        Ok(DeltaFingerprint { base, current, drift })
+    }
+
+    /// Whether the stale model fitted on `base` may keep serving under
+    /// `threshold`.
+    pub fn within(&self, threshold: f64) -> bool {
+        self.drift.score() <= threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> Graph {
+        Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn empty_delta_is_identity() {
+        let g = path4();
+        let out = g.apply_delta(&GraphDelta::empty()).expect("apply");
+        assert_eq!(out, g);
+    }
+
+    #[test]
+    fn insert_and_remove_match_rebuild() {
+        let g = path4();
+        let delta = GraphDelta { insert: vec![(0, 3), (0, 2)], remove: vec![(1, 2)] };
+        let got = g.apply_delta(&delta).expect("apply");
+        let want = Graph::from_edges(4, &[(0, 1), (2, 3), (0, 3), (0, 2)]);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn noop_inserts_and_removes_tolerated() {
+        let g = path4();
+        let delta = GraphDelta {
+            insert: vec![(0, 1), (1, 0), (0, 1)], // already present + dup + reversed
+            remove: vec![(0, 2), (2, 2)],         // absent + self-loop
+        };
+        let got = g.apply_delta(&delta).expect("apply");
+        assert_eq!(got, g);
+    }
+
+    #[test]
+    fn insert_wins_over_remove() {
+        let g = path4();
+        let delta = GraphDelta { insert: vec![(0, 3)], remove: vec![(3, 0), (1, 2)] };
+        let got = g.apply_delta(&delta).expect("apply");
+        assert!(got.has_edge(0, 3));
+        assert!(!got.has_edge(1, 2));
+    }
+
+    #[test]
+    fn out_of_range_is_typed() {
+        let g = path4();
+        let delta = GraphDelta { insert: vec![(0, 9)], remove: vec![] };
+        match g.apply_delta(&delta) {
+            Err(FairGenError::NodeOutOfRange { node, nodes }) => {
+                assert_eq!(node, 9);
+                assert_eq!(nodes, 4);
+            }
+            other => panic!("expected NodeOutOfRange, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn apply_matches_from_scratch_oracle() {
+        // Random-ish dense sweep: apply_delta must equal rebuilding from the
+        // edited edge list.
+        let n = 12usize;
+        let mut edges = Vec::new();
+        for u in 0..n as NodeId {
+            for v in (u + 1)..n as NodeId {
+                if (u as usize * 7 + v as usize * 13).is_multiple_of(3) {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let g = Graph::from_edges(n, &edges);
+        let insert: Vec<_> = (0..n as NodeId)
+            .flat_map(|u| ((u + 1)..n as NodeId).map(move |v| (u, v)))
+            .filter(|&(u, v)| (u as usize * 5 + v as usize * 11).is_multiple_of(4))
+            .collect();
+        let remove: Vec<_> = edges
+            .iter()
+            .copied()
+            .filter(|&(u, v)| (u as usize + v as usize).is_multiple_of(5))
+            .collect();
+        let delta = GraphDelta { insert: insert.clone(), remove: remove.clone() };
+        let got = g.apply_delta(&delta).expect("apply");
+
+        let mut want: std::collections::BTreeSet<(NodeId, NodeId)> =
+            edges.iter().copied().collect();
+        for e in &remove {
+            want.remove(e);
+        }
+        for e in &insert {
+            want.insert(*e);
+        }
+        let want_edges: Vec<_> = want.into_iter().collect();
+        let want_g = Graph::from_edges(n, &want_edges);
+        assert_eq!(got, want_g);
+    }
+
+    #[test]
+    fn drift_zero_for_identical() {
+        let g = path4();
+        let d = drift_between(&g, &g).expect("drift");
+        assert_eq!(d.score(), 0.0);
+        assert_eq!(d.degree_changed, 0.0);
+        assert_eq!(d.jaccard_touched, 1.0);
+    }
+
+    #[test]
+    fn drift_counts_degree_churn() {
+        let g = path4();
+        let h = g.apply_delta(&GraphDelta { insert: vec![(0, 3)], remove: vec![] }).unwrap();
+        let d = drift_between(&g, &h).expect("drift");
+        // Nodes 0 and 3 changed degree: 2/4.
+        assert!((d.degree_changed - 0.5).abs() < 1e-12);
+        assert!(d.score() >= 0.5);
+    }
+
+    #[test]
+    fn drift_catches_degree_preserving_rewiring() {
+        // 0-1 2-3  →  0-2 1-3: every degree stays 1 but rows change.
+        let a = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let b = Graph::from_edges(4, &[(0, 2), (1, 3)]);
+        let d = drift_between(&a, &b).expect("drift");
+        assert_eq!(d.degree_changed, 0.0);
+        assert!(d.jaccard_touched < 1.0);
+        assert!(d.score() > 0.0);
+    }
+
+    #[test]
+    fn drift_requires_equal_n() {
+        let a = Graph::empty(3);
+        let b = Graph::empty(4);
+        assert!(matches!(drift_between(&a, &b), Err(FairGenError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn drift_is_monotone_under_growing_edits() {
+        let g = path4();
+        let one = g.apply_delta(&GraphDelta { insert: vec![(0, 2)], remove: vec![] }).unwrap();
+        let two =
+            one.apply_delta(&GraphDelta { insert: vec![(0, 3)], remove: vec![] }).unwrap();
+        let d1 = drift_between(&g, &one).unwrap().score();
+        let d2 = drift_between(&g, &two).unwrap().score();
+        assert!(d1 > 0.0);
+        assert!(d2 >= d1, "more edits should not lower drift: {d1} -> {d2}");
+    }
+
+    #[test]
+    fn delta_fingerprint_thresholds() {
+        let g = path4();
+        let h = g.apply_delta(&GraphDelta { insert: vec![(0, 2)], remove: vec![] }).unwrap();
+        let fp_g = crate::FingerprintBuilder::new().add_graph(&g).finish();
+        let fp_h = crate::FingerprintBuilder::new().add_graph(&h).finish();
+        let df = DeltaFingerprint::measure(fp_g, fp_h, &g, &h).expect("measure");
+        assert_eq!(df.base, fp_g);
+        assert_eq!(df.current, fp_h);
+        assert!(df.within(1.0));
+        assert!(!df.within(0.0));
+    }
+}

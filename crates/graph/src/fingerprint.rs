@@ -41,6 +41,24 @@ impl GraphFingerprint {
     pub fn to_hex(&self) -> String {
         format!("{:016x}{:016x}", self.hi, self.lo)
     }
+
+    /// Reconstructs a fingerprint from its raw 128-bit value
+    /// (inverse of [`GraphFingerprint::as_u128`]).
+    pub fn from_u128(v: u128) -> Self {
+        GraphFingerprint { hi: (v >> 64) as u64, lo: v as u64 }
+    }
+
+    /// Parses the 32-char lowercase hex rendering produced by
+    /// [`GraphFingerprint::to_hex`]. Returns `None` for anything else —
+    /// wrong length, uppercase, or non-hex bytes — so manifest and
+    /// file-name parsing can reject foreign files instead of guessing.
+    pub fn from_hex(s: &str) -> Option<Self> {
+        if s.len() != 32 || !s.bytes().all(|b| matches!(b, b'0'..=b'9' | b'a'..=b'f')) {
+            return None;
+        }
+        let v = u128::from_str_radix(s, 16).ok()?;
+        Some(Self::from_u128(v))
+    }
 }
 
 impl std::fmt::Display for GraphFingerprint {
@@ -246,6 +264,18 @@ mod tests {
         assert!(hex.chars().all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()));
         assert_eq!(fp.to_string(), hex);
         assert_eq!(u128::from_str_radix(&hex, 16).expect("hex"), fp.as_u128());
+    }
+
+    #[test]
+    fn hex_and_u128_round_trip() {
+        let fp = fp_of(|b| {
+            b.add_str("round-trip").add_u64(42);
+        });
+        assert_eq!(GraphFingerprint::from_u128(fp.as_u128()), fp);
+        assert_eq!(GraphFingerprint::from_hex(&fp.to_hex()), Some(fp));
+        assert_eq!(GraphFingerprint::from_hex("zz"), None);
+        assert_eq!(GraphFingerprint::from_hex(&fp.to_hex().to_uppercase()), None);
+        assert_eq!(GraphFingerprint::from_hex(&fp.to_hex()[..31]), None);
     }
 
     #[test]

@@ -96,6 +96,21 @@ impl Graph {
         Ok(Graph { offsets: clean_offsets, neighbors: clean_neighbors, m })
     }
 
+    /// Assembles a graph from already-canonical CSR parts: `offsets` of
+    /// length `n + 1`, rows sorted and deduplicated, every undirected edge
+    /// present in both endpoint rows. The delta subsystem's incremental
+    /// rebuild produces exactly this shape and must not pay for a second
+    /// canonicalization pass.
+    pub(crate) fn from_csr_parts(
+        offsets: Vec<usize>,
+        neighbors: Vec<NodeId>,
+        m: usize,
+    ) -> Self {
+        debug_assert_eq!(*offsets.last().expect("offsets non-empty"), neighbors.len());
+        debug_assert_eq!(neighbors.len(), 2 * m);
+        Graph { offsets, neighbors, m }
+    }
+
     /// A graph with `n` vertices and no edges.
     pub fn empty(n: usize) -> Self {
         Graph { offsets: vec![0; n + 1], neighbors: Vec::new(), m: 0 }

@@ -20,6 +20,7 @@ pub mod builder;
 pub mod codec;
 pub mod components;
 pub mod conductance;
+pub mod delta;
 pub mod ego;
 pub mod error;
 pub mod fingerprint;
@@ -36,6 +37,7 @@ pub use components::{
     connected_components, largest_component_nodes, num_components, UnionFind,
 };
 pub use conductance::{conductance, cut_size, volume};
+pub use delta::{drift_between, DeltaFingerprint, DriftScore, GraphDelta};
 pub use ego::{ego_network, induced_subgraph, SubgraphMap};
 pub use error::{FairGenError, Result};
 pub use fingerprint::{FingerprintBuilder, GraphFingerprint};

@@ -9,13 +9,14 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use fairgen_baselines::TaskSpec;
-use fairgen_graph::Graph;
+use fairgen_graph::{Graph, GraphDelta};
 
 use crate::codes;
 use crate::http::{read_response, HttpError, HttpLimits};
 use crate::json::{obj, parse, Json, JsonError};
 use crate::wire::{
-    encode_generate_params, generate_result_from_json, GenerateResult, WireError, WireLimits,
+    encode_generate_params, encode_update_params, generate_result_from_json,
+    update_result_from_json, GenerateResult, UpdateResult, WireError, WireLimits,
 };
 
 /// A structured JSON-RPC error reported by the server.
@@ -235,6 +236,22 @@ impl RpcClient {
         let params = encode_generate_params(graph, task, fit_seed, sample_seeds, true);
         let result = self.call("generate_batch", params)?;
         generate_result_from_json(&result, &self.wire).map_err(ClientError::Wire)
+    }
+
+    /// Registers an edge delta against a previously-served graph:
+    /// `update_graph(graph, task, fit_seed, delta)`. The result says which
+    /// fingerprint now serves the updated graph, the cumulative drift, and
+    /// whether the server refitted.
+    pub fn update_graph(
+        &mut self,
+        graph: &Graph,
+        task: &TaskSpec,
+        fit_seed: u64,
+        delta: &GraphDelta,
+    ) -> ClientResult<UpdateResult> {
+        let params = encode_update_params(graph, task, fit_seed, delta);
+        let result = self.call("update_graph", params)?;
+        update_result_from_json(&result).map_err(ClientError::Wire)
     }
 
     /// The server's stats snapshot, as raw JSON (shape documented in

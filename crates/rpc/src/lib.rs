@@ -42,4 +42,7 @@ pub use client::{ClientError, ClientResult, RpcClient, RpcErrorInfo};
 pub use http::{HttpError, HttpLimits, HttpRequest, HttpResponse};
 pub use json::{Json, JsonError, JsonErrorKind};
 pub use server::{handle_rpc_body, respond, RpcConfig, RpcServer};
-pub use wire::{GenerateParams, GenerateResult, RpcRequest, WireError, WireLimits};
+pub use wire::{
+    GenerateParams, GenerateResult, RpcRequest, UpdateParams, UpdateResult, WireError,
+    WireLimits,
+};

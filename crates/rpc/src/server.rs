@@ -39,8 +39,9 @@ use crate::codes;
 use crate::http::{read_request, write_response, HttpLimits};
 use crate::json::{parse, Json};
 use crate::wire::{
-    decode_envelope, decode_generate_params, decode_tenant, error_object, fairgen_error_object,
-    generate_result_to_json, response_envelope, stats_to_json, WireLimits,
+    decode_envelope, decode_generate_params, decode_tenant, decode_update_params, error_object,
+    fairgen_error_object, generate_result_to_json, response_envelope, stats_to_json,
+    update_result_to_json, WireLimits,
 };
 
 /// Network front-end policy.
@@ -392,7 +393,7 @@ pub fn respond(
 
 /// Parses and dispatches one JSON-RPC request body, returning the HTTP
 /// status and the response envelope. This is the whole method surface:
-/// `generate`, `generate_batch`, and `stats`.
+/// `generate`, `generate_batch`, `update_graph`, and `stats`.
 ///
 /// `tenant_header` is the raw `X-FairGen-Tenant` value, if the transport
 /// saw one; a `tenant` param inside the request body takes precedence, and
@@ -480,13 +481,56 @@ pub fn handle_rpc_body(
                 }
             }
         }
+        "update_graph" => {
+            let params = match decode_update_params(&request.params, wire) {
+                Ok(p) => p,
+                Err(e) => {
+                    let err = error_object(codes::INVALID_PARAMS, &e.to_string(), "Params");
+                    return (400, response_envelope(&request.id, Err(err)));
+                }
+            };
+            let tenant = match decode_tenant(&request.params, tenant_header, wire) {
+                Ok(label) => label.map(TenantId::new).unwrap_or_default(),
+                Err(e) => {
+                    let err = error_object(codes::INVALID_PARAMS, &e.to_string(), "Params");
+                    return (400, response_envelope(&request.id, Err(err)));
+                }
+            };
+            // Updates default to the bulk lane in `submit_update`:
+            // structural maintenance never preempts interactive draws.
+            let opts = SubmitOptions { tenant, lane: None, deadline: None };
+            let submitted = server.submit_update(
+                Arc::new(params.graph),
+                Arc::new(params.task),
+                params.fit_seed,
+                params.delta,
+                opts,
+            );
+            let outcome = match submitted {
+                Ok(pending) => pending.wait(),
+                Err(e) => Err(e),
+            };
+            match outcome {
+                Ok(outcome) => {
+                    (200, response_envelope(&request.id, Ok(update_result_to_json(&outcome))))
+                }
+                Err(e) => {
+                    let status = match e {
+                        FairGenError::ServerClosed => 503,
+                        FairGenError::Overloaded { .. } => 429,
+                        _ => 200,
+                    };
+                    (status, response_envelope(&request.id, Err(fairgen_error_object(&e))))
+                }
+            }
+        }
         "stats" => (200, response_envelope(&request.id, Ok(stats_to_json(&server.stats())))),
         other => {
             let err = error_object(
                 codes::METHOD_NOT_FOUND,
                 &format!(
                     "unknown method {other:?}; this server speaks generate, \
-                          generate_batch, and stats"
+                          generate_batch, update_graph, and stats"
                 ),
                 "Method",
             );

@@ -21,8 +21,8 @@
 //! [`codes`] for the code table.
 
 use fairgen_baselines::TaskSpec;
-use fairgen_graph::{Graph, NodeId, NodeSet};
-use fairgen_serve::{GenerateResponse, ServedFrom, ServerStats, ShardStats};
+use fairgen_graph::{Graph, GraphDelta, NodeId, NodeSet};
+use fairgen_serve::{GenerateResponse, ServedFrom, ServerStats, ShardStats, UpdateOutcome};
 
 use crate::codes;
 use crate::json::{obj, Json};
@@ -373,35 +373,196 @@ pub fn encode_generate_params(
     obj(fields)
 }
 
-/// The wire name of a [`ServedFrom`] outcome.
+// ---------------------------------------------------------------------------
+// Graph deltas (`update_graph`)
+// ---------------------------------------------------------------------------
+
+fn edge_pairs(
+    v: &Json,
+    field: &str,
+    limits: &WireLimits,
+) -> Result<Vec<(NodeId, NodeId)>, WireError> {
+    let raw = v.as_arr().ok_or_else(|| wire_err(field, "expected an array of [u, v] pairs"))?;
+    bounded(raw.len(), limits.max_edges, field, "edges")?;
+    let mut pairs = Vec::with_capacity(raw.len());
+    for (i, e) in raw.iter().enumerate() {
+        let item = format!("{field}[{i}]");
+        let pair = e.as_arr().ok_or_else(|| wire_err(&item, "expected a [u, v] pair"))?;
+        if pair.len() != 2 {
+            return Err(wire_err(&item, "expected exactly two endpoints"));
+        }
+        pairs.push((node_id(&pair[0], &item)?, node_id(&pair[1], &item)?));
+    }
+    Ok(pairs)
+}
+
+fn edges_to_json(pairs: &[(NodeId, NodeId)]) -> Json {
+    Json::Arr(
+        pairs
+            .iter()
+            .map(|&(u, v)| Json::Arr(vec![Json::U64(u as u64), Json::U64(v as u64)]))
+            .collect(),
+    )
+}
+
+/// The params of `update_graph`, decoded: the pre-delta request content
+/// (identifying the model lineage being evolved) plus the edge delta.
+#[derive(Clone, Debug)]
+pub struct UpdateParams {
+    /// The pre-delta observed graph.
+    pub graph: Graph,
+    /// Task metadata.
+    pub task: TaskSpec,
+    /// The fit seed.
+    pub fit_seed: u64,
+    /// Edge insertions/removals to apply.
+    pub delta: GraphDelta,
+}
+
+/// Decodes `update_graph` params. The delta is
+/// `{"insert": [[u,v], …], "remove": [[u,v], …]}`; either list may be
+/// absent (empty), both are bounded by [`WireLimits::max_edges`].
+pub fn decode_update_params(
+    params: &Json,
+    limits: &WireLimits,
+) -> Result<UpdateParams, WireError> {
+    if !matches!(params, Json::Obj(_)) {
+        return Err(wire_err("params", "expected an object"));
+    }
+    let graph = graph_from_json(
+        params.get("graph").ok_or_else(|| wire_err("graph", "missing"))?,
+        limits,
+    )?;
+    let task =
+        task_from_json(params.get("task").ok_or_else(|| wire_err("task", "missing"))?, limits)?;
+    let fit_seed = get_u64(params, "fit_seed")?;
+    let delta_json = params.get("delta").ok_or_else(|| wire_err("delta", "missing"))?;
+    if !matches!(delta_json, Json::Obj(_)) {
+        return Err(wire_err("delta", "expected an object"));
+    }
+    let mut delta = GraphDelta::empty();
+    if let Some(ins) = delta_json.get("insert") {
+        delta.insert = edge_pairs(ins, "delta.insert", limits)?;
+    }
+    if let Some(rem) = delta_json.get("remove") {
+        delta.remove = edge_pairs(rem, "delta.remove", limits)?;
+    }
+    Ok(UpdateParams { graph, task, fit_seed, delta })
+}
+
+/// Encodes the params of an `update_graph` call (client side).
+pub fn encode_update_params(
+    graph: &Graph,
+    task: &TaskSpec,
+    fit_seed: u64,
+    delta: &GraphDelta,
+) -> Json {
+    obj(vec![
+        ("graph", graph_to_json(graph)),
+        ("task", task_to_json(task)),
+        ("fit_seed", Json::U64(fit_seed)),
+        (
+            "delta",
+            obj(vec![
+                ("insert", edges_to_json(&delta.insert)),
+                ("remove", edges_to_json(&delta.remove)),
+            ]),
+        ),
+    ])
+}
+
+/// Encodes an [`UpdateOutcome`] as `{"old_fingerprint", "new_fingerprint",
+/// "root_fingerprint", "drift", "refit"}` (fingerprints as hex strings).
+pub fn update_result_to_json(outcome: &UpdateOutcome) -> Json {
+    obj(vec![
+        ("old_fingerprint", Json::Str(outcome.old_fingerprint.to_hex())),
+        ("new_fingerprint", Json::Str(outcome.new_fingerprint.to_hex())),
+        ("root_fingerprint", Json::Str(outcome.root_fingerprint.to_hex())),
+        ("drift", Json::F64(outcome.drift)),
+        ("refit", Json::Bool(outcome.refit)),
+    ])
+}
+
+/// An `update_graph` result decoded on the client side — fingerprints stay
+/// hex strings, like [`GenerateResult::fingerprint`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct UpdateResult {
+    /// Fingerprint of the pre-delta request content.
+    pub old_fingerprint: String,
+    /// Fingerprint of the post-delta request content (the key for
+    /// subsequent `generate` calls).
+    pub new_fingerprint: String,
+    /// The lineage root the drift was measured against.
+    pub root_fingerprint: String,
+    /// Cumulative drift relative to the root's base graph.
+    pub drift: f64,
+    /// Whether the server refitted.
+    pub refit: bool,
+}
+
+/// Decodes an `update_graph` result.
+pub fn update_result_from_json(v: &Json) -> Result<UpdateResult, WireError> {
+    let fp = |field: &str| -> Result<String, WireError> {
+        Ok(v.get(field)
+            .and_then(Json::as_str)
+            .ok_or_else(|| wire_err(field, "missing or not a string"))?
+            .to_string())
+    };
+    Ok(UpdateResult {
+        old_fingerprint: fp("old_fingerprint")?,
+        new_fingerprint: fp("new_fingerprint")?,
+        root_fingerprint: fp("root_fingerprint")?,
+        drift: v
+            .get("drift")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| wire_err("drift", "missing or not a number"))?,
+        refit: v
+            .get("refit")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| wire_err("refit", "missing or not a boolean"))?,
+    })
+}
+
+/// The wire name of a [`ServedFrom`] outcome. A stale outcome's drift
+/// score travels as a separate `drift` field on the result object
+/// (attached by [`generate_result_to_json`]), not in the name.
 pub fn served_from_str(s: ServedFrom) -> &'static str {
     match s {
         ServedFrom::ColdFit => "cold_fit",
         ServedFrom::Memory => "memory",
         ServedFrom::Checkpoint => "checkpoint",
         ServedFrom::DedupCache => "dedup_cache",
+        ServedFrom::Stale { .. } => "stale",
     }
 }
 
-/// Parses a wire [`ServedFrom`] name.
+/// Parses a wire [`ServedFrom`] name. `"stale"` parses with a zero drift
+/// placeholder — [`generate_result_from_json`] restores the real score
+/// from the result's `drift` field.
 pub fn served_from_parse(s: &str) -> Option<ServedFrom> {
     match s {
         "cold_fit" => Some(ServedFrom::ColdFit),
         "memory" => Some(ServedFrom::Memory),
         "checkpoint" => Some(ServedFrom::Checkpoint),
         "dedup_cache" => Some(ServedFrom::DedupCache),
+        "stale" => Some(ServedFrom::Stale { drift: 0.0 }),
         _ => None,
     }
 }
 
 /// Encodes a serving response as
-/// `{"fingerprint": "<hex>", "served_from": "<outcome>", "graphs": […]}`.
+/// `{"fingerprint": "<hex>", "served_from": "<outcome>", "graphs": […]}`,
+/// plus a `drift` number when the outcome is stale-but-bounded.
 pub fn generate_result_to_json(response: &GenerateResponse) -> Json {
-    obj(vec![
+    let mut fields = vec![
         ("fingerprint", Json::Str(response.fingerprint.to_hex())),
         ("served_from", Json::Str(served_from_str(response.served_from).into())),
-        ("graphs", Json::Arr(response.graphs.iter().map(graph_to_json).collect())),
-    ])
+    ];
+    if let ServedFrom::Stale { drift } = response.served_from {
+        fields.push(("drift", Json::F64(drift)));
+    }
+    fields.push(("graphs", Json::Arr(response.graphs.iter().map(graph_to_json).collect())));
+    obj(fields)
 }
 
 /// A `generate`/`generate_batch` result decoded on the client side. The
@@ -428,11 +589,18 @@ pub fn generate_result_from_json(
         .and_then(Json::as_str)
         .ok_or_else(|| wire_err("fingerprint", "missing or not a string"))?
         .to_string();
-    let served_from = v
+    let mut served_from = v
         .get("served_from")
         .and_then(Json::as_str)
         .and_then(served_from_parse)
         .ok_or_else(|| wire_err("served_from", "missing or unknown outcome"))?;
+    if let ServedFrom::Stale { drift } = &mut served_from {
+        *drift = v
+            .get("drift")
+            .ok_or_else(|| wire_err("drift", "missing on a stale outcome"))?
+            .as_f64()
+            .ok_or_else(|| wire_err("drift", "expected a number"))?;
+    }
     let raw = v
         .get("graphs")
         .and_then(Json::as_arr)
@@ -475,6 +643,9 @@ fn shard_stats_to_json(s: &ShardStats) -> Json {
                 ("checkpoint_loads", Json::U64(s.registry.checkpoint_loads)),
                 ("evictions", Json::U64(s.registry.evictions)),
                 ("spills", Json::U64(s.registry.spills)),
+                ("stale_hits", Json::U64(s.registry.stale_hits)),
+                ("delta_updates", Json::U64(s.registry.delta_updates)),
+                ("drift_refits", Json::U64(s.registry.drift_refits)),
             ]),
         ),
     ])
@@ -522,6 +693,24 @@ pub fn stats_to_json(stats: &ServerStats) -> Json {
                 ("shed_deadline", Json::U64(stats.admission.shed_deadline)),
                 ("dropped_total", Json::U64(stats.admission.dropped_total)),
             ]),
+        ),
+        (
+            "store",
+            match &stats.store {
+                Some(s) => obj(vec![
+                    ("published", Json::U64(s.published)),
+                    ("loads", Json::U64(s.loads)),
+                    ("corrupt_quarantined", Json::U64(s.corrupt_quarantined)),
+                    ("pruned_files", Json::U64(s.pruned_files)),
+                    ("pruned_bytes", Json::U64(s.pruned_bytes)),
+                    ("tmp_swept", Json::U64(s.tmp_swept)),
+                    ("adopted", Json::U64(s.adopted)),
+                    ("total_bytes", Json::U64(s.total_bytes)),
+                    ("fingerprints", Json::U64(s.fingerprints)),
+                    ("generations", Json::U64(s.generations)),
+                ]),
+                None => Json::Null,
+            },
         ),
         ("dropped", Json::Arr(dropped)),
     ])
@@ -719,6 +908,87 @@ mod tests {
         ] {
             assert_eq!(served_from_parse(served_from_str(s)), Some(s));
         }
+        // A stale outcome's name drops the drift — the result object's
+        // `drift` field carries it instead (tested below).
+        assert_eq!(served_from_str(ServedFrom::Stale { drift: 0.25 }), "stale");
+        assert_eq!(served_from_parse("stale"), Some(ServedFrom::Stale { drift: 0.0 }));
         assert_eq!(served_from_parse("warp_drive"), None);
+    }
+
+    #[test]
+    fn stale_results_carry_drift_through_the_wire() {
+        let response = GenerateResponse {
+            fingerprint: fairgen_graph::FingerprintBuilder::new().add_u64(9).finish(),
+            served_from: ServedFrom::Stale { drift: 0.0625 },
+            graphs: vec![ring(4)],
+        };
+        let encoded = generate_result_to_json(&response).encode();
+        let back =
+            generate_result_from_json(&parse(encoded.as_bytes()).unwrap(), &limits()).unwrap();
+        assert_eq!(back.served_from, ServedFrom::Stale { drift: 0.0625 });
+        assert_eq!(back.graphs, response.graphs);
+
+        // A stale outcome without its drift field is a schema error, not a
+        // silent zero.
+        let stripped = parse(
+            br#"{"fingerprint": "00000000000000000000000000000000",
+                 "served_from": "stale", "graphs": []}"#,
+        )
+        .unwrap();
+        let err = generate_result_from_json(&stripped, &limits()).expect_err("missing drift");
+        assert_eq!(err.field, "drift");
+    }
+
+    #[test]
+    fn update_params_and_result_round_trip() {
+        let g = ring(6);
+        let task = TaskSpec::unlabeled();
+        let mut delta = GraphDelta::empty();
+        delta.insert.push((0, 3));
+        delta.remove.push((1, 2));
+        let params = encode_update_params(&g, &task, 7, &delta);
+        let back = decode_update_params(&parse(params.encode().as_bytes()).unwrap(), &limits())
+            .expect("decode");
+        assert_eq!(back.graph, g);
+        assert_eq!(back.fit_seed, 7);
+        assert_eq!(back.delta.insert, delta.insert);
+        assert_eq!(back.delta.remove, delta.remove);
+
+        let outcome = UpdateOutcome {
+            old_fingerprint: fairgen_graph::FingerprintBuilder::new().add_u64(1).finish(),
+            new_fingerprint: fairgen_graph::FingerprintBuilder::new().add_u64(2).finish(),
+            root_fingerprint: fairgen_graph::FingerprintBuilder::new().add_u64(3).finish(),
+            drift: 0.5,
+            refit: true,
+        };
+        let encoded = update_result_to_json(&outcome).encode();
+        let back = update_result_from_json(&parse(encoded.as_bytes()).unwrap()).unwrap();
+        assert_eq!(back.old_fingerprint, outcome.old_fingerprint.to_hex());
+        assert_eq!(back.new_fingerprint, outcome.new_fingerprint.to_hex());
+        assert_eq!(back.root_fingerprint, outcome.root_fingerprint.to_hex());
+        assert_eq!(back.drift, 0.5);
+        assert!(back.refit);
+
+        // Absent delta lists decode as empty; an oversized one is bounded.
+        let sparse = parse(
+            br#"{"graph": {"n": 3, "edges": []},
+                 "task": {"labeled": [], "num_classes": 0, "protected": null},
+                 "fit_seed": 0, "delta": {}}"#,
+        )
+        .unwrap();
+        let back = decode_update_params(&sparse, &limits()).expect("empty delta");
+        assert!(back.delta.is_empty());
+        let tight = WireLimits { max_edges: 0, ..limits() };
+        let err = decode_update_params(
+            &parse(
+                br#"{"graph": {"n": 3, "edges": []},
+                     "task": {"labeled": [], "num_classes": 0, "protected": null},
+                     "fit_seed": 0, "delta": {"insert": [[0,1]]}}"#,
+            )
+            .unwrap(),
+            &tight,
+        )
+        .expect_err("bounded");
+        assert_eq!(err.field, "delta.insert");
     }
 }

@@ -278,7 +278,11 @@ fn shutdown_spills_and_a_new_server_warm_starts() {
     let dir = temp_dir("rpc-restart");
     let cfg = ServerConfig {
         shards: 2,
-        registry: RegistryConfig { capacity: 4, checkpoint_dir: Some(dir.clone()) },
+        registry: RegistryConfig {
+            capacity: 4,
+            checkpoint_dir: Some(dir.clone()),
+            ..RegistryConfig::default()
+        },
         dedup_capacity: 0,
         ..ServerConfig::default()
     };
@@ -297,4 +301,55 @@ fn shutdown_spills_and_a_new_server_warm_starts() {
     assert_eq!(revived.served_from, ServedFrom::Checkpoint, "restart must not refit");
     assert_eq!(revived.graphs, original.graphs);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The evolving-graph path over the socket: `update_graph` under the
+/// drift threshold answers `refit: false`, a follow-up `generate` for the
+/// updated graph is served `stale` with the same drift and the *root*
+/// model's bytes, and the delta counters surface in the `stats` method.
+#[test]
+fn update_graph_round_trips_and_serves_stale_over_the_socket() {
+    use fairgen_graph::GraphDelta;
+
+    let rpc = spawn_rpc(ServerConfig {
+        shards: 2,
+        registry: RegistryConfig { drift_threshold: 0.5, ..RegistryConfig::default() },
+        ..ServerConfig::default()
+    });
+    let mut client = RpcClient::connect(rpc.local_addr()).expect("connect");
+    let (g, task) = (ring(40), TaskSpec::unlabeled());
+
+    let base = client.generate(&g, &task, 3, 9).expect("base");
+    assert_eq!(base.served_from, ServedFrom::ColdFit);
+
+    let delta = GraphDelta { insert: vec![(0, 20)], remove: Vec::new() };
+    let outcome = client.update_graph(&g, &task, 3, &delta).expect("update");
+    assert!(!outcome.refit, "one chord must stay under a 0.5 threshold");
+    assert!(outcome.drift > 0.0 && outcome.drift <= 0.5);
+    assert_eq!(outcome.old_fingerprint, base.fingerprint);
+    assert_eq!(outcome.root_fingerprint, base.fingerprint);
+    assert_ne!(outcome.new_fingerprint, base.fingerprint);
+
+    let updated = g.apply_delta(&delta).expect("apply");
+    let stale = client.generate(&updated, &task, 3, 9).expect("stale");
+    match stale.served_from {
+        ServedFrom::Stale { drift } => assert_eq!(drift, outcome.drift),
+        other => panic!("expected stale serving, got {other:?}"),
+    }
+    assert_eq!(stale.fingerprint, outcome.new_fingerprint);
+    assert_eq!(stale.graphs, base.graphs, "stale serving must reuse the root model's bytes");
+
+    let stats = client.stats().expect("stats");
+    let shards = stats.get("shards").and_then(Json::as_arr).expect("shards");
+    let sum = |key: &str| -> u64 {
+        shards
+            .iter()
+            .map(|s| {
+                s.get("registry").and_then(|r| r.get(key)).and_then(Json::as_u64).unwrap_or(0)
+            })
+            .sum()
+    };
+    assert_eq!(sum("delta_updates"), 1);
+    assert_eq!(sum("stale_hits"), 1);
+    assert_eq!(sum("drift_refits"), 0);
 }

@@ -14,11 +14,20 @@
 //!   same-key requests into one `generate_batch` call.
 //! * **LRU eviction under a budget** — [`RegistryConfig::capacity`] bounds
 //!   resident models; victims are the least recently used.
-//! * **Checkpoint spill / warm start** — with
-//!   [`RegistryConfig::checkpoint_dir`] set, evicted models are spilled as
-//!   `fairgen_core::checkpoint` files and unknown keys are warm-started
-//!   from disk (including files written by a previous process), so a
-//!   restart costs a deserialization, not a retraining run.
+//! * **Managed checkpoint store** — with
+//!   [`RegistryConfig::checkpoint_dir`] set, evicted models are published
+//!   into a [`fairgen_store::ModelStore`] (generation-counted files, a
+//!   versioned manifest, retention pruning, corruption quarantine) and
+//!   unknown keys are warm-started from the newest intact generation —
+//!   including files written by a previous process — so a restart costs a
+//!   deserialization, not a retraining run.
+//! * **Evolving graphs, stale-but-bounded** —
+//!   [`ModelRegistry::apply_delta`] / [`FairGenServer::update_graph`]
+//!   register edge deltas: while the cumulative
+//!   [drift](fairgen_graph::DriftScore) stays under
+//!   [`RegistryConfig::drift_threshold`] the updated graph is served by
+//!   its lineage-root model ([`ServedFrom::Stale`]); the first crossing
+//!   triggers exactly one refit.
 //! * [`FairGenServer`] — the **concurrent front-end** over all of the
 //!   above: N registry shards (requests route by `fingerprint mod shards`)
 //!   behind per-shard work queues, cross-client coalescing of
@@ -41,7 +50,11 @@
 //! #     -> fairgen_core::error::Result<()> {
 //! let mut registry = ModelRegistry::with_config(
 //!     Box::new(FairGenGenerator::new(FairGenConfig::default())),
-//!     RegistryConfig { capacity: 4, checkpoint_dir: Some("ckpt".into()) },
+//!     RegistryConfig {
+//!         capacity: 4,
+//!         checkpoint_dir: Some("ckpt".into()),
+//!         ..RegistryConfig::default()
+//!     },
 //! )?;
 //! // Fits FairGen once…
 //! let first = registry.handle(&GenerateRequest::new(&g, &task, 42, vec![1, 2, 3]))?;
@@ -58,10 +71,11 @@ pub mod request;
 pub mod server;
 
 pub use dedup::{DedupCache, DedupKey};
-pub use queue::PendingResponse;
+pub use queue::{Pending, PendingResponse, PendingUpdate};
 pub use registry::{ModelRegistry, RegistryConfig, RegistryStats};
 pub use request::{
     fingerprint_request, fingerprint_with, GenerateRequest, GenerateResponse, ServedFrom,
+    UpdateOutcome,
 };
 pub use server::{
     drain_width_bucket, shard_for, AdmissionStats, FairGenServer, ServerConfig, ServerStats,
@@ -77,3 +91,7 @@ pub use fairgen_admission::{
     AdmissionConfig, Clock, DropReason, DroppedEntry, Lane, ManualClock, QueueStats,
     RateConfig, SystemClock, TenantId,
 };
+
+// The store vocabulary rides along for the same reason: retention policy
+// is part of `RegistryConfig`, and `ServerStats` embeds a store snapshot.
+pub use fairgen_store::{ModelStore, RetentionPolicy, StoreStats};

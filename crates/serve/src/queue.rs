@@ -6,6 +6,8 @@
 //! crate-private `Job` is that owned form ([`Arc`]s, so many same-content
 //! requests share one allocation), paired with a response slot the worker
 //! fulfills and a [`PendingResponse`] the submitting client blocks on.
+//! Graph-delta updates ride the same queue as a second
+//! `JobPayload` variant, redeemed through [`PendingUpdate`].
 //!
 //! The queue itself is a [`fairgen_admission::AdmissionQueue`] — a bounded
 //! two-lane channel with deadline shedding; shard workers consume with
@@ -21,30 +23,38 @@ use std::sync::{Arc, Condvar, Mutex};
 use fairgen_admission::{AdmissionQueue, DropReason};
 use fairgen_baselines::TaskSpec;
 use fairgen_core::error::{FairGenError, Result};
-use fairgen_graph::{Graph, GraphFingerprint};
+use fairgen_graph::{Graph, GraphDelta, GraphFingerprint};
 
-use crate::request::GenerateResponse;
+use crate::request::{GenerateResponse, UpdateOutcome};
 
-/// An owned generation request queued for a shard worker, routed by its
-/// precomputed fingerprint.
+/// What a queued job asks the shard worker to do.
+pub(crate) enum JobPayload {
+    /// Draw one synthetic graph per sample seed.
+    Generate { sample_seeds: Vec<u64>, slot: ResponseSlot<GenerateResponse> },
+    /// Register an edge delta against the job's graph (stale-serve or
+    /// refit per the registry's drift threshold).
+    Update { delta: GraphDelta, slot: ResponseSlot<UpdateOutcome> },
+}
+
+/// An owned request queued for a shard worker, routed by its precomputed
+/// fingerprint.
 pub(crate) struct Job {
     pub graph: Arc<Graph>,
     pub task: Arc<TaskSpec>,
     pub fit_seed: u64,
-    pub sample_seeds: Vec<u64>,
     /// The cache key, computed by the front-end's routing generator. The
     /// shard registry recomputes it from the same content and config, so
     /// routing and caching can never disagree.
     pub fingerprint: GraphFingerprint,
-    pub slot: ResponseSlot,
+    pub payload: JobPayload,
 }
 
 /// A shard's work queue: jobs enter through the admission layer (capacity
 /// bound, priority lanes, deadline tags) and leave in drained batches.
 pub(crate) type ShardQueue = AdmissionQueue<Job>;
 
-struct SlotInner {
-    value: Mutex<Option<Result<GenerateResponse>>>,
+struct SlotInner<T> {
+    value: Mutex<Option<Result<T>>>,
     ready: Condvar,
 }
 
@@ -53,18 +63,18 @@ struct SlotInner {
 /// Dropping an unfulfilled slot — a shard worker unwinding mid-batch, a
 /// job discarded from a closed queue — delivers a typed `Internal` error
 /// instead of leaving the client parked on the condvar forever.
-pub(crate) struct ResponseSlot {
-    inner: Option<Arc<SlotInner>>,
+pub(crate) struct ResponseSlot<T> {
+    inner: Option<Arc<SlotInner<T>>>,
 }
 
-impl ResponseSlot {
+impl<T> ResponseSlot<T> {
     /// Delivers the response and wakes the waiting client. Consumes the
     /// slot, so a double-fulfill is unrepresentable.
-    pub fn fulfill(mut self, response: Result<GenerateResponse>) {
+    pub fn fulfill(mut self, response: Result<T>) {
         self.deliver(response);
     }
 
-    fn deliver(&mut self, response: Result<GenerateResponse>) {
+    fn deliver(&mut self, response: Result<T>) {
         let Some(inner) = self.inner.take() else { return };
         // Tolerate a poisoned slot mutex: this also runs from `Drop`
         // during a panic unwind, where a second panic would abort.
@@ -75,7 +85,7 @@ impl ResponseSlot {
     }
 }
 
-impl Drop for ResponseSlot {
+impl<T> Drop for ResponseSlot<T> {
     fn drop(&mut self) {
         self.deliver(Err(FairGenError::Internal {
             detail: "shard worker dropped the request without serving it".into(),
@@ -83,20 +93,27 @@ impl Drop for ResponseSlot {
     }
 }
 
-/// A claim on a response that has been queued but possibly not yet served.
+/// A claim on a queued result that has possibly not been served yet.
 ///
-/// Returned by [`FairGenServer::submit`](crate::FairGenServer::submit);
-/// redeem it with [`PendingResponse::wait`]. Dropping it without waiting
-/// abandons the response (the worker still computes it).
-#[must_use = "a pending response does nothing until waited on"]
-pub struct PendingResponse {
-    inner: Arc<SlotInner>,
+/// Redeem it with [`Pending::wait`]. Dropping it without waiting abandons
+/// the result (the worker still computes it).
+#[must_use = "a pending result does nothing until waited on"]
+pub struct Pending<T> {
+    inner: Arc<SlotInner<T>>,
 }
 
-impl PendingResponse {
+/// A claim on a generation response, returned by
+/// [`FairGenServer::submit`](crate::FairGenServer::submit).
+pub type PendingResponse = Pending<GenerateResponse>;
+
+/// A claim on a graph-delta update outcome, returned by
+/// [`FairGenServer::submit_update`](crate::FairGenServer::submit_update).
+pub type PendingUpdate = Pending<UpdateOutcome>;
+
+impl<T> Pending<T> {
     /// Blocks until the shard worker fulfills the slot and returns the
-    /// response.
-    pub fn wait(self) -> Result<GenerateResponse> {
+    /// result.
+    pub fn wait(self) -> Result<T> {
         let mut value = self.inner.value.lock().expect("response slot");
         loop {
             if let Some(response) = value.take() {
@@ -106,23 +123,23 @@ impl PendingResponse {
         }
     }
 
-    /// Non-blocking probe: takes the response if it is already there.
-    pub fn try_take(&self) -> Option<Result<GenerateResponse>> {
+    /// Non-blocking probe: takes the result if it is already there.
+    pub fn try_take(&self) -> Option<Result<T>> {
         self.inner.value.lock().expect("response slot").take()
     }
 }
 
-impl std::fmt::Debug for PendingResponse {
+impl<T> std::fmt::Debug for Pending<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let ready = self.inner.value.lock().expect("response slot").is_some();
-        f.debug_struct("PendingResponse").field("ready", &ready).finish()
+        f.debug_struct("Pending").field("ready", &ready).finish()
     }
 }
 
 /// A fresh slot/claim pair for one request.
-pub(crate) fn response_slot() -> (ResponseSlot, PendingResponse) {
+pub(crate) fn response_slot<T>() -> (ResponseSlot<T>, Pending<T>) {
     let inner = Arc::new(SlotInner { value: Mutex::new(None), ready: Condvar::new() });
-    (ResponseSlot { inner: Some(Arc::clone(&inner)) }, PendingResponse { inner })
+    (ResponseSlot { inner: Some(Arc::clone(&inner)) }, Pending { inner })
 }
 
 /// The error every submit rejected by a closed server receives. The RPC
@@ -156,7 +173,7 @@ mod tests {
 
     #[test]
     fn fulfilled_slot_wakes_the_waiter() {
-        let (slot, pending) = response_slot();
+        let (slot, pending) = response_slot::<GenerateResponse>();
         let waiter = std::thread::spawn(move || pending.wait());
         slot.fulfill(Ok(dummy_response()));
         let response = waiter.join().expect("waiter").expect("response");
@@ -165,7 +182,7 @@ mod tests {
 
     #[test]
     fn try_take_is_none_until_fulfilled() {
-        let (slot, pending) = response_slot();
+        let (slot, pending) = response_slot::<GenerateResponse>();
         assert!(pending.try_take().is_none());
         slot.fulfill(Err(shutdown_error()));
         assert!(matches!(pending.try_take(), Some(Err(FairGenError::ServerClosed))));
@@ -174,7 +191,7 @@ mod tests {
 
     #[test]
     fn dropped_slot_delivers_an_error_instead_of_hanging() {
-        let (slot, pending) = response_slot();
+        let (slot, pending) = response_slot::<GenerateResponse>();
         let waiter = std::thread::spawn(move || pending.wait());
         drop(slot); // worker died / job discarded
         let result = waiter.join().expect("waiter");

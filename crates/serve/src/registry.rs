@@ -2,14 +2,15 @@
 
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use fairgen_baselines::persist::{PersistableGenerator, PersistableGraphGenerator};
 use fairgen_baselines::TaskSpec;
-use fairgen_core::checkpoint;
 use fairgen_core::error::{FairGenError, Result};
-use fairgen_graph::{Graph, GraphFingerprint};
+use fairgen_graph::{drift_between, Graph, GraphDelta, GraphFingerprint};
+use fairgen_store::{ModelStore, RetentionPolicy, StoreStats};
 
-use crate::request::{GenerateRequest, GenerateResponse, ServedFrom};
+use crate::request::{GenerateRequest, GenerateResponse, ServedFrom, UpdateOutcome};
 
 /// Registry resource policy.
 #[derive(Clone, Debug)]
@@ -17,15 +18,35 @@ pub struct RegistryConfig {
     /// Maximum fitted models resident in memory; the least-recently-used
     /// entry is evicted past this budget. Must be at least 1.
     pub capacity: usize,
-    /// When set, the registry *warm-starts* unknown fingerprints from
-    /// `<dir>/fg-<fingerprint>.ckpt` before fitting, and *spills* evicted
-    /// models there instead of discarding the training work.
+    /// When set, the registry opens a [`ModelStore`] over this directory:
+    /// unknown fingerprints *warm-start* from the newest intact
+    /// generation-counted checkpoint (`fg-<fp>.g<N>.ckpt`; legacy flat
+    /// `fg-<fp>.ckpt` files are adopted as generation 1), and evicted
+    /// models *publish* a fresh generation there instead of discarding the
+    /// training work.
     pub checkpoint_dir: Option<PathBuf>,
+    /// On-disk retention for the checkpoint store: generations kept per
+    /// fingerprint and the optional total-byte budget. Ignored without a
+    /// `checkpoint_dir`.
+    pub retention: RetentionPolicy,
+    /// How much structural drift ([`DriftScore::score`]) an evolving graph
+    /// may accumulate — via [`ModelRegistry::apply_delta`] — before the
+    /// registry stops serving the stale lineage-root model and refits.
+    /// `0.0` refits on every delta; the default `0.1` tolerates a 10%
+    /// degree/adjacency shift.
+    ///
+    /// [`DriftScore::score`]: fairgen_graph::DriftScore::score
+    pub drift_threshold: f64,
 }
 
 impl Default for RegistryConfig {
     fn default() -> Self {
-        RegistryConfig { capacity: 8, checkpoint_dir: None }
+        RegistryConfig {
+            capacity: 8,
+            checkpoint_dir: None,
+            retention: RetentionPolicy::default(),
+            drift_threshold: 0.1,
+        }
     }
 }
 
@@ -35,9 +56,11 @@ pub struct RegistryStats {
     /// Requests answered (batched same-key requests each count once).
     pub requests: u64,
     /// Models fitted from scratch — the expensive event the registry
-    /// exists to amortize.
+    /// exists to amortize. (Drift-triggered refits count separately in
+    /// [`drift_refits`](RegistryStats::drift_refits).)
     pub cold_fits: u64,
-    /// Requests answered by a memory-resident model.
+    /// Requests answered by a memory-resident model under their own
+    /// fingerprint.
     pub memory_hits: u64,
     /// Models warm-started from a checkpoint file.
     pub checkpoint_loads: u64,
@@ -45,6 +68,16 @@ pub struct RegistryStats {
     pub evictions: u64,
     /// Evicted models spilled to checkpoint files.
     pub spills: u64,
+    /// Requests answered by a **stale-but-bounded** lineage-root model:
+    /// the request graph had drifted (within threshold) from the graph the
+    /// model was fitted on.
+    pub stale_hits: u64,
+    /// Graph deltas applied through [`ModelRegistry::apply_delta`]
+    /// (whether or not they triggered a refit).
+    pub delta_updates: u64,
+    /// Deltas whose cumulative drift crossed the threshold and forced a
+    /// refit on the updated graph.
+    pub drift_refits: u64,
 }
 
 impl RegistryStats {
@@ -57,6 +90,9 @@ impl RegistryStats {
         self.checkpoint_loads += other.checkpoint_loads;
         self.evictions += other.evictions;
         self.spills += other.spills;
+        self.stale_hits += other.stale_hits;
+        self.delta_updates += other.delta_updates;
+        self.drift_refits += other.drift_refits;
     }
 
     /// Models fitted from scratch — alias for
@@ -78,12 +114,33 @@ struct Entry {
     dirty: bool,
 }
 
+/// Where a drifted fingerprint's serving model came from: the lineage root
+/// it aliases, the graph that root was fitted on (drift is always measured
+/// against it, so chained deltas accumulate instead of resetting), and the
+/// drift at registration time.
+struct Lineage {
+    root: GraphFingerprint,
+    base_graph: Arc<Graph>,
+    drift: f64,
+}
+
 /// A long-lived model cache over one generator family: fits **once** per
 /// distinct [`GraphFingerprint`], serves every later request from the
 /// cached [`PersistableGenerator`], batches same-key requests through
 /// `generate_batch`, evicts LRU past a configurable budget, and — when a
-/// checkpoint directory is configured — spills evicted models to disk and
-/// warm-starts from files written by any earlier process.
+/// checkpoint directory is configured — spills evicted models into a
+/// managed [`ModelStore`] (generational files, retention, corruption
+/// quarantine) and warm-starts from the newest intact generation written
+/// by any earlier process.
+///
+/// For **evolving graphs**, [`ModelRegistry::apply_delta`] registers edge
+/// insertions/removals: while the cumulative [drift] stays at or under
+/// [`RegistryConfig::drift_threshold`] the updated graph's fingerprint is
+/// aliased to its lineage root and served by the existing (stale but
+/// bounded) model; the first delta to cross the threshold triggers exactly
+/// one refit on the updated graph.
+///
+/// [drift]: fairgen_graph::DriftScore
 ///
 /// ```no_run
 /// use fairgen_baselines::{ErGenerator, TaskSpec};
@@ -100,6 +157,8 @@ pub struct ModelRegistry {
     generator: Box<dyn PersistableGraphGenerator>,
     cfg: RegistryConfig,
     entries: HashMap<GraphFingerprint, Entry>,
+    lineage: HashMap<GraphFingerprint, Lineage>,
+    store: Option<ModelStore>,
     clock: u64,
     stats: RegistryStats,
 }
@@ -112,17 +171,34 @@ impl ModelRegistry {
             .expect("default config is valid")
     }
 
-    /// A registry with an explicit policy. Creates the checkpoint
-    /// directory if configured.
+    /// A registry with an explicit policy. Opens a [`ModelStore`] over the
+    /// checkpoint directory when one is configured (creating it, sweeping
+    /// publish debris, and adopting legacy flat checkpoints).
     ///
     /// # Errors
     ///
-    /// [`FairGenError::InvalidConfig`] on a zero capacity;
-    /// [`FairGenError::Io`] when the checkpoint directory cannot be
-    /// created.
+    /// [`FairGenError::InvalidConfig`] on a zero capacity or a
+    /// non-finite/negative drift threshold; [`FairGenError::Io`] when the
+    /// checkpoint directory cannot be opened.
     pub fn with_config(
         generator: Box<dyn PersistableGraphGenerator>,
         cfg: RegistryConfig,
+    ) -> Result<Self> {
+        let store = match &cfg.checkpoint_dir {
+            Some(dir) => Some(ModelStore::open(dir, cfg.retention)?),
+            None => None,
+        };
+        Self::with_store(generator, cfg, store)
+    }
+
+    /// A registry over an already-open store — how the sharded server
+    /// gives every shard registry the *same* [`ModelStore`] (it is a cheap
+    /// handle clone), so retention and quarantine are enforced once per
+    /// directory instead of once per shard.
+    pub fn with_store(
+        generator: Box<dyn PersistableGraphGenerator>,
+        cfg: RegistryConfig,
+        store: Option<ModelStore>,
     ) -> Result<Self> {
         if cfg.capacity == 0 {
             return Err(FairGenError::InvalidConfig {
@@ -130,13 +206,21 @@ impl ModelRegistry {
                 message: "registry needs room for at least one model".into(),
             });
         }
-        if let Some(dir) = &cfg.checkpoint_dir {
-            std::fs::create_dir_all(dir)?;
+        if !cfg.drift_threshold.is_finite() || cfg.drift_threshold < 0.0 {
+            return Err(FairGenError::InvalidConfig {
+                field: "drift_threshold",
+                message: format!(
+                    "drift threshold must be finite and non-negative, got {}",
+                    cfg.drift_threshold
+                ),
+            });
         }
         Ok(ModelRegistry {
             generator,
             cfg,
             entries: HashMap::new(),
+            lineage: HashMap::new(),
+            store,
             clock: 0,
             stats: RegistryStats::default(),
         })
@@ -167,7 +251,8 @@ impl ModelRegistry {
         self.entries.is_empty()
     }
 
-    /// Whether a fingerprint is currently resident in memory.
+    /// Whether a fingerprint is currently resident in memory (under its
+    /// own key; drifted aliases resolve to their lineage root first).
     pub fn contains(&self, fp: GraphFingerprint) -> bool {
         self.entries.contains_key(&fp)
     }
@@ -177,14 +262,31 @@ impl ModelRegistry {
         self.stats
     }
 
-    /// Answers one request: resolve the fingerprint to a model (memory →
-    /// checkpoint → fresh fit), draw one graph per sample seed through
-    /// `generate_batch`, and report where the model came from.
+    /// A snapshot of the backing [`ModelStore`]'s counters, when a
+    /// checkpoint directory is configured.
+    pub fn store_stats(&self) -> Option<StoreStats> {
+        self.store.as_ref().map(|s| s.stats())
+    }
+
+    /// The backing model store handle, when configured.
+    pub fn store(&self) -> Option<&ModelStore> {
+        self.store.as_ref()
+    }
+
+    /// The lineage root a fingerprint currently serves from: `fp` itself
+    /// unless a within-threshold delta chain aliases it to an older fit.
+    pub fn lineage_root(&self, fp: GraphFingerprint) -> GraphFingerprint {
+        self.lineage.get(&fp).map(|l| l.root).unwrap_or(fp)
+    }
+
+    /// Answers one request: resolve the fingerprint to a model (lineage
+    /// alias → memory → checkpoint → fresh fit), draw one graph per sample
+    /// seed through `generate_batch`, and report where the model came from.
     pub fn handle(&mut self, req: &GenerateRequest) -> Result<GenerateResponse> {
         let fp = self.fingerprint(req.graph, req.task, req.fit_seed);
-        let served_from = self.ensure(fp, req)?;
+        let (served_from, effective) = self.ensure(fp, req)?;
         self.stats.requests += 1;
-        let graphs = self.generate_on(fp, &req.sample_seeds)?;
+        let graphs = self.generate_on(effective, &req.sample_seeds)?;
         Ok(GenerateResponse { fingerprint: fp, served_from, graphs })
     }
 
@@ -233,15 +335,20 @@ impl ModelRegistry {
         let mut responses: Vec<(usize, GenerateResponse)> = Vec::with_capacity(reqs.len());
         for fp in order {
             let members = &groups[&fp];
-            let served_from = self.ensure(fp, &reqs[members[0]])?;
+            let (served_from, effective) = self.ensure(fp, &reqs[members[0]])?;
             // The group resolved once; its remaining members are served by
             // the now-resident model, so per-request counters stay
             // consistent (requests == cold_fits + memory_hits +
-            // checkpoint_loads).
-            self.stats.memory_hits += members.len() as u64 - 1;
+            // checkpoint_loads + stale_hits).
+            let rest = members.len() as u64 - 1;
+            if matches!(served_from, ServedFrom::Stale { .. }) {
+                self.stats.stale_hits += rest;
+            } else {
+                self.stats.memory_hits += rest;
+            }
             let merged: Vec<u64> =
                 members.iter().flat_map(|&i| reqs[i].sample_seeds.iter().copied()).collect();
-            let mut graphs = self.generate_on(fp, &merged)?;
+            let mut graphs = self.generate_on(effective, &merged)?;
             // Split the batched output back per request, front to back.
             for &i in members.iter().rev() {
                 let tail = graphs.split_off(graphs.len() - reqs[i].sample_seeds.len());
@@ -267,21 +374,85 @@ impl ModelRegistry {
         Ok(responses.into_iter().map(|(_, r)| r).collect())
     }
 
-    /// Spills every **dirty** resident model to the checkpoint directory
-    /// (no-op without one configured) and marks it clean, so repeated
-    /// spills — or a later eviction — never rewrite unchanged bytes.
-    /// Returns how many files were written.
+    /// Registers an edge-delta update to an observed graph and decides
+    /// between **stale-but-bounded serving** and a refit.
+    ///
+    /// The pre-delta request content (graph/task/fit seed) identifies the
+    /// model being evolved; the post-delta graph is built incrementally via
+    /// [`Graph::apply_delta`]. Drift is measured against the graph the
+    /// lineage *root* model was fitted on — so chained deltas accumulate —
+    /// and:
+    ///
+    /// * **drift ≤ threshold**: the new fingerprint is aliased to the root
+    ///   and later `generate` requests for the updated graph are answered
+    ///   by the existing model, reported as [`ServedFrom::Stale`]. No fit
+    ///   happens.
+    /// * **drift > threshold**: the registry refits on the updated graph
+    ///   (counted in [`RegistryStats::drift_refits`], *not* `cold_fits`)
+    ///   and the new fingerprint becomes its own lineage root; its samples
+    ///   are byte-identical to a fit-from-scratch on the updated graph.
+    ///
+    /// Clients need not replay history: an unknown pre-delta fingerprint
+    /// starts a fresh lineage rooted at the pre-delta graph.
+    pub fn apply_delta(
+        &mut self,
+        graph: &Arc<Graph>,
+        task: &TaskSpec,
+        fit_seed: u64,
+        delta: &GraphDelta,
+    ) -> Result<UpdateOutcome> {
+        let old_fp = self.fingerprint(graph, task, fit_seed);
+        let new_graph = Arc::new(graph.apply_delta(delta)?);
+        let new_fp = self.fingerprint(&new_graph, task, fit_seed);
+        let (root, base_graph) = match self.lineage.get(&old_fp) {
+            Some(lin) => (lin.root, Arc::clone(&lin.base_graph)),
+            None => (old_fp, Arc::clone(graph)),
+        };
+        let drift = drift_between(&base_graph, &new_graph)?.score();
+        self.stats.delta_updates += 1;
+        if drift <= self.cfg.drift_threshold {
+            if new_fp != root {
+                self.lineage.insert(new_fp, Lineage { root, base_graph, drift });
+            }
+            return Ok(UpdateOutcome {
+                old_fingerprint: old_fp,
+                new_fingerprint: new_fp,
+                root_fingerprint: root,
+                drift,
+                refit: false,
+            });
+        }
+        // Threshold crossed: the updated graph gets its own fit, under its
+        // own fingerprint, and becomes a fresh lineage root. The fit runs
+        // eagerly (not lazily on next generate) so the decision is visible
+        // in the outcome and the next request is already warm.
+        self.lineage.remove(&new_fp);
+        self.clock += 1;
+        let model = self.generator.fit_persistable(&new_graph, task, fit_seed)?;
+        self.stats.drift_refits += 1;
+        self.entries.insert(new_fp, Entry { model, last_used: self.clock, dirty: true });
+        self.evict_over_budget()?;
+        Ok(UpdateOutcome {
+            old_fingerprint: old_fp,
+            new_fingerprint: new_fp,
+            root_fingerprint: root,
+            drift,
+            refit: true,
+        })
+    }
+
+    /// Spills every **dirty** resident model into the checkpoint store
+    /// (no-op without one configured) as a fresh generation and marks it
+    /// clean, so repeated spills — or a later eviction — never rewrite
+    /// unchanged bytes. Returns how many checkpoints were published.
     pub fn spill_all(&mut self) -> Result<usize> {
-        let Some(dir) = self.cfg.checkpoint_dir.clone() else { return Ok(0) };
+        let Some(store) = self.store.clone() else { return Ok(0) };
         let mut dirty: Vec<GraphFingerprint> =
             self.entries.iter().filter(|(_, e)| e.dirty).map(|(&fp, _)| fp).collect();
         // Deterministic write order, independent of map iteration.
         dirty.sort_unstable();
         for &fp in &dirty {
-            checkpoint::save_to(
-                checkpoint_path_in(&dir, fp),
-                self.entries[&fp].model.as_ref(),
-            )?;
+            store.publish_model(fp, self.entries[&fp].model.as_ref())?;
             self.stats.spills += 1;
             if let Some(entry) = self.entries.get_mut(&fp) {
                 entry.dirty = false;
@@ -295,38 +466,69 @@ impl ModelRegistry {
         self.entries.clear();
     }
 
-    fn checkpoint_path(&self, fp: GraphFingerprint) -> Option<PathBuf> {
-        self.cfg.checkpoint_dir.as_ref().map(|dir| checkpoint_path_in(dir, fp))
-    }
-
-    /// Resolves `fp` to a resident model: memory hit, checkpoint warm
-    /// start, or a fresh fit — in that order — then enforces the LRU
-    /// budget.
-    fn ensure(&mut self, fp: GraphFingerprint, req: &GenerateRequest) -> Result<ServedFrom> {
+    /// Resolves `fp` to a resident model — lineage alias first, then
+    /// memory hit, checkpoint warm start, or a fresh fit — then enforces
+    /// the LRU budget. Returns the outcome and the *effective* fingerprint
+    /// the model is cached under (the lineage root for drifted aliases).
+    fn ensure(
+        &mut self,
+        fp: GraphFingerprint,
+        req: &GenerateRequest,
+    ) -> Result<(ServedFrom, GraphFingerprint)> {
         self.clock += 1;
-        if let Some(entry) = self.entries.get_mut(&fp) {
+        let (effective, stale_drift, base_graph) = match self.lineage.get(&fp) {
+            Some(lin) => (lin.root, Some(lin.drift), Some(Arc::clone(&lin.base_graph))),
+            None => (fp, None, None),
+        };
+        if let Some(entry) = self.entries.get_mut(&effective) {
             entry.last_used = self.clock;
-            self.stats.memory_hits += 1;
-            return Ok(ServedFrom::Memory);
+            if let Some(store) = &self.store {
+                store.touch(effective);
+            }
+            return Ok(match stale_drift {
+                Some(drift) => {
+                    self.stats.stale_hits += 1;
+                    (ServedFrom::Stale { drift }, effective)
+                }
+                None => {
+                    self.stats.memory_hits += 1;
+                    (ServedFrom::Memory, effective)
+                }
+            });
         }
-        let (model, served_from, dirty) = match self.checkpoint_path(fp).filter(|p| p.exists())
-        {
-            Some(path) => {
-                let model = checkpoint::load_from(path)?;
+        let loaded = match &self.store {
+            // Lenient load: a corrupt newest generation is quarantined and
+            // the next-oldest intact one wins; nothing intact → fresh fit.
+            Some(store) => store.load_latest(effective)?,
+            None => None,
+        };
+        let (model, served_from, dirty) = match loaded {
+            Some(loaded) => {
                 self.stats.checkpoint_loads += 1;
-                // The file already holds exactly this state: clean.
-                (model, ServedFrom::Checkpoint, false)
+                // The store already holds exactly this state: clean.
+                (loaded.model, ServedFrom::Checkpoint, false)
             }
             None => {
+                // A drifted alias must reproduce the *root* model, so the
+                // fit runs on the lineage base graph — never the drifted
+                // request graph — keeping samples byte-identical across
+                // processes regardless of which alias warmed the cache.
+                let fit_graph: &Graph = base_graph.as_deref().unwrap_or(req.graph);
                 let model =
-                    self.generator.fit_persistable(req.graph, req.task, req.fit_seed)?;
+                    self.generator.fit_persistable(fit_graph, req.task, req.fit_seed)?;
                 self.stats.cold_fits += 1;
                 (model, ServedFrom::ColdFit, true)
             }
         };
-        self.entries.insert(fp, Entry { model, last_used: self.clock, dirty });
+        self.entries.insert(effective, Entry { model, last_used: self.clock, dirty });
         self.evict_over_budget()?;
-        Ok(served_from)
+        Ok(match stale_drift {
+            Some(drift) => {
+                self.stats.stale_hits += 1;
+                (ServedFrom::Stale { drift }, effective)
+            }
+            None => (served_from, effective),
+        })
     }
 
     fn generate_on(&mut self, fp: GraphFingerprint, seeds: &[u64]) -> Result<Vec<Graph>> {
@@ -344,7 +546,7 @@ impl ModelRegistry {
     /// Evicts least-recently-used entries until the budget holds, breaking
     /// `last_used` ties on the fingerprint so the victim is a pure function
     /// of the request history (never `HashMap` iteration order). A dirty
-    /// victim is spilled to the checkpoint directory when one is configured
+    /// victim is published into the checkpoint store when one is configured
     /// (eviction demotes a model from memory to disk instead of discarding
     /// the training work); a clean victim — loaded from its own checkpoint
     /// and never refit — is dropped without rewriting the file.
@@ -358,8 +560,8 @@ impl ModelRegistry {
                 });
             };
             if self.entries[&victim].dirty {
-                if let Some(path) = self.checkpoint_path(victim) {
-                    checkpoint::save_to(path, self.entries[&victim].model.as_ref())?;
+                if let Some(store) = &self.store {
+                    store.publish_model(victim, self.entries[&victim].model.as_ref())?;
                     self.stats.spills += 1;
                 }
             }
@@ -370,15 +572,12 @@ impl ModelRegistry {
     }
 }
 
-fn checkpoint_path_in(dir: &std::path::Path, fp: GraphFingerprint) -> PathBuf {
-    dir.join(format!("fg-{}.ckpt", fp.to_hex()))
-}
-
 impl std::fmt::Debug for ModelRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ModelRegistry")
             .field("generator", &self.generator.name())
             .field("resident", &self.entries.len())
+            .field("aliases", &self.lineage.len())
             .field("capacity", &self.cfg.capacity)
             .field("checkpoint_dir", &self.cfg.checkpoint_dir)
             .field("stats", &self.stats)

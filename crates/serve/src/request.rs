@@ -44,7 +44,9 @@ impl<'a> GenerateRequest<'a> {
 }
 
 /// Where the model that answered a request came from.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+///
+/// (No `Eq`: [`ServedFrom::Stale`] carries the drift score as an `f64`.)
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum ServedFrom {
     /// First sighting of this fingerprint: the registry fitted a model.
     ColdFit,
@@ -57,6 +59,40 @@ pub enum ServedFrom {
     /// cached graphs with **zero** model invocations (only the
     /// [`FairGenServer`](crate::FairGenServer) path produces this).
     DedupCache,
+    /// The request's graph has drifted from the graph its model was fitted
+    /// on — by edge deltas registered through
+    /// [`ModelRegistry::apply_delta`](crate::ModelRegistry::apply_delta) —
+    /// but the drift is still at or under the registry's threshold, so the
+    /// **stale-but-bounded** lineage-root model answered instead of a
+    /// refit. `drift` is the [`DriftScore::score`](fairgen_graph::DriftScore::score)
+    /// at the time the delta was registered.
+    Stale {
+        /// Structural drift of the request graph relative to the fitted
+        /// base graph, in `[0, 1]`.
+        drift: f64,
+    },
+}
+
+/// The registry's answer to a graph-delta update
+/// ([`ModelRegistry::apply_delta`](crate::ModelRegistry::apply_delta) /
+/// the server's `update_graph`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct UpdateOutcome {
+    /// Fingerprint of the pre-delta request content.
+    pub old_fingerprint: GraphFingerprint,
+    /// Fingerprint of the post-delta request content — the key clients use
+    /// for subsequent `generate` calls on the updated graph.
+    pub new_fingerprint: GraphFingerprint,
+    /// The lineage root the drift was measured against (the fingerprint of
+    /// the fit the serving model came from **before** this update).
+    pub root_fingerprint: GraphFingerprint,
+    /// Cumulative drift of the post-delta graph relative to the lineage
+    /// root's base graph.
+    pub drift: f64,
+    /// Whether the drift crossed the threshold and a refit happened: the
+    /// new fingerprint is now its own lineage root with a freshly fitted
+    /// model.
+    pub refit: bool,
 }
 
 /// The registry's answer to a [`GenerateRequest`].

@@ -41,8 +41,9 @@
 //! would reproduce — and it is *asserted* against a sequential
 //! [`ModelRegistry`] oracle in `tests/server_stress.rs`.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -53,14 +54,23 @@ use fairgen_admission::{
 use fairgen_baselines::persist::PersistableGraphGenerator;
 use fairgen_baselines::TaskSpec;
 use fairgen_core::error::{FairGenError, Result};
-use fairgen_graph::{Graph, GraphFingerprint};
+use fairgen_graph::{Graph, GraphDelta, GraphFingerprint};
+use fairgen_store::{ModelStore, StoreStats};
 
 use crate::dedup::{DedupCache, DedupKey};
 use crate::queue::{
-    overload_error, response_slot, shutdown_error, Job, PendingResponse, ShardQueue,
+    overload_error, response_slot, shutdown_error, Job, JobPayload, PendingResponse,
+    PendingUpdate, ResponseSlot, ShardQueue,
 };
 use crate::registry::{ModelRegistry, RegistryConfig, RegistryStats};
-use crate::request::{GenerateRequest, GenerateResponse, ServedFrom};
+use crate::request::{GenerateRequest, GenerateResponse, ServedFrom, UpdateOutcome};
+
+/// Fingerprint aliases for evolving graphs: a drifted (or refit) graph's
+/// fingerprint maps to the *routing anchor* of its lineage — the
+/// fingerprint whose shard owns the family's model. Entries are flattened
+/// on insert (an alias always points at an anchor, never another alias),
+/// so resolution is one map read.
+type AliasMap = RwLock<HashMap<GraphFingerprint, GraphFingerprint>>;
 
 /// The shard a fingerprint routes to: `fp mod shards`. Pure, stable, and
 /// uniform-ish over distinct fingerprints (proptested in
@@ -75,10 +85,12 @@ pub fn shard_for(fp: GraphFingerprint, shards: usize) -> usize {
 pub struct ServerConfig {
     /// Number of registry shards (= worker threads). Must be at least 1.
     pub shards: usize,
-    /// Per-shard registry policy. A configured `checkpoint_dir` is shared
-    /// by every shard — files are fingerprint-named, so shards never
-    /// collide — and shard workers spill their dirty models there on
-    /// shutdown, making a graceful stop warm-startable.
+    /// Per-shard registry policy. A configured `checkpoint_dir` opens
+    /// **one** [`ModelStore`] shared by every shard — checkpoints are
+    /// fingerprint-named, so shards never collide, and retention/quarantine
+    /// are enforced once per directory — and shard workers spill their
+    /// dirty models there on shutdown, making a graceful stop
+    /// warm-startable.
     pub registry: RegistryConfig,
     /// Per-shard sample-dedup budget, in cached graphs. Zero disables
     /// cross-request dedup.
@@ -208,6 +220,10 @@ pub struct ServerStats {
     /// The most recent shed/rejected jobs (oldest first), from the bounded
     /// dropped-work ring.
     pub dropped: Vec<DroppedEntry>,
+    /// The shared checkpoint store's counters, when a checkpoint directory
+    /// is configured. Server-level (one store serves every shard), so it
+    /// is **not** summed from `per_shard`.
+    pub store: Option<StoreStats>,
 }
 
 impl ServerStats {
@@ -324,6 +340,14 @@ pub struct FairGenServer {
     /// Submissions refused by the rate limiter (they never reach a shard
     /// queue, so no shard counts them).
     rejected_rate: AtomicU64,
+    /// The one checkpoint store every shard registry shares (`None`
+    /// without a checkpoint directory). Kept for server-level stats.
+    store: Option<ModelStore>,
+    /// Evolving-graph routing aliases, written by shard workers as they
+    /// apply deltas and read by [`route`](FairGenServer::route) — so a
+    /// drifted graph's requests land on the shard that owns its lineage
+    /// model instead of cold-fitting a duplicate elsewhere.
+    aliases: Arc<AliasMap>,
 }
 
 impl FairGenServer {
@@ -354,6 +378,13 @@ impl FairGenServer {
             .admission
             .rate
             .map(|rate| RateLimiter::new(rate, Arc::clone(&cfg.admission.clock)));
+        // One managed store for the whole server: every shard registry
+        // shares the handle, so generation counting, retention, and
+        // quarantine are enforced once per directory.
+        let store = match &cfg.registry.checkpoint_dir {
+            Some(dir) => Some(ModelStore::open(dir, cfg.registry.retention)?),
+            None => None,
+        };
         // Build shards *inside* the server so a mid-loop failure (bad
         // registry config, thread-spawn error) drops the partial server,
         // whose `Drop` shuts down — closes the queues of — every worker
@@ -364,18 +395,27 @@ impl FairGenServer {
             ring: Arc::clone(&ring),
             limiter,
             rejected_rate: AtomicU64::new(0),
+            store: store.clone(),
+            aliases: Arc::new(AliasMap::default()),
         };
         for id in 0..cfg.shards {
-            let registry = ModelRegistry::with_config(make_generator(), cfg.registry.clone())?;
+            let registry = ModelRegistry::with_store(
+                make_generator(),
+                cfg.registry.clone(),
+                store.clone(),
+            )?;
             let queue = Arc::new(ShardQueue::new(&cfg.admission, Arc::clone(&ring)));
             let stats = Arc::new(Mutex::new(ShardStats::default()));
             let worker = {
                 let queue = Arc::clone(&queue);
                 let stats = Arc::clone(&stats);
+                let aliases = Arc::clone(&server.aliases);
                 let dedup_capacity = cfg.dedup_capacity;
                 std::thread::Builder::new()
                     .name(format!("fairgen-shard-{id}"))
-                    .spawn(move || shard_worker(registry, &queue, &stats, dedup_capacity))
+                    .spawn(move || {
+                        shard_worker(registry, &queue, &stats, &aliases, dedup_capacity)
+                    })
                     .map_err(|e| FairGenError::Internal {
                         detail: format!("failed to spawn shard worker {id}: {e}"),
                     })?
@@ -406,7 +446,12 @@ impl FairGenServer {
         fit_seed: u64,
     ) -> (GraphFingerprint, usize) {
         let fp = crate::request::fingerprint_with(self.router.as_ref(), g, task, fit_seed);
-        (fp, shard_for(fp, self.shards.len()))
+        // An evolving graph's requests shard by the lineage *anchor* the
+        // workers registered for its fingerprint, so the whole family keeps
+        // landing on the shard that owns the model instead of cold-fitting
+        // a duplicate wherever the new fingerprint would hash.
+        let anchor = self.aliases.read().expect("alias map").get(&fp).copied().unwrap_or(fp);
+        (fp, shard_for(anchor, self.shards.len()))
     }
 
     /// Enqueues one request (cloning the graph and task into the job) and
@@ -481,7 +526,13 @@ impl FairGenServer {
             Lane::Bulk
         });
         let (slot, pending) = response_slot();
-        let job = Job { graph, task, fit_seed, sample_seeds, fingerprint, slot };
+        let job = Job {
+            graph,
+            task,
+            fit_seed,
+            fingerprint,
+            payload: JobPayload::Generate { sample_seeds, slot },
+        };
         let meta =
             AdmitMeta { tenant: opts.tenant, lane, fingerprint, deadline: opts.deadline };
         match self.shards[shard].queue.push(job, meta) {
@@ -492,6 +543,84 @@ impl FairGenServer {
             Err(AdmitError::Full(_)) => Err(overload_error(DropReason::QueueFull)),
             Err(AdmitError::Closed(_)) => Err(shutdown_error()),
         }
+    }
+
+    /// Enqueues a graph-delta update for the shard that owns the graph's
+    /// lineage model and returns immediately with a [`PendingUpdate`].
+    ///
+    /// The update rides the same admission queue as generation requests
+    /// (default lane: bulk — structural maintenance never preempts
+    /// interactive traffic) and is applied by the owning shard's worker via
+    /// [`ModelRegistry::apply_delta`]: within the drift threshold the
+    /// updated graph's fingerprint is aliased to its lineage anchor and
+    /// served **stale-but-bounded**; past it, the worker refits once.
+    /// Workers apply every update in a drain *before* serving that drain's
+    /// generation requests.
+    ///
+    /// A `generate` for the updated graph submitted before this update's
+    /// outcome is delivered may still route by the new fingerprint's own
+    /// hash and cold-fit on another shard (correct, just unamortized) —
+    /// clients that want the stale-serving guarantee wait on the outcome
+    /// first.
+    pub fn submit_update(
+        &self,
+        graph: Arc<Graph>,
+        task: Arc<TaskSpec>,
+        fit_seed: u64,
+        delta: GraphDelta,
+        opts: SubmitOptions,
+    ) -> Result<PendingUpdate> {
+        let (fingerprint, shard) = self.route(&graph, &task, fit_seed);
+        if let Some(limiter) = &self.limiter {
+            // A delta is one unit of admission work regardless of size —
+            // the expensive outcome (a refit) is the server's own decision.
+            if !limiter.try_admit(&opts.tenant, 1) {
+                self.rejected_rate.fetch_add(1, Ordering::Relaxed);
+                self.ring.record(DroppedEntry {
+                    tenant: opts.tenant.clone(),
+                    fingerprint,
+                    reason: DropReason::RateLimited,
+                    queue_age_nanos: 0,
+                });
+                return Err(overload_error(DropReason::RateLimited));
+            }
+        }
+        let lane = opts.lane.unwrap_or(Lane::Bulk);
+        let (slot, pending) = response_slot();
+        let job = Job {
+            graph,
+            task,
+            fit_seed,
+            fingerprint,
+            payload: JobPayload::Update { delta, slot },
+        };
+        let meta =
+            AdmitMeta { tenant: opts.tenant, lane, fingerprint, deadline: opts.deadline };
+        match self.shards[shard].queue.push(job, meta) {
+            Ok(()) => Ok(pending),
+            Err(AdmitError::Full(_)) => Err(overload_error(DropReason::QueueFull)),
+            Err(AdmitError::Closed(_)) => Err(shutdown_error()),
+        }
+    }
+
+    /// Blocking graph-delta round-trip: submit the update, wait for the
+    /// owning shard's decision. The concurrent counterpart of
+    /// [`ModelRegistry::apply_delta`].
+    pub fn update_graph(
+        &self,
+        g: &Graph,
+        task: &TaskSpec,
+        fit_seed: u64,
+        delta: GraphDelta,
+    ) -> Result<UpdateOutcome> {
+        self.submit_update(
+            Arc::new(g.clone()),
+            Arc::new(task.clone()),
+            fit_seed,
+            delta,
+            SubmitOptions::default(),
+        )?
+        .wait()
     }
 
     /// Blocking round-trip: submit, then wait. The concurrent counterpart
@@ -534,7 +663,12 @@ impl FairGenServer {
             admission.rejected_full += shard.admission.rejected_full;
             admission.shed_deadline += shard.admission.shed_deadline;
         }
-        ServerStats { per_shard, admission, dropped: self.ring.snapshot() }
+        ServerStats {
+            per_shard,
+            admission,
+            dropped: self.ring.snapshot(),
+            store: self.store.as_ref().map(|s| s.stats()),
+        }
     }
 
     /// Graceful shutdown: closes every queue, lets the workers serve the
@@ -570,12 +704,37 @@ impl std::fmt::Debug for FairGenServer {
     }
 }
 
-/// One shard's serve loop: drain → dedup-check → per-fingerprint
-/// `handle_batch` → publish stats → fulfill responses.
+/// A drained generation job with its payload flattened back out — the
+/// worker's working form once update jobs have been split off.
+struct GenJob {
+    graph: Arc<Graph>,
+    task: Arc<TaskSpec>,
+    fit_seed: u64,
+    fingerprint: GraphFingerprint,
+    sample_seeds: Vec<u64>,
+    slot: ResponseSlot<GenerateResponse>,
+}
+
+/// A drained update job, ditto. `routed_fp` is the fingerprint the job
+/// was routed by — the alias-map key its outcome must chain onto.
+struct UpdateJob {
+    graph: Arc<Graph>,
+    task: Arc<TaskSpec>,
+    fit_seed: u64,
+    routed_fp: GraphFingerprint,
+    delta: GraphDelta,
+    slot: ResponseSlot<UpdateOutcome>,
+}
+
+/// One shard's serve loop: drain → apply graph-delta updates →
+/// dedup-check → per-fingerprint `handle_batch` → publish stats → fulfill
+/// responses. Updates go first so a generate for a just-updated graph in
+/// the *same* drain already sees the alias decision.
 fn shard_worker(
     mut registry: ModelRegistry,
     queue: &ShardQueue,
     stats: &Mutex<ShardStats>,
+    aliases: &AliasMap,
     dedup_capacity: usize,
 ) {
     // Failsafe: whatever takes this worker down — a panic inside a
@@ -614,16 +773,62 @@ fn shard_worker(
         // Shed pass: jobs whose queue deadline expired while they waited
         // get their typed rejection *now* — the admission queue already
         // recorded them in the dropped ring; answering is all that's left.
-        let mut fulfilled: Vec<(crate::queue::ResponseSlot, Result<GenerateResponse>)> =
+        let mut fulfilled: Vec<(ResponseSlot<GenerateResponse>, Result<GenerateResponse>)> =
             Vec::with_capacity(drain.served.len() + drain.shed.len());
+        let mut update_fulfilled: Vec<(ResponseSlot<UpdateOutcome>, Result<UpdateOutcome>)> =
+            Vec::new();
+        let mut updates: Vec<UpdateJob> = Vec::new();
+        let mut generates: Vec<GenJob> = Vec::new();
         for shed in drain.shed {
-            fulfilled.push((shed.item.slot, Err(overload_error(DropReason::DeadlineExpired))));
+            let err = || overload_error(DropReason::DeadlineExpired);
+            match shed.item.payload {
+                JobPayload::Generate { slot, .. } => fulfilled.push((slot, Err(err()))),
+                JobPayload::Update { slot, .. } => update_fulfilled.push((slot, Err(err()))),
+            }
+        }
+        for queued in drain.served {
+            let job = queued.item;
+            match job.payload {
+                JobPayload::Generate { sample_seeds, slot } => generates.push(GenJob {
+                    graph: job.graph,
+                    task: job.task,
+                    fit_seed: job.fit_seed,
+                    fingerprint: job.fingerprint,
+                    sample_seeds,
+                    slot,
+                }),
+                JobPayload::Update { delta, slot } => updates.push(UpdateJob {
+                    graph: job.graph,
+                    task: job.task,
+                    fit_seed: job.fit_seed,
+                    routed_fp: job.fingerprint,
+                    delta,
+                    slot,
+                }),
+            }
+        }
+
+        // Update pass, before any generation: apply each delta, then
+        // register the routing alias so every later request for the updated
+        // graph — including generates later in this very drain — lands
+        // back on this shard's lineage model.
+        for job in updates {
+            let outcome = registry.apply_delta(&job.graph, &job.task, job.fit_seed, &job.delta);
+            if let Ok(outcome) = &outcome {
+                // The anchor this family routes by: whatever anchor got the
+                // update here (aliases are pre-flattened, so one read).
+                let mut map = aliases.write().expect("alias map");
+                let anchor = map.get(&job.routed_fp).copied().unwrap_or(job.routed_fp);
+                if outcome.new_fingerprint != anchor {
+                    map.insert(outcome.new_fingerprint, anchor);
+                }
+            }
+            update_fulfilled.push((job.slot, outcome));
         }
 
         // Dedup pass: answer fully-cached requests without the registry.
-        let mut pending: Vec<Job> = Vec::new();
-        for queued in drain.served {
-            let job = queued.item;
+        let mut pending: Vec<GenJob> = Vec::new();
+        for job in generates {
             match dedup.lookup_all(job.fingerprint, &job.sample_seeds) {
                 Some(graphs) => {
                     dedup_hits += 1;
@@ -640,7 +845,7 @@ fn shard_worker(
 
         // Coalesce the rest: group by fingerprint (first-seen order), one
         // `handle_batch` call per group.
-        let mut groups: Vec<(GraphFingerprint, Vec<Job>)> = Vec::new();
+        let mut groups: Vec<(GraphFingerprint, Vec<GenJob>)> = Vec::new();
         for job in pending {
             match groups.iter_mut().find(|(fp, _)| *fp == job.fingerprint) {
                 Some((_, members)) => members.push(job),
@@ -703,6 +908,9 @@ fn shard_worker(
             shared.drained_jobs = drained_jobs;
             shared.batched_requests = batched_requests;
             shared.drain_hist = drain_hist;
+        }
+        for (slot, outcome) in update_fulfilled {
+            slot.fulfill(outcome);
         }
         for (slot, response) in fulfilled {
             slot.fulfill(response);

@@ -54,7 +54,11 @@ fn coalesced_responses_match_the_per_walk_oracle_byte_for_byte() {
         || Box::new(NetGanGenerator::default()),
         ServerConfig {
             shards: 2,
-            registry: RegistryConfig { capacity: GRAPHS, checkpoint_dir: None },
+            registry: RegistryConfig {
+                capacity: GRAPHS,
+                checkpoint_dir: None,
+                ..RegistryConfig::default()
+            },
             dedup_capacity: 64,
             ..ServerConfig::default()
         },

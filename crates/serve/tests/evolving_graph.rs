@@ -1,0 +1,247 @@
+//! The evolving-graph contract, end to end: deltas under the drift
+//! threshold are served by the stale lineage-root model with **zero**
+//! refits; the first delta past the threshold triggers **exactly one**
+//! refit; and post-refit samples are byte-equal to a fit-from-scratch
+//! oracle on the updated graph.
+//!
+//! Drift arithmetic for the schedule below (`ring(40)`, threshold 0.35):
+//! inserting one chord touches two rows whose Jaccard drops to 2/3, so
+//! the score is 1 − 2/3 ≈ 0.333 — stale. Isolating node 3 (removing both
+//! its ring edges) adds a zero-Jaccard row and two half-Jaccard rows, and
+//! the cumulative score vs the *root* base graph climbs to ≈ 0.476 —
+//! refit.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use fairgen_baselines::persist::{PersistableGenerator, PersistableGraphGenerator};
+use fairgen_baselines::{ErGenerator, GraphGenerator, TaskSpec};
+use fairgen_core::error::Result;
+use fairgen_graph::{Graph, GraphDelta};
+use fairgen_serve::{
+    FairGenServer, GenerateRequest, ModelRegistry, RegistryConfig, ServedFrom, ServerConfig,
+};
+
+const FIT_SEED: u64 = 11;
+const SEEDS: [u64; 3] = [1, 2, 3];
+/// One chord scores ≈ 0.333, isolating a ring node pushes the cumulative
+/// score to ≈ 0.476 — this sits strictly between the two.
+const THRESHOLD: f64 = 0.35;
+
+struct CountingGen {
+    fits: Arc<AtomicUsize>,
+}
+
+impl GraphGenerator for CountingGen {
+    fn name(&self) -> &'static str {
+        ErGenerator.name()
+    }
+    fn fit(
+        &self,
+        g: &Graph,
+        task: &TaskSpec,
+        seed: u64,
+    ) -> Result<Box<dyn fairgen_baselines::FittedGenerator>> {
+        ErGenerator.fit(g, task, seed)
+    }
+}
+
+impl PersistableGraphGenerator for CountingGen {
+    fn fit_persistable(
+        &self,
+        g: &Graph,
+        task: &TaskSpec,
+        seed: u64,
+    ) -> Result<Box<dyn PersistableGenerator>> {
+        self.fits.fetch_add(1, Ordering::SeqCst);
+        ErGenerator.fit_persistable(g, task, seed)
+    }
+}
+
+fn ring(n: u32) -> Graph {
+    Graph::from_edges(n as usize, &(0..n).map(|i| (i, (i + 1) % n)).collect::<Vec<_>>())
+}
+
+fn insert(edges: &[(u32, u32)]) -> GraphDelta {
+    GraphDelta { insert: edges.to_vec(), remove: Vec::new() }
+}
+
+fn remove(edges: &[(u32, u32)]) -> GraphDelta {
+    GraphDelta { insert: Vec::new(), remove: edges.to_vec() }
+}
+
+fn config() -> RegistryConfig {
+    RegistryConfig { drift_threshold: THRESHOLD, ..RegistryConfig::default() }
+}
+
+/// Fit-from-scratch oracle: what a fresh process serving only `graph`
+/// would produce for `SEEDS`.
+fn oracle_samples(graph: &Graph, task: &TaskSpec) -> Vec<Graph> {
+    let mut fresh = ModelRegistry::new(Box::new(ErGenerator));
+    let response = fresh
+        .handle(&GenerateRequest::new(graph, task, FIT_SEED, SEEDS.to_vec()))
+        .expect("oracle serve");
+    assert_eq!(response.served_from, ServedFrom::ColdFit);
+    response.graphs
+}
+
+#[test]
+fn stale_serving_refits_exactly_once_at_the_drift_crossing() {
+    let fits = Arc::new(AtomicUsize::new(0));
+    let gen: Box<dyn PersistableGraphGenerator> =
+        Box::new(CountingGen { fits: Arc::clone(&fits) });
+    let mut registry = ModelRegistry::with_config(gen, config()).expect("config");
+    let task = TaskSpec::unlabeled();
+    let base = Arc::new(ring(40));
+
+    // Fit the base model and remember its samples: every stale alias must
+    // reproduce these bytes.
+    let base_resp = registry
+        .handle(&GenerateRequest::new(&base, &task, FIT_SEED, SEEDS.to_vec()))
+        .expect("base serve");
+    assert_eq!(base_resp.served_from, ServedFrom::ColdFit);
+    assert_eq!(fits.load(Ordering::SeqCst), 1);
+
+    // Delta 1: one chord. Under threshold — aliased, no fit.
+    let first =
+        registry.apply_delta(&base, &task, FIT_SEED, &insert(&[(0, 20)])).expect("first delta");
+    assert!(!first.refit, "drift {} must stay under {THRESHOLD}", first.drift);
+    assert!(first.drift > 0.0 && first.drift <= THRESHOLD);
+    assert_eq!(first.old_fingerprint, base_resp.fingerprint);
+    assert_eq!(first.root_fingerprint, base_resp.fingerprint);
+    assert_ne!(first.new_fingerprint, base_resp.fingerprint);
+
+    // Generating for the drifted graph is answered by the stale root
+    // model: same bytes as the base response, zero new fits, and the
+    // response says so.
+    let drifted = Arc::new(base.apply_delta(&insert(&[(0, 20)])).expect("apply"));
+    let stale_resp = registry
+        .handle(&GenerateRequest::new(&drifted, &task, FIT_SEED, SEEDS.to_vec()))
+        .expect("stale serve");
+    match stale_resp.served_from {
+        ServedFrom::Stale { drift } => assert_eq!(drift, first.drift),
+        other => panic!("expected stale serving, got {other:?}"),
+    }
+    assert_eq!(stale_resp.graphs, base_resp.graphs, "stale alias must reuse the root model");
+    assert_eq!(fits.load(Ordering::SeqCst), 1, "zero refits while drift is under threshold");
+
+    // Delta 2, chained on delta 1: still under threshold (drift is
+    // cumulative vs the *root* base graph, and a second disjoint chord
+    // leaves the score at ≈ 0.333).
+    let second = registry
+        .apply_delta(&drifted, &task, FIT_SEED, &insert(&[(5, 25)]))
+        .expect("second delta");
+    assert!(!second.refit);
+    assert!(second.drift >= first.drift, "drift accumulates along the lineage");
+    assert_eq!(second.root_fingerprint, base_resp.fingerprint);
+    assert_eq!(fits.load(Ordering::SeqCst), 1);
+
+    // Delta 3: isolate node 3. Cumulative drift crosses the threshold —
+    // exactly one refit, counted as a drift refit (not a cold fit).
+    let drifted2 = Arc::new(drifted.apply_delta(&insert(&[(5, 25)])).expect("apply"));
+    let third = registry
+        .apply_delta(&drifted2, &task, FIT_SEED, &remove(&[(2, 3), (3, 4)]))
+        .expect("third delta");
+    assert!(third.refit, "drift {} must cross {THRESHOLD}", third.drift);
+    assert!(third.drift > THRESHOLD);
+    assert_eq!(third.root_fingerprint, base_resp.fingerprint);
+    assert_eq!(fits.load(Ordering::SeqCst), 2, "exactly one refit at the crossing");
+
+    let stats = registry.stats();
+    assert_eq!(stats.delta_updates, 3);
+    assert_eq!(stats.drift_refits, 1);
+    assert_eq!(stats.cold_fits, 1, "the refit must not be miscounted as a cold fit");
+    assert_eq!(stats.stale_hits, 1);
+
+    // Post-refit samples are byte-equal to a fit-from-scratch oracle on
+    // the updated graph.
+    let updated = Arc::new(drifted2.apply_delta(&remove(&[(2, 3), (3, 4)])).expect("apply"));
+    let refit_resp = registry
+        .handle(&GenerateRequest::new(&updated, &task, FIT_SEED, SEEDS.to_vec()))
+        .expect("refit serve");
+    assert_eq!(refit_resp.served_from, ServedFrom::Memory, "the refit is already resident");
+    assert_eq!(refit_resp.fingerprint, third.new_fingerprint);
+    assert_eq!(refit_resp.graphs, oracle_samples(&updated, &task));
+    assert_eq!(fits.load(Ordering::SeqCst), 2, "serving the refit model costs no further fit");
+}
+
+#[test]
+fn unknown_predelta_fingerprint_roots_a_fresh_lineage() {
+    let mut registry =
+        ModelRegistry::with_config(Box::new(ErGenerator), config()).expect("config");
+    let task = TaskSpec::unlabeled();
+    let base = Arc::new(ring(40));
+
+    // No prior generate: the update itself introduces the lineage.
+    let outcome =
+        registry.apply_delta(&base, &task, FIT_SEED, &insert(&[(0, 20)])).expect("delta");
+    assert!(!outcome.refit);
+    assert_eq!(outcome.root_fingerprint, outcome.old_fingerprint);
+
+    // The later cold fit for the alias runs on the *base* graph, so the
+    // bytes match what the base model would have produced.
+    let drifted = Arc::new(base.apply_delta(&insert(&[(0, 20)])).expect("apply"));
+    let via_alias = registry
+        .handle(&GenerateRequest::new(&drifted, &task, FIT_SEED, SEEDS.to_vec()))
+        .expect("alias serve");
+    match via_alias.served_from {
+        ServedFrom::Stale { drift } => assert_eq!(drift, outcome.drift),
+        other => panic!("expected stale serving, got {other:?}"),
+    }
+    assert_eq!(via_alias.graphs, oracle_samples(&base, &task));
+}
+
+#[test]
+fn server_serves_stale_within_threshold_and_refits_once_past_it() {
+    let server = FairGenServer::new(
+        || Box::new(ErGenerator),
+        ServerConfig { shards: 4, registry: config(), ..ServerConfig::default() },
+    )
+    .expect("server");
+    let task = TaskSpec::unlabeled();
+    let base = ring(40);
+
+    let base_resp = server.handle(&base, &task, FIT_SEED, SEEDS.to_vec()).expect("base");
+    assert_eq!(base_resp.served_from, ServedFrom::ColdFit);
+
+    // Under-threshold update: no refit, and the updated graph's requests
+    // follow the alias to the shard owning the root model. Waiting on the
+    // outcome before generating is the documented ordering contract.
+    let first =
+        server.update_graph(&base, &task, FIT_SEED, insert(&[(0, 20)])).expect("update");
+    assert!(!first.refit);
+    assert_eq!(first.root_fingerprint, base_resp.fingerprint);
+
+    let drifted = base.apply_delta(&insert(&[(0, 20)])).expect("apply");
+    let stale_resp = server.handle(&drifted, &task, FIT_SEED, SEEDS.to_vec()).expect("stale");
+    assert!(
+        matches!(stale_resp.served_from, ServedFrom::Stale { .. }),
+        "got {:?}",
+        stale_resp.served_from
+    );
+    assert_eq!(stale_resp.graphs, base_resp.graphs);
+
+    // Second chained update stays stale; the third crosses and refits.
+    let second =
+        server.update_graph(&drifted, &task, FIT_SEED, insert(&[(5, 25)])).expect("update");
+    assert!(!second.refit);
+    let drifted2 = drifted.apply_delta(&insert(&[(5, 25)])).expect("apply");
+    let third = server
+        .update_graph(&drifted2, &task, FIT_SEED, remove(&[(2, 3), (3, 4)]))
+        .expect("update");
+    assert!(third.refit);
+    assert!(third.drift > THRESHOLD);
+
+    let stats = server.stats();
+    let totals = stats.registry();
+    assert_eq!(totals.delta_updates, 3);
+    assert_eq!(totals.drift_refits, 1, "exactly one refit across all shards");
+    assert_eq!(totals.stale_hits, 1);
+
+    // Post-refit serving matches the fit-from-scratch oracle byte for
+    // byte, no matter which shard the refit landed on.
+    let updated = drifted2.apply_delta(&remove(&[(2, 3), (3, 4)])).expect("apply");
+    let refit_resp = server.handle(&updated, &task, FIT_SEED, SEEDS.to_vec()).expect("refit");
+    assert_eq!(refit_resp.served_from, ServedFrom::Memory);
+    assert_eq!(refit_resp.graphs, oracle_samples(&updated, &task));
+}

@@ -137,9 +137,11 @@ fn handle_batch_coalesces_same_key_requests() {
 #[test]
 fn lru_eviction_respects_budget_and_recency() {
     let (gen, fits) = counting_er();
-    let mut registry =
-        ModelRegistry::with_config(gen, RegistryConfig { capacity: 2, checkpoint_dir: None })
-            .expect("valid config");
+    let mut registry = ModelRegistry::with_config(
+        gen,
+        RegistryConfig { capacity: 2, checkpoint_dir: None, ..RegistryConfig::default() },
+    )
+    .expect("valid config");
     let task = TaskSpec::unlabeled();
     let (a, b, c) = (ring(10), ring(11), ring(12));
     let fp_a = registry.fingerprint(&a, &task, 0);
@@ -168,7 +170,11 @@ fn eviction_spills_and_warm_starts_from_checkpoint() {
     let (gen, fits) = counting_er();
     let mut registry = ModelRegistry::with_config(
         gen,
-        RegistryConfig { capacity: 1, checkpoint_dir: Some(dir.clone()) },
+        RegistryConfig {
+            capacity: 1,
+            checkpoint_dir: Some(dir.clone()),
+            ..RegistryConfig::default()
+        },
     )
     .expect("valid config");
     let task = TaskSpec::unlabeled();
@@ -193,7 +199,11 @@ fn fresh_registry_warm_starts_from_a_previous_process() {
     let dir = temp_dir("restart");
     let g = ring(12);
     let task = TaskSpec::unlabeled();
-    let cfg = RegistryConfig { capacity: 4, checkpoint_dir: Some(dir.clone()) };
+    let cfg = RegistryConfig {
+        capacity: 4,
+        checkpoint_dir: Some(dir.clone()),
+        ..RegistryConfig::default()
+    };
 
     let (gen1, _) = counting_er();
     let mut first = ModelRegistry::with_config(gen1, cfg.clone()).expect("valid config");
@@ -274,7 +284,11 @@ fn clean_checkpoint_loads_are_not_respilled() {
     // A model warm-started from its own checkpoint and never refit must not
     // be written back on eviction or spill_all — that is pure wasted IO.
     let dir = temp_dir("no-respill");
-    let cfg = RegistryConfig { capacity: 1, checkpoint_dir: Some(dir.clone()) };
+    let cfg = RegistryConfig {
+        capacity: 1,
+        checkpoint_dir: Some(dir.clone()),
+        ..RegistryConfig::default()
+    };
     let task = TaskSpec::unlabeled();
     let (a, b) = (ring(10), ring(11));
 
@@ -326,7 +340,7 @@ fn eviction_victim_is_deterministic_across_runs() {
         let (gen, _) = counting_er();
         let mut registry = ModelRegistry::with_config(
             gen,
-            RegistryConfig { capacity: 3, checkpoint_dir: None },
+            RegistryConfig { capacity: 3, checkpoint_dir: None, ..RegistryConfig::default() },
         )
         .expect("valid config");
         for g in &graphs {
@@ -367,7 +381,10 @@ fn degenerate_graph_fails_the_request_not_the_process() {
 fn zero_capacity_is_rejected() {
     let (gen, _) = counting_er();
     assert!(matches!(
-        ModelRegistry::with_config(gen, RegistryConfig { capacity: 0, checkpoint_dir: None }),
+        ModelRegistry::with_config(
+            gen,
+            RegistryConfig { capacity: 0, checkpoint_dir: None, ..RegistryConfig::default() }
+        ),
         Err(fairgen_core::FairGenError::InvalidConfig { field: "capacity", .. })
     ));
 }

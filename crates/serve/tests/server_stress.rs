@@ -79,7 +79,11 @@ fn concurrent_sharded_responses_match_the_sequential_oracle() {
         || Box::new(ErGenerator),
         ServerConfig {
             shards: 4,
-            registry: RegistryConfig { capacity: GRAPHS, checkpoint_dir: None },
+            registry: RegistryConfig {
+                capacity: GRAPHS,
+                checkpoint_dir: None,
+                ..RegistryConfig::default()
+            },
             dedup_capacity: 1024,
             ..ServerConfig::default()
         },
@@ -232,7 +236,11 @@ fn graceful_shutdown_spills_and_a_successor_warm_starts() {
     let task = TaskSpec::unlabeled();
     let cfg = ServerConfig {
         shards: 2,
-        registry: RegistryConfig { capacity: 4, checkpoint_dir: Some(dir.clone()) },
+        registry: RegistryConfig {
+            capacity: 4,
+            checkpoint_dir: Some(dir.clone()),
+            ..RegistryConfig::default()
+        },
         dedup_capacity: 16,
         ..ServerConfig::default()
     };

@@ -1,0 +1,43 @@
+//! Managed model store for the FairGen serving stack.
+//!
+//! Before this crate, the serving registry wrote checkpoints straight
+//! into a flat pile of `fg-<fp>.ckpt` files: no retention, no
+//! crash-safety story beyond the codec checksum, and corrupt files were
+//! simply load errors. [`ModelStore`] replaces that with a managed
+//! directory:
+//!
+//! * **Generations** — every publish of a fingerprint gets a fresh
+//!   generation-counted file `fg-<fp>.g<N>.ckpt`; the newest intact one
+//!   wins at load time, older ones are rollback candidates until
+//!   retention ages them out.
+//! * **Versioned manifest** — `manifest.fgm` (an FGCK container like the
+//!   checkpoints themselves) indexes every retained generation with
+//!   sizes, publish clocks and LRU stamps; it is rebuilt from a
+//!   directory scan when missing or corrupt, and legacy flat checkpoints
+//!   are adopted as generation 1.
+//! * **Atomic publish** — all writes stage in `<path>.tmp`, fsync, then
+//!   rename; interrupted writes leave debris no reader ever sees, and
+//!   [`ModelStore::open`] sweeps it.
+//! * **Retention** — [`RetentionPolicy`] caps generations per
+//!   fingerprint and total bytes, pruning in a deterministic
+//!   LRU-by-manifest order (documented on the type, proptested in this
+//!   crate's test suite).
+//! * **Quarantine** — files that fail checksum/decode are *moved* to
+//!   `quarantine/`, never deleted, surface as typed
+//!   [`CorruptCheckpoint`](fairgen_graph::FairGenError::CorruptCheckpoint)
+//!   where strictness is wanted, and are counted in [`StoreStats`].
+//!
+//! The serving registry (`fairgen-serve`) holds one store per server —
+//! shared across all shard registries via [`ModelStore`]'s cheap
+//! `Clone` — and spills/warm-starts through it instead of raw paths.
+
+pub mod manifest;
+pub mod retention;
+pub mod store;
+
+pub use manifest::{
+    checkpoint_file_name, parse_checkpoint_file_name, Manifest, ManifestEntry, MANIFEST_FILE,
+    MANIFEST_TAG,
+};
+pub use retention::RetentionPolicy;
+pub use store::{LoadedModel, ModelStore, StoreStats, QUARANTINE_DIR};

@@ -1,0 +1,203 @@
+//! The store's on-disk index: one [`Manifest`] file per checkpoint
+//! directory.
+//!
+//! The manifest is itself an FGCK container (tag `FairGenManifest`,
+//! written atomically via [`fairgen_graph::codec::write_file`]), so it
+//! gets the same framing, versioning, and checksum protection as the
+//! checkpoints it indexes. Payload layout, all little-endian:
+//!
+//! ```text
+//! clock: u64                  logical time; bumps on publish/touch
+//! count: usize
+//! count × entry:
+//!   fingerprint: u64 hi, u64 lo
+//!   generation:  u64          1-based, monotone per fingerprint
+//!   bytes:       u64          file size as published
+//!   published_at: u64         clock at publish
+//!   last_used:   u64          fingerprint-level LRU stamp
+//! ```
+//!
+//! The manifest is an **index, not the truth**: every fact in it can be
+//! rebuilt from a directory scan (file names carry fingerprint and
+//! generation, sizes come from the filesystem; only LRU stamps are
+//! lost, defaulting to publish order). [`ModelStore::open`](crate::ModelStore::open)
+//! (crate::ModelStore::open) does exactly that when the manifest is
+//! missing or fails to decode.
+
+use fairgen_graph::codec::{self, Codec, Decoder, Encoder};
+use fairgen_graph::{GraphFingerprint, Result};
+
+/// Container tag of the manifest file.
+pub const MANIFEST_TAG: &str = "FairGenManifest";
+
+/// File name of the manifest inside a store directory.
+pub const MANIFEST_FILE: &str = "manifest.fgm";
+
+/// One retained checkpoint generation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// The fit identity this checkpoint belongs to.
+    pub fingerprint: GraphFingerprint,
+    /// 1-based generation counter, monotone per fingerprint.
+    pub generation: u64,
+    /// File size in bytes at publish time.
+    pub bytes: u64,
+    /// Logical clock value when this generation was published.
+    pub published_at: u64,
+    /// Fingerprint-level LRU stamp (same value on every generation of a
+    /// fingerprint; the maximum wins on load).
+    pub last_used: u64,
+}
+
+/// The decoded manifest: a logical clock plus the retained generations.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Manifest {
+    /// Logical time; strictly increases across publishes and touches.
+    pub clock: u64,
+    /// Retained generations, in no guaranteed order.
+    pub entries: Vec<ManifestEntry>,
+}
+
+impl Codec for Manifest {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.clock);
+        enc.put_usize(self.entries.len());
+        for e in &self.entries {
+            let v = e.fingerprint.as_u128();
+            enc.put_u64((v >> 64) as u64);
+            enc.put_u64(v as u64);
+            enc.put_u64(e.generation);
+            enc.put_u64(e.bytes);
+            enc.put_u64(e.published_at);
+            enc.put_u64(e.last_used);
+        }
+    }
+
+    fn decode(dec: &mut Decoder) -> Result<Self> {
+        let clock = dec.take_u64()?;
+        let count = dec.take_usize()?;
+        let mut entries = Vec::with_capacity(count.min(1 << 20));
+        for _ in 0..count {
+            let hi = dec.take_u64()?;
+            let lo = dec.take_u64()?;
+            entries.push(ManifestEntry {
+                fingerprint: GraphFingerprint::from_u128(((hi as u128) << 64) | lo as u128),
+                generation: dec.take_u64()?,
+                bytes: dec.take_u64()?,
+                published_at: dec.take_u64()?,
+                last_used: dec.take_u64()?,
+            });
+        }
+        Ok(Manifest { clock, entries })
+    }
+}
+
+impl Manifest {
+    /// Seals the manifest into container bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        codec::seal_value(MANIFEST_TAG, self)
+    }
+
+    /// Opens container bytes back into a manifest (typed
+    /// `CorruptCheckpoint` on any framing/checksum/tag failure).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        codec::open_value(MANIFEST_TAG, bytes)
+    }
+}
+
+/// The checkpoint file name for one generation:
+/// `fg-<32-hex-fingerprint>.g<generation>.ckpt`.
+pub fn checkpoint_file_name(fp: GraphFingerprint, generation: u64) -> String {
+    format!("fg-{}.g{generation}.ckpt", fp.to_hex())
+}
+
+/// Parses a file name produced by [`checkpoint_file_name`]. Returns
+/// `None` for anything else (including the legacy flat `fg-<fp>.ckpt`
+/// form, which [`ModelStore::open`](crate::ModelStore::open) adopts
+/// separately as generation 1).
+pub fn parse_checkpoint_file_name(name: &str) -> Option<(GraphFingerprint, u64)> {
+    let rest = name.strip_prefix("fg-")?.strip_suffix(".ckpt")?;
+    let (hex, gen_part) = rest.split_at(rest.find(".g")?);
+    let fp = GraphFingerprint::from_hex(hex)?;
+    let digits = &gen_part[2..];
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    let generation: u64 = digits.parse().ok()?;
+    (generation >= 1).then_some((fp, generation))
+}
+
+/// Parses the **legacy** flat name `fg-<32-hex>.ckpt` from the pre-store
+/// layout, so `open` can adopt old directories as generation 1.
+pub fn parse_legacy_file_name(name: &str) -> Option<GraphFingerprint> {
+    let hex = name.strip_prefix("fg-")?.strip_suffix(".ckpt")?;
+    GraphFingerprint::from_hex(hex)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairgen_graph::FingerprintBuilder;
+
+    fn fp(seed: u64) -> GraphFingerprint {
+        FingerprintBuilder::new().add_u64(seed).finish()
+    }
+
+    #[test]
+    fn manifest_roundtrips() {
+        let m = Manifest {
+            clock: 17,
+            entries: vec![
+                ManifestEntry {
+                    fingerprint: fp(1),
+                    generation: 3,
+                    bytes: 1024,
+                    published_at: 5,
+                    last_used: 9,
+                },
+                ManifestEntry {
+                    fingerprint: fp(2),
+                    generation: 1,
+                    bytes: 77,
+                    published_at: 2,
+                    last_used: 2,
+                },
+            ],
+        };
+        let back = Manifest::from_bytes(&m.to_bytes()).expect("decode");
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn corrupt_manifest_is_typed() {
+        let mut bytes = Manifest { clock: 1, entries: vec![] }.to_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        assert!(matches!(
+            Manifest::from_bytes(&bytes),
+            Err(fairgen_graph::FairGenError::CorruptCheckpoint { .. })
+        ));
+    }
+
+    #[test]
+    fn file_name_roundtrips() {
+        let f = fp(3);
+        let name = checkpoint_file_name(f, 12);
+        assert_eq!(name, format!("fg-{}.g12.ckpt", f.to_hex()));
+        assert_eq!(parse_checkpoint_file_name(&name), Some((f, 12)));
+    }
+
+    #[test]
+    fn foreign_names_rejected() {
+        assert_eq!(parse_checkpoint_file_name("manifest.fgm"), None);
+        assert_eq!(parse_checkpoint_file_name("fg-zzzz.g1.ckpt"), None);
+        assert_eq!(parse_checkpoint_file_name("fg-00.g1.ckpt"), None);
+        let f = fp(4);
+        assert_eq!(parse_checkpoint_file_name(&format!("fg-{}.ckpt", f.to_hex())), None);
+        assert_eq!(parse_checkpoint_file_name(&format!("fg-{}.g0.ckpt", f.to_hex())), None);
+        assert_eq!(parse_checkpoint_file_name(&format!("fg-{}.gx.ckpt", f.to_hex())), None);
+        assert_eq!(parse_checkpoint_file_name(&format!("fg-{}.g1.ckpt.tmp", f.to_hex())), None);
+        assert_eq!(parse_legacy_file_name(&format!("fg-{}.ckpt", f.to_hex())), Some(f));
+        assert_eq!(parse_legacy_file_name(&format!("fg-{}.g1.ckpt", f.to_hex())), None);
+    }
+}

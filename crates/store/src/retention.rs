@@ -1,0 +1,55 @@
+//! Retention knobs for the model store.
+
+/// How many checkpoint generations the store keeps, and under what byte
+/// budget.
+///
+/// Enforcement order (deterministic, proptested in
+/// `tests/retention_props.rs`):
+///
+/// 1. **Per-fingerprint generation cap** — after each publish, only the
+///    newest [`max_generations`](RetentionPolicy::max_generations)
+///    generations of that fingerprint survive; older ones are pruned
+///    oldest-first.
+/// 2. **Byte budget** — while the summed size of all retained files
+///    exceeds [`max_total_bytes`](RetentionPolicy::max_total_bytes),
+///    victims are pruned in ascending `(fingerprint last_used,
+///    fingerprint, generation)` order: the least-recently-used
+///    fingerprint loses its oldest generation first, ties broken by the
+///    fingerprint value so the order is reproducible. The file just
+///    published is spared until it is the only one left — and if it alone
+///    exceeds the budget it is pruned too, so `total_bytes ≤
+///    max_total_bytes` holds **strictly** after every publish (callers
+///    keep the model in memory; the store never lies about its budget).
+///
+/// Pruning deletes files; **quarantine never does** — corrupt files move
+/// to the quarantine directory and leave retention accounting entirely.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetentionPolicy {
+    /// Newest generations kept per fingerprint. Minimum effective value
+    /// is 1 (a publish always survives the generation cap).
+    pub max_generations: usize,
+    /// Total on-disk byte budget across all fingerprints; `None` means
+    /// unbounded.
+    pub max_total_bytes: Option<u64>,
+}
+
+impl Default for RetentionPolicy {
+    /// Two generations per fingerprint (current + one rollback), no byte
+    /// budget.
+    fn default() -> Self {
+        RetentionPolicy { max_generations: 2, max_total_bytes: None }
+    }
+}
+
+impl RetentionPolicy {
+    /// Keeps everything forever — the behaviour of the pre-store flat
+    /// checkpoint directory.
+    pub fn unlimited() -> Self {
+        RetentionPolicy { max_generations: usize::MAX, max_total_bytes: None }
+    }
+
+    /// The generation cap, clamped to at least 1.
+    pub fn effective_generations(&self) -> usize {
+        self.max_generations.max(1)
+    }
+}

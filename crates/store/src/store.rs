@@ -1,0 +1,641 @@
+//! The managed model store: generation-counted checkpoints behind one
+//! versioned manifest.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use fairgen_baselines::persist::PersistableGenerator;
+use fairgen_core::checkpoint;
+use fairgen_graph::codec;
+use fairgen_graph::{FairGenError, GraphFingerprint, Result};
+
+use crate::manifest::{
+    checkpoint_file_name, parse_checkpoint_file_name, parse_legacy_file_name, Manifest,
+    ManifestEntry, MANIFEST_FILE,
+};
+use crate::retention::RetentionPolicy;
+
+/// Name of the quarantine subdirectory inside a store directory.
+pub const QUARANTINE_DIR: &str = "quarantine";
+
+/// Counters and gauges the store publishes through the serving stats.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Generations published (checkpoint files written).
+    pub published: u64,
+    /// Models successfully decoded from disk.
+    pub loads: u64,
+    /// Files that failed checksum/decode and were moved to quarantine —
+    /// never silently deleted.
+    pub corrupt_quarantined: u64,
+    /// Generations deleted by retention (generation cap or byte budget).
+    pub pruned_files: u64,
+    /// Bytes reclaimed by retention.
+    pub pruned_bytes: u64,
+    /// Stray `.tmp` files (crashed atomic writes) cleared at open.
+    pub tmp_swept: u64,
+    /// Files adopted from a directory scan rather than the manifest
+    /// (legacy flat checkpoints, or a lost/corrupt manifest).
+    pub adopted: u64,
+    /// Current retained bytes across all generations (gauge).
+    pub total_bytes: u64,
+    /// Distinct fingerprints with at least one retained generation (gauge).
+    pub fingerprints: u64,
+    /// Retained generation files (gauge).
+    pub generations: u64,
+}
+
+/// One retained generation's bookkeeping.
+#[derive(Clone, Copy, Debug)]
+struct GenRecord {
+    bytes: u64,
+    published_at: u64,
+}
+
+/// Per-fingerprint state: retained generations plus the LRU stamp.
+#[derive(Clone, Debug, Default)]
+struct FpState {
+    gens: BTreeMap<u64, GenRecord>,
+    last_used: u64,
+}
+
+struct StoreInner {
+    dir: PathBuf,
+    quarantine: PathBuf,
+    policy: RetentionPolicy,
+    clock: u64,
+    fps: BTreeMap<GraphFingerprint, FpState>,
+    /// In-memory state (LRU stamps) newer than the persisted manifest.
+    manifest_dirty: bool,
+    published: u64,
+    loads: u64,
+    corrupt_quarantined: u64,
+    pruned_files: u64,
+    pruned_bytes: u64,
+    tmp_swept: u64,
+    adopted: u64,
+}
+
+/// A successfully loaded checkpoint: the model plus the generation it
+/// came from.
+pub struct LoadedModel {
+    /// Which generation satisfied the load (newest intact).
+    pub generation: u64,
+    /// The decoded, ready-to-serve model.
+    pub model: Box<dyn PersistableGenerator>,
+}
+
+/// The managed checkpoint store. Cheap to clone — all clones share one
+/// directory, manifest, and stats, so every shard registry of a server
+/// can hold the same store.
+///
+/// Layout of a store directory:
+///
+/// ```text
+/// <dir>/manifest.fgm            versioned index (FGCK container)
+/// <dir>/fg-<fp>.g<N>.ckpt       generation-counted checkpoints
+/// <dir>/quarantine/             corrupt files, moved — never deleted
+/// ```
+///
+/// All checkpoint and manifest writes go through the atomic
+/// tmp + fsync + rename of [`fairgen_graph::codec::write_file`]; a crash
+/// mid-publish leaves at worst a stray `*.tmp` that the next
+/// [`ModelStore::open`] sweeps.
+#[derive(Clone)]
+pub struct ModelStore {
+    inner: Arc<Mutex<StoreInner>>,
+}
+
+impl std::fmt::Debug for ModelStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.lock();
+        f.debug_struct("ModelStore")
+            .field("dir", &inner.dir)
+            .field("fingerprints", &inner.fps.len())
+            .field("clock", &inner.clock)
+            .finish()
+    }
+}
+
+impl ModelStore {
+    /// Opens (or initialises) the store rooted at `dir`.
+    ///
+    /// Recovery sequence, in order:
+    ///
+    /// 1. create `dir` and `dir/quarantine`;
+    /// 2. delete stray `*.tmp` files — the only debris an interrupted
+    ///    atomic write can leave, and invisible to every reader;
+    /// 3. read `manifest.fgm`; if it fails to decode, move **it** to
+    ///    quarantine and fall back to a directory scan;
+    /// 4. reconcile manifest against disk: entries whose file vanished are
+    ///    dropped, files the manifest missed are adopted, and legacy flat
+    ///    `fg-<fp>.ckpt` files are renamed to generation 1.
+    ///
+    /// Corrupt *checkpoints* are not probed here — decode happens lazily
+    /// on load, where failures quarantine the file and fall back to the
+    /// next older generation.
+    pub fn open(dir: impl AsRef<Path>, policy: RetentionPolicy) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        let quarantine = dir.join(QUARANTINE_DIR);
+        std::fs::create_dir_all(&dir)?;
+        std::fs::create_dir_all(&quarantine)?;
+
+        let mut inner = StoreInner {
+            dir,
+            quarantine,
+            policy,
+            clock: 0,
+            fps: BTreeMap::new(),
+            manifest_dirty: false,
+            published: 0,
+            loads: 0,
+            corrupt_quarantined: 0,
+            pruned_files: 0,
+            pruned_bytes: 0,
+            tmp_swept: 0,
+            adopted: 0,
+        };
+        inner.sweep_tmp()?;
+        inner.load_or_rebuild_manifest()?;
+        inner.reconcile_with_disk()?;
+        if inner.manifest_dirty {
+            inner.persist_manifest()?;
+        }
+        Ok(ModelStore { inner: Arc::new(Mutex::new(inner)) })
+    }
+
+    fn lock(&self) -> MutexGuard<'_, StoreInner> {
+        self.inner.lock().unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> PathBuf {
+        self.lock().dir.clone()
+    }
+
+    /// The quarantine directory.
+    pub fn quarantine_dir(&self) -> PathBuf {
+        self.lock().quarantine.clone()
+    }
+
+    /// The retention policy in force.
+    pub fn policy(&self) -> RetentionPolicy {
+        self.lock().policy
+    }
+
+    /// Publishes checkpoint `bytes` as the next generation of `fp` and
+    /// returns the generation number. The write is atomic; retention is
+    /// enforced and the manifest persisted before returning.
+    pub fn publish(&self, fp: GraphFingerprint, bytes: &[u8]) -> Result<u64> {
+        let mut inner = self.lock();
+        let generation =
+            inner.fps.get(&fp).and_then(|s| s.gens.keys().last().copied()).unwrap_or(0) + 1;
+        let path = inner.dir.join(checkpoint_file_name(fp, generation));
+        codec::write_file(&path, bytes)?;
+        inner.clock += 1;
+        let clock = inner.clock;
+        let state = inner.fps.entry(fp).or_default();
+        state
+            .gens
+            .insert(generation, GenRecord { bytes: bytes.len() as u64, published_at: clock });
+        state.last_used = clock;
+        inner.published += 1;
+        inner.enforce_retention(Some((fp, generation)));
+        inner.persist_manifest()?;
+        Ok(generation)
+    }
+
+    /// [`publish`](ModelStore::publish) for a fitted model: seals it with
+    /// [`fairgen_core::checkpoint::to_bytes`] first.
+    pub fn publish_model(
+        &self,
+        fp: GraphFingerprint,
+        model: &dyn PersistableGenerator,
+    ) -> Result<u64> {
+        self.publish(fp, &checkpoint::to_bytes(model))
+    }
+
+    /// Loads the newest intact generation of `fp`.
+    ///
+    /// **Lenient**: a generation that fails checksum/decode is moved to
+    /// quarantine (counted, never deleted) and the next older one is
+    /// tried; a missing file drops the stale manifest entry. `Ok(None)`
+    /// means no intact generation remains — callers fall back to a fresh
+    /// fit. Only environmental I/O failures surface as errors.
+    pub fn load_latest(&self, fp: GraphFingerprint) -> Result<Option<LoadedModel>> {
+        let mut inner = self.lock();
+        loop {
+            let Some(generation) =
+                inner.fps.get(&fp).and_then(|s| s.gens.keys().last().copied())
+            else {
+                return Ok(None);
+            };
+            match inner.try_load(fp, generation)? {
+                Some(model) => {
+                    inner.clock += 1;
+                    let clock = inner.clock;
+                    if let Some(state) = inner.fps.get_mut(&fp) {
+                        state.last_used = clock;
+                    }
+                    inner.loads += 1;
+                    inner.manifest_dirty = true;
+                    return Ok(Some(LoadedModel { generation, model }));
+                }
+                None => {
+                    // Entry was quarantined or dropped; persist the new
+                    // truth before trying the older generation.
+                    inner.persist_manifest()?;
+                }
+            }
+        }
+    }
+
+    /// Loads one specific generation, **strictly**: a corrupt file is
+    /// quarantined *and* the typed
+    /// [`CorruptCheckpoint`](FairGenError::CorruptCheckpoint) (or
+    /// `UnknownCheckpointTag`) error is returned instead of falling back.
+    /// `Ok(None)` means the generation is not retained.
+    pub fn load_generation(
+        &self,
+        fp: GraphFingerprint,
+        generation: u64,
+    ) -> Result<Option<Box<dyn PersistableGenerator>>> {
+        let mut inner = self.lock();
+        if !inner.fps.get(&fp).is_some_and(|s| s.gens.contains_key(&generation)) {
+            return Ok(None);
+        }
+        let path = inner.dir.join(checkpoint_file_name(fp, generation));
+        let bytes = match codec::read_file(&path) {
+            Ok(bytes) => bytes,
+            Err(FairGenError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                inner.drop_entry(fp, generation);
+                inner.persist_manifest()?;
+                return Ok(None);
+            }
+            Err(e) => return Err(e),
+        };
+        match checkpoint::from_bytes(&bytes) {
+            Ok(model) => {
+                inner.clock += 1;
+                let clock = inner.clock;
+                if let Some(state) = inner.fps.get_mut(&fp) {
+                    state.last_used = clock;
+                }
+                inner.loads += 1;
+                inner.manifest_dirty = true;
+                Ok(Some(model))
+            }
+            Err(
+                e @ (FairGenError::CorruptCheckpoint { .. }
+                | FairGenError::UnknownCheckpointTag { .. }),
+            ) => {
+                inner.quarantine_file(fp, generation)?;
+                inner.persist_manifest()?;
+                Err(e)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Whether any generation of `fp` is retained.
+    pub fn contains(&self, fp: GraphFingerprint) -> bool {
+        self.lock().fps.get(&fp).is_some_and(|s| !s.gens.is_empty())
+    }
+
+    /// The newest retained generation of `fp`, if any.
+    pub fn latest_generation(&self, fp: GraphFingerprint) -> Option<u64> {
+        self.lock().fps.get(&fp).and_then(|s| s.gens.keys().last().copied())
+    }
+
+    /// All retained generations of `fp`, ascending.
+    pub fn retained_generations(&self, fp: GraphFingerprint) -> Vec<u64> {
+        self.lock().fps.get(&fp).map(|s| s.gens.keys().copied().collect()).unwrap_or_default()
+    }
+
+    /// Bumps `fp`'s LRU stamp without touching disk (persisted with the
+    /// next manifest write or [`flush`](ModelStore::flush)).
+    pub fn touch(&self, fp: GraphFingerprint) {
+        let mut inner = self.lock();
+        if inner.fps.contains_key(&fp) {
+            inner.clock += 1;
+            let clock = inner.clock;
+            if let Some(state) = inner.fps.get_mut(&fp) {
+                state.last_used = clock;
+            }
+            inner.manifest_dirty = true;
+        }
+    }
+
+    /// Persists the manifest if in-memory state (LRU stamps) is newer
+    /// than the file.
+    pub fn flush(&self) -> Result<()> {
+        let mut inner = self.lock();
+        if inner.manifest_dirty {
+            inner.persist_manifest()?;
+        }
+        Ok(())
+    }
+
+    /// Current counters and gauges.
+    pub fn stats(&self) -> StoreStats {
+        let inner = self.lock();
+        let mut total_bytes = 0u64;
+        let mut generations = 0u64;
+        let mut fingerprints = 0u64;
+        for state in inner.fps.values() {
+            if state.gens.is_empty() {
+                continue;
+            }
+            fingerprints += 1;
+            for rec in state.gens.values() {
+                generations += 1;
+                total_bytes += rec.bytes;
+            }
+        }
+        StoreStats {
+            published: inner.published,
+            loads: inner.loads,
+            corrupt_quarantined: inner.corrupt_quarantined,
+            pruned_files: inner.pruned_files,
+            pruned_bytes: inner.pruned_bytes,
+            tmp_swept: inner.tmp_swept,
+            adopted: inner.adopted,
+            total_bytes,
+            fingerprints,
+            generations,
+        }
+    }
+
+    /// File names currently sitting in quarantine, sorted.
+    pub fn quarantined_files(&self) -> Result<Vec<String>> {
+        let inner = self.lock();
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(&inner.quarantine)? {
+            let entry = entry?;
+            if let Some(name) = entry.file_name().to_str() {
+                names.push(name.to_string());
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+}
+
+impl StoreInner {
+    /// Deletes stray `*.tmp` files from an interrupted atomic write.
+    fn sweep_tmp(&mut self) -> Result<()> {
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.ends_with(".tmp") && entry.file_type()?.is_file() {
+                std::fs::remove_file(entry.path())?;
+                self.tmp_swept += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads the manifest into `fps`; a corrupt manifest is quarantined
+    /// and state rebuilt from the directory scan in
+    /// [`reconcile_with_disk`](Self::reconcile_with_disk).
+    fn load_or_rebuild_manifest(&mut self) -> Result<()> {
+        let path = self.dir.join(MANIFEST_FILE);
+        let bytes = match codec::read_file(&path) {
+            Ok(bytes) => bytes,
+            Err(FairGenError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                self.manifest_dirty = true; // nothing on disk yet
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+        match Manifest::from_bytes(&bytes) {
+            Ok(manifest) => {
+                self.clock = manifest.clock;
+                for e in manifest.entries {
+                    let state = self.fps.entry(e.fingerprint).or_default();
+                    state.gens.insert(
+                        e.generation,
+                        GenRecord { bytes: e.bytes, published_at: e.published_at },
+                    );
+                    state.last_used = state.last_used.max(e.last_used);
+                    self.clock = self.clock.max(e.published_at).max(e.last_used);
+                }
+                Ok(())
+            }
+            Err(FairGenError::CorruptCheckpoint { .. }) => {
+                self.move_to_quarantine(&path)?;
+                self.corrupt_quarantined += 1;
+                self.manifest_dirty = true;
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Drops manifest entries whose files vanished, adopts files the
+    /// manifest missed, and upgrades legacy flat checkpoints to
+    /// generation 1.
+    fn reconcile_with_disk(&mut self) -> Result<()> {
+        let mut on_disk: BTreeMap<(GraphFingerprint, u64), u64> = BTreeMap::new();
+        let mut legacy: Vec<(GraphFingerprint, PathBuf, u64)> = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if !entry.file_type()?.is_file() {
+                continue;
+            }
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some((fp, generation)) = parse_checkpoint_file_name(name) {
+                on_disk.insert((fp, generation), entry.metadata()?.len());
+            } else if let Some(fp) = parse_legacy_file_name(name) {
+                legacy.push((fp, entry.path(), entry.metadata()?.len()));
+            }
+        }
+        // Legacy flat files become generation 1, unless generation-counted
+        // files for the same fingerprint already exist (then the newer
+        // layout wins and the flat file is left untouched).
+        for (fp, path, len) in legacy {
+            let has_gen = on_disk.keys().any(|&(f, _)| f == fp)
+                || self.fps.get(&fp).is_some_and(|s| !s.gens.is_empty());
+            if has_gen {
+                continue;
+            }
+            let dest = self.dir.join(checkpoint_file_name(fp, 1));
+            std::fs::rename(&path, &dest)?;
+            on_disk.insert((fp, 1), len);
+        }
+
+        // Manifest entries whose file vanished are stale — drop them.
+        let stale: Vec<(GraphFingerprint, u64)> = self
+            .fps
+            .iter()
+            .flat_map(|(&fp, state)| state.gens.keys().map(move |&g| (fp, g)))
+            .filter(|key| !on_disk.contains_key(key))
+            .collect();
+        for (fp, generation) in stale {
+            self.drop_entry(fp, generation);
+            self.manifest_dirty = true;
+        }
+
+        // Files the manifest missed (lost manifest, foreign copies) are
+        // adopted; sizes are refreshed from disk either way so retention
+        // accounting matches reality.
+        for (&(fp, generation), &len) in &on_disk {
+            let state = self.fps.entry(fp).or_default();
+            match state.gens.get_mut(&generation) {
+                Some(rec) => rec.bytes = len,
+                None => {
+                    self.clock += 1;
+                    state
+                        .gens
+                        .insert(generation, GenRecord { bytes: len, published_at: self.clock });
+                    state.last_used = state.last_used.max(self.clock);
+                    self.adopted += 1;
+                    self.manifest_dirty = true;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies the retention policy (documented on [`RetentionPolicy`]),
+    /// sparing `just_published` from the byte budget until it is the only
+    /// candidate left.
+    fn enforce_retention(&mut self, just_published: Option<(GraphFingerprint, u64)>) {
+        // 1. Per-fingerprint generation cap, oldest first.
+        let cap = self.policy.effective_generations();
+        let over: Vec<(GraphFingerprint, u64)> = self
+            .fps
+            .iter()
+            .flat_map(|(&fp, state)| {
+                let excess = state.gens.len().saturating_sub(cap);
+                state.gens.keys().take(excess).map(move |&g| (fp, g)).collect::<Vec<_>>()
+            })
+            .collect();
+        for (fp, generation) in over {
+            self.prune_entry(fp, generation);
+        }
+
+        // 2. Byte budget: strict, deterministic victim order.
+        let Some(budget) = self.policy.max_total_bytes else { return };
+        loop {
+            let total: u64 =
+                self.fps.values().flat_map(|s| s.gens.values()).map(|r| r.bytes).sum();
+            if total <= budget {
+                return;
+            }
+            let victim = self
+                .fps
+                .iter()
+                .flat_map(|(&fp, state)| {
+                    let last_used = state.last_used;
+                    state.gens.keys().map(move |&g| (last_used, fp, g))
+                })
+                .filter(|&(_, fp, g)| just_published != Some((fp, g)))
+                .min()
+                .map(|(_, fp, g)| (fp, g))
+                .or(just_published);
+            match victim {
+                Some((fp, generation)) => self.prune_entry(fp, generation),
+                None => return, // nothing retained at all
+            }
+        }
+    }
+
+    /// Deletes one generation's file and forgets it (retention path —
+    /// this is the only place the store deletes checkpoints).
+    fn prune_entry(&mut self, fp: GraphFingerprint, generation: u64) {
+        let path = self.dir.join(checkpoint_file_name(fp, generation));
+        let _ = std::fs::remove_file(path); // already-gone is still pruned
+        if let Some(bytes) = self.drop_entry(fp, generation) {
+            self.pruned_files += 1;
+            self.pruned_bytes += bytes;
+        }
+    }
+
+    /// Removes a generation from the in-memory index, returning its
+    /// recorded size.
+    fn drop_entry(&mut self, fp: GraphFingerprint, generation: u64) -> Option<u64> {
+        let state = self.fps.get_mut(&fp)?;
+        let rec = state.gens.remove(&generation)?;
+        if state.gens.is_empty() {
+            self.fps.remove(&fp);
+        }
+        Some(rec.bytes)
+    }
+
+    /// Reads and decodes one generation. `Ok(None)` means the entry was
+    /// consumed (file missing → dropped, corrupt → quarantined) and the
+    /// caller should retry with the next candidate.
+    fn try_load(
+        &mut self,
+        fp: GraphFingerprint,
+        generation: u64,
+    ) -> Result<Option<Box<dyn PersistableGenerator>>> {
+        let path = self.dir.join(checkpoint_file_name(fp, generation));
+        let bytes = match codec::read_file(&path) {
+            Ok(bytes) => bytes,
+            Err(FairGenError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                self.drop_entry(fp, generation);
+                return Ok(None);
+            }
+            Err(e) => return Err(e),
+        };
+        match checkpoint::from_bytes(&bytes) {
+            Ok(model) => Ok(Some(model)),
+            Err(
+                FairGenError::CorruptCheckpoint { .. }
+                | FairGenError::UnknownCheckpointTag { .. },
+            ) => {
+                self.quarantine_file(fp, generation)?;
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Moves one generation's file into quarantine and forgets it.
+    fn quarantine_file(&mut self, fp: GraphFingerprint, generation: u64) -> Result<()> {
+        let path = self.dir.join(checkpoint_file_name(fp, generation));
+        self.move_to_quarantine(&path)?;
+        self.drop_entry(fp, generation);
+        self.corrupt_quarantined += 1;
+        Ok(())
+    }
+
+    /// Renames `path` into the quarantine directory, suffixing `.1`,
+    /// `.2`, … if the name is already taken there.
+    fn move_to_quarantine(&self, path: &Path) -> Result<()> {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("unnamed").to_string();
+        let mut dest = self.quarantine.join(&name);
+        let mut suffix = 0u32;
+        while dest.exists() {
+            suffix += 1;
+            dest = self.quarantine.join(format!("{name}.{suffix}"));
+        }
+        std::fs::rename(path, &dest)?;
+        Ok(())
+    }
+
+    /// Writes the manifest atomically.
+    fn persist_manifest(&mut self) -> Result<()> {
+        let mut entries = Vec::new();
+        for (&fp, state) in &self.fps {
+            for (&generation, rec) in &state.gens {
+                entries.push(ManifestEntry {
+                    fingerprint: fp,
+                    generation,
+                    bytes: rec.bytes,
+                    published_at: rec.published_at,
+                    last_used: state.last_used,
+                });
+            }
+        }
+        let manifest = Manifest { clock: self.clock, entries };
+        codec::write_file(self.dir.join(MANIFEST_FILE), &manifest.to_bytes())?;
+        self.manifest_dirty = false;
+        Ok(())
+    }
+}

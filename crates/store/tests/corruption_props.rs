@@ -1,0 +1,142 @@
+//! Property tests for corruption handling: truncating or bit-flipping a
+//! published checkpoint at a *random offset* must always yield the typed
+//! [`CorruptCheckpoint`] on strict load, move the file to quarantine
+//! (never delete it), and leave the manifest consistent — the lenient
+//! path reports "nothing intact" so a registry can fall back to a fresh
+//! fit.
+
+use std::sync::OnceLock;
+
+use fairgen_baselines::persist::{fitted_to_bytes, PersistableGraphGenerator};
+use fairgen_baselines::{ErGenerator, TaskSpec};
+use fairgen_graph::{FairGenError, FingerprintBuilder, Graph, GraphFingerprint};
+use fairgen_store::{checkpoint_file_name, ModelStore, RetentionPolicy};
+use proptest::prelude::*;
+
+static CASE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+fn temp_dir(name: &str) -> std::path::PathBuf {
+    let unique = CASE.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+    let dir = std::env::temp_dir()
+        .join("fairgen-store-props")
+        .join(format!("{name}-{}-{unique}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One fitted-model checkpoint, built once (fit is deterministic, the
+/// bytes are shared across cases read-only).
+fn pristine_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let n = 24u32;
+        let g = Graph::from_edges(
+            n as usize,
+            &(0..n).map(|i| (i, (i + 1) % n)).collect::<Vec<_>>(),
+        );
+        let model = ErGenerator.fit_persistable(&g, &TaskSpec::unlabeled(), 7).expect("er fit");
+        fitted_to_bytes(model.as_ref())
+    })
+}
+
+fn fp(tag: u64) -> GraphFingerprint {
+    FingerprintBuilder::new().add_u64(tag).finish()
+}
+
+/// Corrupts `bytes` per the scripted mutation. `flip == None` truncates
+/// at the offset instead.
+fn mutate(bytes: &[u8], offset: usize, flip: Option<u8>) -> Vec<u8> {
+    let mut out = bytes.to_vec();
+    let offset = offset % out.len();
+    match flip {
+        Some(bit) => out[offset] ^= 1 << (bit % 8),
+        None => out.truncate(offset),
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_corruption_is_typed_quarantined_and_recoverable(
+        offset in 0usize..4096,
+        bit in 0u8..9, // 0..8 = flip that bit, 8 = truncate
+    ) {
+        let dir = temp_dir("corrupt");
+        let f = fp(1);
+        let store = ModelStore::open(&dir, RetentionPolicy::default()).expect("open");
+        let pristine = pristine_bytes();
+        store.publish(f, pristine).expect("publish");
+
+        let corrupted = mutate(pristine, offset, (bit < 8).then_some(bit));
+        prop_assume!(corrupted != pristine); // truncate at len is a no-op
+        let path = dir.join(checkpoint_file_name(f, 1));
+        std::fs::write(&path, &corrupted).expect("corrupt in place");
+
+        // Strict load: typed error, file moved to quarantine.
+        match store.load_generation(f, 1) {
+            Err(FairGenError::CorruptCheckpoint { .. }) => {}
+            Err(other) => {
+                return Err(TestCaseError::Fail(format!(
+                    "expected CorruptCheckpoint, got {other:?}"
+                )));
+            }
+            Ok(model) => {
+                return Err(TestCaseError::Fail(format!(
+                    "corrupt bytes decoded (present={})", model.is_some()
+                )));
+            }
+        }
+        prop_assert!(!path.exists(), "corrupt file still in the store dir");
+        let quarantined = store.quarantined_files().expect("ls quarantine");
+        prop_assert!(
+            quarantined.contains(&checkpoint_file_name(f, 1)),
+            "file was deleted instead of quarantined: {quarantined:?}"
+        );
+        let stats = store.stats();
+        prop_assert_eq!(stats.corrupt_quarantined, 1);
+        prop_assert_eq!(stats.generations, 0, "manifest still lists the quarantined file");
+
+        // Lenient load now reports nothing intact — the registry's cue to
+        // fall back to a fresh fit.
+        prop_assert!(store.load_latest(f).expect("lenient").is_none());
+
+        // And a successor process agrees: no resurrection, no double
+        // quarantine, manifest consistent.
+        drop(store);
+        let successor = ModelStore::open(&dir, RetentionPolicy::default()).expect("reopen");
+        prop_assert!(successor.load_latest(f).expect("lenient").is_none());
+        prop_assert_eq!(successor.stats().generations, 0);
+        prop_assert_eq!(successor.stats().corrupt_quarantined, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_of_newest_falls_back_without_losing_the_file(
+        offset in 0usize..4096,
+        bit in 0u8..9,
+    ) {
+        let dir = temp_dir("fallback");
+        let f = fp(2);
+        let store = ModelStore::open(&dir, RetentionPolicy::default()).expect("open");
+        let pristine = pristine_bytes();
+        store.publish(f, pristine).expect("publish g1");
+        store.publish(f, pristine).expect("publish g2");
+
+        let corrupted = mutate(pristine, offset, (bit < 8).then_some(bit));
+        prop_assume!(corrupted != pristine);
+        std::fs::write(dir.join(checkpoint_file_name(f, 2)), &corrupted).expect("corrupt g2");
+
+        // Lenient load quarantines g2 and serves g1.
+        let loaded = store.load_latest(f).expect("load").expect("g1 intact");
+        prop_assert_eq!(loaded.generation, 1);
+        prop_assert!(store
+            .quarantined_files()
+            .expect("ls")
+            .contains(&checkpoint_file_name(f, 2)));
+        prop_assert_eq!(store.stats().corrupt_quarantined, 1);
+        prop_assert_eq!(store.retained_generations(f), vec![1]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,164 @@
+//! Property tests for [`RetentionPolicy`] enforcement: under random
+//! publish/touch interleavings the store must never exceed its byte
+//! budget, never hold more generations per fingerprint than the cap, and
+//! prune in exactly the documented order — newest-spared LRU by
+//! `(fingerprint last_used, fingerprint, generation)`. A reference model
+//! implements the policy *as documented on the type* and the retained
+//! sets must match after every operation.
+
+use std::collections::BTreeMap;
+
+use fairgen_graph::{FingerprintBuilder, GraphFingerprint};
+use fairgen_store::{ModelStore, RetentionPolicy};
+use proptest::prelude::*;
+
+static CASE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+fn temp_dir(name: &str) -> std::path::PathBuf {
+    let unique = CASE.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+    let dir = std::env::temp_dir()
+        .join("fairgen-store-props")
+        .join(format!("{name}-{}-{unique}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn fp(tag: u64) -> GraphFingerprint {
+    FingerprintBuilder::new().add_u64(tag).finish()
+}
+
+/// Reference implementation of the documented retention policy.
+struct RetentionModel {
+    policy: RetentionPolicy,
+    clock: u64,
+    /// fp -> (last_used, generation -> bytes)
+    fps: BTreeMap<GraphFingerprint, (u64, BTreeMap<u64, u64>)>,
+}
+
+impl RetentionModel {
+    fn new(policy: RetentionPolicy) -> Self {
+        RetentionModel { policy, clock: 0, fps: BTreeMap::new() }
+    }
+
+    fn publish(&mut self, f: GraphFingerprint, bytes: u64) -> u64 {
+        let generation =
+            self.fps.get(&f).and_then(|(_, g)| g.keys().last().copied()).unwrap_or(0) + 1;
+        self.clock += 1;
+        let entry = self.fps.entry(f).or_insert((0, BTreeMap::new()));
+        entry.0 = self.clock;
+        entry.1.insert(generation, bytes);
+
+        // Step 1: per-fingerprint cap, oldest first.
+        let cap = self.policy.effective_generations();
+        for (_, gens) in self.fps.values_mut() {
+            while gens.len() > cap {
+                let oldest = *gens.keys().next().expect("non-empty");
+                gens.remove(&oldest);
+            }
+        }
+        // Step 2: byte budget, ascending (last_used, fp, gen), sparing the
+        // just-published file until it is the only candidate.
+        if let Some(budget) = self.policy.max_total_bytes {
+            loop {
+                let total: u64 = self.fps.values().flat_map(|(_, g)| g.values()).copied().sum();
+                if total <= budget {
+                    break;
+                }
+                let victim = self
+                    .fps
+                    .iter()
+                    .flat_map(|(&vf, (used, gens))| gens.keys().map(move |&g| (*used, vf, g)))
+                    .filter(|&(_, vf, g)| (vf, g) != (f, generation))
+                    .min()
+                    .map(|(_, vf, g)| (vf, g))
+                    .unwrap_or((f, generation));
+                let gens = &mut self.fps.get_mut(&victim.0).expect("victim fp").1;
+                gens.remove(&victim.1);
+                if gens.is_empty() {
+                    self.fps.remove(&victim.0);
+                }
+            }
+        }
+        generation
+    }
+
+    fn touch(&mut self, f: GraphFingerprint) {
+        if let Some(entry) = self.fps.get_mut(&f) {
+            self.clock += 1;
+            entry.0 = self.clock;
+        }
+    }
+
+    fn retained(&self, f: GraphFingerprint) -> Vec<u64> {
+        self.fps.get(&f).map(|(_, g)| g.keys().copied().collect()).unwrap_or_default()
+    }
+
+    fn total_bytes(&self) -> u64 {
+        self.fps.values().flat_map(|(_, g)| g.values()).copied().sum()
+    }
+}
+
+const TAGS: u64 = 4;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn budget_and_prune_order_match_the_documented_policy(
+        ops in proptest::collection::vec((0u8..3, 0..TAGS, 1u64..1500), 1..40),
+        max_generations in 1usize..4,
+        budget_kb in 1u64..8,
+    ) {
+        let policy = RetentionPolicy {
+            max_generations,
+            max_total_bytes: Some(budget_kb * 1024),
+        };
+        let dir = temp_dir("retention");
+        let store = ModelStore::open(&dir, policy).expect("open");
+        let mut model = RetentionModel::new(policy);
+
+        for &(kind, tag, size) in &ops {
+            let f = fp(tag);
+            if kind == 2 && model.fps.contains_key(&f) {
+                store.touch(f);
+                model.touch(f);
+            } else {
+                let payload = vec![tag as u8; size as usize];
+                let got = store.publish(f, &payload).expect("publish");
+                let want = model.publish(f, payload.len() as u64);
+                prop_assert_eq!(got, want, "generation counters diverged");
+            }
+
+            // Invariant 1: never over the byte budget, strictly.
+            let stats = store.stats();
+            prop_assert!(
+                stats.total_bytes <= budget_kb * 1024,
+                "store over budget: {} > {}", stats.total_bytes, budget_kb * 1024
+            );
+            prop_assert_eq!(stats.total_bytes, model.total_bytes());
+
+            // Invariant 2: per-fingerprint cap + exact retained-set match
+            // (which pins the victim *order*, not just the count).
+            for probe in 0..TAGS {
+                let pf = fp(probe);
+                let got = store.retained_generations(pf);
+                prop_assert!(got.len() <= max_generations);
+                prop_assert_eq!(
+                    got, model.retained(pf),
+                    "retained sets diverged for tag {}", probe
+                );
+            }
+        }
+
+        // On-disk reality matches the index: a fresh open adopts nothing
+        // and sees the same retained sets (pruned files are really gone).
+        drop(store);
+        let successor = ModelStore::open(&dir, policy).expect("reopen");
+        prop_assert_eq!(successor.stats().adopted, 0);
+        for probe in 0..TAGS {
+            let pf = fp(probe);
+            prop_assert_eq!(successor.retained_generations(pf), model.retained(pf));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -48,7 +48,11 @@ fn run_over_socket() -> fairgen_core::error::Result<()> {
     let cfg = FairGenConfig { num_walks: 200, cycles: 2, ..Default::default() };
     let server_cfg = ServerConfig {
         shards: 2,
-        registry: RegistryConfig { capacity: 2, checkpoint_dir: Some(ckpt_dir.clone()) },
+        registry: RegistryConfig {
+            capacity: 2,
+            checkpoint_dir: Some(ckpt_dir.clone()),
+            ..RegistryConfig::default()
+        },
         dedup_capacity: 64,
         ..ServerConfig::default()
     };
@@ -133,7 +137,11 @@ fn main() -> fairgen_core::error::Result<()> {
     let cfg = FairGenConfig { num_walks: 200, cycles: 2, ..Default::default() };
     let server_cfg = ServerConfig {
         shards: 2,
-        registry: RegistryConfig { capacity: 2, checkpoint_dir: Some(ckpt_dir.clone()) },
+        registry: RegistryConfig {
+            capacity: 2,
+            checkpoint_dir: Some(ckpt_dir.clone()),
+            ..RegistryConfig::default()
+        },
         dedup_capacity: 64,
         ..ServerConfig::default()
     };
