@@ -30,6 +30,19 @@ pub struct RateConfig {
     pub tokens_per_sec: u64,
 }
 
+impl RateConfig {
+    /// Whole seconds (rounded up, at least 1) an empty bucket needs to
+    /// accrue `tokens` — the honest `Retry-After` for a rate-limited
+    /// client. `None` when the bucket never refills: retrying is futile
+    /// and the caller should fall back to its own default.
+    pub fn secs_to_accrue(&self, tokens: u64) -> Option<u64> {
+        if self.tokens_per_sec == 0 {
+            return None;
+        }
+        Some(tokens.div_ceil(self.tokens_per_sec).max(1))
+    }
+}
+
 /// One tenant's bucket. [`TokenBucket::try_take`] is the only mutation:
 /// refill-then-spend in a single step, against a caller-supplied "now".
 #[derive(Clone, Debug)]
@@ -120,6 +133,11 @@ impl RateLimiter {
     pub fn tenants(&self) -> usize {
         self.buckets.lock().expect("rate limiter lock").len()
     }
+
+    /// The per-tenant rate policy this limiter applies.
+    pub fn config(&self) -> RateConfig {
+        self.cfg
+    }
 }
 
 impl std::fmt::Debug for RateLimiter {
@@ -170,6 +188,17 @@ mod tests {
         assert!(b.try_take(1000, 2));
         assert!(!b.try_take(500, 1), "no refill from a stale clock reading");
         assert!(b.try_take(1000 + NANOS_PER_SEC, 1), "forward time refills again");
+    }
+
+    #[test]
+    fn secs_to_accrue_rounds_up_and_handles_no_refill() {
+        let cfg = RateConfig { burst: 10, tokens_per_sec: 3 };
+        assert_eq!(cfg.secs_to_accrue(1), Some(1));
+        assert_eq!(cfg.secs_to_accrue(3), Some(1));
+        assert_eq!(cfg.secs_to_accrue(4), Some(2), "partial seconds round up");
+        assert_eq!(cfg.secs_to_accrue(0), Some(1), "never advertise a zero wait");
+        let frozen = RateConfig { burst: 10, tokens_per_sec: 0 };
+        assert_eq!(frozen.secs_to_accrue(1), None);
     }
 
     #[test]

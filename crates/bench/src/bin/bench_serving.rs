@@ -9,6 +9,15 @@
 //! report records accept/shed rates and the interactive lane's latency
 //! percentiles under that pressure.
 //!
+//! While each mix runs, a dedicated scraper thread hits `GET /metrics`
+//! every few milliseconds: each mix's report carries the scrape-latency
+//! distribution and exposition size, and every mid-load exposition must
+//! parse back through `fairgen_obs::parse` — a torn or malformed render
+//! under concurrency fails the bench.
+//!
+//! Percentiles are ceil-based nearest rank (`fairgen_obs::nearest_rank`),
+//! shared with the histogram summaries.
+//!
 //! Run via `scripts/bench_serving.sh`, or directly:
 //!
 //! ```text
@@ -18,10 +27,13 @@
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use fairgen_baselines::{ErGenerator, TaskSpec};
 use fairgen_graph::Graph;
+use fairgen_obs::nearest_rank;
 use fairgen_rpc::{ClientError, RpcClient, RpcConfig, RpcServer};
 use fairgen_serve::{AdmissionConfig, AdmissionStats, FairGenServer, ServedFrom, ServerConfig};
 
@@ -47,15 +59,24 @@ struct MixReport {
     /// Sorted per-request latencies, microseconds.
     latencies_us: Vec<u64>,
     served_from: BTreeMap<&'static str, usize>,
+    /// Sorted `/metrics` scrape latencies measured while the mix ran,
+    /// microseconds.
+    scrape_latencies_us: Vec<u64>,
+    /// Size of the last exposition scraped during the mix, bytes.
+    exposition_bytes: usize,
 }
 
 /// Percentile of an already-sorted latency list, microseconds.
+///
+/// Ceil-based nearest rank (shared with the histogram summaries in
+/// `fairgen-obs`): the reported p95 is a latency some request actually
+/// experienced, never an interpolation, and `p -> 1.0` converges on the
+/// true maximum. The previous `.round()`-based rank could pick the
+/// element *below* the requested quantile — p95 of a 10-element list
+/// rounded rank 8.55 up correctly, but p50 of a 2-element list rounded
+/// 0.5 to rank 0 and under-reported the median.
 fn percentile_of(sorted_us: &[u64], p: f64) -> u64 {
-    if sorted_us.is_empty() {
-        return 0;
-    }
-    let rank = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
-    sorted_us[rank]
+    nearest_rank(sorted_us, p)
 }
 
 impl MixReport {
@@ -130,6 +151,35 @@ fn run_mix(
         })
         .collect();
 
+    // Concurrent scraper: `GET /metrics` every few milliseconds while the
+    // load runs, so the report carries the exposition cost under pressure
+    // and every mid-load exposition is verified to parse.
+    let stop = Arc::new(AtomicBool::new(false));
+    let scraper = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut client = RpcClient::connect(addr).expect("scrape connect");
+            let mut scrape_us = Vec::new();
+            let mut exposition_bytes;
+            loop {
+                let t0 = Instant::now();
+                let resp = client.http_get("/metrics").expect("scrape");
+                scrape_us.push(t0.elapsed().as_micros() as u64);
+                assert_eq!(resp.status, 200, "metrics must serve during load");
+                let text = String::from_utf8(resp.body).expect("utf-8 exposition");
+                fairgen_obs::parse(&text).expect("mid-load exposition parses");
+                exposition_bytes = text.len();
+                // Check the flag *after* scraping so even an instant run
+                // records at least one observation.
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            (scrape_us, exposition_bytes)
+        })
+    };
+
     let mut latencies_us = Vec::new();
     let mut served_from: BTreeMap<&'static str, usize> = BTreeMap::new();
     let mut errors = 0usize;
@@ -142,13 +192,26 @@ fn run_mix(
         errors += errs;
     }
     let elapsed_secs = start.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    let (mut scrape_latencies_us, exposition_bytes) = scraper.join().expect("scraper thread");
     rpc.shutdown();
 
     latencies_us.sort_unstable();
+    scrape_latencies_us.sort_unstable();
     let requests = latencies_us.len();
     assert_eq!(errors, 0, "{mix}: the load harness must not provoke errors");
     assert!(requests > 0 && clients > 0);
-    MixReport { mix, requests, errors, elapsed_secs, latencies_us, served_from }
+    assert!(!scrape_latencies_us.is_empty(), "{mix}: at least one mid-load scrape");
+    MixReport {
+        mix,
+        requests,
+        errors,
+        elapsed_secs,
+        latencies_us,
+        served_from,
+        scrape_latencies_us,
+        exposition_bytes,
+    }
 }
 
 /// Everything measured about the overload scenario.
@@ -296,7 +359,9 @@ fn json_report(
             s,
             "    {{\"mix\": \"{}\", \"requests\": {}, \"errors\": {}, \
              \"requests_per_sec\": {:.0}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \
-             \"max_us\": {}, \"served_from\": {}}}",
+             \"max_us\": {}, \"served_from\": {}, \
+             \"metrics_scrape\": {{\"scrapes\": {}, \"p50_us\": {}, \"max_us\": {}, \
+             \"exposition_bytes\": {}}}}}",
             m.mix,
             m.requests,
             m.errors,
@@ -306,6 +371,10 @@ fn json_report(
             m.percentile(0.99),
             m.latencies_us.last().copied().unwrap_or(0),
             served,
+            m.scrape_latencies_us.len(),
+            percentile_of(&m.scrape_latencies_us, 0.50),
+            m.scrape_latencies_us.last().copied().unwrap_or(0),
+            m.exposition_bytes,
         );
         s.push_str(if i + 1 < mixes.len() { ",\n" } else { "\n" });
     }
@@ -389,12 +458,15 @@ fn main() {
     ];
     for m in &mixes {
         eprintln!(
-            "  {:<5} {:>6.0} req/s  p50 {:>6} us  p95 {:>6} us  p99 {:>6} us",
+            "  {:<5} {:>6.0} req/s  p50 {:>6} us  p95 {:>6} us  p99 {:>6} us  \
+             scrape p50 {:>5} us ({} B)",
             m.mix,
             m.requests_per_sec(),
             m.percentile(0.50),
             m.percentile(0.95),
             m.percentile(0.99),
+            percentile_of(&m.scrape_latencies_us, 0.50),
+            m.exposition_bytes,
         );
     }
 

@@ -1,0 +1,723 @@
+//! The Prometheus text exposition format (version 0.0.4): an in-memory
+//! family model, a renderer, and a parser that inverts it.
+//!
+//! The model is deliberately value-oriented — callers build a fresh
+//! `Vec<MetricFamily>` per scrape from whatever counters they already
+//! keep, rather than registering long-lived metric objects. That fits
+//! this workspace, where every subsystem already maintains its own atomic
+//! stats structs; the exposition layer is a pure view over them.
+//!
+//! Rendering rules follow the exposition-format spec:
+//! `# HELP`/`# TYPE` per family, label values escaped (`\\`, `\"`, `\n`),
+//! histograms as cumulative `_bucket{le="..."}` series plus `_sum` and
+//! `_count`, with a final `le="+Inf"` bucket equal to `_count`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The exposition types this layer emits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One `name{labels} value` sample of a counter family.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CounterPoint {
+    /// Label pairs, ordered; rendered in the given order.
+    pub labels: Vec<(String, String)>,
+    pub value: u64,
+}
+
+/// One gauge sample. Gauges are f64 because some (byte totals scaled to
+/// MiB, ratios) are fractional; integral values render without a decimal
+/// point so the round-trip is exact.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GaugePoint {
+    pub labels: Vec<(String, String)>,
+    pub value: f64,
+}
+
+/// One histogram sample: cumulative bucket counts keyed by upper bound,
+/// plus the running sum and total count.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramPoint {
+    pub labels: Vec<(String, String)>,
+    /// `(upper_bound, cumulative_count)` in ascending bound order. The
+    /// implicit `+Inf` bucket is NOT stored here — it is rendered from
+    /// `count` and reconstructed into `count` on parse.
+    pub buckets: Vec<(f64, u64)>,
+    pub sum: f64,
+    pub count: u64,
+}
+
+/// A named family of same-kind samples — the unit of exposition.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricFamily {
+    Counter { name: String, help: String, points: Vec<CounterPoint> },
+    Gauge { name: String, help: String, points: Vec<GaugePoint> },
+    Histogram { name: String, help: String, points: Vec<HistogramPoint> },
+}
+
+impl MetricFamily {
+    pub fn name(&self) -> &str {
+        match self {
+            MetricFamily::Counter { name, .. }
+            | MetricFamily::Gauge { name, .. }
+            | MetricFamily::Histogram { name, .. } => name,
+        }
+    }
+
+    pub fn kind(&self) -> MetricKind {
+        match self {
+            MetricFamily::Counter { .. } => MetricKind::Counter,
+            MetricFamily::Gauge { .. } => MetricKind::Gauge,
+            MetricFamily::Histogram { .. } => MetricKind::Histogram,
+        }
+    }
+
+    /// Convenience: a counter family with a single unlabeled point.
+    pub fn counter(name: &str, help: &str, value: u64) -> Self {
+        MetricFamily::Counter {
+            name: name.into(),
+            help: help.into(),
+            points: vec![CounterPoint { labels: Vec::new(), value }],
+        }
+    }
+
+    /// Convenience: a gauge family with a single unlabeled point.
+    pub fn gauge(name: &str, help: &str, value: f64) -> Self {
+        MetricFamily::Gauge {
+            name: name.into(),
+            help: help.into(),
+            points: vec![GaugePoint { labels: Vec::new(), value }],
+        }
+    }
+}
+
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders an f64 so that integral values round-trip as integers
+/// (`3` not `3.0`) and fractional values keep full precision.
+fn fmt_f64(v: f64) -> String {
+    if v == f64::INFINITY {
+        return "+Inf".into();
+    }
+    if v == f64::NEG_INFINITY {
+        return "-Inf".into();
+    }
+    if v.is_nan() {
+        return "NaN".into();
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        // 17 significant digits: enough to round-trip any f64 exactly.
+        let s = format!("{v:.17e}");
+        // Prefer the shortest representation that still parses back equal.
+        let plain = format!("{v}");
+        if plain.parse::<f64>() == Ok(v) {
+            plain
+        } else {
+            s
+        }
+    }
+}
+
+fn labels_block(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", escape_label_value(v));
+    }
+    out.push('}');
+    out
+}
+
+/// Label block for a `_bucket` line: the point's own labels plus `le`.
+fn bucket_labels(labels: &[(String, String)], le: &str) -> String {
+    let mut all: Vec<(String, String)> = labels.to_vec();
+    all.push(("le".into(), le.into()));
+    labels_block(&all)
+}
+
+/// Renders families to the Prometheus text exposition format.
+///
+/// The output is deterministic: families in input order, points in input
+/// order, one trailing newline. Content type for HTTP transport is
+/// `text/plain; version=0.0.4`.
+pub fn render(families: &[MetricFamily]) -> String {
+    let mut out = String::new();
+    for family in families {
+        let (name, help) = (
+            family.name(),
+            match family {
+                MetricFamily::Counter { help, .. }
+                | MetricFamily::Gauge { help, .. }
+                | MetricFamily::Histogram { help, .. } => help.as_str(),
+            },
+        );
+        let _ = writeln!(out, "# HELP {name} {}", escape_help(help));
+        let _ = writeln!(out, "# TYPE {name} {}", family.kind().as_str());
+        match family {
+            MetricFamily::Counter { points, .. } => {
+                for p in points {
+                    let _ = writeln!(out, "{name}{} {}", labels_block(&p.labels), p.value);
+                }
+            }
+            MetricFamily::Gauge { points, .. } => {
+                for p in points {
+                    let _ =
+                        writeln!(out, "{name}{} {}", labels_block(&p.labels), fmt_f64(p.value));
+                }
+            }
+            MetricFamily::Histogram { points, .. } => {
+                for p in points {
+                    for (bound, cumulative) in &p.buckets {
+                        let _ = writeln!(
+                            out,
+                            "{name}_bucket{} {cumulative}",
+                            bucket_labels(&p.labels, &fmt_f64(*bound)),
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{name}_bucket{} {}",
+                        bucket_labels(&p.labels, "+Inf"),
+                        p.count,
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{name}_sum{} {}",
+                        labels_block(&p.labels),
+                        fmt_f64(p.sum)
+                    );
+                    let _ =
+                        writeln!(out, "{name}_count{} {}", labels_block(&p.labels), p.count);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Why a scrape body failed to parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// A sample line did not match `name{labels} value`.
+    Malformed { line: String },
+    /// A sample appeared before any `# TYPE` declared its family.
+    Undeclared { name: String },
+    /// A numeric value failed to parse.
+    BadValue { line: String },
+    /// A histogram series was incomplete (missing `_sum`/`_count`) or its
+    /// `+Inf` bucket disagreed with `_count`.
+    BadHistogram { name: String },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Malformed { line } => write!(f, "malformed sample line: {line:?}"),
+            ParseError::Undeclared { name } => {
+                write!(f, "sample {name:?} appeared before its # TYPE line")
+            }
+            ParseError::BadValue { line } => write!(f, "unparseable value in: {line:?}"),
+            ParseError::BadHistogram { name } => {
+                write!(f, "inconsistent histogram series for {name:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn unescape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    let mut chars = v.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('\\') => out.push('\\'),
+                Some('"') => out.push('"'),
+                Some('n') => out.push('\n'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// One parsed sample line: (metric name, labels, value-text).
+type Sample<'a> = (&'a str, Vec<(String, String)>, &'a str);
+
+/// Splits `name{k="v",...} value` into (name, labels, value-text).
+fn split_sample(line: &str) -> Option<Sample<'_>> {
+    if let Some(brace) = line.find('{') {
+        let name = &line[..brace];
+        let rest = &line[brace + 1..];
+        let close = find_closing_brace(rest)?;
+        let labels = parse_labels(&rest[..close])?;
+        let value = rest[close + 1..].trim();
+        Some((name, labels, value))
+    } else {
+        let mut parts = line.splitn(2, char::is_whitespace);
+        let name = parts.next()?;
+        let value = parts.next()?.trim();
+        Some((name, Vec::new(), value))
+    }
+}
+
+/// Index of the `}` that closes the label block, honoring quoted values.
+fn find_closing_brace(s: &str) -> Option<usize> {
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (i, c) in s.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_quotes => escaped = true,
+            '"' => in_quotes = !in_quotes,
+            '}' if !in_quotes => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+fn parse_labels(s: &str) -> Option<Vec<(String, String)>> {
+    let mut labels = Vec::new();
+    let mut rest = s.trim();
+    while !rest.is_empty() {
+        let eq = rest.find('=')?;
+        let key = rest[..eq].trim().to_string();
+        let after = rest[eq + 1..].trim_start();
+        if !after.starts_with('"') {
+            return None;
+        }
+        let body = &after[1..];
+        // Find the closing quote, honoring escapes.
+        let mut escaped = false;
+        let mut end = None;
+        for (i, c) in body.char_indices() {
+            if escaped {
+                escaped = false;
+                continue;
+            }
+            match c {
+                '\\' => escaped = true,
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let end = end?;
+        labels.push((key, unescape_label_value(&body[..end])));
+        rest = body[end + 1..].trim_start();
+        if let Some(stripped) = rest.strip_prefix(',') {
+            rest = stripped.trim_start();
+        } else if !rest.is_empty() {
+            return None;
+        }
+    }
+    Some(labels)
+}
+
+/// In-flight histogram state while parsing, keyed by the non-`le` labels.
+#[derive(Default)]
+struct HistogramBuild {
+    // Keyed by rendered label block so identical label sets merge; the
+    // value keeps the original labels plus accumulating series.
+    points: BTreeMap<String, HistogramAccum>,
+    order: Vec<String>,
+}
+
+#[derive(Default)]
+struct HistogramAccum {
+    labels: Vec<(String, String)>,
+    buckets: Vec<(f64, u64)>,
+    inf: Option<u64>,
+    sum: Option<f64>,
+    count: Option<u64>,
+}
+
+/// Parses a text-format scrape back into families.
+///
+/// Inverts [`render`] exactly: `parse(&render(&families)) == families`
+/// for any families whose histogram buckets exclude `+Inf` (the renderer's
+/// own invariant). Unknown comment lines are skipped; sample order within
+/// a family is preserved.
+pub fn parse(text: &str) -> Result<Vec<MetricFamily>, ParseError> {
+    // name -> kind/help as declared; families in declaration order.
+    let mut declared: BTreeMap<String, (MetricKind, String)> = BTreeMap::new();
+    let mut order: Vec<String> = Vec::new();
+    let mut counters: BTreeMap<String, Vec<CounterPoint>> = BTreeMap::new();
+    let mut gauges: BTreeMap<String, Vec<GaugePoint>> = BTreeMap::new();
+    let mut hists: BTreeMap<String, HistogramBuild> = BTreeMap::new();
+    let mut helps: BTreeMap<String, String> = BTreeMap::new();
+
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let mut parts = rest.splitn(2, ' ');
+            if let Some(name) = parts.next() {
+                let help = parts.next().unwrap_or("");
+                // Invert escape_help.
+                let help = help.replace("\\n", "\n").replace("\\\\", "\\");
+                helps.insert(name.to_string(), help);
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().unwrap_or("").to_string();
+            let kind = match parts.next() {
+                Some("counter") => MetricKind::Counter,
+                Some("gauge") => MetricKind::Gauge,
+                Some("histogram") => MetricKind::Histogram,
+                // Types this layer never emits (summary, untyped): skip the
+                // declaration; their samples will error as Undeclared,
+                // which is the honest behavior for a round-trip parser.
+                _ => continue,
+            };
+            if !declared.contains_key(&name) {
+                order.push(name.clone());
+            }
+            let help = helps.get(&name).cloned().unwrap_or_default();
+            declared.insert(name, (kind, help));
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+
+        let (name, labels, value_text) =
+            split_sample(line).ok_or_else(|| ParseError::Malformed { line: line.into() })?;
+
+        // A histogram sample's line-name carries a suffix; resolve the
+        // family it belongs to.
+        let (family, suffix) = resolve_family(name, &declared);
+        let Some(family) = family else {
+            return Err(ParseError::Undeclared { name: name.into() });
+        };
+        let (kind, _) = declared[&family];
+        match (kind, suffix) {
+            (MetricKind::Counter, "") => {
+                let value = value_text
+                    .parse::<u64>()
+                    .map_err(|_| ParseError::BadValue { line: line.into() })?;
+                counters.entry(family).or_default().push(CounterPoint { labels, value });
+            }
+            (MetricKind::Gauge, "") => {
+                let value = parse_f64(value_text)
+                    .ok_or_else(|| ParseError::BadValue { line: line.into() })?;
+                gauges.entry(family).or_default().push(GaugePoint { labels, value });
+            }
+            (MetricKind::Histogram, suffix) => {
+                let build = hists.entry(family.clone()).or_default();
+                match suffix {
+                    "_bucket" => {
+                        let mut le = None;
+                        let base: Vec<(String, String)> = labels
+                            .into_iter()
+                            .filter_map(|(k, v)| {
+                                if k == "le" {
+                                    le = Some(v);
+                                    None
+                                } else {
+                                    Some((k, v))
+                                }
+                            })
+                            .collect();
+                        let le =
+                            le.ok_or_else(|| ParseError::Malformed { line: line.into() })?;
+                        let cumulative = value_text
+                            .parse::<u64>()
+                            .map_err(|_| ParseError::BadValue { line: line.into() })?;
+                        let accum = build.accum(&base);
+                        if le == "+Inf" {
+                            accum.inf = Some(cumulative);
+                        } else {
+                            let bound = parse_f64(&le)
+                                .ok_or_else(|| ParseError::BadValue { line: line.into() })?;
+                            accum.buckets.push((bound, cumulative));
+                        }
+                    }
+                    "_sum" => {
+                        let sum = parse_f64(value_text)
+                            .ok_or_else(|| ParseError::BadValue { line: line.into() })?;
+                        build.accum(&labels).sum = Some(sum);
+                    }
+                    "_count" => {
+                        let count = value_text
+                            .parse::<u64>()
+                            .map_err(|_| ParseError::BadValue { line: line.into() })?;
+                        build.accum(&labels).count = Some(count);
+                    }
+                    _ => return Err(ParseError::Malformed { line: line.into() }),
+                }
+            }
+            _ => return Err(ParseError::Malformed { line: line.into() }),
+        }
+    }
+
+    let mut families = Vec::with_capacity(order.len());
+    for name in order {
+        let (kind, help) = declared.remove(&name).expect("declared");
+        match kind {
+            MetricKind::Counter => families.push(MetricFamily::Counter {
+                name: name.clone(),
+                help,
+                points: counters.remove(&name).unwrap_or_default(),
+            }),
+            MetricKind::Gauge => families.push(MetricFamily::Gauge {
+                name: name.clone(),
+                help,
+                points: gauges.remove(&name).unwrap_or_default(),
+            }),
+            MetricKind::Histogram => {
+                let build = hists.remove(&name).unwrap_or_default();
+                let mut points = Vec::with_capacity(build.order.len());
+                for key in build.order {
+                    let accum = &build.points[&key];
+                    let (count, sum) = match (accum.count, accum.sum) {
+                        (Some(c), Some(s)) => (c, s),
+                        _ => return Err(ParseError::BadHistogram { name: name.clone() }),
+                    };
+                    if accum.inf.is_some_and(|inf| inf != count) {
+                        return Err(ParseError::BadHistogram { name: name.clone() });
+                    }
+                    points.push(HistogramPoint {
+                        labels: accum.labels.clone(),
+                        buckets: accum.buckets.clone(),
+                        sum,
+                        count,
+                    });
+                }
+                families.push(MetricFamily::Histogram { name, help, points });
+            }
+        }
+    }
+    Ok(families)
+}
+
+impl HistogramBuild {
+    fn accum(&mut self, labels: &[(String, String)]) -> &mut HistogramAccum {
+        let key = labels_block(labels);
+        if !self.points.contains_key(&key) {
+            self.order.push(key.clone());
+            self.points.insert(
+                key.clone(),
+                HistogramAccum { labels: labels.to_vec(), ..HistogramAccum::default() },
+            );
+        }
+        self.points.get_mut(&key).expect("just inserted")
+    }
+}
+
+/// Maps a sample line-name to its declared family, peeling histogram
+/// suffixes. Plain counter/gauge names win over suffix interpretation, so
+/// a counter literally named `x_count` still resolves to itself.
+fn resolve_family(
+    name: &str,
+    declared: &BTreeMap<String, (MetricKind, String)>,
+) -> (Option<String>, &'static str) {
+    if declared.contains_key(name) {
+        return (Some(name.to_string()), "");
+    }
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if declared.get(base).is_some_and(|(k, _)| *k == MetricKind::Histogram) {
+                return (Some(base.to_string()), suffix);
+            }
+        }
+    }
+    (None, "")
+}
+
+fn parse_f64(s: &str) -> Option<f64> {
+    match s {
+        "+Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        "NaN" => Some(f64::NAN),
+        s => s.parse().ok(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_families() -> Vec<MetricFamily> {
+        vec![
+            MetricFamily::counter("fairgen_requests_total", "Total generation requests.", 42),
+            MetricFamily::Counter {
+                name: "fairgen_dedup_hits_total".into(),
+                help: "Dedup cache hits per shard.".into(),
+                points: vec![
+                    CounterPoint { labels: vec![("shard".into(), "0".into())], value: 7 },
+                    CounterPoint { labels: vec![("shard".into(), "1".into())], value: 9 },
+                ],
+            },
+            MetricFamily::gauge("fairgen_queue_depth", "Jobs queued right now.", 3.0),
+            MetricFamily::Gauge {
+                name: "fairgen_store_bytes".into(),
+                help: "Bytes on disk \\ \"quoted\"\nsecond line.".into(),
+                points: vec![GaugePoint { labels: Vec::new(), value: 1536.5 }],
+            },
+            MetricFamily::Histogram {
+                name: "fairgen_stage_latency_seconds".into(),
+                help: "Per-stage serving latency.".into(),
+                points: vec![HistogramPoint {
+                    labels: vec![("stage".into(), "queue_wait".into())],
+                    buckets: vec![(0.001, 2), (0.01, 5), (0.1, 5)],
+                    sum: 0.0625,
+                    count: 6,
+                }],
+            },
+        ]
+    }
+
+    #[test]
+    fn render_parse_round_trip_is_exact() {
+        let families = sample_families();
+        let text = render(&families);
+        let back = parse(&text).expect("parse rendered text");
+        assert_eq!(back, families);
+    }
+
+    #[test]
+    fn double_round_trip_is_stable() {
+        let families = sample_families();
+        let text = render(&families);
+        let text2 = render(&parse(&text).expect("parse"));
+        assert_eq!(text, text2, "render∘parse must be idempotent on rendered text");
+    }
+
+    #[test]
+    fn renderer_emits_spec_shapes() {
+        let text = render(&sample_families());
+        assert!(text.contains("# TYPE fairgen_requests_total counter"));
+        assert!(text.contains("fairgen_requests_total 42"));
+        assert!(text.contains("fairgen_dedup_hits_total{shard=\"0\"} 7"));
+        assert!(text.contains(
+            "fairgen_stage_latency_seconds_bucket{stage=\"queue_wait\",le=\"0.001\"} 2"
+        ));
+        assert!(text.contains(
+            "fairgen_stage_latency_seconds_bucket{stage=\"queue_wait\",le=\"+Inf\"} 6"
+        ));
+        assert!(text.contains("fairgen_stage_latency_seconds_sum{stage=\"queue_wait\"} 0.0625"));
+        assert!(text.contains("fairgen_stage_latency_seconds_count{stage=\"queue_wait\"} 6"));
+        // Help escaping: backslash doubled, newline as \n.
+        assert!(text.contains(
+            "# HELP fairgen_store_bytes Bytes on disk \\\\ \"quoted\"\\nsecond line."
+        ));
+    }
+
+    #[test]
+    fn label_values_escape_and_unescape() {
+        let families = vec![MetricFamily::Counter {
+            name: "weird".into(),
+            help: "h".into(),
+            points: vec![CounterPoint {
+                labels: vec![("tenant".into(), "a\"b\\c\nd".into())],
+                value: 1,
+            }],
+        }];
+        let text = render(&families);
+        assert!(text.contains(r#"weird{tenant="a\"b\\c\nd"} 1"#));
+        assert_eq!(parse(&text).expect("parse"), families);
+    }
+
+    #[test]
+    fn inf_bucket_must_match_count() {
+        let bad = "# TYPE h histogram\n\
+                   h_bucket{le=\"1\"} 2\n\
+                   h_bucket{le=\"+Inf\"} 5\n\
+                   h_sum 1.0\n\
+                   h_count 6\n";
+        assert_eq!(parse(bad), Err(ParseError::BadHistogram { name: "h".into() }));
+    }
+
+    #[test]
+    fn undeclared_sample_is_an_error() {
+        assert_eq!(
+            parse("mystery_metric 1\n"),
+            Err(ParseError::Undeclared { name: "mystery_metric".into() })
+        );
+    }
+
+    #[test]
+    fn counter_named_like_histogram_suffix_resolves_to_itself() {
+        let families = vec![MetricFamily::counter("jobs_count", "Not a histogram.", 3)];
+        let text = render(&families);
+        assert_eq!(parse(&text).expect("parse"), families);
+    }
+
+    #[test]
+    fn gauge_values_round_trip_including_non_finite() {
+        let families = vec![MetricFamily::Gauge {
+            name: "g".into(),
+            help: "h".into(),
+            points: vec![
+                GaugePoint { labels: Vec::new(), value: 0.1 + 0.2 }, // 0.30000000000000004
+                GaugePoint { labels: vec![("k".into(), "inf".into())], value: f64::INFINITY },
+            ],
+        }];
+        let back = parse(&render(&families)).expect("parse");
+        assert_eq!(back, families);
+    }
+}

@@ -1,0 +1,288 @@
+//! Sustained-window health evaluation.
+//!
+//! The failure mode this guards against is the one instantaneous checks
+//! create: a load balancer scrapes `/healthz` the same millisecond a
+//! bulk burst lands, sees a deep queue, and yanks a perfectly healthy
+//! replica — amplifying the burst onto its peers. Production chain-health
+//! checkers solve this by alerting on *sustained* thresholds: a breach
+//! must hold for N consecutive evaluation windows before the verdict
+//! flips, and one clean window flips it back.
+//!
+//! The monitor is deliberately clockless — [`HealthMonitor::evaluate`]
+//! takes `now_nanos` — so the caller injects whatever clock the rest of
+//! the stack uses. Under the admission layer's `ManualClock` every
+//! 200→503 transition is a deterministic function of the sample sequence.
+
+/// Thresholds and windowing for the health verdict.
+#[derive(Clone, Copy, Debug)]
+pub struct HealthPolicy {
+    /// Queue depth at-or-above this is a breach. `u64::MAX` disables.
+    pub max_queue_depth: u64,
+    /// Fraction of offered jobs dropped (rejected + shed) within one
+    /// window at-or-above this is a breach. `> 1.0` disables.
+    pub max_shed_rate: f64,
+    /// Consecutive breached windows required before the verdict flips to
+    /// unhealthy. 1 means "any full window"; a spike shorter than one
+    /// window can never flip the verdict regardless.
+    pub sustain: u32,
+    /// Minimum window length. Evaluations arriving sooner than this after
+    /// the last window closed reuse the cached verdict instead of opening
+    /// a new window, so a scrape storm cannot fast-forward the streak.
+    pub min_window_nanos: u64,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            max_queue_depth: u64::MAX,
+            max_shed_rate: 0.5,
+            sustain: 3,
+            min_window_nanos: 1_000_000_000, // 1s
+        }
+    }
+}
+
+/// One observation of the server's cumulative counters plus its
+/// instantaneous queue depth. Counters are lifetime totals (the shape
+/// `ServerStats` already exposes); the monitor differences consecutive
+/// samples itself.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HealthSample {
+    /// Jobs currently queued across all shards.
+    pub queue_depth: u64,
+    /// Lifetime jobs offered to admission (admitted + dropped).
+    pub offered: u64,
+    /// Lifetime jobs refused or shed (rejected_full + rejected_rate +
+    /// shed_deadline).
+    pub dropped: u64,
+}
+
+/// Why the monitor considers the server unhealthy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HealthReason {
+    /// Queue depth breached `max_queue_depth` for `sustain` windows.
+    QueueDepth,
+    /// Windowed shed rate breached `max_shed_rate` for `sustain` windows.
+    ShedRate,
+}
+
+impl HealthReason {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HealthReason::QueueDepth => "queue_depth_sustained",
+            HealthReason::ShedRate => "shed_rate_sustained",
+        }
+    }
+}
+
+/// The monitor's answer for one evaluation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HealthVerdict {
+    pub healthy: bool,
+    /// First sustained breach, when unhealthy.
+    pub reason: Option<HealthReason>,
+    /// Current consecutive-breach streaks `(queue_depth, shed_rate)`,
+    /// exposed for the endpoint's JSON body and for tests.
+    pub streaks: (u32, u32),
+    /// The shed rate measured over the last closed window.
+    pub window_shed_rate: f64,
+}
+
+impl HealthVerdict {
+    fn healthy_start() -> Self {
+        HealthVerdict { healthy: true, reason: None, streaks: (0, 0), window_shed_rate: 0.0 }
+    }
+}
+
+/// Tracks breach streaks across evaluation windows. One instance per
+/// server; callers serialize access (the RPC layer holds it in a mutex).
+#[derive(Debug)]
+pub struct HealthMonitor {
+    policy: HealthPolicy,
+    /// Close time of the last window, or None before the first sample.
+    window_closed_at: Option<u64>,
+    /// Counters at the close of the last window.
+    last: HealthSample,
+    depth_streak: u32,
+    shed_streak: u32,
+    verdict: HealthVerdict,
+}
+
+impl HealthMonitor {
+    pub fn new(policy: HealthPolicy) -> Self {
+        HealthMonitor {
+            policy,
+            window_closed_at: None,
+            last: HealthSample::default(),
+            depth_streak: 0,
+            shed_streak: 0,
+            verdict: HealthVerdict::healthy_start(),
+        }
+    }
+
+    pub fn policy(&self) -> &HealthPolicy {
+        &self.policy
+    }
+
+    /// Feeds one sample and returns the current verdict.
+    ///
+    /// The first sample only baselines the counters (always healthy: no
+    /// window has elapsed). Thereafter, a sample taken at least
+    /// `min_window_nanos` after the last window closed closes a new
+    /// window and updates the streaks; earlier samples return the cached
+    /// verdict unchanged.
+    pub fn evaluate(&mut self, now_nanos: u64, sample: HealthSample) -> HealthVerdict {
+        let Some(closed_at) = self.window_closed_at else {
+            self.window_closed_at = Some(now_nanos);
+            self.last = sample;
+            return self.verdict;
+        };
+        if now_nanos.saturating_sub(closed_at) < self.policy.min_window_nanos {
+            return self.verdict;
+        }
+
+        // Close the window: difference the cumulative counters against
+        // the previous close. saturating_sub tolerates a server restart
+        // behind the same monitor (counters reset to zero).
+        let offered = sample.offered.saturating_sub(self.last.offered);
+        let dropped = sample.dropped.saturating_sub(self.last.dropped);
+        let shed_rate = if offered == 0 { 0.0 } else { dropped as f64 / offered as f64 };
+
+        self.depth_streak = if sample.queue_depth >= self.policy.max_queue_depth {
+            self.depth_streak.saturating_add(1)
+        } else {
+            0
+        };
+        self.shed_streak = if shed_rate >= self.policy.max_shed_rate {
+            self.shed_streak.saturating_add(1)
+        } else {
+            0
+        };
+
+        let sustain = self.policy.sustain.max(1);
+        let reason = if self.depth_streak >= sustain {
+            Some(HealthReason::QueueDepth)
+        } else if self.shed_streak >= sustain {
+            Some(HealthReason::ShedRate)
+        } else {
+            None
+        };
+        self.verdict = HealthVerdict {
+            healthy: reason.is_none(),
+            reason,
+            streaks: (self.depth_streak, self.shed_streak),
+            window_shed_rate: shed_rate,
+        };
+        self.window_closed_at = Some(now_nanos);
+        self.last = sample;
+        self.verdict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEC: u64 = 1_000_000_000;
+
+    fn monitor(sustain: u32) -> HealthMonitor {
+        HealthMonitor::new(HealthPolicy {
+            max_queue_depth: 10,
+            max_shed_rate: 0.5,
+            sustain,
+            min_window_nanos: SEC,
+        })
+    }
+
+    fn calm(offered: u64) -> HealthSample {
+        HealthSample { queue_depth: 0, offered, dropped: 0 }
+    }
+
+    #[test]
+    fn first_sample_only_baselines() {
+        let mut m = monitor(1);
+        let v = m.evaluate(0, HealthSample { queue_depth: 999, offered: 100, dropped: 100 });
+        assert!(v.healthy, "no window has elapsed yet");
+    }
+
+    #[test]
+    fn single_spike_never_flips_with_sustain_two() {
+        let mut m = monitor(2);
+        m.evaluate(0, calm(100));
+        // One breached window (everything offered in it was dropped)...
+        let v = m.evaluate(SEC, HealthSample { queue_depth: 50, offered: 200, dropped: 100 });
+        assert!(v.healthy, "one breached window is a spike, not an outage");
+        assert_eq!(v.streaks, (1, 1));
+        // ...followed by a calm one: streaks reset.
+        let v =
+            m.evaluate(2 * SEC, HealthSample { queue_depth: 0, offered: 300, dropped: 100 });
+        assert!(v.healthy);
+        assert_eq!(v.streaks, (0, 0));
+    }
+
+    #[test]
+    fn sustained_breach_flips_and_recovers() {
+        let mut m = monitor(2);
+        m.evaluate(0, calm(100));
+        m.evaluate(SEC, HealthSample { queue_depth: 0, offered: 200, dropped: 80 });
+        let v =
+            m.evaluate(2 * SEC, HealthSample { queue_depth: 0, offered: 300, dropped: 170 });
+        assert!(!v.healthy);
+        assert_eq!(v.reason, Some(HealthReason::ShedRate));
+        assert!((v.window_shed_rate - 0.9).abs() < 1e-12);
+        // One clean window restores health.
+        let v =
+            m.evaluate(3 * SEC, HealthSample { queue_depth: 0, offered: 400, dropped: 170 });
+        assert!(v.healthy);
+        assert_eq!(v.reason, None);
+    }
+
+    #[test]
+    fn queue_depth_breach_reports_its_own_reason() {
+        let mut m = monitor(2);
+        m.evaluate(0, calm(10));
+        m.evaluate(SEC, HealthSample { queue_depth: 10, offered: 20, dropped: 0 });
+        let v = m.evaluate(2 * SEC, HealthSample { queue_depth: 12, offered: 30, dropped: 0 });
+        assert!(!v.healthy);
+        assert_eq!(v.reason, Some(HealthReason::QueueDepth));
+    }
+
+    #[test]
+    fn scrape_storm_cannot_fast_forward_the_streak() {
+        let mut m = monitor(2);
+        m.evaluate(0, calm(100));
+        m.evaluate(SEC, HealthSample { queue_depth: 50, offered: 200, dropped: 100 });
+        // Ten rapid-fire scrapes within the same second: same breach data,
+        // but no new window closes, so the streak must stay at 1.
+        for i in 0..10 {
+            let v = m.evaluate(
+                SEC + (i + 1) * SEC / 100,
+                HealthSample { queue_depth: 50, offered: 200, dropped: 100 },
+            );
+            assert!(v.healthy, "cached verdict, streak frozen at 1");
+            assert_eq!(v.streaks, (1, 1));
+        }
+        // The next full window with the breach still present flips it.
+        let v =
+            m.evaluate(2 * SEC, HealthSample { queue_depth: 50, offered: 260, dropped: 160 });
+        assert!(!v.healthy);
+    }
+
+    #[test]
+    fn idle_windows_with_no_offers_are_healthy() {
+        let mut m = monitor(1);
+        m.evaluate(0, calm(100));
+        let v = m.evaluate(SEC, calm(100)); // nothing offered, nothing dropped
+        assert!(v.healthy);
+        assert_eq!(v.window_shed_rate, 0.0);
+    }
+
+    #[test]
+    fn counter_reset_does_not_panic_or_false_alarm() {
+        let mut m = monitor(1);
+        m.evaluate(0, HealthSample { queue_depth: 0, offered: 500, dropped: 100 });
+        // Server restarted: counters wrapped to small values.
+        let v = m.evaluate(SEC, HealthSample { queue_depth: 0, offered: 10, dropped: 0 });
+        assert!(v.healthy);
+    }
+}

@@ -1,0 +1,261 @@
+//! Lock-free latency histograms for the serving hot path.
+//!
+//! A [`LatencyHistogram`] is a fixed set of atomic bucket counters plus a
+//! running count and nanosecond sum — one `fetch_add` per bucket hit, no
+//! locks, so shard workers and the submit path can record into it without
+//! contending. [`StageLatency`] groups the four serving stages the paper's
+//! latency budget decomposes into; the RPC layer renders a snapshot as one
+//! Prometheus histogram family labeled by `stage`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::expose::{HistogramPoint, MetricFamily};
+
+/// Upper bounds in nanoseconds. Chosen to straddle the serving regimes
+/// this workspace actually exhibits: dedup hits (tens of µs), coalesced
+/// drains (ms), cold fits (hundreds of ms to seconds).
+const BOUNDS_NANOS: [u64; 10] = [
+    50_000,        // 50µs
+    250_000,       // 250µs
+    1_000_000,     // 1ms
+    5_000_000,     // 5ms
+    25_000_000,    // 25ms
+    100_000_000,   // 100ms
+    500_000_000,   // 500ms
+    1_000_000_000, // 1s
+    2_500_000_000, // 2.5s
+    5_000_000_000, // 5s
+];
+
+/// A thread-safe histogram of durations with fixed nanosecond bounds.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BOUNDS_NANOS.len()],
+    count: AtomicU64,
+    sum_nanos: AtomicU64,
+}
+
+/// A point-in-time copy of a [`LatencyHistogram`], with non-cumulative
+/// per-bucket counts (cumulation happens at exposition time).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LatencySnapshot {
+    pub buckets: [u64; BOUNDS_NANOS.len()],
+    pub count: u64,
+    pub sum_nanos: u64,
+}
+
+impl LatencyHistogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation. Lock-free; safe from any thread.
+    pub fn record_nanos(&self, nanos: u64) {
+        let idx = BOUNDS_NANOS.partition_point(|&b| b < nanos);
+        if idx < BOUNDS_NANOS.len() {
+            self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        }
+        // Overflow bucket observations still count toward count/sum —
+        // they land in the implicit +Inf bucket at exposition.
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Convenience for `Duration` callers.
+    pub fn record(&self, elapsed: std::time::Duration) {
+        self.record_nanos(elapsed.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    pub fn snapshot(&self) -> LatencySnapshot {
+        // Relaxed loads: each counter is independently monotonic; a scrape
+        // is allowed to observe a torn-but-valid point between two
+        // concurrent records (count may briefly exceed bucket sum by the
+        // in-flight observation — exposition clamps, see to_point).
+        let mut buckets = [0u64; BOUNDS_NANOS.len()];
+        for (out, bucket) in buckets.iter_mut().zip(&self.buckets) {
+            *out = bucket.load(Ordering::Relaxed);
+        }
+        LatencySnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum_nanos: self.sum_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl LatencySnapshot {
+    /// The fixed bucket bounds, in seconds (the Prometheus convention for
+    /// `*_seconds` histograms).
+    pub fn bounds_seconds() -> impl Iterator<Item = f64> {
+        BOUNDS_NANOS.iter().map(|&n| n as f64 / 1e9)
+    }
+
+    pub fn sum_seconds(&self) -> f64 {
+        self.sum_nanos as f64 / 1e9
+    }
+
+    /// Renders this snapshot as one labeled histogram point with
+    /// cumulative buckets.
+    ///
+    /// Concurrent recording can make a raw snapshot momentarily observe
+    /// `count` ahead of the bucket increments; cumulative counts are
+    /// clamped to `count` so the exposed series always satisfies the
+    /// Prometheus invariant (`+Inf` bucket == `_count`).
+    pub fn to_point(&self, labels: Vec<(String, String)>) -> HistogramPoint {
+        let mut cumulative = 0u64;
+        let buckets = Self::bounds_seconds()
+            .zip(&self.buckets)
+            .map(|(bound, &n)| {
+                cumulative = (cumulative + n).min(self.count);
+                (bound, cumulative)
+            })
+            .collect();
+        HistogramPoint { labels, buckets, sum: self.sum_seconds(), count: self.count }
+    }
+}
+
+/// The serving stages the latency budget decomposes into.
+pub const STAGE_NAMES: [&str; 4] =
+    ["admission_wait", "queue_wait", "model_invocation", "total"];
+
+/// One histogram per serving stage; shared by reference between the
+/// submit path (admission wait, total) and the shard workers (queue wait,
+/// model invocation).
+#[derive(Debug, Default)]
+pub struct StageLatency {
+    /// Time spent inside the admission decision (rate-limit check, lane
+    /// inference, queue push) before the job was accepted.
+    pub admission_wait: LatencyHistogram,
+    /// Time between enqueue and the drain that picked the job up.
+    pub queue_wait: LatencyHistogram,
+    /// Wall time of the model call serving the job's coalesced group.
+    pub model_invocation: LatencyHistogram,
+    /// Submit-to-fulfill wall time, as the client experiences it.
+    pub total: LatencyHistogram,
+}
+
+/// Point-in-time copy of all four stage histograms, cheap to clone into
+/// `ServerStats`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StageLatencySnapshot {
+    pub admission_wait: LatencySnapshot,
+    pub queue_wait: LatencySnapshot,
+    pub model_invocation: LatencySnapshot,
+    pub total: LatencySnapshot,
+}
+
+impl StageLatency {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn snapshot(&self) -> StageLatencySnapshot {
+        StageLatencySnapshot {
+            admission_wait: self.admission_wait.snapshot(),
+            queue_wait: self.queue_wait.snapshot(),
+            model_invocation: self.model_invocation.snapshot(),
+            total: self.total.snapshot(),
+        }
+    }
+}
+
+impl StageLatencySnapshot {
+    fn stages(&self) -> [(&'static str, &LatencySnapshot); 4] {
+        [
+            ("admission_wait", &self.admission_wait),
+            ("queue_wait", &self.queue_wait),
+            ("model_invocation", &self.model_invocation),
+            ("total", &self.total),
+        ]
+    }
+
+    /// Renders all four stages as one histogram family labeled by
+    /// `stage`. Stages with zero observations are still exposed (all-zero
+    /// series), so dashboards see a stable label set from the first
+    /// scrape.
+    pub fn to_family(&self, name: &str, help: &str) -> MetricFamily {
+        MetricFamily::Histogram {
+            name: name.into(),
+            help: help.into(),
+            points: self
+                .stages()
+                .iter()
+                .map(|(stage, snap)| {
+                    snap.to_point(vec![("stage".to_string(), (*stage).to_string())])
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expose::{parse, render};
+
+    #[test]
+    fn observations_land_in_the_right_buckets() {
+        let h = LatencyHistogram::new();
+        h.record_nanos(10_000); // <= 50µs
+        h.record_nanos(50_000); // boundary: belongs to the 50µs bucket
+        h.record_nanos(2_000_000); // 5ms bucket
+        h.record_nanos(10_000_000_000); // beyond 5s: +Inf only
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 4);
+        assert_eq!(snap.buckets[0], 2);
+        assert_eq!(snap.buckets[3], 1); // 5ms bound
+        assert_eq!(snap.buckets.iter().sum::<u64>(), 3, "overflow obs is +Inf-only");
+        assert_eq!(snap.sum_nanos, 10_000 + 50_000 + 2_000_000 + 10_000_000_000);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(LatencyHistogram::new());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record_nanos((t * 1000 + i) * 1_000);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("recorder");
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 8000);
+        assert_eq!(snap.buckets.iter().sum::<u64>(), 8000, "all under 8ms < 5s bound");
+    }
+
+    #[test]
+    fn stage_family_round_trips_through_exposition() {
+        let stages = StageLatency::new();
+        stages.admission_wait.record_nanos(30_000);
+        stages.queue_wait.record_nanos(700_000);
+        stages.model_invocation.record_nanos(450_000_000);
+        stages.total.record_nanos(451_000_000);
+        stages.total.record_nanos(80_000);
+        let family =
+            stages.snapshot().to_family("fairgen_stage_latency_seconds", "Per-stage latency.");
+        let text = render(std::slice::from_ref(&family));
+        let back = parse(&text).expect("parse");
+        assert_eq!(back, vec![family]);
+        assert!(text
+            .contains("fairgen_stage_latency_seconds_bucket{stage=\"total\",le=\"+Inf\"} 2"));
+    }
+
+    #[test]
+    fn cumulative_buckets_clamp_to_count() {
+        // Simulate the torn-read case: a bucket increment observed before
+        // its count increment.
+        let snap = LatencySnapshot {
+            buckets: [2, 0, 0, 0, 0, 0, 0, 0, 0, 0],
+            count: 1,
+            sum_nanos: 10,
+        };
+        let point = snap.to_point(Vec::new());
+        assert!(point.buckets.iter().all(|&(_, c)| c <= point.count));
+    }
+}

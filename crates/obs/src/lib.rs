@@ -1,0 +1,83 @@
+//! fairgen-obs: dependency-free observability primitives.
+//!
+//! Three pieces, each usable on its own:
+//!
+//! * an in-memory metric model ([`MetricFamily`]) with a Prometheus
+//!   text-format renderer ([`render`]) and parser ([`parse`]) — the
+//!   renderer is pinned by a render→parse round-trip, so any scrape a
+//!   real Prometheus server performs can be reconstructed bit-for-bit
+//!   into the families that produced it;
+//! * lock-free latency histograms ([`LatencyHistogram`], [`StageLatency`])
+//!   cheap enough to stamp on the serving hot path, plus the shared
+//!   ceil-based nearest-rank percentile helper ([`nearest_rank`]);
+//! * a sustained-window health monitor ([`HealthMonitor`]) in the style
+//!   of production chain-health checkers: a threshold breach must hold
+//!   for N consecutive evaluation windows before the verdict flips to
+//!   unhealthy, so a single scrape-time spike never trips a 503.
+//!
+//! The crate has no dependencies (std only) and no opinion about
+//! transport: `fairgen-serve` records into the histograms, `fairgen-rpc`
+//! renders the families at `GET /metrics` and asks the monitor at
+//! `GET /healthz`, and the bench harness reuses [`nearest_rank`] for its
+//! summary percentiles. Time is always passed *in* (`now_nanos`), never
+//! read from the system clock, so every state transition is reproducible
+//! under the admission layer's `ManualClock`.
+
+mod expose;
+mod health;
+mod latency;
+
+pub use expose::{
+    parse, render, CounterPoint, GaugePoint, HistogramPoint, MetricFamily, MetricKind,
+    ParseError,
+};
+pub use health::{HealthMonitor, HealthPolicy, HealthReason, HealthSample, HealthVerdict};
+pub use latency::{
+    LatencyHistogram, LatencySnapshot, StageLatency, StageLatencySnapshot, STAGE_NAMES,
+};
+
+/// Ceil-based nearest-rank percentile over an ascending-sorted slice.
+///
+/// For `p` in `(0, 1]` this returns the element at 1-based rank
+/// `ceil(p * n)` — the classical nearest-rank definition, under which the
+/// p100 is the maximum and the p99 of 100 samples is the 99th value (index
+/// 98 is correct *here*; the bug this replaces was `((n - 1) * p).round()`,
+/// which reads index 98 for p99 of 100 but also reads the *98th* value for
+/// p99 of 99 samples and rounds p50 of 2 samples down to the minimum).
+/// `p <= 0` returns the minimum.
+pub fn nearest_rank(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let n = sorted.len();
+    let rank = (p * n as f64).ceil();
+    let idx = if rank <= 1.0 { 0 } else { (rank as usize).min(n) - 1 };
+    sorted[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::nearest_rank;
+
+    #[test]
+    fn nearest_rank_matches_the_classical_definition() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(nearest_rank(&v, 0.50), 50);
+        assert_eq!(nearest_rank(&v, 0.99), 99);
+        assert_eq!(nearest_rank(&v, 1.0), 100);
+        assert_eq!(nearest_rank(&v, 0.0), 1);
+
+        // The cases the old `.round()` rank got wrong.
+        let v99: Vec<u64> = (1..=99).collect();
+        assert_eq!(nearest_rank(&v99, 0.99), 99, "p99 of 99 samples is the max");
+        assert_eq!(nearest_rank(&[10, 20], 0.50), 10);
+        assert_eq!(nearest_rank(&[10, 20], 0.51), 20);
+    }
+
+    #[test]
+    fn nearest_rank_handles_degenerate_inputs() {
+        assert_eq!(nearest_rank(&[], 0.99), 0);
+        assert_eq!(nearest_rank(&[7], 0.01), 7);
+        assert_eq!(nearest_rank(&[7], 1.0), 7);
+    }
+}

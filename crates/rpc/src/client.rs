@@ -4,15 +4,15 @@
 //! sequentially (JSON-RPC ids are matched per call). The load harness and
 //! the loopback tests run many clients, each on its own thread.
 
-use std::io::{BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use fairgen_baselines::TaskSpec;
 use fairgen_graph::{Graph, GraphDelta};
 
 use crate::codes;
-use crate::http::{read_response, HttpError, HttpLimits};
+use crate::http::{read_response, HttpError, HttpLimits, HttpResponse};
 use crate::json::{obj, parse, Json, JsonError};
 use crate::wire::{
     encode_generate_params, encode_update_params, generate_result_from_json,
@@ -30,6 +30,9 @@ pub struct RpcErrorInfo {
     pub kind: Option<String>,
     /// The HTTP status the error arrived under.
     pub http_status: u16,
+    /// Seconds the server asked this client to wait before retrying
+    /// (the `Retry-After` header 429/503 responses carry), when present.
+    pub retry_after: Option<u64>,
 }
 
 impl RpcErrorInfo {
@@ -101,8 +104,21 @@ impl From<std::io::Error> for ClientError {
 pub type ClientResult<T> = std::result::Result<T, ClientError>;
 
 /// One keep-alive JSON-RPC connection.
+///
+/// Keep-alive connections go stale: a server may close an idle connection
+/// (drain, restart, idle timeout) between two calls, and the client only
+/// finds out when the next request hits a dead socket. The client treats
+/// that one failure shape — connection lost before **any** response bytes
+/// arrived — as retriable: it reconnects to the address it resolved at
+/// [`connect`](RpcClient::connect) time and resends the request exactly
+/// once. A connection that dies *mid-response* is not retried (the server
+/// saw the request; blind resend could double-apply an update).
 pub struct RpcClient {
     reader: BufReader<TcpStream>,
+    /// Resolved at connect time so a stale keep-alive connection can be
+    /// re-established without re-running name resolution.
+    addr: SocketAddr,
+    timeout: Duration,
     limits: HttpLimits,
     wire: WireLimits,
     next_id: u64,
@@ -118,17 +134,92 @@ impl RpcClient {
 
     /// Connects with a specific read/write timeout.
     pub fn connect_with(addr: impl ToSocketAddrs, timeout: Duration) -> ClientResult<Self> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_read_timeout(Some(timeout))?;
-        stream.set_write_timeout(Some(timeout))?;
-        stream.set_nodelay(true)?;
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "address resolved empty"))?;
         Ok(RpcClient {
-            reader: BufReader::new(stream),
+            reader: Self::open(addr, timeout)?,
+            addr,
+            timeout,
             limits: HttpLimits::default(),
             wire: WireLimits::default(),
             next_id: 1,
             tenant: None,
         })
+    }
+
+    fn open(addr: SocketAddr, timeout: Duration) -> ClientResult<BufReader<TcpStream>> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(BufReader::new(stream))
+    }
+
+    fn reconnect(&mut self) -> ClientResult<()> {
+        self.reader = Self::open(self.addr, self.timeout)?;
+        Ok(())
+    }
+
+    /// Write-side errors that mean "the peer already closed this
+    /// connection", as opposed to a fault in the request itself.
+    fn stale_pipe(e: &io::Error) -> bool {
+        matches!(
+            e.kind(),
+            io::ErrorKind::BrokenPipe
+                | io::ErrorKind::ConnectionReset
+                | io::ErrorKind::ConnectionAborted
+        )
+    }
+
+    /// One write + read over the current connection. The `bool` in the
+    /// error says whether the failure is a stale keep-alive connection
+    /// (safe to reconnect and resend) or a real fault (it is not).
+    fn exchange_once(&mut self, request: &[u8]) -> Result<HttpResponse, (bool, ClientError)> {
+        let write = (|| {
+            let mut writer = self.reader.get_ref().try_clone()?;
+            writer.write_all(request)?;
+            writer.flush()
+        })();
+        if let Err(e) = write {
+            let stale = Self::stale_pipe(&e);
+            return Err((stale, ClientError::Io(e)));
+        }
+        match read_response(&mut self.reader, &self.limits) {
+            Ok(response) => Ok(response),
+            // Clean close before any response bytes: the server dropped
+            // the idle connection between requests. Retriable.
+            Err(HttpError::Eof) => Err((true, ClientError::Http(HttpError::Eof))),
+            // Anything else — including `Io(UnexpectedEof)`, a connection
+            // that died mid-response — is not: the request may have been
+            // processed.
+            Err(HttpError::Io(io)) => Err((false, ClientError::Io(io))),
+            Err(other) => Err((false, ClientError::Http(other))),
+        }
+    }
+
+    /// Sends one request, reconnecting and resending exactly once when the
+    /// kept-alive connection turns out to be stale.
+    fn exchange(&mut self, request: &[u8]) -> ClientResult<HttpResponse> {
+        match self.exchange_once(request) {
+            Ok(response) => Ok(response),
+            Err((true, _)) => {
+                self.reconnect()?;
+                self.exchange_once(request).map_err(|(_, e)| e)
+            }
+            Err((false, e)) => Err(e),
+        }
+    }
+
+    /// Issues a plain `GET` against the server (e.g. `/metrics`,
+    /// `/healthz`) over the same keep-alive connection the RPC calls use,
+    /// with the same stale-connection retry. Returns the raw response —
+    /// `/healthz` deliberately answers 503 with a JSON body, so a non-2xx
+    /// status is data here, not an error.
+    pub fn http_get(&mut self, path: &str) -> ClientResult<HttpResponse> {
+        let request = format!("GET {path} HTTP/1.1\r\nHost: fairgen\r\n\r\n");
+        self.exchange(request.as_bytes())
     }
 
     /// Bills every subsequent call to `tenant` (sent as the
@@ -164,15 +255,7 @@ impl RpcClient {
              {tenant_header}Content-Length: {}\r\n\r\n{body}",
             body.len()
         );
-        let stream = self.reader.get_ref();
-        let mut writer = stream.try_clone()?;
-        writer.write_all(request.as_bytes())?;
-        writer.flush()?;
-
-        let response = read_response(&mut self.reader, &self.limits).map_err(|e| match e {
-            HttpError::Io(io) => ClientError::Io(io),
-            other => ClientError::Http(other),
-        })?;
+        let response = self.exchange(request.as_bytes())?;
         let value = parse(&response.body).map_err(ClientError::Json)?;
         let got_id = value.get("id").cloned().unwrap_or(Json::Null);
         let id_matches = got_id.as_u64() == Some(id);
@@ -186,6 +269,7 @@ impl RpcClient {
                     .and_then(Json::as_str)
                     .map(str::to_string),
                 http_status: response.status,
+                retry_after: response.header("retry-after").and_then(|v| v.trim().parse().ok()),
             };
             // A pre-dispatch failure (unparseable body, bad envelope, HTTP
             // reject) legitimately carries a null id — the server never

@@ -151,7 +151,16 @@ fn io_to_http(e: io::Error, mid_request: bool) -> HttpError {
         io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => {
             HttpError::Timeout { mid_request }
         }
-        io::ErrorKind::UnexpectedEof if !mid_request => HttpError::Eof,
+        // Before any bytes of the next message, a clean FIN and an abortive
+        // RST mean the same thing: the peer is gone and nothing was lost.
+        // Mid-message they stay hard I/O errors — data was cut off.
+        io::ErrorKind::UnexpectedEof
+        | io::ErrorKind::ConnectionReset
+        | io::ErrorKind::ConnectionAborted
+            if !mid_request =>
+        {
+            HttpError::Eof
+        }
         _ => HttpError::Io(e),
     }
 }
@@ -370,15 +379,37 @@ pub fn write_response(
     body: &[u8],
     close: bool,
 ) -> io::Result<()> {
+    write_response_ext(writer, status, reason, content_type, body, close, &[])
+}
+
+/// [`write_response`] with extra response headers (e.g. `Retry-After` on
+/// 429/503). Callers own header-name/value validity — values must be
+/// single-line ASCII.
+pub fn write_response_ext(
+    writer: &mut impl Write,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+    close: bool,
+    extra_headers: &[(&str, String)],
+) -> io::Result<()> {
     let connection = if close { "close" } else { "keep-alive" };
     // One buffer, one write: header and body in separate TCP segments
     // trips Nagle + delayed-ACK (~40 ms per response on loopback).
     let mut out = format!(
         "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {}\r\nConnection: {connection}\r\n\r\n",
+         Content-Length: {}\r\nConnection: {connection}\r\n",
         body.len()
-    )
-    .into_bytes();
+    );
+    for (name, value) in extra_headers {
+        out.push_str(name);
+        out.push_str(": ");
+        out.push_str(value);
+        out.push_str("\r\n");
+    }
+    out.push_str("\r\n");
+    let mut out = out.into_bytes();
     out.extend_from_slice(body);
     writer.write_all(&out)?;
     writer.flush()
@@ -485,5 +516,27 @@ mod tests {
         assert!(text.contains("Content-Length: 7\r\n"));
         assert!(text.contains("Connection: keep-alive\r\n"));
         assert!(text.ends_with("\r\n\r\n{\"x\":1}"));
+    }
+
+    #[test]
+    fn extra_headers_ride_before_the_blank_line() {
+        let mut out = Vec::new();
+        write_response_ext(
+            &mut out,
+            429,
+            "Too Many Requests",
+            "application/json",
+            b"{}",
+            false,
+            &[("Retry-After", "3".to_string())],
+        )
+        .expect("write");
+        let text = String::from_utf8(out).expect("ascii");
+        assert!(text.contains("Retry-After: 3\r\n"));
+        let mut reader = BufReader::new(text.as_bytes());
+        let response =
+            read_response(&mut reader, &HttpLimits::default()).expect("parse own frame");
+        assert_eq!(response.status, 429);
+        assert_eq!(response.header("retry-after"), Some("3"));
     }
 }

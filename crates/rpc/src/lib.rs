@@ -14,6 +14,7 @@
 //! | [`codes`] | the stable `FairGenError` → wire-code table |
 //! | [`server`] | [`RpcServer`]: accept loop, per-connection handlers, drain |
 //! | [`client`] | [`RpcClient`]: blocking keep-alive JSON-RPC client |
+//! | [`metrics`] | the `/metrics` + `/healthz` view over `ServerStats` |
 //!
 //! The method surface is `generate`, `generate_batch`, and `stats` —
 //! POSTed as JSON-RPC 2.0 envelopes to `/rpc` (wire format documented in
@@ -35,13 +36,17 @@ pub mod client;
 pub mod codes;
 pub mod http;
 pub mod json;
+pub mod metrics;
 pub mod server;
 pub mod wire;
 
 pub use client::{ClientError, ClientResult, RpcClient, RpcErrorInfo};
 pub use http::{HttpError, HttpLimits, HttpRequest, HttpResponse};
 pub use json::{Json, JsonError, JsonErrorKind};
-pub use server::{handle_rpc_body, respond, RpcConfig, RpcServer};
+pub use metrics::{health_sample, metric_families, METRICS_CONTENT_TYPE};
+pub use server::{
+    handle_rpc_body, respond, respond_http, HttpReply, ObsState, RpcConfig, RpcServer,
+};
 pub use wire::{
     GenerateParams, GenerateResult, RpcRequest, UpdateParams, UpdateResult, WireError,
     WireLimits,

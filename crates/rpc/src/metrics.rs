@@ -1,0 +1,364 @@
+//! The `/metrics` and `/healthz` view over [`ServerStats`]: every counter
+//! the serving stack already keeps, rendered as properly-typed Prometheus
+//! series, plus the sustained-window health sample the monitor consumes.
+//!
+//! Naming follows the Prometheus conventions: `fairgen_` prefix,
+//! `_total` suffix on counters, base units (`_seconds`) on histograms.
+//! Per-shard counters carry a `shard` label; server-level counters are
+//! unlabeled. The family set is stable from the first scrape (zero-valued
+//! series are still emitted), so dashboards never see labels appear
+//! mid-flight.
+
+use fairgen_obs::{CounterPoint, GaugePoint, HealthSample, HistogramPoint, MetricFamily};
+use fairgen_serve::{ServerStats, ShardStats, DRAIN_HIST_BUCKETS};
+
+/// The content type `/metrics` answers with — the Prometheus text
+/// exposition format this module renders.
+pub const METRICS_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Upper bounds of the drain-width exposition buckets. The serve layer's
+/// `drain_hist` buckets are `[1, 2, 3–4, 5–8, 9–16, 17+]`; the first five
+/// map to `le` bounds 1, 2, 4, 8, 16 and the `17+` tail is the `+Inf`
+/// remainder.
+const DRAIN_BOUNDS: [f64; DRAIN_HIST_BUCKETS - 1] = [1.0, 2.0, 4.0, 8.0, 16.0];
+
+fn shard_counter(
+    name: &str,
+    help: &str,
+    stats: &ServerStats,
+    get: impl Fn(&ShardStats) -> u64,
+) -> MetricFamily {
+    MetricFamily::Counter {
+        name: name.into(),
+        help: help.into(),
+        points: stats
+            .per_shard
+            .iter()
+            .enumerate()
+            .map(|(id, s)| CounterPoint {
+                labels: vec![("shard".into(), id.to_string())],
+                value: get(s),
+            })
+            .collect(),
+    }
+}
+
+fn shard_gauge(
+    name: &str,
+    help: &str,
+    stats: &ServerStats,
+    get: impl Fn(&ShardStats) -> f64,
+) -> MetricFamily {
+    MetricFamily::Gauge {
+        name: name.into(),
+        help: help.into(),
+        points: stats
+            .per_shard
+            .iter()
+            .enumerate()
+            .map(|(id, s)| GaugePoint {
+                labels: vec![("shard".into(), id.to_string())],
+                value: get(s),
+            })
+            .collect(),
+    }
+}
+
+/// Builds the full metric-family set for one stats snapshot.
+pub fn metric_families(stats: &ServerStats) -> Vec<MetricFamily> {
+    let mut families = vec![
+        // Registry counters, per shard.
+        shard_counter(
+            "fairgen_registry_requests_total",
+            "Generation requests served by the shard registry (dedup-cache answers excluded).",
+            stats,
+            |s| s.registry.requests,
+        ),
+        shard_counter(
+            "fairgen_registry_cold_fits_total",
+            "Models fitted from scratch.",
+            stats,
+            |s| s.registry.cold_fits,
+        ),
+        shard_counter(
+            "fairgen_registry_memory_hits_total",
+            "Requests served by a resident model.",
+            stats,
+            |s| s.registry.memory_hits,
+        ),
+        shard_counter(
+            "fairgen_registry_checkpoint_loads_total",
+            "Models warm-started from the checkpoint store.",
+            stats,
+            |s| s.registry.checkpoint_loads,
+        ),
+        shard_counter(
+            "fairgen_registry_evictions_total",
+            "Models evicted under the capacity budget.",
+            stats,
+            |s| s.registry.evictions,
+        ),
+        shard_counter(
+            "fairgen_registry_spills_total",
+            "Models spilled to the checkpoint store.",
+            stats,
+            |s| s.registry.spills,
+        ),
+        shard_counter(
+            "fairgen_registry_stale_hits_total",
+            "Requests served stale-but-bounded by a lineage model.",
+            stats,
+            |s| s.registry.stale_hits,
+        ),
+        shard_counter(
+            "fairgen_registry_delta_updates_total",
+            "Graph deltas applied.",
+            stats,
+            |s| s.registry.delta_updates,
+        ),
+        shard_counter(
+            "fairgen_registry_drift_refits_total",
+            "Refits triggered by drift-threshold crossings.",
+            stats,
+            |s| s.registry.drift_refits,
+        ),
+        // Dedup-cache counters and residency, per shard.
+        shard_counter(
+            "fairgen_dedup_hits_total",
+            "Requests answered entirely from the dedup cache.",
+            stats,
+            |s| s.dedup_hits,
+        ),
+        shard_counter(
+            "fairgen_dedup_inserts_total",
+            "(fingerprint, gen_seed) pairs inserted into the dedup cache.",
+            stats,
+            |s| s.dedup_inserts,
+        ),
+        shard_gauge(
+            "fairgen_dedup_resident",
+            "Graphs currently resident in the dedup cache.",
+            stats,
+            |s| s.dedup_resident as f64,
+        ),
+        // Coalescing counters, per shard.
+        shard_counter(
+            "fairgen_drains_total",
+            "Queue drains processed (each is one coalescing opportunity).",
+            stats,
+            |s| s.drains,
+        ),
+        shard_counter(
+            "fairgen_drained_jobs_total",
+            "Jobs taken across all drains (shed jobs included).",
+            stats,
+            |s| s.drained_jobs,
+        ),
+        shard_counter(
+            "fairgen_batched_requests_total",
+            "Requests served inside a coalesced group of two or more.",
+            stats,
+            |s| s.batched_requests,
+        ),
+        shard_gauge(
+            "fairgen_queue_depth",
+            "Jobs waiting in the shard queue at scrape time.",
+            stats,
+            |s| s.queue_depth as f64,
+        ),
+        shard_gauge(
+            "fairgen_max_drain",
+            "Largest number of requests taken in a single drain so far.",
+            stats,
+            |s| s.max_drain as f64,
+        ),
+        // Drain-width distribution, aggregated across shards: the serve
+        // layer's fixed buckets re-expressed as a cumulative histogram.
+        drain_width_family(stats),
+        // Server-wide admission counters.
+        MetricFamily::counter(
+            "fairgen_admission_admitted_total",
+            "Jobs accepted into a shard queue.",
+            stats.admission.admitted,
+        ),
+        MetricFamily::counter(
+            "fairgen_admission_rejected_full_total",
+            "Submissions rejected with a full shard queue.",
+            stats.admission.rejected_full,
+        ),
+        MetricFamily::counter(
+            "fairgen_admission_rejected_rate_total",
+            "Submissions rejected by a tenant's token bucket.",
+            stats.admission.rejected_rate,
+        ),
+        MetricFamily::counter(
+            "fairgen_admission_shed_deadline_total",
+            "Queued jobs shed at drain time on an expired deadline.",
+            stats.admission.shed_deadline,
+        ),
+        MetricFamily::counter(
+            "fairgen_admission_dropped_total",
+            "All refused or shed jobs (rejected_full + rejected_rate + shed_deadline).",
+            stats.admission.dropped_total,
+        ),
+        // Per-stage serving latency.
+        stats.latency.to_family(
+            "fairgen_stage_latency_seconds",
+            "Serving latency by stage: admission wait, queue wait, model invocation, total.",
+        ),
+    ];
+    // The store families only exist when a checkpoint directory is
+    // configured — absence of the whole family set (rather than zeros) is
+    // the honest signal that there is no store.
+    if let Some(store) = &stats.store {
+        families.extend([
+            MetricFamily::counter(
+                "fairgen_store_published_total",
+                "Model checkpoints published.",
+                store.published,
+            ),
+            MetricFamily::counter(
+                "fairgen_store_loads_total",
+                "Checkpoints loaded.",
+                store.loads,
+            ),
+            MetricFamily::counter(
+                "fairgen_store_corrupt_quarantined_total",
+                "Corrupt checkpoint files quarantined.",
+                store.corrupt_quarantined,
+            ),
+            MetricFamily::counter(
+                "fairgen_store_pruned_files_total",
+                "Checkpoint files pruned by retention.",
+                store.pruned_files,
+            ),
+            MetricFamily::counter(
+                "fairgen_store_pruned_bytes_total",
+                "Bytes reclaimed by retention pruning.",
+                store.pruned_bytes,
+            ),
+            MetricFamily::counter(
+                "fairgen_store_tmp_swept_total",
+                "Orphaned temp files swept.",
+                store.tmp_swept,
+            ),
+            MetricFamily::counter(
+                "fairgen_store_adopted_total",
+                "Pre-existing checkpoint files adopted at open.",
+                store.adopted,
+            ),
+            MetricFamily::gauge(
+                "fairgen_store_bytes",
+                "Bytes currently on disk across all checkpoint generations.",
+                store.total_bytes as f64,
+            ),
+            MetricFamily::gauge(
+                "fairgen_store_fingerprints",
+                "Distinct fingerprints with at least one stored generation.",
+                store.fingerprints as f64,
+            ),
+            MetricFamily::gauge(
+                "fairgen_store_generations",
+                "Checkpoint generations currently retained.",
+                store.generations as f64,
+            ),
+        ]);
+    }
+    families
+}
+
+/// The aggregate drain-width histogram: cumulative counts over the serve
+/// layer's fixed buckets. `_sum` is total drained jobs, `_count` total
+/// drains — so `_sum / _count` is the mean drain width the stats API
+/// reports.
+fn drain_width_family(stats: &ServerStats) -> MetricFamily {
+    let hist = stats.drain_hist();
+    let mut cumulative = 0u64;
+    let buckets = DRAIN_BOUNDS
+        .iter()
+        .zip(&hist)
+        .map(|(&bound, &n)| {
+            cumulative += n;
+            (bound, cumulative)
+        })
+        .collect();
+    MetricFamily::Histogram {
+        name: "fairgen_drain_width".into(),
+        help: "Requests taken per queue drain, across all shards.".into(),
+        points: vec![HistogramPoint {
+            labels: Vec::new(),
+            buckets,
+            sum: stats.drained_jobs() as f64,
+            count: stats.drains(),
+        }],
+    }
+}
+
+/// The health-monitor sample for one stats snapshot: instantaneous queue
+/// depth plus the cumulative offered/dropped counters whose window deltas
+/// drive the shed-rate threshold.
+pub fn health_sample(stats: &ServerStats) -> HealthSample {
+    HealthSample {
+        queue_depth: stats.queue_depth() as u64,
+        offered: stats.admission.admitted + stats.admission.dropped_total,
+        dropped: stats.admission.dropped_total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairgen_obs::{parse, render};
+
+    #[test]
+    fn empty_server_stats_render_and_round_trip() {
+        let stats = ServerStats {
+            per_shard: vec![ShardStats::default(), ShardStats::default()],
+            ..ServerStats::default()
+        };
+        let families = metric_families(&stats);
+        let text = render(&families);
+        let back = parse(&text).expect("parse own rendering");
+        assert_eq!(back, families, "scrape→parse round-trip");
+        // Stable label set: every per-shard family has both shards.
+        assert!(text.contains("fairgen_dedup_hits_total{shard=\"0\"} 0"));
+        assert!(text.contains("fairgen_dedup_hits_total{shard=\"1\"} 0"));
+        // No store configured → no store families at all.
+        assert!(!text.contains("fairgen_store_"));
+    }
+
+    #[test]
+    fn drain_width_histogram_matches_the_stats_invariants() {
+        let shard = ShardStats {
+            drain_hist: [3, 2, 1, 1, 0, 1], // widths: 1,2,3–4,5–8,9–16,17+
+            drains: 8,
+            drained_jobs: 40,
+            ..ShardStats::default()
+        };
+        let stats = ServerStats { per_shard: vec![shard], ..ServerStats::default() };
+        let MetricFamily::Histogram { points, .. } = drain_width_family(&stats) else {
+            panic!("drain width must be a histogram");
+        };
+        let p = &points[0];
+        assert_eq!(p.count, 8, "count == drains");
+        assert_eq!(p.sum, 40.0, "sum == drained_jobs");
+        assert_eq!(
+            p.buckets,
+            vec![(1.0, 3), (2.0, 5), (4.0, 6), (8.0, 7), (16.0, 7)],
+            "cumulative over the fixed bounds; 17+ remainder lands in +Inf"
+        );
+    }
+
+    #[test]
+    fn health_sample_obeys_the_offered_identity() {
+        let mut stats = ServerStats::default();
+        stats.admission.admitted = 90;
+        stats.admission.rejected_full = 4;
+        stats.admission.rejected_rate = 5;
+        stats.admission.shed_deadline = 1;
+        stats.admission.dropped_total = 10;
+        let sample = health_sample(&stats);
+        assert_eq!(sample.offered, 100, "offered = admitted + dropped");
+        assert_eq!(sample.dropped, 10);
+    }
+}

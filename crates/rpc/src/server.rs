@@ -33,11 +33,13 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use fairgen_core::error::{FairGenError, Result};
-use fairgen_serve::{FairGenServer, Lane, SubmitOptions, TenantId};
+use fairgen_obs::{render, HealthMonitor, HealthPolicy, HealthVerdict};
+use fairgen_serve::{Clock, FairGenServer, Lane, SubmitOptions, SystemClock, TenantId};
 
 use crate::codes;
-use crate::http::{read_request, write_response, HttpLimits};
+use crate::http::{read_request, write_response_ext, HttpLimits};
 use crate::json::{parse, Json};
+use crate::metrics::{health_sample, metric_families, METRICS_CONTENT_TYPE};
 use crate::wire::{
     decode_envelope, decode_generate_params, decode_tenant, decode_update_params, error_object,
     fairgen_error_object, generate_result_to_json, response_envelope, stats_to_json,
@@ -45,7 +47,7 @@ use crate::wire::{
 };
 
 /// Network front-end policy.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct RpcConfig {
     /// Address to bind (`127.0.0.1:0` picks an ephemeral port).
     pub bind_addr: String,
@@ -63,6 +65,16 @@ pub struct RpcConfig {
     pub limits: HttpLimits,
     /// Wire-decode resource bounds (max node/edge counts per request).
     pub wire: WireLimits,
+    /// The `Retry-After` advertised on 503s (draining, connection cap,
+    /// unhealthy) and on 429s when no token-bucket refill rate is
+    /// available to derive a tighter hint from.
+    pub retry_after: Duration,
+    /// Sustained-window thresholds behind `GET /healthz`.
+    pub health: HealthPolicy,
+    /// The time source driving health-window transitions. Injectable so
+    /// `/healthz` flips are deterministic under a `ManualClock`; share the
+    /// admission clock to keep the whole stack on one timeline.
+    pub clock: Arc<dyn Clock>,
 }
 
 impl Default for RpcConfig {
@@ -74,7 +86,58 @@ impl Default for RpcConfig {
             max_connections: 256,
             limits: HttpLimits::default(),
             wire: WireLimits::default(),
+            retry_after: Duration::from_secs(1),
+            health: HealthPolicy::default(),
+            clock: Arc::new(SystemClock::new()),
         }
+    }
+}
+
+impl std::fmt::Debug for RpcConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RpcConfig")
+            .field("bind_addr", &self.bind_addr)
+            .field("read_timeout", &self.read_timeout)
+            .field("write_timeout", &self.write_timeout)
+            .field("max_connections", &self.max_connections)
+            .field("limits", &self.limits)
+            .field("wire", &self.wire)
+            .field("retry_after", &self.retry_after)
+            .field("health", &self.health)
+            .field("clock", &self.clock.name())
+            .finish()
+    }
+}
+
+/// Observability state shared by every connection handler: the health
+/// monitor (windowed, so it must be one instance per server) and the
+/// clock + retry policy the endpoints consult.
+pub struct ObsState {
+    monitor: Mutex<HealthMonitor>,
+    clock: Arc<dyn Clock>,
+    retry_after_secs: u64,
+}
+
+impl ObsState {
+    /// Fresh observability state for one server, per `cfg`'s health
+    /// policy, clock, and retry default.
+    pub fn new(cfg: &RpcConfig) -> Self {
+        ObsState {
+            monitor: Mutex::new(HealthMonitor::new(cfg.health)),
+            clock: Arc::clone(&cfg.clock),
+            retry_after_secs: cfg.retry_after.as_secs().max(1),
+        }
+    }
+
+    fn evaluate(&self, server: &FairGenServer) -> HealthVerdict {
+        let sample = health_sample(&server.stats());
+        self.monitor.lock().expect("health monitor").evaluate(self.clock.now_nanos(), sample)
+    }
+}
+
+impl std::fmt::Debug for ObsState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsState").field("clock", &self.clock.name()).finish()
     }
 }
 
@@ -152,12 +215,13 @@ impl RpcServer {
             drained: Condvar::new(),
         });
         let inner = Arc::new(server);
+        let obs = Arc::new(ObsState::new(&cfg));
         let accept = {
             let shared = Arc::clone(&shared);
             let inner = Arc::clone(&inner);
             std::thread::Builder::new()
                 .name("fairgen-rpc-accept".into())
-                .spawn(move || accept_loop(&listener, &shared, &inner, &cfg))
+                .spawn(move || accept_loop(&listener, &shared, &inner, &obs, &cfg))
                 .map_err(|e| FairGenError::Internal {
                     detail: format!("failed to spawn the RPC accept thread: {e}"),
                 })?
@@ -229,6 +293,7 @@ fn accept_loop(
     listener: &TcpListener,
     shared: &Arc<Shared>,
     inner: &Arc<FairGenServer>,
+    obs: &Arc<ObsState>,
     cfg: &RpcConfig,
 ) {
     loop {
@@ -239,7 +304,8 @@ fn accept_loop(
             Ok((mut stream, _peer)) => {
                 if *shared.active.lock().expect("active") >= cfg.max_connections {
                     // At capacity: answer a typed 503 and close instead of
-                    // spawning yet another handler thread.
+                    // spawning yet another handler thread. `Retry-After`
+                    // tells well-behaved clients how long to stay away.
                     let _ = stream.set_write_timeout(Some(cfg.write_timeout));
                     let body = response_envelope(
                         &Json::Null,
@@ -249,7 +315,13 @@ fn accept_loop(
                             "Http",
                         )),
                     );
-                    let _ = write_json(&mut stream, 503, &body, true);
+                    let _ = write_json_ext(
+                        &mut stream,
+                        503,
+                        &body,
+                        true,
+                        Some(obs.retry_after_secs),
+                    );
                     continue;
                 }
                 let id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
@@ -258,11 +330,12 @@ fn accept_loop(
                 shared.enter(id, &stream);
                 let handler_shared = Arc::clone(shared);
                 let inner = Arc::clone(inner);
+                let obs = Arc::clone(obs);
                 let cfg = cfg.clone();
                 let spawned = std::thread::Builder::new()
                     .name(format!("fairgen-rpc-conn-{id}"))
                     .spawn(move || {
-                        handle_connection(stream, &inner, &handler_shared, &cfg);
+                        handle_connection(stream, &inner, &obs, &handler_shared, &cfg);
                         handler_shared.exit(id);
                     });
                 if spawned.is_err() {
@@ -283,6 +356,7 @@ fn accept_loop(
 fn handle_connection(
     stream: TcpStream,
     server: &FairGenServer,
+    obs: &ObsState,
     shared: &Shared,
     cfg: &RpcConfig,
 ) {
@@ -296,8 +370,9 @@ fn handle_connection(
         match read_request(&mut reader, &cfg.limits) {
             Ok(request) => {
                 let closing = shared.closing.load(Ordering::SeqCst);
-                let (status, body) = respond(
+                let reply = respond_http(
                     server,
+                    obs,
                     closing,
                     &request.method,
                     &request.target,
@@ -306,7 +381,7 @@ fn handle_connection(
                     &cfg.wire,
                 );
                 let close = closing || !request.keep_alive();
-                if write_json(&mut writer, status, &body, close).is_err() || close {
+                if write_reply(&mut writer, &reply, close).is_err() || close {
                     return;
                 }
             }
@@ -332,14 +407,148 @@ fn write_json(
     body: &Json,
     close: bool,
 ) -> std::io::Result<()> {
-    write_response(
+    write_json_ext(writer, status, body, close, None)
+}
+
+fn write_json_ext(
+    writer: &mut impl Write,
+    status: u16,
+    body: &Json,
+    close: bool,
+    retry_after_secs: Option<u64>,
+) -> std::io::Result<()> {
+    let extra: Vec<(&str, String)> = retry_after_secs
+        .map(|secs| vec![("Retry-After", secs.to_string())])
+        .unwrap_or_default();
+    write_response_ext(
         writer,
         status,
         reason_for(status),
         "application/json",
         body.encode().as_bytes(),
         close,
+        &extra,
     )
+}
+
+fn write_reply(writer: &mut impl Write, reply: &HttpReply, close: bool) -> std::io::Result<()> {
+    let extra: Vec<(&str, String)> = reply
+        .retry_after_secs
+        .map(|secs| vec![("Retry-After", secs.to_string())])
+        .unwrap_or_default();
+    write_response_ext(
+        writer,
+        reply.status,
+        reason_for(reply.status),
+        reply.content_type,
+        &reply.body,
+        close,
+        &extra,
+    )
+}
+
+/// One fully-routed HTTP answer: status, content type, body bytes, and the
+/// optional `Retry-After` hint the transport writes as a header.
+#[derive(Clone, Debug)]
+pub struct HttpReply {
+    pub status: u16,
+    pub content_type: &'static str,
+    pub body: Vec<u8>,
+    /// `Some(secs)` on backpressure statuses (429/503): how long the
+    /// client should stay away.
+    pub retry_after_secs: Option<u64>,
+}
+
+impl HttpReply {
+    fn json(status: u16, body: &Json, retry_after_secs: Option<u64>) -> Self {
+        HttpReply {
+            status,
+            content_type: "application/json",
+            body: body.encode().into_bytes(),
+            retry_after_secs,
+        }
+    }
+}
+
+/// The full HTTP routing surface: plain-GET observability endpoints
+/// (`/metrics`, `/healthz`) next to the JSON-RPC POST path ([`respond`]).
+/// Public so tests can drive the exact routing logic without a socket.
+///
+/// `/metrics` keeps answering while the server drains — a scrape during
+/// shutdown is precisely when operators want numbers — and `/healthz`
+/// reports draining as unhealthy so load balancers rotate the instance
+/// out before the listener disappears.
+#[allow(clippy::too_many_arguments)]
+pub fn respond_http(
+    server: &FairGenServer,
+    obs: &ObsState,
+    closing: bool,
+    method: &str,
+    target: &str,
+    body: &[u8],
+    tenant_header: Option<&str>,
+    wire: &WireLimits,
+) -> HttpReply {
+    let path = target.split('?').next().unwrap_or(target);
+    if method == "GET" && path == "/metrics" {
+        let text = render(&metric_families(&server.stats()));
+        return HttpReply {
+            status: 200,
+            content_type: METRICS_CONTENT_TYPE,
+            body: text.into_bytes(),
+            retry_after_secs: None,
+        };
+    }
+    if method == "GET" && path == "/healthz" {
+        return healthz_reply(server, obs, closing);
+    }
+    let (status, envelope) =
+        respond(server, closing, method, target, body, tenant_header, wire);
+    let retry = match status {
+        // Rate rejections can promise a refill-derived wait; queue-full
+        // and closure fall back to the configured default. The tightest
+        // honest hint for a token bucket is the time to accrue one token.
+        429 => server
+            .rate_config()
+            .and_then(|cfg| cfg.secs_to_accrue(1))
+            .or(Some(obs.retry_after_secs)),
+        503 => Some(obs.retry_after_secs),
+        _ => None,
+    };
+    HttpReply::json(status, &envelope, retry)
+}
+
+/// `GET /healthz`: 200 with `{"status":"ok"}` while healthy, 503 with a
+/// JSON reason body once a threshold breach has sustained, 503
+/// `"draining"` during shutdown.
+fn healthz_reply(server: &FairGenServer, obs: &ObsState, closing: bool) -> HttpReply {
+    if closing {
+        let body = Json::Obj(vec![
+            ("status".into(), Json::Str("draining".into())),
+            ("reason".into(), Json::Str("server_closing".into())),
+        ]);
+        return HttpReply::json(503, &body, Some(obs.retry_after_secs));
+    }
+    let verdict = obs.evaluate(server);
+    let (depth_streak, shed_streak) = verdict.streaks;
+    let detail = vec![
+        ("queue_depth_streak".to_string(), Json::U64(u64::from(depth_streak))),
+        ("shed_rate_streak".to_string(), Json::U64(u64::from(shed_streak))),
+        ("window_shed_rate".to_string(), Json::F64(verdict.window_shed_rate)),
+    ];
+    if verdict.healthy {
+        let mut fields = vec![("status".to_string(), Json::Str("ok".into()))];
+        fields.extend(detail);
+        HttpReply::json(200, &Json::Obj(fields), None)
+    } else {
+        let reason = verdict.reason.map(|r| r.as_str()).unwrap_or("unhealthy");
+        let mut fields = vec![
+            ("status".to_string(), Json::Str("unhealthy".into())),
+            ("reason".to_string(), Json::Str(reason.into())),
+        ];
+        fields.extend(detail);
+        HttpReply::json(503, &Json::Obj(fields), Some(obs.retry_after_secs))
+    }
 }
 
 fn reason_for(status: u16) -> &'static str {

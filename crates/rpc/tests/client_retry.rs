@@ -1,0 +1,232 @@
+//! Regression tests for the client's stale keep-alive handling and the
+//! `Retry-After` surfacing on backpressure errors.
+//!
+//! The stale-connection bug: a server may close an idle keep-alive
+//! connection between two calls (drain, restart, idle timeout), and the
+//! old client died with a hard error on the very next request even though
+//! nothing was wrong with the request itself. The fix reconnects and
+//! resends exactly once when the connection is lost *before any response
+//! bytes* — and must NOT resend when a response was cut off midway (the
+//! server saw that request; a blind resend could double-apply an update).
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::mpsc;
+use std::thread;
+use std::time::Duration;
+
+use fairgen_baselines::{ErGenerator, TaskSpec};
+use fairgen_graph::Graph;
+use fairgen_rpc::http::{read_request, read_response, write_response};
+use fairgen_rpc::{codes, ClientError, HttpLimits, Json, RpcClient, RpcConfig, RpcServer};
+use fairgen_serve::{AdmissionConfig, FairGenServer, RateConfig, ServerConfig};
+
+fn ring(n: u32) -> Graph {
+    let edges: Vec<(u32, u32)> = (0..n).map(|u| (u, (u + 1) % n)).collect();
+    Graph::from_edges(n as usize, &edges)
+}
+
+/// Reads one JSON-RPC request off `stream` and answers it with a canned
+/// `result`, echoing the request id. Returns the request body.
+fn serve_one(stream: &mut TcpStream, close: bool) -> Vec<u8> {
+    let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone"));
+    let request = read_request(&mut reader, &HttpLimits::default()).expect("request");
+    let envelope = fairgen_rpc::json::parse(&request.body).expect("request json");
+    let id = envelope.get("id").and_then(Json::as_u64).expect("request id");
+    let body = format!(r#"{{"jsonrpc":"2.0","id":{id},"result":{{"ok":true}}}}"#);
+    write_response(stream, 200, "OK", "application/json", body.as_bytes(), close)
+        .expect("write response");
+    request.body
+}
+
+/// The headline regression: the server serves one request per keep-alive
+/// connection and then silently closes it. Every client call after the
+/// first lands on a stale socket — and must transparently reconnect and
+/// resend, so all calls succeed and the server sees one connection per
+/// call with the right request replayed onto the fresh connection.
+#[test]
+fn stale_keepalive_connection_is_reconnected_and_resent() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    const CALLS: usize = 3;
+    let server = thread::spawn(move || {
+        let mut bodies = Vec::new();
+        for _ in 0..CALLS {
+            let (mut stream, _) = listener.accept().expect("accept");
+            // Advertise keep-alive, then close anyway: the stale scenario.
+            bodies.push(serve_one(&mut stream, false));
+        }
+        bodies
+    });
+
+    let mut client = RpcClient::connect(addr).expect("connect");
+    for _ in 0..CALLS {
+        let result = client.call("ping", Json::Obj(Vec::new())).expect("call survives");
+        assert_eq!(result.get("ok"), Some(&Json::Bool(true)));
+    }
+    let bodies = server.join().expect("server thread");
+    assert_eq!(bodies.len(), CALLS, "one connection per call after the first goes stale");
+    for (i, body) in bodies.iter().enumerate() {
+        let envelope = fairgen_rpc::json::parse(body).expect("replayed body");
+        assert_eq!(
+            envelope.get("id").and_then(Json::as_u64),
+            Some(i as u64 + 1),
+            "the resent request must be byte-for-byte the original (same id)"
+        );
+    }
+}
+
+/// The negative space of the fix: a connection that dies *mid-response*
+/// is a hard error, not a retry — the request reached the server. The
+/// probe connection proves the client never dialed back.
+#[test]
+fn mid_response_truncation_is_an_error_not_a_retry() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let (probe_tx, probe_rx) = mpsc::channel::<()>();
+    let server = thread::spawn(move || {
+        // Connection 1: read the request, declare a body, truncate it.
+        let (mut stream, _) = listener.accept().expect("accept");
+        let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone"));
+        read_request(&mut reader, &HttpLimits::default()).expect("request");
+        stream
+            .write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 100\r\n\r\n{\"trunc")
+            .expect("write truncated response");
+        // Both halves (the stream and its reader clone) must drop for the
+        // FIN to reach the client.
+        drop(reader);
+        drop(stream);
+        // Connection 2 must be the main thread's probe. Had the client
+        // retried, its resend would occupy this accept slot instead and
+        // the probe below would never be answered.
+        probe_rx.recv().expect("client settled before the probe dials");
+        let (mut stream, _) = listener.accept().expect("accept probe");
+        serve_one(&mut stream, true);
+    });
+
+    let mut client = RpcClient::connect(addr).expect("connect");
+    match client.call("ping", Json::Obj(Vec::new())).expect_err("truncated response") {
+        ClientError::Io(e) => {
+            assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof, "mid-body close");
+        }
+        other => panic!("expected an I/O error, got {other:?}"),
+    }
+    probe_tx.send(()).expect("release probe");
+    let mut probe = RpcClient::connect(addr).expect("probe connect");
+    let result = probe.call("ping", Json::Obj(Vec::new())).expect("probe served");
+    assert_eq!(result.get("ok"), Some(&Json::Bool(true)));
+    server.join().expect("server thread");
+}
+
+/// A dead *first* connection (no keep-alive history at all) still gets
+/// the one retry — and when the reconnect itself fails, the original
+/// failure class surfaces instead of a hang or panic.
+#[test]
+fn reconnect_failure_surfaces_as_an_io_error() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let server = thread::spawn(move || {
+        // Accept and immediately close: the client's first exchange sees
+        // EOF. Then drop the listener so the reconnect is refused.
+        let (stream, _) = listener.accept().expect("accept");
+        drop(stream);
+        drop(listener);
+    });
+    let mut client = RpcClient::connect(addr).expect("connect");
+    server.join().expect("server thread");
+    match client.call("ping", Json::Obj(Vec::new())).expect_err("nobody listening") {
+        ClientError::Io(_) | ClientError::Http(_) => {}
+        other => panic!("expected a transport error, got {other:?}"),
+    }
+}
+
+fn spawn_limited(rate: RateConfig, rpc_cfg: RpcConfig) -> RpcServer {
+    let cfg = ServerConfig {
+        admission: AdmissionConfig { rate: Some(rate), ..AdmissionConfig::default() },
+        ..ServerConfig::default()
+    };
+    let inner = FairGenServer::new(|| Box::new(ErGenerator), cfg).expect("inner server");
+    RpcServer::serve(inner, rpc_cfg).expect("bind loopback")
+}
+
+/// 429s carry a `Retry-After` the client surfaces on
+/// [`RpcErrorInfo::retry_after`]: derived from the token-bucket refill
+/// rate when there is one, falling back to the configured default when
+/// the bucket never refills.
+#[test]
+fn overload_errors_carry_retry_after() {
+    // A refilling bucket: 2 tokens/sec → one token accrues in ≤ 1 s.
+    let rpc = spawn_limited(
+        RateConfig { burst: 1, tokens_per_sec: 2 },
+        RpcConfig { retry_after: Duration::from_secs(7), ..RpcConfig::default() },
+    );
+    let (g, task) = (ring(10), TaskSpec::unlabeled());
+    let mut client = RpcClient::connect(rpc.local_addr()).expect("connect");
+    client.set_tenant(Some("greedy"));
+    client.generate(&g, &task, 0, 1).expect("burst token");
+    match client.generate(&g, &task, 0, 2).expect_err("burst spent") {
+        ClientError::Rpc(info) => {
+            assert_eq!(info.code, codes::OVERLOADED);
+            assert_eq!(
+                info.retry_after,
+                Some(1),
+                "refill-derived hint: ceil(1 token / 2 per s)"
+            );
+        }
+        other => panic!("expected overload, got {other:?}"),
+    }
+
+    // A never-refilling bucket: no honest refill hint exists, so the
+    // configured default is advertised instead.
+    let rpc = spawn_limited(
+        RateConfig { burst: 1, tokens_per_sec: 0 },
+        RpcConfig { retry_after: Duration::from_secs(7), ..RpcConfig::default() },
+    );
+    let mut client = RpcClient::connect(rpc.local_addr()).expect("connect");
+    client.set_tenant(Some("greedy"));
+    client.generate(&g, &task, 0, 1).expect("burst token");
+    match client.generate(&g, &task, 0, 2).expect_err("burst spent") {
+        ClientError::Rpc(info) => {
+            assert_eq!(info.code, codes::OVERLOADED);
+            assert_eq!(info.retry_after, Some(7), "configured fallback");
+        }
+        other => panic!("expected overload, got {other:?}"),
+    }
+}
+
+/// The connection-cap 503 straight off accept also advertises the
+/// configured `Retry-After`.
+#[test]
+fn connection_cap_503_advertises_retry_after() {
+    let inner = FairGenServer::new(|| Box::new(ErGenerator), ServerConfig::default())
+        .expect("inner server");
+    let cfg = RpcConfig {
+        max_connections: 1,
+        retry_after: Duration::from_secs(5),
+        ..RpcConfig::default()
+    };
+    let rpc = RpcServer::serve(inner, cfg).expect("bind loopback");
+
+    let mut first = RpcClient::connect(rpc.local_addr()).expect("connect");
+    first.stats().expect("established connection serves");
+
+    let second = TcpStream::connect(rpc.local_addr()).expect("connect");
+    second.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    let mut reader = std::io::BufReader::new(second.try_clone().expect("clone"));
+    let resp = read_response(&mut reader, &HttpLimits::default()).expect("busy response");
+    assert_eq!(resp.status, 503);
+    assert_eq!(resp.header("retry-after"), Some("5"));
+}
+
+/// `connect` resolves the address once; an unresolvable name is an
+/// immediate typed error, not a panic.
+#[test]
+fn unresolvable_address_is_a_typed_error() {
+    let unreachable: SocketAddr = "127.0.0.1:1".parse().expect("addr");
+    // Port 1 is (virtually always) closed: connect must fail cleanly.
+    match RpcClient::connect(unreachable) {
+        Err(ClientError::Io(_)) => {}
+        Ok(_) => {} // Something actually listens on port 1 — fine, skip.
+        Err(other) => panic!("expected an I/O error, got {other:?}"),
+    }
+}

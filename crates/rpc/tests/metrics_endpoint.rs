@@ -1,0 +1,224 @@
+//! The observability endpoints over a real socket: `/metrics` must render
+//! the same numbers the `stats` RPC reports (and parse back exactly), and
+//! `/healthz` must flip 200→503 only on a *sustained* breach — driven by a
+//! `ManualClock` so every transition is deterministic.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use fairgen_baselines::{ErGenerator, TaskSpec};
+use fairgen_graph::Graph;
+use fairgen_obs::{parse, HealthPolicy, MetricFamily};
+use fairgen_rpc::{
+    metric_families, respond_http, Json, ObsState, RpcClient, RpcConfig, RpcServer,
+    METRICS_CONTENT_TYPE,
+};
+use fairgen_serve::{
+    AdmissionConfig, FairGenServer, ManualClock, RateConfig, ServedFrom, ServerConfig,
+};
+
+const SEC: u64 = 1_000_000_000;
+
+fn ring(n: u32) -> Graph {
+    let edges: Vec<(u32, u32)> = (0..n).map(|u| (u, (u + 1) % n)).collect();
+    Graph::from_edges(n as usize, &edges)
+}
+
+fn counter_sum(families: &[MetricFamily], name: &str) -> u64 {
+    match families.iter().find(|f| f.name() == name) {
+        Some(MetricFamily::Counter { points, .. }) => points.iter().map(|p| p.value).sum(),
+        other => panic!("expected counter family {name}, got {other:?}"),
+    }
+}
+
+fn gauge_sum(families: &[MetricFamily], name: &str) -> f64 {
+    match families.iter().find(|f| f.name() == name) {
+        Some(MetricFamily::Gauge { points, .. }) => points.iter().map(|p| p.value).sum(),
+        other => panic!("expected gauge family {name}, got {other:?}"),
+    }
+}
+
+/// `GET /metrics` over TCP: correct content type, parseable exposition,
+/// and values consistent with the `stats` RPC answered over the very same
+/// connection.
+#[test]
+fn metrics_scrape_matches_the_stats_rpc() {
+    let inner = FairGenServer::new(|| Box::new(ErGenerator), ServerConfig::default())
+        .expect("inner server");
+    let rpc = RpcServer::serve(inner, RpcConfig::default()).expect("bind loopback");
+    let mut client = RpcClient::connect(rpc.local_addr()).expect("connect");
+    let (g, task) = (ring(16), TaskSpec::unlabeled());
+
+    let first = client.generate(&g, &task, 3, 5).expect("cold");
+    assert_eq!(first.served_from, ServedFrom::ColdFit);
+    let repeat = client.generate(&g, &task, 3, 5).expect("repeat");
+    assert_eq!(repeat.served_from, ServedFrom::DedupCache);
+    client.generate(&g, &task, 3, 6).expect("warm");
+
+    let scrape = client.http_get("/metrics").expect("scrape");
+    assert_eq!(scrape.status, 200);
+    assert_eq!(scrape.header("content-type"), Some(METRICS_CONTENT_TYPE));
+    let text = String::from_utf8(scrape.body).expect("utf-8 exposition");
+    let families = parse(&text).expect("exposition parses");
+
+    let stats = client.stats().expect("stats rpc");
+    let totals = stats.get("totals").expect("totals");
+    let total = |k: &str| totals.get(k).and_then(Json::as_u64).expect("counter");
+    assert_eq!(counter_sum(&families, "fairgen_dedup_hits_total"), total("dedup_hits"));
+    assert_eq!(counter_sum(&families, "fairgen_registry_cold_fits_total"), total("fits"));
+    assert_eq!(counter_sum(&families, "fairgen_drains_total"), total("drains"));
+    assert_eq!(gauge_sum(&families, "fairgen_queue_depth"), 0.0);
+    let admission = stats.get("admission").expect("admission");
+    assert_eq!(
+        counter_sum(&families, "fairgen_admission_admitted_total"),
+        admission.get("admitted").and_then(Json::as_u64).expect("admitted"),
+    );
+    // Three requests crossed admission, the queue, and the fulfill path;
+    // only two invoked a model (the dedup hit is answered from cache).
+    match families.iter().find(|f| f.name() == "fairgen_stage_latency_seconds") {
+        Some(MetricFamily::Histogram { points, .. }) => {
+            assert_eq!(points.len(), 4, "one series per stage");
+            for p in points {
+                let stage = &p.labels[0].1;
+                let floor = if stage == "model_invocation" { 1 } else { 3 };
+                assert!(p.count >= floor, "stage {stage} observed its events ({p:?})");
+            }
+        }
+        other => panic!("expected the stage-latency histogram, got {other:?}"),
+    }
+}
+
+/// The plain-GET router does not loosen the existing surface: POSTing the
+/// metrics path is still 404, and a GET on the RPC path is still 405.
+#[test]
+fn observability_paths_do_not_leak_into_the_rpc_surface() {
+    let inner = FairGenServer::new(|| Box::new(ErGenerator), ServerConfig::default())
+        .expect("inner server");
+    let rpc = RpcServer::serve(inner, RpcConfig::default()).expect("bind loopback");
+    let mut client = RpcClient::connect(rpc.local_addr()).expect("connect");
+
+    assert_eq!(client.http_get("/rpc").expect("GET /rpc").status, 405);
+    // Method is checked before path (the pre-existing contract): any GET
+    // outside the two observability paths is 405, and POSTing an
+    // observability path is a plain 404 — the RPC surface did not widen.
+    assert_eq!(client.http_get("/nope").expect("GET /nope").status, 405);
+    let healthz = client.http_get("/healthz").expect("healthz");
+    assert_eq!(healthz.status, 200);
+    let body = fairgen_rpc::json::parse(&healthz.body).expect("healthz json");
+    assert_eq!(body.get("status").and_then(Json::as_str), Some("ok"));
+}
+
+/// The sustained-window contract over the socket, on a manual clock:
+/// one breached window is a spike (200), `sustain` consecutive breached
+/// windows flip to 503 with a reason body and `Retry-After`, and one
+/// clean window flips back to 200.
+#[test]
+fn healthz_flips_only_on_a_sustained_breach() {
+    let clock = Arc::new(ManualClock::at(0));
+    let server_cfg = ServerConfig {
+        admission: AdmissionConfig {
+            // One token per tenant, never refilled: rejections (and hence
+            // the shed rate) are a pure function of the request sequence.
+            rate: Some(RateConfig { burst: 1, tokens_per_sec: 0 }),
+            ..AdmissionConfig::default()
+        },
+        ..ServerConfig::default()
+    };
+    let rpc_cfg = RpcConfig {
+        retry_after: Duration::from_secs(9),
+        health: HealthPolicy {
+            max_queue_depth: u64::MAX,
+            max_shed_rate: 0.5,
+            sustain: 2,
+            min_window_nanos: SEC,
+        },
+        clock: clock.clone(),
+        ..RpcConfig::default()
+    };
+    let inner = FairGenServer::new(|| Box::new(ErGenerator), server_cfg).expect("inner server");
+    let rpc = RpcServer::serve(inner, rpc_cfg).expect("bind loopback");
+    let mut client = RpcClient::connect(rpc.local_addr()).expect("connect");
+    let (g, task) = (ring(12), TaskSpec::unlabeled());
+
+    let healthz = |client: &mut RpcClient| {
+        let resp = client.http_get("/healthz").expect("healthz");
+        let body = fairgen_rpc::json::parse(&resp.body).expect("healthz json");
+        (resp, body)
+    };
+
+    // Scrape 1 baselines the counters: healthy by definition.
+    let (resp, body) = healthz(&mut client);
+    assert_eq!(resp.status, 200);
+    assert_eq!(body.get("status").and_then(Json::as_str), Some("ok"));
+
+    // Window 1: 1 admitted + 2 rejected → shed rate 2/3 ≥ 0.5. Breached.
+    client.set_tenant(Some("greedy"));
+    client.generate(&g, &task, 0, 1).expect("burst token");
+    for seed in [2, 3] {
+        let _ = client.generate(&g, &task, 0, seed).expect_err("burst spent");
+    }
+    clock.advance(SEC);
+    let (resp, body) = healthz(&mut client);
+    assert_eq!(resp.status, 200, "one breached window is a spike, not an outage");
+    assert_eq!(body.get("shed_rate_streak").and_then(Json::as_u64), Some(1));
+
+    // A scrape storm inside the same window must not advance the streak.
+    for _ in 0..5 {
+        let (resp, body) = healthz(&mut client);
+        assert_eq!(resp.status, 200);
+        assert_eq!(body.get("shed_rate_streak").and_then(Json::as_u64), Some(1));
+    }
+
+    // Window 2: all rejections → the breach sustains → 503.
+    for seed in [4, 5] {
+        let _ = client.generate(&g, &task, 0, seed).expect_err("still spent");
+    }
+    clock.advance(SEC);
+    let (resp, body) = healthz(&mut client);
+    assert_eq!(resp.status, 503, "two consecutive breached windows flip the verdict");
+    assert_eq!(body.get("status").and_then(Json::as_str), Some("unhealthy"));
+    assert_eq!(
+        body.get("reason").and_then(Json::as_str),
+        Some("shed_rate_sustained"),
+        "the reason names which threshold sustained"
+    );
+    assert_eq!(resp.header("retry-after"), Some("9"));
+    assert_eq!(resp.header("content-type"), Some("application/json"));
+
+    // Recovery window: fresh tenants each spend their own burst token, so
+    // everything offered is admitted. One clean window restores 200.
+    for tenant in ["calm-a", "calm-b"] {
+        client.set_tenant(Some(tenant));
+        client.generate(&g, &task, 0, 1).expect("fresh bucket");
+    }
+    clock.advance(SEC);
+    let (resp, body) = healthz(&mut client);
+    assert_eq!(resp.status, 200, "one clean window restores health");
+    assert_eq!(body.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(body.get("shed_rate_streak").and_then(Json::as_u64), Some(0));
+}
+
+/// Routing during shutdown, without a socket: `/metrics` keeps serving a
+/// draining server (operators want numbers mid-drain), while `/healthz`
+/// reports `draining` with a 503 so balancers rotate the instance out.
+#[test]
+fn draining_servers_still_expose_metrics_but_fail_health() {
+    let server =
+        FairGenServer::new(|| Box::new(ErGenerator), ServerConfig::default()).expect("server");
+    let cfg = RpcConfig { retry_after: Duration::from_secs(4), ..RpcConfig::default() };
+    let obs = ObsState::new(&cfg);
+    let wire = cfg.wire;
+
+    let metrics = respond_http(&server, &obs, true, "GET", "/metrics", b"", None, &wire);
+    assert_eq!(metrics.status, 200);
+    let text = String::from_utf8(metrics.body).expect("utf-8");
+    let families = parse(&text).expect("parses");
+    assert_eq!(families, metric_families(&server.stats()));
+
+    let health = respond_http(&server, &obs, true, "GET", "/healthz", b"", None, &wire);
+    assert_eq!(health.status, 503);
+    assert_eq!(health.retry_after_secs, Some(4));
+    let body = fairgen_rpc::json::parse(&health.body).expect("json");
+    assert_eq!(body.get("status").and_then(Json::as_str), Some("draining"));
+    assert_eq!(body.get("reason").and_then(Json::as_str), Some("server_closing"));
+}

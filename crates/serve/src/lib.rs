@@ -95,3 +95,8 @@ pub use fairgen_admission::{
 // The store vocabulary rides along for the same reason: retention policy
 // is part of `RegistryConfig`, and `ServerStats` embeds a store snapshot.
 pub use fairgen_store::{ModelStore, RetentionPolicy, StoreStats};
+
+// And the latency vocabulary: `ServerStats` embeds a stage-latency
+// snapshot, so consumers rendering it (the RPC `/metrics` endpoint, the
+// bench harness) get the types without a direct `fairgen-obs` dependency.
+pub use fairgen_obs::{LatencySnapshot, StageLatencySnapshot};

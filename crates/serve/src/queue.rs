@@ -46,6 +46,12 @@ pub(crate) struct Job {
     /// shard registry recomputes it from the same content and config, so
     /// routing and caching can never disagree.
     pub fingerprint: GraphFingerprint,
+    /// Wall-clock stamp taken at the top of the submit call, before
+    /// routing or admission — the zero point for the total-latency stage
+    /// histogram. A monotonic `Instant` (not the admission clock): the
+    /// total stage measures what the *client* experiences, which a
+    /// `ManualClock` cannot see.
+    pub submitted_at: std::time::Instant,
     pub payload: JobPayload,
 }
 

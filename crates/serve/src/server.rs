@@ -45,16 +45,17 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use fairgen_admission::{
     AdmissionConfig, AdmitError, AdmitMeta, DropReason, DroppedEntry, DroppedRing, Lane,
-    QueueStats, RateLimiter, TenantId,
+    QueueStats, RateConfig, RateLimiter, TenantId,
 };
 use fairgen_baselines::persist::PersistableGraphGenerator;
 use fairgen_baselines::TaskSpec;
 use fairgen_core::error::{FairGenError, Result};
 use fairgen_graph::{Graph, GraphDelta, GraphFingerprint};
+use fairgen_obs::{StageLatency, StageLatencySnapshot};
 use fairgen_store::{ModelStore, StoreStats};
 
 use crate::dedup::{DedupCache, DedupKey};
@@ -224,6 +225,10 @@ pub struct ServerStats {
     /// is configured. Server-level (one store serves every shard), so it
     /// is **not** summed from `per_shard`.
     pub store: Option<StoreStats>,
+    /// Per-stage latency histograms (admission wait, queue wait, model
+    /// invocation, total) recorded from `Instant` stamps on the job
+    /// envelope — the decomposition the `/metrics` endpoint exposes.
+    pub latency: StageLatencySnapshot,
 }
 
 impl ServerStats {
@@ -348,6 +353,10 @@ pub struct FairGenServer {
     /// drifted graph's requests land on the shard that owns its lineage
     /// model instead of cold-fitting a duplicate elsewhere.
     aliases: Arc<AliasMap>,
+    /// Per-stage latency histograms, shared with every shard worker.
+    /// Lock-free recording, so the hot path pays one `Instant` read and
+    /// a couple of relaxed `fetch_add`s per stage.
+    latency: Arc<StageLatency>,
 }
 
 impl FairGenServer {
@@ -397,6 +406,7 @@ impl FairGenServer {
             rejected_rate: AtomicU64::new(0),
             store: store.clone(),
             aliases: Arc::new(AliasMap::default()),
+            latency: Arc::new(StageLatency::new()),
         };
         for id in 0..cfg.shards {
             let registry = ModelRegistry::with_store(
@@ -410,11 +420,19 @@ impl FairGenServer {
                 let queue = Arc::clone(&queue);
                 let stats = Arc::clone(&stats);
                 let aliases = Arc::clone(&server.aliases);
+                let latency = Arc::clone(&server.latency);
                 let dedup_capacity = cfg.dedup_capacity;
                 std::thread::Builder::new()
                     .name(format!("fairgen-shard-{id}"))
                     .spawn(move || {
-                        shard_worker(registry, &queue, &stats, &aliases, dedup_capacity)
+                        shard_worker(
+                            registry,
+                            &queue,
+                            &stats,
+                            &aliases,
+                            &latency,
+                            dedup_capacity,
+                        )
                     })
                     .map_err(|e| FairGenError::Internal {
                         detail: format!("failed to spawn shard worker {id}: {e}"),
@@ -504,6 +522,7 @@ impl FairGenServer {
         sample_seeds: Vec<u64>,
         opts: SubmitOptions,
     ) -> Result<PendingResponse> {
+        let submitted_at = Instant::now();
         let (fingerprint, shard) = self.route(&graph, &task, fit_seed);
         if let Some(limiter) = &self.limiter {
             // Cost scales with the work requested: one token per sample
@@ -531,12 +550,20 @@ impl FairGenServer {
             task,
             fit_seed,
             fingerprint,
+            submitted_at,
             payload: JobPayload::Generate { sample_seeds, slot },
         };
         let meta =
             AdmitMeta { tenant: opts.tenant, lane, fingerprint, deadline: opts.deadline };
         match self.shards[shard].queue.push(job, meta) {
-            Ok(()) => Ok(pending),
+            Ok(()) => {
+                // Admission wait: routing + rate-limit + queue push, i.e.
+                // everything between the client's call and the job being
+                // safely queued. Only admitted jobs record it — a
+                // rejection is not a wait.
+                self.latency.admission_wait.record(submitted_at.elapsed());
+                Ok(pending)
+            }
             // The rejected job (and its slot) drops here — harmless, since
             // the error below is the caller's one answer and `pending`
             // never escapes.
@@ -570,6 +597,7 @@ impl FairGenServer {
         delta: GraphDelta,
         opts: SubmitOptions,
     ) -> Result<PendingUpdate> {
+        let submitted_at = Instant::now();
         let (fingerprint, shard) = self.route(&graph, &task, fit_seed);
         if let Some(limiter) = &self.limiter {
             // A delta is one unit of admission work regardless of size —
@@ -592,12 +620,16 @@ impl FairGenServer {
             task,
             fit_seed,
             fingerprint,
+            submitted_at,
             payload: JobPayload::Update { delta, slot },
         };
         let meta =
             AdmitMeta { tenant: opts.tenant, lane, fingerprint, deadline: opts.deadline };
         match self.shards[shard].queue.push(job, meta) {
-            Ok(()) => Ok(pending),
+            Ok(()) => {
+                self.latency.admission_wait.record(submitted_at.elapsed());
+                Ok(pending)
+            }
             Err(AdmitError::Full(_)) => Err(overload_error(DropReason::QueueFull)),
             Err(AdmitError::Closed(_)) => Err(shutdown_error()),
         }
@@ -668,7 +700,14 @@ impl FairGenServer {
             admission,
             dropped: self.ring.snapshot(),
             store: self.store.as_ref().map(|s| s.stats()),
+            latency: self.latency.snapshot(),
         }
+    }
+
+    /// The per-tenant rate policy in force, when rate limiting is on.
+    /// The RPC layer derives `Retry-After` hints from it.
+    pub fn rate_config(&self) -> Option<RateConfig> {
+        self.limiter.as_ref().map(|l| l.config())
     }
 
     /// Graceful shutdown: closes every queue, lets the workers serve the
@@ -711,6 +750,7 @@ struct GenJob {
     task: Arc<TaskSpec>,
     fit_seed: u64,
     fingerprint: GraphFingerprint,
+    submitted_at: Instant,
     sample_seeds: Vec<u64>,
     slot: ResponseSlot<GenerateResponse>,
 }
@@ -735,6 +775,7 @@ fn shard_worker(
     queue: &ShardQueue,
     stats: &Mutex<ShardStats>,
     aliases: &AliasMap,
+    latency: &StageLatency,
     dedup_capacity: usize,
 ) {
     // Failsafe: whatever takes this worker down — a panic inside a
@@ -773,20 +814,32 @@ fn shard_worker(
         // Shed pass: jobs whose queue deadline expired while they waited
         // get their typed rejection *now* — the admission queue already
         // recorded them in the dropped ring; answering is all that's left.
-        let mut fulfilled: Vec<(ResponseSlot<GenerateResponse>, Result<GenerateResponse>)> =
-            Vec::with_capacity(drain.served.len() + drain.shed.len());
+        // Each answer carries its job's submit stamp so the total-latency
+        // stage is recorded at the moment the client is woken.
+        let mut fulfilled: Vec<(
+            ResponseSlot<GenerateResponse>,
+            Result<GenerateResponse>,
+            Instant,
+        )> = Vec::with_capacity(drain.served.len() + drain.shed.len());
         let mut update_fulfilled: Vec<(ResponseSlot<UpdateOutcome>, Result<UpdateOutcome>)> =
             Vec::new();
         let mut updates: Vec<UpdateJob> = Vec::new();
         let mut generates: Vec<GenJob> = Vec::new();
         for shed in drain.shed {
+            // A shed job still waited in the queue; its wait belongs in
+            // the queue_wait stage like any other drained job's.
+            latency.queue_wait.record_nanos(shed.age_at(drain.now_nanos));
             let err = || overload_error(DropReason::DeadlineExpired);
+            let submitted_at = shed.item.submitted_at;
             match shed.item.payload {
-                JobPayload::Generate { slot, .. } => fulfilled.push((slot, Err(err()))),
+                JobPayload::Generate { slot, .. } => {
+                    fulfilled.push((slot, Err(err()), submitted_at))
+                }
                 JobPayload::Update { slot, .. } => update_fulfilled.push((slot, Err(err()))),
             }
         }
         for queued in drain.served {
+            latency.queue_wait.record_nanos(queued.age_at(drain.now_nanos));
             let job = queued.item;
             match job.payload {
                 JobPayload::Generate { sample_seeds, slot } => generates.push(GenJob {
@@ -794,6 +847,7 @@ fn shard_worker(
                     task: job.task,
                     fit_seed: job.fit_seed,
                     fingerprint: job.fingerprint,
+                    submitted_at: job.submitted_at,
                     sample_seeds,
                     slot,
                 }),
@@ -813,7 +867,9 @@ fn shard_worker(
         // graph — including generates later in this very drain — lands
         // back on this shard's lineage model.
         for job in updates {
+            let invoked_at = Instant::now();
             let outcome = registry.apply_delta(&job.graph, &job.task, job.fit_seed, &job.delta);
+            latency.model_invocation.record(invoked_at.elapsed());
             if let Ok(outcome) = &outcome {
                 // The anchor this family routes by: whatever anchor got the
                 // update here (aliases are pre-flattened, so one read).
@@ -837,7 +893,7 @@ fn shard_worker(
                         served_from: ServedFrom::DedupCache,
                         graphs,
                     };
-                    fulfilled.push((job.slot, Ok(response)));
+                    fulfilled.push((job.slot, Ok(response), job.submitted_at));
                 }
                 None => pending.push(job),
             }
@@ -865,7 +921,12 @@ fn shard_worker(
             // Keys were computed once at submit time; the registry must not
             // re-hash every graph on this (per-shard serialized) thread.
             let keys = vec![fp; reqs.len()];
-            match registry.handle_batch_keyed(&reqs, &keys) {
+            let invoked_at = Instant::now();
+            let batch = registry.handle_batch_keyed(&reqs, &keys);
+            // One observation per coalesced group — the histogram counts
+            // model invocations, not the requests sharing them.
+            latency.model_invocation.record(invoked_at.elapsed());
+            match batch {
                 Ok(responses) => {
                     for (job, response) in members.into_iter().zip(responses) {
                         for (&seed, graph) in job.sample_seeds.iter().zip(&response.graphs) {
@@ -875,7 +936,7 @@ fn shard_worker(
                             );
                             dedup_inserts += 1;
                         }
-                        fulfilled.push((job.slot, Ok(response)));
+                        fulfilled.push((job.slot, Ok(response), job.submitted_at));
                     }
                 }
                 Err(e) => {
@@ -889,7 +950,7 @@ fn shard_worker(
                             Some(e) => e,
                             None => FairGenError::Internal { detail: detail.clone() },
                         };
-                        fulfilled.push((job.slot, Err(err)));
+                        fulfilled.push((job.slot, Err(err), job.submitted_at));
                     }
                 }
             }
@@ -912,7 +973,8 @@ fn shard_worker(
         for (slot, outcome) in update_fulfilled {
             slot.fulfill(outcome);
         }
-        for (slot, response) in fulfilled {
+        for (slot, response, submitted_at) in fulfilled {
+            latency.total.record(submitted_at.elapsed());
             slot.fulfill(response);
         }
     }

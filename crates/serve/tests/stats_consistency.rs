@@ -1,0 +1,185 @@
+//! Self-consistency of the stats surface under concurrent load: the
+//! counters the `/metrics` endpoint renders are only trustworthy if they
+//! obey their own arithmetic while many clients hammer the server.
+//!
+//! Invariants checked after a concurrent run settles:
+//!
+//! * per shard, the drain-width histogram buckets partition the drains;
+//! * `admitted + rejected + shed == offered` (the health monitor's
+//!   identity);
+//! * each latency stage's cumulative buckets are monotone and bounded by
+//!   its count, and the stage counts tie back to the admission and drain
+//!   counters exactly;
+//! * the rendered Prometheus exposition of the latency histogram parses
+//!   back to the identical snapshot.
+
+use std::sync::Arc;
+use std::thread;
+
+use fairgen_baselines::{ErGenerator, TaskSpec};
+use fairgen_graph::Graph;
+use fairgen_obs::{parse, render};
+use fairgen_serve::{AdmissionConfig, FairGenServer, RateConfig, ServerConfig, ServerStats};
+
+const CLIENTS: usize = 6;
+const ROUNDS: usize = 5;
+const GRAPHS: u32 = 3;
+
+fn ring(n: u32) -> Graph {
+    Graph::from_edges(n as usize, &(0..n).map(|i| (i, (i + 1) % n)).collect::<Vec<_>>())
+}
+
+/// Every structural invariant a stats snapshot must satisfy, regardless
+/// of load shape.
+fn assert_snapshot_invariants(stats: &ServerStats) {
+    for (id, shard) in stats.per_shard.iter().enumerate() {
+        let bucketed: u64 = shard.drain_hist.iter().sum();
+        assert_eq!(
+            bucketed, shard.drains,
+            "shard {id}: histogram buckets must partition the drains"
+        );
+        assert!(
+            shard.drained_jobs >= shard.drains || shard.drains == 0,
+            "shard {id}: every drain takes at least one job"
+        );
+    }
+    let a = &stats.admission;
+    assert_eq!(
+        a.rejected_full + a.rejected_rate + a.shed_deadline,
+        a.dropped_total,
+        "dropped_total is the sum of its parts"
+    );
+
+    for (name, stage) in [
+        ("admission_wait", &stats.latency.admission_wait),
+        ("queue_wait", &stats.latency.queue_wait),
+        ("model_invocation", &stats.latency.model_invocation),
+        ("total", &stats.latency.total),
+    ] {
+        // Snapshot buckets are per-bound counts (cumulation happens at
+        // exposition); observations past the last bound land only in
+        // count/sum, so the bucket sum is bounded by the count.
+        let bucketed: u64 = stage.buckets.iter().sum();
+        assert!(
+            bucketed <= stage.count,
+            "{name}: bucketed observations ({bucketed}) bounded by count ({})",
+            stage.count
+        );
+        assert!(
+            stage.count == 0 || stage.sum_nanos > 0 || bucketed == stage.buckets[0],
+            "{name}: a nonzero-duration observation must contribute to the sum"
+        );
+    }
+}
+
+/// Unthrottled concurrent load: every submission is admitted, so every
+/// stage count is an exact function of the request schedule.
+#[test]
+fn concurrent_counters_stay_self_consistent() {
+    let server = Arc::new(
+        FairGenServer::new(|| Box::new(ErGenerator), ServerConfig::default()).expect("server"),
+    );
+    let task = Arc::new(TaskSpec::unlabeled());
+
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let server = Arc::clone(&server);
+            let task = Arc::clone(&task);
+            thread::spawn(move || {
+                for r in 0..ROUNDS {
+                    let g = ring(12 + ((c + r) as u32 % GRAPHS) * 4);
+                    // Seeds repeat across clients and rounds on purpose:
+                    // dedup hits and coalesced groups are part of the load.
+                    server.handle(&g, &task, 7, vec![r as u64]).expect("serve");
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("client thread");
+    }
+
+    let stats = server.stats();
+    assert_snapshot_invariants(&stats);
+
+    let submissions = (CLIENTS * ROUNDS) as u64;
+    assert_eq!(stats.admission.admitted, submissions, "nothing throttled this run");
+    assert_eq!(stats.admission.dropped_total, 0);
+    assert_eq!(stats.queue_depth(), 0, "run has settled");
+
+    let lat = &stats.latency;
+    assert_eq!(lat.admission_wait.count, submissions, "one admission wait per admit");
+    assert_eq!(lat.total.count, submissions, "one total-latency sample per response");
+    assert_eq!(
+        lat.queue_wait.count,
+        stats.drained_jobs(),
+        "one queue wait per job taken from a queue"
+    );
+    assert!(
+        lat.model_invocation.count <= stats.drained_jobs(),
+        "coalescing and dedup can only reduce invocations below drained jobs"
+    );
+    assert!(lat.model_invocation.count >= stats.fits(), "every fit is an invocation");
+
+    // The exposition layer must not perturb a single value: render the
+    // latency families and parse them back to the identical snapshot.
+    let family = lat.to_family("fairgen_stage_latency_seconds", "Serving latency by stage.");
+    let text = render(std::slice::from_ref(&family));
+    let back = parse(&text).expect("own rendering parses");
+    assert_eq!(back, vec![family], "render→parse round-trip is exact");
+}
+
+/// Throttled concurrent load: a never-refilling token bucket makes the
+/// admitted/rejected split deterministic in total, and the offered
+/// identity (`admitted + dropped == offered`) must hold exactly.
+#[test]
+fn rate_limited_run_obeys_the_offered_identity() {
+    const BURST: u64 = 5;
+    let server = Arc::new(
+        FairGenServer::new(
+            || Box::new(ErGenerator),
+            ServerConfig {
+                admission: AdmissionConfig {
+                    rate: Some(RateConfig { burst: BURST, tokens_per_sec: 0 }),
+                    ..AdmissionConfig::default()
+                },
+                ..ServerConfig::default()
+            },
+        )
+        .expect("server"),
+    );
+    let task = Arc::new(TaskSpec::unlabeled());
+
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let server = Arc::clone(&server);
+            let task = Arc::clone(&task);
+            thread::spawn(move || {
+                let mut served = 0u64;
+                for r in 0..ROUNDS {
+                    let g = ring(10 + c as u32);
+                    if server.handle(&g, &task, 3, vec![r as u64]).is_ok() {
+                        served += 1;
+                    }
+                }
+                served
+            })
+        })
+        .collect();
+    let served: u64 = workers.into_iter().map(|w| w.join().expect("client")).sum();
+
+    let stats = server.stats();
+    assert_snapshot_invariants(&stats);
+
+    let offered = (CLIENTS * ROUNDS) as u64;
+    assert_eq!(served, BURST, "exactly the burst is ever admitted (no refill)");
+    assert_eq!(stats.admission.admitted, BURST);
+    assert_eq!(stats.admission.rejected_rate, offered - BURST);
+    assert_eq!(
+        stats.admission.admitted + stats.admission.dropped_total,
+        offered,
+        "the health monitor's offered identity"
+    );
+    assert_eq!(stats.latency.admission_wait.count, BURST, "rejections record no wait");
+    assert_eq!(stats.latency.total.count, BURST);
+}

@@ -16,7 +16,10 @@
 //! Pass `--socket` to run the same scenario over the network instead: the
 //! `FairGenServer` goes behind a `fairgen-rpc` HTTP/1.1 JSON-RPC front-end
 //! on an ephemeral loopback port, and every tenant becomes a real TCP
-//! client — same dedup and warm-start guarantees, now across a socket.
+//! client — same dedup and warm-start guarantees, now across a socket. In
+//! this mode the example also scrapes `GET /metrics` (Prometheus text
+//! exposition) and `GET /healthz` off the same port, the way a monitoring
+//! stack would.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -103,6 +106,34 @@ fn run_over_socket() -> fairgen_core::error::Result<()> {
         count("max_drain"),
     );
     assert_eq!(count("fits"), 3, "one fit per tenant, regardless of interleaving");
+
+    // A monitoring stack sees the same numbers without speaking JSON-RPC:
+    // plain GETs on the same port serve the Prometheus exposition and the
+    // health verdict.
+    let scrape = client.http_get("/metrics").expect("scrape /metrics");
+    assert_eq!(scrape.status, 200);
+    let exposition = String::from_utf8(scrape.body).expect("utf-8 exposition");
+    let families = fairgen_obs::parse(&exposition).expect("exposition parses");
+    let dedup_hits: u64 = families
+        .iter()
+        .find_map(|f| match f {
+            fairgen_obs::MetricFamily::Counter { name, points, .. }
+                if name == "fairgen_dedup_hits_total" =>
+            {
+                Some(points.iter().map(|p| p.value).sum())
+            }
+            _ => None,
+        })
+        .expect("dedup counter is exported");
+    assert_eq!(dedup_hits, count("dedup_hits"), "scrape agrees with the stats RPC");
+    let healthz = client.http_get("/healthz").expect("scrape /healthz");
+    println!(
+        "scraped /metrics: {} families, {} B — dedup counter matches; /healthz {}",
+        families.len(),
+        exposition.len(),
+        healthz.status,
+    );
+    assert_eq!(healthz.status, 200, "an idle server is healthy");
     drop(client);
 
     // "Restart": graceful shutdown drains connections and spills every

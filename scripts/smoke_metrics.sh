@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Observability smoke test: runs the serving example in `--socket` mode,
+# which stands up the fairgen-rpc front-end on an ephemeral loopback port,
+# drives real tenant traffic, then scrapes `GET /metrics` (asserting the
+# Prometheus exposition parses and its counters agree with the `stats`
+# RPC) and `GET /healthz` (asserting an idle server reports 200 ok).
+# The example exits nonzero if any of those checks fail.
+# Usage: scripts/smoke_metrics.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo run --release -p fairgen-suite --example serving -- --socket
